@@ -1,0 +1,1 @@
+bench/experiments.ml: Agenp Asg Asp Explain Fmt Fun Grammar Ilp List Ml Policy Printf String Sys Workloads

@@ -1,0 +1,1 @@
+bench/timings.ml: Agenp Analyze Asg Asp Bechamel Benchmark Fmt Grammar Hashtbl Ilp Lazy List Measure Printf Staged String Test Time Toolkit Workloads

@@ -1,0 +1,51 @@
+(* Benchmark/experiment driver: regenerates every table and figure in
+   EXPERIMENTS.md. Usage:
+     dune exec bench/main.exe                 -- full run
+     dune exec bench/main.exe -- --quick      -- reduced sizes
+     dune exec bench/main.exe -- --timings    -- add Bechamel micro-benches
+     dune exec bench/main.exe -- fig3a cav    -- selected experiments only *)
+
+let registry =
+  [
+    ("fig1", Experiments.fig1_workflow);
+    ("fig2", Experiments.fig2_loop);
+    ("fig3a", Experiments.fig3a);
+    ("fig3b-overfit", Experiments.fig3b_overfit);
+    ("fig3b-unsafe", Experiments.fig3b_unsafe);
+    ("fig3b-noise", Experiments.fig3b_noise);
+    ("cav", Experiments.cav_curve);
+    ("resupply", Experiments.resupply);
+    ("convoy", Experiments.convoy);
+    ("sharing", Experiments.sharing);
+    ("byzantine", Experiments.byzantine);
+    ("quality", Experiments.quality);
+    ("explain", Experiments.explain);
+    ("datashare", Experiments.datashare);
+    ("utility", Experiments.utility);
+    ("preference", Experiments.preference);
+    ("federated", Experiments.federated);
+    ("perf", Experiments.perf);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let timings = List.mem "--timings" args in
+  let selected =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let to_run =
+    match selected with
+    | [] -> registry
+    | names ->
+      List.filter (fun (name, _) -> List.mem name names) registry
+  in
+  if to_run = [] then begin
+    Fmt.pr "unknown experiment; available: %s@."
+      (String.concat ", " (List.map fst registry));
+    exit 1
+  end;
+  let t0 = Sys.time () in
+  List.iter (fun (_, f) -> f ~quick ()) to_run;
+  if timings then Timings.run ();
+  Fmt.pr "@.total wall time: %.1fs@." (Sys.time () -. t0)

@@ -1,0 +1,82 @@
+(* Bechamel micro-benchmarks: one Test.make per core operation, grouped.
+   Printed as ns/run estimates (OLS against the run counter). *)
+
+open Bechamel
+
+let cav_gpm = lazy (Workloads.Cav.gpm ())
+
+let learned_gpm =
+  lazy
+    (let space =
+       Ilp.Hypothesis_space.generate (Workloads.Cav.modes ~max_body:2 ())
+     in
+     let examples =
+       Workloads.Cav.examples_of (Workloads.Cav.sample ~seed:42 20)
+     in
+     match Ilp.Asg_learning.learn ~gpm:(Lazy.force cav_gpm) ~space ~examples () with
+     | Some l -> l.Ilp.Asg_learning.gpm
+     | None -> Lazy.force cav_gpm)
+
+let scenario = lazy (List.hd (Workloads.Cav.sample ~seed:3 1))
+
+let coloring_program n =
+  let edges =
+    String.concat " "
+      (List.init n (fun i -> Printf.sprintf "edge(%d, %d)." i ((i + 1) mod n)))
+  in
+  Asp.Parser.parse_program
+    (Printf.sprintf
+       "node(0..%d). %s col(r). col(g). col(b). 1 { color(N, C) : col(C) } 1 \
+        :- node(N). :- edge(X, Y), color(X, C), color(Y, C)."
+       (n - 1) edges)
+
+let tests () =
+  let solve_prog = coloring_program 6 in
+  let ground_prog = coloring_program 8 in
+  [
+    Test.make ~name:"asp-parse"
+      (Staged.stage (fun () ->
+           Asp.Parser.parse_program "q(X) :- p(X, Y), not r(Y), X > 3. p(1..5, a)."));
+    Test.make ~name:"asp-ground"
+      (Staged.stage (fun () -> Asp.Grounder.ground ground_prog));
+    Test.make ~name:"asp-solve-6cycle"
+      (Staged.stage (fun () -> Asp.Solver.solve solve_prog));
+    Test.make ~name:"earley-parse"
+      (Staged.stage (fun () ->
+           Grammar.Earley.parses_sentence
+             (Asg.Gpm.cfg (Lazy.force cav_gpm))
+             "accept"));
+    Test.make ~name:"asg-membership"
+      (Staged.stage (fun () ->
+           Asg.Membership.accepts_in_context (Lazy.force learned_gpm)
+             ~context:(Workloads.Cav.to_context (Lazy.force scenario))
+             "accept"));
+    Test.make ~name:"pdp-decide"
+      (Staged.stage (fun () ->
+           Agenp.Pdp.decide (Lazy.force learned_gpm)
+             ~context:(Workloads.Cav.to_context (Lazy.force scenario))
+             ~options:[ "accept"; "reject" ]));
+  ]
+
+let run () =
+  Fmt.pr "@.==================================================@.";
+  Fmt.pr "TIMINGS  Bechamel micro-benchmarks (ns/run, OLS)@.";
+  Fmt.pr "==================================================@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Fmt.pr "%-20s %12.0f ns/run@." name est
+          | _ -> Fmt.pr "%-20s (no estimate)@." name)
+        analysis)
+    (tests ())

@@ -1,0 +1,335 @@
+(* The agenp command-line tool: solve ASP programs, check/generate/learn
+   answer set grammars, and explain decisions — all from files.
+
+   File formats:
+   - ASP programs / contexts: plain ASP text (see lib/asp/parser.ml).
+   - Grammars: the ASG syntax of lib/asg/asg_parser.ml.
+   - Examples: one per line, [+ sentence | context-program] for positive
+     and [- sentence | context-program] for negative (context optional).
+   - Hypothesis spaces: one per line, [prod_ids | annotated-rule], e.g.
+     [0 | :- result(accept)@1, weather(snow).]. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_context = function
+  | None -> Asp.Program.empty
+  | Some path -> Asp.Parser.parse_program (read_file path)
+
+let parse_examples_file path : Ilp.Example.t list =
+  read_file path
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else begin
+           let label, rest =
+             match line.[0] with
+             | '+' -> (`Pos, String.sub line 1 (String.length line - 1))
+             | '-' -> (`Neg, String.sub line 1 (String.length line - 1))
+             | _ ->
+               failwith
+                 (Printf.sprintf "example line must start with + or -: %s" line)
+           in
+           let sentence, ctx =
+             match String.index_opt rest '|' with
+             | None -> (String.trim rest, "")
+             | Some i ->
+               ( String.trim (String.sub rest 0 i),
+                 String.sub rest (i + 1) (String.length rest - i - 1) )
+           in
+           let context = Asp.Parser.parse_program ctx in
+           Some
+             (match label with
+             | `Pos -> Ilp.Example.positive ~context sentence
+             | `Neg -> Ilp.Example.negative ~context sentence)
+         end)
+
+let parse_space_file path : Ilp.Hypothesis_space.t =
+  read_file path
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line '|' with
+           | None ->
+             failwith
+               (Printf.sprintf "space line must be 'prods | rule': %s" line)
+           | Some i ->
+             let prods =
+               String.sub line 0 i |> String.split_on_char ' '
+               |> List.filter_map (fun s ->
+                      match int_of_string_opt (String.trim s) with
+                      | Some n -> Some n
+                      | None -> None)
+             in
+             let rule = String.sub line (i + 1) (String.length line - i - 1) in
+             Some (String.trim rule, prods))
+  |> fun entries -> Ilp.Hypothesis_space.of_rules entries
+
+(* ---- commands --------------------------------------------------------- *)
+
+let solve_cmd file models optimal =
+  let program = Asp.Parser.parse_program (read_file file) in
+  if optimal then begin
+    match Asp.Solver.solve_optimal program with
+    | None ->
+      Fmt.pr "UNSATISFIABLE@.";
+      1
+    | Some (ms, cost) ->
+      List.iter
+        (fun m -> Fmt.pr "Optimal (cost %d): %s@." cost (Asp.Solver.model_to_string m))
+        ms;
+      0
+  end
+  else begin
+    match Asp.Solver.solve ?limit:models program with
+    | [] ->
+      Fmt.pr "UNSATISFIABLE@.";
+      1
+    | ms ->
+      List.iteri
+        (fun i m -> Fmt.pr "Answer %d: %s@." (i + 1) (Asp.Solver.model_to_string m))
+        ms;
+      0
+  end
+
+let ground_cmd file =
+  let program = Asp.Parser.parse_program (read_file file) in
+  let gp = Asp.Grounder.ground program in
+  List.iter (Fmt.pr "%a@." Asp.Grounder.pp_ground_rule) gp.Asp.Grounder.grules;
+  Fmt.pr "%% %d atoms, %d ground rules@."
+    (Asp.Grounder.atom_count gp) (Asp.Grounder.size gp);
+  0
+
+let check_cmd grammar sentence context =
+  let gpm = Asg.Asg_parser.parse (read_file grammar) in
+  let context = load_context context in
+  if Asg.Membership.accepts_in_context gpm ~context sentence then begin
+    Fmt.pr "VALID@.";
+    0
+  end
+  else begin
+    Fmt.pr "INVALID@.";
+    1
+  end
+
+let generate_cmd grammar context depth ranked =
+  let gpm = Asg.Asg_parser.parse (read_file grammar) in
+  let context = load_context context in
+  if ranked then
+    List.iter
+      (fun (s, c) -> Fmt.pr "%s [cost %d]@." s c)
+      (Asg.Language.ranked_sentences_in_context ~max_depth:depth gpm ~context)
+  else
+    List.iter (Fmt.pr "%s@.")
+      (Asg.Language.sentences_in_context ~max_depth:depth gpm ~context);
+  0
+
+let learn_cmd grammar examples space save =
+  let gpm = Asg.Asg_parser.parse (read_file grammar) in
+  let examples = parse_examples_file examples in
+  let space = parse_space_file space in
+  match Ilp.Asg_learning.learn ~gpm ~space ~examples () with
+  | None ->
+    Fmt.pr "UNSATISFIABLE (no inductive solution)@.";
+    1
+  | Some learned ->
+    List.iter (Fmt.pr "%s@.") (Ilp.Asg_learning.hypothesis_text learned);
+    Fmt.pr "%% cost %d, penalty %d@."
+      learned.Ilp.Asg_learning.outcome.Ilp.Learner.cost
+      learned.Ilp.Asg_learning.outcome.Ilp.Learner.penalty;
+    (match save with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Asg.Asg_parser.render learned.Ilp.Asg_learning.gpm);
+      close_out oc;
+      Fmt.pr "%% learned grammar written to %s@." path);
+    0
+
+let explain_cmd grammar sentence context =
+  let gpm = Asg.Asg_parser.parse (read_file grammar) in
+  let context = load_context context in
+  if Asg.Membership.accepts_in_context gpm ~context sentence then begin
+    (match Explain.Why.why gpm ~context sentence with
+    | Some m -> Fmt.pr "VALID, witness: %s@." (Asp.Solver.model_to_string m)
+    | None -> Fmt.pr "VALID@.");
+    0
+  end
+  else begin
+    Fmt.pr "INVALID: %s@."
+      (Explain.Why.why_not_to_string (Explain.Why.why_not gpm ~context sentence));
+    1
+  end
+
+let repl_cmd () =
+  Fmt.pr "agenp ASP repl — enter rules ending with '.', then:@.";
+  Fmt.pr "  :solve [n]   answer sets (up to n)@.";
+  Fmt.pr "  :optimal     optimal answer sets@.";
+  Fmt.pr "  :ground      show the ground program@.";
+  Fmt.pr "  :list        show the program@.";
+  Fmt.pr "  :clear       start over@.";
+  Fmt.pr "  :quit        leave@.";
+  let program = ref Asp.Program.empty in
+  let rec loop () =
+    Fmt.pr "> @?";
+    match In_channel.input_line stdin with
+    | None -> 0
+    | Some line -> (
+      let line = String.trim line in
+      match String.split_on_char ' ' line with
+      | [ "" ] -> loop ()
+      | ":quit" :: _ -> 0
+      | ":clear" :: _ ->
+        program := Asp.Program.empty;
+        loop ()
+      | ":list" :: _ ->
+        Fmt.pr "%a@." Asp.Program.pp !program;
+        loop ()
+      | ":ground" :: _ ->
+        (try
+           let gp = Asp.Grounder.ground !program in
+           List.iter
+             (Fmt.pr "%a@." Asp.Grounder.pp_ground_rule)
+             gp.Asp.Grounder.grules
+         with
+        | Asp.Grounder.Unsafe_rule r ->
+          Fmt.pr "unsafe rule: %a@." Asp.Rule.pp r);
+        loop ()
+      | ":solve" :: rest ->
+        let limit =
+          match rest with n :: _ -> int_of_string_opt n | [] -> None
+        in
+        (try
+           match Asp.Solver.solve ?limit !program with
+           | [] -> Fmt.pr "UNSATISFIABLE@."
+           | ms ->
+             List.iteri
+               (fun i m ->
+                 Fmt.pr "Answer %d: %s@." (i + 1) (Asp.Solver.model_to_string m))
+               ms
+         with
+        | Asp.Grounder.Unsafe_rule r ->
+          Fmt.pr "unsafe rule: %a@." Asp.Rule.pp r);
+        loop ()
+      | ":optimal" :: _ ->
+        (try
+           match Asp.Solver.solve_optimal !program with
+           | None -> Fmt.pr "UNSATISFIABLE@."
+           | Some (ms, cost) ->
+             List.iter
+               (fun m ->
+                 Fmt.pr "Optimal (cost %d): %s@." cost
+                   (Asp.Solver.model_to_string m))
+               ms
+         with
+        | Asp.Grounder.Unsafe_rule r ->
+          Fmt.pr "unsafe rule: %a@." Asp.Rule.pp r);
+        loop ()
+      | _ -> (
+        match Asp.Parser.parse_program line with
+        | p ->
+          program := Asp.Program.append !program p;
+          loop ()
+        | exception Asp.Parser.Parse_error msg ->
+          Fmt.pr "parse error: %s@." msg;
+          loop ()
+        | exception Asp.Lexer.Lex_error (msg, pos) ->
+          Fmt.pr "lex error at %d: %s@." pos msg;
+          loop ()))
+  in
+  loop ()
+
+(* ---- cmdliner wiring --------------------------------------------------- *)
+
+open Cmdliner
+
+let file_arg ~doc n name = Arg.(required & pos n (some file) None & info [] ~docv:name ~doc)
+
+let context_opt =
+  Arg.(value & opt (some file) None & info [ "context"; "c" ] ~docv:"FILE"
+         ~doc:"ASP program providing the context facts/rules.")
+
+let solve_t =
+  let models =
+    Arg.(value & opt (some int) None & info [ "models"; "n" ] ~docv:"N"
+           ~doc:"Stop after N answer sets.")
+  in
+  let optimal =
+    Arg.(value & flag & info [ "optimal" ] ~doc:"Report only optimal models \
+                                                 (weak-constraint cost).")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Compute the answer sets of an ASP program.")
+    Term.(const solve_cmd $ file_arg ~doc:"ASP program file." 0 "FILE" $ models $ optimal)
+
+let ground_t =
+  Cmd.v
+    (Cmd.info "ground" ~doc:"Print the ground instantiation of an ASP program.")
+    Term.(const ground_cmd $ file_arg ~doc:"ASP program file." 0 "FILE")
+
+let sentence_arg n =
+  Arg.(required & pos n (some string) None & info [] ~docv:"SENTENCE"
+         ~doc:"Policy sentence (tokens separated by spaces).")
+
+let check_t =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check membership of a sentence in an ASG's language.")
+    Term.(const check_cmd $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
+          $ sentence_arg 1 $ context_opt)
+
+let generate_t =
+  let depth =
+    Arg.(value & opt int 8 & info [ "depth"; "d" ] ~docv:"N"
+           ~doc:"Maximum derivation depth.")
+  in
+  let ranked =
+    Arg.(value & flag & info [ "ranked" ] ~doc:"Rank sentences by \
+                                                weak-constraint cost.")
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate the valid policies of an ASG (optionally in a context).")
+    Term.(const generate_cmd $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
+          $ context_opt $ depth $ ranked)
+
+let learn_t =
+  let save =
+    Arg.(value & opt (some string) None & info [ "save"; "o" ] ~docv:"FILE"
+           ~doc:"Write the learned grammar (ASG syntax) to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "learn"
+       ~doc:"Learn ASG annotations from context-dependent examples.")
+    Term.(const learn_cmd $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
+          $ file_arg ~doc:"Examples file (+/- sentence | context)." 1 "EXAMPLES"
+          $ file_arg ~doc:"Hypothesis-space file (prods | rule)." 2 "SPACE"
+          $ save)
+
+let repl_t =
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive ASP session (rules, :solve, :optimal).")
+    Term.(const repl_cmd $ const ())
+
+let explain_t =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain why a sentence is (in)valid under a context.")
+    Term.(const explain_cmd $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
+          $ sentence_arg 1 $ context_opt)
+
+let () =
+  let info =
+    Cmd.info "agenp" ~version:"1.0.0"
+      ~doc:"Generative policies as answer set grammars: solve, check, \
+            generate, learn, explain."
+  in
+  exit
+    (Cmd.eval' (Cmd.group info
+          [ solve_t; ground_t; check_t; generate_t; learn_t; explain_t; repl_t ]))

@@ -1,0 +1,1 @@
+examples/cav_scenario.ml: Asp Explain Fmt Ilp List Workloads

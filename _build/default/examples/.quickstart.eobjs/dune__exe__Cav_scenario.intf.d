@@ -1,0 +1,1 @@
+examples/cav_scenario.mli:

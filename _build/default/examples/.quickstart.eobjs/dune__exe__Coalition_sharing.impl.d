@@ -1,0 +1,1 @@
+examples/coalition_sharing.ml: Agenp Asp Fmt Ilp List Workloads

@@ -1,0 +1,1 @@
+examples/coalition_sharing.mli:

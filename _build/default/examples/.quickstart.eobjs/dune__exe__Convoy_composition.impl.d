@@ -1,0 +1,1 @@
+examples/convoy_composition.ml: Asg Explain Fmt Ilp List Workloads

@@ -1,0 +1,1 @@
+examples/convoy_composition.mli:

@@ -1,0 +1,1 @@
+examples/intent_policies.ml: Asg Asp Explain Fmt Intent List

@@ -1,0 +1,1 @@
+examples/intent_policies.mli:

@@ -1,0 +1,1 @@
+examples/quality_audit.ml: Fmt Ilp List Policy String Workloads

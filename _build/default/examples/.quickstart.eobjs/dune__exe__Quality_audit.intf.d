@@ -1,0 +1,1 @@
+examples/quality_audit.mli:

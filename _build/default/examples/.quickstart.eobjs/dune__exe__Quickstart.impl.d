@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asg Asp Fmt Ilp List

@@ -1,0 +1,1 @@
+examples/resupply_mission.ml: Asg Fmt Ilp List Workloads

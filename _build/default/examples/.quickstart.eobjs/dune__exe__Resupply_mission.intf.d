@@ -1,0 +1,1 @@
+examples/resupply_mission.mli:

@@ -1,0 +1,1 @@
+examples/xacml_learning.ml: Fmt Ilp List Policy Workloads

@@ -1,0 +1,1 @@
+examples/xacml_learning.mli:

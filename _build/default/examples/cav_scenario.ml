@@ -1,0 +1,70 @@
+(* Connected-and-autonomous-vehicle scenario (paper Section IV-A).
+
+   A CAV learns, from observed accept/reject decisions, a generative
+   policy model that decides whether a driving-task request should be
+   accepted — including level-of-autonomy thresholds — and then explains
+   its decisions (why-not and counterfactual, Section V-B).
+
+   Run with: dune exec examples/cav_scenario.exe *)
+
+let () =
+  let space = Ilp.Hypothesis_space.generate (Workloads.Cav.modes ()) in
+  let train = Workloads.Cav.sample ~seed:42 80 in
+  let examples = Workloads.Cav.examples_of train in
+  Fmt.pr "Training on %d scenarios (%d examples), space of %d rules...@."
+    (List.length train) (List.length examples)
+    (Ilp.Hypothesis_space.size space);
+  match Ilp.Asg_learning.learn ~gpm:(Workloads.Cav.gpm ()) ~space ~examples () with
+  | None -> Fmt.pr "learning failed@."
+  | Some learned ->
+    Fmt.pr "Learned policy model:@.";
+    List.iter (Fmt.pr "  %s@.") (Ilp.Asg_learning.hypothesis_text learned);
+    let g = learned.Ilp.Asg_learning.gpm in
+
+    (* held-out evaluation *)
+    let test = Workloads.Cav.sample ~seed:7 300 in
+    Fmt.pr "Held-out decision accuracy: %.3f@."
+      (Workloads.Cav.gpm_accuracy g test);
+
+    (* decide a concrete request *)
+    let s =
+      { Workloads.Cav.task = "overtake"; vehicle_loa = 5; region_loa = 2;
+        weather = "snow"; time = "day" }
+    in
+    let ctx = Workloads.Cav.to_context s in
+    Fmt.pr "@.Request: overtake, vehicle LOA 5, snow, day@.";
+    Fmt.pr "Decision: %s@."
+      (if Workloads.Cav.decide g s then "ACCEPT" else "REJECT");
+
+    (* why-not explanation *)
+    (match Explain.Why.why_not g ~context:ctx "accept" with
+    | Explain.Why.Blocked blockers ->
+      Fmt.pr "Why not accept?@.";
+      List.iter
+        (fun b -> Fmt.pr "  %a@." Explain.Why.pp_blocker b)
+        blockers
+    | other -> Fmt.pr "  %s@." (Explain.Why.why_not_to_string other));
+
+    (* counterfactual: what would have to differ? *)
+    let facts = Asp.Program.facts ctx in
+    let alternatives (a : Asp.Atom.t) =
+      match a.Asp.Atom.pred with
+      | "weather" ->
+        List.filter_map
+          (fun w ->
+            let alt = Asp.Atom.make "weather" [ Asp.Term.const w ] in
+            if Asp.Atom.equal alt a then None else Some alt)
+          Workloads.Cav.weathers
+      | "task" ->
+        List.filter_map
+          (fun t ->
+            let alt = Asp.Atom.make "task" [ Asp.Term.const t ] in
+            if Asp.Atom.equal alt a then None else Some alt)
+          Workloads.Cav.tasks
+      | _ -> []
+    in
+    (match Explain.Counterfactual.find ~alternatives g ~facts "accept" with
+    | Some changes ->
+      Fmt.pr "Counterfactual: %s@."
+        (Explain.Counterfactual.to_sentence "accept" changes)
+    | None -> Fmt.pr "No counterfactual within the allowed changes.@.")

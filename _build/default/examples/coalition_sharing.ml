@@ -1,0 +1,91 @@
+(* Coalition policy sharing (paper Section III-A3, CASWiki).
+
+   Two autonomous managed systems run the full AGENP loop (Figure 2) on
+   CAV requests. AMS "alpha" operates long enough for its Policy
+   Adaptation Point to learn a policy model; AMS "bravo" is freshly
+   deployed. One gossip round through the shared policy repository
+   transfers alpha's learned rules to bravo — after bravo's Policy
+   Checking Point validates them against local evidence.
+
+   Run with: dune exec examples/coalition_sharing.exe *)
+
+let oracle context opt =
+  let facts = Asp.Program.facts context in
+  let find pred =
+    List.find_map
+      (fun (a : Asp.Atom.t) ->
+        if a.Asp.Atom.pred = pred then
+          match a.Asp.Atom.args with
+          | [ Asp.Term.Fun (v, []) ] -> Some (`S v)
+          | [ Asp.Term.Int v ] -> Some (`I v)
+          | _ -> None
+        else None)
+      facts
+  in
+  let s = function Some (`S v) -> v | _ -> "" in
+  let i = function Some (`I v) -> v | _ -> 0 in
+  let scenario =
+    { Workloads.Cav.task = s (find "task"); vehicle_loa = i (find "vehicle_loa");
+      region_loa = i (find "region_loa"); weather = s (find "weather");
+      time = s (find "time") }
+  in
+  let ok = Workloads.Cav.ground_truth scenario in
+  match opt with "accept" -> ok | _ -> not ok
+
+let spec : Agenp.Prep.pbms_spec =
+  {
+    Agenp.Prep.grammar_text =
+      {| start -> decision {
+           task_req(turn, 2). task_req(straight, 1).
+           task_req(overtake, 4). task_req(park, 3).
+           needed_loa(R) :- task(T), task_req(T, R).
+         }
+         decision -> "accept" { result(accept). } | "reject" { result(reject). } |};
+    global_constraints = [];
+  }
+
+let make name seed =
+  let space = Ilp.Hypothesis_space.generate (Workloads.Cav.modes ()) in
+  Agenp.Ams.create ~name ~seed ~spec ~space
+    { Agenp.Ams.options = [ "accept"; "reject" ]; oracle; audit_rate = 0.3 }
+
+let accuracy ams scenarios =
+  let correct =
+    List.length
+      (List.filter
+         (fun s ->
+           let d =
+             Agenp.Pdp.decide (Agenp.Ams.gpm ams)
+               ~context:(Workloads.Cav.to_context s)
+               ~options:[ "accept"; "reject" ]
+           in
+           (d.Agenp.Pdp.chosen = "accept") = Workloads.Cav.ground_truth s)
+         scenarios)
+  in
+  float_of_int correct /. float_of_int (List.length scenarios)
+
+let () =
+  let alpha = make "alpha" 1 in
+  let bravo = make "bravo" 2 in
+  (* alpha operates: the closed loop observes, adapts, regenerates *)
+  List.iter
+    (fun s -> ignore (Agenp.Ams.handle_request alpha (Workloads.Cav.to_context s)))
+    (Workloads.Cav.sample ~seed:100 40);
+  Fmt.pr "alpha: %d adaptations, compliance %.2f, %d learned rules@."
+    (Agenp.Ams.relearn_count alpha)
+    (Agenp.Ams.compliance_rate alpha)
+    (List.length (Agenp.Ams.hypothesis alpha));
+  (* bravo gathers a little local evidence (needed to vet shared rules) *)
+  List.iter
+    (fun s ->
+      Agenp.Ams.learn_from bravo ~context:(Workloads.Cav.to_context s) "accept"
+        ~valid:(Workloads.Cav.ground_truth s))
+    (Workloads.Cav.sample ~seed:300 10);
+  let fresh = Workloads.Cav.sample ~seed:400 100 in
+  Fmt.pr "bravo before sharing: accuracy %.2f@." (accuracy bravo fresh);
+  let coalition = Agenp.Coalition.create () in
+  Agenp.Coalition.add_member coalition alpha;
+  Agenp.Coalition.add_member coalition bravo;
+  let adopted = Agenp.Coalition.gossip_round coalition in
+  Fmt.pr "gossip round: %d rules adopted across the coalition@." adopted;
+  Fmt.pr "bravo after sharing:  accuracy %.2f@." (accuracy bravo fresh)

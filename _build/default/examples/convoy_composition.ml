@@ -1,0 +1,54 @@
+(* Convoy composition (paper Section IV-B): "how the convoy should be
+   made up (ratio of delivery vehicles ... to the number of escort
+   vehicles)".
+
+   Policies here are structured strings — convoy compositions — and the
+   grammar's recursive annotations count units through the parse tree.
+   The learner recovers ratio constraints relating counts to the threat
+   level; generation proposes deployable convoys; repair says what to
+   change about a rejected one.
+
+   Run with: dune exec examples/convoy_composition.exe *)
+
+let () =
+  let space = Ilp.Hypothesis_space.generate (Workloads.Convoy.modes ()) in
+  let train = Workloads.Convoy.sample ~seed:11 80 in
+  let examples = Workloads.Convoy.examples_of train in
+  Fmt.pr "Training on %d labelled convoys, %d candidate rules...@."
+    (List.length train)
+    (Ilp.Hypothesis_space.size space);
+  match Ilp.Asg_learning.learn ~gpm:(Workloads.Convoy.gpm ()) ~space ~examples () with
+  | None -> Fmt.pr "learning failed@."
+  | Some l ->
+    let g = l.Ilp.Asg_learning.gpm in
+    Fmt.pr "Learned composition policy:@.";
+    List.iter (Fmt.pr "  %s@.") (Ilp.Asg_learning.hypothesis_text l);
+    Fmt.pr "Accuracy over all %d situations: %.3f@.@."
+      (List.length (Workloads.Convoy.all_situations ()))
+      (Workloads.Convoy.gpm_accuracy g (Workloads.Convoy.all_situations ()));
+
+    (* generation: what convoys may roll out at each threat level? *)
+    List.iter
+      (fun threat ->
+        let convoys = Workloads.Convoy.deployable ~max_depth:6 g ~threat in
+        Fmt.pr "threat %d: %d deployable small convoys; e.g. %s@." threat
+          (List.length convoys)
+          (match convoys with c :: _ -> "\"" ^ c ^ "\"" | [] -> "(none)"))
+      [ 0; 2; 3 ];
+
+    (* repair: a convoy is rejected — what is the minimal fix? *)
+    Fmt.pr "@.Proposed convoy \"truck truck escort\" at threat 2:@.";
+    let ctx = Workloads.Convoy.context ~threat:2 in
+    if Asg.Membership.accepts_in_context g ~context:ctx "truck truck escort"
+    then Fmt.pr "  deployable as is@."
+    else begin
+      (match Explain.Why.why_not g ~context:ctx "truck truck escort" with
+      | Explain.Why.Blocked (b :: _) ->
+        Fmt.pr "  rejected: %a@." Explain.Why.pp_blocker b
+      | _ -> ());
+      match Explain.Repair.repair g ~context:ctx "truck truck escort" with
+      | Some r ->
+        Fmt.pr "  repair: %s@."
+          (Explain.Repair.to_sentence "truck truck escort" r)
+      | None -> Fmt.pr "  no small repair found@."
+    end

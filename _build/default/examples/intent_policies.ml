@@ -1,0 +1,51 @@
+(* Natural-language intents to generative policies (paper Section III-B).
+
+   An operator writes policy intents in controlled English; the compiler
+   produces the generative policy model (grammar + ASP annotations), which
+   then answers requests, ranks options by the stated preferences, and
+   explains itself.
+
+   Run with: dune exec examples/intent_policies.exe *)
+
+let intents =
+  "the options are accept or reject. \
+   never accept when weather is snow and task is overtake. \
+   never accept when vehicle_loa is below needed_loa. \
+   never accept when weather is fog and time is night. \
+   penalize reject by 1."
+
+let () =
+  Fmt.pr "Operator intents:@.  %s@.@." intents;
+  let gpm = Intent.compile intents in
+  Fmt.pr "Compiled ASG annotations:@.";
+  List.iter (Fmt.pr "  %s@.") (Intent.describe gpm);
+  let situations =
+    [
+      ("clear turn, capable vehicle",
+       "weather(clear). task(turn). vehicle_loa(4). needed_loa(2). time(day).");
+      ("snow overtake",
+       "weather(snow). task(overtake). vehicle_loa(5). needed_loa(4). time(day).");
+      ("under-capable vehicle",
+       "weather(clear). task(park). vehicle_loa(1). needed_loa(3). time(day).");
+      ("night fog",
+       "weather(fog). task(straight). vehicle_loa(5). needed_loa(1). time(night).");
+    ]
+  in
+  List.iter
+    (fun (label, ctx_text) ->
+      let context = Asp.Parser.parse_program ctx_text in
+      let ranked =
+        Asg.Language.ranked_sentences_in_context ~max_depth:4 gpm ~context
+      in
+      Fmt.pr "@.%s:@.  valid: %a@." label
+        Fmt.(list ~sep:(any ", ") (fun ppf (s, c) -> Fmt.pf ppf "%s[cost %d]" s c))
+        ranked;
+      (match Asg.Language.best_sentence gpm ~context with
+      | Some (best, _) -> Fmt.pr "  decision: %s@." best
+      | None -> Fmt.pr "  decision: none valid!@.");
+      if not (Asg.Membership.accepts_in_context gpm ~context "accept") then
+        match Explain.Why.why_not gpm ~context "accept" with
+        | Explain.Why.Blocked (b :: _) ->
+          Fmt.pr "  why not accept: %a@." Explain.Why.pp_blocker b
+        | _ -> ())
+    situations

@@ -1,0 +1,67 @@
+(* Quickstart: the core AGENP workflow in 60 lines.
+
+   1. Write a generative policy model as an answer set grammar (ASG):
+      a context-free grammar for the policy language, annotated with ASP.
+   2. Check which policies are valid in a context (membership/generation).
+   3. Learn the semantic constraints from context-dependent examples.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. An initial GPM: a device can "accept" or "reject" a task request.
+        The grammar fixes the syntax; annotations attach ASP meaning. *)
+  let gpm =
+    Asg.Asg_parser.parse
+      {| start -> decision
+         decision -> "accept" { result(accept). }
+                   | "reject" { result(reject). } |}
+  in
+
+  (* 2. Generation: with no learned constraints, every syntactically valid
+        policy is admissible in every context. *)
+  let ctx = Asp.Parser.parse_program "weather(snow)." in
+  Fmt.pr "Before learning, valid in snow: %a@."
+    Fmt.(list ~sep:(any ", ") string)
+    (Asg.Language.sentences_in_context ~max_depth:4 gpm ~context:ctx);
+
+  (* 3. Context-dependent examples: accepting is fine in sunshine but was
+        observed to be invalid in snow. *)
+  let examples =
+    [
+      Ilp.Example.positive_ctx "accept" "weather(sun).";
+      Ilp.Example.positive_ctx "reject" "weather(snow).";
+      Ilp.Example.negative_ctx "accept" "weather(snow).";
+    ]
+  in
+
+  (* 4. A hypothesis space from a mode bias: constraints over the decision
+        (child 1 of the start production) and the weather context. *)
+  let space =
+    Ilp.Hypothesis_space.generate
+      (Ilp.Mode.make ~target_prods:[ 0 ] ~heads:[ Ilp.Mode.Constraint ]
+         ~bodies:
+           [
+             Ilp.Mode.matom ~site:(Some 1) "result"
+               [ Ilp.Mode.Constants [ "accept"; "reject" ] ];
+             Ilp.Mode.matom "weather" [ Ilp.Mode.Constants [ "snow"; "sun" ] ];
+           ]
+         ~max_body:2 ())
+  in
+  Fmt.pr "Hypothesis space: %d candidate rules@."
+    (Ilp.Hypothesis_space.size space);
+
+  (* 5. Learn (the Figure-1 workflow): the minimal hypothesis consistent
+        with the examples. *)
+  match Ilp.Asg_learning.learn ~gpm ~space ~examples () with
+  | None -> Fmt.pr "no consistent hypothesis@."
+  | Some learned ->
+    Fmt.pr "Learned rules:@.";
+    List.iter (Fmt.pr "  %s@.") (Ilp.Asg_learning.hypothesis_text learned);
+    let g = learned.Ilp.Asg_learning.gpm in
+    Fmt.pr "After learning, valid in snow: %a@."
+      Fmt.(list ~sep:(any ", ") string)
+      (Asg.Language.sentences_in_context ~max_depth:4 g ~context:ctx);
+    Fmt.pr "After learning, valid in sun:  %a@."
+      Fmt.(list ~sep:(any ", ") string)
+      (Asg.Language.sentences_in_context ~max_depth:4 g
+         ~context:(Asp.Parser.parse_program "weather(sun)."))

@@ -1,0 +1,118 @@
+(* Logistical resupply (paper Section IV-B, DAIS-ITA scenario).
+
+   A coalition convoy planner learns route-selection policies from
+   after-action reviews across a campaign of missions. Accuracy improves
+   as missions accumulate ("the coalition learns from previous
+   experience"), and a mid-campaign risk-appetite shift shows policy
+   adaptation: the same learned threshold rule transfers because the
+   appetite is part of the context.
+
+   Run with: dune exec examples/resupply_mission.exe *)
+
+let () =
+  let space = Ilp.Hypothesis_space.generate (Workloads.Resupply.modes ()) in
+  Fmt.pr "Hypothesis space: %d rules@." (Ilp.Hypothesis_space.size space);
+  let campaign = Workloads.Resupply.campaign ~seed:21 ~n:30 ~shift_at:15 () in
+  let test = Workloads.Resupply.campaign ~seed:99 ~n:40 ~shift_at:20 () in
+  let seen = ref [] in
+  List.iteri
+    (fun i mission ->
+      seen := !seen @ [ mission ];
+      (* relearn after every 5 missions and report progress *)
+      if (i + 1) mod 5 = 0 then begin
+        let examples =
+          List.concat_map Workloads.Resupply.examples_of_mission !seen
+        in
+        match
+          Ilp.Asg_learning.learn ~gpm:(Workloads.Resupply.gpm ()) ~space
+            ~examples ()
+        with
+        | None -> Fmt.pr "mission %2d: learning failed@." (i + 1)
+        | Some learned ->
+          let acc =
+            Workloads.Resupply.gpm_accuracy learned.Ilp.Asg_learning.gpm test
+          in
+          Fmt.pr "mission %2d (%s appetite): %d examples, accuracy %.3f@."
+            (i + 1) mission.Workloads.Resupply.risk_appetite
+            (List.length examples) acc;
+          if i + 1 = 30 then begin
+            Fmt.pr "@.Final learned route policy:@.";
+            List.iter (Fmt.pr "  %s@.")
+              (Ilp.Asg_learning.hypothesis_text learned);
+            (* plan a concrete mission *)
+            let m =
+              { Workloads.Resupply.threat_north = 2; threat_south = 4;
+                threat_river = 0; weather = "storm"; time = "night";
+                risk_appetite = "high" }
+            in
+            Fmt.pr "@.Mission: threats N=2 S=4 R=0, storm, night, high appetite@.";
+            Fmt.pr "Valid routes: %a@."
+              Fmt.(list ~sep:(any ", ") string)
+              (Workloads.Resupply.options learned.Ilp.Asg_learning.gpm m);
+            (* learn the value function from after-action preferences and
+               rank the valid routes by it *)
+            let weak_space =
+              Ilp.Hypothesis_space.generate
+                (Ilp.Mode.make ~target_prods:[ 0 ]
+                   ~heads:
+                     [ Ilp.Mode.WeakHead (Ilp.Mode.VarOperand "t");
+                       Ilp.Mode.WeakHead (Ilp.Mode.IntOperand 2) ]
+                   ~bodies:
+                     [ Ilp.Mode.matom ~required:true ~site:(Some 1) "chosen"
+                         [ Ilp.Mode.Variable "rt" ];
+                       Ilp.Mode.matom ~required:true ~site:(Some 1) "chosen"
+                         [ Ilp.Mode.Constants Workloads.Resupply.routes ];
+                       Ilp.Mode.matom "threat"
+                         [ Ilp.Mode.Variable "rt"; Ilp.Mode.Variable "t" ];
+                       Ilp.Mode.matom "time"
+                         [ Ilp.Mode.Constants Workloads.Resupply.times ] ]
+                   ~max_body:2 ())
+            in
+            let orderings =
+              List.concat_map
+                (fun mission ->
+                  let ctx = Workloads.Resupply.to_context mission in
+                  let valid =
+                    List.filter
+                      (Workloads.Resupply.route_valid mission)
+                      Workloads.Resupply.routes
+                  in
+                  List.concat_map
+                    (fun r1 ->
+                      List.filter_map
+                        (fun r2 ->
+                          if
+                            r1 <> r2
+                            && Workloads.Resupply.route_cost mission r1
+                               < Workloads.Resupply.route_cost mission r2
+                          then Some (Ilp.Preference.prefer ~context:ctx r1 r2)
+                          else None)
+                        valid)
+                    valid)
+                !seen
+            in
+            (match
+               Ilp.Preference.learn ~gpm:(Workloads.Resupply.gpm ())
+                 ~space:weak_space ~orderings ()
+             with
+            | Some pref ->
+              Fmt.pr "@.Learned value function (%d orderings):@."
+                (List.length orderings);
+              List.iter
+                (fun (c : Ilp.Hypothesis_space.candidate) ->
+                  Fmt.pr "  %s@." (Asg.Annotation.rule_to_string c.rule))
+                pref.Ilp.Preference.hypothesis;
+              let full =
+                Ilp.Task.apply_hypothesis learned.Ilp.Asg_learning.gpm
+                  pref.Ilp.Preference.hypothesis
+              in
+              Fmt.pr "Routes ranked by learned cost: %a@."
+                Fmt.(
+                  list ~sep:(any ", ") (fun ppf (s, c) ->
+                      Fmt.pf ppf "%s[%d]" s c))
+                (Asg.Language.ranked_sentences_in_context ~max_depth:4 full
+                   ~context:(Workloads.Resupply.to_context m))
+            | None -> Fmt.pr "no value function learnable@.")
+          end
+      end)
+    campaign

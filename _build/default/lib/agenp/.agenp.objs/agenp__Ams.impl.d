@@ -1,0 +1,1 @@
+lib/agenp/ams.ml: Asp Context_repo Ilp List Logs Option Padap Pdp Pep Pip Prep Random Repository

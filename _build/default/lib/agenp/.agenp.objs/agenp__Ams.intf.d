@@ -1,0 +1,1 @@
+lib/agenp/ams.mli: Asg Asp Ilp Padap Pep Prep Repository

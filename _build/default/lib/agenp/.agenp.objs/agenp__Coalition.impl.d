@@ -1,0 +1,1 @@
+lib/agenp/coalition.ml: Ams Asg Ilp List Pcp

@@ -1,0 +1,1 @@
+lib/agenp/coalition.mli: Ams Ilp

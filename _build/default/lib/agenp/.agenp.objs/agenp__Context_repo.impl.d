@@ -1,0 +1,1 @@
+lib/agenp/context_repo.ml: Asp List

@@ -1,0 +1,1 @@
+lib/agenp/metrics.ml: Fmt Hashtbl List Option Pdp Pep String

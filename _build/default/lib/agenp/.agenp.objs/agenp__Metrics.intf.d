@@ -1,0 +1,1 @@
+lib/agenp/metrics.mli: Format Pep

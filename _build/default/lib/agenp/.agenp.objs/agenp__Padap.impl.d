@@ -1,0 +1,1 @@
+lib/agenp/padap.ml: Asg Fun Ilp List

@@ -1,0 +1,1 @@
+lib/agenp/padap.mli: Asg Ilp

@@ -1,0 +1,1 @@
+lib/agenp/pcp.ml: Asg Asp Fmt Ilp List

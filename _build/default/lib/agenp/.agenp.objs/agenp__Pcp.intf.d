@@ -1,0 +1,1 @@
+lib/agenp/pcp.mli: Asg Asp Format Ilp

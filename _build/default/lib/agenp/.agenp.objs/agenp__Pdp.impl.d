@@ -1,0 +1,1 @@
+lib/agenp/pdp.ml: Asg Asp List

@@ -1,0 +1,1 @@
+lib/agenp/pdp.mli: Asg Asp

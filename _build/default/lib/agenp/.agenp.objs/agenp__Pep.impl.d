@@ -1,0 +1,1 @@
+lib/agenp/pep.ml: Asp List Pdp

@@ -1,0 +1,1 @@
+lib/agenp/pep.mli: Asp Pdp

@@ -1,0 +1,1 @@
+lib/agenp/pip.ml: Asp List

@@ -1,0 +1,1 @@
+lib/agenp/pip.mli: Asp

@@ -1,0 +1,1 @@
+lib/agenp/prep.ml: Asg Asp List Repository

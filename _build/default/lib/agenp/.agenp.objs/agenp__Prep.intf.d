@@ -1,0 +1,1 @@
+lib/agenp/prep.mli: Asg Asp Repository

@@ -1,0 +1,1 @@
+lib/agenp/repository.ml: Asg List

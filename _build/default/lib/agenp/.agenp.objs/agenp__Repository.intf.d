@@ -1,0 +1,1 @@
+lib/agenp/repository.mli: Asg

@@ -1,0 +1,1 @@
+lib/agenp/simulation.ml: Ams Asp Coalition Fmt List Pep

@@ -1,0 +1,1 @@
+lib/agenp/simulation.mli: Ams Asp Coalition Format

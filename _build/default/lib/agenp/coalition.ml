@@ -1,0 +1,90 @@
+(** Multi-party policy sharing (Section III-A3 / CASWiki): AMSs publish
+    their learned policy models to a shared knowledge base; peers pull
+    them, validate them against local evidence at the PCP, and merge the
+    ones that do not degrade local behaviour. *)
+
+type shared_entry = {
+  author : string;
+  hypothesis : Ilp.Task.hypothesis;
+}
+
+type t = {
+  mutable members : Ams.t list;
+  mutable wiki : shared_entry list;  (** the shared policy repository *)
+}
+
+let create () = { members = []; wiki = [] }
+
+let add_member t ams = t.members <- t.members @ [ ams ]
+let members t = t.members
+let wiki_size t = List.length t.wiki
+
+(** Publish a member's current hypothesis to the shared repository. *)
+let share (t : t) (ams : Ams.t) =
+  let h = Ams.hypothesis ams in
+  if h <> [] then t.wiki <- { author = Ams.name ams; hypothesis = h } :: t.wiki
+
+(** Adoption gates: [`Pcp] validates each foreign rule against local
+    evidence at the Policy Checking Point (the framework's design);
+    [`Trust_all] installs everything — the naive baseline the Byzantine
+    experiments compare against. *)
+type gate = [ `Pcp | `Trust_all ]
+
+(** Pull shared knowledge into [ams]: every foreign hypothesis rule not
+    already present is considered; under the [`Pcp] gate the merged model
+    must introduce no new violation on local evidence to be installed.
+    Returns the number of rules adopted. *)
+let adopt ?(gate : gate = `Pcp) (t : t) (ams : Ams.t) : int =
+  let own = Ams.hypothesis ams in
+  let have (c : Ilp.Hypothesis_space.candidate) hs =
+    List.exists
+      (fun (c' : Ilp.Hypothesis_space.candidate) ->
+        c'.prod_id = c.prod_id && Asg.Annotation.equal_rule c'.rule c.rule)
+      hs
+  in
+  let foreign =
+    List.concat_map
+      (fun e ->
+        if e.author = Ams.name ams then [] else e.hypothesis)
+      t.wiki
+  in
+  let candidates = List.filter (fun c -> not (have c own)) foreign in
+  (* greedy adoption: add each candidate if the PCP accepts the merge *)
+  let validation = Ams.examples ams in
+  let adopted = ref 0 in
+  let current = ref own in
+  List.iter
+    (fun c ->
+      if not (have c !current) then begin
+        let merged = !current @ [ c ] in
+        let accepted =
+          match gate with
+          | `Trust_all -> true
+          | `Pcp ->
+            let local_gpm =
+              Ilp.Task.apply_hypothesis (Ams.base_gpm ams) !current
+            in
+            let merged_gpm =
+              Ilp.Task.apply_hypothesis (Ams.base_gpm ams) merged
+            in
+            Pcp.accept_shared ~local:local_gpm ~candidate:merged_gpm validation
+        in
+        if accepted then begin
+          current := merged;
+          incr adopted
+        end
+      end)
+    candidates;
+  if !adopted > 0 then Ams.install_hypothesis ams !current;
+  !adopted
+
+(** One gossip round: everyone shares, then everyone adopts. Returns the
+    total number of adopted rules. *)
+let gossip_round ?gate (t : t) : int =
+  List.iter (fun m -> share t m) t.members;
+  List.fold_left (fun acc m -> acc + adopt ?gate t m) 0 t.members
+
+(** Publish an arbitrary hypothesis under a member name — used to model a
+    compromised or faulty coalition member. *)
+let publish_raw (t : t) ~author (hypothesis : Ilp.Task.hypothesis) =
+  t.wiki <- { author; hypothesis } :: t.wiki

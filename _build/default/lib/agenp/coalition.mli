@@ -1,0 +1,28 @@
+(** Multi-party policy sharing (Section III-A3 / CASWiki): a shared
+    repository of learned hypotheses; peers adopt what their PCP
+    validates. *)
+
+type shared_entry = { author : string; hypothesis : Ilp.Task.hypothesis }
+
+type t
+
+val create : unit -> t
+val add_member : t -> Ams.t -> unit
+val members : t -> Ams.t list
+val wiki_size : t -> int
+
+(** Publish a member's current hypothesis. *)
+val share : t -> Ams.t -> unit
+
+(** [`Pcp] validates foreign rules against local evidence; [`Trust_all]
+    installs everything (the Byzantine baseline). *)
+type gate = [ `Pcp | `Trust_all ]
+
+(** Pull foreign rules into a member; returns the number adopted. *)
+val adopt : ?gate:gate -> t -> Ams.t -> int
+
+(** Everyone shares, then everyone adopts. *)
+val gossip_round : ?gate:gate -> t -> int
+
+(** Publish an arbitrary hypothesis (models a compromised member). *)
+val publish_raw : t -> author:string -> Ilp.Task.hypothesis -> unit

@@ -1,0 +1,36 @@
+(** The context repository of Figure 2: the AMS's view of its operating
+    context, merged from local observations and the Policy Information
+    Point's external facts, with history retained for adaptation
+    decisions. *)
+
+type t = {
+  mutable current : Asp.Program.t;
+  mutable history : Asp.Program.t list;  (** newest first *)
+  mutable capacity : int;
+}
+
+let create ?(capacity = 256) () =
+  { current = Asp.Program.empty; history = []; capacity }
+
+let current t = t.current
+
+let update t ctx =
+  t.history <- t.current :: t.history;
+  if List.length t.history > t.capacity then
+    t.history <-
+      List.filteri (fun i _ -> i < t.capacity) t.history;
+  t.current <- ctx
+
+(** Merge external facts (from the PIP) into the current context. *)
+let merge_external t (facts : Asp.Program.t) =
+  t.current <- Asp.Program.append t.current facts
+
+let history t = t.history
+
+(** Has the context changed between the last two snapshots? Triggers
+    PAdaP re-evaluation. *)
+let changed t =
+  match t.history with
+  | [] -> false
+  | prev :: _ ->
+    Asp.Program.to_string prev <> Asp.Program.to_string t.current

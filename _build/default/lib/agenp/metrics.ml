@@ -1,0 +1,52 @@
+(** Operational metrics over the PEP's monitoring log: the numbers an
+    operator dashboard would show for a running AMS. *)
+
+type summary = {
+  requests : int;
+  compliance : float;
+  fallback_rate : float;  (** decisions where no option was valid *)
+  decision_mix : (string * int) list;  (** per chosen option *)
+  recent_compliance : float;  (** over the last [window] records *)
+}
+
+let summarize ?(window = 20) (pep : Pep.t) : summary =
+  let log = Pep.log pep in
+  let n = List.length log in
+  let count p = List.length (List.filter p log) in
+  let compliance =
+    if n = 0 then 1.0
+    else float_of_int (count (fun r -> r.Pep.compliant)) /. float_of_int n
+  in
+  let fallback_rate =
+    if n = 0 then 0.0
+    else
+      float_of_int
+        (count (fun r -> r.Pep.decision.Pdp.fallback_used))
+      /. float_of_int n
+  in
+  let mix = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Pep.record) ->
+      let k = r.Pep.decision.Pdp.chosen in
+      Hashtbl.replace mix k (1 + Option.value ~default:0 (Hashtbl.find_opt mix k)))
+    log;
+  let decision_mix =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) mix []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let recent = List.filteri (fun i _ -> i < window) log in
+  let recent_compliance =
+    match recent with
+    | [] -> 1.0
+    | _ ->
+      float_of_int (List.length (List.filter (fun r -> r.Pep.compliant) recent))
+      /. float_of_int (List.length recent)
+  in
+  { requests = n; compliance; fallback_rate; decision_mix; recent_compliance }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "requests %d | compliance %.2f (recent %.2f) | fallback %.2f | mix %a"
+    s.requests s.compliance s.recent_compliance s.fallback_rate
+    Fmt.(list ~sep:(any ", ") (fun ppf (k, v) -> Fmt.pf ppf "%s:%d" k v))
+    s.decision_mix

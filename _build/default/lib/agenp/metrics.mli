@@ -1,0 +1,12 @@
+(** Operational metrics over the PEP's monitoring log. *)
+
+type summary = {
+  requests : int;
+  compliance : float;
+  fallback_rate : float;  (** decisions where no option was valid *)
+  decision_mix : (string * int) list;
+  recent_compliance : float;
+}
+
+val summarize : ?window:int -> Pep.t -> summary
+val pp : Format.formatter -> summary -> unit

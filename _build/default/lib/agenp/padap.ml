@@ -1,0 +1,120 @@
+(** The Policy Adaptation Point of Figure 2: monitors the effects of
+    decisions, accumulates evidence, and relearns the generative policy
+    model (via the ASG learner) when the system stops meeting its goals —
+    a violation-rate trigger — or when the context shifts. *)
+
+type config = {
+  space : Ilp.Hypothesis_space.t;
+  relearn_threshold : float;
+      (** violation rate over the window that triggers relearning *)
+  window : int;  (** number of recent observations considered *)
+  memory : int;  (** maximum retained examples (sliding window) *)
+  example_weight : int option;
+      (** weight given to observation examples; [Some w] tolerates noise *)
+}
+
+let default_config space =
+  {
+    space;
+    relearn_threshold = 0.2;
+    window = 20;
+    memory = 400;
+    example_weight = Some 1;
+  }
+
+type t = {
+  config : config;
+  gpm0 : Asg.Gpm.t;  (** the PReP-refined initial model *)
+  mutable hypothesis : Ilp.Task.hypothesis;
+  mutable examples : Ilp.Example.t list;  (** newest first *)
+  mutable recent_violations : bool list;  (** newest first, window-capped *)
+  mutable relearn_count : int;
+  mutable context_changed : bool;
+      (** external signal: the operating context has shifted *)
+}
+
+let create config gpm0 =
+  {
+    config;
+    gpm0;
+    hypothesis = [];
+    examples = [];
+    recent_violations = [];
+    relearn_count = 0;
+    context_changed = false;
+  }
+
+(** The current learned GPM. *)
+let gpm (t : t) : Asg.Gpm.t = Ilp.Task.apply_hypothesis t.gpm0 t.hypothesis
+
+let examples t = t.examples
+let relearn_count t = t.relearn_count
+
+let add_example (t : t) (e : Ilp.Example.t) =
+  t.examples <- e :: t.examples;
+  if List.length t.examples > t.config.memory then
+    t.examples <- List.filteri (fun i _ -> i < t.config.memory) t.examples
+
+(** Record whether the last decision violated the environment's ground
+    truth (as observed by monitoring). *)
+let record_violation (t : t) (violated : bool) =
+  t.recent_violations <- violated :: t.recent_violations;
+  if List.length t.recent_violations > t.config.window then
+    t.recent_violations <-
+      List.filteri (fun i _ -> i < t.config.window) t.recent_violations
+
+let violation_rate (t : t) =
+  match t.recent_violations with
+  | [] -> 0.0
+  | vs ->
+    float_of_int (List.length (List.filter Fun.id vs))
+    /. float_of_int (List.length vs)
+
+(** Unconditional relearning from the accumulated evidence. Keeps the old
+    hypothesis when the task has become unsolvable. *)
+let relearn (t : t) : [ `Updated | `Unchanged | `Failed ] =
+  let task =
+    Ilp.Task.make ~gpm:t.gpm0 ~space:t.config.space
+      ~examples:(List.rev t.examples)
+  in
+  match Ilp.Learner.learn task with
+  | None -> `Failed
+  | Some outcome ->
+    t.relearn_count <- t.relearn_count + 1;
+    let same =
+      List.length outcome.Ilp.Learner.hypothesis = List.length t.hypothesis
+      && List.for_all2
+           (fun (a : Ilp.Hypothesis_space.candidate)
+                (b : Ilp.Hypothesis_space.candidate) ->
+             a.prod_id = b.prod_id
+             && Asg.Annotation.equal_rule a.rule b.rule)
+           outcome.Ilp.Learner.hypothesis t.hypothesis
+    in
+    t.hypothesis <- outcome.Ilp.Learner.hypothesis;
+    t.recent_violations <- [];
+    if same then `Unchanged else `Updated
+
+(** Signal a context shift (from the PIP or an operator): the next
+    [maybe_adapt] relearns regardless of the violation rate — the paper's
+    second adaptation trigger. *)
+let signal_context_change (t : t) = t.context_changed <- true
+
+(** Adapt if the monitored violation rate crosses the threshold (and
+    there is enough evidence to learn from), or if a context change was
+    signalled. *)
+let maybe_adapt (t : t) : [ `Updated | `Unchanged | `Failed | `Not_triggered ] =
+  let violation_trigger =
+    List.length t.recent_violations >= t.config.window
+    && violation_rate t >= t.config.relearn_threshold
+  in
+  if (violation_trigger || t.context_changed) && t.examples <> [] then begin
+    t.context_changed <- false;
+    (relearn t :> [ `Updated | `Unchanged | `Failed | `Not_triggered ])
+  end
+  else `Not_triggered
+
+(** Install an externally produced hypothesis (used by coalition policy
+    sharing after PCP validation). *)
+let install (t : t) (h : Ilp.Task.hypothesis) = t.hypothesis <- h
+
+let hypothesis t = t.hypothesis

@@ -1,0 +1,50 @@
+(** The Policy Adaptation Point (Figure 2): accumulates monitored
+    evidence and relearns the generative policy model when violations
+    cross a threshold or the context shifts. *)
+
+type config = {
+  space : Ilp.Hypothesis_space.t;
+  relearn_threshold : float;
+      (** violation rate over the window that triggers relearning *)
+  window : int;  (** recent observations considered *)
+  memory : int;  (** maximum retained examples (sliding window) *)
+  example_weight : int option;
+      (** weight of observation examples; [Some w] tolerates noise *)
+}
+
+val default_config : Ilp.Hypothesis_space.t -> config
+
+type t = {
+  config : config;
+  gpm0 : Asg.Gpm.t;  (** the PReP-refined initial model *)
+  mutable hypothesis : Ilp.Task.hypothesis;
+  mutable examples : Ilp.Example.t list;
+  mutable recent_violations : bool list;
+  mutable relearn_count : int;
+  mutable context_changed : bool;
+}
+
+val create : config -> Asg.Gpm.t -> t
+
+(** The current learned GPM (initial model + hypothesis). *)
+val gpm : t -> Asg.Gpm.t
+
+val examples : t -> Ilp.Example.t list
+val relearn_count : t -> int
+val add_example : t -> Ilp.Example.t -> unit
+val record_violation : t -> bool -> unit
+val violation_rate : t -> float
+
+(** Unconditional relearning; keeps the old hypothesis on failure. *)
+val relearn : t -> [ `Updated | `Unchanged | `Failed ]
+
+(** Signal a context shift: the next [maybe_adapt] relearns regardless of
+    the violation rate. *)
+val signal_context_change : t -> unit
+
+val maybe_adapt : t -> [ `Updated | `Unchanged | `Failed | `Not_triggered ]
+
+(** Install an externally produced hypothesis (coalition sharing). *)
+val install : t -> Ilp.Task.hypothesis -> unit
+
+val hypothesis : t -> Ilp.Task.hypothesis

@@ -1,0 +1,82 @@
+(** The Policy Checking Point of Figure 2: quality assessment and
+    violation detection for generated policies — whether produced locally
+    by the PReP or received from other AMSs in the coalition. *)
+
+type violation = {
+  example : Ilp.Example.t;  (** the evidence the policy set contradicts *)
+}
+
+type quality = {
+  completeness : float;
+      (** fraction of probe contexts with at least one valid policy *)
+  relevance : float;
+      (** fraction of policy options valid in at least one probe context *)
+  minimality : bool;
+      (** no hypothesis rule is redundant w.r.t. the validation examples *)
+  consistent : bool;  (** no probe context where the language is empty *)
+}
+
+(** Violation detection: validation examples the GPM fails to cover
+    (negative examples accepted = policies that should not be generated;
+    positive examples rejected = required policies missing). *)
+let detect_violations (gpm : Asg.Gpm.t) (validation : Ilp.Example.t list) :
+    violation list =
+  List.filter_map
+    (fun e ->
+      if Ilp.Task.covers gpm e then None else Some { example = e })
+    validation
+
+let violation_rate gpm validation =
+  match validation with
+  | [] -> 0.0
+  | _ ->
+    float_of_int (List.length (detect_violations gpm validation))
+    /. float_of_int (List.length validation)
+
+(** Quality assessment over probe contexts (Section V-A metrics, recast
+    for generative policy models). *)
+let assess (gpm : Asg.Gpm.t) ~(contexts : Asp.Program.t list)
+    ~(options : string list) ~(hypothesis : Ilp.Task.hypothesis)
+    ~(task : Ilp.Task.t option) : quality =
+  let valid ctx opt = Asg.Membership.accepts_in_context gpm ~context:ctx opt in
+  let n_ctx = max 1 (List.length contexts) in
+  let covered =
+    List.length
+      (List.filter (fun ctx -> List.exists (valid ctx) options) contexts)
+  in
+  let completeness = float_of_int covered /. float_of_int n_ctx in
+  let n_opt = max 1 (List.length options) in
+  let used =
+    List.length
+      (List.filter
+         (fun opt -> List.exists (fun ctx -> valid ctx opt) contexts)
+         options)
+  in
+  let relevance = float_of_int used /. float_of_int n_opt in
+  let minimality =
+    match task with
+    | None -> true
+    | Some task ->
+      (* every rule is necessary: dropping any breaks some example *)
+      List.for_all
+        (fun (c : Ilp.Hypothesis_space.candidate) ->
+          let without = List.filter (fun c' -> c' != c) hypothesis in
+          not (Ilp.Task.is_solution task without))
+        hypothesis
+  in
+  { completeness; relevance; minimality; consistent = covered = n_ctx }
+
+(** Gate for adopting a policy model shared by another AMS: the candidate
+    may not introduce {e any new} violation on local evidence — every
+    example it fails must already be failed by the local model. A mere
+    rate comparison would let harmful rules through whenever the local
+    evidence happens not to witness them. *)
+let accept_shared ~(local : Asg.Gpm.t) ~(candidate : Asg.Gpm.t)
+    (validation : Ilp.Example.t list) : bool =
+  List.for_all
+    (fun e -> Ilp.Task.covers candidate e || not (Ilp.Task.covers local e))
+    validation
+
+let pp_quality ppf q =
+  Fmt.pf ppf "completeness %.2f | relevance %.2f | minimal %b | consistent %b"
+    q.completeness q.relevance q.minimality q.consistent

@@ -1,0 +1,33 @@
+(** The Policy Checking Point (Figure 2): quality assessment and
+    violation detection for generated or shared policy models. *)
+
+type violation = { example : Ilp.Example.t }
+
+type quality = {
+  completeness : float;
+  relevance : float;
+  minimality : bool;
+  consistent : bool;
+}
+
+(** Validation examples the GPM fails to cover. *)
+val detect_violations : Asg.Gpm.t -> Ilp.Example.t list -> violation list
+
+val violation_rate : Asg.Gpm.t -> Ilp.Example.t list -> float
+
+(** Section V-A metrics recast for generative models, over probe
+    contexts. *)
+val assess :
+  Asg.Gpm.t ->
+  contexts:Asp.Program.t list ->
+  options:string list ->
+  hypothesis:Ilp.Task.hypothesis ->
+  task:Ilp.Task.t option ->
+  quality
+
+(** Adoption gate: the candidate must introduce no new violation on local
+    evidence. *)
+val accept_shared :
+  local:Asg.Gpm.t -> candidate:Asg.Gpm.t -> Ilp.Example.t list -> bool
+
+val pp_quality : Format.formatter -> quality -> unit

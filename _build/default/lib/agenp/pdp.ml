@@ -1,0 +1,25 @@
+(** The Policy Decision Point: answers requests by consulting the policies
+    the generative model admits in the current context. Options are tried
+    in preference order; the first valid one is the decision. A fallback
+    (the last option) applies when the model admits nothing — and the
+    event is flagged so the PAdaP can react to the coverage gap. *)
+
+type decision = {
+  chosen : string;
+  valid_options : string list;
+  fallback_used : bool;
+}
+
+let decide (gpm : Asg.Gpm.t) ~(context : Asp.Program.t)
+    ~(options : string list) : decision =
+  let valid_options =
+    List.filter
+      (fun opt -> Asg.Membership.accepts_in_context gpm ~context opt)
+      options
+  in
+  match valid_options with
+  | chosen :: _ -> { chosen; valid_options; fallback_used = false }
+  | [] -> (
+    match List.rev options with
+    | fallback :: _ -> { chosen = fallback; valid_options; fallback_used = true }
+    | [] -> invalid_arg "Pdp.decide: no options")

@@ -1,0 +1,11 @@
+(** The Policy Decision Point: the first preference-ordered option valid
+    in the context; the last option as a flagged fail-safe. *)
+
+type decision = {
+  chosen : string;
+  valid_options : string list;
+  fallback_used : bool;
+}
+
+val decide :
+  Asg.Gpm.t -> context:Asp.Program.t -> options:string list -> decision

@@ -1,0 +1,37 @@
+(** The Policy Enforcement Point: carries out PDP decisions on the managed
+    resources and records what happened, producing the monitoring stream
+    the PAdaP learns from. The managed resource is abstracted as an
+    [enforce] closure returning whether the action succeeded / complied. *)
+
+type record = {
+  tick : int;
+  context : Asp.Program.t;
+  decision : Pdp.decision;
+  compliant : bool;  (** monitoring verdict from the environment *)
+}
+
+type t = {
+  mutable log : record list;  (** newest first *)
+  mutable tick : int;
+}
+
+let create () = { log = []; tick = 0 }
+
+(** Enforce a decision; [verdict] is the environment's compliance check
+    (ground truth oracle in simulations, human/monitoring in the field). *)
+let enforce (t : t) ~(context : Asp.Program.t) (decision : Pdp.decision)
+    ~(verdict : bool) : record =
+  t.tick <- t.tick + 1;
+  let r = { tick = t.tick; context; decision; compliant = verdict } in
+  t.log <- r :: t.log;
+  r
+
+let log t = t.log
+let tick t = t.tick
+
+let compliance_rate t =
+  match t.log with
+  | [] -> 1.0
+  | log ->
+    float_of_int (List.length (List.filter (fun r -> r.compliant) log))
+    /. float_of_int (List.length log)

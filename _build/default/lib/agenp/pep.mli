@@ -1,0 +1,17 @@
+(** The Policy Enforcement Point: carries out decisions and records the
+    monitoring stream the PAdaP learns from. *)
+
+type record = {
+  tick : int;
+  context : Asp.Program.t;
+  decision : Pdp.decision;
+  compliant : bool;  (** monitoring verdict *)
+}
+
+type t
+
+val create : unit -> t
+val enforce : t -> context:Asp.Program.t -> Pdp.decision -> verdict:bool -> record
+val log : t -> record list
+val tick : t -> int
+val compliance_rate : t -> float

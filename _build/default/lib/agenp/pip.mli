@@ -1,0 +1,9 @@
+(** The Policy Information Point: pluggable external-context sources
+    merged into the local context (Section III-A3). *)
+
+type t
+
+val create : unit -> t
+val register : t -> string -> (unit -> Asp.Program.t) -> unit
+val poll_all : t -> Asp.Program.t
+val source_names : t -> string list

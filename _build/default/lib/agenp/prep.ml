@@ -1,0 +1,32 @@
+(** The Policy Refinement Point of Figure 2: takes the policy-space
+    characterization provided by the policy-based management system (the
+    CFG of the policy language, plus high-level constraints) and produces
+    the ASG the AMS operates with; on demand it generates the concrete
+    policies valid in the current context into the policy repository. *)
+
+(** The PBMS-provided characterization of the policy space. *)
+type pbms_spec = {
+  grammar_text : string;  (** ASG source: the CFG with seed annotations *)
+  global_constraints : string list;
+      (** high-level ASP constraints every generated policy must respect;
+          attached to every production (they travel with the grammar) *)
+}
+
+(** Refine the PBMS spec into the initial generative policy model:
+    parse, drop useless productions, attach the global constraints. *)
+let refine (spec : pbms_spec) : Asg.Gpm.t =
+  let gpm = Asg.Gpm.clean (Asg.Asg_parser.parse spec.grammar_text) in
+  let constraints =
+    List.map Asg.Annotation.parse_rule_string spec.global_constraints
+  in
+  List.fold_left
+    (fun gpm rule -> Asg.Gpm.add_annotation gpm 0 [ rule ])
+    gpm constraints
+
+(** Generate the policies valid in [context] and store them in the
+    repository. Returns the stored version. *)
+let generate_policies ?(max_depth = 8) (gpm : Asg.Gpm.t)
+    ~(context : Asp.Program.t) (repo : Repository.t) : int * string list =
+  let policies = Asg.Language.sentences_in_context ~max_depth gpm ~context in
+  let version = Repository.store_policies repo policies in
+  (version, policies)

@@ -1,0 +1,20 @@
+(** The Policy Refinement Point (Figure 2): refines the PBMS's policy
+    space characterization into the initial ASG and generates concrete
+    policies into the repository. *)
+
+type pbms_spec = {
+  grammar_text : string;  (** ASG source: the CFG with seed annotations *)
+  global_constraints : string list;
+      (** high-level ASP constraints attached to the start production *)
+}
+
+val refine : pbms_spec -> Asg.Gpm.t
+
+(** Generate the policies valid in the context and store them; returns
+    the stored version and the policies. *)
+val generate_policies :
+  ?max_depth:int ->
+  Asg.Gpm.t ->
+  context:Asp.Program.t ->
+  Repository.t ->
+  int * string list

@@ -1,0 +1,35 @@
+(** The policy repository and representations repository of Figure 2:
+    generated policies (strings of the GPM's language) and learned GPM
+    representations, versioned. *)
+
+type entry = { version : int; policies : string list }
+
+type t = {
+  mutable versions : entry list;  (** newest first *)
+  mutable representations : (int * Asg.Gpm.t) list;  (** learned GPMs *)
+}
+
+let create () = { versions = []; representations = [] }
+
+let store_policies t policies =
+  let version =
+    match t.versions with [] -> 1 | e :: _ -> e.version + 1
+  in
+  t.versions <- { version; policies } :: t.versions;
+  version
+
+let latest_policies t =
+  match t.versions with [] -> [] | e :: _ -> e.policies
+
+let store_representation t gpm =
+  let version =
+    match t.representations with [] -> 1 | (v, _) :: _ -> v + 1
+  in
+  t.representations <- (version, gpm) :: t.representations;
+  version
+
+let latest_representation t =
+  match t.representations with [] -> None | (_, g) :: _ -> Some g
+
+let version_count t = List.length t.versions
+let representation_count t = List.length t.representations

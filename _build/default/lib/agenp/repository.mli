@@ -1,0 +1,12 @@
+(** The policy repository and representations repository (Figure 2):
+    versioned generated policies and learned GPMs. *)
+
+type t
+
+val create : unit -> t
+val store_policies : t -> string list -> int
+val latest_policies : t -> string list
+val store_representation : t -> Asg.Gpm.t -> int
+val latest_representation : t -> Asg.Gpm.t option
+val version_count : t -> int
+val representation_count : t -> int

@@ -1,0 +1,36 @@
+(** A discrete-time coalition simulation: request streams into each
+    member's closed loop, with periodic gossip through the shared policy
+    repository. *)
+
+type config = {
+  ticks : int;
+  requests_per_tick : int;
+  gossip_every : int option;  (** gossip cadence in ticks; [None] = never *)
+  gate : Coalition.gate;
+}
+
+val default_config : config
+
+type tick_stats = {
+  tick : int;
+  compliance : float;
+  adaptations : int;  (** cumulative across members *)
+  adopted : int;  (** rules adopted at this tick's gossip *)
+}
+
+type result = {
+  timeline : tick_stats list;
+  coalition : Coalition.t;
+}
+
+(** [request_stream member tick index] supplies request contexts. *)
+val run :
+  config ->
+  Ams.t list ->
+  request_stream:(string -> int -> int -> Asp.Program.t) ->
+  result
+
+(** Mean compliance over the last [n] ticks. *)
+val recent_compliance : result -> int -> float
+
+val pp_tick : Format.formatter -> tick_stats -> unit

@@ -1,0 +1,1 @@
+lib/asg/annotation.ml: Asp Fmt List Printf String

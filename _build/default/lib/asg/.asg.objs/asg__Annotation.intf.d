@@ -1,0 +1,1 @@
+lib/asg/annotation.mli: Asp Format

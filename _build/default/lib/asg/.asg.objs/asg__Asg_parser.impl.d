@@ -1,0 +1,1 @@
+lib/asg/asg_parser.ml: Annotation Asp Buffer Gpm Grammar List Printf String

@@ -1,0 +1,1 @@
+lib/asg/asg_parser.mli: Gpm

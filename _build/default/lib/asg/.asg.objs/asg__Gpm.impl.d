@@ -1,0 +1,1 @@
+lib/asg/gpm.ml: Annotation Asp Fmt Grammar List

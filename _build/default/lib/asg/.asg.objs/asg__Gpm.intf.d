@@ -1,0 +1,1 @@
+lib/asg/gpm.mli: Annotation Asp Format Grammar

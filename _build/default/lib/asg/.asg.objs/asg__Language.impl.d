@@ -1,0 +1,1 @@
+lib/asg/language.ml: Asp Gpm Grammar Hashtbl Int List Membership Seq String Tree_program

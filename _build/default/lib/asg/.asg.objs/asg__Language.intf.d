@@ -1,0 +1,1 @@
+lib/asg/language.mli: Asp Gpm

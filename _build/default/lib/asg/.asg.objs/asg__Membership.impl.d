@@ -1,0 +1,1 @@
+lib/asg/membership.ml: Asp Gpm Grammar List String Tree_program

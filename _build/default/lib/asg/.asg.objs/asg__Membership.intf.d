@@ -1,0 +1,1 @@
+lib/asg/membership.mli: Asp Gpm Grammar

@@ -1,0 +1,1 @@
+lib/asg/tree_program.ml: Annotation Asp Gpm Grammar List

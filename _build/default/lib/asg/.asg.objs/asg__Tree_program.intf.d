@@ -1,0 +1,1 @@
+lib/asg/tree_program.mli: Asp Gpm Grammar

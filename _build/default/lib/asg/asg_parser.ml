@@ -1,0 +1,137 @@
+(** Textual syntax for answer set grammars.
+
+    {v
+      start -> policy { :- invalid@1. }
+      policy -> "permit" subject | "deny" subject { deny. }
+      subject -> "admin" | "user"
+    v}
+
+    Each alternative is one production; an optional brace block after an
+    alternative holds its annotated ASP program. Terminals are quoted
+    (multi-word terminals are split into one terminal per word);
+    identifiers are nonterminals. The start symbol is the left-hand side
+    of the first statement. *)
+
+exception Parse_error = Asp.Parser.Parse_error
+
+type raw_production = {
+  lhs : string;
+  rhs : Grammar.Symbol.t list;
+  annotation : Annotation.program;
+}
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let parse_annotation_block (st : Asp.Parser.state) : Annotation.program =
+  Asp.Parser.expect st Asp.Lexer.LBRACE;
+  let rec loop acc =
+    if Asp.Parser.peek st = Asp.Lexer.RBRACE then begin
+      Asp.Parser.advance st;
+      List.rev acc
+    end
+    else loop (Annotation.parse_rule st :: acc)
+  in
+  loop []
+
+(** Right-hand-side symbols end at [|], [{], EOF, or the start of the next
+    statement ([ident ->]). *)
+let rec parse_symbols (st : Asp.Parser.state) acc =
+  match Asp.Parser.peek st with
+  | Asp.Lexer.STRING s ->
+    Asp.Parser.advance st;
+    let terminals = List.map Grammar.Symbol.terminal (split_words s) in
+    parse_symbols st (List.rev_append terminals acc)
+  | Asp.Lexer.IDENT name when Asp.Parser.peek2 st <> Asp.Lexer.ARROW ->
+    Asp.Parser.advance st;
+    parse_symbols st (Grammar.Symbol.nonterminal name :: acc)
+  | _ -> List.rev acc
+
+let parse_alternative (st : Asp.Parser.state) lhs : raw_production =
+  let rhs = parse_symbols st [] in
+  let annotation =
+    if Asp.Parser.peek st = Asp.Lexer.LBRACE then parse_annotation_block st
+    else []
+  in
+  { lhs; rhs; annotation }
+
+let parse_statement (st : Asp.Parser.state) : raw_production list =
+  let lhs =
+    match Asp.Parser.peek st with
+    | Asp.Lexer.IDENT name ->
+      Asp.Parser.advance st;
+      name
+    | tok ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected a nonterminal but found %s"
+              (Asp.Lexer.token_to_string tok)))
+  in
+  Asp.Parser.expect st Asp.Lexer.ARROW;
+  let first = parse_alternative st lhs in
+  let rec loop acc =
+    if Asp.Parser.peek st = Asp.Lexer.PIPE then begin
+      Asp.Parser.advance st;
+      loop (parse_alternative st lhs :: acc)
+    end
+    else List.rev acc
+  in
+  loop [ first ]
+
+(** Parse an ASG from its textual form. *)
+let parse (input : string) : Gpm.t =
+  let st = Asp.Parser.make_state input in
+  let rec loop acc =
+    if Asp.Parser.peek st = Asp.Lexer.EOF then List.rev acc
+    else loop (List.rev_append (parse_statement st) acc)
+  in
+  let raw = loop [] in
+  match raw with
+  | [] -> raise (Parse_error "empty grammar")
+  | first :: _ ->
+    let cfg =
+      Grammar.Cfg.make ~start:first.lhs
+        (List.map (fun r -> (r.lhs, r.rhs)) raw)
+    in
+    let annotations =
+      List.concat
+        (List.mapi
+           (fun id r -> if r.annotation = [] then [] else [ (id, r.annotation) ])
+           raw)
+    in
+    Gpm.make ~annotations cfg
+
+(* -- Rendering ----------------------------------------------------------- *)
+
+(** Render a grammar back to its textual form; [parse (render g)] yields a
+    grammar with the same language and annotations (production ids are
+    re-assigned in order). The [shared] (context) rules are intentionally
+    not rendered: contexts are runtime inputs, not part of the model. *)
+let render (g : Gpm.t) : string =
+  let buf = Buffer.create 256 in
+  let cfg = Gpm.cfg g in
+  List.iter
+    (fun (p : Grammar.Production.t) ->
+      Buffer.add_string buf p.Grammar.Production.lhs;
+      Buffer.add_string buf " ->";
+      List.iter
+        (fun sym ->
+          Buffer.add_char buf ' ';
+          match sym with
+          | Grammar.Symbol.Terminal t ->
+            Buffer.add_string buf (Printf.sprintf "%S" t)
+          | Grammar.Symbol.Nonterminal n -> Buffer.add_string buf n)
+        p.Grammar.Production.rhs;
+      (match Gpm.annotation g p.Grammar.Production.id with
+      | [] -> ()
+      | rules ->
+        Buffer.add_string buf " { ";
+        List.iter
+          (fun r ->
+            Buffer.add_string buf (Annotation.rule_to_string r);
+            Buffer.add_char buf ' ')
+          rules;
+        Buffer.add_string buf "}");
+      Buffer.add_char buf '\n')
+    (Grammar.Cfg.productions cfg);
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Textual syntax for answer set grammars:
+
+    {v
+      start -> policy { :- invalid@1. }
+      policy -> "permit" subject | "deny" subject { deny. }
+      subject -> "admin" | "user"
+    v}
+
+    Terminals are quoted (multi-word terminals split per word); the brace
+    block after an alternative holds its annotated ASP program; the start
+    symbol is the first statement's left-hand side. *)
+
+exception Parse_error of string
+
+val parse : string -> Gpm.t
+
+(** Render a grammar back to its textual form; parsing the result yields
+    an equivalent grammar (shared context rules are not rendered). *)
+val render : Gpm.t -> string

@@ -1,0 +1,72 @@
+(** Answer set grammars (Definition 2 of the paper): a CFG whose production
+    rules carry annotated ASP programs, plus the two operations the
+    learning task needs — [with_context] ([G(C)]: add a program to every
+    production's annotation) and [with_hypothesis] ([G : H]: add learned
+    rules to specific productions). *)
+
+type t = {
+  cfg : Grammar.Cfg.t;
+  annotations : (int * Annotation.program) list;
+      (** production id -> annotated program *)
+  shared : Annotation.program;
+      (** rules attached to {e every} production — used for contexts *)
+}
+
+let make ?(annotations = []) cfg = { cfg; annotations; shared = [] }
+let cfg g = g.cfg
+let shared g = g.shared
+
+let annotation g prod_id =
+  List.concat_map (fun (id, p) -> if id = prod_id then p else []) g.annotations
+
+(** All annotation rules of the production, including shared (context)
+    rules. *)
+let full_annotation g prod_id = annotation g prod_id @ g.shared
+
+(** [G(C)]: the grammar constructed by adding program [C] to the annotation
+    of every production rule. *)
+let with_context g (c : Asp.Program.t) =
+  { g with shared = g.shared @ Annotation.of_asp_program c }
+
+(** [G : H]: add each hypothesis rule to the annotation of the production
+    it names. *)
+let with_hypothesis g (h : (int * Annotation.rule) list) =
+  {
+    g with
+    annotations = g.annotations @ List.map (fun (id, r) -> (id, [ r ])) h;
+  }
+
+let add_annotation g prod_id rules =
+  { g with annotations = g.annotations @ [ (prod_id, rules) ] }
+
+(** The underlying CFG with annotations removed (called [G_CF] in the
+    paper) is just [cfg g]; the language of that CFG always contains the
+    language of [g]. *)
+
+let pp ppf g =
+  List.iter
+    (fun (p : Grammar.Production.t) ->
+      let ann = annotation g p.Grammar.Production.id in
+      if ann = [] then Fmt.pf ppf "%a@." Grammar.Production.pp p
+      else
+        Fmt.pf ppf "%a { %a }@." Grammar.Production.pp p Annotation.pp ann)
+    (Grammar.Cfg.productions g.cfg);
+  if g.shared <> [] then Fmt.pf ppf "shared { %a }@." Annotation.pp g.shared
+
+let to_string g = Fmt.str "%a" pp g
+
+(** Remove unreachable/unproductive productions from the underlying CFG,
+    re-homing annotations onto the surviving productions (annotations of
+    dropped productions could never fire and are discarded). Shared
+    (context) rules are preserved. *)
+let clean (g : t) : t =
+  let cleaned, mapping = Grammar.Transform.remove_useless g.cfg in
+  let annotations =
+    List.filter_map
+      (fun (old_id, new_id) ->
+        match annotation g old_id with
+        | [] -> None
+        | rules -> Some (new_id, rules))
+      mapping
+  in
+  { cfg = cleaned; annotations; shared = g.shared }

@@ -1,0 +1,32 @@
+(** Answer set grammars (Definition 2) — the representation of a
+    generative policy model: a CFG whose productions carry annotated ASP
+    programs, plus the two operations of the learning task: [G(C)]
+    (context extension) and [G : H] (hypothesis extension). *)
+
+type t
+
+val make : ?annotations:(int * Annotation.program) list -> Grammar.Cfg.t -> t
+val cfg : t -> Grammar.Cfg.t
+
+(** Rules attached to every production (contexts). *)
+val shared : t -> Annotation.program
+
+(** Annotation of one production (excluding shared rules). *)
+val annotation : t -> int -> Annotation.program
+
+(** Annotation of one production including shared rules. *)
+val full_annotation : t -> int -> Annotation.program
+
+(** [G(C)]: add a program to every production's annotation. *)
+val with_context : t -> Asp.Program.t -> t
+
+(** [G : H]: add each rule to the production it names. *)
+val with_hypothesis : t -> (int * Annotation.rule) list -> t
+
+val add_annotation : t -> int -> Annotation.rule list -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Remove useless productions (via {!Grammar.Transform}), re-homing
+    annotations; shared rules are preserved. *)
+val clean : t -> t

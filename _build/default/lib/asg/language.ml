@@ -1,0 +1,70 @@
+(** Enumerating the language of an ASG — the {e policy generation}
+    operation: given a generative policy model (an ASG) and a context, the
+    valid policies are exactly the strings of [L(G(C))]. *)
+
+(** All sentences of [L(G)] derivable within [max_depth], capped at
+    [limit] candidate trees. *)
+let sentences ?(max_depth = 8) ?(limit = 10_000) (g : Gpm.t) : string list =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let inspected = ref 0 in
+  (try
+     Seq.iter
+       (fun tree ->
+         if !inspected >= limit then raise Exit;
+         incr inspected;
+         let s = Grammar.Parse_tree.to_sentence tree in
+         if not (Hashtbl.mem seen s) then
+           if Membership.tree_accepted g tree then begin
+             Hashtbl.replace seen s ();
+             out := s :: !out
+           end)
+       (Grammar.Generator.trees ~max_depth (Gpm.cfg g))
+   with Exit -> ());
+  List.rev !out
+
+(** The valid policies in a given context: [L(G(C))] up to [max_depth]. *)
+let sentences_in_context ?max_depth ?limit (g : Gpm.t)
+    ~(context : Asp.Program.t) : string list =
+  sentences ?max_depth ?limit (Gpm.with_context g context)
+
+(* -- Preference-ranked generation (utility-based policies) -------------- *)
+
+(** Sentences of [L(G)] ranked by cost: the minimal weak-constraint cost of
+    any answer set of any of the sentence's tree programs. This realizes
+    the paper's third policy type — utility-based policies that "produce
+    the best consequence according to some value function" — with the
+    value function expressed as [:~ body. [w]] annotations. *)
+let ranked_sentences ?(max_depth = 8) ?(limit = 10_000) (g : Gpm.t) :
+    (string * int) list =
+  let best = Hashtbl.create 16 in
+  let inspected = ref 0 in
+  (try
+     Seq.iter
+       (fun tree ->
+         if !inspected >= limit then raise Exit;
+         incr inspected;
+         let s = Grammar.Parse_tree.to_sentence tree in
+         match Asp.Solver.solve_optimal (Tree_program.program g tree) with
+         | None -> ()
+         | Some (_, cost) -> (
+           match Hashtbl.find_opt best s with
+           | Some c when c <= cost -> ()
+           | _ -> Hashtbl.replace best s cost))
+       (Grammar.Generator.trees ~max_depth (Gpm.cfg g))
+   with Exit -> ());
+  Hashtbl.fold (fun s c acc -> (s, c) :: acc) best []
+  |> List.stable_sort (fun (s1, c1) (s2, c2) ->
+         let c = Int.compare c1 c2 in
+         if c <> 0 then c else String.compare s1 s2)
+
+let ranked_sentences_in_context ?max_depth ?limit (g : Gpm.t)
+    ~(context : Asp.Program.t) : (string * int) list =
+  ranked_sentences ?max_depth ?limit (Gpm.with_context g context)
+
+(** The best (minimal-cost) valid policy in a context, if any. *)
+let best_sentence ?max_depth ?limit (g : Gpm.t) ~(context : Asp.Program.t) :
+    (string * int) option =
+  match ranked_sentences_in_context ?max_depth ?limit g ~context with
+  | [] -> None
+  | first :: _ -> Some first

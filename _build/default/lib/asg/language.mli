@@ -1,0 +1,29 @@
+(** Enumerating the language of an ASG — policy {e generation}: the valid
+    policies of a model under a context are the strings of [L(G(C))]. *)
+
+val sentences : ?max_depth:int -> ?limit:int -> Gpm.t -> string list
+
+val sentences_in_context :
+  ?max_depth:int -> ?limit:int -> Gpm.t -> context:Asp.Program.t -> string list
+
+(** {2 Preference-ranked generation (utility-based policies)} *)
+
+(** Sentences ranked by the minimal weak-constraint cost of their
+    witnessing answer sets, cheapest first. *)
+val ranked_sentences :
+  ?max_depth:int -> ?limit:int -> Gpm.t -> (string * int) list
+
+val ranked_sentences_in_context :
+  ?max_depth:int ->
+  ?limit:int ->
+  Gpm.t ->
+  context:Asp.Program.t ->
+  (string * int) list
+
+(** The minimal-cost valid policy in a context, if any. *)
+val best_sentence :
+  ?max_depth:int ->
+  ?limit:int ->
+  Gpm.t ->
+  context:Asp.Program.t ->
+  (string * int) option

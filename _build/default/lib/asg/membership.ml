@@ -1,0 +1,35 @@
+(** Language membership for answer set grammars: [s] is in [L(G)] iff at
+    least one parse tree of the underlying CFG for [s] induces a program
+    with an answer set. *)
+
+let tokenize sentence =
+  String.split_on_char ' ' sentence |> List.filter (fun s -> s <> "")
+
+(** Does [tree] witness membership (its induced program is satisfiable)? *)
+let tree_accepted (g : Gpm.t) tree =
+  Asp.Solver.has_answer_set (Tree_program.program g tree)
+
+(** Is the token list in the language of the grammar? Tries parse trees
+    lazily and stops at the first satisfiable one. *)
+let accepts_tokens (g : Gpm.t) (tokens : string list) : bool =
+  let trees = Grammar.Earley.parses (Gpm.cfg g) tokens in
+  List.exists (tree_accepted g) trees
+
+let accepts (g : Gpm.t) (sentence : string) : bool =
+  accepts_tokens g (tokenize sentence)
+
+(** Membership under a context: [s ∈ L(G(C))]. *)
+let accepts_in_context (g : Gpm.t) ~(context : Asp.Program.t)
+    (sentence : string) : bool =
+  accepts (Gpm.with_context g context) sentence
+
+(** A witnessing answer set for an accepted sentence, if any — the basis
+    for decision explanations. *)
+let witness (g : Gpm.t) (sentence : string) : Asp.Solver.model option =
+  let trees = Grammar.Earley.parses (Gpm.cfg g) (tokenize sentence) in
+  List.fold_left
+    (fun acc tree ->
+      match acc with
+      | Some _ -> acc
+      | None -> Asp.Solver.first_answer_set (Tree_program.program g tree))
+    None trees

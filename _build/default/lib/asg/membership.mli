@@ -1,0 +1,13 @@
+(** Language membership: [s ∈ L(G)] iff some parse tree of the underlying
+    CFG induces a program with an answer set. *)
+
+val tokenize : string -> string list
+val tree_accepted : Gpm.t -> Grammar.Parse_tree.t -> bool
+val accepts_tokens : Gpm.t -> string list -> bool
+val accepts : Gpm.t -> string -> bool
+
+(** [s ∈ L(G(C))]. *)
+val accepts_in_context : Gpm.t -> context:Asp.Program.t -> string -> bool
+
+(** A witnessing answer set for an accepted sentence. *)
+val witness : Gpm.t -> string -> Asp.Solver.model option

@@ -1,0 +1,19 @@
+(** The [G[PT]] mapping (Section II-A): a parse tree of an ASG induces an
+    ASP program by instantiating each node's production annotation at the
+    node's trace. The string is in the language of the grammar iff some
+    parse tree's induced program has an answer set. *)
+
+(** Build the ASP program induced by [tree] under grammar [g]. *)
+let program (g : Gpm.t) (tree : Grammar.Parse_tree.t) : Asp.Program.t =
+  let rules =
+    List.concat_map
+      (fun (trace, (p : Grammar.Production.t), _children) ->
+        Annotation.instantiate_program trace
+          (Gpm.full_annotation g p.Grammar.Production.id))
+      (Grammar.Parse_tree.nodes_with_traces tree)
+  in
+  Asp.Program.of_rules rules
+
+(** The induced program together with extra ground context facts. *)
+let program_with_facts g tree facts =
+  Asp.Program.with_facts (program g tree) facts

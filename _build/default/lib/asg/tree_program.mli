@@ -1,0 +1,7 @@
+(** The [G[PT]] mapping (Section II-A): the ASP program a parse tree
+    induces — each node's annotation instantiated at the node's trace. *)
+
+val program : Gpm.t -> Grammar.Parse_tree.t -> Asp.Program.t
+
+val program_with_facts :
+  Gpm.t -> Grammar.Parse_tree.t -> Asp.Atom.t list -> Asp.Program.t

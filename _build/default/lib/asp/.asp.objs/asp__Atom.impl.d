@@ -1,0 +1,1 @@
+lib/asp/atom.ml: Fmt List Map Set String Term

@@ -1,0 +1,1 @@
+lib/asp/atom.mli: Format Map Set Term

@@ -1,0 +1,1 @@
+lib/asp/dependency.ml: Atom Hashtbl List Map Option Program Rule Stdlib

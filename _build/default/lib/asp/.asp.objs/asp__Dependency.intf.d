@@ -1,0 +1,1 @@
+lib/asp/dependency.mli: Map Program

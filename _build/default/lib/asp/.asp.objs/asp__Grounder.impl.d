@@ -1,0 +1,1 @@
+lib/asp/grounder.ml: Atom Fmt Hashtbl List Option Program Rule String Term

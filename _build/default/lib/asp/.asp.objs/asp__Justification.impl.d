@@ -1,0 +1,1 @@
+lib/asp/justification.ml: Atom Fmt Grounder List Solver String

@@ -1,0 +1,1 @@
+lib/asp/justification.mli: Atom Format Grounder Solver

@@ -1,0 +1,1 @@
+lib/asp/lexer.ml: Buffer List Printf String

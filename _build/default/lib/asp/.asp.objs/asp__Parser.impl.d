@@ -1,0 +1,1 @@
+lib/asp/parser.ml: Atom Lexer List Printf Program Rule Term

@@ -1,0 +1,1 @@
+lib/asp/program.ml: Atom Fmt Hashtbl List Rule Stdlib

@@ -1,0 +1,1 @@
+lib/asp/program.mli: Atom Format Rule

@@ -1,0 +1,1 @@
+lib/asp/query.ml: Atom Fmt Hashtbl List Option Rule String Term

@@ -1,0 +1,1 @@
+lib/asp/query.mli: Atom Rule

@@ -1,0 +1,1 @@
+lib/asp/rule.ml: Atom Fmt List Stdlib Term

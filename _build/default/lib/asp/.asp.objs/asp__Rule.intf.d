@@ -1,0 +1,1 @@
+lib/asp/rule.mli: Atom Format Term

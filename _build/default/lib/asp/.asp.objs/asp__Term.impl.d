@@ -1,0 +1,1 @@
+lib/asp/term.ml: Fmt Int List Map Option Stdlib String

@@ -1,0 +1,1 @@
+lib/asp/wellfounded.ml: Atom Grounder List

@@ -1,0 +1,1 @@
+lib/asp/wellfounded.mli: Atom Grounder

@@ -1,0 +1,63 @@
+(** Predicate atoms. *)
+
+type t = { pred : string; args : Term.t list }
+
+let make pred args = { pred; args }
+let prop pred = { pred; args = [] }
+let arity a = List.length a.args
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c else Term.compare_list a.args b.args
+
+let equal a b = compare a b = 0
+let is_ground a = List.for_all Term.is_ground a.args
+
+let vars a =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  List.rev
+    (List.fold_left (fun acc t -> List.fold_left add acc (Term.vars t)) [] a.args)
+
+let apply s a = { a with args = List.map (Term.apply s) a.args }
+
+(** Evaluate any arithmetic inside the atom's arguments. [None] if some
+    argument fails to evaluate (e.g. non-ground or division by zero). *)
+let eval a =
+  let rec go acc = function
+    | [] -> Some { a with args = List.rev acc }
+    | t :: rest -> (
+      match Term.eval t with Some t' -> go (t' :: acc) rest | None -> None)
+  in
+  go [] a.args
+
+let match_atom s pattern target =
+  if
+    String.equal pattern.pred target.pred
+    && List.length pattern.args = List.length target.args
+  then
+    let rec go s = function
+      | [], [] -> Some s
+      | p :: ps, t :: ts -> (
+        match Term.match_term s p t with
+        | Some s' -> go s' (ps, ts)
+        | None -> None)
+      | _ -> None
+    in
+    go s (pattern.args, target.args)
+  else None
+
+let pp ppf a =
+  match a.args with
+  | [] -> Fmt.string ppf a.pred
+  | args -> Fmt.pf ppf "%s(%a)" a.pred Fmt.(list ~sep:(any ", ") Term.pp) args
+
+let to_string a = Fmt.str "%a" pp a
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,32 @@
+(** Predicate atoms: a predicate name applied to terms. *)
+
+type t = { pred : string; args : Term.t list }
+
+val make : string -> Term.t list -> t
+
+(** A propositional atom (no arguments). *)
+val prop : string -> t
+
+val arity : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_ground : t -> bool
+
+(** Free variables, in first-occurrence order, without duplicates. *)
+val vars : t -> string list
+
+val apply : Term.subst -> t -> t
+
+(** Evaluate arithmetic inside the arguments; [None] if any argument
+    fails to evaluate. *)
+val eval : t -> t option
+
+(** One-way matching of a pattern atom against a ground atom. *)
+val match_atom : Term.subst -> t -> t -> Term.subst option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Ord : Set.OrderedType with type t = t
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,167 @@
+(** Predicate dependency analysis: dependency graph, strongly connected
+    components (Tarjan), and stratification.
+
+    A program is stratified when no predicate depends on itself through
+    negation; stratified programs (without choice rules) have a unique
+    answer set computable bottom-up, which the solver exploits. *)
+
+type pred = string * int  (** name, arity *)
+
+type edge_kind = Positive | Negative
+
+module PredMap = Map.Make (struct
+  type t = pred
+
+  let compare = Stdlib.compare
+end)
+
+type graph = { edges : (pred * edge_kind) list PredMap.t; preds : pred list }
+
+let head_atoms (r : Rule.t) =
+  match r.head with
+  | Rule.Head a -> [ a ]
+  | Rule.Falsity | Rule.Weak _ -> []
+  | Rule.Choice (_, elts, _) ->
+    List.map (fun (e : Rule.choice_elt) -> e.choice_atom) elts
+
+let pred_of (a : Atom.t) : pred = (a.pred, Atom.arity a)
+
+(** Build the predicate dependency graph of a program. There is an edge
+    h -> b (positive or negative) whenever some rule has head predicate h
+    and body literal with predicate b. Constraint bodies add no edges. *)
+let build (p : Program.t) : graph =
+  let add_edge map from_ to_ kind =
+    let existing = Option.value ~default:[] (PredMap.find_opt from_ map) in
+    if List.mem (to_, kind) existing then map
+    else PredMap.add from_ ((to_, kind) :: existing) map
+  in
+  let all_preds = Program.predicates p in
+  let edges =
+    List.fold_left
+      (fun map (r : Rule.t) ->
+        let heads = List.map pred_of (head_atoms r) in
+        List.fold_left
+          (fun map h ->
+            let add_elt map elt =
+              match elt with
+              | Rule.Pos a -> add_edge map h (pred_of a) Positive
+              | Rule.Neg a -> add_edge map h (pred_of a) Negative
+              | Rule.Cmp _ -> map
+              | Rule.Count c ->
+                (* aggregate dependencies are treated as negative: they
+                   are non-monotone *)
+                List.fold_left
+                  (fun map elt ->
+                    match elt with
+                    | Rule.Pos a | Rule.Neg a ->
+                      add_edge map h (pred_of a) Negative
+                    | Rule.Cmp _ | Rule.Count _ -> map)
+                  map c.Rule.conditions
+            in
+            List.fold_left add_elt map r.body)
+          map heads)
+      PredMap.empty p.rules
+  in
+  { edges; preds = all_preds }
+
+let successors g p = Option.value ~default:[] (PredMap.find_opt p g.edges)
+
+(** Tarjan's strongly connected components; returned in reverse
+    topological order (callees before callers). *)
+let sccs (g : graph) : pred list list =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun (w, _) ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) g.preds;
+  List.rev !components
+
+(** A program is stratified iff no negative edge connects two predicates in
+    the same SCC. Programs with choice rules are treated as unstratified
+    (they may have several answer sets regardless). *)
+let is_stratified (p : Program.t) =
+  let has_choice =
+    List.exists
+      (fun (r : Rule.t) ->
+        match r.head with Rule.Choice _ -> true | _ -> false)
+      p.rules
+  in
+  if has_choice then false
+  else begin
+    let g = build p in
+    let components = sccs g in
+    let comp_of = Hashtbl.create 16 in
+    List.iteri
+      (fun i comp -> List.iter (fun pr -> Hashtbl.replace comp_of pr i) comp)
+      components;
+    List.for_all
+      (fun pr ->
+        List.for_all
+          (fun (succ, kind) ->
+            match kind with
+            | Positive -> true
+            | Negative ->
+              Hashtbl.find_opt comp_of pr <> Hashtbl.find_opt comp_of succ
+              || not (Hashtbl.mem comp_of succ))
+          (successors g pr))
+      g.preds
+  end
+
+(** Stratum number per predicate (only meaningful for stratified programs):
+    the maximum number of negative edges on any path out of the predicate. *)
+let strata (p : Program.t) : int PredMap.t =
+  let g = build p in
+  let components = sccs g in
+  (* components arrive callees-first, so one pass suffices *)
+  let levels = Hashtbl.create 16 in
+  List.iter
+    (fun comp ->
+      let level =
+        List.fold_left
+          (fun acc pr ->
+            List.fold_left
+              (fun acc (succ, kind) ->
+                if List.mem succ comp then acc
+                else
+                  let base =
+                    Option.value ~default:0 (Hashtbl.find_opt levels succ)
+                  in
+                  let inc = match kind with Positive -> 0 | Negative -> 1 in
+                  max acc (base + inc))
+              acc (successors g pr))
+          0 comp
+      in
+      List.iter (fun pr -> Hashtbl.replace levels pr level) comp)
+    components;
+  Hashtbl.fold PredMap.add levels PredMap.empty

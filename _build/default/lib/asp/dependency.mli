@@ -1,0 +1,24 @@
+(** Predicate dependency analysis: dependency graph, Tarjan SCCs, and
+    stratification. *)
+
+(** Predicate name and arity. *)
+type pred = string * int
+
+type edge_kind = Positive | Negative
+
+module PredMap : Map.S with type key = pred
+
+type graph
+
+val build : Program.t -> graph
+val successors : graph -> pred -> (pred * edge_kind) list
+
+(** Strongly connected components, callees before callers. *)
+val sccs : graph -> pred list list
+
+(** No predicate depends on itself through negation (choice rules make a
+    program count as unstratified). *)
+val is_stratified : Program.t -> bool
+
+(** Stratum per predicate (meaningful for stratified programs). *)
+val strata : Program.t -> int PredMap.t

@@ -1,0 +1,288 @@
+(** Grounding: instantiating a safe program's variables with the constants
+    that can actually matter.
+
+    The algorithm follows the standard two-phase scheme:
+    1. compute the set of {e possible atoms} — the least fixpoint of the
+       positive projection of the program (negation ignored, choice heads
+       treated as derivable);
+    2. instantiate each rule against that base, evaluating arithmetic and
+       comparison builtins, dropping rules that can never fire and negative
+       literals that can never hold. *)
+
+exception Unsafe_rule of Rule.t
+
+exception Aggregate_in_rule of Rule.t
+(** Aggregates are admitted only in constraint and weak-constraint
+    bodies. *)
+
+type ghead =
+  | GAtom of Atom.t
+  | GFalse
+  | GWeak of int  (** evaluated weight of a weak-constraint instance *)
+  | GChoice of int option * Atom.t list * int option
+
+type ground_rule = {
+  ghead : ghead;
+  gpos : Atom.t list;
+  gneg : Atom.t list;
+  gcounts : Rule.count list;
+      (** outer-ground aggregates, evaluated against candidate models *)
+}
+
+type ground_program = {
+  grules : ground_rule list;
+  base : Atom.Set.t;  (** all possible atoms *)
+}
+
+let pp_ground_rule ppf r =
+  let pp_head ppf = function
+    | GAtom a -> Atom.pp ppf a
+    | GFalse -> ()
+    | GWeak _ -> ()
+    | GChoice (l, atoms, u) ->
+      let pp_b ppf = function Some n -> Fmt.pf ppf "%d " n | None -> () in
+      let pp_u ppf = function Some n -> Fmt.pf ppf " %d" n | None -> () in
+      Fmt.pf ppf "%a{ %a }%a" pp_b l
+        Fmt.(list ~sep:(any "; ") Atom.pp)
+        atoms pp_u u
+  in
+  let body =
+    List.map (fun a -> Fmt.str "%a" Atom.pp a) r.gpos
+    @ List.map (fun a -> Fmt.str "not %a" Atom.pp a) r.gneg
+    @ List.map
+        (fun c -> Fmt.str "%a" Rule.pp_body_elt (Rule.Count c))
+        r.gcounts
+  in
+  match (r.ghead, body) with
+  | GFalse, body -> Fmt.pf ppf ":- %s." (String.concat ", " body)
+  | GWeak w, body -> Fmt.pf ppf ":~ %s. [%d]" (String.concat ", " body) w
+  | h, [] -> Fmt.pf ppf "%a." pp_head h
+  | h, body -> Fmt.pf ppf "%a :- %s." pp_head h (String.concat ", " body)
+
+(* -- Interval expansion ---------------------------------------------- *)
+
+(** Expand interval arguments: [p(1..3)] becomes [p(1)], [p(2)], [p(3)].
+    Endpoints must evaluate to integers once ground. *)
+let rec expand_intervals_in_term (t : Term.t) : Term.t list =
+  match t with
+  | Term.Var _ -> [ t ]
+  | Term.Int _ -> [ t ]
+  | Term.Fun (f, args) ->
+    List.map (fun args -> Term.Fun (f, args)) (expand_args args)
+  | Term.Binop _ -> [ t ]
+  | Term.Interval (a, b) -> (
+    match (Term.eval a, Term.eval b) with
+    | Some (Term.Int l), Some (Term.Int u) ->
+      if l > u then []
+      else List.init (u - l + 1) (fun i -> Term.Int (l + i))
+    | _ -> [ t ])
+
+and expand_args = function
+  | [] -> [ [] ]
+  | arg :: rest ->
+    let arg_choices = expand_intervals_in_term arg in
+    let rest_choices = expand_args rest in
+    List.concat_map
+      (fun a -> List.map (fun r -> a :: r) rest_choices)
+      arg_choices
+
+let expand_atom (a : Atom.t) : Atom.t list =
+  List.map (fun args -> { a with Atom.args }) (expand_args a.Atom.args)
+
+(* -- Indexed atom base ------------------------------------------------ *)
+
+type base = { mutable atoms : Atom.Set.t; by_pred : (string * int, Atom.t list ref) Hashtbl.t }
+
+let base_create () = { atoms = Atom.Set.empty; by_pred = Hashtbl.create 64 }
+
+let base_mem b a = Atom.Set.mem a b.atoms
+
+let base_add b a =
+  if not (Atom.Set.mem a b.atoms) then begin
+    b.atoms <- Atom.Set.add a b.atoms;
+    let key = (a.Atom.pred, Atom.arity a) in
+    match Hashtbl.find_opt b.by_pred key with
+    | Some l -> l := a :: !l
+    | None -> Hashtbl.replace b.by_pred key (ref [ a ]);
+  end
+
+let base_candidates b (a : Atom.t) =
+  match Hashtbl.find_opt b.by_pred (a.Atom.pred, Atom.arity a) with
+  | Some l -> !l
+  | None -> []
+
+(* -- Substitution enumeration over a rule body ------------------------ *)
+
+(** Enumerate all substitutions grounding the positive body literals against
+    [b], with comparisons checked as soon as their variables are bound.
+    Calls [yield] once per complete substitution. *)
+let enum_substitutions b (body : Rule.body_elt list) yield =
+  (* Process positive literals first only when safe ordering requires it;
+     we keep source order but defer comparisons until evaluable. *)
+  let rec go subst pending_cmps = function
+    | [] ->
+      let ok =
+        List.for_all
+          (fun (op, t1, t2) ->
+            match
+              (Term.eval (Term.apply subst t1), Term.eval (Term.apply subst t2))
+            with
+            | Some v1, Some v2 -> Rule.eval_cmp op v1 v2
+            | _ -> false)
+          pending_cmps
+      in
+      if ok then yield subst
+    | Rule.Pos a :: rest ->
+      let a' = Atom.apply subst a in
+      let expanded = expand_atom a' in
+      List.iter
+        (fun a' ->
+          if Atom.is_ground a' then begin
+            match Atom.eval a' with
+            | Some ga -> if base_mem b ga then go subst pending_cmps rest
+            | None -> ()
+          end
+          else
+            List.iter
+              (fun cand ->
+                match Atom.match_atom subst a' cand with
+                | Some subst' -> go subst' pending_cmps rest
+                | None -> ())
+              (base_candidates b a'))
+        expanded
+    | Rule.Neg _ :: rest -> go subst pending_cmps rest
+    | Rule.Count _ :: rest -> go subst pending_cmps rest
+    | Rule.Cmp (op, t1, t2) :: rest -> (
+      (* Equality can bind a variable: X = t with t evaluable. *)
+      let t1' = Term.apply subst t1 and t2' = Term.apply subst t2 in
+      match (op, t1', t2') with
+      | Rule.Eq, Term.Var v, t when Term.eval t <> None ->
+        let value = Option.get (Term.eval t) in
+        go (Term.subst_bind v value subst) pending_cmps rest
+      | Rule.Eq, t, Term.Var v when Term.eval t <> None ->
+        let value = Option.get (Term.eval t) in
+        go (Term.subst_bind v value subst) pending_cmps rest
+      | _ -> (
+        match (Term.eval t1', Term.eval t2') with
+        | Some v1, Some v2 ->
+          if Rule.eval_cmp op v1 v2 then go subst pending_cmps rest
+        | _ -> go subst ((op, t1, t2) :: pending_cmps) rest))
+  in
+  go Term.subst_empty [] body
+
+(* -- Phase 1: possible atoms ------------------------------------------ *)
+
+let head_instances b subst (head : Rule.head) : Atom.t list =
+  match head with
+  | Rule.Head a ->
+    List.filter_map Atom.eval (expand_atom (Atom.apply subst a))
+  | Rule.Falsity | Rule.Weak _ -> []
+  | Rule.Choice (_, elts, _) ->
+    List.concat_map
+      (fun (e : Rule.choice_elt) ->
+        (* enumerate local condition bindings *)
+        let conds = List.map (fun c -> Rule.Pos (Atom.apply subst c)) e.condition in
+        let results = ref [] in
+        enum_substitutions b conds (fun local_subst ->
+            let a = Atom.apply local_subst (Atom.apply subst e.choice_atom) in
+            List.iter
+              (fun a ->
+                match Atom.eval a with
+                | Some ga when Atom.is_ground ga -> results := ga :: !results
+                | _ -> ())
+              (expand_atom a));
+        !results)
+      elts
+
+let compute_possible_atoms (p : Program.t) : base =
+  let b = base_create () in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Rule.t) ->
+        enum_substitutions b r.body (fun subst ->
+            List.iter
+              (fun a ->
+                if not (base_mem b a) then begin
+                  base_add b a;
+                  changed := true
+                end)
+              (head_instances b subst r.head)))
+      p.rules
+  done;
+  b
+
+(* -- Phase 2: rule instantiation -------------------------------------- *)
+
+let ground_body b subst (body : Rule.body_elt list) :
+    (Atom.t list * Atom.t list * Rule.count list) option =
+  let rec go pos neg counts = function
+    | [] -> Some (List.rev pos, List.rev neg, List.rev counts)
+    | Rule.Pos a :: rest -> (
+      match Atom.eval (Atom.apply subst a) with
+      | Some ga when Atom.is_ground ga ->
+        if base_mem b ga then go (ga :: pos) neg counts rest else None
+      | _ -> None)
+    | Rule.Neg a :: rest -> (
+      match Atom.eval (Atom.apply subst a) with
+      | Some ga when Atom.is_ground ga ->
+        (* a negative literal over an underivable atom is trivially true *)
+        if base_mem b ga then go pos (ga :: neg) counts rest
+        else go pos neg counts rest
+      | _ -> None)
+    | Rule.Cmp (op, t1, t2) :: rest -> (
+      match
+        (Term.eval (Term.apply subst t1), Term.eval (Term.apply subst t2))
+      with
+      | Some v1, Some v2 ->
+        if Rule.eval_cmp op v1 v2 then go pos neg counts rest else None
+      | _ -> None)
+    | Rule.Count c :: rest -> (
+      match Rule.apply_body_elt subst (Rule.Count c) with
+      | Rule.Count c' -> go pos neg (c' :: counts) rest
+      | _ -> None)
+  in
+  go [] [] [] body
+
+(** Ground a program. Raises [Unsafe_rule] if any rule is unsafe. *)
+let ground (p : Program.t) : ground_program =
+  List.iter
+    (fun r -> if not (Rule.is_safe r) then raise (Unsafe_rule r))
+    p.rules;
+  let b = compute_possible_atoms p in
+  let out = ref [] in
+  let emit gr = out := gr :: !out in
+  List.iter
+    (fun (r : Rule.t) ->
+      enum_substitutions b r.body (fun subst ->
+          match ground_body b subst r.body with
+          | None -> ()
+          | Some (gpos, gneg, gcounts) -> (
+            match r.head with
+            | (Rule.Head _ | Rule.Choice _) when gcounts <> [] ->
+              raise (Aggregate_in_rule r)
+            | Rule.Head a ->
+              List.iter
+                (fun inst ->
+                  match Atom.eval inst with
+                  | Some ga when Atom.is_ground ga ->
+                    emit { ghead = GAtom ga; gpos; gneg; gcounts }
+                  | _ -> ())
+                (expand_atom (Atom.apply subst a))
+            | Rule.Falsity -> emit { ghead = GFalse; gpos; gneg; gcounts }
+            | Rule.Weak w -> (
+              match Term.eval (Term.apply subst w) with
+              | Some (Term.Int cost) ->
+                emit { ghead = GWeak cost; gpos; gneg; gcounts }
+              | Some _ | None -> ())
+            | Rule.Choice (l, _, u) ->
+              let atoms = head_instances b subst r.head in
+              let atoms = List.sort_uniq Atom.compare atoms in
+              if atoms <> [] || l <> None then
+                emit { ghead = GChoice (l, atoms, u); gpos; gneg; gcounts })))
+    p.rules;
+  { grules = List.rev !out; base = b.atoms }
+
+let size gp = List.length gp.grules
+let atom_count gp = Atom.Set.cardinal gp.base

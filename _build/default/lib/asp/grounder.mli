@@ -1,0 +1,41 @@
+(** Grounding: instantiating a safe program's variables with the constants
+    that can matter, via the standard two-phase scheme (possible-atom
+    fixpoint, then rule instantiation with builtin evaluation). *)
+
+exception Unsafe_rule of Rule.t
+
+exception Aggregate_in_rule of Rule.t
+(** Aggregates are admitted only in constraint and weak-constraint
+    bodies. *)
+
+type ghead =
+  | GAtom of Atom.t
+  | GFalse
+  | GWeak of int  (** evaluated weight of a weak-constraint instance *)
+  | GChoice of int option * Atom.t list * int option
+
+type ground_rule = {
+  ghead : ghead;
+  gpos : Atom.t list;
+  gneg : Atom.t list;
+  gcounts : Rule.count list;
+      (** outer-ground aggregates, evaluated against candidate models *)
+}
+
+type ground_program = {
+  grules : ground_rule list;
+  base : Atom.Set.t;  (** all possible atoms *)
+}
+
+val pp_ground_rule : Format.formatter -> ground_rule -> unit
+
+(** Expand interval arguments: [p(1..3)] to [p(1)], [p(2)], [p(3)]. *)
+val expand_atom : Atom.t -> Atom.t list
+
+(** Ground a program. Negative literals over underivable atoms are
+    dropped (trivially true); rules that can never fire are omitted.
+    @raise Unsafe_rule on unsafe input. *)
+val ground : Program.t -> ground_program
+
+val size : ground_program -> int
+val atom_count : ground_program -> int

@@ -1,0 +1,99 @@
+(** Justifications: non-circular derivation trees showing {e why} an atom
+    belongs to an answer set. Replays the least-fixpoint construction of
+    the Gelfond–Lifschitz reduct, recording for each derived atom the
+    first rule that fired for it; the resulting trees are well-founded
+    (children always derived strictly earlier). Atoms contributed by
+    choice rules are justified as choices, with the enabling body. *)
+
+type t =
+  | Fact of Atom.t  (** derived by a rule with an empty positive body *)
+  | Derived of {
+      atom : Atom.t;
+      rule : Grounder.ground_rule;  (** the rule that fired *)
+      premises : t list;  (** justifications of the positive body *)
+      absent : Atom.t list;  (** negative body atoms, false in the model *)
+    }
+  | Chosen of {
+      atom : Atom.t;
+      premises : t list;  (** the choice rule's positive body *)
+      absent : Atom.t list;
+    }
+
+let atom_of = function
+  | Fact a -> a
+  | Derived { atom; _ } -> atom
+  | Chosen { atom; _ } -> atom
+
+(** Justify every atom of a stable model [m] of [gp]. Returns a map from
+    atoms to justification trees. Assumes [m] is indeed stable; atoms not
+    derivable (should not happen for stable models) are absent from the
+    result. *)
+let justify_all (gp : Grounder.ground_program) (m : Solver.model) :
+    t Atom.Map.t =
+  let in_m a = Atom.Set.mem a m in
+  let table : t Atom.Map.t ref = ref Atom.Map.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Grounder.ground_rule) ->
+        let premises_ready =
+          List.for_all (fun a -> Atom.Map.mem a !table) r.gpos
+        in
+        let neg_ok = List.for_all (fun a -> not (in_m a)) r.gneg in
+        if premises_ready && neg_ok then begin
+          let premises = List.map (fun a -> Atom.Map.find a !table) r.gpos in
+          match r.ghead with
+          | Grounder.GAtom h when in_m h && not (Atom.Map.mem h !table) ->
+            let j =
+              if r.gpos = [] && r.gneg = [] then Fact h
+              else Derived { atom = h; rule = r; premises; absent = r.gneg }
+            in
+            table := Atom.Map.add h j !table;
+            changed := true
+          | Grounder.GChoice (_, atoms, _) ->
+            List.iter
+              (fun a ->
+                if in_m a && not (Atom.Map.mem a !table) then begin
+                  table :=
+                    Atom.Map.add a
+                      (Chosen { atom = a; premises; absent = r.gneg })
+                      !table;
+                  changed := true
+                end)
+              atoms
+          | Grounder.GAtom _ | Grounder.GFalse | Grounder.GWeak _ -> ()
+        end)
+      gp.grules
+  done;
+  !table
+
+(** Justification for one atom of a stable model, if derivable. *)
+let justify (gp : Grounder.ground_program) (m : Solver.model) (a : Atom.t) :
+    t option =
+  Atom.Map.find_opt a (justify_all gp m)
+
+let rec depth = function
+  | Fact _ -> 1
+  | Derived { premises; _ } | Chosen { premises; _ } ->
+    1 + List.fold_left (fun acc j -> max acc (depth j)) 0 premises
+
+let rec pp ?(indent = 0) ppf (j : t) =
+  let pad = String.make (2 * indent) ' ' in
+  match j with
+  | Fact a -> Fmt.pf ppf "%s%a  (fact)@." pad Atom.pp a
+  | Derived { atom; premises; absent; _ } ->
+    Fmt.pf ppf "%s%a  because@." pad Atom.pp atom;
+    List.iter (pp ~indent:(indent + 1) ppf) premises;
+    List.iter
+      (fun a ->
+        Fmt.pf ppf "%s  not %a  (absent)@." pad Atom.pp a)
+      absent
+  | Chosen { atom; premises; absent } ->
+    Fmt.pf ppf "%s%a  (chosen)@." pad Atom.pp atom;
+    List.iter (pp ~indent:(indent + 1) ppf) premises;
+    List.iter
+      (fun a -> Fmt.pf ppf "%s  not %a  (absent)@." pad Atom.pp a)
+      absent
+
+let to_string j = Fmt.str "%a" (pp ~indent:0) j

@@ -1,0 +1,29 @@
+(** Justifications: non-circular derivation trees showing why an atom
+    belongs to an answer set, built by replaying the reduct's least
+    fixpoint. *)
+
+type t =
+  | Fact of Atom.t
+  | Derived of {
+      atom : Atom.t;
+      rule : Grounder.ground_rule;  (** the rule that fired *)
+      premises : t list;  (** justifications of the positive body *)
+      absent : Atom.t list;  (** negative body atoms, false in the model *)
+    }
+  | Chosen of {
+      atom : Atom.t;
+      premises : t list;  (** the choice rule's positive body *)
+      absent : Atom.t list;
+    }
+
+val atom_of : t -> Atom.t
+
+(** Justify every atom of a stable model. *)
+val justify_all : Grounder.ground_program -> Solver.model -> t Atom.Map.t
+
+(** Justification for one atom, if derivable. *)
+val justify : Grounder.ground_program -> Solver.model -> Atom.t -> t option
+
+val depth : t -> int
+val pp : ?indent:int -> Format.formatter -> t -> unit
+val to_string : t -> string

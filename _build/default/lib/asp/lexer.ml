@@ -1,0 +1,200 @@
+(** Hand-written lexer for the textual ASP syntax. *)
+
+type token =
+  | IDENT of string  (** lowercase-initial identifier *)
+  | VARIABLE of string  (** uppercase- or [_]-initial identifier *)
+  | INT of int
+  | STRING of string  (** double-quoted; quotes stripped *)
+  | IF  (** [:-] *)
+  | WEAK_IF  (** [:~] — weak constraint *)
+  | LBRACKET
+  | RBRACKET
+  | DOT
+  | COMMA
+  | SEMI
+  | COLON
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | NOT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | BACKSLASH
+  | DOTDOT
+  | COUNT  (** [#count] *)
+  | AT  (** [@] — annotation marker used by answer set grammars *)
+  | PIPE  (** [|] — alternative separator in the grammar syntax *)
+  | ARROW  (** [->] — used by the grammar syntax, not by plain ASP *)
+  | EOF
+
+exception Lex_error of string * int  (** message, position *)
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "ident %S" s
+  | VARIABLE s -> Printf.sprintf "variable %S" s
+  | INT n -> Printf.sprintf "int %d" n
+  | STRING s -> Printf.sprintf "string %S" s
+  | IF -> ":-"
+  | WEAK_IF -> ":~"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | DOT -> "."
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | NOT -> "not"
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | BACKSLASH -> "\\"
+  | DOTDOT -> ".."
+  | COUNT -> "#count"
+  | AT -> "@"
+  | PIPE -> "|"
+  | ARROW -> "->"
+  | EOF -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_char c = is_digit c || is_lower c || is_upper c || c = '_' || c = '\''
+
+(** Tokenize a whole input string. *)
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some input.[!i + k] else None in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '%' then begin
+      (* comment to end of line *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      emit (INT (int_of_string (String.sub input start (!i - start))))
+    end
+    else if is_lower c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      let word = String.sub input start (!i - start) in
+      if word = "not" then emit NOT else emit (IDENT word)
+    end
+    else if is_upper c || c = '_' then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      emit (VARIABLE (String.sub input start (!i - start)))
+    end
+    else if c = '#' then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      let word = String.sub input start (!i - start) in
+      if word = "count" then emit COUNT
+      else raise (Lex_error (Printf.sprintf "unknown directive #%s" word, start))
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 8 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '"' then begin
+          closed := true;
+          incr i
+        end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", !i));
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = match peek 1 with Some c2 -> Some (c, c2) | None -> None in
+      match two with
+      | Some (':', '-') ->
+        emit IF;
+        i := !i + 2
+      | Some (':', '~') ->
+        emit WEAK_IF;
+        i := !i + 2
+      | Some ('!', '=') ->
+        emit NEQ;
+        i := !i + 2
+      | Some ('<', '=') ->
+        emit LE;
+        i := !i + 2
+      | Some ('>', '=') ->
+        emit GE;
+        i := !i + 2
+      | Some ('.', '.') ->
+        emit DOTDOT;
+        i := !i + 2
+      | Some ('-', '>') ->
+        emit ARROW;
+        i := !i + 2
+      | _ -> (
+        (match c with
+        | '.' -> emit DOT
+        | ',' -> emit COMMA
+        | ';' -> emit SEMI
+        | ':' -> emit COLON
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | '{' -> emit LBRACE
+        | '}' -> emit RBRACE
+        | '=' -> emit EQ
+        | '<' -> emit LT
+        | '>' -> emit GT
+        | '+' -> emit PLUS
+        | '-' -> emit MINUS
+        | '*' -> emit STAR
+        | '/' -> emit SLASH
+        | '\\' -> emit BACKSLASH
+        | '@' -> emit AT
+        | '|' -> emit PIPE
+        | '[' -> emit LBRACKET
+        | ']' -> emit RBRACKET
+        | _ ->
+          raise
+            (Lex_error (Printf.sprintf "unexpected character %C" c, !i)));
+        incr i)
+    end
+  done;
+  emit EOF;
+  List.rev !tokens

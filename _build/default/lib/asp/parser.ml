@@ -1,0 +1,325 @@
+(** Recursive-descent parser for the textual ASP syntax.
+
+    Grammar (informal; [..] marks repetition):
+    {v
+      program    ::= statement..
+      statement  ::= rule DOT
+      rule       ::= head [IF body] | IF body
+      head       ::= atom | choice
+      choice     ::= [INT] LBRACE choice_elt (SEMI choice_elt).. RBRACE [INT]
+      choice_elt ::= atom [COLON atom (COMMA atom)..]
+      body       ::= body_elt (COMMA body_elt)..
+      body_elt   ::= NOT atom | atom | term cmp term
+      term       ::= sum; sum ::= product ((PLUS|MINUS) product)..
+      product    ::= primary ((STAR|SLASH|BACKSLASH) primary)..
+      primary    ::= INT | MINUS INT | VARIABLE | IDENT [LPAREN terms RPAREN]
+                   | STRING | LPAREN term RPAREN
+      interval   ::= primary DOTDOT primary   (only at argument position)
+    v} *)
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let make_state input = { toks = Lexer.tokenize input }
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> Lexer.EOF
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  let got = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (Lexer.token_to_string tok)
+            (Lexer.token_to_string got)))
+
+let rec parse_term st = parse_sum st
+
+and parse_sum st =
+  let left = parse_product st in
+  let rec loop left =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Term.Binop (Term.Add, left, parse_product st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Term.Binop (Term.Sub, left, parse_product st))
+    | _ -> left
+  in
+  loop left
+
+and parse_product st =
+  let left = parse_primary st in
+  let rec loop left =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Term.Binop (Term.Mul, left, parse_primary st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Term.Binop (Term.Div, left, parse_primary st))
+    | Lexer.BACKSLASH ->
+      advance st;
+      loop (Term.Binop (Term.Mod, left, parse_primary st))
+    | _ -> left
+  in
+  loop left
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    Term.Int n
+  | Lexer.MINUS ->
+    advance st;
+    (match peek st with
+    | Lexer.INT n ->
+      advance st;
+      Term.Int (-n)
+    | _ ->
+      let t = parse_primary st in
+      Term.Binop (Term.Sub, Term.Int 0, t))
+  | Lexer.VARIABLE v ->
+    advance st;
+    Term.Var v
+  | Lexer.STRING s ->
+    advance st;
+    Term.Fun ("\"" ^ s ^ "\"", [])
+  | Lexer.IDENT f ->
+    advance st;
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let args = parse_term_args st in
+      expect st Lexer.RPAREN;
+      Term.Fun (f, args)
+    end
+    else Term.Fun (f, [])
+  | Lexer.LPAREN ->
+    advance st;
+    let t = parse_term st in
+    expect st Lexer.RPAREN;
+    t
+  | tok ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected a term but found %s"
+            (Lexer.token_to_string tok)))
+
+(** Term at argument position, possibly an interval [l..u]. *)
+and parse_arg st =
+  let t = parse_term st in
+  if peek st = Lexer.DOTDOT then begin
+    advance st;
+    let u = parse_term st in
+    Term.Interval (t, u)
+  end
+  else t
+
+and parse_term_args st =
+  let first = parse_arg st in
+  let rec loop acc =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      loop (parse_arg st :: acc)
+    end
+    else List.rev acc
+  in
+  loop [ first ]
+
+let parse_atom st =
+  match peek st with
+  | Lexer.IDENT pred ->
+    advance st;
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let args = parse_term_args st in
+      expect st Lexer.RPAREN;
+      Atom.make pred args
+    end
+    else Atom.prop pred
+  | tok ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected an atom but found %s"
+            (Lexer.token_to_string tok)))
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Rule.Eq
+  | Lexer.NEQ -> Some Rule.Neq
+  | Lexer.LT -> Some Rule.Lt
+  | Lexer.LE -> Some Rule.Le
+  | Lexer.GT -> Some Rule.Gt
+  | Lexer.GE -> Some Rule.Ge
+  | _ -> None
+
+let rec parse_body_elt st =
+  match peek st with
+  | Lexer.COUNT ->
+    advance st;
+    expect st Lexer.LBRACE;
+    let tuple = parse_term_args st in
+    expect st Lexer.COLON;
+    let conditions = parse_count_conditions st in
+    expect st Lexer.RBRACE;
+    let count_op =
+      match cmp_of_token (peek st) with
+      | Some op ->
+        advance st;
+        op
+      | None -> raise (Parse_error "expected a comparison after #count { }")
+    in
+    let bound = parse_term st in
+    Rule.Count { Rule.tuple; conditions; count_op; bound }
+  | Lexer.NOT ->
+    advance st;
+    Rule.Neg (parse_atom st)
+  | Lexer.IDENT _ -> (
+    (* Could be an atom or the left side of a comparison like [f(X) < g(Y)].
+       Parse a term first; if a comparison operator follows, it was a term. *)
+    let t = parse_arg st in
+    match cmp_of_token (peek st) with
+    | Some op ->
+      advance st;
+      Rule.Cmp (op, t, parse_arg st)
+    | None -> (
+      match t with
+      | Term.Fun (pred, args) -> Rule.Pos (Atom.make pred args)
+      | _ -> raise (Parse_error "expected an atom in rule body")))
+  | _ -> (
+    let t = parse_arg st in
+    match cmp_of_token (peek st) with
+    | Some op ->
+      advance st;
+      Rule.Cmp (op, t, parse_arg st)
+    | None -> raise (Parse_error "expected a comparison operator"))
+
+and parse_count_conditions st =
+  let first = parse_body_elt st in
+  (match first with
+  | Rule.Count _ -> raise (Parse_error "nested #count is not supported")
+  | _ -> ());
+  let rec loop acc =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      match parse_body_elt st with
+      | Rule.Count _ -> raise (Parse_error "nested #count is not supported")
+      | e -> loop (e :: acc)
+    end
+    else List.rev acc
+  in
+  loop [ first ]
+
+let parse_body st =
+  let first = parse_body_elt st in
+  let rec loop acc =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      loop (parse_body_elt st :: acc)
+    end
+    else List.rev acc
+  in
+  loop [ first ]
+
+let parse_choice_elt st =
+  let atom = parse_atom st in
+  if peek st = Lexer.COLON then begin
+    advance st;
+    let first = parse_atom st in
+    let rec loop acc =
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        loop (parse_atom st :: acc)
+      end
+      else List.rev acc
+    in
+    { Rule.choice_atom = atom; condition = loop [ first ] }
+  end
+  else { Rule.choice_atom = atom; condition = [] }
+
+let parse_choice st lower =
+  expect st Lexer.LBRACE;
+  let elts =
+    if peek st = Lexer.RBRACE then []
+    else begin
+      let first = parse_choice_elt st in
+      let rec loop acc =
+        if peek st = Lexer.SEMI then begin
+          advance st;
+          loop (parse_choice_elt st :: acc)
+        end
+        else List.rev acc
+      in
+      loop [ first ]
+    end
+  in
+  expect st Lexer.RBRACE;
+  let upper =
+    match peek st with
+    | Lexer.INT u ->
+      advance st;
+      Some u
+    | _ -> None
+  in
+  Rule.Choice (lower, elts, upper)
+
+let parse_rule st =
+  match peek st with
+  | Lexer.IF ->
+    advance st;
+    let body = parse_body st in
+    expect st Lexer.DOT;
+    Rule.constraint_ body
+  | Lexer.WEAK_IF ->
+    advance st;
+    let body = parse_body st in
+    expect st Lexer.DOT;
+    expect st Lexer.LBRACKET;
+    let weight = parse_term st in
+    expect st Lexer.RBRACKET;
+    Rule.weak weight body
+  | _ ->
+    let head =
+      match peek st with
+      | Lexer.LBRACE -> parse_choice st None
+      | Lexer.INT l when peek2 st = Lexer.LBRACE ->
+        advance st;
+        parse_choice st (Some l)
+      | _ -> Rule.Head (parse_atom st)
+    in
+    let body =
+      if peek st = Lexer.IF then begin
+        advance st;
+        parse_body st
+      end
+      else []
+    in
+    expect st Lexer.DOT;
+    { Rule.head; body }
+
+(** Parse a full program from a string. Raises [Parse_error] or
+    [Lexer.Lex_error] on malformed input. *)
+let parse_program input =
+  let st = { toks = Lexer.tokenize input } in
+  let rec loop acc =
+    if peek st = Lexer.EOF then List.rev acc else loop (parse_rule st :: acc)
+  in
+  Program.of_rules (loop [])
+
+(** Parse a single ground-or-not atom from a string. *)
+let parse_atom_string input =
+  let st = { toks = Lexer.tokenize input } in
+  let a = parse_atom st in
+  expect st Lexer.EOF;
+  a
+
+(** Parse a single rule (with trailing dot) from a string. *)
+let parse_rule_string input =
+  let st = { toks = Lexer.tokenize input } in
+  let r = parse_rule st in
+  expect st Lexer.EOF;
+  r

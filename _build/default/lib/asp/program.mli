@@ -1,0 +1,29 @@
+(** ASP programs: ordered rule lists with convenience operations. *)
+
+type t = { rules : Rule.t list }
+
+val empty : t
+val of_rules : Rule.t list -> t
+val rules : t -> Rule.t list
+val add_rule : t -> Rule.t -> t
+val append : t -> t -> t
+val concat : t list -> t
+val size : t -> int
+val is_empty : t -> bool
+
+(** Ground atoms asserted as facts (head with empty body). *)
+val facts : t -> Atom.t list
+
+val constraints : t -> Rule.t list
+
+(** All predicate name/arity pairs appearing anywhere in the program. *)
+val predicates : t -> (string * int) list
+
+val is_ground_rule : Rule.t -> bool
+val is_ground : t -> bool
+
+(** Add ground atoms as facts (used to inject contexts). *)
+val with_facts : t -> Atom.t list -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,310 @@
+(** ASP rules: normal rules, constraints, and choice rules.
+
+    The paper's framework (Section II-A) uses the subset of ASP consisting
+    of normal rules and constraints; choice rules are additionally supported
+    because policy *generation* (enumerating the valid decisions of a
+    generative policy model) is naturally expressed with them. *)
+
+type cmp_op = Eq | Neq | Lt | Le | Gt | Ge
+
+(** A body element: a positive/negated atom, a comparison builtin, or a
+    [#count] aggregate. Aggregates are admitted only in constraint and
+    weak-constraint bodies (enforced by the grounder), where their
+    model-level evaluation is semantically unambiguous. *)
+type body_elt =
+  | Pos of Atom.t
+  | Neg of Atom.t  (** negation as failure: [not a] *)
+  | Cmp of cmp_op * Term.t * Term.t
+  | Count of count
+
+(** [#count { tuple : conditions } op bound] — the number of distinct
+    ground instantiations of [tuple] under which every condition holds. *)
+and count = {
+  tuple : Term.t list;
+  conditions : body_elt list;  (** Pos/Neg/Cmp only (no nesting) *)
+  count_op : cmp_op;
+  bound : Term.t;
+}
+
+(** A choice element [a : cond] — the atom is choosable whenever the
+    (positive-literal) condition holds. *)
+type choice_elt = { choice_atom : Atom.t; condition : Atom.t list }
+
+type head =
+  | Head of Atom.t  (** normal rule *)
+  | Falsity  (** constraint; empty head *)
+  | Choice of int option * choice_elt list * int option
+      (** [l { e1; ...; en } u] with optional bounds *)
+  | Weak of Term.t
+      (** weak constraint [:~ body. [w]] — violating it costs [w] *)
+
+type t = { head : head; body : body_elt list }
+
+let normal head body = { head = Head head; body }
+let fact atom = { head = Head atom; body = [] }
+let constraint_ body = { head = Falsity; body }
+let weak weight body = { head = Weak weight; body }
+let choice ?lower ?upper elts body = { head = Choice (lower, elts, upper); body }
+
+let is_fact r = match (r.head, r.body) with Head _, [] -> true | _ -> false
+let is_constraint r = match r.head with Falsity -> true | _ -> false
+
+let cmp_op_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let eval_cmp op (t1 : Term.t) (t2 : Term.t) =
+  let c = Term.compare t1 t2 in
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> ( match (t1, t2) with Term.Int a, Term.Int b -> a < b | _ -> c < 0)
+  | Le -> ( match (t1, t2) with Term.Int a, Term.Int b -> a <= b | _ -> c <= 0)
+  | Gt -> ( match (t1, t2) with Term.Int a, Term.Int b -> a > b | _ -> c > 0)
+  | Ge -> ( match (t1, t2) with Term.Int a, Term.Int b -> a >= b | _ -> c >= 0)
+
+let rec body_elt_vars = function
+  | Pos a | Neg a -> Atom.vars a
+  | Cmp (_, t1, t2) -> Term.vars t1 @ Term.vars t2
+  | Count c ->
+    List.concat_map Term.vars c.tuple
+    @ List.concat_map body_elt_vars c.conditions
+    @ Term.vars c.bound
+
+let head_vars = function
+  | Head a -> Atom.vars a
+  | Falsity -> []
+  | Weak w -> Term.vars w
+  | Choice (_, elts, _) ->
+    List.concat_map
+      (fun e -> Atom.vars e.choice_atom @ List.concat_map Atom.vars e.condition)
+      elts
+
+let vars r =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  let all = head_vars r.head @ List.concat_map body_elt_vars r.body in
+  List.rev (List.fold_left add [] all)
+
+(** Variables bound by positive body literals (including choice-element
+    conditions do not bind; they are local). A rule is safe iff every
+    variable appears in some positive body literal — except that choice
+    element conditions may bind the element's local variables. *)
+let positive_body_vars r =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  List.rev
+    (List.fold_left
+       (fun acc -> function
+         | Pos a -> List.fold_left add acc (Atom.vars a)
+         | Neg _ | Cmp _ | Count _ -> acc)
+       [] r.body)
+
+(** Variables bound during grounding: those of positive body literals, plus
+    variables defined by an equality [V = t] (or [t = V]) whose right-hand
+    side becomes ground once already-bound variables are substituted. The
+    equality closure is iterated to a fixpoint. *)
+let bound_vars r =
+  let base = positive_body_vars r in
+  let step bound =
+    List.fold_left
+      (fun bound elt ->
+        match elt with
+        | Cmp (Eq, Term.Var v, t) | Cmp (Eq, t, Term.Var v) ->
+          if
+            (not (List.mem v bound))
+            && List.for_all (fun w -> List.mem w bound) (Term.vars t)
+          then v :: bound
+          else bound
+        | Pos _ | Neg _ | Cmp _ | Count _ -> bound)
+      bound r.body
+  in
+  let rec fix bound =
+    let bound' = step bound in
+    if List.length bound' = List.length bound then bound else fix bound'
+  in
+  fix base
+
+let is_safe r =
+  let bound = bound_vars r in
+  let head_ok =
+    match r.head with
+    | Head a -> List.for_all (fun v -> List.mem v bound) (Atom.vars a)
+    | Falsity -> true
+    | Weak w -> List.for_all (fun v -> List.mem v bound) (Term.vars w)
+    | Choice (_, elts, _) ->
+      List.for_all
+        (fun e ->
+          let local =
+            bound @ List.concat_map Atom.vars e.condition
+          in
+          List.for_all (fun v -> List.mem v local) (Atom.vars e.choice_atom))
+        elts
+  in
+  let body_ok =
+    List.for_all
+      (function
+        | Pos _ -> true
+        | Neg a -> List.for_all (fun v -> List.mem v bound) (Atom.vars a)
+        | Cmp (_, t1, t2) ->
+          List.for_all (fun v -> List.mem v bound) (Term.vars t1 @ Term.vars t2)
+        | Count c ->
+          (* local variables must be bound by the count's own positive
+             conditions; everything else by the outer body *)
+          let local =
+            List.concat_map
+              (function Pos a -> Atom.vars a | _ -> [])
+              c.conditions
+          in
+          let ok v = List.mem v bound || List.mem v local in
+          List.for_all ok (List.concat_map Term.vars c.tuple)
+          && List.for_all ok (Term.vars c.bound)
+          && List.for_all
+               (function
+                 | Pos _ -> true
+                 | Neg a -> List.for_all ok (Atom.vars a)
+                 | Cmp (_, t1, t2) ->
+                   List.for_all ok (Term.vars t1 @ Term.vars t2)
+                 | Count _ -> false (* no nesting *))
+               c.conditions)
+      r.body
+  in
+  head_ok && body_ok
+
+let rec apply_body_elt s = function
+  | Pos a -> Pos (Atom.apply s a)
+  | Neg a -> Neg (Atom.apply s a)
+  | Cmp (op, t1, t2) -> Cmp (op, Term.apply s t1, Term.apply s t2)
+  | Count c ->
+    Count
+      {
+        tuple = List.map (Term.apply s) c.tuple;
+        conditions = List.map (apply_body_elt s) c.conditions;
+        count_op = c.count_op;
+        bound = Term.apply s c.bound;
+      }
+
+let apply s r =
+  let head =
+    match r.head with
+    | Head a -> Head (Atom.apply s a)
+    | Falsity -> Falsity
+    | Weak w -> Weak (Term.apply s w)
+    | Choice (l, elts, u) ->
+      Choice
+        ( l,
+          List.map
+            (fun e ->
+              {
+                choice_atom = Atom.apply s e.choice_atom;
+                condition = List.map (Atom.apply s) e.condition;
+              })
+            elts,
+          u )
+  in
+  { head; body = List.map (apply_body_elt s) r.body }
+
+let rec compare_body_elt e1 e2 =
+  match (e1, e2) with
+  | Pos a, Pos b | Neg a, Neg b -> Atom.compare a b
+  | Pos _, _ -> -1
+  | _, Pos _ -> 1
+  | Neg _, _ -> -1
+  | _, Neg _ -> 1
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) ->
+    let c = Stdlib.compare o1 o2 in
+    if c <> 0 then c
+    else
+      let c = Term.compare a1 a2 in
+      if c <> 0 then c else Term.compare b1 b2
+  | Cmp _, _ -> -1
+  | _, Cmp _ -> 1
+  | Count c1, Count c2 ->
+    let c = Term.compare_list c1.tuple c2.tuple in
+    if c <> 0 then c
+    else
+      let c = List.compare compare_body_elt c1.conditions c2.conditions in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare c1.count_op c2.count_op in
+        if c <> 0 then c else Term.compare c1.bound c2.bound
+
+let compare r1 r2 =
+  let compare_choice_elt e1 e2 =
+    let c = Atom.compare e1.choice_atom e2.choice_atom in
+    if c <> 0 then c
+    else
+      List.compare Atom.compare e1.condition e2.condition
+  in
+  let compare_head h1 h2 =
+    match (h1, h2) with
+    | Head a, Head b -> Atom.compare a b
+    | Head _, _ -> -1
+    | _, Head _ -> 1
+    | Falsity, Falsity -> 0
+    | Falsity, _ -> -1
+    | _, Falsity -> 1
+    | Weak w1, Weak w2 -> Term.compare w1 w2
+    | Weak _, _ -> -1
+    | _, Weak _ -> 1
+    | Choice (l1, e1, u1), Choice (l2, e2, u2) ->
+      let c = Stdlib.compare l1 l2 in
+      if c <> 0 then c
+      else
+        let c = List.compare compare_choice_elt e1 e2 in
+        if c <> 0 then c else Stdlib.compare u1 u2
+  in
+  let c = compare_head r1.head r2.head in
+  if c <> 0 then c else List.compare compare_body_elt r1.body r2.body
+
+let equal r1 r2 = compare r1 r2 = 0
+
+let rec pp_body_elt ppf = function
+  | Pos a -> Atom.pp ppf a
+  | Neg a -> Fmt.pf ppf "not %a" Atom.pp a
+  | Cmp (op, t1, t2) ->
+    Fmt.pf ppf "%a %s %a" Term.pp t1 (cmp_op_to_string op) Term.pp t2
+  | Count c ->
+    Fmt.pf ppf "#count { %a : %a } %s %a"
+      Fmt.(list ~sep:(any ", ") Term.pp)
+      c.tuple
+      Fmt.(list ~sep:(any ", ") pp_body_elt)
+      c.conditions
+      (cmp_op_to_string c.count_op)
+      Term.pp c.bound
+
+let pp_choice_elt ppf e =
+  match e.condition with
+  | [] -> Atom.pp ppf e.choice_atom
+  | conds ->
+    Fmt.pf ppf "%a : %a" Atom.pp e.choice_atom
+      Fmt.(list ~sep:(any ", ") Atom.pp)
+      conds
+
+let pp_head ppf = function
+  | Head a -> Atom.pp ppf a
+  | Falsity -> ()
+  | Weak _ -> ()
+  | Choice (l, elts, u) ->
+    let pp_bound ppf = function Some n -> Fmt.pf ppf "%d " n | None -> () in
+    let pp_ubound ppf = function Some n -> Fmt.pf ppf " %d" n | None -> () in
+    Fmt.pf ppf "%a{ %a }%a" pp_bound l
+      Fmt.(list ~sep:(any "; ") pp_choice_elt)
+      elts pp_ubound u
+
+let pp ppf r =
+  match (r.head, r.body) with
+  | Head a, [] -> Fmt.pf ppf "%a." Atom.pp a
+  | Choice _, [] -> Fmt.pf ppf "%a." pp_head r.head
+  | Falsity, body ->
+    Fmt.pf ppf ":- %a." Fmt.(list ~sep:(any ", ") pp_body_elt) body
+  | Weak w, body ->
+    Fmt.pf ppf ":~ %a. [%a]"
+      Fmt.(list ~sep:(any ", ") pp_body_elt)
+      body Term.pp w
+  | head, body ->
+    Fmt.pf ppf "%a :- %a." pp_head head Fmt.(list ~sep:(any ", ") pp_body_elt) body
+
+let to_string r = Fmt.str "%a" pp r

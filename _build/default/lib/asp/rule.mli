@@ -1,0 +1,85 @@
+(** ASP rules: normal rules, constraints, choice rules with cardinality
+    bounds, and weak constraints (optimization).
+
+    The paper's framework uses the normal-rule + constraint subset
+    (Section II-A); choice rules support policy {e generation} and weak
+    constraints support utility-based policies. *)
+
+type cmp_op = Eq | Neq | Lt | Le | Gt | Ge
+
+(** A body element: a positive/negated atom, a comparison builtin, or a
+    [#count] aggregate (constraint/weak-constraint bodies only). *)
+type body_elt =
+  | Pos of Atom.t
+  | Neg of Atom.t  (** negation as failure: [not a] *)
+  | Cmp of cmp_op * Term.t * Term.t
+  | Count of count
+
+(** [#count { tuple : conditions } op bound]. *)
+and count = {
+  tuple : Term.t list;
+  conditions : body_elt list;  (** Pos/Neg/Cmp only (no nesting) *)
+  count_op : cmp_op;
+  bound : Term.t;
+}
+
+(** A choice element [a : cond]: the atom is choosable whenever the
+    (positive) condition holds. *)
+type choice_elt = { choice_atom : Atom.t; condition : Atom.t list }
+
+type head =
+  | Head of Atom.t  (** normal rule *)
+  | Falsity  (** constraint; empty head *)
+  | Choice of int option * choice_elt list * int option
+      (** [l { e1; ...; en } u] with optional bounds *)
+  | Weak of Term.t
+      (** weak constraint [:~ body. [w]] — violating it costs [w] *)
+
+type t = { head : head; body : body_elt list }
+
+(** {2 Construction} *)
+
+val normal : Atom.t -> body_elt list -> t
+val fact : Atom.t -> t
+val constraint_ : body_elt list -> t
+val weak : Term.t -> body_elt list -> t
+val choice : ?lower:int -> ?upper:int -> choice_elt list -> body_elt list -> t
+
+(** {2 Inspection} *)
+
+val is_fact : t -> bool
+val is_constraint : t -> bool
+val cmp_op_to_string : cmp_op -> string
+
+(** Evaluate a comparison on (preferably ground) terms; integers compare
+    numerically, other ground terms structurally. *)
+val eval_cmp : cmp_op -> Term.t -> Term.t -> bool
+
+val body_elt_vars : body_elt -> string list
+val head_vars : head -> string list
+val vars : t -> string list
+val positive_body_vars : t -> string list
+
+(** Variables bound during grounding: positive body literals plus
+    [V = t] equalities, closed under iteration. *)
+val bound_vars : t -> string list
+
+(** Safety: every variable of the rule is bound (choice-element
+    conditions may bind the element's local variables). *)
+val is_safe : t -> bool
+
+(** {2 Substitution} *)
+
+val apply_body_elt : Term.subst -> body_elt -> body_elt
+val apply : Term.subst -> t -> t
+
+(** {2 Comparison and printing} *)
+
+val compare_body_elt : body_elt -> body_elt -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp_body_elt : Format.formatter -> body_elt -> unit
+val pp_choice_elt : Format.formatter -> choice_elt -> unit
+val pp_head : Format.formatter -> head -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,403 @@
+(** Stable-model (answer-set) computation.
+
+    The solver grounds the program, narrows the search space with
+    well-founded propagation, then runs a DPLL-style search over the
+    remaining unknown atoms. Each complete assignment is verified against
+    the Gelfond–Lifschitz condition (least model of the reduct equals the
+    candidate), so the search is sound and complete for normal rules,
+    constraints, and choice rules with cardinality bounds. *)
+
+type model = Atom.Set.t
+
+let pp_model ppf m =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Atom.pp) (Atom.Set.elements m)
+
+let model_to_string m = Fmt.str "%a" pp_model m
+
+type value = True | False | Unknown
+
+exception Conflict
+exception Done
+
+(* Integer-indexed view of the ground program. *)
+type irule = {
+  ihead : ihead;
+  ipos : int array;
+  ineg : int array;
+}
+
+and ihead =
+  | IAtom of int
+  | IFalse
+  | IWeak of int  (** weight of a weak-constraint instance *)
+  | IChoice of int option * int array * int option
+
+type search_state = {
+  atoms : Atom.t array;
+  rules : irule list;
+  rules_by_head : int list array;  (** rule indices that can derive atom i *)
+  rule_arr : irule array;
+  assignment : value array;
+  count_rules : Grounder.ground_rule list;
+      (** aggregate-bearing constraints/weak rules, checked on candidate
+          models rather than during propagation *)
+}
+
+let index_program (gp : Grounder.ground_program) =
+  let atoms = Array.of_list (Atom.Set.elements gp.base) in
+  let id_of = Hashtbl.create (Array.length atoms * 2) in
+  Array.iteri (fun i a -> Hashtbl.replace id_of a i) atoms;
+  let id a = Hashtbl.find id_of a in
+  let count_rules, plain_rules =
+    List.partition
+      (fun (r : Grounder.ground_rule) -> r.gcounts <> [])
+      gp.grules
+  in
+  let rules =
+    List.map
+      (fun (r : Grounder.ground_rule) ->
+        {
+          ihead =
+            (match r.ghead with
+            | Grounder.GAtom a -> IAtom (id a)
+            | Grounder.GFalse -> IFalse
+            | Grounder.GWeak w -> IWeak w
+            | Grounder.GChoice (l, ats, u) ->
+              IChoice (l, Array.of_list (List.map id ats), u));
+          ipos = Array.of_list (List.map id r.gpos);
+          ineg = Array.of_list (List.map id r.gneg);
+        })
+      plain_rules
+  in
+  let rule_arr = Array.of_list rules in
+  let rules_by_head = Array.make (Array.length atoms) [] in
+  Array.iteri
+    (fun ri r ->
+      match r.ihead with
+      | IAtom h -> rules_by_head.(h) <- ri :: rules_by_head.(h)
+      | IFalse | IWeak _ -> ()
+      | IChoice (_, ats, _) ->
+        Array.iter (fun a -> rules_by_head.(a) <- ri :: rules_by_head.(a)) ats)
+    rule_arr;
+  {
+    atoms;
+    rules;
+    rules_by_head;
+    rule_arr;
+    assignment = Array.make (Array.length atoms) Unknown;
+    count_rules;
+  }
+
+(* -- Propagation ------------------------------------------------------- *)
+
+let body_status st r =
+  (* Tri-valued status of a rule body: [`Sat], [`Blocked], or [`Open]. *)
+  let blocked = ref false and open_ = ref false in
+  Array.iter
+    (fun a ->
+      match st.assignment.(a) with
+      | True -> ()
+      | False -> blocked := true
+      | Unknown -> open_ := true)
+    r.ipos;
+  Array.iter
+    (fun a ->
+      match st.assignment.(a) with
+      | False -> ()
+      | True -> blocked := true
+      | Unknown -> open_ := true)
+    r.ineg;
+  if !blocked then `Blocked else if !open_ then `Open else `Sat
+
+(** A rule can still support its head atom [a] if its body is not blocked. *)
+let rule_supports st ri a =
+  let r = st.rule_arr.(ri) in
+  match r.ihead with
+  | IAtom h -> h = a && body_status st r <> `Blocked
+  | IChoice (_, ats, _) ->
+    Array.exists (fun x -> x = a) ats && body_status st r <> `Blocked
+  | IFalse | IWeak _ -> false
+
+let set st i v =
+  match st.assignment.(i) with
+  | Unknown -> st.assignment.(i) <- v; true
+  | existing -> if existing = v then false else raise Conflict
+
+(** Deterministic consequences at the current assignment. Raises [Conflict]
+    when a constraint fires or a forced value contradicts the assignment. *)
+let propagate st =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* forward: satisfied bodies derive their normal heads *)
+    List.iter
+      (fun r ->
+        match r.ihead with
+        | IAtom h ->
+          if body_status st r = `Sat then
+            if set st h True then changed := true
+        | IFalse -> (
+          match body_status st r with
+          | `Sat -> raise Conflict
+          | `Open ->
+            (* unit propagation on constraints *)
+            let unknown_pos = ref [] and unknown_neg = ref [] in
+            Array.iter
+              (fun a -> if st.assignment.(a) = Unknown then unknown_pos := a :: !unknown_pos)
+              r.ipos;
+            Array.iter
+              (fun a -> if st.assignment.(a) = Unknown then unknown_neg := a :: !unknown_neg)
+              r.ineg;
+            (match (!unknown_pos, !unknown_neg) with
+            | [ a ], [] -> if set st a False then changed := true
+            | [], [ a ] -> if set st a True then changed := true
+            | _ -> ())
+          | `Blocked -> ())
+        | IWeak _ -> ()
+        | IChoice (lower, ats, upper) ->
+          if body_status st r = `Sat then begin
+            let n_true = ref 0 and n_unknown = ref 0 in
+            Array.iter
+              (fun a ->
+                match st.assignment.(a) with
+                | True -> incr n_true
+                | Unknown -> incr n_unknown
+                | False -> ())
+              ats;
+            (match upper with
+            | Some u ->
+              if !n_true > u then raise Conflict
+              else if !n_true = u && !n_unknown > 0 then
+                (* remaining elements must be false *)
+                Array.iter
+                  (fun a ->
+                    if st.assignment.(a) = Unknown then
+                      if set st a False then changed := true)
+                  ats
+            | None -> ());
+            match lower with
+            | Some l ->
+              if !n_true + !n_unknown < l then raise Conflict
+              else if !n_true + !n_unknown = l && !n_unknown > 0 then
+                Array.iter
+                  (fun a ->
+                    if st.assignment.(a) = Unknown then
+                      if set st a True then changed := true)
+                  ats
+            | None -> ()
+          end)
+      st.rules;
+    (* backward: an atom with no remaining support must be false *)
+    Array.iteri
+      (fun i v ->
+        if v = Unknown then
+          let supported =
+            List.exists (fun ri -> rule_supports st ri i) st.rules_by_head.(i)
+          in
+          if not supported then if set st i False then changed := true)
+      st.assignment
+  done
+
+(* -- Stability check --------------------------------------------------- *)
+
+(** Gelfond–Lifschitz check: the least model of the reduct w.r.t. the
+    candidate must equal the candidate; constraints and cardinality bounds
+    must hold. *)
+let is_stable st =
+  let in_m i = st.assignment.(i) = True in
+  let n = Array.length st.atoms in
+  let derived = Array.make n false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        let neg_ok = Array.for_all (fun a -> not (in_m a)) r.ineg in
+        let pos_ok = Array.for_all (fun a -> derived.(a)) r.ipos in
+        if neg_ok && pos_ok then
+          match r.ihead with
+          | IAtom h ->
+            if not derived.(h) then begin
+              derived.(h) <- true;
+              changed := true
+            end
+          | IFalse | IWeak _ -> ()
+          | IChoice (_, ats, _) ->
+            Array.iter
+              (fun a ->
+                if in_m a && not derived.(a) then begin
+                  derived.(a) <- true;
+                  changed := true
+                end)
+              ats)
+      st.rules
+  done;
+  let least_equals_m = ref true in
+  for i = 0 to n - 1 do
+    if derived.(i) <> in_m i then least_equals_m := false
+  done;
+  !least_equals_m
+  && List.for_all
+       (fun r ->
+         let body_sat =
+           Array.for_all in_m r.ipos
+           && Array.for_all (fun a -> not (in_m a)) r.ineg
+         in
+         match r.ihead with
+         | IFalse -> not body_sat
+         | IAtom _ | IWeak _ -> true
+         | IChoice (lower, ats, upper) ->
+           if not body_sat then true
+           else begin
+             let k = Array.fold_left (fun acc a -> if in_m a then acc + 1 else acc) 0 ats in
+             (match lower with Some l -> k >= l | None -> true)
+             && match upper with Some u -> k <= u | None -> true
+           end)
+       st.rules
+
+(* -- Search ------------------------------------------------------------ *)
+
+let extract_model st =
+  let m = ref Atom.Set.empty in
+  Array.iteri
+    (fun i v -> if v = True then m := Atom.Set.add st.atoms.(i) !m)
+    st.assignment;
+  !m
+
+(** Enumerate stable models of a ground program, up to [limit].
+    [wellfounded:false] disables the well-founded narrowing (exposed for
+    the ablation benchmark); the result is unchanged, only slower. *)
+let solve_ground ?limit ?(wellfounded = true) (gp : Grounder.ground_program) :
+    model list =
+  let st = index_program gp in
+  if wellfounded then begin
+    let wf = Wellfounded.compute gp in
+    try
+      Array.iteri
+        (fun i a ->
+          if Atom.Set.mem a wf.Wellfounded.lower then ignore (set st i True)
+          else if not (Atom.Set.mem a wf.Wellfounded.upper) then
+            ignore (set st i False))
+        st.atoms
+    with Conflict -> ()
+  end;
+  let found = ref [] in
+  let count = ref 0 in
+  let aggregate_constraints_ok m =
+    List.for_all
+      (fun (r : Grounder.ground_rule) ->
+        match r.ghead with
+        | Grounder.GFalse ->
+          let body_sat =
+            List.for_all (fun a -> Atom.Set.mem a m) r.gpos
+            && List.for_all (fun a -> not (Atom.Set.mem a m)) r.gneg
+            && List.for_all (fun c -> Query.count_holds m c) r.gcounts
+          in
+          not body_sat
+        | Grounder.GAtom _ | Grounder.GWeak _ | Grounder.GChoice _ -> true)
+      st.count_rules
+  in
+  let record () =
+    if is_stable st then begin
+      let m = extract_model st in
+      if aggregate_constraints_ok m then begin
+        found := m :: !found;
+        incr count;
+        match limit with Some l when !count >= l -> raise Done | _ -> ()
+      end
+    end
+  in
+  let snapshot () = Array.copy st.assignment in
+  let restore snap = Array.blit snap 0 st.assignment 0 (Array.length snap) in
+  let rec search () =
+    match
+      (try
+         propagate st;
+         `Ok
+       with Conflict -> `Conflict)
+    with
+    | `Conflict -> ()
+    | `Ok -> (
+      (* find an unknown atom to branch on *)
+      let rec find i =
+        if i >= Array.length st.assignment then None
+        else if st.assignment.(i) = Unknown then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> record ()
+      | Some i ->
+        let snap = snapshot () in
+        (* try false first: favours subset-minimal candidates *)
+        st.assignment.(i) <- False;
+        search ();
+        restore snap;
+        st.assignment.(i) <- True;
+        search ();
+        restore snap)
+  in
+  (try search () with Done -> ());
+  List.rev !found
+
+(** Enumerate stable models of a (non-ground) program. *)
+let solve ?limit ?wellfounded (p : Program.t) : model list =
+  solve_ground ?limit ?wellfounded (Grounder.ground p)
+
+let has_answer_set (p : Program.t) : bool =
+  match solve ~limit:1 p with [] -> false | _ -> true
+
+let first_answer_set (p : Program.t) : model option =
+  match solve ~limit:1 p with [] -> None | m :: _ -> Some m
+
+(** Atoms true in at least one answer set (brave consequences), restricted
+    to a predicate when [pred] is given. *)
+let brave_consequences ?pred (p : Program.t) : Atom.Set.t =
+  let models = solve p in
+  let all = List.fold_left Atom.Set.union Atom.Set.empty models in
+  match pred with
+  | None -> all
+  | Some name -> Atom.Set.filter (fun a -> String.equal a.Atom.pred name) all
+
+(** Atoms true in every answer set (cautious consequences); empty when the
+    program has no answer set. *)
+let cautious_consequences ?pred (p : Program.t) : Atom.Set.t =
+  match solve p with
+  | [] -> Atom.Set.empty
+  | first :: rest ->
+    let inter = List.fold_left Atom.Set.inter first rest in
+    (match pred with
+    | None -> inter
+    | Some name -> Atom.Set.filter (fun a -> String.equal a.Atom.pred name) inter)
+
+(* -- Optimization (weak constraints) ----------------------------------- *)
+
+(** Cost of a model: the summed weights of the weak-constraint instances
+    whose bodies it satisfies. *)
+let model_cost (gp : Grounder.ground_program) (m : model) : int =
+  List.fold_left
+    (fun acc (r : Grounder.ground_rule) ->
+      match r.ghead with
+      | Grounder.GWeak w ->
+        let body_sat =
+          List.for_all (fun a -> Atom.Set.mem a m) r.gpos
+          && List.for_all (fun a -> not (Atom.Set.mem a m)) r.gneg
+          && List.for_all (fun c -> Query.count_holds m c) r.gcounts
+        in
+        if body_sat then acc + w else acc
+      | Grounder.GAtom _ | Grounder.GFalse | Grounder.GChoice _ -> acc)
+    0 gp.grules
+
+(** Stable models ranked by weak-constraint cost, cheapest first. *)
+let solve_ranked ?limit (p : Program.t) : (model * int) list =
+  let gp = Grounder.ground p in
+  let models = solve_ground ?limit gp in
+  List.map (fun m -> (m, model_cost gp m)) models
+  |> List.stable_sort (fun (_, c1) (_, c2) -> Int.compare c1 c2)
+
+(** The optimal stable models (all tied at minimal cost) and their cost.
+    [None] when the program has no stable model. *)
+let solve_optimal ?limit (p : Program.t) : (model list * int) option =
+  match solve_ranked ?limit p with
+  | [] -> None
+  | (_, best) :: _ as ranked ->
+    Some (List.map fst (List.filter (fun (_, c) -> c = best) ranked), best)

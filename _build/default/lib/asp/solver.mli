@@ -1,0 +1,41 @@
+(** Stable-model (answer-set) computation: well-founded narrowing followed
+    by DPLL-style search with a Gelfond–Lifschitz stability check at each
+    complete assignment. Sound and complete for normal rules, constraints
+    and bounded choice rules; weak constraints rank models. *)
+
+type model = Atom.Set.t
+
+val pp_model : Format.formatter -> model -> unit
+val model_to_string : model -> string
+
+(** Enumerate stable models of a ground program, up to [limit].
+    [wellfounded:false] disables the well-founded narrowing (ablation
+    knob); results are identical, search is slower. *)
+val solve_ground :
+  ?limit:int -> ?wellfounded:bool -> Grounder.ground_program -> model list
+
+(** Ground and solve. *)
+val solve : ?limit:int -> ?wellfounded:bool -> Program.t -> model list
+
+val has_answer_set : Program.t -> bool
+val first_answer_set : Program.t -> model option
+
+(** Atoms true in at least one answer set, optionally restricted to a
+    predicate. *)
+val brave_consequences : ?pred:string -> Program.t -> Atom.Set.t
+
+(** Atoms true in every answer set; empty if there is none. *)
+val cautious_consequences : ?pred:string -> Program.t -> Atom.Set.t
+
+(** {2 Optimization (weak constraints)} *)
+
+(** Summed weights of the weak-constraint instances whose bodies the
+    model satisfies. *)
+val model_cost : Grounder.ground_program -> model -> int
+
+(** Stable models ranked by cost, cheapest first. *)
+val solve_ranked : ?limit:int -> Program.t -> (model * int) list
+
+(** The minimal-cost stable models and their cost; [None] if the program
+    has no stable model. *)
+val solve_optimal : ?limit:int -> Program.t -> (model list * int) option

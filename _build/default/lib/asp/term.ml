@@ -1,0 +1,153 @@
+(** First-order terms for the ASP substrate.
+
+    A term is a variable, an integer, or a function application. Constants
+    are nullary function applications. Arithmetic expressions and intervals
+    are kept symbolic until grounding evaluates them. *)
+
+type t =
+  | Var of string
+  | Int of int
+  | Fun of string * t list
+  | Binop of binop * t * t
+  | Interval of t * t  (** [l..u], expanded during grounding *)
+
+and binop = Add | Sub | Mul | Div | Mod
+
+let var name = Var name
+let int n = Int n
+let const name = Fun (name, [])
+let func name args = Fun (name, args)
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "\\"
+
+let rec compare t1 t2 =
+  match (t1, t2) with
+  | Var a, Var b -> String.compare a b
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Int a, Int b -> Int.compare a b
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Fun (f, fs), Fun (g, gs) ->
+    let c = String.compare f g in
+    if c <> 0 then c else compare_list fs gs
+  | Fun _, _ -> -1
+  | _, Fun _ -> 1
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+    let c = Stdlib.compare o1 o2 in
+    if c <> 0 then c
+    else
+      let c = compare a1 a2 in
+      if c <> 0 then c else compare b1 b2
+  | Binop _, _ -> -1
+  | _, Binop _ -> 1
+  | Interval (a1, b1), Interval (a2, b2) ->
+    let c = compare a1 a2 in
+    if c <> 0 then c else compare b1 b2
+
+and compare_list l1 l2 =
+  match (l1, l2) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+    let c = compare x y in
+    if c <> 0 then c else compare_list xs ys
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let rec is_ground = function
+  | Var _ -> false
+  | Int _ -> true
+  | Fun (_, args) -> List.for_all is_ground args
+  | Binop (_, a, b) -> is_ground a && is_ground b
+  | Interval (a, b) -> is_ground a && is_ground b
+
+(** Free variables of a term, in first-occurrence order without duplicates. *)
+let vars term =
+  let rec go acc = function
+    | Var v -> if List.mem v acc then acc else v :: acc
+    | Int _ -> acc
+    | Fun (_, args) -> List.fold_left go acc args
+    | Binop (_, a, b) -> go (go acc a) b
+    | Interval (a, b) -> go (go acc a) b
+  in
+  List.rev (go [] term)
+
+module Subst = Map.Make (String)
+
+type subst = t Subst.t
+
+let subst_empty : subst = Subst.empty
+let subst_bind v t (s : subst) : subst = Subst.add v t s
+let subst_find v (s : subst) = Subst.find_opt v s
+
+let rec apply (s : subst) term =
+  match term with
+  | Var v -> ( match Subst.find_opt v s with Some t -> t | None -> term)
+  | Int _ -> term
+  | Fun (f, args) -> Fun (f, List.map (apply s) args)
+  | Binop (op, a, b) -> Binop (op, apply s a, apply s b)
+  | Interval (a, b) -> Interval (apply s a, apply s b)
+
+(** Evaluate ground arithmetic. Returns [None] on non-ground input, on
+    division by zero, or when an operand is not an integer. *)
+let rec eval term =
+  match term with
+  | Var _ -> None
+  | Int n -> Some (Int n)
+  | Fun (f, args) ->
+    let rec eval_args acc = function
+      | [] -> Some (List.rev acc)
+      | a :: rest -> (
+        match eval a with
+        | Some a' -> eval_args (a' :: acc) rest
+        | None -> None)
+    in
+    Option.map (fun args' -> Fun (f, args')) (eval_args [] args)
+  | Binop (op, a, b) -> (
+    match (eval a, eval b) with
+    | Some (Int x), Some (Int y) -> (
+      match op with
+      | Add -> Some (Int (x + y))
+      | Sub -> Some (Int (x - y))
+      | Mul -> Some (Int (x * y))
+      | Div -> if y = 0 then None else Some (Int (x / y))
+      | Mod -> if y = 0 then None else Some (Int (x mod y)))
+    | _ -> None)
+  | Interval _ -> None
+
+(** One-way matching: extend [s] so that [apply s pattern = target].
+    [target] must be ground. *)
+let rec match_term (s : subst) pattern target =
+  match (pattern, target) with
+  | Var v, _ -> (
+    match Subst.find_opt v s with
+    | Some bound -> if equal bound target then Some s else None
+    | None -> Some (Subst.add v target s))
+  | Int a, Int b -> if a = b then Some s else None
+  | Fun (f, fargs), Fun (g, gargs)
+    when String.equal f g && List.length fargs = List.length gargs ->
+    let rec go s = function
+      | [], [] -> Some s
+      | p :: ps, t :: ts -> (
+        match match_term s p t with Some s' -> go s' (ps, ts) | None -> None)
+      | _ -> None
+    in
+    go s (fargs, gargs)
+  | _ -> None
+
+let rec pp ppf = function
+  | Var v -> Fmt.string ppf v
+  | Int n -> Fmt.int ppf n
+  | Fun (f, []) -> Fmt.string ppf f
+  | Fun (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp) args
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp a (binop_to_string op) pp b
+  | Interval (a, b) -> Fmt.pf ppf "%a..%a" pp a pp b
+
+let to_string term = Fmt.str "%a" pp term

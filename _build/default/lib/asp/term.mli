@@ -1,0 +1,60 @@
+(** First-order terms: variables, integers, function applications (with
+    nullary applications as constants), symbolic arithmetic, and interval
+    terms expanded during grounding. *)
+
+type t =
+  | Var of string
+  | Int of int
+  | Fun of string * t list
+  | Binop of binop * t * t
+  | Interval of t * t  (** [l..u], expanded during grounding *)
+
+and binop = Add | Sub | Mul | Div | Mod
+
+(** {2 Construction} *)
+
+val var : string -> t
+val int : int -> t
+
+(** A constant: a nullary function application. *)
+val const : string -> t
+
+val func : string -> t list -> t
+
+(** {2 Inspection} *)
+
+val binop_to_string : binop -> string
+
+(** Total order on terms (structural). *)
+val compare : t -> t -> int
+
+val compare_list : t list -> t list -> int
+val equal : t -> t -> bool
+val is_ground : t -> bool
+
+(** Free variables, in first-occurrence order, without duplicates. *)
+val vars : t -> string list
+
+(** {2 Substitutions} *)
+
+module Subst : Map.S with type key = string
+
+type subst = t Subst.t
+
+val subst_empty : subst
+val subst_bind : string -> t -> subst -> subst
+val subst_find : string -> subst -> t option
+val apply : subst -> t -> t
+
+(** Evaluate ground arithmetic. [None] on non-ground input, division by
+    zero, or non-integer operands. *)
+val eval : t -> t option
+
+(** One-way matching: extend the substitution so the pattern equals the
+    (ground) target. *)
+val match_term : subst -> t -> t -> subst option
+
+(** {2 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,11 @@
+(** Well-founded propagation by the alternating fixpoint: a lower bound
+    (atoms true in every stable model) and an upper bound (atoms possibly
+    true). Stratified choice-free programs yield total bounds; the solver
+    branches only between the bounds. *)
+
+type bounds = { lower : Atom.Set.t; upper : Atom.Set.t }
+
+val compute : Grounder.ground_program -> bounds
+
+(** Do the bounds coincide (the well-founded model is total)? *)
+val is_total : bounds -> bool

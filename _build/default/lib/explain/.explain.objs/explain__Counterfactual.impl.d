@@ -1,0 +1,1 @@
+lib/explain/counterfactual.ml: Asg Asp Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/explain/counterfactual.mli: Asg Asp Format

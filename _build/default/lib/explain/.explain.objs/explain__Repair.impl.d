@@ -1,0 +1,1 @@
+lib/explain/repair.ml: Asg Asp Fmt Fun Grammar Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/explain/repair.mli: Asg Asp Format

@@ -1,0 +1,1 @@
+lib/explain/why.ml: Asg Asp Fmt Grammar List String

@@ -1,0 +1,1 @@
+lib/explain/why.mli: Asg Asp Format

@@ -1,0 +1,90 @@
+(** Counterfactual explanations (Section V-B): the minimal change to the
+    context under which a rejected policy would have been valid —
+    the "if your income had been $45,000 you would have been offered a
+    loan" style of explanation the paper borrows from Wachter et al. *)
+
+type change =
+  | Replace of Asp.Atom.t * Asp.Atom.t
+  | Remove of Asp.Atom.t
+  | Add of Asp.Atom.t
+
+let pp_change ppf = function
+  | Replace (a, b) ->
+    Fmt.pf ppf "if %a had been %a" Asp.Atom.pp a Asp.Atom.pp b
+  | Remove a -> Fmt.pf ppf "if %a had not held" Asp.Atom.pp a
+  | Add a -> Fmt.pf ppf "if %a had held" Asp.Atom.pp a
+
+let change_to_string c = Fmt.str "%a" pp_change c
+
+let apply_changes (facts : Asp.Atom.t list) (changes : change list) :
+    Asp.Atom.t list =
+  List.fold_left
+    (fun facts -> function
+      | Replace (old_fact, new_fact) ->
+        new_fact
+        :: List.filter (fun a -> not (Asp.Atom.equal a old_fact)) facts
+      | Remove old_fact ->
+        List.filter (fun a -> not (Asp.Atom.equal a old_fact)) facts
+      | Add new_fact -> new_fact :: facts)
+    facts changes
+
+(** All single changes available from [facts]: replacements from
+    [alternatives], removals (if [allow_remove]), and additions. *)
+let single_changes ?(allow_remove = false) ~alternatives ~additions facts :
+    change list =
+  List.concat_map
+    (fun fact ->
+      List.map (fun alt -> Replace (fact, alt)) (alternatives fact)
+      @ (if allow_remove then [ Remove fact ] else []))
+    facts
+  @ List.filter_map
+      (fun a ->
+        if List.exists (Asp.Atom.equal a) facts then None else Some (Add a))
+      additions
+
+(** Find a minimal counterfactual: the smallest set of context changes
+    (up to [max_changes]) under which [sentence] becomes valid.
+    Breadth-first over change-set size, so the first answer is minimal. *)
+let find ?(max_changes = 2) ?(allow_remove = false)
+    ?(additions = []) ~(alternatives : Asp.Atom.t -> Asp.Atom.t list)
+    (gpm : Asg.Gpm.t) ~(facts : Asp.Atom.t list) (sentence : string) :
+    change list option =
+  let accepted facts =
+    let context = Asp.Program.with_facts Asp.Program.empty facts in
+    Asg.Membership.accepts_in_context gpm ~context sentence
+  in
+  if accepted facts then Some []
+  else begin
+    let singles = single_changes ~allow_remove ~alternatives ~additions facts in
+    (* enumerate change sets of growing size *)
+    let rec combos k (pool : change list) : change list list =
+      if k = 0 then [ [] ]
+      else
+        match pool with
+        | [] -> []
+        | c :: rest ->
+          List.map (fun s -> c :: s) (combos (k - 1) rest) @ combos k rest
+    in
+    let rec try_size k =
+      if k > max_changes then None
+      else
+        let candidates = combos k singles in
+        match
+          List.find_opt
+            (fun changes -> accepted (apply_changes facts changes))
+            candidates
+        with
+        | Some changes -> Some changes
+        | None -> try_size (k + 1)
+    in
+    try_size 1
+  end
+
+(** Human-readable counterfactual sentence. *)
+let to_sentence (sentence : string) (changes : change list) : string =
+  match changes with
+  | [] -> Printf.sprintf "%S is already valid" sentence
+  | _ ->
+    Printf.sprintf "%s, %S would have been valid"
+      (String.concat " and " (List.map change_to_string changes))
+      sentence

@@ -1,0 +1,27 @@
+(** Counterfactual explanations (Section V-B): the minimal context change
+    under which a rejected policy would have been valid. *)
+
+type change =
+  | Replace of Asp.Atom.t * Asp.Atom.t
+  | Remove of Asp.Atom.t
+  | Add of Asp.Atom.t
+
+val pp_change : Format.formatter -> change -> unit
+val change_to_string : change -> string
+val apply_changes : Asp.Atom.t list -> change list -> Asp.Atom.t list
+
+(** Breadth-first over change-set size, so the first answer is minimal;
+    [Some []] when the sentence is already valid, [None] when no change
+    set within [max_changes] helps. *)
+val find :
+  ?max_changes:int ->
+  ?allow_remove:bool ->
+  ?additions:Asp.Atom.t list ->
+  alternatives:(Asp.Atom.t -> Asp.Atom.t list) ->
+  Asg.Gpm.t ->
+  facts:Asp.Atom.t list ->
+  string ->
+  change list option
+
+(** Human-readable counterfactual sentence. *)
+val to_sentence : string -> change list -> string

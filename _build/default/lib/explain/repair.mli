@@ -1,0 +1,28 @@
+(** Policy repair: the minimal token edits making a rejected policy valid
+    in a context (e.g. which unit to add to an undeployable convoy).
+    Breadth-first over edit distance. *)
+
+type edit =
+  | Insert of int * string  (** position, token *)
+  | Delete of int
+  | Replace of int * string
+
+val pp_edit : Format.formatter -> edit -> unit
+val apply_edit : string list -> edit -> string list
+
+type result = {
+  repaired : string;  (** the valid sentence found *)
+  edits : int;  (** edit distance from the original *)
+}
+
+(** A valid sentence within [max_edits] token edits; insertions and
+    replacements draw from the grammar's terminals. *)
+val repair :
+  ?max_edits:int ->
+  ?max_frontier:int ->
+  Asg.Gpm.t ->
+  context:Asp.Program.t ->
+  string ->
+  result option
+
+val to_sentence : string -> result -> string

@@ -1,0 +1,34 @@
+(** Rule-level explanations for policy decisions (Section V-B): witnessing
+    answer sets (why), blocking constraints with fired ground bodies
+    (why-not), and full derivation trees for decision atoms. *)
+
+type blocker = {
+  trace : int list;  (** parse-tree node whose annotation blocks *)
+  constraint_rule : Asp.Rule.t;  (** the instantiated constraint *)
+  fired_body : Asp.Rule.body_elt list;  (** the ground instance that fired *)
+}
+
+type why_not =
+  | Not_in_cfg  (** not even syntactically valid *)
+  | No_model  (** non-constraint annotations are inconsistent *)
+  | Blocked of blocker list
+
+val pp_blocker : Format.formatter -> blocker -> unit
+
+(** Justification tree for a (trace-mangled) decision atom in a witnessing
+    answer set of an accepted sentence. *)
+val why_derivation :
+  Asg.Gpm.t ->
+  context:Asp.Program.t ->
+  string ->
+  Asp.Atom.t ->
+  Asp.Justification.t option
+
+(** Witnessing answer set for an accepted sentence. *)
+val why :
+  Asg.Gpm.t -> context:Asp.Program.t -> string -> Asp.Solver.model option
+
+(** Explain a rejection. *)
+val why_not : Asg.Gpm.t -> context:Asp.Program.t -> string -> why_not
+
+val why_not_to_string : why_not -> string

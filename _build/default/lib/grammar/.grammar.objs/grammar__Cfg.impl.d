@@ -1,0 +1,1 @@
+lib/grammar/cfg.ml: Fmt Hashtbl List Option Printf Production Set String Symbol

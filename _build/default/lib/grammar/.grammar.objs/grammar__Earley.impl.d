@@ -1,0 +1,1 @@
+lib/grammar/earley.ml: Array Cfg Hashtbl List Parse_tree Production Set Stdlib String Symbol

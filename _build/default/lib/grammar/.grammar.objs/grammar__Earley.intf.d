@@ -1,0 +1,1 @@
+lib/grammar/earley.mli: Cfg Parse_tree

@@ -1,0 +1,1 @@
+lib/grammar/generator.ml: Cfg Hashtbl List Parse_tree Production Seq Symbol

@@ -1,0 +1,1 @@
+lib/grammar/generator.mli: Cfg Parse_tree Seq Symbol

@@ -1,0 +1,1 @@
+lib/grammar/parse_tree.ml: Cfg Fmt List Production String Symbol

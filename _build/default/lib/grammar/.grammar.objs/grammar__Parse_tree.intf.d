@@ -1,0 +1,1 @@
+lib/grammar/parse_tree.mli: Cfg Format Production

@@ -1,0 +1,1 @@
+lib/grammar/production.ml: Fmt Int List Symbol

@@ -1,0 +1,1 @@
+lib/grammar/production.mli: Format Symbol

@@ -1,0 +1,1 @@
+lib/grammar/symbol.ml: Fmt String

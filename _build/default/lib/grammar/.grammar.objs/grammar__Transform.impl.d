@@ -1,0 +1,1 @@
+lib/grammar/transform.ml: Cfg List Production Symbol

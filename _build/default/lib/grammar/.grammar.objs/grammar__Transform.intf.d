@@ -1,0 +1,1 @@
+lib/grammar/transform.mli: Cfg

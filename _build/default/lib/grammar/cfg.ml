@@ -1,0 +1,147 @@
+(** Context-free grammars with the standard static analyses.
+
+    Productions are stored in declaration order; their ids are assigned by
+    [make] and are stable across the ASG and learning layers. *)
+
+type t = {
+  start : string;
+  productions : Production.t list;
+  by_lhs : (string, Production.t list) Hashtbl.t;
+}
+
+exception Ill_formed of string
+
+module StrSet = Set.Make (String)
+
+let productions g = g.productions
+let start g = g.start
+let productions_of g nt = Option.value ~default:[] (Hashtbl.find_opt g.by_lhs nt)
+let production_by_id g id = List.find_opt (fun p -> p.Production.id = id) g.productions
+
+let nonterminals g =
+  let s =
+    List.fold_left
+      (fun acc (p : Production.t) ->
+        List.fold_left
+          (fun acc sym ->
+            match sym with
+            | Symbol.Nonterminal n -> StrSet.add n acc
+            | Symbol.Terminal _ -> acc)
+          (StrSet.add p.lhs acc) p.rhs)
+      StrSet.empty g.productions
+  in
+  StrSet.elements s
+
+let terminals g =
+  let s =
+    List.fold_left
+      (fun acc (p : Production.t) ->
+        List.fold_left
+          (fun acc sym ->
+            match sym with
+            | Symbol.Terminal t -> StrSet.add t acc
+            | Symbol.Nonterminal _ -> acc)
+          acc p.rhs)
+      StrSet.empty g.productions
+  in
+  StrSet.elements s
+
+(** Build a grammar from (lhs, rhs) pairs; ids are assigned in order.
+    Raises [Ill_formed] if the start symbol has no production or some
+    nonterminal on a right-hand side has none. *)
+let make ~start rules =
+  let productions =
+    List.mapi (fun id (lhs, rhs) -> Production.make ~id ~lhs ~rhs) rules
+  in
+  let by_lhs = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Production.t) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_lhs p.lhs) in
+      Hashtbl.replace by_lhs p.lhs (existing @ [ p ]))
+    productions;
+  let g = { start; productions; by_lhs } in
+  if not (Hashtbl.mem by_lhs start) then
+    raise (Ill_formed (Printf.sprintf "start symbol %s has no production" start));
+  List.iter
+    (fun nt ->
+      if not (Hashtbl.mem by_lhs nt) then
+        raise (Ill_formed (Printf.sprintf "nonterminal %s has no production" nt)))
+    (nonterminals g);
+  g
+
+(** Nonterminals that can derive the empty string. *)
+let nullable g =
+  let set = ref StrSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Production.t) ->
+        if
+          (not (StrSet.mem p.lhs !set))
+          && List.for_all
+               (function
+                 | Symbol.Terminal _ -> false
+                 | Symbol.Nonterminal n -> StrSet.mem n !set)
+               p.rhs
+        then begin
+          set := StrSet.add p.lhs !set;
+          changed := true
+        end)
+      g.productions
+  done;
+  StrSet.elements !set
+
+(** Nonterminals reachable from the start symbol. *)
+let reachable g =
+  let seen = ref (StrSet.singleton g.start) in
+  let rec visit nt =
+    List.iter
+      (fun (p : Production.t) ->
+        List.iter
+          (function
+            | Symbol.Nonterminal n when not (StrSet.mem n !seen) ->
+              seen := StrSet.add n !seen;
+              visit n
+            | _ -> ())
+          p.rhs)
+      (productions_of g nt)
+  in
+  visit g.start;
+  StrSet.elements !seen
+
+(** Nonterminals that derive at least one terminal string. *)
+let productive g =
+  let set = ref StrSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (p : Production.t) ->
+        if
+          (not (StrSet.mem p.lhs !set))
+          && List.for_all
+               (function
+                 | Symbol.Terminal _ -> true
+                 | Symbol.Nonterminal n -> StrSet.mem n !set)
+               p.rhs
+        then begin
+          set := StrSet.add p.lhs !set;
+          changed := true
+        end)
+      g.productions
+  done;
+  StrSet.elements !set
+
+let is_well_formed g =
+  let prod = productive g in
+  let reach = reachable g in
+  List.mem g.start prod
+  && List.for_all (fun nt -> List.mem nt prod) reach
+
+let pp ppf g =
+  Fmt.pf ppf "start: %s@.%a" g.start
+    Fmt.(list ~sep:(any "@.") Production.pp)
+    g.productions
+
+let to_string g = Fmt.str "%a" pp g

@@ -1,0 +1,33 @@
+(** Context-free grammars with the standard static analyses. Production
+    ids are assigned in declaration order by {!make} and are stable. *)
+
+type t
+
+exception Ill_formed of string
+
+(** Build a grammar from (lhs, rhs) pairs.
+    @raise Ill_formed when the start symbol or a referenced nonterminal
+    has no production. *)
+val make : start:string -> (string * Symbol.t list) list -> t
+
+val productions : t -> Production.t list
+val start : t -> string
+val productions_of : t -> string -> Production.t list
+val production_by_id : t -> int -> Production.t option
+val nonterminals : t -> string list
+val terminals : t -> string list
+
+(** Nonterminals deriving the empty string. *)
+val nullable : t -> string list
+
+(** Nonterminals reachable from the start symbol. *)
+val reachable : t -> string list
+
+(** Nonterminals deriving at least one terminal string. *)
+val productive : t -> string list
+
+(** Every reachable nonterminal (and the start symbol) is productive. *)
+val is_well_formed : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,148 @@
+(** Parsing: an Earley recognizer plus an all-parses enumerator.
+
+    The recognizer is the textbook Earley algorithm (handles any CFG,
+    including ambiguous and left-recursive ones, in cubic time). Parse
+    trees are produced by a memoized span enumerator with a cycle guard:
+    derivations that revisit the same (nonterminal, span) on one path —
+    which only arise from unit cycles like [A -> A] and denote infinite
+    families of trees — are cut off. *)
+
+type item = {
+  prod : Production.t;
+  dot : int;  (** position in the rhs *)
+  origin : int;  (** chart index where this item started *)
+}
+
+module ItemSet = Set.Make (struct
+  type t = item
+
+  let compare = Stdlib.compare
+end)
+
+let next_symbol it =
+  List.nth_opt it.prod.Production.rhs it.dot
+
+(** Earley recognition of a token list. *)
+let recognize (g : Cfg.t) (tokens : string list) : bool =
+  let tokens = Array.of_list tokens in
+  let n = Array.length tokens in
+  let chart = Array.make (n + 1) ItemSet.empty in
+  let add i it =
+    if not (ItemSet.mem it chart.(i)) then begin
+      chart.(i) <- ItemSet.add it chart.(i);
+      true
+    end
+    else false
+  in
+  List.iter
+    (fun p -> ignore (add 0 { prod = p; dot = 0; origin = 0 }))
+    (Cfg.productions_of g (Cfg.start g));
+  for i = 0 to n do
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      ItemSet.iter
+        (fun it ->
+          match next_symbol it with
+          | Some (Symbol.Nonterminal nt) ->
+            (* predict *)
+            List.iter
+              (fun p ->
+                if add i { prod = p; dot = 0; origin = i } then changed := true)
+              (Cfg.productions_of g nt)
+          | Some (Symbol.Terminal t) ->
+            (* scan *)
+            if i < n && String.equal tokens.(i) t then
+              if add (i + 1) { it with dot = it.dot + 1 } then changed := true
+          | None ->
+            (* complete *)
+            ItemSet.iter
+              (fun parent ->
+                match next_symbol parent with
+                | Some (Symbol.Nonterminal nt)
+                  when String.equal nt it.prod.Production.lhs ->
+                  if add i { parent with dot = parent.dot + 1 } then
+                    changed := true
+                | _ -> ())
+              chart.(it.origin))
+        chart.(i)
+    done
+  done;
+  ItemSet.exists
+    (fun it ->
+      it.origin = 0
+      && it.dot = List.length it.prod.Production.rhs
+      && String.equal it.prod.Production.lhs (Cfg.start g))
+    chart.(n)
+
+(** All parse trees of [tokens] from the start symbol, capped at
+    [max_trees] (default 256). *)
+let parses ?(max_trees = 256) (g : Cfg.t) (tokens : string list) :
+    Parse_tree.t list =
+  let tokens = Array.of_list tokens in
+  let n = Array.length tokens in
+  let memo : (string * int * int, Parse_tree.t list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let in_progress : (string * int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* trees for nonterminal [nt] spanning tokens.(i..j-1) *)
+  let rec parse_nt nt i j : Parse_tree.t list =
+    let key = (nt, i, j) in
+    match Hashtbl.find_opt memo key with
+    | Some trees -> trees
+    | None ->
+      if Hashtbl.mem in_progress key then []
+      else begin
+        Hashtbl.replace in_progress key ();
+        let trees =
+          List.concat_map
+            (fun (p : Production.t) ->
+              List.map
+                (fun children -> Parse_tree.Node (p, children))
+                (parse_seq p.rhs i j))
+            (Cfg.productions_of g nt)
+        in
+        Hashtbl.remove in_progress key;
+        (* memoize only cycle-free results: if this call was reached inside
+           another (nt,i,j) cycle the result could be partial *)
+        if Hashtbl.length in_progress = 0 then Hashtbl.replace memo key trees;
+        trees
+      end
+  (* lists of child trees for a symbol sequence spanning i..j *)
+  and parse_seq syms i j : Parse_tree.t list list =
+    match syms with
+    | [] -> if i = j then [ [] ] else []
+    | Symbol.Terminal t :: rest ->
+      if i < j && String.equal tokens.(i) t then
+        List.map (fun tl -> Parse_tree.Leaf t :: tl) (parse_seq rest (i + 1) j)
+      else []
+    | Symbol.Nonterminal nt :: rest ->
+      (* try every split point *)
+      let results = ref [] in
+      for k = i to j do
+        let heads = parse_nt nt i k in
+        if heads <> [] then
+          let tails = parse_seq rest k j in
+          List.iter
+            (fun h -> List.iter (fun tl -> results := (h :: tl) :: !results) tails)
+            heads
+      done;
+      List.rev !results
+  in
+  let all = parse_nt (Cfg.start g) 0 n in
+  if List.length all > max_trees then
+    List.filteri (fun i _ -> i < max_trees) all
+  else all
+
+(** Parse a sentence given as a whitespace-separated string. *)
+let parses_sentence ?max_trees g sentence =
+  let tokens =
+    String.split_on_char ' ' sentence |> List.filter (fun s -> s <> "")
+  in
+  parses ?max_trees g tokens
+
+let recognize_sentence g sentence =
+  let tokens =
+    String.split_on_char ' ' sentence |> List.filter (fun s -> s <> "")
+  in
+  recognize g tokens

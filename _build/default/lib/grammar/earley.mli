@@ -1,0 +1,13 @@
+(** Parsing: Earley recognition (any CFG, cubic time) and an all-parses
+    enumerator (memoized span search; unit-cycle derivations are cut). *)
+
+val recognize : Cfg.t -> string list -> bool
+
+(** All parse trees of the token list from the start symbol, capped at
+    [max_trees] (default 256). *)
+val parses : ?max_trees:int -> Cfg.t -> string list -> Parse_tree.t list
+
+(** Whitespace-tokenizing variants. *)
+
+val parses_sentence : ?max_trees:int -> Cfg.t -> string -> Parse_tree.t list
+val recognize_sentence : Cfg.t -> string -> bool

@@ -1,0 +1,54 @@
+(** Bounded enumeration of the derivation trees (and strings) of a CFG.
+
+    Generation is what turns a generative policy model into concrete
+    policies: the ASG layer enumerates candidate trees here and filters
+    them by annotation satisfiability. Enumeration is depth-bounded and
+    lazily produced. *)
+
+(** All derivation trees for [sym] of depth at most [max_depth]. *)
+let rec trees_for_symbol (g : Cfg.t) ~max_depth (sym : Symbol.t) :
+    Parse_tree.t Seq.t =
+  match sym with
+  | Symbol.Terminal t -> Seq.return (Parse_tree.Leaf t)
+  | Symbol.Nonterminal nt ->
+    if max_depth <= 0 then Seq.empty
+    else
+      Seq.concat_map
+        (fun (p : Production.t) ->
+          Seq.map
+            (fun children -> Parse_tree.Node (p, children))
+            (children_seqs g ~max_depth:(max_depth - 1) p.rhs))
+        (List.to_seq (Cfg.productions_of g nt))
+
+and children_seqs g ~max_depth (syms : Symbol.t list) :
+    Parse_tree.t list Seq.t =
+  match syms with
+  | [] -> Seq.return []
+  | sym :: rest ->
+    Seq.concat_map
+      (fun tree ->
+        Seq.map (fun tl -> tree :: tl) (children_seqs g ~max_depth rest))
+      (trees_for_symbol g ~max_depth sym)
+
+(** Trees of the full grammar (from its start symbol). *)
+let trees ?(max_depth = 8) (g : Cfg.t) : Parse_tree.t Seq.t =
+  trees_for_symbol g ~max_depth (Symbol.Nonterminal (Cfg.start g))
+
+(** Distinct sentences derivable within [max_depth], in generation order. *)
+let sentences ?(max_depth = 8) ?(limit = 10_000) (g : Cfg.t) : string list =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let count = ref 0 in
+  (try
+     Seq.iter
+       (fun tree ->
+         if !count >= limit then raise Exit;
+         let s = Parse_tree.to_sentence tree in
+         if not (Hashtbl.mem seen s) then begin
+           Hashtbl.replace seen s ();
+           out := s :: !out;
+           incr count
+         end)
+       (trees ~max_depth g)
+   with Exit -> ());
+  List.rev !out

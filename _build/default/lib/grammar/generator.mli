@@ -1,0 +1,12 @@
+(** Bounded enumeration of derivation trees and sentences — the raw
+    material of policy generation. *)
+
+(** Derivation trees for one symbol, depth-bounded, lazily. *)
+val trees_for_symbol : Cfg.t -> max_depth:int -> Symbol.t -> Parse_tree.t Seq.t
+
+(** Trees from the grammar's start symbol (default depth 8). *)
+val trees : ?max_depth:int -> Cfg.t -> Parse_tree.t Seq.t
+
+(** Distinct sentences derivable within the depth bound, capped at
+    [limit] trees inspected. *)
+val sentences : ?max_depth:int -> ?limit:int -> Cfg.t -> string list

@@ -1,0 +1,76 @@
+(** Parse trees with per-node traces.
+
+    Following the paper (Section II-A), every node of a parse tree is
+    identified by its {e trace}: the root has trace [[]], the i-th child of
+    a node with trace [t] has trace [t @ [i]] with 1-based [i]. Traces are
+    what the ASG layer uses to re-annotate ASP programs per node. *)
+
+type t =
+  | Leaf of string  (** a terminal token *)
+  | Node of Production.t * t list
+
+type trace = int list
+
+let rec yield = function
+  | Leaf tok -> [ tok ]
+  | Node (_, children) -> List.concat_map yield children
+
+(** The string a tree derives: tokens joined with single spaces. *)
+let to_sentence tree = String.concat " " (yield tree)
+
+let rec depth = function
+  | Leaf _ -> 1
+  | Node (_, children) ->
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let rec size = function
+  | Leaf _ -> 1
+  | Node (_, children) -> 1 + List.fold_left (fun acc c -> acc + size c) 0 children
+
+let root_production = function
+  | Leaf _ -> None
+  | Node (p, _) -> Some p
+
+(** All internal nodes with their traces, root first. *)
+let nodes_with_traces tree : (trace * Production.t * t list) list =
+  let rec go trace acc = function
+    | Leaf _ -> acc
+    | Node (p, children) ->
+      let acc = (List.rev trace, p, children) :: acc in
+      let _, acc =
+        List.fold_left
+          (fun (i, acc) child -> (i + 1, go (i :: trace) acc child))
+          (1, acc) children
+      in
+      acc
+  in
+  List.rev (go [] [] tree)
+
+let trace_to_string (t : trace) =
+  "[" ^ String.concat "," (List.map string_of_int t) ^ "]"
+
+let rec pp ppf = function
+  | Leaf tok -> Fmt.pf ppf "%S" tok
+  | Node (p, children) ->
+    Fmt.pf ppf "(%s@[<hov>" p.Production.lhs;
+    List.iter (fun c -> Fmt.pf ppf " %a" pp c) children;
+    Fmt.pf ppf "@])"
+
+let to_string tree = Fmt.str "%a" pp tree
+
+(** Check the tree is a valid derivation in [g] (each node's children match
+    its production's right-hand side and the production belongs to [g]). *)
+let rec is_valid g tree =
+  match tree with
+  | Leaf _ -> true
+  | Node (p, children) ->
+    List.exists (fun q -> Production.equal p q) (Cfg.productions g)
+    && List.length children = List.length p.Production.rhs
+    && List.for_all2
+         (fun sym child ->
+           match (sym, child) with
+           | Symbol.Terminal t, Leaf tok -> String.equal t tok
+           | Symbol.Nonterminal n, Node (q, _) -> String.equal n q.Production.lhs
+           | _ -> false)
+         p.Production.rhs children
+    && List.for_all (is_valid g) children

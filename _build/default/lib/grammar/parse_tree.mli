@@ -1,0 +1,27 @@
+(** Parse trees with per-node traces (Section II-A of the paper): the root
+    has trace [[]]; the i-th child of a node with trace [t] has trace
+    [t @ [i]], 1-based. *)
+
+type t = Leaf of string | Node of Production.t * t list
+
+type trace = int list
+
+(** Terminal tokens, left to right. *)
+val yield : t -> string list
+
+(** Tokens joined by single spaces. *)
+val to_sentence : t -> string
+
+val depth : t -> int
+val size : t -> int
+val root_production : t -> Production.t option
+
+(** All internal nodes with traces, root first. *)
+val nodes_with_traces : t -> (trace * Production.t * t list) list
+
+val trace_to_string : trace -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Is the tree a valid derivation in the grammar? *)
+val is_valid : Cfg.t -> t -> bool

@@ -1,0 +1,19 @@
+(** A production rule [lhs -> rhs], with a stable identifier used both by
+    the ASG layer (annotations attach to productions) and by the learner
+    (hypothesis rules name the production they extend). *)
+
+type t = { id : int; lhs : string; rhs : Symbol.t list }
+
+let make ~id ~lhs ~rhs = { id; lhs; rhs }
+let arity p = List.length p.rhs
+
+let nonterminal_children p =
+  List.filteri (fun _ s -> not (Symbol.is_terminal s)) p.rhs
+
+let compare a b = Int.compare a.id b.id
+let equal a b = compare a b = 0
+
+let pp ppf p =
+  Fmt.pf ppf "%s -> %a" p.lhs Fmt.(list ~sep:(any " ") Symbol.pp) p.rhs
+
+let to_string p = Fmt.str "%a" pp p

@@ -1,0 +1,15 @@
+(** A production rule [lhs -> rhs] with a stable identifier, used by ASG
+    annotations and by the learner's per-production hypotheses. *)
+
+type t = { id : int; lhs : string; rhs : Symbol.t list }
+
+val make : id:int -> lhs:string -> rhs:Symbol.t list -> t
+val arity : t -> int
+val nonterminal_children : t -> Symbol.t list
+
+(** Productions compare by id. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

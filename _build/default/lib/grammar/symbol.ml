@@ -1,0 +1,24 @@
+(** Grammar symbols: terminals carry the token text they match. *)
+
+type t = Terminal of string | Nonterminal of string
+
+let terminal s = Terminal s
+let nonterminal s = Nonterminal s
+let is_terminal = function Terminal _ -> true | Nonterminal _ -> false
+
+let name = function Terminal s -> s | Nonterminal s -> s
+
+let compare a b =
+  match (a, b) with
+  | Terminal x, Terminal y -> String.compare x y
+  | Terminal _, Nonterminal _ -> -1
+  | Nonterminal _, Terminal _ -> 1
+  | Nonterminal x, Nonterminal y -> String.compare x y
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Terminal s -> Fmt.pf ppf "%S" s
+  | Nonterminal s -> Fmt.string ppf s
+
+let to_string s = Fmt.str "%a" pp s

@@ -1,0 +1,12 @@
+(** Grammar symbols: terminals carry the token they match. *)
+
+type t = Terminal of string | Nonterminal of string
+
+val terminal : string -> t
+val nonterminal : string -> t
+val is_terminal : t -> bool
+val name : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

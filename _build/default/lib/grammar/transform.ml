@@ -1,0 +1,57 @@
+(** Grammar hygiene transforms: removing productions that can never
+    contribute to a derived sentence. The Policy Refinement Point applies
+    this to operator-supplied grammars before learning, so hypothesis
+    space and generation never waste effort on dead productions. *)
+
+(** Remove productions whose left-hand side is unreachable from the start
+    symbol or unproductive (can derive no terminal string), and
+    right-hand sides mentioning such nonterminals. The result preserves
+    the grammar's language. Production ids are re-assigned in order; the
+    returned mapping sends old ids to new ones (dropped productions are
+    absent). *)
+let remove_useless (g : Cfg.t) : Cfg.t * (int * int) list =
+  let productive = Cfg.productive g in
+  let reachable = Cfg.reachable g in
+  let useful nt = List.mem nt productive && List.mem nt reachable in
+  let keep =
+    List.filter
+      (fun (p : Production.t) ->
+        useful p.lhs
+        && List.for_all
+             (function
+               | Symbol.Terminal _ -> true
+               | Symbol.Nonterminal n -> useful n)
+             p.rhs)
+      (Cfg.productions g)
+  in
+  let cleaned =
+    Cfg.make ~start:(Cfg.start g)
+      (List.map (fun (p : Production.t) -> (p.lhs, p.rhs)) keep)
+  in
+  let mapping =
+    List.mapi (fun new_id (p : Production.t) -> (p.id, new_id)) keep
+  in
+  (cleaned, mapping)
+
+(** Statistics of what a cleanup would remove. *)
+type report = {
+  total : int;
+  unreachable : string list;
+  unproductive : string list;
+  removed_productions : int;
+}
+
+let analyze (g : Cfg.t) : report =
+  let productive = Cfg.productive g in
+  let reachable = Cfg.reachable g in
+  let nts = Cfg.nonterminals g in
+  let unreachable = List.filter (fun nt -> not (List.mem nt reachable)) nts in
+  let unproductive = List.filter (fun nt -> not (List.mem nt productive)) nts in
+  let cleaned, _ = remove_useless g in
+  {
+    total = List.length (Cfg.productions g);
+    unreachable;
+    unproductive;
+    removed_productions =
+      List.length (Cfg.productions g) - List.length (Cfg.productions cleaned);
+  }

@@ -1,0 +1,15 @@
+(** Grammar hygiene: removing unreachable/unproductive productions while
+    preserving the language. *)
+
+(** The cleaned grammar plus the old-id → new-id production mapping
+    (dropped productions are absent). *)
+val remove_useless : Cfg.t -> Cfg.t * (int * int) list
+
+type report = {
+  total : int;
+  unreachable : string list;
+  unproductive : string list;
+  removed_productions : int;
+}
+
+val analyze : Cfg.t -> report

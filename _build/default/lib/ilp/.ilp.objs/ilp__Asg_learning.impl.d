@@ -1,0 +1,1 @@
+lib/ilp/asg_learning.ml: Asg Example Fmt Hypothesis_space Learner List Task

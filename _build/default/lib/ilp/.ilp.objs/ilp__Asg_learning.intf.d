@@ -1,0 +1,1 @@
+lib/ilp/asg_learning.mli: Asg Example Hypothesis_space Learner Task

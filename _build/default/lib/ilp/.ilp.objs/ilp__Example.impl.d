@@ -1,0 +1,1 @@
+lib/ilp/example.ml: Asp Fmt List String

@@ -1,0 +1,1 @@
+lib/ilp/example.mli: Asp Format

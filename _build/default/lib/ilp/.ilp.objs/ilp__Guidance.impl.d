@@ -1,0 +1,1 @@
+lib/ilp/guidance.ml: Asg Asp Example Float Grammar Hypothesis_space Int List Option Task

@@ -1,0 +1,1 @@
+lib/ilp/guidance.mli: Asg Asp Example Hypothesis_space Task

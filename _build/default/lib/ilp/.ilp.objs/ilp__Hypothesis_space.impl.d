@@ -1,0 +1,1 @@
+lib/ilp/hypothesis_space.ml: Asg Asp Fmt Hashtbl List Mode Option

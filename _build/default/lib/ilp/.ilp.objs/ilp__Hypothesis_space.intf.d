@@ -1,0 +1,1 @@
+lib/ilp/hypothesis_space.mli: Asg Format Mode

@@ -1,0 +1,1 @@
+lib/ilp/learner.ml: Array Asg Asp Example Fmt Fun Grammar Hashtbl Hypothesis_space Int List Map Option Sys Task

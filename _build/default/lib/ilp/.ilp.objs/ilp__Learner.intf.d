@@ -1,0 +1,1 @@
+lib/ilp/learner.mli: Asg Asp Example Format Hypothesis_space Task

@@ -1,0 +1,1 @@
+lib/ilp/mode.ml: Asg Asp List

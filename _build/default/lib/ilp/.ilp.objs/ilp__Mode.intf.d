@@ -1,0 +1,1 @@
+lib/ilp/mode.mli: Asg Asp

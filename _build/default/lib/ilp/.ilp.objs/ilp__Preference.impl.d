@@ -1,0 +1,1 @@
+lib/ilp/preference.ml: Array Asg Asp Grammar Hashtbl Hypothesis_space Int List Map Option Task

@@ -1,0 +1,1 @@
+lib/ilp/preference.mli: Asg Asp Hypothesis_space Task

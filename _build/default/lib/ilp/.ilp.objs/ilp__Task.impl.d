@@ -1,0 +1,1 @@
+lib/ilp/task.ml: Asg Example Fmt Hypothesis_space List

@@ -1,0 +1,1 @@
+lib/ilp/task.mli: Asg Example Format Hypothesis_space

@@ -1,0 +1,38 @@
+(** The Figure-1 workflow: initial generative policy model (an ASG) plus
+    context-dependent examples go into the learner; out comes a learned
+    GPM — the initial grammar extended with the learned ASP hypothesis. *)
+
+type learned = {
+  gpm : Asg.Gpm.t;  (** the learned generative policy model *)
+  outcome : Learner.outcome;
+}
+
+(** Run the workflow. [None] when the task has no inductive solution. *)
+let learn_gpm ?max_witnesses (t : Task.t) : learned option =
+  match Learner.learn ?max_witnesses t with
+  | None -> None
+  | Some outcome ->
+    Some { gpm = Task.apply_hypothesis t.Task.gpm outcome.hypothesis; outcome }
+
+(** Convenience: build the task and learn in one call. *)
+let learn ?max_witnesses ~gpm ~space ~examples () : learned option =
+  learn_gpm ?max_witnesses (Task.make ~gpm ~space ~examples)
+
+(** Accuracy of a GPM against labelled examples: the fraction whose
+    membership matches the label — the metric of the paper's CAV
+    comparison (Section IV-A). *)
+let accuracy (gpm : Asg.Gpm.t) (examples : Example.t list) : float =
+  match examples with
+  | [] -> 1.0
+  | _ ->
+    let correct =
+      List.length (List.filter (fun e -> Task.covers gpm e) examples)
+    in
+    float_of_int correct /. float_of_int (List.length examples)
+
+(** The learned rules rendered as text, one per line. *)
+let hypothesis_text (l : learned) : string list =
+  List.map
+    (fun (c : Hypothesis_space.candidate) ->
+      Fmt.str "[pr%d] %a" c.prod_id Asg.Annotation.pp_rule c.rule)
+    l.outcome.hypothesis

@@ -1,0 +1,22 @@
+(** The Figure-1 workflow: initial GPM + examples → learner → learned
+    GPM, plus the accuracy metric of the paper's CAV comparison. *)
+
+type learned = {
+  gpm : Asg.Gpm.t;  (** the learned generative policy model *)
+  outcome : Learner.outcome;
+}
+
+val learn_gpm : ?max_witnesses:int -> Task.t -> learned option
+
+val learn :
+  ?max_witnesses:int ->
+  gpm:Asg.Gpm.t ->
+  space:Hypothesis_space.t ->
+  examples:Example.t list ->
+  unit ->
+  learned option
+
+(** Fraction of examples whose membership matches their label. *)
+val accuracy : Asg.Gpm.t -> Example.t list -> float
+
+val hypothesis_text : learned -> string list

@@ -1,0 +1,42 @@
+(** Context-dependent examples (Definition 3 of the paper): a pair
+    [⟨s, C⟩] of a policy string and an ASP context program, labelled
+    positive ([s] must be in [L(G(C):H)]) or negative ([s] must not be).
+
+    Each example carries a penalty weight used by the noise-tolerant
+    learner: sacrificing the example (leaving it uncovered) costs its
+    weight; covering it costs nothing. An infinite weight (the default)
+    makes the example hard. *)
+
+type label = Positive | Negative
+
+type t = {
+  sentence : string;
+  context : Asp.Program.t;
+  label : label;
+  weight : int option;  (** [None] = hard example (may not be sacrificed) *)
+}
+
+let positive ?weight ?(context = Asp.Program.empty) sentence =
+  { sentence; context; label = Positive; weight }
+
+let negative ?weight ?(context = Asp.Program.empty) sentence =
+  { sentence; context; label = Negative; weight }
+
+(** Positive example with the context given as ASP source text. *)
+let positive_ctx ?weight sentence ctx =
+  positive ?weight ~context:(Asp.Parser.parse_program ctx) sentence
+
+let negative_ctx ?weight sentence ctx =
+  negative ?weight ~context:(Asp.Parser.parse_program ctx) sentence
+
+let is_positive e = e.label = Positive
+let is_hard e = e.weight = None
+
+let pp ppf e =
+  Fmt.pf ppf "%s⟨%S | %s⟩"
+    (match e.label with Positive -> "+" | Negative -> "-")
+    e.sentence
+    (String.concat " "
+       (List.map Asp.Rule.to_string (Asp.Program.rules e.context)))
+
+let to_string e = Fmt.str "%a" pp e

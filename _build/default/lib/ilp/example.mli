@@ -1,0 +1,24 @@
+(** Context-dependent examples (Definition 3): a policy string paired with
+    an ASP context, labelled positive or negative, with an optional
+    penalty weight ([None] = hard) for noise-tolerant learning. *)
+
+type label = Positive | Negative
+
+type t = {
+  sentence : string;
+  context : Asp.Program.t;
+  label : label;
+  weight : int option;  (** [None] = hard (may not be sacrificed) *)
+}
+
+val positive : ?weight:int -> ?context:Asp.Program.t -> string -> t
+val negative : ?weight:int -> ?context:Asp.Program.t -> string -> t
+
+(** Variants taking the context as ASP source text. *)
+
+val positive_ctx : ?weight:int -> string -> string -> t
+val negative_ctx : ?weight:int -> string -> string -> t
+val is_positive : t -> bool
+val is_hard : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

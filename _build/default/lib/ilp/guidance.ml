@@ -1,0 +1,110 @@
+(** Statistical guidance for the symbolic search (Section V-C): "one can
+    learn strategies to best search the hypothesis space".
+
+    Before the (expensive) symbolic search runs, each candidate rule is
+    scored by a cheap statistical signal: how well its {e context
+    conditions} (the body minus the decision literal) discriminate
+    between positive and negative example contexts. Each example context
+    is evaluated once — together with the grammar's root background
+    knowledge — into a model; a candidate's conditions either hold in
+    that model or not, giving per-candidate firing frequencies on the
+    two classes. Scores order the space (informative candidates first)
+    and optionally prune it. Pruning trades exactness for speed — the
+    statistical side only steers where the sound symbolic learner looks,
+    exactly the supporting role the paper assigns it. *)
+
+(** The context model of an example: context program + the grammar's
+    root-production annotation instantiated at the root trace (background
+    knowledge such as LOA requirement tables lives there). *)
+let context_model (gpm : Asg.Gpm.t) (e : Example.t) : Asp.Solver.model option =
+  let root_id =
+    match Grammar.Cfg.productions_of (Asg.Gpm.cfg gpm) (Grammar.Cfg.start (Asg.Gpm.cfg gpm)) with
+    | p :: _ -> p.Grammar.Production.id
+    | [] -> 0
+  in
+  let background =
+    List.filter
+      (fun (r : Asg.Annotation.rule) ->
+        match r.Asg.Annotation.head with
+        | Asg.Annotation.Head _ -> true
+        | Asg.Annotation.Falsity | Asg.Annotation.Weak _
+        | Asg.Annotation.Choice _ ->
+          false)
+      (Asg.Gpm.annotation gpm root_id)
+  in
+  let program =
+    Asp.Program.append e.Example.context
+      (Asp.Program.of_rules (Asg.Annotation.instantiate_program [] background))
+  in
+  Asp.Solver.first_answer_set program
+
+(** A candidate's context conditions as a plain ASP body: site-annotated
+    literals (the decision) are dropped; the rest is instantiated at the
+    root trace. *)
+let context_conditions (c : Hypothesis_space.candidate) :
+    Asp.Rule.body_elt list =
+  c.Hypothesis_space.rule.Asg.Annotation.body
+  |> List.filter_map (fun elt ->
+         match elt with
+         | Asg.Annotation.Pos { Asg.Annotation.site = Some _; _ }
+         | Asg.Annotation.Neg { Asg.Annotation.site = Some _; _ } ->
+           None
+         | Asg.Annotation.Pos ({ Asg.Annotation.site = None; _ } as a) ->
+           Some (Asp.Rule.Pos (Asg.Annotation.instantiate_atom [] a))
+         | Asg.Annotation.Neg ({ Asg.Annotation.site = None; _ } as a) ->
+           Some (Asp.Rule.Neg (Asg.Annotation.instantiate_atom [] a))
+         | Asg.Annotation.Cmp (op, t1, t2) -> Some (Asp.Rule.Cmp (op, t1, t2)))
+
+(** Discriminativeness of every candidate: |P(fires | negative context) −
+    P(fires | positive context)|. Candidates whose conditions never fire
+    anywhere score −1 (they are dead weight). *)
+let scores (t : Task.t) : (Hypothesis_space.candidate * float) list =
+  let labelled_models =
+    List.filter_map
+      (fun e ->
+        Option.map (fun m -> (Example.is_positive e, m)) (context_model t.Task.gpm e))
+      t.Task.examples
+  in
+  let pos = List.filter fst labelled_models
+  and neg = List.filter (fun (p, _) -> not p) labelled_models in
+  let n_pos = max 1 (List.length pos) and n_neg = max 1 (List.length neg) in
+  List.map
+    (fun c ->
+      let conds = context_conditions c in
+      let fires models =
+        List.length
+          (List.filter (fun (_, m) -> Asp.Query.body_holds m conds) models)
+      in
+      let fp = fires pos and fn = fires neg in
+      let score =
+        if fp = 0 && fn = 0 then -1.0
+        else
+          Float.abs
+            ((float_of_int fn /. float_of_int n_neg)
+            -. (float_of_int fp /. float_of_int n_pos))
+      in
+      (c, score))
+    t.Task.space
+
+(** Reorder the hypothesis space, most promising candidates first (score
+    descending, cost ascending on ties). The learner's optimum is
+    unchanged — only its search order is. *)
+let rank (t : Task.t) : Task.t =
+  let space =
+    scores t
+    |> List.stable_sort (fun (c1, s1) (c2, s2) ->
+           let c = Float.compare s2 s1 in
+           if c <> 0 then c
+           else Int.compare c1.Hypothesis_space.cost c2.Hypothesis_space.cost)
+    |> List.map fst
+  in
+  { t with Task.space }
+
+(** Keep only the [fraction] most promising candidates. Heuristic: the
+    optimum may be pruned away — the measured trade-off is part of the
+    PERF benchmark. *)
+let prune ~(fraction : float) (t : Task.t) : Task.t =
+  let ranked = rank t in
+  let n = List.length ranked.Task.space in
+  let keep = max 1 (int_of_float (ceil (fraction *. float_of_int n))) in
+  { ranked with Task.space = List.filteri (fun i _ -> i < keep) ranked.Task.space }

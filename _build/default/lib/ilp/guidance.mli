@@ -1,0 +1,22 @@
+(** Statistical guidance for the symbolic search (Section V-C): score
+    candidates by how well their context conditions discriminate positive
+    from negative example contexts; reorder or prune the space before the
+    sound symbolic learner runs. *)
+
+(** One context model per example (context + root background knowledge). *)
+val context_model : Asg.Gpm.t -> Example.t -> Asp.Solver.model option
+
+(** The candidate's body minus decision-site literals, as plain ASP. *)
+val context_conditions :
+  Hypothesis_space.candidate -> Asp.Rule.body_elt list
+
+(** Discriminativeness of every candidate:
+    |P(fires | negative) − P(fires | positive)|; −1 for dead candidates. *)
+val scores : Task.t -> (Hypothesis_space.candidate * float) list
+
+(** Reorder the space, most promising first; the optimum is unchanged. *)
+val rank : Task.t -> Task.t
+
+(** Keep only the top [fraction] of candidates. Heuristic: may prune the
+    optimum. *)
+val prune : fraction:float -> Task.t -> Task.t

@@ -1,0 +1,139 @@
+(** The hypothesis space [S_M]: the finite set of candidate annotation
+    rules the learner may add, each tagged with the production rule it
+    would extend (Definition 3's ⟨h, pr_id⟩ pairs) and a cost (its number
+    of literals — the learner prefers minimal total cost, like ILASP). *)
+
+type candidate = {
+  rule : Asg.Annotation.rule;
+  prod_id : int;
+  cost : int;
+}
+
+type t = candidate list
+
+let rule_cost (r : Asg.Annotation.rule) =
+  let head_cost =
+    match r.Asg.Annotation.head with
+    | Asg.Annotation.Falsity | Asg.Annotation.Weak _ -> 0
+    | Asg.Annotation.Head _ -> 1
+    | Asg.Annotation.Choice (_, elts, _) -> List.length elts
+  in
+  head_cost + List.length r.Asg.Annotation.body
+
+let candidate ?cost rule prod_id =
+  { rule; prod_id; cost = Option.value cost ~default:(rule_cost rule) }
+
+(** Explicit space: each entry is annotation-rule source text plus the
+    production ids it may attach to. *)
+let of_rules (entries : (string * int list) list) : t =
+  List.concat_map
+    (fun (src, prods) ->
+      let rule = Asg.Annotation.parse_rule_string src in
+      List.map (candidate rule) prods)
+    entries
+
+(** Safety of an annotation rule, checked by erasing sites into distinct
+    predicate names and reusing the plain ASP safety test. *)
+let rule_is_safe (r : Asg.Annotation.rule) =
+  Asp.Rule.is_safe (Asg.Annotation.instantiate_rule [] r)
+
+let is_constraint_candidate c =
+  match c.rule.Asg.Annotation.head with
+  | Asg.Annotation.Falsity -> true
+  | Asg.Annotation.Head _ | Asg.Annotation.Choice _ | Asg.Annotation.Weak _ ->
+    false
+
+(** All subsets of [l] of size between 1 and [k]. *)
+let rec subsets_up_to k l =
+  if k = 0 then [ [] ]
+  else
+    match l with
+    | [] -> [ [] ]
+    | x :: rest ->
+      let without = subsets_up_to k rest in
+      let with_x = List.map (fun s -> x :: s) (subsets_up_to (k - 1) rest) in
+      without @ with_x
+
+(** Generate the hypothesis space described by a mode bias. Unsafe rules
+    and duplicate rules (after canonical printing) are dropped. *)
+let generate (m : Mode.t) : t =
+  let body_atom_choices : (bool * Asg.Annotation.body_elt list) list =
+    List.map
+      (fun (ma : Mode.matom) ->
+        ( ma.Mode.required,
+          List.map
+            (fun a ->
+              if ma.Mode.negated then Asg.Annotation.Neg a
+              else Asg.Annotation.Pos a)
+            (Mode.instantiate_matom ma) ))
+      m.bodies
+  in
+  let has_required =
+    List.exists (fun (req, _) -> req) body_atom_choices
+  in
+  (* pick up to max_body mode atoms (each used at most once); when any
+     mode atom is marked required, every rule must contain at least one
+     required atom (e.g. the decision literal a constraint forbids) *)
+  let body_combos =
+    subsets_up_to m.max_body body_atom_choices
+    |> List.filter (fun s ->
+           s <> []
+           && ((not has_required) || List.exists (fun (req, _) -> req) s))
+    |> List.map (List.map snd)
+  in
+  let rec cross = function
+    | [] -> [ [] ]
+    | choices :: rest ->
+      let tails = cross rest in
+      List.concat_map (fun c -> List.map (fun tl -> c :: tl) tails) choices
+  in
+  let heads =
+    List.concat_map
+      (function
+        | Mode.Constraint -> [ Asg.Annotation.Falsity ]
+        | Mode.WeakHead operand ->
+          [ Asg.Annotation.Weak (Mode.operand_to_term operand) ]
+        | Mode.HeadAtom ma ->
+          List.map
+            (fun a -> Asg.Annotation.Head a)
+            (Mode.instantiate_matom ma))
+      m.heads
+  in
+  (* comparison literal subsets (each comparison is optional) *)
+  let cmp_subsets =
+    List.fold_left
+      (fun acc cmp ->
+        acc @ List.map (fun s -> Mode.cmp_to_body_elt cmp :: s) acc)
+      [ [] ] m.cmps
+  in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  List.iter
+    (fun head ->
+      List.iter
+        (fun combo ->
+          List.iter
+            (fun body ->
+              List.iter
+                (fun cmps ->
+                  let rule = { Asg.Annotation.head; body = body @ cmps } in
+                  let key = Asg.Annotation.rule_to_string rule in
+                  if (not (Hashtbl.mem seen key)) && rule_is_safe rule then begin
+                    Hashtbl.replace seen key ();
+                    out := rule :: !out
+                  end)
+                cmp_subsets)
+            (cross combo))
+        body_combos)
+    heads;
+  let rules = List.rev !out in
+  List.concat_map
+    (fun rule -> List.map (candidate rule) m.target_prods)
+    rules
+
+let size (t : t) = List.length t
+
+let pp_candidate ppf c =
+  Fmt.pf ppf "[pr%d, cost %d] %a" c.prod_id c.cost Asg.Annotation.pp_rule c.rule
+
+let pp ppf (t : t) = Fmt.(list ~sep:(any "@.") pp_candidate) ppf t

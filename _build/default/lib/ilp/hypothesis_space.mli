@@ -1,0 +1,30 @@
+(** The hypothesis space [S_M]: candidate annotation rules, each tagged
+    with the production it would extend (Definition 3's ⟨h, pr_id⟩ pairs)
+    and a cost (literal count) for minimal-cost learning. *)
+
+type candidate = {
+  rule : Asg.Annotation.rule;
+  prod_id : int;
+  cost : int;
+}
+
+type t = candidate list
+
+val rule_cost : Asg.Annotation.rule -> int
+val candidate : ?cost:int -> Asg.Annotation.rule -> int -> candidate
+
+(** Explicit space: annotation-rule source text plus target productions. *)
+val of_rules : (string * int list) list -> t
+
+(** Safety of an annotation rule (sites erased, then ASP safety). *)
+val rule_is_safe : Asg.Annotation.rule -> bool
+
+val is_constraint_candidate : candidate -> bool
+
+(** Generate the space described by a mode bias; unsafe and duplicate
+    rules are dropped. *)
+val generate : Mode.t -> t
+
+val size : t -> int
+val pp_candidate : Format.formatter -> candidate -> unit
+val pp : Format.formatter -> t -> unit

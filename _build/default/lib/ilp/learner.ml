@@ -1,0 +1,483 @@
+(** The inductive learner: finds a minimal-cost hypothesis [H ⊆ S_M]
+    solving a context-dependent ASG learning task (Definition 3), like the
+    ILASP system the paper builds on.
+
+    Two search engines are provided.
+
+    {b Constraint path} (the common case: every candidate is a constraint).
+    Adding constraints never creates answer sets, so an example's possible
+    {e witnesses} — (parse tree, answer set) pairs of the base grammar under
+    the example's context — are fixed up front. A candidate {e kills} a
+    witness when its instantiation at some node of the witness's tree is
+    violated by the witness's model. Learning then reduces to a weighted
+    set-cover problem: kill every witness of every negative example while
+    leaving at least one witness of every positive example alive. A
+    branch-and-bound search finds the minimum-cost hypothesis; soft
+    examples may instead be sacrificed at their penalty weight, which
+    yields ILASP-style noise tolerance.
+
+    {b General path} (candidates may define new atoms): best-first search
+    over subsets in cost order, validating each candidate hypothesis with
+    full membership checks. Exponential — intended for small spaces. *)
+
+type stats = {
+  witnesses : int;
+  nodes : int;  (** branch-and-bound nodes explored *)
+  duration : float;  (** seconds *)
+}
+
+type outcome = {
+  hypothesis : Task.hypothesis;
+  cost : int;  (** total cost of hypothesis rules *)
+  penalty : int;  (** total weight of sacrificed (uncovered) examples *)
+  sacrificed : Example.t list;
+  stats : stats;
+}
+
+type witness = {
+  ex_idx : int;
+  model : Asp.Solver.model;
+  traces_by_prod : (int * int list list) list;  (** prod id -> node traces *)
+}
+
+let witnesses_of_example ?(max_witnesses = 64) (gpm : Asg.Gpm.t)
+    (e : Example.t) : witness list =
+  let g = Asg.Gpm.with_context gpm e.Example.context in
+  let tokens = Asg.Membership.tokenize e.Example.sentence in
+  let trees = Grammar.Earley.parses (Asg.Gpm.cfg g) tokens in
+  let out = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun tree ->
+      if !count < max_witnesses then begin
+        let traces_by_prod =
+          let tbl = Hashtbl.create 8 in
+          List.iter
+            (fun (trace, (p : Grammar.Production.t), _) ->
+              let id = p.Grammar.Production.id in
+              let existing = Option.value ~default:[] (Hashtbl.find_opt tbl id) in
+              Hashtbl.replace tbl id (trace :: existing))
+            (Grammar.Parse_tree.nodes_with_traces tree);
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+        in
+        let models =
+          Asp.Solver.solve ~limit:(max_witnesses - !count)
+            (Asg.Tree_program.program g tree)
+        in
+        List.iter
+          (fun model ->
+            incr count;
+            out := { ex_idx = -1; model; traces_by_prod } :: !out)
+          models
+      end)
+    trees;
+  List.rev !out
+
+(** Does candidate [c] kill witness [w]? True when the candidate's
+    constraint, instantiated at some node of the witness's tree carrying
+    the candidate's production, is violated by the witness's model. *)
+let kills (c : Hypothesis_space.candidate) (w : witness) : bool =
+  match List.assoc_opt c.Hypothesis_space.prod_id w.traces_by_prod with
+  | None -> false
+  | Some traces ->
+    List.exists
+      (fun trace ->
+        let rule = Asg.Annotation.instantiate_rule trace c.Hypothesis_space.rule in
+        Asp.Query.violates w.model rule)
+      traces
+
+exception Infeasible
+
+(* ---- Constraint path -------------------------------------------------- *)
+
+let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
+    : outcome option =
+  let t0 = Sys.time () in
+  let examples = Array.of_list t.Task.examples in
+  let n_ex = Array.length examples in
+  let candidates = Array.of_list t.Task.space in
+  let n_cand = Array.length candidates in
+  (* collect witnesses *)
+  let witnesses = ref [] in
+  let n_wit = ref 0 in
+  let wit_ids_of_ex = Array.make n_ex [] in
+  Array.iteri
+    (fun i e ->
+      let ws = witnesses_of_example ~max_witnesses t.Task.gpm e in
+      List.iter
+        (fun w ->
+          let wid = !n_wit in
+          incr n_wit;
+          witnesses := { w with ex_idx = i } :: !witnesses;
+          wit_ids_of_ex.(i) <- wid :: wit_ids_of_ex.(i))
+        ws)
+    examples;
+  let witnesses = Array.of_list (List.rev !witnesses) in
+  let n_wit = !n_wit in
+  (* kill matrix *)
+  let kill = Array.make_matrix n_cand n_wit false in
+  let killers_of = Array.make n_wit [] in
+  let killed_by_cand = Array.make n_cand [] in
+  for ci = 0 to n_cand - 1 do
+    for wi = 0 to n_wit - 1 do
+      if kills candidates.(ci) witnesses.(wi) then begin
+        kill.(ci).(wi) <- true;
+        killers_of.(wi) <- ci :: killers_of.(wi);
+        killed_by_cand.(ci) <- wi :: killed_by_cand.(ci)
+      end
+    done
+  done;
+  (* search state *)
+  let kill_count = Array.make n_wit 0 in
+  let chosen = Array.make n_cand false in
+  let sacrificed = Array.make n_ex false in
+  let surviving = Array.make n_ex 0 in
+  Array.iteri
+    (fun i ids -> surviving.(i) <- List.length ids)
+    wit_ids_of_ex;
+  let nodes = ref 0 in
+  let best : (int * int list * int list) option ref = ref None in
+  let base_penalty = ref 0 in
+  (* Greedy warm start: repeatedly kill the cheapest-per-kill candidate (or
+     sacrifice) to seed the branch-and-bound with a tight upper bound —
+     without it, soft examples make the sacrifice branching explode. *)
+  let greedy_warm_start () =
+    let kc = Array.make n_wit 0 in
+    let surv = Array.map (fun x -> x) surviving in
+    let sac = Array.copy sacrificed in
+    let cost = ref 0 in
+    let choice = ref [] in
+    let ok = ref true in
+    let hard_pos_safe ci =
+      (* choosing ci must not kill the last witness of a live hard positive *)
+      List.for_all
+        (fun wid ->
+          let ei = witnesses.(wid).ex_idx in
+          not
+            (kc.(wid) = 0
+            && examples.(ei).Example.label = Example.Positive
+            && (not sac.(ei))
+            && examples.(ei).Example.weight = None
+            && surv.(ei) = 1))
+        killed_by_cand.(ci)
+    in
+    let apply ci =
+      choice := ci :: !choice;
+      cost := !cost + candidates.(ci).Hypothesis_space.cost;
+      List.iter
+        (fun wid ->
+          kc.(wid) <- kc.(wid) + 1;
+          if kc.(wid) = 1 then begin
+            let ei = witnesses.(wid).ex_idx in
+            if examples.(ei).Example.label = Example.Positive then
+              surv.(ei) <- surv.(ei) - 1
+          end)
+        killed_by_cand.(ci)
+    in
+    let pending () =
+      let rec go i =
+        if i >= n_ex then None
+        else if
+          examples.(i).Example.label = Example.Negative
+          && (not sac.(i))
+          && List.exists (fun wid -> kc.(wid) = 0) wit_ids_of_ex.(i)
+        then Some i
+        else go (i + 1)
+      in
+      go 0
+    in
+    let continue = ref true in
+    while !continue && !ok do
+      match pending () with
+      | None -> continue := false
+      | Some ei -> (
+        let wid = List.find (fun w -> kc.(w) = 0) wit_ids_of_ex.(ei) in
+        let usable =
+          List.filter
+            (fun ci -> (not (List.mem ci !choice)) && hard_pos_safe ci)
+            killers_of.(wid)
+        in
+        (* prefer the candidate killing the most still-unkilled negatives
+           per unit cost *)
+        let scored =
+          List.map
+            (fun ci ->
+              let gain =
+                List.length
+                  (List.filter
+                     (fun w ->
+                       kc.(w) = 0
+                       && examples.(witnesses.(w).ex_idx).Example.label
+                          = Example.Negative)
+                     killed_by_cand.(ci))
+              in
+              (float_of_int gain /. float_of_int candidates.(ci).Hypothesis_space.cost, ci))
+            usable
+        in
+        match List.sort (fun (a, _) (b, _) -> compare b a) scored with
+        | (_, ci) :: _ -> apply ci
+        | [] -> (
+          match examples.(ei).Example.weight with
+          | Some w ->
+            sac.(ei) <- true;
+            cost := !cost + w
+          | None -> ok := false))
+    done;
+    if !ok then begin
+      (* pay for dead soft positives; fail if a hard positive died *)
+      (try
+         Array.iteri
+           (fun i (e : Example.t) ->
+             if
+               e.Example.label = Example.Positive
+               && (not sac.(i))
+               && surv.(i) = 0
+             then
+               match e.Example.weight with
+               | None -> raise Exit
+               | Some w -> cost := !cost + w)
+           examples;
+         let sac_list =
+           Array.to_list (Array.mapi (fun i s -> (i, s)) sac)
+           |> List.filter_map (fun (i, s) -> if s then Some i else None)
+         in
+         best := Some (!cost + !base_penalty, !choice, sac_list)
+       with Exit -> ())
+    end
+  in
+  (* upfront feasibility and base penalty *)
+  (try
+     Array.iteri
+       (fun i (e : Example.t) ->
+         match e.Example.label with
+         | Example.Positive ->
+           if surviving.(i) = 0 then begin
+             match e.Example.weight with
+             | None -> raise Infeasible
+             | Some w ->
+               sacrificed.(i) <- true;
+               base_penalty := !base_penalty + w
+           end
+         | Example.Negative ->
+           let unkillable =
+             List.exists (fun wid -> killers_of.(wid) = []) wit_ids_of_ex.(i)
+           in
+           if unkillable then begin
+             match e.Example.weight with
+             | None -> raise Infeasible
+             | Some w ->
+               sacrificed.(i) <- true;
+               base_penalty := !base_penalty + w
+           end)
+       examples;
+     greedy_warm_start ();
+     (* DFS branch and bound. [dead_penalty] tracks the weights of soft
+        positive examples whose witnesses are all killed on the current
+        branch; killed witnesses never revive deeper in the branch, so it
+        is a sound lower bound and makes the pruning tight. *)
+     let current_cost = ref !base_penalty in
+     let dead_penalty = ref 0 in
+     let current_choice = ref [] in
+     let rec next_pending () =
+       (* first negative example, not sacrificed, with an unkilled witness *)
+       let rec go i =
+         if i >= n_ex then None
+         else if
+           examples.(i).Example.label = Example.Negative
+           && (not sacrificed.(i))
+           && List.exists (fun wid -> kill_count.(wid) = 0) wit_ids_of_ex.(i)
+         then Some i
+         else go (i + 1)
+       in
+       go 0
+     and leaf_total () = !current_cost + !dead_penalty
+     and choose ci k =
+       chosen.(ci) <- true;
+       current_cost := !current_cost + candidates.(ci).Hypothesis_space.cost;
+       current_choice := ci :: !current_choice;
+       let hard_pos_dead = ref false in
+       List.iter
+         (fun wid ->
+           kill_count.(wid) <- kill_count.(wid) + 1;
+           if kill_count.(wid) = 1 then begin
+             let ei = witnesses.(wid).ex_idx in
+             if examples.(ei).Example.label = Example.Positive then begin
+               surviving.(ei) <- surviving.(ei) - 1;
+               if surviving.(ei) = 0 && not sacrificed.(ei) then begin
+                 match examples.(ei).Example.weight with
+                 | None -> hard_pos_dead := true
+                 | Some w -> dead_penalty := !dead_penalty + w
+               end
+             end
+           end)
+         killed_by_cand.(ci);
+       if not !hard_pos_dead then k ();
+       List.iter
+         (fun wid ->
+           kill_count.(wid) <- kill_count.(wid) - 1;
+           if kill_count.(wid) = 0 then begin
+             let ei = witnesses.(wid).ex_idx in
+             if examples.(ei).Example.label = Example.Positive then begin
+               surviving.(ei) <- surviving.(ei) + 1;
+               if surviving.(ei) = 1 && not sacrificed.(ei) then
+                 match examples.(ei).Example.weight with
+                 | None -> ()
+                 | Some w -> dead_penalty := !dead_penalty - w
+             end
+           end)
+         killed_by_cand.(ci);
+       current_choice := List.tl !current_choice;
+       current_cost := !current_cost - candidates.(ci).Hypothesis_space.cost;
+       chosen.(ci) <- false
+     and dfs () =
+       incr nodes;
+       (match !best with
+       | _ when !nodes > max_nodes -> ()  (* anytime cutoff: keep best so far *)
+       | Some (bcost, _, _) when !current_cost + !dead_penalty >= bcost -> ()
+       | _ -> (
+         match next_pending () with
+         | None ->
+           let total = leaf_total () in
+           (match !best with
+           | Some (bcost, _, _) when total >= bcost -> ()
+           | _ ->
+             let sac =
+               Array.to_list
+                 (Array.mapi (fun i s -> if s then Some i else None) sacrificed)
+               |> List.filter_map Fun.id
+             in
+             let pos_dead =
+               Array.to_list
+                 (Array.mapi
+                    (fun i (e : Example.t) ->
+                      if
+                        e.Example.label = Example.Positive
+                        && (not sacrificed.(i))
+                        && surviving.(i) = 0
+                      then Some i
+                      else None)
+                    examples)
+               |> List.filter_map Fun.id
+             in
+             if total < max_int / 4 then
+               best := Some (total, !current_choice, sac @ pos_dead))
+         | Some ei ->
+           (* pick its first unkilled witness *)
+           let wid =
+             List.find (fun wid -> kill_count.(wid) = 0) wit_ids_of_ex.(ei)
+           in
+           (* branch on each killer, cheapest first *)
+           let killers =
+             List.sort
+               (fun a b ->
+                 Int.compare candidates.(a).Hypothesis_space.cost
+                   candidates.(b).Hypothesis_space.cost)
+               (List.filter (fun ci -> not chosen.(ci)) killers_of.(wid))
+           in
+           List.iter (fun ci -> choose ci dfs) killers;
+           (* branch: sacrifice the example *)
+           (match examples.(ei).Example.weight with
+           | Some w ->
+             sacrificed.(ei) <- true;
+             current_cost := !current_cost + w;
+             dfs ();
+             current_cost := !current_cost - w;
+             sacrificed.(ei) <- false
+           | None -> ())))
+     in
+     dfs ()
+   with Infeasible -> ());
+  match !best with
+  | None -> None
+  | Some (total, choice, sac) ->
+    let hypothesis = List.map (fun ci -> candidates.(ci)) (List.rev choice) in
+    let cost = Task.hypothesis_cost hypothesis in
+    Some
+      {
+        hypothesis;
+        cost;
+        penalty = total - cost;
+        sacrificed = List.map (fun i -> examples.(i)) sac;
+        stats = { witnesses = n_wit; nodes = !nodes; duration = Sys.time () -. t0 };
+      }
+
+(* ---- General path ------------------------------------------------------ *)
+
+(** Best-first search over hypothesis subsets in cost order; sound for any
+    hypothesis space but exponential. Soft example weights are ignored
+    (all examples are treated as hard). *)
+let learn_general ?(max_subsets = 100_000) (t : Task.t) : outcome option =
+  let t0 = Sys.time () in
+  let candidates = Array.of_list t.Task.space in
+  let n = Array.length candidates in
+  (* priority queue of (cost, next_index, chosen_rev) *)
+  let module Pq = struct
+    module M = Map.Make (Int)
+
+    let create () = ref M.empty
+
+    let push q cost v =
+      q := M.update cost (fun l -> Some (v :: Option.value ~default:[] l)) !q
+
+    let pop q =
+      match M.min_binding_opt !q with
+      | None -> None
+      | Some (cost, vs) -> (
+        match vs with
+        | [] ->
+          q := M.remove cost !q;
+          None
+        | v :: rest ->
+          if rest = [] then q := M.remove cost !q
+          else q := M.add cost rest !q;
+          Some (cost, v))
+  end in
+  let q = Pq.create () in
+  Pq.push q 0 (0, []);
+  let explored = ref 0 in
+  let rec loop () =
+    if !explored >= max_subsets then None
+    else
+      match Pq.pop q with
+      | None -> None
+      | Some (cost, (next, chosen_rev)) ->
+        incr explored;
+        let hypothesis = List.rev_map (fun ci -> candidates.(ci)) chosen_rev in
+        if Task.is_solution t hypothesis then
+          Some
+            {
+              hypothesis;
+              cost;
+              penalty = 0;
+              sacrificed = [];
+              stats =
+                { witnesses = 0; nodes = !explored; duration = Sys.time () -. t0 };
+            }
+        else begin
+          for ci = next to n - 1 do
+            Pq.push q
+              (cost + candidates.(ci).Hypothesis_space.cost)
+              (ci + 1, ci :: chosen_rev)
+          done;
+          loop ()
+        end
+  in
+  loop ()
+
+(** Learn an optimal hypothesis, dispatching on the hypothesis space:
+    the set-cover engine when every candidate is a constraint, the
+    general subset search otherwise. *)
+let learn ?max_witnesses (t : Task.t) : outcome option =
+  if List.for_all Hypothesis_space.is_constraint_candidate t.Task.space then
+    learn_constraints ?max_witnesses t
+  else learn_general t
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "learned %d rule(s), cost %d, penalty %d (%d witnesses, %d nodes, %.3fs)"
+    (List.length o.hypothesis) o.cost o.penalty o.stats.witnesses o.stats.nodes
+    o.stats.duration;
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "@.  [pr%d] %a" c.Hypothesis_space.prod_id
+        Asg.Annotation.pp_rule c.Hypothesis_space.rule)
+    o.hypothesis

@@ -1,0 +1,50 @@
+(** The inductive learner: minimal-cost hypotheses for Definition-3 tasks
+    (the role ILASP plays in the paper).
+
+    Constraint-only spaces use an exact witness/set-cover branch-and-bound
+    (greedy warm start, penalty-aware bounds, anytime node cap); general
+    spaces use best-first subset search with full membership checks. Soft
+    example weights buy ILASP-style noise tolerance: an example may be
+    left uncovered at its weight's cost. *)
+
+type stats = {
+  witnesses : int;
+  nodes : int;
+  duration : float;  (** seconds *)
+}
+
+type outcome = {
+  hypothesis : Task.hypothesis;
+  cost : int;  (** total cost of hypothesis rules *)
+  penalty : int;  (** total weight of sacrificed examples *)
+  sacrificed : Example.t list;
+  stats : stats;
+}
+
+(** A witness: one (parse tree, answer set) pair of an example under the
+    base grammar; exposed for testing and diagnostics. *)
+type witness = {
+  ex_idx : int;
+  model : Asp.Solver.model;
+  traces_by_prod : (int * int list list) list;
+}
+
+val witnesses_of_example :
+  ?max_witnesses:int -> Asg.Gpm.t -> Example.t -> witness list
+
+(** Does the candidate kill the witness (its constraint fires in the
+    witness's model at some node of its production)? *)
+val kills : Hypothesis_space.candidate -> witness -> bool
+
+(** Exact engine for constraint-only spaces. *)
+val learn_constraints :
+  ?max_witnesses:int -> ?max_nodes:int -> Task.t -> outcome option
+
+(** Best-first subset search; sound for any space, exponential. Weights
+    are ignored (all examples treated as hard). *)
+val learn_general : ?max_subsets:int -> Task.t -> outcome option
+
+(** Dispatch: constraint engine when possible, general search otherwise. *)
+val learn : ?max_witnesses:int -> Task.t -> outcome option
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,78 @@
+(** Mode declarations: a compact description of the learnable rule space,
+    in the spirit of ILASP's mode bias. A mode atom gives a predicate
+    schema whose argument slots are filled either by enumerated constants
+    or by typed variables; two slots with the same type name share one
+    variable. A schema may be annotated with a child site ([@i]) and may
+    appear negated in bodies. *)
+
+type arg =
+  | Constants of string list  (** one instantiation per constant *)
+  | Variable of string  (** a typed variable; same type = same variable *)
+  | Integer of int list  (** one instantiation per integer *)
+
+type matom = {
+  pred : string;
+  args : arg list;
+  site : int option;
+  negated : bool;  (** body occurrence under negation as failure *)
+  required : bool;
+      (** rules must contain at least one atom marked required (when any
+          mode atom is marked) — typically the decision literal *)
+}
+
+let matom ?(site = None) ?(negated = false) ?(required = false) pred args =
+  { pred; args; site; negated; required }
+
+(** A comparison operand used in comparison schemas and weak-constraint
+    weights. *)
+type operand = VarOperand of string | IntOperand of int
+
+(** A head schema: constraints (restricting a policy language), a defined
+    atom, or a weak constraint whose weight is a typed variable or
+    integer (learning value functions from ordering examples). *)
+type mhead = Constraint | HeadAtom of matom | WeakHead of operand
+
+let operand_to_term = function
+  | VarOperand ty -> Asp.Term.var ("V_" ^ ty)
+  | IntOperand n -> Asp.Term.int n
+
+(** A comparison schema between two typed variables (or a variable and an
+    integer constant): e.g. [(Lt, "v", VarOperand "r")] generates
+    [V_v < V_r] in rules where both types are bound. *)
+type mcmp = Asp.Rule.cmp_op * string * operand
+
+type t = {
+  target_prods : int list;  (** production ids rules may attach to *)
+  heads : mhead list;
+  bodies : matom list;
+  cmps : mcmp list;  (** optional comparison literals *)
+  max_body : int;  (** maximum number of body literals per rule *)
+}
+
+let make ?(cmps = []) ~target_prods ~heads ~bodies ~max_body () =
+  { target_prods; heads; bodies; cmps; max_body }
+
+let cmp_to_body_elt ((op, ty1, rhs) : mcmp) : Asg.Annotation.body_elt =
+  Asg.Annotation.Cmp (op, Asp.Term.var ("V_" ^ ty1), operand_to_term rhs)
+
+(** Instantiations of one mode atom: cross product of constant slots, with
+    typed variables named ["V_" ^ type]. *)
+let instantiate_matom (m : matom) : Asg.Annotation.aatom list =
+  let slot_choices =
+    List.map
+      (function
+        | Constants cs -> List.map (fun c -> Asp.Term.const c) cs
+        | Variable ty -> [ Asp.Term.var ("V_" ^ ty) ]
+        | Integer is -> List.map (fun i -> Asp.Term.int i) is)
+      m.args
+  in
+  let rec cross = function
+    | [] -> [ [] ]
+    | choices :: rest ->
+      let tails = cross rest in
+      List.concat_map (fun c -> List.map (fun tl -> c :: tl) tails) choices
+  in
+  List.map
+    (fun args ->
+      { Asg.Annotation.atom = Asp.Atom.make m.pred args; site = m.site })
+    (cross slot_choices)

@@ -1,0 +1,55 @@
+(** Mode declarations — the ILASP-style bias describing the learnable
+    rule space: predicate schemas whose slots are constants, typed
+    variables (equal types share a variable) or integers, optionally
+    negated, optionally site-annotated, plus comparison schemas. *)
+
+type arg =
+  | Constants of string list  (** one instantiation per constant *)
+  | Variable of string  (** typed variable; same type = same variable *)
+  | Integer of int list  (** one instantiation per integer *)
+
+type matom = {
+  pred : string;
+  args : arg list;
+  site : int option;
+  negated : bool;
+  required : bool;
+      (** rules must contain at least one atom marked required (when any
+          mode atom is marked) — typically the decision literal *)
+}
+
+val matom :
+  ?site:int option -> ?negated:bool -> ?required:bool -> string -> arg list ->
+  matom
+
+type operand = VarOperand of string | IntOperand of int
+
+type mhead = Constraint | HeadAtom of matom | WeakHead of operand
+
+val operand_to_term : operand -> Asp.Term.t
+
+(** Comparison schema between a typed variable and an operand. *)
+type mcmp = Asp.Rule.cmp_op * string * operand
+
+type t = {
+  target_prods : int list;
+  heads : mhead list;
+  bodies : matom list;
+  cmps : mcmp list;
+  max_body : int;
+}
+
+val make :
+  ?cmps:mcmp list ->
+  target_prods:int list ->
+  heads:mhead list ->
+  bodies:matom list ->
+  max_body:int ->
+  unit ->
+  t
+
+(** All instantiations of a mode atom (cross product of constant slots;
+    typed variables become [V_<type>]). *)
+val instantiate_matom : matom -> Asg.Annotation.aatom list
+
+val cmp_to_body_elt : mcmp -> Asg.Annotation.body_elt

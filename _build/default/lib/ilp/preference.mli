@@ -1,0 +1,49 @@
+(** Learning value functions from context-dependent ordering examples —
+    the preference counterpart of Definition 3 (ILASP's ordering
+    examples): find a minimal set of weak-constraint annotations under
+    which every "s₁ preferred to s₂ in context C" example holds. *)
+
+type ordering = {
+  better : string;
+  worse : string;
+  context : Asp.Program.t;
+  strict : bool;  (** strictly cheaper, vs. no more expensive *)
+}
+
+val prefer :
+  ?strict:bool -> ?context:Asp.Program.t -> string -> string -> ordering
+
+(** Context given as ASP source text. *)
+val prefer_ctx : ?strict:bool -> string -> string -> string -> ordering
+
+(** Witness models of a sentence under a context. *)
+val sentence_models :
+  ?max_models:int ->
+  Asg.Gpm.t ->
+  context:Asp.Program.t ->
+  string ->
+  Asp.Solver.model list
+
+(** Per-witness cost contribution of every candidate on a sentence. *)
+val contributions :
+  Asg.Gpm.t ->
+  Hypothesis_space.t ->
+  context:Asp.Program.t ->
+  string ->
+  int array list
+
+type outcome = {
+  hypothesis : Task.hypothesis;
+  cost : int;  (** total cost of hypothesis rules (minimality) *)
+  checked : int;  (** subsets examined *)
+}
+
+(** Minimal-cost weak-constraint set satisfying every ordering; [None]
+    when no subset within [max_subsets] does. *)
+val learn :
+  ?max_subsets:int ->
+  gpm:Asg.Gpm.t ->
+  space:Hypothesis_space.t ->
+  orderings:ordering list ->
+  unit ->
+  outcome option

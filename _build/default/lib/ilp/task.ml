@@ -1,0 +1,48 @@
+(** The context-dependent ASG learning task (Definition 3): an initial
+    grammar, a hypothesis space, and labelled context-dependent examples.
+    An inductive solution is a hypothesis [H ⊆ S_M] such that every
+    positive [⟨s,C⟩] has [s ∈ L(G(C):H)] and every negative one has
+    [s ∉ L(G(C):H)]. *)
+
+type t = {
+  gpm : Asg.Gpm.t;
+  space : Hypothesis_space.t;
+  examples : Example.t list;
+}
+
+type hypothesis = Hypothesis_space.candidate list
+
+let make ~gpm ~space ~examples = { gpm; space; examples }
+
+let positives t = List.filter Example.is_positive t.examples
+let negatives t = List.filter (fun e -> not (Example.is_positive e)) t.examples
+
+let hypothesis_cost (h : hypothesis) =
+  List.fold_left (fun acc c -> acc + c.Hypothesis_space.cost) 0 h
+
+(** [G : H] — the grammar extended with a hypothesis. *)
+let apply_hypothesis (gpm : Asg.Gpm.t) (h : hypothesis) : Asg.Gpm.t =
+  Asg.Gpm.with_hypothesis gpm
+    (List.map (fun c -> (c.Hypothesis_space.prod_id, c.Hypothesis_space.rule)) h)
+
+(** Coverage of one example by a (hypothesis-extended) grammar. *)
+let covers (gpm : Asg.Gpm.t) (e : Example.t) : bool =
+  let accepted =
+    Asg.Membership.accepts_in_context gpm ~context:e.Example.context
+      e.Example.sentence
+  in
+  match e.Example.label with
+  | Example.Positive -> accepted
+  | Example.Negative -> not accepted
+
+(** Reference (slow) check that [h] is an inductive solution — used by
+    tests to validate the optimized search. *)
+let is_solution (t : t) (h : hypothesis) : bool =
+  let extended = apply_hypothesis t.gpm h in
+  List.for_all (covers extended) t.examples
+
+let pp ppf t =
+  Fmt.pf ppf "task: %d candidates, %d positive, %d negative"
+    (Hypothesis_space.size t.space)
+    (List.length (positives t))
+    (List.length (negatives t))

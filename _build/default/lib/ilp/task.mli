@@ -1,0 +1,29 @@
+(** The context-dependent ASG learning task (Definition 3) and its
+    solution check. *)
+
+type t = {
+  gpm : Asg.Gpm.t;
+  space : Hypothesis_space.t;
+  examples : Example.t list;
+}
+
+type hypothesis = Hypothesis_space.candidate list
+
+val make :
+  gpm:Asg.Gpm.t -> space:Hypothesis_space.t -> examples:Example.t list -> t
+
+val positives : t -> Example.t list
+val negatives : t -> Example.t list
+val hypothesis_cost : hypothesis -> int
+
+(** [G : H]. *)
+val apply_hypothesis : Asg.Gpm.t -> hypothesis -> Asg.Gpm.t
+
+(** Does the (extended) grammar treat the example as its label demands? *)
+val covers : Asg.Gpm.t -> Example.t -> bool
+
+(** Reference (slow) inductive-solution check, used to validate the
+    optimized search. *)
+val is_solution : t -> hypothesis -> bool
+
+val pp : Format.formatter -> t -> unit

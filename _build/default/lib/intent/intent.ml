@@ -1,0 +1,198 @@
+(** Controlled-English intents → generative policy models.
+
+    The paper's Section III-B identifies "from natural language to
+    grammar-based policies" as a research direction: end users state
+    policies in natural language, and these must become the grammars and
+    constraints of the generative framework. This module implements a
+    template-based compiler for a controlled English fragment:
+
+    {v
+      the options are accept or reject.
+      never accept when weather is snow and task is overtake.
+      never accept when vehicle_loa is below needed_loa.
+      penalize reject by 1.
+      prefer accept over reject.            (same as penalizing reject)
+    v}
+
+    Each statement ends with a period. [the options are ...] fixes the
+    decision grammar; [never OPTION when COND and COND ...] compiles to
+    an ASG constraint; [penalize OPTION by N [when COND ...]] compiles to
+    a weak constraint (a utility statement). Conditions:
+
+    - [ATTR is VALUE]                ->  attr-value context fact
+    - [ATTR is below ATTR']          ->  numeric comparison  V < V'
+    - [ATTR is at least N]           ->  V >= N
+    - [ATTR is at most N]            ->  V <= N *)
+
+exception Intent_error of string
+
+type statement =
+  | Options of string list
+  | Forbid of string * Asg.Annotation.body_elt list  (** option, conditions *)
+  | Penalize of string * int * Asg.Annotation.body_elt list
+
+let tokenize text =
+  text
+  |> String.lowercase_ascii
+  |> String.map (fun c -> if c = ',' then ' ' else c)
+  |> String.split_on_char ' '
+  |> List.filter (fun w -> w <> "" && w <> "the")
+
+let split_statements text =
+  String.split_on_char '.' text
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+(* A condition over the context. Returns the body literals plus a counter
+   for fresh comparison variables. *)
+let rec parse_conditions fresh tokens :
+    Asg.Annotation.body_elt list =
+  let var () =
+    incr fresh;
+    Printf.sprintf "V%d" !fresh
+  in
+  let attr_atom name v = Asp.Atom.make name [ v ] in
+  match tokens with
+  | [] -> []
+  | attr :: "is" :: "below" :: attr' :: rest ->
+    let v1 = var () and v2 = var () in
+    Asg.Annotation.Pos (Asg.Annotation.at (attr_atom attr (Asp.Term.var v1)))
+    :: Asg.Annotation.Pos (Asg.Annotation.at (attr_atom attr' (Asp.Term.var v2)))
+    :: Asg.Annotation.Cmp (Asp.Rule.Lt, Asp.Term.var v1, Asp.Term.var v2)
+    :: continue fresh rest
+  | attr :: "is" :: "at" :: "least" :: n :: rest ->
+    let v = var () in
+    let k =
+      match int_of_string_opt n with
+      | Some k -> k
+      | None -> raise (Intent_error ("expected a number, found " ^ n))
+    in
+    Asg.Annotation.Pos (Asg.Annotation.at (attr_atom attr (Asp.Term.var v)))
+    :: Asg.Annotation.Cmp (Asp.Rule.Ge, Asp.Term.var v, Asp.Term.int k)
+    :: continue fresh rest
+  | attr :: "is" :: "at" :: "most" :: n :: rest ->
+    let v = var () in
+    let k =
+      match int_of_string_opt n with
+      | Some k -> k
+      | None -> raise (Intent_error ("expected a number, found " ^ n))
+    in
+    Asg.Annotation.Pos (Asg.Annotation.at (attr_atom attr (Asp.Term.var v)))
+    :: Asg.Annotation.Cmp (Asp.Rule.Le, Asp.Term.var v, Asp.Term.int k)
+    :: continue fresh rest
+  | attr :: "is" :: "not" :: value :: rest ->
+    Asg.Annotation.Neg (Asg.Annotation.at (attr_atom attr (Asp.Term.const value)))
+    :: continue fresh rest
+  | attr :: "is" :: value :: rest ->
+    (match int_of_string_opt value with
+    | Some k ->
+      Asg.Annotation.Pos (Asg.Annotation.at (attr_atom attr (Asp.Term.int k)))
+    | None ->
+      Asg.Annotation.Pos (Asg.Annotation.at (attr_atom attr (Asp.Term.const value))))
+    :: continue fresh rest
+  | w :: _ -> raise (Intent_error ("cannot parse condition near " ^ w))
+
+and continue fresh = function
+  | [] -> []
+  | "and" :: rest -> parse_conditions fresh rest
+  | w :: _ -> raise (Intent_error ("expected 'and' but found " ^ w))
+
+let parse_statement (s : string) : statement =
+  let fresh = ref 0 in
+  match tokenize s with
+  | "options" :: "are" :: rest ->
+    let opts = List.filter (fun w -> w <> "or" && w <> "and") rest in
+    if opts = [] then raise (Intent_error "no options listed");
+    Options opts
+  | ("never" | "forbid") :: option_ :: rest ->
+    let conds =
+      match rest with
+      | [] -> []
+      | "when" :: conds -> parse_conditions fresh conds
+      | w :: _ -> raise (Intent_error ("expected 'when' but found " ^ w))
+    in
+    Forbid (option_, conds)
+  | "penalize" :: option_ :: "by" :: n :: rest ->
+    let weight =
+      match int_of_string_opt n with
+      | Some k -> k
+      | None -> raise (Intent_error ("expected a number, found " ^ n))
+    in
+    let conds =
+      match rest with
+      | [] -> []
+      | "when" :: conds -> parse_conditions fresh conds
+      | w :: _ -> raise (Intent_error ("expected 'when' but found " ^ w))
+    in
+    Penalize (option_, weight, conds)
+  | "prefer" :: preferred :: "over" :: other :: [] ->
+    ignore preferred;
+    Penalize (other, 1, [])
+  | w :: _ -> raise (Intent_error ("cannot parse statement starting with " ^ w))
+  | [] -> raise (Intent_error "empty statement")
+
+let parse (text : string) : statement list =
+  List.map parse_statement (split_statements text)
+
+(** The decision literal for an option: [result(option)@1]. *)
+let decision_literal option_ =
+  Asg.Annotation.Pos
+    {
+      Asg.Annotation.atom = Asp.Atom.make "result" [ Asp.Term.const option_ ];
+      site = Some 1;
+    }
+
+(** Compile controlled-English intents into a generative policy model.
+    The statements must include exactly one [the options are ...]. *)
+let compile (text : string) : Asg.Gpm.t =
+  let statements = parse text in
+  let options =
+    match
+      List.filter_map (function Options o -> Some o | _ -> None) statements
+    with
+    | [ opts ] -> opts
+    | [] -> raise (Intent_error "missing 'the options are ...' statement")
+    | _ -> raise (Intent_error "multiple 'the options are ...' statements")
+  in
+  let cfg =
+    Grammar.Cfg.make ~start:"start"
+      (("start", [ Grammar.Symbol.nonterminal "decision" ])
+      :: List.map
+           (fun opt -> ("decision", [ Grammar.Symbol.terminal opt ]))
+           options)
+  in
+  let option_annotations =
+    List.mapi
+      (fun i opt ->
+        ( i + 1,
+          [ Asg.Annotation.fact (Asp.Atom.make "result" [ Asp.Term.const opt ]) ] ))
+      options
+  in
+  let check_option opt =
+    if not (List.mem opt options) then
+      raise (Intent_error (opt ^ " is not one of the declared options"))
+  in
+  let root_rules =
+    List.filter_map
+      (function
+        | Options _ -> None
+        | Forbid (opt, conds) ->
+          check_option opt;
+          Some
+            { Asg.Annotation.head = Asg.Annotation.Falsity;
+              body = decision_literal opt :: conds }
+        | Penalize (opt, weight, conds) ->
+          check_option opt;
+          Some
+            { Asg.Annotation.head = Asg.Annotation.Weak (Asp.Term.int weight);
+              body = decision_literal opt :: conds })
+      statements
+  in
+  let annotations =
+    (if root_rules = [] then [] else [ (0, root_rules) ]) @ option_annotations
+  in
+  Asg.Gpm.make ~annotations cfg
+
+(** Render the compiled model's constraints back as text (for review). *)
+let describe (gpm : Asg.Gpm.t) : string list =
+  List.map Asg.Annotation.rule_to_string (Asg.Gpm.annotation gpm 0)

@@ -1,0 +1,29 @@
+(** Controlled-English intents compiled into generative policy models —
+    the "from natural language to grammar-based policies" direction of
+    Section III-B.
+
+    {v
+      the options are accept or reject.
+      never accept when weather is snow and task is overtake.
+      never accept when vehicle_loa is below needed_loa.
+      penalize reject by 1.
+      prefer accept over reject.
+    v} *)
+
+exception Intent_error of string
+
+type statement =
+  | Options of string list
+  | Forbid of string * Asg.Annotation.body_elt list
+  | Penalize of string * int * Asg.Annotation.body_elt list
+
+(** Parse period-separated statements.
+    @raise Intent_error on unrecognized phrasing. *)
+val parse : string -> statement list
+
+(** Compile intents into a GPM; requires exactly one options statement.
+    @raise Intent_error on unknown options or malformed statements. *)
+val compile : string -> Asg.Gpm.t
+
+(** The compiled constraints, rendered for operator review. *)
+val describe : Asg.Gpm.t -> string list

@@ -1,0 +1,1 @@
+lib/ml/dataset.ml: Array Hashtbl List Option Random

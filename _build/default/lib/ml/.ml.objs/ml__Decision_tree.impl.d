@@ -1,0 +1,1 @@
+lib/ml/decision_tree.ml: Array Dataset Fun Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/ml/eval.ml: Dataset Decision_tree Knn List Naive_bayes Option Printf

@@ -1,0 +1,1 @@
+lib/ml/knn.ml: Array Dataset Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/ml/naive_bayes.mli: Dataset

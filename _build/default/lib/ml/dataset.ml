@@ -1,0 +1,60 @@
+(** Categorical datasets for the shallow-ML baselines the paper's CAV
+    comparison is made against (Section IV-A): feature vectors of string
+    values plus a class label. *)
+
+type instance = { features : string array; label : string }
+
+type t = {
+  feature_names : string array;
+  instances : instance list;
+}
+
+let make ~feature_names instances = { feature_names; instances }
+let size d = List.length d.instances
+let labels d = List.sort_uniq compare (List.map (fun i -> i.label) d.instances)
+
+let feature_values d j =
+  List.sort_uniq compare (List.map (fun i -> i.features.(j)) d.instances)
+
+(** Deterministic pseudo-random shuffle (caller provides the seed). *)
+let shuffle ~seed d =
+  let st = Random.State.make [| seed |] in
+  let arr = Array.of_list d.instances in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  { d with instances = Array.to_list arr }
+
+(** First [n] instances as training set, rest as test set. *)
+let split_at n d =
+  let rec go i acc = function
+    | [] -> (List.rev acc, [])
+    | x :: rest ->
+      if i >= n then (List.rev acc, x :: rest) else go (i + 1) (x :: acc) rest
+  in
+  let train, test = go 0 [] d.instances in
+  ({ d with instances = train }, { d with instances = test })
+
+let take n d =
+  let train, _ = split_at n d in
+  train
+
+(** Majority label of a dataset ([None] when empty). *)
+let majority_label d =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      Hashtbl.replace tally i.label
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally i.label)))
+    d.instances;
+  Hashtbl.fold
+    (fun label n acc ->
+      match acc with
+      | Some (_, best) when best >= n -> acc
+      | _ -> Some (label, n))
+    tally None
+  |> Option.map fst

@@ -1,0 +1,23 @@
+(** Categorical datasets for the shallow-ML baselines: string feature
+    vectors plus a class label. *)
+
+type instance = { features : string array; label : string }
+
+type t = {
+  feature_names : string array;
+  instances : instance list;
+}
+
+val make : feature_names:string array -> instance list -> t
+val size : t -> int
+val labels : t -> string list
+val feature_values : t -> int -> string list
+
+(** Deterministic pseudo-random shuffle. *)
+val shuffle : seed:int -> t -> t
+
+(** First [n] instances / the rest. *)
+val split_at : int -> t -> t * t
+
+val take : int -> t -> t
+val majority_label : t -> string option

@@ -1,0 +1,120 @@
+(** ID3 decision-tree induction with information gain — the canonical
+    shallow-ML baseline. *)
+
+type node =
+  | Leaf of string
+  | Split of int * (string * node) list * string
+      (** feature index, branches by value, default label for unseen values *)
+
+type t = { tree : node; feature_names : string array }
+
+let entropy (instances : Dataset.instance list) =
+  let n = float_of_int (List.length instances) in
+  if n = 0.0 then 0.0
+  else begin
+    let tally = Hashtbl.create 8 in
+    List.iter
+      (fun (i : Dataset.instance) ->
+        Hashtbl.replace tally i.Dataset.label
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally i.Dataset.label)))
+      instances;
+    Hashtbl.fold
+      (fun _ c acc ->
+        let p = float_of_int c /. n in
+        acc -. (p *. (log p /. log 2.0)))
+      tally 0.0
+  end
+
+let majority (instances : Dataset.instance list) =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Dataset.instance) ->
+      Hashtbl.replace tally i.Dataset.label
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally i.Dataset.label)))
+    instances;
+  Hashtbl.fold
+    (fun label n acc ->
+      match acc with
+      | Some (_, best) when best >= n -> acc
+      | _ -> Some (label, n))
+    tally None
+  |> Option.map fst
+  |> Option.value ~default:"?"
+
+let partition_by j instances =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Dataset.instance) ->
+      let v = i.Dataset.features.(j) in
+      Hashtbl.replace groups v
+        (i :: Option.value ~default:[] (Hashtbl.find_opt groups v)))
+    instances;
+  Hashtbl.fold (fun v is acc -> (v, List.rev is) :: acc) groups []
+
+let information_gain instances j =
+  let base = entropy instances in
+  let n = float_of_int (List.length instances) in
+  let weighted =
+    List.fold_left
+      (fun acc (_, group) ->
+        acc +. (float_of_int (List.length group) /. n *. entropy group))
+      0.0
+      (partition_by j instances)
+  in
+  base -. weighted
+
+let rec grow instances remaining_features ~max_depth =
+  let all_same =
+    match instances with
+    | [] -> true
+    | (first : Dataset.instance) :: rest ->
+      List.for_all
+        (fun (i : Dataset.instance) -> i.Dataset.label = first.Dataset.label)
+        rest
+  in
+  if all_same || remaining_features = [] || max_depth = 0 then
+    Leaf (majority instances)
+  else begin
+    let best =
+      List.fold_left
+        (fun acc j ->
+          let g = information_gain instances j in
+          match acc with
+          | Some (_, bg) when bg >= g -> acc
+          | _ -> Some (j, g))
+        None remaining_features
+    in
+    (* split even on zero gain while impure (handles XOR-like targets
+       where no single feature is informative at the root); recursion
+       terminates because the feature list shrinks *)
+    match best with
+    | None -> Leaf (majority instances)
+    | Some (j, _) ->
+      let rest = List.filter (fun k -> k <> j) remaining_features in
+      let branches =
+        List.map
+          (fun (v, group) -> (v, grow group rest ~max_depth:(max_depth - 1)))
+          (partition_by j instances)
+      in
+      Split (j, branches, majority instances)
+  end
+
+let train ?(max_depth = 16) (d : Dataset.t) : t =
+  let features = List.init (Array.length d.Dataset.feature_names) Fun.id in
+  { tree = grow d.Dataset.instances features ~max_depth;
+    feature_names = d.Dataset.feature_names }
+
+let rec classify_node node (features : string array) =
+  match node with
+  | Leaf label -> label
+  | Split (j, branches, default) -> (
+    match List.assoc_opt features.(j) branches with
+    | Some child -> classify_node child features
+    | None -> default)
+
+let classify (t : t) features = classify_node t.tree features
+
+let rec depth = function
+  | Leaf _ -> 1
+  | Split (_, branches, _) ->
+    1 + List.fold_left (fun acc (_, n) -> max acc (depth n)) 0 branches

@@ -1,0 +1,14 @@
+(** ID3 decision-tree induction with information gain. Zero-gain splits
+    still happen while the node is impure (XOR-like targets), with
+    termination guaranteed by the shrinking feature list. *)
+
+type node =
+  | Leaf of string
+  | Split of int * (string * node) list * string
+      (** feature index, branches by value, default for unseen values *)
+
+type t = { tree : node; feature_names : string array }
+
+val train : ?max_depth:int -> Dataset.t -> t
+val classify : t -> string array -> string
+val depth : node -> int

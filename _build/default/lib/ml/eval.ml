@@ -1,0 +1,52 @@
+(** Classifier evaluation: accuracy and learning curves. *)
+
+type classifier = { name : string; train : Dataset.t -> string array -> string }
+
+let decision_tree =
+  {
+    name = "decision-tree";
+    train = (fun d -> let m = Decision_tree.train d in Decision_tree.classify m);
+  }
+
+let naive_bayes =
+  {
+    name = "naive-bayes";
+    train = (fun d -> let m = Naive_bayes.train d in Naive_bayes.classify m);
+  }
+
+let knn ?(k = 3) () =
+  { name = Printf.sprintf "%d-nn" k;
+    train = (fun d -> let m = Knn.train ~k d in Knn.classify m) }
+
+let majority_class =
+  {
+    name = "majority";
+    train =
+      (fun d ->
+        let label = Option.value ~default:"?" (Dataset.majority_label d) in
+        fun _ -> label);
+  }
+
+let accuracy (predict : string array -> string) (test : Dataset.t) : float =
+  match test.Dataset.instances with
+  | [] -> 1.0
+  | instances ->
+    let correct =
+      List.length
+        (List.filter
+           (fun (i : Dataset.instance) ->
+             predict i.Dataset.features = i.Dataset.label)
+           instances)
+    in
+    float_of_int correct /. float_of_int (List.length instances)
+
+(** Learning curve: train on the first [n] instances for each [n] in
+    [sizes], evaluate on [test]. *)
+let learning_curve (c : classifier) ~(train : Dataset.t) ~(test : Dataset.t)
+    ~(sizes : int list) : (int * float) list =
+  List.map
+    (fun n ->
+      let sub = Dataset.take n train in
+      let predict = c.train sub in
+      (n, accuracy predict test))
+    sizes

@@ -1,0 +1,18 @@
+(** Classifier evaluation: accuracy and learning curves. *)
+
+type classifier = { name : string; train : Dataset.t -> string array -> string }
+
+val decision_tree : classifier
+val naive_bayes : classifier
+val knn : ?k:int -> unit -> classifier
+val majority_class : classifier
+val accuracy : (string array -> string) -> Dataset.t -> float
+
+(** Accuracy on [test] after training on the first [n] of [train], for
+    each [n] in [sizes]. *)
+val learning_curve :
+  classifier ->
+  train:Dataset.t ->
+  test:Dataset.t ->
+  sizes:int list ->
+  (int * float) list

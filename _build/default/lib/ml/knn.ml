@@ -1,0 +1,40 @@
+(** k-nearest neighbours over categorical features with Hamming distance. *)
+
+type t = { k : int; train : Dataset.instance list }
+
+let train ?(k = 3) (d : Dataset.t) : t = { k; train = d.Dataset.instances }
+
+let hamming (a : string array) (b : string array) =
+  let n = min (Array.length a) (Array.length b) in
+  let d = ref 0 in
+  for i = 0 to n - 1 do
+    if a.(i) <> b.(i) then incr d
+  done;
+  !d
+
+let classify (t : t) (features : string array) : string =
+  let scored =
+    List.map
+      (fun (i : Dataset.instance) -> (hamming i.Dataset.features features, i))
+      t.train
+  in
+  let sorted = List.sort (fun (d1, _) (d2, _) -> compare d1 d2) scored in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  let nearest = take t.k sorted in
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun (_, (i : Dataset.instance)) ->
+      Hashtbl.replace tally i.Dataset.label
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally i.Dataset.label)))
+    nearest;
+  Hashtbl.fold
+    (fun label n acc ->
+      match acc with
+      | Some (_, best) when best >= n -> acc
+      | _ -> Some (label, n))
+    tally None
+  |> Option.map fst
+  |> Option.value ~default:"?"

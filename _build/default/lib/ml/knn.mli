@@ -1,0 +1,7 @@
+(** k-nearest neighbours with Hamming distance over categorical
+    features. *)
+
+type t
+
+val train : ?k:int -> Dataset.t -> t
+val classify : t -> string array -> string

@@ -1,0 +1,78 @@
+(** Categorical naive Bayes with Laplace smoothing. *)
+
+type t = {
+  labels : string list;
+  priors : (string * float) list;
+  (* (label, feature index, value) -> conditional log-probability *)
+  cond : (string * int * string, float) Hashtbl.t;
+  feature_values : string list array;
+  n_features : int;
+}
+
+let train (d : Dataset.t) : t =
+  let labels = Dataset.labels d in
+  let n = float_of_int (Dataset.size d) in
+  let n_features = Array.length d.Dataset.feature_names in
+  let count_label l =
+    List.length
+      (List.filter (fun (i : Dataset.instance) -> i.Dataset.label = l)
+         d.Dataset.instances)
+  in
+  let priors =
+    List.map (fun l -> (l, float_of_int (count_label l) /. n)) labels
+  in
+  let feature_values = Array.init n_features (Dataset.feature_values d) in
+  let cond = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      let of_label =
+        List.filter (fun (i : Dataset.instance) -> i.Dataset.label = l)
+          d.Dataset.instances
+      in
+      let nl = float_of_int (List.length of_label) in
+      for j = 0 to n_features - 1 do
+        let vocab = feature_values.(j) in
+        let k = float_of_int (List.length vocab) in
+        List.iter
+          (fun v ->
+            let c =
+              List.length
+                (List.filter
+                   (fun (i : Dataset.instance) -> i.Dataset.features.(j) = v)
+                   of_label)
+            in
+            (* Laplace smoothing *)
+            let p = (float_of_int c +. 1.0) /. (nl +. k) in
+            Hashtbl.replace cond (l, j, v) (log p))
+          vocab
+      done)
+    labels;
+  { labels; priors; cond; feature_values; n_features }
+
+let classify (t : t) (features : string array) : string =
+  let score l =
+    let prior = log (List.assoc l t.priors +. 1e-9) in
+    let rec go j acc =
+      if j >= t.n_features then acc
+      else
+        let v = features.(j) in
+        let lp =
+          match Hashtbl.find_opt t.cond (l, j, v) with
+          | Some lp -> lp
+          | None ->
+            (* unseen value: uniform smoothed mass *)
+            log (1.0 /. float_of_int (1 + List.length t.feature_values.(j)))
+        in
+        go (j + 1) (acc +. lp)
+    in
+    go 0 prior
+  in
+  match t.labels with
+  | [] -> "?"
+  | first :: rest ->
+    fst
+      (List.fold_left
+         (fun (bl, bs) l ->
+           let s = score l in
+           if s > bs then (l, s) else (bl, bs))
+         (first, score first) rest)

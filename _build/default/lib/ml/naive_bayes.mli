@@ -1,0 +1,6 @@
+(** Categorical naive Bayes with Laplace smoothing. *)
+
+type t
+
+val train : Dataset.t -> t
+val classify : t -> string array -> string

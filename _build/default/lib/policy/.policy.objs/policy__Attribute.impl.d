@@ -1,0 +1,1 @@
+lib/policy/attribute.ml: Asp Fmt Map Stdlib

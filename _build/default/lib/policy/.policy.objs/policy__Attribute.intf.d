@@ -1,0 +1,1 @@
+lib/policy/attribute.mli: Asp Format Map

@@ -1,0 +1,1 @@
+lib/policy/conflict.ml: Attribute Decision Expr List Request Rule_policy

@@ -1,0 +1,1 @@
+lib/policy/conflict.mli: Decision Request Rule_policy

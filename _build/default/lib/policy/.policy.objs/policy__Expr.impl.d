@@ -1,0 +1,1 @@
+lib/policy/expr.ml: Attribute Fmt List Request

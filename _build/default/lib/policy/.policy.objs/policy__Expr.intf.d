@@ -1,0 +1,1 @@
+lib/policy/expr.mli: Attribute Format Request

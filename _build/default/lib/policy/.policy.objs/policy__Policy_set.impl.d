@@ -1,0 +1,1 @@
+lib/policy/policy_set.ml: Decision Expr Fmt List Request Rule_policy String

@@ -1,0 +1,1 @@
+lib/policy/policy_set.mli: Decision Expr Format Request Rule_policy

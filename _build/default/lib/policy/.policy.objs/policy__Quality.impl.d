@@ -1,0 +1,1 @@
+lib/policy/quality.ml: Decision Expr Fmt List Request Rule_policy

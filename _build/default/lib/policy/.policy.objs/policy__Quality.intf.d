@@ -1,0 +1,1 @@
+lib/policy/quality.mli: Format Request Rule_policy

@@ -1,0 +1,1 @@
+lib/policy/request.ml: Asp Attribute Fmt List

@@ -1,0 +1,1 @@
+lib/policy/request.mli: Asp Attribute Format

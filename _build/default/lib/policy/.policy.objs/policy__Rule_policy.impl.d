@@ -1,0 +1,1 @@
+lib/policy/rule_policy.ml: Decision Expr Fmt List Request

@@ -1,0 +1,1 @@
+lib/policy/rule_policy.mli: Decision Expr Format Request

@@ -1,0 +1,1 @@
+lib/policy/xacml.ml: Asg Asp Attribute Decision Expr Ilp List Option Printf Request Rule_policy

@@ -1,0 +1,1 @@
+lib/policy/xacml.mli: Asg Asp Attribute Decision Expr Ilp Request Rule_policy

@@ -1,0 +1,1 @@
+lib/policy/xacml_xml.ml: Attribute Buffer Expr List Printf Rule_policy String

@@ -1,0 +1,1 @@
+lib/policy/xacml_xml.mli: Rule_policy

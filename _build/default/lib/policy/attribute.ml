@@ -1,0 +1,47 @@
+(** Attributes for attribute-based access control: a category (XACML's
+    subject / resource / action / environment), a name, and a typed value. *)
+
+type category = Subject | Resource | Action | Environment
+
+type value = Str of string | Int of int | Bool of bool
+
+type t = { category : category; name : string }
+
+let subject name = { category = Subject; name }
+let resource name = { category = Resource; name }
+let action name = { category = Action; name }
+let environment name = { category = Environment; name }
+
+let category_to_string = function
+  | Subject -> "subject"
+  | Resource -> "resource"
+  | Action -> "action"
+  | Environment -> "environment"
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+let value_to_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Bool b -> string_of_bool b
+
+let value_compare (a : value) (b : value) = Stdlib.compare a b
+let value_equal a b = value_compare a b = 0
+
+(** The value as an ASP term (strings and booleans become constants). *)
+let value_to_term = function
+  | Str s -> Asp.Term.const s
+  | Int i -> Asp.Term.int i
+  | Bool b -> Asp.Term.const (string_of_bool b)
+
+let pp ppf a = Fmt.pf ppf "%s.%s" (category_to_string a.category) a.name
+let to_string a = Fmt.str "%a" pp a
+
+let pp_value ppf v = Fmt.string ppf (value_to_string v)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,26 @@
+(** Attributes for attribute-based access control: category, name, and
+    typed values. *)
+
+type category = Subject | Resource | Action | Environment
+type value = Str of string | Int of int | Bool of bool
+type t = { category : category; name : string }
+
+val subject : string -> t
+val resource : string -> t
+val action : string -> t
+val environment : string -> t
+val category_to_string : category -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val value_to_string : value -> string
+val value_compare : value -> value -> int
+val value_equal : value -> value -> bool
+
+(** The value as an ASP term. *)
+val value_to_term : value -> Asp.Term.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_value : Format.formatter -> value -> unit
+
+module Map : Map.S with type key = t

@@ -1,0 +1,97 @@
+(** Conflict analysis and resolution (Section V-A's discussion): static
+    detection of {e potential} conflicts over an attribute domain, runtime
+    detection against a concrete request (conflicts are context-dependent,
+    as the paper's Crypto-project/postdoc example illustrates), and
+    pluggable resolution strategies. *)
+
+type strategy =
+  | Prefer_deny
+  | Prefer_permit
+  | Priority of (string -> int)  (** higher wins; by rule id *)
+  | Most_specific  (** rule with more referenced attributes wins *)
+
+(** Potential conflict: opposite effects and jointly satisfiable
+    applicability over the given request space. Returns the witnesses. *)
+let static_conflicts (rules : Rule_policy.rule list)
+    (space : Request.t list) :
+    (Rule_policy.rule * Rule_policy.rule * Request.t) list =
+  let applicable (rule : Rule_policy.rule) r =
+    Expr.matches r rule.target && Expr.matches r rule.condition
+  in
+  let rec pairs = function
+    | [] -> []
+    | a :: rest -> List.map (fun b -> (a, b)) rest @ pairs rest
+  in
+  List.concat_map
+    (fun ((a : Rule_policy.rule), (b : Rule_policy.rule)) ->
+      if a.effect = b.effect then []
+      else
+        match List.find_opt (fun r -> applicable a r && applicable b r) space with
+        | Some witness -> [ (a, b, witness) ]
+        | None -> [])
+    (pairs rules)
+
+(** Do [a] and [b] actually conflict on request [r]? *)
+let conflicts_on (a : Rule_policy.rule) (b : Rule_policy.rule) (r : Request.t) =
+  a.effect <> b.effect
+  && Expr.matches r a.target && Expr.matches r a.condition
+  && Expr.matches r b.target && Expr.matches r b.condition
+
+let specificity (rule : Rule_policy.rule) =
+  List.length
+    (List.sort_uniq Attribute.compare
+       (Expr.attributes rule.target @ Expr.attributes rule.condition))
+
+(** Resolve a set of applicable rules to one decision. *)
+let resolve (s : strategy) (applicable : Rule_policy.rule list) : Decision.t =
+  match applicable with
+  | [] -> Decision.Not_applicable
+  | rules -> (
+    match s with
+    | Prefer_deny ->
+      if List.exists (fun (r : Rule_policy.rule) -> r.effect = Rule_policy.Deny) rules
+      then Decision.Deny
+      else Decision.Permit
+    | Prefer_permit ->
+      if
+        List.exists
+          (fun (r : Rule_policy.rule) -> r.effect = Rule_policy.Permit)
+          rules
+      then Decision.Permit
+      else Decision.Deny
+    | Priority rank -> (
+      let best =
+        List.fold_left
+          (fun acc (r : Rule_policy.rule) ->
+            match acc with
+            | None -> Some r
+            | Some (b : Rule_policy.rule) ->
+              if rank r.rid > rank b.rid then Some r else acc)
+          None rules
+      in
+      match best with
+      | Some r -> Rule_policy.effect_to_decision r.effect
+      | None -> Decision.Not_applicable)
+    | Most_specific -> (
+      let best =
+        List.fold_left
+          (fun acc (r : Rule_policy.rule) ->
+            match acc with
+            | None -> Some r
+            | Some b -> if specificity r > specificity b then Some r else acc)
+          None rules
+      in
+      match best with
+      | Some r -> Rule_policy.effect_to_decision r.effect
+      | None -> Decision.Not_applicable))
+
+(** Evaluate a rule list on a request under a resolution strategy. *)
+let evaluate_with (s : strategy) (rules : Rule_policy.rule list)
+    (r : Request.t) : Decision.t =
+  let applicable =
+    List.filter
+      (fun (rule : Rule_policy.rule) ->
+        Expr.matches r rule.target && Expr.matches r rule.condition)
+      rules
+  in
+  resolve s applicable

@@ -1,0 +1,28 @@
+(** Conflict analysis and resolution: static detection of potential
+    conflicts over a request space, runtime (context-dependent) checks,
+    and pluggable resolution strategies. *)
+
+type strategy =
+  | Prefer_deny
+  | Prefer_permit
+  | Priority of (string -> int)  (** higher wins; by rule id *)
+  | Most_specific  (** rule referencing more attributes wins *)
+
+(** Opposite-effect rule pairs jointly applicable somewhere in the
+    space, with a witnessing request. *)
+val static_conflicts :
+  Rule_policy.rule list ->
+  Request.t list ->
+  (Rule_policy.rule * Rule_policy.rule * Request.t) list
+
+(** Do the two rules conflict on this concrete request? *)
+val conflicts_on : Rule_policy.rule -> Rule_policy.rule -> Request.t -> bool
+
+val specificity : Rule_policy.rule -> int
+
+(** Resolve applicable rules to one decision. *)
+val resolve : strategy -> Rule_policy.rule list -> Decision.t
+
+(** Evaluate rules on a request under a resolution strategy. *)
+val evaluate_with :
+  strategy -> Rule_policy.rule list -> Request.t -> Decision.t

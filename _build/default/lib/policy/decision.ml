@@ -1,0 +1,19 @@
+(** Access decisions, following XACML's four-valued outcome. *)
+
+type t = Permit | Deny | Not_applicable | Indeterminate
+
+let to_string = function
+  | Permit -> "Permit"
+  | Deny -> "Deny"
+  | Not_applicable -> "NotApplicable"
+  | Indeterminate -> "Indeterminate"
+
+let of_string = function
+  | "Permit" | "permit" -> Some Permit
+  | "Deny" | "deny" -> Some Deny
+  | "NotApplicable" | "notapplicable" -> Some Not_applicable
+  | "Indeterminate" | "indeterminate" -> Some Indeterminate
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+let pp ppf d = Fmt.string ppf (to_string d)

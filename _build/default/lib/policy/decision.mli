@@ -1,0 +1,8 @@
+(** Access decisions (XACML's four-valued outcome). *)
+
+type t = Permit | Deny | Not_applicable | Indeterminate
+
+val to_string : t -> string
+val of_string : string -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

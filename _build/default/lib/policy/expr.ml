@@ -1,0 +1,87 @@
+(** Target/condition expressions over request attributes — the boolean
+    combinations of attribute tests the paper's Section IV-D calls out as
+    necessary for data-sharing policies. *)
+
+type cmp = Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Equals of Attribute.t * Attribute.value
+  | One_of of Attribute.t * Attribute.value list
+  | Compare of cmp * Attribute.t * int  (** numeric attribute vs constant *)
+  | And of t list
+  | Or of t list
+  | Not of t
+
+let cmp_to_string = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+(** Three-valued evaluation: [`Match], [`No_match], or [`Missing] when a
+    referenced attribute is absent from the request (XACML's
+    indeterminate case). *)
+let rec eval (r : Request.t) (e : t) : [ `Match | `No_match | `Missing ] =
+  match e with
+  | True -> `Match
+  | Equals (a, v) -> (
+    match Request.find a r with
+    | None -> `Missing
+    | Some actual -> if Attribute.value_equal actual v then `Match else `No_match)
+  | One_of (a, vs) -> (
+    match Request.find a r with
+    | None -> `Missing
+    | Some actual ->
+      if List.exists (Attribute.value_equal actual) vs then `Match
+      else `No_match)
+  | Compare (op, a, k) -> (
+    match Request.find a r with
+    | None -> `Missing
+    | Some (Attribute.Int n) ->
+      let holds =
+        match op with Lt -> n < k | Le -> n <= k | Gt -> n > k | Ge -> n >= k
+      in
+      if holds then `Match else `No_match
+    | Some _ -> `Missing)
+  | And es ->
+    List.fold_left
+      (fun acc e ->
+        match (acc, eval r e) with
+        | `No_match, _ | _, `No_match -> `No_match
+        | `Missing, _ | _, `Missing -> `Missing
+        | `Match, `Match -> `Match)
+      `Match es
+  | Or es ->
+    List.fold_left
+      (fun acc e ->
+        match (acc, eval r e) with
+        | `Match, _ | _, `Match -> `Match
+        | `Missing, _ | _, `Missing -> `Missing
+        | `No_match, `No_match -> `No_match)
+      `No_match es
+  | Not e -> (
+    match eval r e with
+    | `Match -> `No_match
+    | `No_match -> `Match
+    | `Missing -> `Missing)
+
+let matches r e = eval r e = `Match
+
+(** Attributes referenced anywhere in the expression. *)
+let rec attributes = function
+  | True -> []
+  | Equals (a, _) | One_of (a, _) | Compare (_, a, _) -> [ a ]
+  | And es | Or es -> List.concat_map attributes es
+  | Not e -> attributes e
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | Equals (a, v) -> Fmt.pf ppf "%a = %a" Attribute.pp a Attribute.pp_value v
+  | One_of (a, vs) ->
+    Fmt.pf ppf "%a in {%a}" Attribute.pp a
+      Fmt.(list ~sep:(any ", ") Attribute.pp_value)
+      vs
+  | Compare (op, a, k) ->
+    Fmt.pf ppf "%a %s %d" Attribute.pp a (cmp_to_string op) k
+  | And es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " and ") pp) es
+  | Or es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " or ") pp) es
+  | Not e -> Fmt.pf ppf "not %a" pp e
+
+let to_string e = Fmt.str "%a" pp e

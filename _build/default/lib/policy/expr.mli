@@ -1,0 +1,27 @@
+(** Target/condition expressions over request attributes: Boolean
+    combinations of attribute tests. *)
+
+type cmp = Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Equals of Attribute.t * Attribute.value
+  | One_of of Attribute.t * Attribute.value list
+  | Compare of cmp * Attribute.t * int
+  | And of t list
+  | Or of t list
+  | Not of t
+
+val cmp_to_string : cmp -> string
+
+(** Three-valued evaluation; [`Missing] when a referenced attribute is
+    absent (XACML's indeterminate case). *)
+val eval : Request.t -> t -> [ `Match | `No_match | `Missing ]
+
+val matches : Request.t -> t -> bool
+
+(** Attributes referenced anywhere in the expression. *)
+val attributes : t -> Attribute.t list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,73 @@
+(** Nested policy sets — XACML's PolicySet element: a tree whose leaves
+    are policies and whose inner nodes combine their children under a
+    combining algorithm and an applicability target. Coalition-level
+    policy organization (per-member policy sets combined at the coalition
+    root) maps naturally onto this structure. *)
+
+type t =
+  | Policy of Rule_policy.t
+  | Set of {
+      psid : string;
+      target : Expr.t;
+      alg : Rule_policy.combining;
+      children : t list;
+    }
+
+let policy p = Policy p
+
+let set ?(target = Expr.True) ~alg psid children =
+  Set { psid; target; alg; children }
+
+let rec evaluate (node : t) (r : Request.t) : Decision.t =
+  match node with
+  | Policy p -> Rule_policy.evaluate p r
+  | Set { target; alg; children; _ } -> (
+    match Expr.eval r target with
+    | `No_match -> Decision.Not_applicable
+    | `Missing -> Decision.Indeterminate
+    | `Match ->
+      Rule_policy.combine alg (List.map (fun c -> evaluate c r) children))
+
+(** All policies in the tree, leaves first. *)
+let rec policies = function
+  | Policy p -> [ p ]
+  | Set { children; _ } -> List.concat_map policies children
+
+(** Depth of the tree (a single policy has depth 1). *)
+let rec depth = function
+  | Policy _ -> 1
+  | Set { children; _ } ->
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+(** The id of the node. *)
+let id = function
+  | Policy p -> p.Rule_policy.pid
+  | Set { psid; _ } -> psid
+
+(** Find the first applicable policy that actually decides the request —
+    useful for audit trails ("which member's policy decided this?"). *)
+let rec deciding_policy (node : t) (r : Request.t) : Rule_policy.t option =
+  match node with
+  | Policy p -> (
+    match Rule_policy.evaluate p r with
+    | Decision.Permit | Decision.Deny -> Some p
+    | Decision.Not_applicable | Decision.Indeterminate -> None)
+  | Set { target; children; _ } ->
+    if Expr.matches r target then
+      List.fold_left
+        (fun acc c ->
+          match acc with Some _ -> acc | None -> deciding_policy c r)
+        None children
+    else None
+
+let rec pp ?(indent = 0) ppf node =
+  let pad = String.make (2 * indent) ' ' in
+  match node with
+  | Policy p -> Fmt.pf ppf "%s%a@." pad Rule_policy.pp p
+  | Set { psid; alg; children; target } ->
+    Fmt.pf ppf "%spolicy-set %s [%s]%s@." pad psid
+      (Rule_policy.combining_to_string alg)
+      (match target with
+      | Expr.True -> ""
+      | t -> " target " ^ Expr.to_string t);
+    List.iter (pp ~indent:(indent + 1) ppf) children

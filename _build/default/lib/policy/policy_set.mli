@@ -1,0 +1,26 @@
+(** Nested policy sets (XACML PolicySet): trees of policies combined
+    under per-node algorithms and applicability targets. *)
+
+type t =
+  | Policy of Rule_policy.t
+  | Set of {
+      psid : string;
+      target : Expr.t;
+      alg : Rule_policy.combining;
+      children : t list;
+    }
+
+val policy : Rule_policy.t -> t
+val set : ?target:Expr.t -> alg:Rule_policy.combining -> string -> t list -> t
+val evaluate : t -> Request.t -> Decision.t
+
+(** All policies in the tree, leaves first. *)
+val policies : t -> Rule_policy.t list
+
+val depth : t -> int
+val id : t -> string
+
+(** The first policy that actually decides the request (audit trails). *)
+val deciding_policy : t -> Request.t -> Rule_policy.t option
+
+val pp : ?indent:int -> Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+(** Policy quality metrics (Section V-A): consistency, relevance,
+    minimality, completeness. Metrics are evaluated against a finite
+    request space supplied by the caller (exhaustive for enumerable
+    attribute domains, sampled otherwise). *)
+
+type report = {
+  consistency : float;  (** fraction of requests without rule conflicts *)
+  conflicts : (Request.t * Rule_policy.rule * Rule_policy.rule) list;
+  relevance : float;  (** fraction of rules applicable somewhere *)
+  irrelevant_rules : Rule_policy.rule list;
+  minimality : float;  (** fraction of rules that are not redundant *)
+  redundant_rules : Rule_policy.rule list;
+  completeness : float;  (** fraction of requests with a decision *)
+  uncovered : Request.t list;
+}
+
+(** A catch-all fallback (true target and condition) is a default, not a
+    policy statement; counting it against every specific rule would flag
+    every default-deny/permit policy as inconsistent. *)
+let is_catch_all (rule : Rule_policy.rule) =
+  rule.target = Expr.True && rule.condition = Expr.True
+
+(** Pairs of applicable non-default rules with opposite effects on [r]. *)
+let conflicting_pairs (p : Rule_policy.t) (r : Request.t) =
+  let applicable =
+    List.filter
+      (fun rule -> not (is_catch_all rule))
+      (Rule_policy.applicable_rules p r)
+  in
+  let permits, denies =
+    List.partition
+      (fun (rule : Rule_policy.rule) -> rule.effect = Rule_policy.Permit)
+      applicable
+  in
+  List.concat_map (fun a -> List.map (fun b -> (r, a, b)) denies) permits
+
+let assess (p : Rule_policy.t) (space : Request.t list) : report =
+  let n_req = max 1 (List.length space) in
+  let conflicts = List.concat_map (conflicting_pairs p) space in
+  let conflicting_requests =
+    List.sort_uniq Request.compare (List.map (fun (r, _, _) -> r) conflicts)
+  in
+  let consistency =
+    1.0
+    -. (float_of_int (List.length conflicting_requests) /. float_of_int n_req)
+  in
+  (* relevance *)
+  let irrelevant_rules =
+    List.filter
+      (fun (rule : Rule_policy.rule) ->
+        not
+          (List.exists
+             (fun r ->
+               List.exists
+                 (fun (applicable : Rule_policy.rule) ->
+                   applicable.rid = rule.rid)
+                 (Rule_policy.applicable_rules p r))
+             space))
+      p.rules
+  in
+  let n_rules = max 1 (List.length p.rules) in
+  let relevance =
+    1.0 -. (float_of_int (List.length irrelevant_rules) /. float_of_int n_rules)
+  in
+  (* minimality: a rule is redundant if removing it changes no decision *)
+  let decisions policy =
+    List.map (fun r -> Rule_policy.evaluate policy r) space
+  in
+  let full = decisions p in
+  let redundant_rules =
+    List.filter
+      (fun (rule : Rule_policy.rule) ->
+        let without =
+          {
+            p with
+            Rule_policy.rules =
+              List.filter
+                (fun (r' : Rule_policy.rule) -> r'.rid <> rule.rid)
+                p.rules;
+          }
+        in
+        decisions without = full)
+      p.rules
+  in
+  let minimality =
+    1.0 -. (float_of_int (List.length redundant_rules) /. float_of_int n_rules)
+  in
+  (* completeness *)
+  let uncovered =
+    List.filter
+      (fun r -> Rule_policy.evaluate p r = Decision.Not_applicable)
+      space
+  in
+  let completeness =
+    1.0 -. (float_of_int (List.length uncovered) /. float_of_int n_req)
+  in
+  {
+    consistency;
+    conflicts;
+    relevance;
+    irrelevant_rules;
+    minimality;
+    redundant_rules;
+    completeness;
+    uncovered;
+  }
+
+(** A policy passes when all four metrics are perfect. *)
+let is_high_quality report =
+  report.consistency = 1.0 && report.relevance = 1.0
+  && report.minimality = 1.0 && report.completeness = 1.0
+
+let pp ppf r =
+  Fmt.pf ppf
+    "consistency %.2f | relevance %.2f | minimality %.2f | completeness %.2f"
+    r.consistency r.relevance r.minimality r.completeness

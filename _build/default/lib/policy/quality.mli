@@ -1,0 +1,30 @@
+(** Policy quality metrics (Section V-A): consistency, relevance,
+    minimality, completeness, evaluated against a finite request space. *)
+
+type report = {
+  consistency : float;  (** fraction of requests without rule conflicts *)
+  conflicts : (Request.t * Rule_policy.rule * Rule_policy.rule) list;
+  relevance : float;  (** fraction of rules applicable somewhere *)
+  irrelevant_rules : Rule_policy.rule list;
+  minimality : float;  (** fraction of rules that are not redundant *)
+  redundant_rules : Rule_policy.rule list;
+  completeness : float;  (** fraction of requests with a decision *)
+  uncovered : Request.t list;
+}
+
+(** Is the rule a catch-all default (true target and condition)?
+    Defaults are excluded from conflict counting. *)
+val is_catch_all : Rule_policy.rule -> bool
+
+(** Applicable non-default rule pairs with opposite effects. *)
+val conflicting_pairs :
+  Rule_policy.t ->
+  Request.t ->
+  (Request.t * Rule_policy.rule * Rule_policy.rule) list
+
+val assess : Rule_policy.t -> Request.t list -> report
+
+(** All four metrics perfect. *)
+val is_high_quality : report -> bool
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,39 @@
+(** An access request: an assignment of values to attributes (XACML's
+    request context). *)
+
+type t = Attribute.value Attribute.Map.t
+
+let empty : t = Attribute.Map.empty
+let bind attr value (r : t) : t = Attribute.Map.add attr value r
+let of_list l : t = List.fold_left (fun r (a, v) -> bind a v r) empty l
+let find attr (r : t) = Attribute.Map.find_opt attr r
+let bindings (r : t) = Attribute.Map.bindings r
+
+let compare (a : t) (b : t) =
+  Attribute.Map.compare Attribute.value_compare a b
+
+let equal a b = compare a b = 0
+
+(** Encode a request as ASP context facts:
+    [subject.role = admin] becomes [attr(subject, role, admin)]. *)
+let to_context (r : t) : Asp.Program.t =
+  Asp.Program.of_rules
+    (List.map
+       (fun ((a : Attribute.t), v) ->
+         Asp.Rule.fact
+           (Asp.Atom.make "attr"
+              [
+                Asp.Term.const (Attribute.category_to_string a.Attribute.category);
+                Asp.Term.const a.Attribute.name;
+                Attribute.value_to_term v;
+              ]))
+       (bindings r))
+
+let pp ppf (r : t) =
+  Fmt.pf ppf "{%a}"
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (a, v) ->
+          Fmt.pf ppf "%a=%a" Attribute.pp a Attribute.pp_value v))
+    (bindings r)
+
+let to_string r = Fmt.str "%a" pp r

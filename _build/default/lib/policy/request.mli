@@ -1,0 +1,19 @@
+(** An access request: an attribute-to-value assignment (XACML's request
+    context). *)
+
+type t = Attribute.value Attribute.Map.t
+
+val empty : t
+val bind : Attribute.t -> Attribute.value -> t -> t
+val of_list : (Attribute.t * Attribute.value) list -> t
+val find : Attribute.t -> t -> Attribute.value option
+val bindings : t -> (Attribute.t * Attribute.value) list
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Encode as ASP facts: [subject.role = admin] becomes
+    [attr(subject, role, admin)]. *)
+val to_context : t -> Asp.Program.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,120 @@
+(** The XACML-subset policy model: rules with targets, conditions and
+    effects, grouped into policies under a combining algorithm. *)
+
+type effect = Permit | Deny
+
+type rule = {
+  rid : string;
+  effect : effect;
+  target : Expr.t;  (** applicability *)
+  condition : Expr.t;  (** must also hold for the effect to fire *)
+}
+
+type combining =
+  | First_applicable
+  | Deny_overrides
+  | Permit_overrides
+  | Deny_unless_permit
+  | Permit_unless_deny
+
+type t = {
+  pid : string;
+  target : Expr.t;
+  rules : rule list;
+  alg : combining;
+}
+
+let rule ?(target = Expr.True) ?(condition = Expr.True) ~effect rid =
+  { rid; effect; target; condition }
+
+let make ?(target = Expr.True) ?(alg = First_applicable) pid rules =
+  { pid; target; rules; alg }
+
+let effect_to_decision = function
+  | Permit -> Decision.Permit
+  | Deny -> Decision.Deny
+
+let effect_to_string = function Permit -> "Permit" | Deny -> "Deny"
+
+let combining_to_string = function
+  | First_applicable -> "first-applicable"
+  | Deny_overrides -> "deny-overrides"
+  | Permit_overrides -> "permit-overrides"
+  | Deny_unless_permit -> "deny-unless-permit"
+  | Permit_unless_deny -> "permit-unless-deny"
+
+(** Evaluate one rule. *)
+let eval_rule (r : Request.t) (rule : rule) : Decision.t =
+  match Expr.eval r rule.target with
+  | `No_match -> Decision.Not_applicable
+  | `Missing -> Decision.Indeterminate
+  | `Match -> (
+    match Expr.eval r rule.condition with
+    | `Match -> effect_to_decision rule.effect
+    | `No_match -> Decision.Not_applicable
+    | `Missing -> Decision.Indeterminate)
+
+let combine (alg : combining) (decisions : Decision.t list) : Decision.t =
+  let has d = List.exists (Decision.equal d) decisions in
+  match alg with
+  | First_applicable -> (
+    let rec first = function
+      | [] -> Decision.Not_applicable
+      | (Decision.Permit | Decision.Deny | Decision.Indeterminate) as d :: _ -> d
+      | Decision.Not_applicable :: rest -> first rest
+    in
+    first decisions)
+  | Deny_overrides ->
+    if has Decision.Deny then Decision.Deny
+    else if has Decision.Indeterminate then Decision.Indeterminate
+    else if has Decision.Permit then Decision.Permit
+    else Decision.Not_applicable
+  | Permit_overrides ->
+    if has Decision.Permit then Decision.Permit
+    else if has Decision.Indeterminate then Decision.Indeterminate
+    else if has Decision.Deny then Decision.Deny
+    else Decision.Not_applicable
+  | Deny_unless_permit ->
+    if has Decision.Permit then Decision.Permit else Decision.Deny
+  | Permit_unless_deny ->
+    if has Decision.Deny then Decision.Deny else Decision.Permit
+
+(** Evaluate a policy against a request. *)
+let evaluate (p : t) (r : Request.t) : Decision.t =
+  match Expr.eval r p.target with
+  | `No_match -> Decision.Not_applicable
+  | `Missing -> Decision.Indeterminate
+  | `Match -> combine p.alg (List.map (eval_rule r) p.rules)
+
+(** Evaluate a list of policies under a top-level combining algorithm (a
+    one-level policy set). *)
+let evaluate_set ?(alg = Deny_overrides) (ps : t list) (r : Request.t) :
+    Decision.t =
+  combine alg (List.map (fun p -> evaluate p r) ps)
+
+(** Rules applicable to a request (target and condition both match). *)
+let applicable_rules (p : t) (r : Request.t) : rule list =
+  if Expr.matches r p.target then
+    List.filter
+      (fun (rule : rule) ->
+        Expr.matches r rule.target && Expr.matches r rule.condition)
+      p.rules
+  else []
+
+let pp_rule ppf rule =
+  Fmt.pf ppf "rule %s: %s if %a" rule.rid
+    (effect_to_string rule.effect)
+    Expr.pp
+    (match (rule.target, rule.condition) with
+    | Expr.True, c -> c
+    | t, Expr.True -> t
+    | t, c -> Expr.And [ t; c ])
+
+let pp ppf p =
+  Fmt.pf ppf "policy %s [%s]" p.pid (combining_to_string p.alg);
+  (match p.target with
+  | Expr.True -> ()
+  | t -> Fmt.pf ppf " target %a" Expr.pp t);
+  List.iter (fun rule -> Fmt.pf ppf "@.  %a" pp_rule rule) p.rules
+
+let to_string p = Fmt.str "%a" pp p

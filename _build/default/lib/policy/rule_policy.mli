@@ -1,0 +1,49 @@
+(** The XACML-subset policy model: rules (target, condition, effect)
+    grouped into policies under a combining algorithm. *)
+
+type effect = Permit | Deny
+
+type rule = {
+  rid : string;
+  effect : effect;
+  target : Expr.t;
+  condition : Expr.t;
+}
+
+type combining =
+  | First_applicable
+  | Deny_overrides
+  | Permit_overrides
+  | Deny_unless_permit
+  | Permit_unless_deny
+
+type t = {
+  pid : string;
+  target : Expr.t;
+  rules : rule list;
+  alg : combining;
+}
+
+val rule :
+  ?target:Expr.t -> ?condition:Expr.t -> effect:effect -> string -> rule
+
+val make : ?target:Expr.t -> ?alg:combining -> string -> rule list -> t
+val effect_to_decision : effect -> Decision.t
+val effect_to_string : effect -> string
+val combining_to_string : combining -> string
+val eval_rule : Request.t -> rule -> Decision.t
+
+(** Combine component decisions under an algorithm. *)
+val combine : combining -> Decision.t list -> Decision.t
+
+val evaluate : t -> Request.t -> Decision.t
+
+(** One-level policy set (default deny-overrides). *)
+val evaluate_set : ?alg:combining -> t list -> Request.t -> Decision.t
+
+(** Rules whose target and condition both match. *)
+val applicable_rules : t -> Request.t -> rule list
+
+val pp_rule : Format.formatter -> rule -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,183 @@
+(** The XACML↔ASG bridge for the paper's access-control case study
+    (Section IV-C and Figure 3).
+
+    The generative policy model for access control is an ASG over the
+    two-token decision language {permit, deny}; a request is translated
+    into ASP context facts ([attr(category, name, value)]); learned
+    constraint annotations forbid a decision under attribute conditions.
+    A learned constraint on [permit] therefore reads back as a Deny rule
+    (and vice versa), which is how this module renders hypotheses in the
+    style of Figure 3. *)
+
+(** The decision GPM used by the XACML learning experiments. *)
+let decision_gpm () : Asg.Gpm.t =
+  Asg.Asg_parser.parse
+    {| start -> decision
+       decision -> "permit" { result(permit). } | "deny" { result(deny). } |}
+
+(** Production id carrying the learned constraints. *)
+let start_production = 0
+
+(** Decide a request with a learned GPM: generate the valid decisions in
+    the request's context and combine. When both decisions are valid the
+    request is decided by [default] (permissive or restrictive stance);
+    when neither is, the GPM is inconsistent for this request and the
+    result is [Indeterminate]. *)
+let decide ?(default = Decision.Permit) (gpm : Asg.Gpm.t) (r : Request.t) :
+    Decision.t =
+  let context = Request.to_context r in
+  let permit = Asg.Membership.accepts_in_context gpm ~context "permit" in
+  let deny = Asg.Membership.accepts_in_context gpm ~context "deny" in
+  match (permit, deny) with
+  | true, false -> Decision.Permit
+  | false, true -> Decision.Deny
+  | true, true -> default
+  | false, false -> Decision.Indeterminate
+
+(** Mode bias over attribute vocabularies: one [attr] mode atom per
+    (category, name) with its value domain, plus the decision atom. *)
+let modes ~(vocabulary : (Attribute.t * string list) list) ~max_body () :
+    Ilp.Mode.t =
+  let attr_modes =
+    List.map
+      (fun ((a : Attribute.t), values) ->
+        Ilp.Mode.matom "attr"
+          [
+            Ilp.Mode.Constants [ Attribute.category_to_string a.Attribute.category ];
+            Ilp.Mode.Constants [ a.Attribute.name ];
+            Ilp.Mode.Constants values;
+          ])
+      vocabulary
+  in
+  Ilp.Mode.make ~target_prods:[ start_production ] ~heads:[ Ilp.Mode.Constraint ]
+    ~bodies:
+      (Ilp.Mode.matom ~required:true ~site:(Some 1) "result"
+         [ Ilp.Mode.Constants [ "permit" ] ]
+      :: attr_modes)
+    ~max_body ()
+
+(** Examples from a request/decision log. Learning is permit-sided, which
+    matches a default-permit / explicit-deny policy structure: a Permit
+    response is a positive example of "permit", a Deny response a negative
+    one, and the always-available "deny" fallback is asserted positively.
+    [Not_applicable]/[Indeterminate] responses are the "irrelevant
+    responses" of the paper's noisy-dataset discussion: with
+    [keep_irrelevant:false] (a filtered dataset, the default) they are
+    dropped; otherwise they are misread as denials, reproducing the
+    Figure-3b failure mode. *)
+let examples_of_log ?(keep_irrelevant = false) ?weight
+    (log : (Request.t * Decision.t) list) : Ilp.Example.t list =
+  List.concat_map
+    (fun (r, d) ->
+      let context = Request.to_context r in
+      match d with
+      | Decision.Permit ->
+        [
+          Ilp.Example.positive ?weight ~context "permit";
+          Ilp.Example.positive ?weight ~context "deny";
+        ]
+      | Decision.Deny ->
+        [
+          Ilp.Example.negative ?weight ~context "permit";
+          Ilp.Example.positive ?weight ~context "deny";
+        ]
+      | Decision.Not_applicable | Decision.Indeterminate ->
+        if keep_irrelevant then
+          [ Ilp.Example.negative ?weight ~context "permit" ]
+        else [])
+    log
+
+(* -- Rendering learned hypotheses as Figure-3-style policies ---------- *)
+
+let category_of_string = function
+  | "subject" -> Some Attribute.Subject
+  | "resource" -> Some Attribute.Resource
+  | "action" -> Some Attribute.Action
+  | "environment" -> Some Attribute.Environment
+  | _ -> None
+
+let const_name = function Asp.Term.Fun (name, []) -> Some name | _ -> None
+
+(** Recognize an [attr(cat, name, value)] literal as an attribute test. *)
+let attr_test (a : Asp.Atom.t) : Expr.t option =
+  match (a.Asp.Atom.pred, a.Asp.Atom.args) with
+  | "attr", [ cat; name; value ] -> (
+    match (const_name cat, const_name name) with
+    | Some cat, Some name -> (
+      match category_of_string cat with
+      | Some category ->
+        let attr = { Attribute.category; name } in
+        (match value with
+        | Asp.Term.Fun (v, []) -> Some (Expr.Equals (attr, Attribute.Str v))
+        | Asp.Term.Int n -> Some (Expr.Equals (attr, Attribute.Int n))
+        | _ -> None)
+      | None -> None)
+    | _ -> None)
+  | _ -> None
+
+(** Render a learned constraint as an XACML-style rule: a constraint that
+    forbids [permit] under conditions C becomes [Deny if C]. Returns
+    [None] for hypothesis rules that are not in the recognizable
+    constraint shape. *)
+let rule_of_constraint ~rid (r : Asg.Annotation.rule) :
+    Rule_policy.rule option =
+  match r.Asg.Annotation.head with
+  | Asg.Annotation.Falsity ->
+    let decision = ref None in
+    let conds = ref [] in
+    let ok =
+      List.for_all
+        (function
+          | Asg.Annotation.Pos { Asg.Annotation.atom; site = Some 1 }
+            when atom.Asp.Atom.pred = "result" -> (
+            match atom.Asp.Atom.args with
+            | [ Asp.Term.Fun (("permit" | "deny") as d, []) ] ->
+              decision := Some d;
+              true
+            | _ -> false)
+          | Asg.Annotation.Pos { Asg.Annotation.atom; site = None } -> (
+            match attr_test atom with
+            | Some test ->
+              conds := test :: !conds;
+              true
+            | None -> false)
+          | _ -> false)
+        r.Asg.Annotation.body
+    in
+    if not ok then None
+    else
+      Option.map
+        (fun d ->
+          let effect =
+            (* forbidding permit = a deny rule, and vice versa *)
+            if d = "permit" then Rule_policy.Deny else Rule_policy.Permit
+          in
+          let condition =
+            match List.rev !conds with
+            | [] -> Expr.True
+            | [ c ] -> c
+            | cs -> Expr.And cs
+          in
+          Rule_policy.rule ~condition ~effect rid)
+        !decision
+  | Asg.Annotation.Head _ | Asg.Annotation.Choice _ | Asg.Annotation.Weak _ ->
+    None
+
+(** Render a whole learned hypothesis as a policy (plus the unrendered
+    leftover rules as text). *)
+let policy_of_hypothesis ~pid (h : Ilp.Hypothesis_space.candidate list) :
+    Rule_policy.t * string list =
+  let rules, leftovers =
+    List.fold_left
+      (fun (rules, leftovers) (c : Ilp.Hypothesis_space.candidate) ->
+        let rid = Printf.sprintf "%s-r%d" pid (List.length rules + 1) in
+        match rule_of_constraint ~rid c.Ilp.Hypothesis_space.rule with
+        | Some rule -> (rule :: rules, leftovers)
+        | None ->
+          ( rules,
+            Asg.Annotation.rule_to_string c.Ilp.Hypothesis_space.rule
+            :: leftovers ))
+      ([], []) h
+  in
+  ( Rule_policy.make ~alg:Rule_policy.First_applicable pid (List.rev rules),
+    List.rev leftovers )

@@ -1,0 +1,40 @@
+(** The XACML↔ASG bridge (Section IV-C / Figure 3): the decision GPM for
+    access control, request-log examples for the learner, and rendering of
+    learned hypotheses as XACML-style rules. *)
+
+(** The permit/deny decision grammar. *)
+val decision_gpm : unit -> Asg.Gpm.t
+
+(** Production id carrying learned constraints. *)
+val start_production : int
+
+(** Decide a request with a learned GPM: permit/deny by membership, the
+    [default] stance on ties, [Indeterminate] when neither is valid. *)
+val decide : ?default:Decision.t -> Asg.Gpm.t -> Request.t -> Decision.t
+
+(** Mode bias over attribute vocabularies. *)
+val modes :
+  vocabulary:(Attribute.t * string list) list -> max_body:int -> unit ->
+  Ilp.Mode.t
+
+(** Examples from a request/decision log (permit-sided; see the module
+    implementation notes). [keep_irrelevant] retains NotApplicable
+    responses as (mis-)labels — the Figure-3b noise scenario. *)
+val examples_of_log :
+  ?keep_irrelevant:bool ->
+  ?weight:int ->
+  (Request.t * Decision.t) list ->
+  Ilp.Example.t list
+
+(** Recognize an [attr(cat, name, value)] literal as an attribute test. *)
+val attr_test : Asp.Atom.t -> Expr.t option
+
+(** Render a learned constraint as an XACML-style rule (a constraint on
+    permit reads back as a Deny rule); [None] when not renderable. *)
+val rule_of_constraint : rid:string -> Asg.Annotation.rule -> Rule_policy.rule option
+
+(** Render a hypothesis as a policy plus the unrendered rules as text. *)
+val policy_of_hypothesis :
+  pid:string ->
+  Ilp.Hypothesis_space.candidate list ->
+  Rule_policy.t * string list

@@ -1,0 +1,308 @@
+(** A compact XACML-flavoured XML serialization of the policy subset —
+    the exchange format for sharing rendered policies between coalition
+    members (the paper's policies are XACML; sharing needs a wire form).
+
+    The element set mirrors XACML 3.0's skeleton (Policy / Rule / Target /
+    Condition / Match) restricted to our [Expr] language. A hand-written
+    reader parses exactly what the writer emits; both are total on the
+    supported subset, and [of_string (to_string p)] reproduces the
+    policy. *)
+
+exception Xml_error of string
+
+(* -- writing ------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_attrs (v : Attribute.value) =
+  match v with
+  | Attribute.Str s -> ("string", s)
+  | Attribute.Int i -> ("integer", string_of_int i)
+  | Attribute.Bool b -> ("boolean", string_of_bool b)
+
+let rec expr_to_xml buf indent (e : Expr.t) =
+  let pad = String.make indent ' ' in
+  match e with
+  | Expr.True -> Buffer.add_string buf (pad ^ "<AnyOf/>\n")
+  | Expr.Equals (a, v) ->
+    let ty, value = value_to_attrs v in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "%s<Match category=\"%s\" attribute=\"%s\" type=\"%s\" value=\"%s\"/>\n"
+         pad
+         (Attribute.category_to_string a.Attribute.category)
+         (escape a.Attribute.name) ty (escape value))
+  | Expr.One_of (a, vs) ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s<OneOf category=\"%s\" attribute=\"%s\">\n" pad
+         (Attribute.category_to_string a.Attribute.category)
+         (escape a.Attribute.name));
+    List.iter
+      (fun v ->
+        let ty, value = value_to_attrs v in
+        Buffer.add_string buf
+          (Printf.sprintf "%s  <Value type=\"%s\" value=\"%s\"/>\n" pad ty
+             (escape value)))
+      vs;
+    Buffer.add_string buf (pad ^ "</OneOf>\n")
+  | Expr.Compare (op, a, k) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "%s<Compare category=\"%s\" attribute=\"%s\" op=\"%s\" bound=\"%d\"/>\n"
+         pad
+         (Attribute.category_to_string a.Attribute.category)
+         (escape a.Attribute.name)
+         (escape (Expr.cmp_to_string op))
+         k)
+  | Expr.And es ->
+    Buffer.add_string buf (pad ^ "<AllOf>\n");
+    List.iter (expr_to_xml buf (indent + 2)) es;
+    Buffer.add_string buf (pad ^ "</AllOf>\n")
+  | Expr.Or es ->
+    Buffer.add_string buf (pad ^ "<AnyOf>\n");
+    List.iter (expr_to_xml buf (indent + 2)) es;
+    Buffer.add_string buf (pad ^ "</AnyOf>\n")
+  | Expr.Not e ->
+    Buffer.add_string buf (pad ^ "<Not>\n");
+    expr_to_xml buf (indent + 2) e;
+    Buffer.add_string buf (pad ^ "</Not>\n")
+
+let rule_to_xml buf indent (r : Rule_policy.rule) =
+  let pad = String.make indent ' ' in
+  Buffer.add_string buf
+    (Printf.sprintf "%s<Rule RuleId=\"%s\" Effect=\"%s\">\n" pad
+       (escape r.Rule_policy.rid)
+       (Rule_policy.effect_to_string r.Rule_policy.effect));
+  Buffer.add_string buf (pad ^ "  <Target>\n");
+  expr_to_xml buf (indent + 4) r.Rule_policy.target;
+  Buffer.add_string buf (pad ^ "  </Target>\n");
+  Buffer.add_string buf (pad ^ "  <Condition>\n");
+  expr_to_xml buf (indent + 4) r.Rule_policy.condition;
+  Buffer.add_string buf (pad ^ "  </Condition>\n");
+  Buffer.add_string buf (pad ^ "</Rule>\n")
+
+let to_string (p : Rule_policy.t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "<Policy PolicyId=\"%s\" RuleCombiningAlg=\"%s\">\n"
+       (escape p.Rule_policy.pid)
+       (Rule_policy.combining_to_string p.Rule_policy.alg));
+  Buffer.add_string buf "  <Target>\n";
+  expr_to_xml buf 4 p.Rule_policy.target;
+  Buffer.add_string buf "  </Target>\n";
+  List.iter (rule_to_xml buf 2) p.Rule_policy.rules;
+  Buffer.add_string buf "</Policy>\n";
+  Buffer.contents buf
+
+(* -- reading ------------------------------------------------------------ *)
+
+(* A minimal XML tokenizer for the writer's output: tags with quoted
+   attributes, no text nodes, no comments. *)
+
+type tag = {
+  name : string;
+  attrs : (string * string) list;
+  kind : [ `Open | `Close | `Selfclose ];
+}
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      let rest = String.sub s !i (min 6 (n - !i)) in
+      let entity, len =
+        if String.length rest >= 5 && String.sub rest 0 5 = "&amp;" then ('&', 5)
+        else if String.length rest >= 4 && String.sub rest 0 4 = "&lt;" then ('<', 4)
+        else if String.length rest >= 4 && String.sub rest 0 4 = "&gt;" then ('>', 4)
+        else if String.length rest >= 6 && String.sub rest 0 6 = "&quot;" then ('"', 6)
+        else ('&', 1)
+      in
+      Buffer.add_char buf entity;
+      i := !i + len
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let tokenize (input : string) : tag list =
+  let tags = ref [] in
+  let n = String.length input in
+  let i = ref 0 in
+  while !i < n do
+    if input.[!i] = '<' then begin
+      let close = String.index_from input !i '>' in
+      let body = String.sub input (!i + 1) (close - !i - 1) in
+      let kind, body =
+        if String.length body > 0 && body.[0] = '/' then
+          (`Close, String.sub body 1 (String.length body - 1))
+        else if String.length body > 0 && body.[String.length body - 1] = '/'
+        then (`Selfclose, String.sub body 0 (String.length body - 1))
+        else (`Open, body)
+      in
+      let body = String.trim body in
+      let name, rest =
+        match String.index_opt body ' ' with
+        | None -> (body, "")
+        | Some j ->
+          (String.sub body 0 j, String.sub body (j + 1) (String.length body - j - 1))
+      in
+      (* parse key="value" pairs *)
+      let attrs = ref [] in
+      let k = ref 0 in
+      let m = String.length rest in
+      while !k < m do
+        if rest.[!k] = ' ' then incr k
+        else begin
+          let eq =
+            match String.index_from_opt rest !k '=' with
+            | Some e -> e
+            | None -> raise (Xml_error ("malformed attribute in <" ^ body ^ ">"))
+          in
+          let key = String.trim (String.sub rest !k (eq - !k)) in
+          let q1 = String.index_from rest eq '"' in
+          let q2 = String.index_from rest (q1 + 1) '"' in
+          let value = String.sub rest (q1 + 1) (q2 - q1 - 1) in
+          attrs := (key, unescape value) :: !attrs;
+          k := q2 + 1
+        end
+      done;
+      tags := { name; attrs = List.rev !attrs; kind } :: !tags;
+      i := close + 1
+    end
+    else incr i
+  done;
+  List.rev !tags
+
+let attr tag key =
+  match List.assoc_opt key tag.attrs with
+  | Some v -> v
+  | None -> raise (Xml_error (Printf.sprintf "<%s> missing %s" tag.name key))
+
+let category_of_string = function
+  | "subject" -> Attribute.Subject
+  | "resource" -> Attribute.Resource
+  | "action" -> Attribute.Action
+  | "environment" -> Attribute.Environment
+  | c -> raise (Xml_error ("unknown category " ^ c))
+
+let value_of ty v =
+  match ty with
+  | "string" -> Attribute.Str v
+  | "integer" -> Attribute.Int (int_of_string v)
+  | "boolean" -> Attribute.Bool (bool_of_string v)
+  | _ -> raise (Xml_error ("unknown value type " ^ ty))
+
+let attribute_of tag =
+  { Attribute.category = category_of_string (attr tag "category");
+    name = attr tag "attribute" }
+
+let cmp_of = function
+  | "<" -> Expr.Lt
+  | "<=" -> Expr.Le
+  | ">" -> Expr.Gt
+  | ">=" -> Expr.Ge
+  | op -> raise (Xml_error ("unknown comparison " ^ op))
+
+(* parse one expression starting at the head of the tag stream *)
+let rec parse_expr (tags : tag list) : Expr.t * tag list =
+  match tags with
+  | { name = "AnyOf"; kind = `Selfclose; _ } :: rest -> (Expr.True, rest)
+  | ({ name = "Match"; kind = `Selfclose; _ } as t) :: rest ->
+    (Expr.Equals (attribute_of t, value_of (attr t "type") (attr t "value")), rest)
+  | ({ name = "Compare"; kind = `Selfclose; _ } as t) :: rest ->
+    ( Expr.Compare
+        (cmp_of (attr t "op"), attribute_of t, int_of_string (attr t "bound")),
+      rest )
+  | ({ name = "OneOf"; kind = `Open; _ } as t) :: rest ->
+    let rec values acc = function
+      | ({ name = "Value"; kind = `Selfclose; _ } as v) :: rest ->
+        values (value_of (attr v "type") (attr v "value") :: acc) rest
+      | { name = "OneOf"; kind = `Close; _ } :: rest -> (List.rev acc, rest)
+      | _ -> raise (Xml_error "malformed <OneOf>")
+    in
+    let vs, rest = values [] rest in
+    (Expr.One_of (attribute_of t, vs), rest)
+  | { name = ("AllOf" | "AnyOf") as n; kind = `Open; _ } :: rest ->
+    let rec children acc tags =
+      match tags with
+      | { name; kind = `Close; _ } :: rest when name = n -> (List.rev acc, rest)
+      | _ ->
+        let e, rest = parse_expr tags in
+        children (e :: acc) rest
+    in
+    let es, rest = children [] rest in
+    ((if n = "AllOf" then Expr.And es else Expr.Or es), rest)
+  | { name = "Not"; kind = `Open; _ } :: rest -> (
+    let e, rest = parse_expr rest in
+    match rest with
+    | { name = "Not"; kind = `Close; _ } :: rest -> (Expr.Not e, rest)
+    | _ -> raise (Xml_error "unterminated <Not>"))
+  | t :: _ -> raise (Xml_error ("unexpected <" ^ t.name ^ "> in expression"))
+  | [] -> raise (Xml_error "unexpected end of document in expression")
+
+let parse_boxed name tags =
+  match tags with
+  | { name = n; kind = `Open; _ } :: rest when n = name -> (
+    let e, rest = parse_expr rest in
+    match rest with
+    | { name = n; kind = `Close; _ } :: rest when n = name -> (e, rest)
+    | _ -> raise (Xml_error ("unterminated <" ^ name ^ ">")))
+  | _ -> raise (Xml_error ("expected <" ^ name ^ ">"))
+
+let combining_of = function
+  | "first-applicable" -> Rule_policy.First_applicable
+  | "deny-overrides" -> Rule_policy.Deny_overrides
+  | "permit-overrides" -> Rule_policy.Permit_overrides
+  | "deny-unless-permit" -> Rule_policy.Deny_unless_permit
+  | "permit-unless-deny" -> Rule_policy.Permit_unless_deny
+  | a -> raise (Xml_error ("unknown combining algorithm " ^ a))
+
+let of_string (input : string) : Rule_policy.t =
+  match tokenize input with
+  | ({ name = "Policy"; kind = `Open; _ } as p) :: rest ->
+    let target, rest = parse_boxed "Target" rest in
+    let rec rules acc = function
+      | ({ name = "Rule"; kind = `Open; _ } as r) :: rest ->
+        let rtarget, rest = parse_boxed "Target" rest in
+        let condition, rest = parse_boxed "Condition" rest in
+        let rest =
+          match rest with
+          | { name = "Rule"; kind = `Close; _ } :: rest -> rest
+          | _ -> raise (Xml_error "unterminated <Rule>")
+        in
+        let effect =
+          match attr r "Effect" with
+          | "Permit" -> Rule_policy.Permit
+          | "Deny" -> Rule_policy.Deny
+          | e -> raise (Xml_error ("unknown effect " ^ e))
+        in
+        rules
+          (Rule_policy.rule ~target:rtarget ~condition ~effect
+             (attr r "RuleId")
+          :: acc)
+          rest
+      | { name = "Policy"; kind = `Close; _ } :: _ -> List.rev acc
+      | t :: _ -> raise (Xml_error ("unexpected <" ^ t.name ^ "> in policy"))
+      | [] -> raise (Xml_error "unterminated <Policy>")
+    in
+    let rs = rules [] rest in
+    Rule_policy.make ~target
+      ~alg:(combining_of (attr p "RuleCombiningAlg"))
+      (attr p "PolicyId") rs
+  | _ -> raise (Xml_error "expected a <Policy> document")

@@ -1,0 +1,11 @@
+(** XACML-flavoured XML serialization of the policy subset — a wire form
+    for sharing rendered policies between coalition members.
+    [of_string (to_string p)] reproduces the policy. *)
+
+exception Xml_error of string
+
+val to_string : Rule_policy.t -> string
+
+(** Parse the writer's output.
+    @raise Xml_error on malformed or unsupported documents. *)
+val of_string : string -> Rule_policy.t

@@ -1,0 +1,1 @@
+lib/workloads/cav.ml: Asg Asp Ilp List Ml Printf Util

@@ -1,0 +1,1 @@
+lib/workloads/cav.mli: Asg Asp Ilp Ml

@@ -1,0 +1,1 @@
+lib/workloads/convoy.ml: Asg Asp Fun Ilp List Printf String Util

@@ -1,0 +1,1 @@
+lib/workloads/convoy.mli: Asg Asp Ilp

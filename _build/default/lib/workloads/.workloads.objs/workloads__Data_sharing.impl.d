@@ -1,0 +1,1 @@
+lib/workloads/data_sharing.ml: Asg Asp Ilp List Printf Util

@@ -1,0 +1,1 @@
+lib/workloads/data_sharing.mli: Asg Asp Ilp

@@ -1,0 +1,1 @@
+lib/workloads/federated.ml: Asg Asp Ilp List Printf Util

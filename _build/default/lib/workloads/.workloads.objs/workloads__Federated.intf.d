@@ -1,0 +1,1 @@
+lib/workloads/federated.mli: Asg Asp Ilp

@@ -1,0 +1,1 @@
+lib/workloads/resupply.ml: Asg Asp Fun Ilp List Option Printf Util

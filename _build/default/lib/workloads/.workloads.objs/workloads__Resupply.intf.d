@@ -1,0 +1,1 @@
+lib/workloads/resupply.mli: Asg Asp Ilp Random

@@ -1,0 +1,1 @@
+lib/workloads/util.ml: Asp List Random String

@@ -1,0 +1,1 @@
+lib/workloads/util.mli: Asp Random

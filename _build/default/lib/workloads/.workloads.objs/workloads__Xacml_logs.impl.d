@@ -1,0 +1,1 @@
+lib/workloads/xacml_logs.ml: Asg Asp Attribute Expr Ilp List Policy Printf Rule_policy String Util

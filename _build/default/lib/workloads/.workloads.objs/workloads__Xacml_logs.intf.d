@@ -1,0 +1,1 @@
+lib/workloads/xacml_logs.mli: Asg Ilp Policy

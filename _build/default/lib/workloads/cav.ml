@@ -1,0 +1,157 @@
+(** The connected-and-autonomous-vehicle scenario (Section IV-A, after
+    Cunnington et al.): a CAV decides whether a request to execute a
+    driving task should be accepted or rejected given the environmental
+    conditions and the levels of autonomy (LOA) of the vehicle, region and
+    task.
+
+    The hidden ground-truth policy (what the paper's field setting would
+    provide) is: accept iff the vehicle's LOA reaches the task's required
+    LOA, except that overtaking is forbidden in snow and any task is
+    forbidden in night-time fog. The generative policy model must recover
+    these as ASG constraints; shallow ML baselines see the same data as
+    feature vectors. *)
+
+type scenario = {
+  task : string;  (** turn | straight | overtake | park *)
+  vehicle_loa : int;  (** 1..5 *)
+  region_loa : int;  (** 1..5 — a distractor attribute *)
+  weather : string;  (** clear | rain | snow | fog *)
+  time : string;  (** day | night *)
+}
+
+let tasks = [ "turn"; "straight"; "overtake"; "park" ]
+let weathers = [ "clear"; "rain"; "snow"; "fog" ]
+let times = [ "day"; "night" ]
+
+let required_loa = function
+  | "turn" -> 2
+  | "straight" -> 1
+  | "overtake" -> 4
+  | "park" -> 3
+  | _ -> 5
+
+(** Ground truth: may the task be accepted? *)
+let ground_truth (s : scenario) : bool =
+  s.vehicle_loa >= required_loa s.task
+  && (not (s.weather = "snow" && s.task = "overtake"))
+  && not (s.weather = "fog" && s.time = "night")
+
+let sample_scenario st : scenario =
+  {
+    task = Util.pick st tasks;
+    vehicle_loa = Util.pick_int st 1 5;
+    region_loa = Util.pick_int st 1 5;
+    weather = Util.pick st weathers;
+    time = Util.pick st times;
+  }
+
+let sample ~seed n : scenario list =
+  Util.sample (Util.rng seed) n sample_scenario
+
+(** Every scenario (the full context space). *)
+let all_scenarios () : scenario list =
+  List.concat_map
+    (fun task ->
+      List.concat_map
+        (fun vehicle_loa ->
+          List.concat_map
+            (fun region_loa ->
+              List.concat_map
+                (fun weather ->
+                  List.map
+                    (fun time ->
+                      { task; vehicle_loa; region_loa; weather; time })
+                    times)
+                weathers)
+            (List.init 5 (fun i -> i + 1)))
+        (List.init 5 (fun i -> i + 1)))
+    tasks
+
+let to_context (s : scenario) : Asp.Program.t =
+  Util.facts_program
+    [
+      Printf.sprintf "task(%s)." s.task;
+      Printf.sprintf "vehicle_loa(%d)." s.vehicle_loa;
+      Printf.sprintf "region_loa(%d)." s.region_loa;
+      Printf.sprintf "weather(%s)." s.weather;
+      Printf.sprintf "time(%s)." s.time;
+    ]
+
+(** The initial GPM: decision grammar plus background knowledge (the task
+    LOA requirement table) in the root annotation. *)
+let gpm () : Asg.Gpm.t =
+  Asg.Asg_parser.parse
+    {| start -> decision {
+         task_req(turn, 2). task_req(straight, 1).
+         task_req(overtake, 4). task_req(park, 3).
+         needed_loa(R) :- task(T), task_req(T, R).
+       }
+       decision -> "accept" { result(accept). } | "reject" { result(reject). } |}
+
+(** Mode bias: constraints on accepting, over the context vocabulary, LOA
+    variables and threshold comparisons. *)
+let modes ?(max_body = 3) () : Ilp.Mode.t =
+  Ilp.Mode.make ~target_prods:[ 0 ] ~heads:[ Ilp.Mode.Constraint ]
+    ~bodies:
+      [
+        Ilp.Mode.matom ~required:true ~site:(Some 1) "result" [ Ilp.Mode.Constants [ "accept" ] ];
+        Ilp.Mode.matom "weather" [ Ilp.Mode.Constants weathers ];
+        Ilp.Mode.matom "task" [ Ilp.Mode.Constants tasks ];
+        Ilp.Mode.matom "time" [ Ilp.Mode.Constants times ];
+        Ilp.Mode.matom "vehicle_loa" [ Ilp.Mode.Variable "v" ];
+        Ilp.Mode.matom "needed_loa" [ Ilp.Mode.Variable "r" ];
+      ]
+    ~cmps:
+      [
+        (Asp.Rule.Lt, "v", Ilp.Mode.VarOperand "r");
+        (Asp.Rule.Lt, "v", Ilp.Mode.IntOperand 3);
+      ]
+    ~max_body ()
+
+(** Learning examples: the decision log labels "accept" as valid (positive)
+    or invalid (negative); "reject" is the always-valid fallback, asserted
+    positively so learned constraints must name the decision they forbid. *)
+let examples_of (scenarios : scenario list) : Ilp.Example.t list =
+  List.concat_map
+    (fun s ->
+      let context = to_context s in
+      let accept_example =
+        if ground_truth s then Ilp.Example.positive ~context "accept"
+        else Ilp.Example.negative ~context "accept"
+      in
+      [ accept_example; Ilp.Example.positive ~context "reject" ])
+    scenarios
+
+(** Decide with a learned GPM: accept iff "accept" is a valid policy in
+    the scenario's context. *)
+let decide (g : Asg.Gpm.t) (s : scenario) : bool =
+  Asg.Membership.accepts_in_context g ~context:(to_context s) "accept"
+
+(** Decision accuracy of a GPM over scenarios, against the ground truth. *)
+let gpm_accuracy (g : Asg.Gpm.t) (test : scenario list) : float =
+  match test with
+  | [] -> 1.0
+  | _ ->
+    let correct =
+      List.length (List.filter (fun s -> decide g s = ground_truth s) test)
+    in
+    float_of_int correct /. float_of_int (List.length test)
+
+(** The same data as a categorical dataset for the shallow-ML baselines. *)
+let to_dataset (scenarios : scenario list) : Ml.Dataset.t =
+  Ml.Dataset.make
+    ~feature_names:[| "task"; "vehicle_loa"; "region_loa"; "weather"; "time" |]
+    (List.map
+       (fun s ->
+         {
+           Ml.Dataset.features =
+             [|
+               s.task;
+               string_of_int s.vehicle_loa;
+               string_of_int s.region_loa;
+               s.weather;
+               s.time;
+             |];
+           label = (if ground_truth s then "accept" else "reject");
+         })
+       scenarios)

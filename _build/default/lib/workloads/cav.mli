@@ -1,0 +1,35 @@
+(** The connected-and-autonomous-vehicle scenario (Section IV-A): accept
+    or reject a driving-task request given LOA and environment, with a
+    hidden threshold-based ground truth. *)
+
+type scenario = {
+  task : string;  (** turn | straight | overtake | park *)
+  vehicle_loa : int;  (** 1..5 *)
+  region_loa : int;  (** 1..5 — a distractor attribute *)
+  weather : string;  (** clear | rain | snow | fog *)
+  time : string;  (** day | night *)
+}
+
+val tasks : string list
+val weathers : string list
+val times : string list
+val required_loa : string -> int
+
+(** May the task be accepted? *)
+val ground_truth : scenario -> bool
+
+val sample : seed:int -> int -> scenario list
+val all_scenarios : unit -> scenario list
+val to_context : scenario -> Asp.Program.t
+
+(** Decision grammar plus the LOA requirement table as background. *)
+val gpm : unit -> Asg.Gpm.t
+
+val modes : ?max_body:int -> unit -> Ilp.Mode.t
+val examples_of : scenario list -> Ilp.Example.t list
+
+(** Accept iff "accept" is valid in the scenario's context. *)
+val decide : Asg.Gpm.t -> scenario -> bool
+
+val gpm_accuracy : Asg.Gpm.t -> scenario list -> float
+val to_dataset : scenario list -> Ml.Dataset.t

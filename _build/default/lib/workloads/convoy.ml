@@ -1,0 +1,148 @@
+(** Convoy composition (Section IV-B): "how the convoy should be made up
+    (ratio of delivery vehicles ... to the number of escort vehicles)".
+
+    Unlike the single-token decision workloads, policies here are
+    {e structured strings} — convoy compositions like
+    ["truck truck escort drone"] — and the ASG's recursive annotations
+    count units structurally (the unit-list productions thread
+    [trucks/escorts/drones] counts up the parse tree), exactly the
+    counting idiom of the answer-set-grammar formalism. The learner's
+    constraints then relate those counts to the threat context. *)
+
+let unit_kinds = [ "truck"; "escort"; "drone" ]
+
+type composition = { trucks : int; escorts : int; drones : int }
+
+type situation = {
+  threat : int;  (** 0..4 *)
+  composition : composition;
+}
+
+(** Hidden ground truth: a convoy is deployable iff it carries cargo
+    (≥1 truck); from threat level 2 escorts must match trucks; from
+    threat level 3 a recon drone is required. *)
+let valid ~threat (c : composition) : bool =
+  c.trucks >= 1
+  && (threat < 2 || c.escorts >= c.trucks)
+  && (threat < 3 || c.drones >= 1)
+
+let to_sentence (c : composition) : string =
+  String.concat " "
+    (List.concat
+       [
+         List.init c.trucks (fun _ -> "truck");
+         List.init c.escorts (fun _ -> "escort");
+         List.init c.drones (fun _ -> "drone");
+       ])
+
+let context ~threat : Asp.Program.t =
+  Util.facts_program [ Printf.sprintf "threat(%d)." threat ]
+
+(** The initial GPM: the unit-list grammar with structural counting
+    annotations. Production 0 (the root) is where constraints are
+    learned. *)
+let gpm () : Asg.Gpm.t =
+  Asg.Asg_parser.parse
+    {| convoy -> units {
+         trucks(T) :- trucks(T)@1.
+         escorts(E) :- escorts(E)@1.
+         drones(D) :- drones(D)@1.
+       }
+       units -> "truck" units {
+           trucks(T + 1) :- trucks(T)@2.
+           escorts(E) :- escorts(E)@2.
+           drones(D) :- drones(D)@2.
+         }
+       | "escort" units {
+           trucks(T) :- trucks(T)@2.
+           escorts(E + 1) :- escorts(E)@2.
+           drones(D) :- drones(D)@2.
+         }
+       | "drone" units {
+           trucks(T) :- trucks(T)@2.
+           escorts(E) :- escorts(E)@2.
+           drones(D + 1) :- drones(D)@2.
+         }
+       | { trucks(0). escorts(0). drones(0). } |}
+
+(** Mode bias: root constraints over the structural counts and the threat
+    level, with unit-ratio and threshold comparisons. *)
+let modes ?(max_body = 3) () : Ilp.Mode.t =
+  Ilp.Mode.make ~target_prods:[ 0 ] ~heads:[ Ilp.Mode.Constraint ]
+    ~bodies:
+      [
+        Ilp.Mode.matom ~required:true "trucks" [ Ilp.Mode.Variable "t" ];
+        Ilp.Mode.matom ~required:true "escorts" [ Ilp.Mode.Variable "e" ];
+        Ilp.Mode.matom ~required:true "drones" [ Ilp.Mode.Variable "d" ];
+        Ilp.Mode.matom "threat" [ Ilp.Mode.Variable "l" ];
+      ]
+    ~cmps:
+      [
+        (Asp.Rule.Lt, "t", Ilp.Mode.IntOperand 1);
+        (Asp.Rule.Lt, "d", Ilp.Mode.IntOperand 1);
+        (Asp.Rule.Lt, "e", Ilp.Mode.VarOperand "t");
+        (Asp.Rule.Ge, "l", Ilp.Mode.IntOperand 2);
+        (Asp.Rule.Ge, "l", Ilp.Mode.IntOperand 3);
+      ]
+    ~max_body ()
+
+let sample_composition st : composition =
+  {
+    trucks = Util.pick_int st 0 3;
+    escorts = Util.pick_int st 0 3;
+    drones = Util.pick_int st 0 2;
+  }
+
+let sample ~seed n : situation list =
+  Util.sample (Util.rng seed) n (fun st ->
+      { threat = Util.pick_int st 0 4; composition = sample_composition st })
+
+(** Every composition with at most [max_units] per kind, crossed with all
+    threat levels. *)
+let all_situations ?(max_units = 2) () : situation list =
+  List.concat_map
+    (fun threat ->
+      List.concat_map
+        (fun trucks ->
+          List.concat_map
+            (fun escorts ->
+              List.map
+                (fun drones ->
+                  { threat; composition = { trucks; escorts; drones } })
+                (List.init (max_units + 1) Fun.id))
+            (List.init (max_units + 1) Fun.id))
+        (List.init (max_units + 1) Fun.id))
+    (List.init 5 Fun.id)
+
+let examples_of (situations : situation list) : Ilp.Example.t list =
+  List.map
+    (fun s ->
+      let sentence = to_sentence s.composition in
+      let context = context ~threat:s.threat in
+      if valid ~threat:s.threat s.composition then
+        Ilp.Example.positive ~context sentence
+      else Ilp.Example.negative ~context sentence)
+    situations
+
+(** Is the composition accepted by a (learned) GPM in its threat context? *)
+let accepts (g : Asg.Gpm.t) (s : situation) : bool =
+  Asg.Membership.accepts_in_context g ~context:(context ~threat:s.threat)
+    (to_sentence s.composition)
+
+let gpm_accuracy (g : Asg.Gpm.t) (test : situation list) : float =
+  match test with
+  | [] -> 1.0
+  | _ ->
+    let correct =
+      List.length
+        (List.filter
+           (fun s -> accepts g s = valid ~threat:s.threat s.composition)
+           test)
+    in
+    float_of_int correct /. float_of_int (List.length test)
+
+(** Generate the deployable convoys for a threat level (bounded size) —
+    the "how should the convoy be made up" question, answered
+    generatively. *)
+let deployable ?(max_depth = 7) (g : Asg.Gpm.t) ~threat : string list =
+  Asg.Language.sentences_in_context ~max_depth g ~context:(context ~threat)

@@ -1,0 +1,38 @@
+(** Convoy composition (Section IV-B): structured policy strings
+    ("truck truck escort drone") whose unit counts are computed by
+    recursive ASG annotations; learned root constraints relate the counts
+    to the threat context (cargo requirement, escort ratio, recon
+    drones). *)
+
+val unit_kinds : string list
+
+type composition = { trucks : int; escorts : int; drones : int }
+
+type situation = {
+  threat : int;  (** 0..4 *)
+  composition : composition;
+}
+
+(** Deployable iff ≥1 truck; escorts ≥ trucks from threat 2; ≥1 drone
+    from threat 3. *)
+val valid : threat:int -> composition -> bool
+
+val to_sentence : composition -> string
+val context : threat:int -> Asp.Program.t
+
+(** Unit-list grammar with structural counting; constraints learn on
+    production 0. *)
+val gpm : unit -> Asg.Gpm.t
+
+val modes : ?max_body:int -> unit -> Ilp.Mode.t
+val sample : seed:int -> int -> situation list
+
+(** All compositions up to [max_units] per kind, crossed with threats. *)
+val all_situations : ?max_units:int -> unit -> situation list
+
+val examples_of : situation list -> Ilp.Example.t list
+val accepts : Asg.Gpm.t -> situation -> bool
+val gpm_accuracy : Asg.Gpm.t -> situation list -> float
+
+(** The deployable convoys for a threat level (bounded size). *)
+val deployable : ?max_depth:int -> Asg.Gpm.t -> threat:int -> string list

@@ -1,0 +1,103 @@
+(** The coalition data-sharing scenario (Section IV-D): given a partner's
+    trust level and a data item's quality and value, decide between
+    sharing raw data, sharing through the redaction helper microservice,
+    or refusing. The "helper microservice" choice is exactly the
+    share_redacted option — the learner learns which service applies in
+    which context, as the paper suggests. *)
+
+type item = {
+  trust : int;  (** partner trust 1..5 *)
+  quality : int;  (** data quality 1..5 *)
+  value : int;  (** data value 1..5 — distractor for raw sharing *)
+  kind : string;  (** image | signal | document *)
+}
+
+let kinds = [ "image"; "signal"; "document" ]
+let options = [ "share_raw"; "share_redacted"; "refuse" ]
+
+(** Ground truth validity per option. *)
+let option_valid (i : item) = function
+  | "share_raw" -> i.trust >= 4 && i.quality >= 3
+  | "share_redacted" -> i.trust >= 2
+  | "refuse" -> true
+  | _ -> false
+
+(** Preferred decision: the most permissive valid option. *)
+let ground_truth_choice (i : item) : string =
+  if option_valid i "share_raw" then "share_raw"
+  else if option_valid i "share_redacted" then "share_redacted"
+  else "refuse"
+
+let sample_item st : item =
+  {
+    trust = Util.pick_int st 1 5;
+    quality = Util.pick_int st 1 5;
+    value = Util.pick_int st 1 5;
+    kind = Util.pick st kinds;
+  }
+
+let sample ~seed n : item list = Util.sample (Util.rng seed) n sample_item
+
+let to_context (i : item) : Asp.Program.t =
+  Util.facts_program
+    [
+      Printf.sprintf "trust(%d)." i.trust;
+      Printf.sprintf "quality(%d)." i.quality;
+      Printf.sprintf "value(%d)." i.value;
+      Printf.sprintf "kind(%s)." i.kind;
+    ]
+
+let gpm () : Asg.Gpm.t =
+  Asg.Asg_parser.parse
+    {| start -> action
+       action -> "share_raw" { act(share_raw). }
+               | "share_redacted" { act(share_redacted). }
+               | "refuse" { act(refuse). } |}
+
+let modes ?(max_body = 2) () : Ilp.Mode.t =
+  Ilp.Mode.make ~target_prods:[ 0 ] ~heads:[ Ilp.Mode.Constraint ]
+    ~bodies:
+      [
+        Ilp.Mode.matom ~required:true ~site:(Some 1) "act"
+          [ Ilp.Mode.Constants [ "share_raw"; "share_redacted" ] ];
+        Ilp.Mode.matom "trust" [ Ilp.Mode.Variable "t" ];
+        Ilp.Mode.matom "quality" [ Ilp.Mode.Variable "q" ];
+        Ilp.Mode.matom "kind" [ Ilp.Mode.Constants kinds ];
+      ]
+    ~cmps:
+      [
+        (Asp.Rule.Lt, "t", Ilp.Mode.IntOperand 2);
+        (Asp.Rule.Lt, "t", Ilp.Mode.IntOperand 4);
+        (Asp.Rule.Lt, "q", Ilp.Mode.IntOperand 3);
+      ]
+    ~max_body ()
+
+(** Per-option validity examples for a batch of items. *)
+let examples_of (items : item list) : Ilp.Example.t list =
+  List.concat_map
+    (fun i ->
+      let context = to_context i in
+      List.map
+        (fun opt ->
+          if option_valid i opt then Ilp.Example.positive ~context opt
+          else Ilp.Example.negative ~context opt)
+        options)
+    items
+
+(** Decide with a learned GPM: most permissive valid option. *)
+let decide (g : Asg.Gpm.t) (i : item) : string =
+  let context = to_context i in
+  let valid opt = Asg.Membership.accepts_in_context g ~context opt in
+  if valid "share_raw" then "share_raw"
+  else if valid "share_redacted" then "share_redacted"
+  else "refuse"
+
+let gpm_accuracy (g : Asg.Gpm.t) (test : item list) : float =
+  match test with
+  | [] -> 1.0
+  | _ ->
+    let correct =
+      List.length
+        (List.filter (fun i -> decide g i = ground_truth_choice i) test)
+    in
+    float_of_int correct /. float_of_int (List.length test)

@@ -1,0 +1,25 @@
+(** The coalition data-sharing scenario (Section IV-D): share raw, share
+    through the redaction service, or refuse, based on partner trust and
+    data quality/value. *)
+
+type item = {
+  trust : int;  (** 1..5 *)
+  quality : int;  (** 1..5 *)
+  value : int;  (** 1..5 — distractor *)
+  kind : string;  (** image | signal | document *)
+}
+
+val kinds : string list
+val options : string list
+val option_valid : item -> string -> bool
+
+(** The most permissive valid option. *)
+val ground_truth_choice : item -> string
+
+val sample : seed:int -> int -> item list
+val to_context : item -> Asp.Program.t
+val gpm : unit -> Asg.Gpm.t
+val modes : ?max_body:int -> unit -> Ilp.Mode.t
+val examples_of : item list -> Ilp.Example.t list
+val decide : Asg.Gpm.t -> item -> string
+val gpm_accuracy : Asg.Gpm.t -> item list -> float

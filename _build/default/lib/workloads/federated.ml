@@ -1,0 +1,98 @@
+(** The federated-learning scenario (Section IV-E): when a partially
+    trusted partner sends a model, decide whether to adopt it outright,
+    blend it into an ensemble, or discard it — based on partner trust,
+    the model's reported accuracy and the domain match. The paper notes
+    these policies are hard to write manually and proposes generating
+    them with ASGs; this workload exercises exactly that code path. *)
+
+type offer = {
+  trust : int;  (** 1..5 *)
+  reported_accuracy : int;  (** 0..100, in steps of 10 *)
+  domain : string;  (** same | near | far *)
+}
+
+let domains = [ "same"; "near"; "far" ]
+let options = [ "adopt"; "ensemble"; "discard" ]
+
+let option_valid (o : offer) = function
+  | "adopt" -> o.trust >= 4 && o.reported_accuracy >= 80 && o.domain = "same"
+  | "ensemble" ->
+    o.trust >= 2 && o.reported_accuracy >= 60 && o.domain <> "far"
+  | "discard" -> true
+  | _ -> false
+
+let ground_truth_choice (o : offer) : string =
+  if option_valid o "adopt" then "adopt"
+  else if option_valid o "ensemble" then "ensemble"
+  else "discard"
+
+let sample_offer st : offer =
+  {
+    trust = Util.pick_int st 1 5;
+    reported_accuracy = 10 * Util.pick_int st 0 10;
+    domain = Util.pick st domains;
+  }
+
+let sample ~seed n : offer list = Util.sample (Util.rng seed) n sample_offer
+
+let to_context (o : offer) : Asp.Program.t =
+  Util.facts_program
+    [
+      Printf.sprintf "trust(%d)." o.trust;
+      Printf.sprintf "accuracy(%d)." o.reported_accuracy;
+      Printf.sprintf "domain(%s)." o.domain;
+    ]
+
+let gpm () : Asg.Gpm.t =
+  Asg.Asg_parser.parse
+    {| start -> action
+       action -> "adopt" { act(adopt). }
+               | "ensemble" { act(ensemble). }
+               | "discard" { act(discard). } |}
+
+let modes ?(max_body = 2) () : Ilp.Mode.t =
+  Ilp.Mode.make ~target_prods:[ 0 ] ~heads:[ Ilp.Mode.Constraint ]
+    ~bodies:
+      [
+        Ilp.Mode.matom ~required:true ~site:(Some 1) "act"
+          [ Ilp.Mode.Constants [ "adopt"; "ensemble" ] ];
+        Ilp.Mode.matom "trust" [ Ilp.Mode.Variable "t" ];
+        Ilp.Mode.matom "accuracy" [ Ilp.Mode.Variable "a" ];
+        Ilp.Mode.matom "domain" [ Ilp.Mode.Constants domains ];
+      ]
+    ~cmps:
+      [
+        (Asp.Rule.Lt, "t", Ilp.Mode.IntOperand 2);
+        (Asp.Rule.Lt, "t", Ilp.Mode.IntOperand 4);
+        (Asp.Rule.Lt, "a", Ilp.Mode.IntOperand 60);
+        (Asp.Rule.Lt, "a", Ilp.Mode.IntOperand 80);
+      ]
+    ~max_body ()
+
+let examples_of (offers : offer list) : Ilp.Example.t list =
+  List.concat_map
+    (fun o ->
+      let context = to_context o in
+      List.map
+        (fun opt ->
+          if option_valid o opt then Ilp.Example.positive ~context opt
+          else Ilp.Example.negative ~context opt)
+        options)
+    offers
+
+let decide (g : Asg.Gpm.t) (o : offer) : string =
+  let context = to_context o in
+  let valid opt = Asg.Membership.accepts_in_context g ~context opt in
+  if valid "adopt" then "adopt"
+  else if valid "ensemble" then "ensemble"
+  else "discard"
+
+let gpm_accuracy (g : Asg.Gpm.t) (test : offer list) : float =
+  match test with
+  | [] -> 1.0
+  | _ ->
+    let correct =
+      List.length
+        (List.filter (fun o -> decide g o = ground_truth_choice o) test)
+    in
+    float_of_int correct /. float_of_int (List.length test)

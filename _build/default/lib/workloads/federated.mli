@@ -1,0 +1,21 @@
+(** The federated-learning scenario (Section IV-E): adopt, ensemble, or
+    discard a partner's model based on trust, reported accuracy and
+    domain match. *)
+
+type offer = {
+  trust : int;  (** 1..5 *)
+  reported_accuracy : int;  (** 0..100, steps of 10 *)
+  domain : string;  (** same | near | far *)
+}
+
+val domains : string list
+val options : string list
+val option_valid : offer -> string -> bool
+val ground_truth_choice : offer -> string
+val sample : seed:int -> int -> offer list
+val to_context : offer -> Asp.Program.t
+val gpm : unit -> Asg.Gpm.t
+val modes : ?max_body:int -> unit -> Ilp.Mode.t
+val examples_of : offer list -> Ilp.Example.t list
+val decide : Asg.Gpm.t -> offer -> string
+val gpm_accuracy : Asg.Gpm.t -> offer list -> float

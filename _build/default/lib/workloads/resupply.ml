@@ -1,0 +1,184 @@
+(** The logistical-resupply scenario (Section IV-B, DAIS-ITA): a convoy
+    must pick a route under threat estimates, weather and the coalition's
+    risk appetite. Missions happen in sequence, so training examples
+    accumulate and the learned policy should improve; a mid-campaign risk
+    appetite shift exercises policy adaptation. *)
+
+type mission = {
+  threat_north : int;  (** 0..4 *)
+  threat_south : int;
+  threat_river : int;
+  weather : string;  (** clear | rain | storm *)
+  time : string;  (** day | night *)
+  risk_appetite : string;  (** low | high *)
+}
+
+let routes = [ "north"; "south"; "river" ]
+let weathers = [ "clear"; "rain"; "storm" ]
+let times = [ "day"; "night" ]
+
+let threat (m : mission) = function
+  | "north" -> m.threat_north
+  | "south" -> m.threat_south
+  | "river" -> m.threat_river
+  | _ -> 5
+
+let max_threat_for = function "low" -> 1 | _ -> 3
+
+(** Ground truth: a route option is acceptable when its threat does not
+    exceed the appetite threshold, and the river route is never taken in
+    a storm. *)
+let route_valid (m : mission) (route : string) : bool =
+  threat m route <= max_threat_for m.risk_appetite
+  && not (route = "river" && m.weather = "storm")
+
+let sample_mission ?(risk_appetite = "low") st : mission =
+  {
+    threat_north = Util.pick_int st 0 4;
+    threat_south = Util.pick_int st 0 4;
+    threat_river = Util.pick_int st 0 4;
+    weather = Util.pick st weathers;
+    time = Util.pick st times;
+    risk_appetite;
+  }
+
+(** A campaign: [n] missions; risk appetite switches from low to high
+    after mission [shift_at] (inclusive), if given. *)
+let campaign ~seed ~n ?shift_at () : mission list =
+  let st = Util.rng seed in
+  List.init n (fun i ->
+      let risk_appetite =
+        match shift_at with Some k when i >= k -> "high" | _ -> "low"
+      in
+      sample_mission ~risk_appetite st)
+
+let to_context (m : mission) : Asp.Program.t =
+  Util.facts_program
+    [
+      Printf.sprintf "threat(north, %d)." m.threat_north;
+      Printf.sprintf "threat(south, %d)." m.threat_south;
+      Printf.sprintf "threat(river, %d)." m.threat_river;
+      Printf.sprintf "weather(%s)." m.weather;
+      Printf.sprintf "time(%s)." m.time;
+      Printf.sprintf "risk_appetite(%s)." m.risk_appetite;
+    ]
+
+(** Initial GPM: route grammar plus the appetite-threshold table as
+    background knowledge. *)
+let gpm () : Asg.Gpm.t =
+  Asg.Asg_parser.parse
+    {| start -> route {
+         max_threat(1) :- risk_appetite(low).
+         max_threat(3) :- risk_appetite(high).
+       }
+       route -> "north" { chosen(north). }
+              | "south" { chosen(south). }
+              | "river" { chosen(river). } |}
+
+let modes ?(max_body = 3) () : Ilp.Mode.t =
+  Ilp.Mode.make ~target_prods:[ 0 ] ~heads:[ Ilp.Mode.Constraint ]
+    ~bodies:
+      [
+        Ilp.Mode.matom ~required:true ~site:(Some 1) "chosen" [ Ilp.Mode.Variable "rt" ];
+        Ilp.Mode.matom ~required:true ~site:(Some 1) "chosen" [ Ilp.Mode.Constants routes ];
+        Ilp.Mode.matom "threat"
+          [ Ilp.Mode.Variable "rt"; Ilp.Mode.Variable "t" ];
+        Ilp.Mode.matom "max_threat" [ Ilp.Mode.Variable "m" ];
+        Ilp.Mode.matom "weather" [ Ilp.Mode.Constants weathers ];
+        Ilp.Mode.matom "time" [ Ilp.Mode.Constants times ];
+      ]
+    ~cmps:[ (Asp.Rule.Gt, "t", Ilp.Mode.VarOperand "m") ]
+    ~max_body ()
+
+(** Examples from after-action review of a mission: every route option is
+    labelled valid/invalid by the ground truth. *)
+let examples_of_mission (m : mission) : Ilp.Example.t list =
+  let context = to_context m in
+  List.map
+    (fun route ->
+      if route_valid m route then Ilp.Example.positive ~context route
+      else Ilp.Example.negative ~context route)
+    routes
+
+(** Valid route options a GPM offers for a mission. *)
+let options (g : Asg.Gpm.t) (m : mission) : string list =
+  List.filter
+    (fun route ->
+      Asg.Membership.accepts_in_context g ~context:(to_context m) route)
+    routes
+
+(** Option accuracy: fraction of (mission, route) pairs on which the GPM's
+    validity judgement matches the ground truth. *)
+let gpm_accuracy (g : Asg.Gpm.t) (test : mission list) : float =
+  match test with
+  | [] -> 1.0
+  | _ ->
+    let judgements =
+      List.concat_map
+        (fun m ->
+          List.map
+            (fun route ->
+              Asg.Membership.accepts_in_context g ~context:(to_context m) route
+              = route_valid m route)
+            routes)
+        test
+    in
+    float_of_int (List.length (List.filter Fun.id judgements))
+    /. float_of_int (List.length judgements)
+
+(* -- Utility-based route selection (paper's policy type iii) ------------ *)
+
+(** A GPM whose annotations also carry a value function: routes cost their
+    threat level, and river crossings at night cost an extra 2. The best
+    route is the valid one with minimal cost. *)
+let utility_gpm () : Asg.Gpm.t =
+  Asg.Asg_parser.parse
+    {| start -> route {
+         max_threat(1) :- risk_appetite(low).
+         max_threat(3) :- risk_appetite(high).
+         :~ chosen(R)@1, threat(R, T). [T]
+         :~ chosen(river)@1, time(night). [2]
+       }
+       route -> "north" { chosen(north). }
+              | "south" { chosen(south). }
+              | "river" { chosen(river). } |}
+
+(** Ground-truth utility of a route (lower is better). *)
+let route_cost (m : mission) (route : string) : int =
+  threat m route + if route = "river" && m.time = "night" then 2 else 0
+
+(** The oracle's best route: the valid route of minimal cost (ties broken
+    by route order), if any route is valid at all. *)
+let best_route_oracle (m : mission) : string option =
+  let valid = List.filter (route_valid m) routes in
+  List.fold_left
+    (fun acc r ->
+      match acc with
+      | Some b when route_cost m b <= route_cost m r -> acc
+      | _ -> Some r)
+    None valid
+
+(** The best route according to a (possibly learned) utility GPM. *)
+let best_route (g : Asg.Gpm.t) (m : mission) : string option =
+  Option.map fst
+    (Asg.Language.best_sentence ~max_depth:4 g ~context:(to_context m))
+
+(** Fraction of missions on which the GPM picks a cost-optimal valid
+    route. *)
+let utility_accuracy (g : Asg.Gpm.t) (test : mission list) : float =
+  match test with
+  | [] -> 1.0
+  | _ ->
+    let correct =
+      List.filter
+        (fun m ->
+          match (best_route g m, best_route_oracle m) with
+          | None, None -> true
+          | Some r, Some _ ->
+            route_valid m r
+            && route_cost m r
+               = route_cost m (Option.get (best_route_oracle m))
+          | _ -> false)
+        test
+    in
+    float_of_int (List.length correct) /. float_of_int (List.length test)

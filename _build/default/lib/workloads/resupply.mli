@@ -1,0 +1,45 @@
+(** The logistical-resupply scenario (Section IV-B): route selection under
+    threat estimates, weather and risk appetite, across mission
+    campaigns; plus a utility-based variant (weak constraints). *)
+
+type mission = {
+  threat_north : int;  (** 0..4 *)
+  threat_south : int;
+  threat_river : int;
+  weather : string;  (** clear | rain | storm *)
+  time : string;  (** day | night *)
+  risk_appetite : string;  (** low | high *)
+}
+
+val routes : string list
+val weathers : string list
+val times : string list
+val threat : mission -> string -> int
+val max_threat_for : string -> int
+val route_valid : mission -> string -> bool
+val sample_mission : ?risk_appetite:string -> Random.State.t -> mission
+
+(** [n] missions; appetite switches low→high at [shift_at]. *)
+val campaign : seed:int -> n:int -> ?shift_at:int -> unit -> mission list
+
+val to_context : mission -> Asp.Program.t
+val gpm : unit -> Asg.Gpm.t
+val modes : ?max_body:int -> unit -> Ilp.Mode.t
+val examples_of_mission : mission -> Ilp.Example.t list
+
+(** Valid route options a GPM offers. *)
+val options : Asg.Gpm.t -> mission -> string list
+
+val gpm_accuracy : Asg.Gpm.t -> mission list -> float
+
+(** {2 Utility-based selection (policy type iii)} *)
+
+(** Routes cost their threat; river at night costs 2 extra. *)
+val utility_gpm : unit -> Asg.Gpm.t
+
+val route_cost : mission -> string -> int
+val best_route_oracle : mission -> string option
+val best_route : Asg.Gpm.t -> mission -> string option
+
+(** Fraction of missions with a cost-optimal valid pick. *)
+val utility_accuracy : Asg.Gpm.t -> mission list -> float

@@ -1,0 +1,20 @@
+(** Seeded sampling helpers shared by the scenario generators. All
+    randomness is deterministic given the seed, so experiments are
+    reproducible. *)
+
+let rng seed = Random.State.make [| seed |]
+
+let pick st xs =
+  match xs with
+  | [] -> invalid_arg "Util.pick: empty list"
+  | _ -> List.nth xs (Random.State.int st (List.length xs))
+
+let pick_int st lo hi = lo + Random.State.int st (hi - lo + 1)
+
+let flip st p = Random.State.float st 1.0 < p
+
+(** Sample [n] items with [f]. *)
+let sample st n f = List.init n (fun _ -> f st)
+
+let facts_program (facts : string list) : Asp.Program.t =
+  Asp.Parser.parse_program (String.concat " " facts)

@@ -1,0 +1,8 @@
+(** Seeded sampling helpers; all randomness is deterministic per seed. *)
+
+val rng : int -> Random.State.t
+val pick : Random.State.t -> 'a list -> 'a
+val pick_int : Random.State.t -> int -> int -> int
+val flip : Random.State.t -> float -> bool
+val sample : Random.State.t -> int -> (Random.State.t -> 'a) -> 'a list
+val facts_program : string list -> Asp.Program.t

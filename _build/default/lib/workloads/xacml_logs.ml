@@ -1,0 +1,202 @@
+(** The access-control case study (Section IV-C, Figure 3): synthetic
+    request/response logs in the shape of the public XACML conformance
+    dataset the paper used — attribute-based requests over subject role,
+    resource type and action, with decisions drawn from a hidden
+    ground-truth policy. The generators cover the three Figure-3b failure
+    scenarios: sparse logs (overfitting), logs that admit an over-general
+    hypothesis (unsafe generalization), and noisy logs with irrelevant
+    responses. *)
+
+let roles = [ "admin"; "manager"; "developer"; "intern"; "auditor" ]
+let resources = [ "database"; "repository"; "report"; "config" ]
+let actions = [ "read"; "write"; "delete" ]
+
+let seniority = function
+  | "intern" -> 1
+  | "auditor" -> 2
+  | "developer" -> 2
+  | "manager" -> 3
+  | "admin" -> 4
+  | _ -> 0
+
+let role_attr = Policy.Attribute.subject "role"
+let resource_attr = Policy.Attribute.resource "type"
+let action_attr = Policy.Attribute.action "id"
+
+let request ~role ~resource ~action : Policy.Request.t =
+  Policy.Request.of_list
+    [
+      (role_attr, Policy.Attribute.Str role);
+      (resource_attr, Policy.Attribute.Str resource);
+      (action_attr, Policy.Attribute.Str action);
+    ]
+
+let request_space () : Policy.Request.t list =
+  List.concat_map
+    (fun role ->
+      List.concat_map
+        (fun resource ->
+          List.map (fun action -> request ~role ~resource ~action) actions)
+        resources)
+    roles
+
+(** Hidden ground truth, seniority-based:
+    deny deletes below admin, deny writes by interns, deny any access to
+    config below manager; permit otherwise. *)
+let ground_truth_decision (r : Policy.Request.t) : Policy.Decision.t =
+  let str a =
+    match Policy.Request.find a r with
+    | Some (Policy.Attribute.Str s) -> s
+    | _ -> ""
+  in
+  let role = str role_attr and resource = str resource_attr and action = str action_attr in
+  let s = seniority role in
+  if action = "delete" && s < 4 then Policy.Decision.Deny
+  else if action = "write" && s < 2 then Policy.Decision.Deny
+  else if resource = "config" && s < 3 then Policy.Decision.Deny
+  else Policy.Decision.Permit
+
+(** The same ground truth as an explicit XACML-style policy (used by the
+    quality experiments). *)
+let ground_truth_policy () : Policy.Rule_policy.t =
+  let open Policy in
+  let below_admin =
+    Expr.One_of (role_attr, List.filter_map
+      (fun r -> if seniority r < 4 then Some (Attribute.Str r) else None) roles)
+  in
+  let below_dev =
+    Expr.One_of (role_attr, List.filter_map
+      (fun r -> if seniority r < 2 then Some (Attribute.Str r) else None) roles)
+  in
+  let below_mgr =
+    Expr.One_of (role_attr, List.filter_map
+      (fun r -> if seniority r < 3 then Some (Attribute.Str r) else None) roles)
+  in
+  Rule_policy.make ~alg:Rule_policy.First_applicable "ground-truth"
+    [
+      Rule_policy.rule ~effect:Rule_policy.Deny "deny-delete"
+        ~condition:
+          (Expr.And
+             [ Expr.Equals (action_attr, Attribute.Str "delete"); below_admin ]);
+      Rule_policy.rule ~effect:Rule_policy.Deny "deny-intern-write"
+        ~condition:
+          (Expr.And
+             [ Expr.Equals (action_attr, Attribute.Str "write"); below_dev ]);
+      Rule_policy.rule ~effect:Rule_policy.Deny "deny-config"
+        ~condition:
+          (Expr.And
+             [ Expr.Equals (resource_attr, Attribute.Str "config"); below_mgr ]);
+      Rule_policy.rule ~effect:Rule_policy.Permit "default-permit";
+    ]
+
+(** A clean request/decision log sampled uniformly from the space. *)
+let log ~seed ~n () : (Policy.Request.t * Policy.Decision.t) list =
+  let st = Util.rng seed in
+  Util.sample st n (fun st ->
+      let r =
+        request ~role:(Util.pick st roles) ~resource:(Util.pick st resources)
+          ~action:(Util.pick st actions)
+      in
+      (r, ground_truth_decision r))
+
+(** Noisy log: with probability [flip] the decision is inverted, and with
+    probability [irrelevant] it is replaced by NotApplicable (the
+    "irrelevant responses" of the paper's discussion). *)
+let noisy_log ~seed ~n ~flip ~irrelevant () :
+    (Policy.Request.t * Policy.Decision.t) list =
+  let st = Util.rng seed in
+  List.map
+    (fun (r, d) ->
+      if Util.flip st irrelevant then (r, Policy.Decision.Not_applicable)
+      else if Util.flip st flip then
+        ( r,
+          match d with
+          | Policy.Decision.Permit -> Policy.Decision.Deny
+          | Policy.Decision.Deny -> Policy.Decision.Permit
+          | other -> other )
+      else (r, d))
+    (log ~seed:(seed + 7919) ~n ())
+
+(** Sparse log for the overfitting experiment: only requests from
+    [visible_roles] appear in training. *)
+let sparse_log ~seed ~n ~visible_roles () :
+    (Policy.Request.t * Policy.Decision.t) list =
+  let st = Util.rng seed in
+  Util.sample st n (fun st ->
+      let r =
+        request ~role:(Util.pick st visible_roles)
+          ~resource:(Util.pick st resources) ~action:(Util.pick st actions)
+      in
+      (r, ground_truth_decision r))
+
+let vocabulary () : (Policy.Attribute.t * string list) list =
+  [ (role_attr, roles); (resource_attr, resources); (action_attr, actions) ]
+
+(** Flat (role-enumerating) mode bias. *)
+let modes ?(max_body = 3) () : Ilp.Mode.t =
+  Policy.Xacml.modes ~vocabulary:(vocabulary ()) ~max_body ()
+
+(** The plain decision GPM. *)
+let gpm () : Asg.Gpm.t = Policy.Xacml.decision_gpm ()
+
+(** The GPM extended with background knowledge: the role hierarchy
+    (seniority facts and the subject's derived level) that enables safe
+    generalization across roles. *)
+let gpm_with_hierarchy () : Asg.Gpm.t =
+  let background =
+    Asg.Annotation.parse
+      (String.concat " "
+         (List.map
+            (fun r -> Printf.sprintf "seniority(%s, %d)." r (seniority r))
+            roles
+         @ [ "role_level(S) :- attr(subject, role, R), seniority(R, S)." ]))
+  in
+  Asg.Gpm.add_annotation (gpm ()) Policy.Xacml.start_production background
+
+(** Mode bias that exploits the hierarchy: constraints may test the
+    subject's seniority level against thresholds instead of enumerating
+    roles. *)
+let hierarchy_modes ?(max_body = 3) () : Ilp.Mode.t =
+  Ilp.Mode.make ~target_prods:[ Policy.Xacml.start_production ]
+    ~heads:[ Ilp.Mode.Constraint ]
+    ~bodies:
+      [
+        Ilp.Mode.matom ~required:true ~site:(Some 1) "result"
+          [ Ilp.Mode.Constants [ "permit" ] ];
+        Ilp.Mode.matom "attr"
+          [
+            Ilp.Mode.Constants [ "action" ];
+            Ilp.Mode.Constants [ "id" ];
+            Ilp.Mode.Constants actions;
+          ];
+        Ilp.Mode.matom "attr"
+          [
+            Ilp.Mode.Constants [ "resource" ];
+            Ilp.Mode.Constants [ "type" ];
+            Ilp.Mode.Constants resources;
+          ];
+        Ilp.Mode.matom "role_level" [ Ilp.Mode.Variable "s" ];
+      ]
+    ~cmps:
+      [
+        (Asp.Rule.Lt, "s", Ilp.Mode.IntOperand 2);
+        (Asp.Rule.Lt, "s", Ilp.Mode.IntOperand 3);
+        (Asp.Rule.Lt, "s", Ilp.Mode.IntOperand 4);
+      ]
+    ~max_body ()
+
+(** Accuracy of a learned GPM against the ground truth over a request
+    set. *)
+let gpm_accuracy (g : Asg.Gpm.t) (requests : Policy.Request.t list) : float =
+  match requests with
+  | [] -> 1.0
+  | _ ->
+    let correct =
+      List.length
+        (List.filter
+           (fun r ->
+             Policy.Decision.equal (Policy.Xacml.decide g r)
+               (ground_truth_decision r))
+           requests)
+    in
+    float_of_int correct /. float_of_int (List.length requests)

@@ -1,0 +1,56 @@
+(** The access-control case study (Section IV-C / Figure 3): synthetic
+    conformance-shaped request/response logs with a hidden seniority-based
+    ground truth, including the Figure-3b failure scenarios (sparse logs,
+    role-sparse logs, noisy logs). *)
+
+val roles : string list
+val resources : string list
+val actions : string list
+val seniority : string -> int
+val role_attr : Policy.Attribute.t
+val resource_attr : Policy.Attribute.t
+val action_attr : Policy.Attribute.t
+
+val request :
+  role:string -> resource:string -> action:string -> Policy.Request.t
+
+val request_space : unit -> Policy.Request.t list
+val ground_truth_decision : Policy.Request.t -> Policy.Decision.t
+
+(** The ground truth as an explicit XACML-style policy. *)
+val ground_truth_policy : unit -> Policy.Rule_policy.t
+
+(** Clean uniform log. *)
+val log : seed:int -> n:int -> unit -> (Policy.Request.t * Policy.Decision.t) list
+
+(** Decision flips and NotApplicable ("irrelevant") injections. *)
+val noisy_log :
+  seed:int ->
+  n:int ->
+  flip:float ->
+  irrelevant:float ->
+  unit ->
+  (Policy.Request.t * Policy.Decision.t) list
+
+(** Only requests from [visible_roles] appear (overfitting scenario). *)
+val sparse_log :
+  seed:int ->
+  n:int ->
+  visible_roles:string list ->
+  unit ->
+  (Policy.Request.t * Policy.Decision.t) list
+
+val vocabulary : unit -> (Policy.Attribute.t * string list) list
+
+(** Flat (role-enumerating) mode bias. *)
+val modes : ?max_body:int -> unit -> Ilp.Mode.t
+
+val gpm : unit -> Asg.Gpm.t
+
+(** GPM with the role hierarchy as background knowledge. *)
+val gpm_with_hierarchy : unit -> Asg.Gpm.t
+
+(** Mode bias with seniority thresholds instead of role enumeration. *)
+val hierarchy_modes : ?max_body:int -> unit -> Ilp.Mode.t
+
+val gpm_accuracy : Asg.Gpm.t -> Policy.Request.t list -> float

@@ -1,0 +1,38 @@
+  $ cat > prog.lp <<'ASP'
+  > 1 { pick(a); pick(b) } 1. cost(a, 3). cost(b, 1).
+  > :~ pick(X), cost(X, C). [C]
+  > ASP
+  $ agenp solve prog.lp --optimal
+  $ cat > g.asg <<'ASG'
+  > start -> decision
+  > decision -> "accept" { result(accept). } | "reject" { result(reject). }
+  > ASG
+  $ cat > ctx.lp <<'ASP'
+  > weather(snow).
+  > ASP
+  $ cat > examples.txt <<'EX'
+  > + accept | weather(sun).
+  > - accept | weather(snow).
+  > + reject | weather(snow).
+  > EX
+  $ cat > space.txt <<'SP'
+  > 0 | :- result(accept)@1, weather(snow).
+  > 0 | :- result(accept)@1, weather(sun).
+  > 0 | :- result(reject)@1, weather(snow).
+  > SP
+  $ agenp learn g.asg examples.txt space.txt --save learned.asg
+  $ cat learned.asg
+  $ agenp check learned.asg accept -c ctx.lp
+  $ agenp check learned.asg reject -c ctx.lp
+  $ agenp generate learned.asg -c ctx.lp
+  $ agenp explain learned.asg accept -c ctx.lp
+  $ printf 'p :- not q.\nq :- not p.\n:solve\n:quit\n' | agenp repl | grep -o 'Answer.*'
+  $ cat > pref.asg <<'ASG'
+  > start -> decision { :~ result(reject)@1. [1] }
+  > decision -> "accept" { result(accept). } | "reject" { result(reject). }
+  > ASG
+  $ agenp generate pref.asg --ranked
+  $ cat > small.lp <<'ASP'
+  > n(1..2). d(X + X) :- n(X).
+  > ASP
+  $ agenp ground small.lp

@@ -1,0 +1,1 @@
+test/test_agenp.ml: Agenp Alcotest Asg Asp Grammar Hashtbl Ilp List Printf Workloads

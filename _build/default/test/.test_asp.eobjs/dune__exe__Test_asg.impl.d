@@ -1,0 +1,1 @@
+test/test_asg.ml: Alcotest Asg Asp Grammar List Printf QCheck2 QCheck_alcotest String

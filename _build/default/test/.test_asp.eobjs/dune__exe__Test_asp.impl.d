@@ -1,0 +1,1 @@
+test/test_asp.ml: Alcotest Asp List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Asg Asp Explain Fmt Ilp List Printf QCheck2 QCheck_alcotest String Workloads

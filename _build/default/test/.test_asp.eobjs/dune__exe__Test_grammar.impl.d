@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Cfg Earley Generator Grammar List Parse_tree Production QCheck2 QCheck_alcotest String Symbol Transform

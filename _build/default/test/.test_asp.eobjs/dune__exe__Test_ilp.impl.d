@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Asg Asp Ilp Learner List Mode QCheck2 QCheck_alcotest String Task Workloads

@@ -1,0 +1,1 @@
+test/test_intent.ml: Alcotest Asg Asp Intent List Printf

@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest List Ml QCheck2 QCheck_alcotest Workloads

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Asg Asp Attribute Conflict Decision Expr Fmt List Policy Policy_set Printf QCheck2 QCheck_alcotest Quality Request Rule_policy String Xacml Xacml_xml

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Asg Ilp List Ml Policy Printf QCheck2 QCheck_alcotest String Workloads

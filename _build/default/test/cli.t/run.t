@@ -1,0 +1,76 @@
+The agenp command-line tool end to end: write a grammar, a context, an
+example set and a hypothesis space, then solve / learn / save / check /
+generate / explain.
+
+  $ cat > prog.lp <<'ASP'
+  > 1 { pick(a); pick(b) } 1. cost(a, 3). cost(b, 1).
+  > :~ pick(X), cost(X, C). [C]
+  > ASP
+  $ agenp solve prog.lp --optimal
+  Optimal (cost 1): {cost(a, 3), cost(b, 1), pick(b)}
+
+  $ cat > g.asg <<'ASG'
+  > start -> decision
+  > decision -> "accept" { result(accept). } | "reject" { result(reject). }
+  > ASG
+  $ cat > ctx.lp <<'ASP'
+  > weather(snow).
+  > ASP
+  $ cat > examples.txt <<'EX'
+  > + accept | weather(sun).
+  > - accept | weather(snow).
+  > + reject | weather(snow).
+  > EX
+  $ cat > space.txt <<'SP'
+  > 0 | :- result(accept)@1, weather(snow).
+  > 0 | :- result(accept)@1, weather(sun).
+  > 0 | :- result(reject)@1, weather(snow).
+  > SP
+
+  $ agenp learn g.asg examples.txt space.txt --save learned.asg
+  [pr0] :- result(accept)@1, weather(snow).
+  % cost 2, penalty 0
+  % learned grammar written to learned.asg
+  $ cat learned.asg
+  start -> decision { :- result(accept)@1, weather(snow). }
+  decision -> "accept" { result(accept). }
+  decision -> "reject" { result(reject). }
+
+  $ agenp check learned.asg accept -c ctx.lp
+  INVALID
+  [1]
+  $ agenp check learned.asg reject -c ctx.lp
+  VALID
+  $ agenp generate learned.asg -c ctx.lp
+  reject
+  $ agenp explain learned.asg accept -c ctx.lp
+  INVALID: at node []: :- result@1(accept), weather(snow). fired with result@1(accept), weather(snow)
+  [1]
+
+The interactive ASP session:
+
+  $ printf 'p :- not q.\nq :- not p.\n:solve\n:quit\n' | agenp repl | grep -o 'Answer.*'
+  Answer 1: {q}
+  Answer 2: {p}
+
+Ranked generation uses weak-constraint costs:
+
+  $ cat > pref.asg <<'ASG'
+  > start -> decision { :~ result(reject)@1. [1] }
+  > decision -> "accept" { result(accept). } | "reject" { result(reject). }
+  > ASG
+  $ agenp generate pref.asg --ranked
+  accept [cost 0]
+  reject [cost 1]
+
+Grounding is inspectable:
+
+  $ cat > small.lp <<'ASP'
+  > n(1..2). d(X + X) :- n(X).
+  > ASP
+  $ agenp ground small.lp
+  n(1).
+  n(2).
+  d(4) :- n(2).
+  d(2) :- n(1).
+  % 4 atoms, 4 ground rules

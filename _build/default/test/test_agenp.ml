@@ -1,0 +1,413 @@
+(* Tests for the AGENP architecture (Figure 2): refinement, decision
+   points, the closed adaptation loop, and coalition policy sharing. *)
+
+let cav_spec : Agenp.Prep.pbms_spec =
+  {
+    Agenp.Prep.grammar_text =
+      {| start -> decision {
+           task_req(turn, 2). task_req(straight, 1).
+           task_req(overtake, 4). task_req(park, 3).
+           needed_loa(R) :- task(T), task_req(T, R).
+         }
+         decision -> "accept" { result(accept). } | "reject" { result(reject). } |};
+    global_constraints = [];
+  }
+
+let cav_env : Agenp.Ams.environment =
+  {
+    Agenp.Ams.options = [ "accept"; "reject" ];
+    oracle =
+      (fun context opt ->
+        (* parse the scenario back from the context program facts *)
+        let facts = Asp.Program.facts context in
+        let find pred =
+          List.find_map
+            (fun (a : Asp.Atom.t) ->
+              if a.Asp.Atom.pred = pred then
+                match a.Asp.Atom.args with
+                | [ Asp.Term.Fun (v, []) ] -> Some (`S v)
+                | [ Asp.Term.Int v ] -> Some (`I v)
+                | _ -> None
+              else None)
+            facts
+        in
+        let s = function Some (`S v) -> v | _ -> "" in
+        let i = function Some (`I v) -> v | _ -> 0 in
+        let scenario =
+          {
+            Workloads.Cav.task = s (find "task");
+            vehicle_loa = i (find "vehicle_loa");
+            region_loa = i (find "region_loa");
+            weather = s (find "weather");
+            time = s (find "time");
+          }
+        in
+        let accept_ok = Workloads.Cav.ground_truth scenario in
+        match opt with
+        | "accept" -> accept_ok
+        | "reject" -> not accept_ok (* rejecting a valid task is a violation *)
+        | _ -> false);
+    audit_rate = 0.3;
+  }
+
+let make_cav_ams ?(seed = 1) ?(name = "cav-1") () =
+  let space = Ilp.Hypothesis_space.generate (Workloads.Cav.modes ()) in
+  Agenp.Ams.create ~name ~seed ~spec:cav_spec ~space cav_env
+
+let test_prep_refine () =
+  let gpm = Agenp.Prep.refine cav_spec in
+  Alcotest.(check int) "three productions" 3
+    (List.length (Grammar.Cfg.productions (Asg.Gpm.cfg gpm)));
+  let spec' =
+    { cav_spec with Agenp.Prep.global_constraints = [ ":- result(accept)@1." ] }
+  in
+  let restricted = Agenp.Prep.refine spec' in
+  Alcotest.(check bool) "global constraint applies" false
+    (Asg.Membership.accepts restricted "accept")
+
+let test_prep_generate () =
+  let gpm = Agenp.Prep.refine cav_spec in
+  let repo = Agenp.Repository.create () in
+  let context = Asp.Parser.parse_program "task(turn). vehicle_loa(3)." in
+  let version, policies = Agenp.Prep.generate_policies gpm ~context repo in
+  Alcotest.(check int) "version 1" 1 version;
+  Alcotest.(check (list string)) "both decisions initially"
+    [ "accept"; "reject" ] (List.sort compare policies);
+  Alcotest.(check (list string)) "repo stores them"
+    policies (Agenp.Repository.latest_policies repo)
+
+let test_pdp_fallback () =
+  let gpm =
+    Asg.Asg_parser.parse
+      {| start -> decision { :- result(accept)@1. }
+         decision -> "accept" { result(accept). } | "reject" { result(reject). } |}
+  in
+  let d =
+    Agenp.Pdp.decide gpm ~context:Asp.Program.empty
+      ~options:[ "accept"; "reject" ]
+  in
+  Alcotest.(check string) "falls to reject" "reject" d.Agenp.Pdp.chosen;
+  Alcotest.(check bool) "not a fallback (reject was valid)" false
+    d.Agenp.Pdp.fallback_used
+
+let test_pdp_fallback_used () =
+  let gpm =
+    Asg.Asg_parser.parse
+      {| start -> decision { :- result(accept)@1. :- result(reject)@1. }
+         decision -> "accept" { result(accept). } | "reject" { result(reject). } |}
+  in
+  let d =
+    Agenp.Pdp.decide gpm ~context:Asp.Program.empty
+      ~options:[ "accept"; "reject" ]
+  in
+  Alcotest.(check bool) "fallback flagged" true d.Agenp.Pdp.fallback_used
+
+let test_context_repo () =
+  let repo = Agenp.Context_repo.create () in
+  Agenp.Context_repo.update repo (Asp.Parser.parse_program "a.");
+  Agenp.Context_repo.update repo (Asp.Parser.parse_program "b.");
+  Alcotest.(check bool) "change detected" true (Agenp.Context_repo.changed repo);
+  Agenp.Context_repo.update repo (Asp.Parser.parse_program "b.");
+  Alcotest.(check bool) "no change" false (Agenp.Context_repo.changed repo)
+
+let test_pip_merge () =
+  let pip = Agenp.Pip.create () in
+  Agenp.Pip.register pip "satellite" (fun () ->
+      Asp.Parser.parse_program "weather(snow).");
+  Agenp.Pip.register pip "roadside" (fun () ->
+      Asp.Parser.parse_program "congestion(high).");
+  let facts = Agenp.Pip.poll_all pip in
+  Alcotest.(check int) "both sources merged" 2 (Asp.Program.size facts);
+  Alcotest.(check (list string)) "names" [ "satellite"; "roadside" ]
+    (Agenp.Pip.source_names pip)
+
+let test_pcp_violations () =
+  let gpm = Agenp.Prep.refine cav_spec in
+  let validation =
+    [
+      Ilp.Example.positive_ctx "accept" "task(straight). vehicle_loa(5).";
+      Ilp.Example.negative_ctx "accept" "task(overtake). vehicle_loa(1).";
+    ]
+  in
+  (* the unlearned model accepts everything: one violation (the negative) *)
+  let vs = Agenp.Pcp.detect_violations gpm validation in
+  Alcotest.(check int) "one violation" 1 (List.length vs);
+  Alcotest.(check (float 0.001)) "rate" 0.5
+    (Agenp.Pcp.violation_rate gpm validation)
+
+let test_pcp_quality () =
+  let gpm = Agenp.Prep.refine cav_spec in
+  let contexts =
+    [
+      Asp.Parser.parse_program "task(turn). vehicle_loa(3).";
+      Asp.Parser.parse_program "task(park). vehicle_loa(1).";
+    ]
+  in
+  let q =
+    Agenp.Pcp.assess gpm ~contexts ~options:[ "accept"; "reject" ]
+      ~hypothesis:[] ~task:None
+  in
+  Alcotest.(check (float 0.001)) "complete" 1.0 q.Agenp.Pcp.completeness;
+  Alcotest.(check (float 0.001)) "all options relevant" 1.0 q.Agenp.Pcp.relevance;
+  Alcotest.(check bool) "consistent" true q.Agenp.Pcp.consistent
+
+let run_requests ams scenarios =
+  List.iter
+    (fun s -> ignore (Agenp.Ams.handle_request ams (Workloads.Cav.to_context s)))
+    scenarios
+
+let test_ams_closed_loop_improves () =
+  let ams = make_cav_ams () in
+  let phase1 = Workloads.Cav.sample ~seed:100 40 in
+  run_requests ams phase1;
+  Alcotest.(check bool) "adaptation happened" true
+    (Agenp.Ams.relearn_count ams >= 1);
+  (* after adaptation, decisions on fresh scenarios should be near-perfect *)
+  let fresh = Workloads.Cav.sample ~seed:200 60 in
+  let correct =
+    List.length
+      (List.filter
+         (fun s ->
+           let d =
+             Agenp.Pdp.decide (Agenp.Ams.gpm ams)
+               ~context:(Workloads.Cav.to_context s)
+               ~options:[ "accept"; "reject" ]
+           in
+           (d.Agenp.Pdp.chosen = "accept") = Workloads.Cav.ground_truth s)
+         fresh)
+  in
+  let acc = float_of_int correct /. 60.0 in
+  Alcotest.(check bool) (Printf.sprintf "post-adaptation accuracy %.2f" acc)
+    true (acc >= 0.9)
+
+let test_ams_policy_generation () =
+  let ams = make_cav_ams () in
+  run_requests ams (Workloads.Cav.sample ~seed:100 40);
+  (* an overtake request far below the required LOA: the loop has seen
+     plenty of LOA violations, so the learned model must exclude accept *)
+  let s =
+    { Workloads.Cav.task = "overtake"; vehicle_loa = 1; region_loa = 3;
+      weather = "clear"; time = "day" }
+  in
+  ignore (Agenp.Ams.handle_request ams (Workloads.Cav.to_context s));
+  let policies = Agenp.Ams.generate_policies ams in
+  Alcotest.(check bool) "low-LOA overtake: accept not generated" true
+    (not (List.mem "accept" policies) && List.mem "reject" policies)
+
+let test_coalition_sharing_transfers_knowledge () =
+  (* member A experiences many requests and learns; member B is fresh.
+     After a gossip round B should behave like A without local learning. *)
+  let a = make_cav_ams ~seed:1 ~name:"ams-a" () in
+  let b = make_cav_ams ~seed:2 ~name:"ams-b" () in
+  run_requests a (Workloads.Cav.sample ~seed:100 40);
+  Alcotest.(check bool) "A learned" true (Agenp.Ams.hypothesis a <> []);
+  Alcotest.(check bool) "B unlearned" true (Agenp.Ams.hypothesis b = []);
+  (* give B a little local evidence so the PCP gate has something to check *)
+  List.iter
+    (fun s ->
+      Agenp.Ams.learn_from b ~context:(Workloads.Cav.to_context s) "accept"
+        ~valid:(Workloads.Cav.ground_truth s))
+    (Workloads.Cav.sample ~seed:300 10);
+  let coalition = Agenp.Coalition.create () in
+  Agenp.Coalition.add_member coalition a;
+  Agenp.Coalition.add_member coalition b;
+  let adopted = Agenp.Coalition.gossip_round coalition in
+  Alcotest.(check bool) "B adopted rules" true (adopted >= 1);
+  let fresh = Workloads.Cav.sample ~seed:400 50 in
+  let acc =
+    float_of_int
+      (List.length
+         (List.filter
+            (fun s ->
+              let d =
+                Agenp.Pdp.decide (Agenp.Ams.gpm b)
+                  ~context:(Workloads.Cav.to_context s)
+                  ~options:[ "accept"; "reject" ]
+              in
+              (d.Agenp.Pdp.chosen = "accept") = Workloads.Cav.ground_truth s)
+            fresh))
+    /. 50.0
+  in
+  Alcotest.(check bool) (Printf.sprintf "B accuracy after sharing %.2f" acc)
+    true (acc >= 0.85)
+
+let test_pcp_rejects_bad_shared_policy () =
+  let b = make_cav_ams ~seed:5 ~name:"ams-b" () in
+  (* local evidence: accepting straight with loa 5 is valid *)
+  List.iter
+    (fun s ->
+      Agenp.Ams.learn_from b ~context:(Workloads.Cav.to_context s) "accept"
+        ~valid:(Workloads.Cav.ground_truth s))
+    (List.filter
+       (fun s -> Workloads.Cav.ground_truth s)
+       (Workloads.Cav.sample ~seed:600 40));
+  (* a malicious/broken shared rule forbidding all accepts *)
+  let bad =
+    Ilp.Hypothesis_space.of_rules [ (":- result(accept)@1.", [ 0 ]) ]
+  in
+  let a = make_cav_ams ~seed:6 ~name:"ams-a" () in
+  Agenp.Ams.install_hypothesis a bad;
+  let coalition = Agenp.Coalition.create () in
+  Agenp.Coalition.add_member coalition a;
+  Agenp.Coalition.add_member coalition b;
+  ignore (Agenp.Coalition.gossip_round coalition);
+  Alcotest.(check bool) "B rejected the harmful rule" true
+    (Agenp.Ams.hypothesis b = [])
+
+let test_context_change_trigger () =
+  let ams = make_cav_ams () in
+  (* feed a few consistent observations, below the violation threshold *)
+  List.iter
+    (fun s ->
+      Agenp.Ams.learn_from ams ~context:(Workloads.Cav.to_context s) "accept"
+        ~valid:(Workloads.Cav.ground_truth s))
+    (Workloads.Cav.sample ~seed:900 8);
+  Alcotest.(check int) "no adaptation yet" 0 (Agenp.Ams.relearn_count ams);
+  Agenp.Ams.signal_context_change ams;
+  (* next request triggers relearning despite a clean violation window *)
+  let s = List.hd (Workloads.Cav.sample ~seed:901 1) in
+  ignore (Agenp.Ams.handle_request ams (Workloads.Cav.to_context s));
+  Alcotest.(check int) "context change forced relearn" 1
+    (Agenp.Ams.relearn_count ams)
+
+let test_byzantine_gate_comparison () =
+  let bad =
+    Ilp.Hypothesis_space.of_rules [ (":- result(accept)@1.", [ 0 ]) ]
+  in
+  let newcomer gate =
+    let b = make_cav_ams ~seed:5 ~name:"b" () in
+    List.iter
+      (fun s ->
+        let gt = Workloads.Cav.ground_truth s in
+        Agenp.Ams.learn_from b ~context:(Workloads.Cav.to_context s) "accept"
+          ~valid:gt)
+      (Workloads.Cav.sample ~seed:600 20);
+    let coalition = Agenp.Coalition.create () in
+    Agenp.Coalition.add_member coalition b;
+    Agenp.Coalition.publish_raw coalition ~author:"mallory" bad;
+    ignore (Agenp.Coalition.gossip_round ~gate coalition);
+    Agenp.Ams.hypothesis b
+  in
+  Alcotest.(check bool) "pcp rejects the attack" true (newcomer `Pcp = []);
+  Alcotest.(check int) "trust-all swallows it" 1
+    (List.length (newcomer `Trust_all))
+
+let test_padap_memory_cap () =
+  let space = Ilp.Hypothesis_space.generate (Workloads.Cav.modes ()) in
+  let config = { (Agenp.Padap.default_config space) with Agenp.Padap.memory = 5 } in
+  let padap = Agenp.Padap.create config (Agenp.Prep.refine cav_spec) in
+  List.iter
+    (fun s ->
+      Agenp.Padap.add_example padap
+        (Ilp.Example.positive ~context:(Workloads.Cav.to_context s) "accept"))
+    (Workloads.Cav.sample ~seed:42 12);
+  Alcotest.(check int) "sliding window caps memory" 5
+    (List.length (Agenp.Padap.examples padap))
+
+let test_repository_representation () =
+  let repo = Agenp.Repository.create () in
+  Alcotest.(check bool) "no representation yet" true
+    (Agenp.Repository.latest_representation repo = None);
+  ignore (Agenp.Repository.store_representation repo (Agenp.Prep.refine cav_spec));
+  Alcotest.(check int) "one representation" 1
+    (Agenp.Repository.representation_count repo);
+  Alcotest.(check bool) "latest available" true
+    (Agenp.Repository.latest_representation repo <> None)
+
+let test_prep_cleans_operator_grammar () =
+  let messy =
+    { Agenp.Prep.grammar_text =
+        {| start -> decision
+           decision -> "accept" { result(accept). } | "reject" { result(reject). }
+           orphan -> "zzz" |};
+      global_constraints = [] }
+  in
+  let gpm = Agenp.Prep.refine messy in
+  Alcotest.(check int) "orphan production dropped" 3
+    (List.length (Grammar.Cfg.productions (Asg.Gpm.cfg gpm)))
+
+let test_repository_versions () =
+  let repo = Agenp.Repository.create () in
+  ignore (Agenp.Repository.store_policies repo [ "a" ]);
+  ignore (Agenp.Repository.store_policies repo [ "b" ]);
+  Alcotest.(check int) "two versions" 2 (Agenp.Repository.version_count repo);
+  Alcotest.(check (list string)) "latest" [ "b" ]
+    (Agenp.Repository.latest_policies repo)
+
+let test_metrics_summary () =
+  let ams = make_cav_ams () in
+  run_requests ams (Workloads.Cav.sample ~seed:100 30);
+  let m = Agenp.Metrics.summarize (Agenp.Ams.pep ams) in
+  Alcotest.(check int) "30 requests" 30 m.Agenp.Metrics.requests;
+  Alcotest.(check bool) "compliance sane" true
+    (m.Agenp.Metrics.compliance >= 0.0 && m.Agenp.Metrics.compliance <= 1.0);
+  Alcotest.(check bool) "mix covers decisions" true
+    (List.fold_left (fun acc (_, v) -> acc + v) 0 m.Agenp.Metrics.decision_mix
+    = 30);
+  Alcotest.(check bool) "recent >= overall (loop improves)" true
+    (m.Agenp.Metrics.recent_compliance >= m.Agenp.Metrics.compliance -. 0.01)
+
+let test_simulation_improves () =
+  let members = [ make_cav_ams ~seed:1 ~name:"sim-a" (); make_cav_ams ~seed:2 ~name:"sim-b" () ] in
+  let request_stream name tick i =
+    let seed = Hashtbl.hash (name, tick, i) land 0xFFFF in
+    Workloads.Cav.to_context (List.hd (Workloads.Cav.sample ~seed 1))
+  in
+  let config =
+    { Agenp.Simulation.ticks = 12; requests_per_tick = 4;
+      gossip_every = Some 4; gate = `Pcp }
+  in
+  let result = Agenp.Simulation.run config members ~request_stream in
+  Alcotest.(check int) "12 ticks recorded" 12
+    (List.length result.Agenp.Simulation.timeline);
+  let early =
+    match result.Agenp.Simulation.timeline with
+    | t :: _ -> t.Agenp.Simulation.compliance
+    | [] -> 0.0
+  in
+  let late = Agenp.Simulation.recent_compliance result 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "compliance improves (%.2f -> %.2f)" early late)
+    true
+    (late >= early && late >= 0.85);
+  Alcotest.(check bool) "someone adapted" true
+    (List.exists
+       (fun (t : Agenp.Simulation.tick_stats) -> t.Agenp.Simulation.adaptations > 0)
+       result.Agenp.Simulation.timeline)
+
+let () =
+  Alcotest.run "agenp"
+    [
+      ( "points",
+        [
+          Alcotest.test_case "prep refine" `Quick test_prep_refine;
+          Alcotest.test_case "prep generate" `Quick test_prep_generate;
+          Alcotest.test_case "pdp valid option" `Quick test_pdp_fallback;
+          Alcotest.test_case "pdp fallback" `Quick test_pdp_fallback_used;
+          Alcotest.test_case "context repo" `Quick test_context_repo;
+          Alcotest.test_case "pip merge" `Quick test_pip_merge;
+          Alcotest.test_case "pcp violations" `Quick test_pcp_violations;
+          Alcotest.test_case "pcp quality" `Quick test_pcp_quality;
+          Alcotest.test_case "repository versions" `Quick test_repository_versions;
+          Alcotest.test_case "context-change trigger" `Quick test_context_change_trigger;
+          Alcotest.test_case "padap memory cap" `Quick test_padap_memory_cap;
+          Alcotest.test_case "repository representation" `Quick test_repository_representation;
+          Alcotest.test_case "prep cleans grammar" `Quick test_prep_cleans_operator_grammar;
+        ] );
+      ( "closed-loop",
+        [
+          Alcotest.test_case "loop improves" `Slow test_ams_closed_loop_improves;
+          Alcotest.test_case "policy generation" `Slow test_ams_policy_generation;
+        ] );
+      ( "coalition",
+        [
+          Alcotest.test_case "sharing transfers knowledge" `Slow
+            test_coalition_sharing_transfers_knowledge;
+          Alcotest.test_case "pcp gates harmful rules" `Slow
+            test_pcp_rejects_bad_shared_policy;
+          Alcotest.test_case "byzantine gate comparison" `Slow
+            test_byzantine_gate_comparison;
+          Alcotest.test_case "simulation improves" `Slow test_simulation_improves;
+          Alcotest.test_case "metrics summary" `Slow test_metrics_summary;
+        ] );
+    ]

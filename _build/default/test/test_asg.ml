@@ -1,0 +1,287 @@
+(* Tests for the answer-set-grammar layer: annotation semantics, the G[PT]
+   mapping, context-dependent membership, and language generation. *)
+
+let parse_ctx = Asp.Parser.parse_program
+
+(* The running CAV-style example: a decision grammar whose root annotation
+   forbids accepting in risky contexts. *)
+let decision_gpm () =
+  Asg.Asg_parser.parse
+    {| start -> decision { :- result(accept)@1, risky. }
+       decision -> "accept" { result(accept). } | "reject" { result(reject). } |}
+
+let test_asg_parse () =
+  let g = decision_gpm () in
+  let cfg = Asg.Gpm.cfg g in
+  Alcotest.(check int) "3 productions" 3 (List.length (Grammar.Cfg.productions cfg));
+  Alcotest.(check string) "start" "start" (Grammar.Cfg.start cfg);
+  Alcotest.(check int) "root annotated" 1
+    (List.length (Asg.Gpm.annotation g 0));
+  Alcotest.(check int) "accept annotated" 1
+    (List.length (Asg.Gpm.annotation g 1))
+
+let test_annotation_parse_sites () =
+  let r = Asg.Annotation.parse_rule_string ":- result(accept)@1, risky." in
+  match r.Asg.Annotation.body with
+  | [ Asg.Annotation.Pos a1; Asg.Annotation.Pos a2 ] ->
+    Alcotest.(check bool) "site 1" true (a1.Asg.Annotation.site = Some 1);
+    Alcotest.(check bool) "no site" true (a2.Asg.Annotation.site = None)
+  | _ -> Alcotest.fail "expected two positive annotated atoms"
+
+let test_annotation_pp_roundtrip () =
+  let s = ":- result(accept)@1, risky." in
+  let r = Asg.Annotation.parse_rule_string s in
+  Alcotest.(check string) "roundtrip" s (Asg.Annotation.rule_to_string r)
+
+let test_mangle () =
+  Alcotest.(check string) "empty trace unchanged" "p"
+    (Asg.Annotation.mangle_pred "p" []);
+  Alcotest.(check string) "trace folded" "p@1_2"
+    (Asg.Annotation.mangle_pred "p" [ 1; 2 ])
+
+let test_tree_program () =
+  let g = decision_gpm () in
+  let trees = Grammar.Earley.parses_sentence (Asg.Gpm.cfg g) "accept" in
+  let tree = List.hd trees in
+  let prog = Asg.Tree_program.program g tree in
+  let text = Asp.Program.to_string prog in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "child fact instantiated at trace [1]" true
+    (contains "result@1(accept)" text)
+
+let test_membership_no_context () =
+  let g = decision_gpm () in
+  Alcotest.(check bool) "accept ok w/o risky" true (Asg.Membership.accepts g "accept");
+  Alcotest.(check bool) "reject ok" true (Asg.Membership.accepts g "reject");
+  Alcotest.(check bool) "garbage rejected" false (Asg.Membership.accepts g "fly")
+
+let test_membership_context () =
+  let g = decision_gpm () in
+  let risky = parse_ctx "risky." in
+  Alcotest.(check bool) "accept blocked under risky" false
+    (Asg.Membership.accepts_in_context g ~context:risky "accept");
+  Alcotest.(check bool) "reject fine under risky" true
+    (Asg.Membership.accepts_in_context g ~context:risky "reject")
+
+let test_membership_context_rules () =
+  (* context may contain rules, not only facts *)
+  let g = decision_gpm () in
+  let ctx = parse_ctx "risky :- weather(snow). weather(snow)." in
+  Alcotest.(check bool) "derived risky blocks accept" false
+    (Asg.Membership.accepts_in_context g ~context:ctx "accept")
+
+let test_language_generation () =
+  let g = decision_gpm () in
+  let all = Asg.Language.sentences ~max_depth:4 g in
+  Alcotest.(check (list string)) "both decisions" [ "accept"; "reject" ]
+    (List.sort compare all);
+  let risky = parse_ctx "risky." in
+  let valid = Asg.Language.sentences_in_context ~max_depth:4 g ~context:risky in
+  Alcotest.(check (list string)) "only reject under risky" [ "reject" ] valid
+
+let test_witness () =
+  let g = decision_gpm () in
+  match Asg.Membership.witness g "accept" with
+  | Some m ->
+    Alcotest.(check bool) "witness mentions result@1(accept)" true
+      (Asp.Atom.Set.exists
+         (fun a -> String.length a.Asp.Atom.pred >= 6) m)
+  | None -> Alcotest.fail "expected a witness"
+
+(* Counting semantics: an annotation constraining subtree shape, in the
+   spirit of the AAAI-19 ASG examples. The grammar generates a^n b^m and
+   annotations require the counts to be equal via child-site atoms. *)
+let test_structural_annotation () =
+  let g =
+    Asg.Asg_parser.parse
+      {| start -> as bs { :- n(X)@1, n(Y)@2, X != Y. }
+         as -> "a" as { n(X+1) :- n(X)@2. } | { n(0). }
+         bs -> "b" bs { n(X+1) :- n(X)@2. } | { n(0). } |}
+  in
+  Alcotest.(check bool) "a a b b accepted" true
+    (Asg.Membership.accepts g "a a b b");
+  Alcotest.(check bool) "a b b rejected" false (Asg.Membership.accepts g "a b b");
+  Alcotest.(check bool) "empty accepted" true (Asg.Membership.accepts g "")
+
+let test_hypothesis_extension () =
+  let g0 =
+    Asg.Asg_parser.parse
+      {| start -> decision
+         decision -> "accept" { result(accept). } | "reject" { result(reject). } |}
+  in
+  (* without hypothesis everything is accepted *)
+  let risky = parse_ctx "risky." in
+  Alcotest.(check bool) "accept ok before learning" true
+    (Asg.Membership.accepts_in_context g0 ~context:risky "accept");
+  let h = Asg.Annotation.parse_rule_string ":- result(accept)@1, risky." in
+  let g1 = Asg.Gpm.with_hypothesis g0 [ (0, h) ] in
+  Alcotest.(check bool) "accept blocked after adding hypothesis" false
+    (Asg.Membership.accepts_in_context g1 ~context:risky "accept")
+
+let test_ranked_generation () =
+  (* preferences via weak annotations: reject costs 1, accept costs 0 *)
+  let g =
+    Asg.Asg_parser.parse
+      {| start -> decision { :~ result(reject)@1. [1] }
+         decision -> "accept" { result(accept). } | "reject" { result(reject). } |}
+  in
+  let ranked = Asg.Language.ranked_sentences ~max_depth:4 g in
+  Alcotest.(check (list (pair string int))) "accept preferred"
+    [ ("accept", 0); ("reject", 1) ]
+    ranked;
+  match Asg.Language.best_sentence g ~context:Asp.Program.empty with
+  | Some ("accept", 0) -> ()
+  | _ -> Alcotest.fail "expected accept as best"
+
+let test_ranked_respects_constraints () =
+  let g =
+    Asg.Asg_parser.parse
+      {| start -> decision { :- result(accept)@1, risky. :~ result(reject)@1. [1] }
+         decision -> "accept" { result(accept). } | "reject" { result(reject). } |}
+  in
+  let ctx = Asp.Parser.parse_program "risky." in
+  match Asg.Language.best_sentence g ~context:ctx with
+  | Some ("reject", 1) -> ()
+  | other ->
+    Alcotest.fail
+      (match other with
+      | Some (s, c) -> Printf.sprintf "got %s[%d]" s c
+      | None -> "got none")
+
+let test_render_roundtrip () =
+  let g = decision_gpm () in
+  let rendered = Asg.Asg_parser.render g in
+  let g' = Asg.Asg_parser.parse rendered in
+  (* same language behaviour before and after the roundtrip *)
+  let risky = parse_ctx "risky." in
+  List.iter
+    (fun (ctx, s) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip agrees on %s" s)
+        (Asg.Membership.accepts_in_context g ~context:ctx s)
+        (Asg.Membership.accepts_in_context g' ~context:ctx s))
+    [ (risky, "accept"); (risky, "reject");
+      (Asp.Program.empty, "accept"); (Asp.Program.empty, "reject") ]
+
+let test_render_includes_hypothesis () =
+  let g0 = decision_gpm () in
+  let h = Asg.Annotation.parse_rule_string ":- result(reject)@1, sunny." in
+  let g1 = Asg.Gpm.with_hypothesis g0 [ (0, h) ] in
+  let rendered = Asg.Asg_parser.render g1 in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "learned rule rendered" true
+    (contains "result(reject)@1" rendered);
+  let g2 = Asg.Asg_parser.parse rendered in
+  Alcotest.(check bool) "reject blocked when sunny after reload" false
+    (Asg.Membership.accepts_in_context g2 ~context:(parse_ctx "sunny.") "reject")
+
+let test_gpm_clean () =
+  let g =
+    Asg.Asg_parser.parse
+      {| start -> decision { :- bad@1. }
+         decision -> "go" { ok. }
+         orphan -> "x" { never. } |}
+  in
+  let cleaned = Asg.Gpm.clean g in
+  Alcotest.(check int) "orphan removed" 2
+    (List.length (Grammar.Cfg.productions (Asg.Gpm.cfg cleaned)));
+  (* annotations survive on the re-numbered productions *)
+  Alcotest.(check int) "root annotation kept" 1
+    (List.length (Asg.Gpm.annotation cleaned 0));
+  Alcotest.(check bool) "behaviour preserved" true
+    (Asg.Membership.accepts cleaned "go")
+
+let test_ambiguous_membership () =
+  (* two parse trees; only one satisfies its annotation: still a member *)
+  let g =
+    Asg.Asg_parser.parse
+      {| s -> a { :- bad@1. }
+         a -> "x" b { bad. } | "x" c { }
+         b -> { }
+         c -> { } |}
+  in
+  Alcotest.(check bool) "one good tree suffices" true
+    (Asg.Membership.accepts g "x")
+
+let test_context_copies_at_depth () =
+  (* context facts materialize at every node; a deep annotation can read
+     its own copy *)
+  let g =
+    Asg.Asg_parser.parse
+      {| s -> m { }
+         m -> "t" { :- blocked. } |}
+  in
+  let ctx = Asp.Parser.parse_program "blocked." in
+  Alcotest.(check bool) "deep node sees its context copy" false
+    (Asg.Membership.accepts_in_context g ~context:ctx "t")
+
+let test_shared_annotation_exposed () =
+  let g = Asg.Gpm.with_context (decision_gpm ()) (parse_ctx "risky.") in
+  Alcotest.(check int) "shared rules recorded" 1
+    (List.length (Asg.Gpm.shared g))
+
+(* property: membership of an ASG is always a subset of its CFG language *)
+let prop_language_subset_cfg =
+  QCheck2.Test.make ~name:"L(G) subset of L(G_CF)" ~count:20
+    QCheck2.Gen.(int_range 2 5)
+    (fun depth ->
+      let g = decision_gpm () in
+      let valid = Asg.Language.sentences ~max_depth:depth g in
+      List.for_all
+        (fun s -> Grammar.Earley.recognize_sentence (Asg.Gpm.cfg g) s)
+        valid)
+
+let prop_context_monotone_restriction =
+  (* adding constraints via context can only shrink the language *)
+  QCheck2.Test.make ~name:"contexts only shrink valid decisions" ~count:20
+    QCheck2.Gen.(bool)
+    (fun risky_flag ->
+      let g = decision_gpm () in
+      let ctx = if risky_flag then parse_ctx "risky." else parse_ctx "" in
+      let all = Asg.Language.sentences ~max_depth:4 g in
+      let restricted = Asg.Language.sentences_in_context ~max_depth:4 g ~context:ctx in
+      List.for_all (fun s -> List.mem s all) restricted)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_language_subset_cfg; prop_context_monotone_restriction ]
+
+let () =
+  Alcotest.run "asg"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "asg parse" `Quick test_asg_parse;
+          Alcotest.test_case "annotation sites" `Quick test_annotation_parse_sites;
+          Alcotest.test_case "annotation roundtrip" `Quick test_annotation_pp_roundtrip;
+          Alcotest.test_case "mangle" `Quick test_mangle;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "tree program" `Quick test_tree_program;
+          Alcotest.test_case "membership no context" `Quick test_membership_no_context;
+          Alcotest.test_case "membership context" `Quick test_membership_context;
+          Alcotest.test_case "context rules" `Quick test_membership_context_rules;
+          Alcotest.test_case "language generation" `Quick test_language_generation;
+          Alcotest.test_case "witness" `Quick test_witness;
+          Alcotest.test_case "structural annotation" `Quick test_structural_annotation;
+          Alcotest.test_case "hypothesis extension" `Quick test_hypothesis_extension;
+          Alcotest.test_case "ranked generation" `Quick test_ranked_generation;
+          Alcotest.test_case "ranked respects constraints" `Quick test_ranked_respects_constraints;
+          Alcotest.test_case "render roundtrip" `Quick test_render_roundtrip;
+          Alcotest.test_case "render hypothesis" `Quick test_render_includes_hypothesis;
+          Alcotest.test_case "gpm clean" `Quick test_gpm_clean;
+          Alcotest.test_case "ambiguous membership" `Quick test_ambiguous_membership;
+          Alcotest.test_case "context at depth" `Quick test_context_copies_at_depth;
+          Alcotest.test_case "shared annotation" `Quick test_shared_annotation_exposed;
+        ] );
+      ("properties", qcheck_cases);
+    ]

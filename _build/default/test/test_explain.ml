@@ -1,0 +1,264 @@
+(* Tests for explainability: why, why-not, counterfactuals (Section V-B). *)
+
+let gpm () =
+  Asg.Asg_parser.parse
+    {| start -> decision { :- result(accept)@1, weather(snow).
+                           :- result(accept)@1, vloa(V), V < 3. }
+       decision -> "accept" { result(accept). } | "reject" { result(reject). } |}
+
+let ctx s = Asp.Parser.parse_program s
+
+let test_why () =
+  let g = gpm () in
+  match Explain.Why.why g ~context:(ctx "weather(clear). vloa(4).") "accept" with
+  | Some model ->
+    Alcotest.(check bool) "witness nonempty" true
+      (not (Asp.Atom.Set.is_empty model))
+  | None -> Alcotest.fail "expected acceptance witness"
+
+let test_why_not_blocked () =
+  let g = gpm () in
+  match Explain.Why.why_not g ~context:(ctx "weather(snow). vloa(4).") "accept" with
+  | Explain.Why.Blocked (b :: _ as bs) ->
+    Alcotest.(check bool) "snow constraint blamed" true
+      (List.exists
+         (fun (bl : Explain.Why.blocker) ->
+           let s = Fmt.str "%a" Asp.Rule.pp bl.Explain.Why.constraint_rule in
+           let needle = "weather(snow)" in
+           let rec go i =
+             i + String.length needle <= String.length s
+             && (String.sub s i (String.length needle) = needle || go (i + 1))
+           in
+           go 0)
+         bs);
+    Alcotest.(check bool) "ground instance fired" true (b.Explain.Why.fired_body <> [])
+  | _ -> Alcotest.fail "expected Blocked"
+
+let test_why_not_multiple_blockers () =
+  let g = gpm () in
+  match Explain.Why.why_not g ~context:(ctx "weather(snow). vloa(1).") "accept" with
+  | Explain.Why.Blocked bs ->
+    Alcotest.(check bool) "two distinct constraints fire" true
+      (List.length bs >= 2)
+  | _ -> Alcotest.fail "expected Blocked"
+
+let test_why_not_not_in_cfg () =
+  let g = gpm () in
+  Alcotest.(check bool) "syntactic rejection" true
+    (Explain.Why.why_not g ~context:(ctx "") "fly" = Explain.Why.Not_in_cfg)
+
+let test_counterfactual_replace () =
+  let g = gpm () in
+  let facts =
+    [ Asp.Parser.parse_atom_string "weather(snow)";
+      Asp.Parser.parse_atom_string "vloa(4)" ]
+  in
+  let alternatives (a : Asp.Atom.t) =
+    if a.Asp.Atom.pred = "weather" then
+      List.map
+        (fun w -> Asp.Atom.make "weather" [ Asp.Term.const w ])
+        [ "clear"; "rain" ]
+      |> List.filter (fun alt -> not (Asp.Atom.equal alt a))
+    else []
+  in
+  match Explain.Counterfactual.find ~alternatives g ~facts "accept" with
+  | Some [ Explain.Counterfactual.Replace (old_fact, _) ] ->
+    Alcotest.(check string) "weather is the pivot" "weather(snow)"
+      (Asp.Atom.to_string old_fact)
+  | Some other ->
+    Alcotest.fail
+      (Printf.sprintf "expected a single replacement, got %d changes"
+         (List.length other))
+  | None -> Alcotest.fail "expected a counterfactual"
+
+let test_counterfactual_two_changes () =
+  let g = gpm () in
+  let facts =
+    [ Asp.Parser.parse_atom_string "weather(snow)";
+      Asp.Parser.parse_atom_string "vloa(1)" ]
+  in
+  let alternatives (a : Asp.Atom.t) =
+    match a.Asp.Atom.pred with
+    | "weather" -> [ Asp.Parser.parse_atom_string "weather(clear)" ]
+    | "vloa" -> [ Asp.Parser.parse_atom_string "vloa(5)" ]
+    | _ -> []
+  in
+  match Explain.Counterfactual.find ~alternatives g ~facts "accept" with
+  | Some changes -> Alcotest.(check int) "both facts must change" 2 (List.length changes)
+  | None -> Alcotest.fail "expected a counterfactual"
+
+let test_counterfactual_already_valid () =
+  let g = gpm () in
+  let facts =
+    [ Asp.Parser.parse_atom_string "weather(clear)";
+      Asp.Parser.parse_atom_string "vloa(4)" ]
+  in
+  Alcotest.(check bool) "empty change set" true
+    (Explain.Counterfactual.find ~alternatives:(fun _ -> []) g ~facts "accept"
+    = Some [])
+
+let test_counterfactual_none () =
+  let g =
+    Asg.Asg_parser.parse
+      {| start -> decision { :- result(accept)@1. }
+         decision -> "accept" { result(accept). } | "reject" |}
+  in
+  Alcotest.(check bool) "unfixable" true
+    (Explain.Counterfactual.find ~alternatives:(fun _ -> []) g
+       ~facts:[ Asp.Parser.parse_atom_string "weather(snow)" ]
+       "accept"
+    = None)
+
+let test_counterfactual_sentence () =
+  let c =
+    Explain.Counterfactual.Replace
+      ( Asp.Parser.parse_atom_string "weather(snow)",
+        Asp.Parser.parse_atom_string "weather(clear)" )
+  in
+  Alcotest.(check string) "readable"
+    "if weather(snow) had been weather(clear), \"accept\" would have been valid"
+    (Explain.Counterfactual.to_sentence "accept" [ c ])
+
+let test_why_derivation () =
+  let g = gpm () in
+  let target =
+    Asp.Atom.make
+      (Asg.Annotation.mangle_pred "result" [ 1 ])
+      [ Asp.Term.const "accept" ]
+  in
+  match
+    Explain.Why.why_derivation g
+      ~context:(ctx "weather(clear). vloa(4).")
+      "accept" target
+  with
+  | Some j ->
+    Alcotest.(check bool) "derivation found" true (Asp.Justification.depth j >= 1)
+  | None -> Alcotest.fail "expected a derivation for the decision atom"
+
+(* ---- Repair (sentence-level counterfactuals) ---- *)
+
+let convoy_gt () =
+  Ilp.Task.apply_hypothesis (Workloads.Convoy.gpm ())
+    (Ilp.Hypothesis_space.of_rules
+       [ (":- trucks(T), T < 1.", [ 0 ]);
+         (":- trucks(T), escorts(E), threat(L), L >= 2, E < T.", [ 0 ]);
+         (":- drones(D), threat(L), L >= 3, D < 1.", [ 0 ]) ])
+
+let test_repair_insert () =
+  (* a lone truck at threat 2 needs one more escort *)
+  let g = convoy_gt () in
+  match
+    Explain.Repair.repair g ~context:(Workloads.Convoy.context ~threat:2) "truck"
+  with
+  | Some r ->
+    Alcotest.(check int) "one edit" 1 r.Explain.Repair.edits;
+    Alcotest.(check bool) "adds an escort" true
+      (List.mem "escort" (String.split_on_char ' ' r.Explain.Repair.repaired))
+  | None -> Alcotest.fail "expected a repair"
+
+let test_repair_already_valid () =
+  let g = convoy_gt () in
+  match
+    Explain.Repair.repair g ~context:(Workloads.Convoy.context ~threat:0)
+      "truck"
+  with
+  | Some { Explain.Repair.edits = 0; _ } -> ()
+  | _ -> Alcotest.fail "valid sentences need no edits"
+
+let test_repair_two_edits () =
+  (* threat 3: a lone truck needs both an escort and a drone *)
+  let g = convoy_gt () in
+  match
+    Explain.Repair.repair g ~context:(Workloads.Convoy.context ~threat:3)
+      "truck"
+  with
+  | Some r ->
+    Alcotest.(check int) "two edits" 2 r.Explain.Repair.edits;
+    let toks = String.split_on_char ' ' r.Explain.Repair.repaired in
+    Alcotest.(check bool) "escort and drone added" true
+      (List.mem "escort" toks && List.mem "drone" toks)
+  | None -> Alcotest.fail "expected a two-edit repair"
+
+let test_repair_out_of_reach () =
+  let g = convoy_gt () in
+  (* the empty convoy at threat 3 needs 3 insertions; cap at 2 *)
+  Alcotest.(check bool) "no repair within 2 edits" true
+    (Explain.Repair.repair ~max_edits:2 g
+       ~context:(Workloads.Convoy.context ~threat:3) ""
+    = None)
+
+let test_apply_edit () =
+  Alcotest.(check (list string)) "insert" [ "a"; "x"; "b" ]
+    (Explain.Repair.apply_edit [ "a"; "b" ] (Explain.Repair.Insert (1, "x")));
+  Alcotest.(check (list string)) "delete" [ "b" ]
+    (Explain.Repair.apply_edit [ "a"; "b" ] (Explain.Repair.Delete 0));
+  Alcotest.(check (list string)) "replace" [ "a"; "y" ]
+    (Explain.Repair.apply_edit [ "a"; "b" ] (Explain.Repair.Replace (1, "y")))
+
+(* property: applying a found counterfactual indeed makes the policy valid *)
+let prop_counterfactual_sound =
+  QCheck2.Test.make ~name:"counterfactuals actually flip the decision" ~count:20
+    QCheck2.Gen.(pair (oneofl [ "snow"; "fog"; "rain"; "clear" ]) (int_range 1 5))
+    (fun (weather, vloa) ->
+      let g = gpm () in
+      let facts =
+        [
+          Asp.Parser.parse_atom_string (Printf.sprintf "weather(%s)" weather);
+          Asp.Parser.parse_atom_string (Printf.sprintf "vloa(%d)" vloa);
+        ]
+      in
+      let alternatives (a : Asp.Atom.t) =
+        match a.Asp.Atom.pred with
+        | "weather" ->
+          List.filter_map
+            (fun w ->
+              let alt = Asp.Atom.make "weather" [ Asp.Term.const w ] in
+              if Asp.Atom.equal alt a then None else Some alt)
+            [ "snow"; "fog"; "rain"; "clear" ]
+        | "vloa" ->
+          List.filter_map
+            (fun v ->
+              let alt = Asp.Atom.make "vloa" [ Asp.Term.int v ] in
+              if Asp.Atom.equal alt a then None else Some alt)
+            [ 1; 3; 5 ]
+        | _ -> []
+      in
+      match Explain.Counterfactual.find ~alternatives g ~facts "accept" with
+      | None -> true (* nothing claimed *)
+      | Some changes ->
+        let facts' = Explain.Counterfactual.apply_changes facts changes in
+        let context = Asp.Program.with_facts Asp.Program.empty facts' in
+        Asg.Membership.accepts_in_context g ~context "accept")
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_counterfactual_sound ]
+
+let () =
+  Alcotest.run "explain"
+    [
+      ( "why",
+        [
+          Alcotest.test_case "why" `Quick test_why;
+          Alcotest.test_case "why-not blocked" `Quick test_why_not_blocked;
+          Alcotest.test_case "multiple blockers" `Quick test_why_not_multiple_blockers;
+          Alcotest.test_case "not in cfg" `Quick test_why_not_not_in_cfg;
+          Alcotest.test_case "derivation" `Quick test_why_derivation;
+        ] );
+      ( "counterfactual",
+        [
+          Alcotest.test_case "replace" `Quick test_counterfactual_replace;
+          Alcotest.test_case "two changes" `Quick test_counterfactual_two_changes;
+          Alcotest.test_case "already valid" `Quick test_counterfactual_already_valid;
+          Alcotest.test_case "unfixable" `Quick test_counterfactual_none;
+          Alcotest.test_case "sentence" `Quick test_counterfactual_sentence;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "insert" `Quick test_repair_insert;
+          Alcotest.test_case "already valid" `Quick test_repair_already_valid;
+          Alcotest.test_case "two edits" `Slow test_repair_two_edits;
+          Alcotest.test_case "out of reach" `Quick test_repair_out_of_reach;
+          Alcotest.test_case "apply edit" `Quick test_apply_edit;
+        ] );
+      ("properties", qcheck_cases);
+    ]

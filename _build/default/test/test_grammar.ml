@@ -1,0 +1,235 @@
+(* Tests for the CFG substrate: analyses, Earley parsing, generation. *)
+
+open Grammar
+
+let t = Symbol.terminal
+let nt = Symbol.nonterminal
+
+(* S -> a S b | empty  (the classic a^n b^n grammar) *)
+let anbn =
+  Cfg.make ~start:"s" [ ("s", [ t "a"; nt "s"; t "b" ]); ("s", []) ]
+
+(* expr -> expr + expr | n   (ambiguous) *)
+let ambiguous =
+  Cfg.make ~start:"e"
+    [ ("e", [ nt "e"; t "+"; nt "e" ]); ("e", [ t "n" ]) ]
+
+let policy_grammar =
+  Cfg.make ~start:"policy"
+    [
+      ("policy", [ nt "effect"; nt "subject" ]);
+      ("effect", [ t "permit" ]);
+      ("effect", [ t "deny" ]);
+      ("subject", [ t "admin" ]);
+      ("subject", [ t "user" ]);
+    ]
+
+let test_cfg_make () =
+  Alcotest.(check int) "5 productions" 5 (List.length (Cfg.productions policy_grammar));
+  Alcotest.(check (list string)) "nonterminals" [ "effect"; "policy"; "subject" ]
+    (Cfg.nonterminals policy_grammar);
+  Alcotest.(check (list string)) "terminals" [ "admin"; "deny"; "permit"; "user" ]
+    (Cfg.terminals policy_grammar)
+
+let test_cfg_ill_formed () =
+  Alcotest.(check bool) "missing nonterminal rejected" true
+    (try
+       ignore (Cfg.make ~start:"s" [ ("s", [ nt "ghost" ]) ]);
+       false
+     with Cfg.Ill_formed _ -> true)
+
+let test_nullable () =
+  Alcotest.(check (list string)) "s nullable" [ "s" ] (Cfg.nullable anbn);
+  Alcotest.(check (list string)) "none nullable" [] (Cfg.nullable policy_grammar)
+
+let test_reachable_productive () =
+  let g =
+    Cfg.make ~start:"s"
+      [ ("s", [ t "x" ]); ("dead", [ t "y" ]); ("loop", [ nt "loop" ]) ]
+  in
+  Alcotest.(check (list string)) "reachable" [ "s" ] (Cfg.reachable g);
+  Alcotest.(check bool) "loop unproductive" false
+    (List.mem "loop" (Cfg.productive g));
+  Alcotest.(check bool) "well-formed overall" true (Cfg.is_well_formed g)
+
+let test_earley_recognize () =
+  Alcotest.(check bool) "aabb" true (Earley.recognize anbn [ "a"; "a"; "b"; "b" ]);
+  Alcotest.(check bool) "empty" true (Earley.recognize anbn []);
+  Alcotest.(check bool) "aab rejected" false (Earley.recognize anbn [ "a"; "a"; "b" ]);
+  Alcotest.(check bool) "ab" true (Earley.recognize_sentence anbn "a b")
+
+let test_earley_policy () =
+  Alcotest.(check bool) "permit admin" true
+    (Earley.recognize_sentence policy_grammar "permit admin");
+  Alcotest.(check bool) "permit permit rejected" false
+    (Earley.recognize_sentence policy_grammar "permit permit")
+
+let test_parses_unambiguous () =
+  let trees = Earley.parses_sentence policy_grammar "deny user" in
+  Alcotest.(check int) "one tree" 1 (List.length trees);
+  let tree = List.hd trees in
+  Alcotest.(check string) "yield" "deny user" (Parse_tree.to_sentence tree);
+  Alcotest.(check bool) "valid derivation" true
+    (Parse_tree.is_valid policy_grammar tree)
+
+let test_parses_ambiguous () =
+  let trees = Earley.parses ambiguous [ "n"; "+"; "n"; "+"; "n" ] in
+  Alcotest.(check int) "two trees (left/right assoc)" 2 (List.length trees)
+
+let test_parses_left_recursive () =
+  let g = Cfg.make ~start:"l" [ ("l", [ nt "l"; t "x" ]); ("l", [ t "x" ]) ] in
+  let trees = Earley.parses g [ "x"; "x"; "x" ] in
+  Alcotest.(check int) "one tree" 1 (List.length trees);
+  Alcotest.(check bool) "recognized" true (Earley.recognize g [ "x"; "x"; "x" ])
+
+let test_parses_unit_cycle () =
+  (* A -> A | "a": the cycle is cut, one finite tree remains *)
+  let g = Cfg.make ~start:"a" [ ("a", [ nt "a" ]); ("a", [ t "a" ]) ] in
+  let trees = Earley.parses g [ "a" ] in
+  Alcotest.(check bool) "at least one tree" true (List.length trees >= 1)
+
+let test_traces () =
+  let trees = Earley.parses_sentence policy_grammar "permit admin" in
+  let tree = List.hd trees in
+  let traces =
+    List.map
+      (fun (tr, p, _) -> (Parse_tree.trace_to_string tr, p.Production.lhs))
+      (Parse_tree.nodes_with_traces tree)
+  in
+  Alcotest.(check (list (pair string string)))
+    "root [], children [1] [2]"
+    [ ("[]", "policy"); ("[1]", "effect"); ("[2]", "subject") ]
+    traces
+
+let test_tree_depth_size () =
+  let tree = List.hd (Earley.parses_sentence policy_grammar "permit admin") in
+  Alcotest.(check int) "depth" 3 (Parse_tree.depth tree);
+  Alcotest.(check int) "size" 5 (Parse_tree.size tree)
+
+let test_generator () =
+  let ss = Generator.sentences ~max_depth:4 policy_grammar in
+  Alcotest.(check int) "4 sentences" 4 (List.length ss);
+  Alcotest.(check bool) "contains deny admin" true (List.mem "deny admin" ss)
+
+let test_generator_depth_bound () =
+  let ss = Generator.sentences ~max_depth:3 anbn in
+  (* depth 3 allows at most one level of nesting: "", "a b" *)
+  Alcotest.(check bool) "empty string present" true (List.mem "" ss);
+  Alcotest.(check bool) "a b present" true (List.mem "a b" ss);
+  Alcotest.(check bool) "bounded" true (List.length ss <= 3)
+
+let test_generator_limit () =
+  let ss = Generator.sentences ~max_depth:20 ~limit:5 anbn in
+  Alcotest.(check bool) "limit respected" true (List.length ss <= 5)
+
+(* ---- Transform ---- *)
+
+let test_transform_removes_useless () =
+  let g =
+    Cfg.make ~start:"s"
+      [ ("s", [ t "x" ]); ("dead", [ t "y" ]); ("loop", [ nt "loop" ]);
+        ("s", [ nt "loop" ]) ]
+  in
+  let cleaned, mapping = Transform.remove_useless g in
+  Alcotest.(check int) "only s -> x survives" 1
+    (List.length (Cfg.productions cleaned));
+  Alcotest.(check (list (pair int int))) "mapping" [ (0, 0) ] mapping;
+  (* language preserved *)
+  Alcotest.(check bool) "x recognized" true (Earley.recognize cleaned [ "x" ])
+
+let test_transform_report () =
+  let g =
+    Cfg.make ~start:"s"
+      [ ("s", [ t "x" ]); ("dead", [ t "y" ]); ("loop", [ nt "loop" ]) ]
+  in
+  let r = Transform.analyze g in
+  Alcotest.(check int) "three productions" 3 r.Transform.total;
+  Alcotest.(check (list string)) "dead unreachable" [ "dead"; "loop" ]
+    (List.sort compare r.Transform.unreachable);
+  Alcotest.(check (list string)) "loop unproductive" [ "loop" ]
+    r.Transform.unproductive;
+  Alcotest.(check int) "two removed" 2 r.Transform.removed_productions
+
+let test_transform_keeps_clean_grammar () =
+  let cleaned, mapping = Transform.remove_useless policy_grammar in
+  Alcotest.(check int) "nothing removed" 5
+    (List.length (Cfg.productions cleaned));
+  Alcotest.(check bool) "identity mapping" true
+    (List.for_all (fun (a, b) -> a = b) mapping)
+
+(* property: every generated sentence is recognized by Earley *)
+let prop_generated_recognized =
+  QCheck2.Test.make ~name:"generated sentences are recognized" ~count:30
+    QCheck2.Gen.(int_range 2 6)
+    (fun depth ->
+      let ss = Generator.sentences ~max_depth:depth ~limit:50 policy_grammar in
+      List.for_all (fun s -> Earley.recognize_sentence policy_grammar s) ss)
+
+let prop_generated_anbn =
+  QCheck2.Test.make ~name:"anbn generator yields balanced strings" ~count:20
+    QCheck2.Gen.(int_range 2 8)
+    (fun depth ->
+      let ss = Generator.sentences ~max_depth:depth ~limit:100 anbn in
+      List.for_all
+        (fun s ->
+          let toks = if s = "" then [] else String.split_on_char ' ' s in
+          let a = List.length (List.filter (( = ) "a") toks) in
+          let b = List.length (List.filter (( = ) "b") toks) in
+          a = b)
+        ss)
+
+let prop_parse_roundtrip =
+  QCheck2.Test.make ~name:"parse of a generated sentence yields its string"
+    ~count:30
+    QCheck2.Gen.(int_range 2 5)
+    (fun depth ->
+      let ss = Generator.sentences ~max_depth:depth ~limit:20 policy_grammar in
+      List.for_all
+        (fun s ->
+          match Earley.parses_sentence policy_grammar s with
+          | [] -> false
+          | tree :: _ -> String.equal (Parse_tree.to_sentence tree) s)
+        ss)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_generated_recognized; prop_generated_anbn; prop_parse_roundtrip ]
+
+let () =
+  Alcotest.run "grammar"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "make" `Quick test_cfg_make;
+          Alcotest.test_case "ill-formed" `Quick test_cfg_ill_formed;
+          Alcotest.test_case "nullable" `Quick test_nullable;
+          Alcotest.test_case "reachable/productive" `Quick test_reachable_productive;
+        ] );
+      ( "earley",
+        [
+          Alcotest.test_case "recognize anbn" `Quick test_earley_recognize;
+          Alcotest.test_case "recognize policy" `Quick test_earley_policy;
+          Alcotest.test_case "parses unambiguous" `Quick test_parses_unambiguous;
+          Alcotest.test_case "parses ambiguous" `Quick test_parses_ambiguous;
+          Alcotest.test_case "left recursion" `Quick test_parses_left_recursive;
+          Alcotest.test_case "unit cycle" `Quick test_parses_unit_cycle;
+        ] );
+      ( "parse_tree",
+        [
+          Alcotest.test_case "traces" `Quick test_traces;
+          Alcotest.test_case "depth/size" `Quick test_tree_depth_size;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "removes useless" `Quick test_transform_removes_useless;
+          Alcotest.test_case "report" `Quick test_transform_report;
+          Alcotest.test_case "clean grammar untouched" `Quick test_transform_keeps_clean_grammar;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "policy sentences" `Quick test_generator;
+          Alcotest.test_case "depth bound" `Quick test_generator_depth_bound;
+          Alcotest.test_case "limit" `Quick test_generator_limit;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,514 @@
+(* Tests for the inductive learner: hypothesis-space generation, optimal
+   constraint learning, noise tolerance, and the general search engine. *)
+
+open Ilp
+
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let decision_gpm () =
+  Asg.Asg_parser.parse
+    {| start -> decision
+       decision -> "accept" { result(accept). } | "reject" { result(reject). } |}
+
+(* Mode bias: constraints on the start production mentioning the decision
+   (child 1) and weather context atoms. *)
+let weather_modes () =
+  Mode.make ~target_prods:[ 0 ] ~heads:[ Mode.Constraint ]
+    ~bodies:
+      [
+        Mode.matom ~site:(Some 1) "result" [ Mode.Constants [ "accept"; "reject" ] ];
+        Mode.matom "weather" [ Mode.Constants [ "snow"; "sun"; "rain" ] ];
+      ]
+    ~max_body:2 ()
+
+let weather_space () = Ilp.Hypothesis_space.generate (weather_modes ())
+
+let base_examples () =
+  [
+    Ilp.Example.positive_ctx "accept" "weather(sun).";
+    Ilp.Example.positive_ctx "reject" "weather(snow).";
+    Ilp.Example.positive_ctx "reject" "weather(sun).";
+    Ilp.Example.negative_ctx "accept" "weather(snow).";
+  ]
+
+let test_space_generation () =
+  let space = weather_space () in
+  (* bodies: 2 result atoms, 3 weather atoms, and 2x3 pairs = 11 rules *)
+  Alcotest.(check int) "11 candidates" 11 (Ilp.Hypothesis_space.size space);
+  Alcotest.(check bool) "all constraints" true
+    (List.for_all Ilp.Hypothesis_space.is_constraint_candidate space)
+
+let test_space_of_rules () =
+  let space =
+    Ilp.Hypothesis_space.of_rules
+      [ (":- result(accept)@1, weather(snow).", [ 0; 1 ]) ]
+  in
+  Alcotest.(check int) "expanded per production" 2
+    (Ilp.Hypothesis_space.size space);
+  Alcotest.(check int) "cost = literals" 2
+    (List.hd space).Ilp.Hypothesis_space.cost
+
+let test_space_safety_filter () =
+  (* a negated-only variable is unsafe and must be filtered out *)
+  let m =
+    Mode.make ~target_prods:[ 0 ] ~heads:[ Mode.Constraint ]
+      ~bodies:[ Mode.matom ~negated:true "role" [ Mode.Variable "r" ] ]
+      ~max_body:1 ()
+  in
+  Alcotest.(check int) "unsafe rules dropped" 0
+    (Ilp.Hypothesis_space.size (Ilp.Hypothesis_space.generate m))
+
+let test_learn_snow_constraint () =
+  let task =
+    Task.make ~gpm:(decision_gpm ()) ~space:(weather_space ())
+      ~examples:(base_examples ())
+  in
+  match Learner.learn task with
+  | None -> Alcotest.fail "expected a solution"
+  | Some o ->
+    Alcotest.(check int) "one rule" 1 (List.length o.Learner.hypothesis);
+    Alcotest.(check int) "cost 2" 2 o.Learner.cost;
+    Alcotest.(check int) "no penalty" 0 o.Learner.penalty;
+    let rule_text =
+      Asg.Annotation.rule_to_string
+        (List.hd o.Learner.hypothesis).Ilp.Hypothesis_space.rule
+    in
+    Alcotest.(check bool) "mentions accept and snow" true
+      (contains "result(accept)@1" rule_text
+       && contains "weather(snow)" rule_text);
+    Alcotest.(check bool) "verified solution" true
+      (Task.is_solution task o.Learner.hypothesis)
+
+let test_learned_gpm_behaviour () =
+  let task =
+    Task.make ~gpm:(decision_gpm ()) ~space:(weather_space ())
+      ~examples:(base_examples ())
+  in
+  match Ilp.Asg_learning.learn_gpm task with
+  | None -> Alcotest.fail "expected a solution"
+  | Some l ->
+    let snow = Asp.Parser.parse_program "weather(snow)." in
+    let sun = Asp.Parser.parse_program "weather(sun)." in
+    Alcotest.(check bool) "accept blocked in snow" false
+      (Asg.Membership.accepts_in_context l.Ilp.Asg_learning.gpm ~context:snow
+         "accept");
+    Alcotest.(check bool) "accept allowed in sun" true
+      (Asg.Membership.accepts_in_context l.Ilp.Asg_learning.gpm ~context:sun
+         "accept");
+    (* generation: valid policies under snow are exactly {reject} *)
+    Alcotest.(check (list string)) "generation under snow" [ "reject" ]
+      (Asg.Language.sentences_in_context ~max_depth:4 l.Ilp.Asg_learning.gpm
+         ~context:snow)
+
+let test_unsat_task () =
+  (* same sentence+context both positive and negative: no solution *)
+  let examples =
+    [
+      Ilp.Example.positive_ctx "accept" "weather(sun).";
+      Ilp.Example.negative_ctx "accept" "weather(sun).";
+    ]
+  in
+  let task =
+    Task.make ~gpm:(decision_gpm ()) ~space:(weather_space ()) ~examples
+  in
+  Alcotest.(check bool) "no solution" true (Learner.learn task = None)
+
+let test_noise_sacrifice () =
+  (* a mislabeled soft example should be sacrificed, not fitted *)
+  let examples =
+    base_examples ()
+    @ [ Ilp.Example.negative_ctx ~weight:1 "accept" "weather(sun)." ]
+  in
+  let task =
+    Task.make ~gpm:(decision_gpm ()) ~space:(weather_space ()) ~examples
+  in
+  match Learner.learn task with
+  | None -> Alcotest.fail "expected a (noisy) solution"
+  | Some o ->
+    Alcotest.(check int) "penalty 1" 1 o.Learner.penalty;
+    Alcotest.(check int) "one sacrificed" 1 (List.length o.Learner.sacrificed);
+    Alcotest.(check int) "still learns the snow rule" 2 o.Learner.cost
+
+let test_hard_conflict_infeasible_vs_soft () =
+  (* hard contradictory examples -> None; making one soft -> solvable *)
+  let hard =
+    [
+      Ilp.Example.positive_ctx "accept" "weather(snow).";
+      Ilp.Example.negative_ctx "accept" "weather(snow).";
+    ]
+  in
+  let task = Task.make ~gpm:(decision_gpm ()) ~space:(weather_space ()) ~examples:hard in
+  Alcotest.(check bool) "hard conflict unsat" true (Learner.learn task = None);
+  let soft =
+    [
+      Ilp.Example.positive_ctx ~weight:5 "accept" "weather(snow).";
+      Ilp.Example.negative_ctx "accept" "weather(snow).";
+    ]
+  in
+  let task = Task.make ~gpm:(decision_gpm ()) ~space:(weather_space ()) ~examples:soft in
+  match Learner.learn task with
+  | None -> Alcotest.fail "soft conflict should be solvable"
+  | Some o -> Alcotest.(check int) "pays the positive's weight" 5 o.Learner.penalty
+
+let test_learn_general_with_defined_atom () =
+  (* the hypothesis must chain a defined atom into a constraint *)
+  let space =
+    Ilp.Hypothesis_space.of_rules
+      [
+        ("bad :- weather(snow).", [ 0 ]);
+        (":- result(accept)@1, bad.", [ 0 ]);
+        (":- result(reject)@1, bad.", [ 0 ]);
+      ]
+  in
+  let task =
+    Task.make ~gpm:(decision_gpm ()) ~space ~examples:(base_examples ())
+  in
+  match Learner.learn task with
+  | None -> Alcotest.fail "expected general-path solution"
+  | Some o ->
+    Alcotest.(check int) "two rules" 2 (List.length o.Learner.hypothesis);
+    Alcotest.(check bool) "verified" true (Task.is_solution task o.Learner.hypothesis)
+
+let test_multiple_witnesses () =
+  (* an annotation with a choice gives several answer sets per tree; the
+     learner must keep one witness alive per positive example *)
+  let gpm =
+    Asg.Asg_parser.parse
+      {| start -> decision { 1 { mode(fast); mode(slow) } 1. }
+         decision -> "accept" { result(accept). } | "reject" { result(reject). } |}
+  in
+  let space =
+    Ilp.Hypothesis_space.of_rules
+      [
+        (":- mode(fast).", [ 0 ]);
+        (":- result(accept)@1, weather(snow).", [ 0 ]);
+      ]
+  in
+  let examples =
+    [
+      Ilp.Example.positive_ctx "accept" "weather(sun).";
+      Ilp.Example.negative_ctx "accept" "weather(snow).";
+    ]
+  in
+  let task = Task.make ~gpm ~space ~examples in
+  match Learner.learn task with
+  | None -> Alcotest.fail "expected solution"
+  | Some o ->
+    Alcotest.(check bool) "verified" true (Task.is_solution task o.Learner.hypothesis);
+    Alcotest.(check int) "only the snow rule" 1 (List.length o.Learner.hypothesis)
+
+let test_accuracy () =
+  let gpm = decision_gpm () in
+  let h = Asg.Annotation.parse_rule_string ":- result(accept)@1, weather(snow)." in
+  let learned = Asg.Gpm.with_hypothesis gpm [ (0, h) ] in
+  let examples = base_examples () in
+  Alcotest.(check (float 0.001)) "perfect accuracy" 1.0
+    (Ilp.Asg_learning.accuracy learned examples);
+  Alcotest.(check (float 0.001)) "initial gpm gets 3/4" 0.75
+    (Ilp.Asg_learning.accuracy gpm examples)
+
+let test_minimality_prefers_one_general_rule () =
+  (* two negatives in snow: one general rule should beat two specific *)
+  let space =
+    Ilp.Hypothesis_space.of_rules
+      [
+        (":- result(accept)@1, weather(snow).", [ 0 ]);
+        (":- result(accept)@1, weather(snow), time(day).", [ 0 ]);
+        (":- result(accept)@1, weather(snow), time(night).", [ 0 ]);
+      ]
+  in
+  let examples =
+    [
+      Ilp.Example.negative_ctx "accept" "weather(snow). time(day).";
+      Ilp.Example.negative_ctx "accept" "weather(snow). time(night).";
+      Ilp.Example.positive_ctx "accept" "weather(sun). time(day).";
+    ]
+  in
+  let task = Task.make ~gpm:(decision_gpm ()) ~space ~examples in
+  match Learner.learn task with
+  | None -> Alcotest.fail "expected solution"
+  | Some o ->
+    Alcotest.(check int) "single general rule" 1 (List.length o.Learner.hypothesis);
+    Alcotest.(check int) "cost 2" 2 o.Learner.cost
+
+let test_guidance_rank_preserves_solution () =
+  let task =
+    Task.make ~gpm:(decision_gpm ()) ~space:(weather_space ())
+      ~examples:(base_examples ())
+  in
+  let ranked = Ilp.Guidance.rank task in
+  Alcotest.(check int) "same space size"
+    (Ilp.Hypothesis_space.size task.Task.space)
+    (Ilp.Hypothesis_space.size ranked.Task.space);
+  match (Learner.learn task, Learner.learn ranked) with
+  | Some a, Some b -> Alcotest.(check int) "same optimum" a.Learner.cost b.Learner.cost
+  | _ -> Alcotest.fail "both should solve"
+
+let test_guidance_ranks_discriminative_first () =
+  let task =
+    Task.make ~gpm:(decision_gpm ()) ~space:(weather_space ())
+      ~examples:(base_examples ())
+  in
+  let ranked = Ilp.Guidance.rank task in
+  (* snow appears in every negative context and few positive ones, so a
+     snow-mentioning candidate must rank above rain (never observed) *)
+  let index_of pred =
+    let rec go i = function
+      | [] -> max_int
+      | (c : Ilp.Hypothesis_space.candidate) :: rest ->
+        let text = Asg.Annotation.rule_to_string c.rule in
+        let nl = String.length pred and hl = String.length text in
+        let rec mem j =
+          j + nl <= hl && (String.sub text j nl = pred || mem (j + 1))
+        in
+        if mem 0 then i else go (i + 1) rest
+    in
+    go 0 ranked.Task.space
+  in
+  Alcotest.(check bool) "snow before rain" true
+    (index_of "weather(snow)" < index_of "weather(rain)")
+
+let test_guidance_prune_keeps_enough () =
+  let space = Ilp.Hypothesis_space.generate (Workloads.Cav.modes ()) in
+  let examples = Workloads.Cav.examples_of (Workloads.Cav.sample ~seed:42 40) in
+  let task = Task.make ~gpm:(Workloads.Cav.gpm ()) ~space ~examples in
+  let pruned = Ilp.Guidance.prune ~fraction:0.5 task in
+  Alcotest.(check bool) "space halved" true
+    (Ilp.Hypothesis_space.size pruned.Task.space
+    <= (Ilp.Hypothesis_space.size task.Task.space + 1) / 2 + 1);
+  match Learner.learn pruned with
+  | Some o ->
+    Alcotest.(check bool) "pruned task still solvable" true
+      (Task.is_solution pruned o.Learner.hypothesis)
+  | None -> Alcotest.fail "pruned task unsolvable"
+
+(* ---- Preference learning (ordering examples) ---- *)
+
+let pref_gpm () =
+  Asg.Asg_parser.parse
+    {| start -> decision
+       decision -> "fast" { picked(fast). } | "safe" { picked(safe). } |}
+
+let pref_space () =
+  Ilp.Hypothesis_space.generate
+    (Mode.make ~target_prods:[ 0 ]
+       ~heads:[ Mode.WeakHead (Mode.IntOperand 1); Mode.WeakHead (Mode.VarOperand "r") ]
+       ~bodies:
+         [ Mode.matom ~required:true ~site:(Some 1) "picked"
+             [ Mode.Constants [ "fast"; "safe" ] ];
+           Mode.matom "risk" [ Mode.Variable "r" ] ]
+       ~max_body:2 ())
+
+let test_preference_learns_constant_penalty () =
+  (* "safe" preferred everywhere: learner should penalize "fast" *)
+  let orderings =
+    [ Ilp.Preference.prefer_ctx "safe" "fast" "";
+      Ilp.Preference.prefer_ctx "safe" "fast" "risk(3)." ]
+  in
+  match
+    Ilp.Preference.learn ~gpm:(pref_gpm ()) ~space:(pref_space ()) ~orderings ()
+  with
+  | None -> Alcotest.fail "expected a preference hypothesis"
+  | Some o ->
+    Alcotest.(check int) "one weak rule" 1 (List.length o.Ilp.Preference.hypothesis);
+    let text =
+      Asg.Annotation.rule_to_string
+        (List.hd o.Ilp.Preference.hypothesis).Ilp.Hypothesis_space.rule
+    in
+    Alcotest.(check bool) "penalizes fast" true (contains "picked(fast)" text)
+
+let test_preference_learns_variable_weight () =
+  (* fast costs the context's risk level: fast wins at risk 0, loses at 5 *)
+  let orderings =
+    [ Ilp.Preference.prefer_ctx "safe" "fast" "risk(5). calm(0).";
+      Ilp.Preference.prefer_ctx "safe" "fast" "risk(3). calm(0).";
+      (* non-strict the other way at zero risk *)
+      Ilp.Preference.prefer_ctx ~strict:false "fast" "safe" "risk(0). calm(0)." ]
+  in
+  match
+    Ilp.Preference.learn ~gpm:(pref_gpm ()) ~space:(pref_space ()) ~orderings ()
+  with
+  | None -> Alcotest.fail "expected a hypothesis"
+  | Some o ->
+    let texts =
+      List.map
+        (fun (c : Ilp.Hypothesis_space.candidate) ->
+          Asg.Annotation.rule_to_string c.Ilp.Hypothesis_space.rule)
+        o.Ilp.Preference.hypothesis
+    in
+    Alcotest.(check bool) "uses the risk variable weight" true
+      (List.exists (fun t -> contains "[V_r]" t && contains "picked(fast)" t) texts)
+
+let test_preference_unsat () =
+  (* contradictory strict orderings cannot be satisfied *)
+  let orderings =
+    [ Ilp.Preference.prefer_ctx "safe" "fast" "";
+      Ilp.Preference.prefer_ctx "fast" "safe" "" ]
+  in
+  Alcotest.(check bool) "unsat" true
+    (Ilp.Preference.learn ~gpm:(pref_gpm ()) ~space:(pref_space ()) ~orderings ()
+    = None)
+
+let test_preference_invalid_sentence_unsat () =
+  let orderings = [ Ilp.Preference.prefer_ctx "fly" "safe" "" ] in
+  Alcotest.(check bool) "invalid sentence cannot be preferred" true
+    (Ilp.Preference.learn ~gpm:(pref_gpm ()) ~space:(pref_space ()) ~orderings ()
+    = None)
+
+let test_preference_resupply_value_function () =
+  let modes =
+    Mode.make ~target_prods:[ 0 ]
+      ~heads:[ Mode.WeakHead (Mode.VarOperand "t"); Mode.WeakHead (Mode.IntOperand 1) ]
+      ~bodies:
+        [ Mode.matom ~required:true ~site:(Some 1) "chosen" [ Mode.Variable "rt" ];
+          Mode.matom ~required:true ~site:(Some 1) "chosen"
+            [ Mode.Constants Workloads.Resupply.routes ];
+          Mode.matom "threat" [ Mode.Variable "rt"; Mode.Variable "t" ];
+          Mode.matom "weather" [ Mode.Constants Workloads.Resupply.weathers ] ]
+      ~max_body:2 ()
+  in
+  let space = Ilp.Hypothesis_space.generate modes in
+  let missions = Workloads.Resupply.campaign ~seed:5 ~n:12 () in
+  let orderings =
+    List.concat_map
+      (fun m ->
+        let ctx = Workloads.Resupply.to_context m in
+        let valid =
+          List.filter (Workloads.Resupply.route_valid m) Workloads.Resupply.routes
+        in
+        List.concat_map
+          (fun r1 ->
+            List.filter_map
+              (fun r2 ->
+                if
+                  r1 <> r2
+                  && Workloads.Resupply.route_cost m r1
+                     < Workloads.Resupply.route_cost m r2
+                then Some (Ilp.Preference.prefer ~context:ctx r1 r2)
+                else None)
+              valid)
+          valid)
+      missions
+  in
+  match
+    Ilp.Preference.learn ~gpm:(Workloads.Resupply.gpm ()) ~space ~orderings ()
+  with
+  | None -> Alcotest.fail "expected the threat value function"
+  | Some o ->
+    let text =
+      String.concat " "
+        (List.map
+           (fun (c : Ilp.Hypothesis_space.candidate) ->
+             Asg.Annotation.rule_to_string c.Ilp.Hypothesis_space.rule)
+           o.Ilp.Preference.hypothesis)
+    in
+    Alcotest.(check bool) "threat-weighted rule found" true
+      (contains "threat(V_rt, V_t)" text && contains "[V_t]" text)
+
+(* property: on random consistent tasks, the learner's output verifies *)
+let prop_learner_sound =
+  QCheck2.Test.make ~name:"learned hypotheses are inductive solutions" ~count:25
+    QCheck2.Gen.(list_size (int_range 1 6) (pair bool bool))
+    (fun flags ->
+      (* hidden rule: accept invalid iff snowing *)
+      let examples =
+        List.map
+          (fun (snowing, accepting) ->
+            let ctx = if snowing then "weather(snow)." else "weather(sun)." in
+            let s = if accepting then "accept" else "reject" in
+            let valid = (not snowing) || not accepting in
+            if valid then Ilp.Example.positive_ctx s ctx
+            else Ilp.Example.negative_ctx s ctx)
+          flags
+      in
+      let task =
+        Task.make ~gpm:(decision_gpm ()) ~space:(weather_space ()) ~examples
+      in
+      match Learner.learn task with
+      | None -> false (* consistent tasks always have a solution *)
+      | Some o -> Task.is_solution task o.Learner.hypothesis)
+
+let prop_optimality_cost_bound =
+  QCheck2.Test.make ~name:"learner never beats brute-force optimum" ~count:10
+    QCheck2.Gen.(int_range 1 3)
+    (fun _seed ->
+      let task =
+        Task.make ~gpm:(decision_gpm ()) ~space:(weather_space ())
+          ~examples:(base_examples ())
+      in
+      match (Learner.learn task, Learner.learn_general task) with
+      | Some fast, Some general -> fast.Learner.cost = general.Learner.cost
+      | _ -> false)
+
+let prop_generated_spaces_are_safe_and_unique =
+  QCheck2.Test.make ~name:"mode-generated rules are safe and unique" ~count:20
+    QCheck2.Gen.(int_range 1 3)
+    (fun max_body ->
+      let space =
+        Ilp.Hypothesis_space.generate (Workloads.Cav.modes ~max_body ())
+      in
+      let texts =
+        List.map
+          (fun (c : Ilp.Hypothesis_space.candidate) ->
+            Asg.Annotation.rule_to_string c.rule)
+          space
+      in
+      List.length (List.sort_uniq compare texts) = List.length texts
+      && List.for_all
+           (fun (c : Ilp.Hypothesis_space.candidate) ->
+             Ilp.Hypothesis_space.rule_is_safe c.rule)
+           space)
+
+let prop_candidate_costs_positive =
+  QCheck2.Test.make ~name:"candidate costs are positive" ~count:10
+    QCheck2.Gen.(int_range 1 3)
+    (fun max_body ->
+      List.for_all
+        (fun (c : Ilp.Hypothesis_space.candidate) -> c.cost >= 1)
+        (Ilp.Hypothesis_space.generate (Workloads.Cav.modes ~max_body ())))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_learner_sound; prop_optimality_cost_bound;
+      prop_generated_spaces_are_safe_and_unique; prop_candidate_costs_positive ]
+
+let () =
+  Alcotest.run "ilp"
+    [
+      ( "space",
+        [
+          Alcotest.test_case "generation" `Quick test_space_generation;
+          Alcotest.test_case "of_rules" `Quick test_space_of_rules;
+          Alcotest.test_case "safety filter" `Quick test_space_safety_filter;
+        ] );
+      ( "learning",
+        [
+          Alcotest.test_case "snow constraint" `Quick test_learn_snow_constraint;
+          Alcotest.test_case "learned gpm behaviour" `Quick test_learned_gpm_behaviour;
+          Alcotest.test_case "unsat task" `Quick test_unsat_task;
+          Alcotest.test_case "noise sacrifice" `Quick test_noise_sacrifice;
+          Alcotest.test_case "hard vs soft conflict" `Quick test_hard_conflict_infeasible_vs_soft;
+          Alcotest.test_case "general path" `Quick test_learn_general_with_defined_atom;
+          Alcotest.test_case "multiple witnesses" `Quick test_multiple_witnesses;
+          Alcotest.test_case "accuracy" `Quick test_accuracy;
+          Alcotest.test_case "minimality" `Quick test_minimality_prefers_one_general_rule;
+        ] );
+      ( "preference",
+        [
+          Alcotest.test_case "constant penalty" `Quick test_preference_learns_constant_penalty;
+          Alcotest.test_case "variable weight" `Quick test_preference_learns_variable_weight;
+          Alcotest.test_case "unsat" `Quick test_preference_unsat;
+          Alcotest.test_case "invalid sentence" `Quick test_preference_invalid_sentence_unsat;
+          Alcotest.test_case "resupply value function" `Slow test_preference_resupply_value_function;
+        ] );
+      ( "guidance",
+        [
+          Alcotest.test_case "rank preserves optimum" `Quick test_guidance_rank_preserves_solution;
+          Alcotest.test_case "discriminative first" `Quick test_guidance_ranks_discriminative_first;
+          Alcotest.test_case "prune" `Slow test_guidance_prune_keeps_enough;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,152 @@
+(* Tests for the controlled-English intent compiler (Section III-B's
+   natural-language-to-grammar research direction). *)
+
+let ctx = Asp.Parser.parse_program
+
+let cav_intents =
+  "the options are accept or reject. \
+   never accept when weather is snow and task is overtake. \
+   never accept when vehicle_loa is below needed_loa. \
+   penalize reject by 1."
+
+let test_parse_options () =
+  match Intent.parse "the options are accept, reject or defer." with
+  | [ Intent.Options [ "accept"; "reject"; "defer" ] ] -> ()
+  | _ -> Alcotest.fail "expected three options"
+
+let test_parse_forbid () =
+  match Intent.parse "never accept when weather is snow." with
+  | [ Intent.Forbid ("accept", [ _cond ]) ] -> ()
+  | _ -> Alcotest.fail "expected a forbid statement"
+
+let test_parse_penalize_and_prefer () =
+  (match Intent.parse "penalize reject by 2." with
+  | [ Intent.Penalize ("reject", 2, []) ] -> ()
+  | _ -> Alcotest.fail "expected penalize");
+  match Intent.parse "prefer accept over reject." with
+  | [ Intent.Penalize ("reject", 1, []) ] -> ()
+  | _ -> Alcotest.fail "prefer should compile to penalize"
+
+let test_parse_errors () =
+  let bad s =
+    try
+      ignore (Intent.parse s);
+      false
+    with Intent.Intent_error _ -> true
+  in
+  Alcotest.(check bool) "unknown verb" true (bad "frobnicate accept.");
+  Alcotest.(check bool) "bad condition" true
+    (bad "never accept when weather snow.");
+  Alcotest.(check bool) "missing number" true (bad "penalize reject by much.")
+
+let test_compile_membership () =
+  let gpm = Intent.compile cav_intents in
+  Alcotest.(check bool) "accept ok in clear" true
+    (Asg.Membership.accepts_in_context gpm
+       ~context:(ctx "weather(clear). task(turn).") "accept");
+  Alcotest.(check bool) "snow overtake blocked" false
+    (Asg.Membership.accepts_in_context gpm
+       ~context:(ctx "weather(snow). task(overtake).") "accept");
+  Alcotest.(check bool) "snow turn still ok" true
+    (Asg.Membership.accepts_in_context gpm
+       ~context:(ctx "weather(snow). task(turn).") "accept");
+  Alcotest.(check bool) "loa threshold blocked" false
+    (Asg.Membership.accepts_in_context gpm
+       ~context:(ctx "vehicle_loa(2). needed_loa(4).") "accept")
+
+let test_compile_preference () =
+  let gpm = Intent.compile cav_intents in
+  match
+    Asg.Language.best_sentence gpm ~context:(ctx "weather(clear). task(turn).")
+  with
+  | Some ("accept", 0) -> ()
+  | other ->
+    Alcotest.fail
+      (match other with
+      | Some (s, c) -> Printf.sprintf "expected accept[0], got %s[%d]" s c
+      | None -> "expected accept[0], got none")
+
+let test_compile_fallback_choice () =
+  let gpm = Intent.compile cav_intents in
+  match
+    Asg.Language.best_sentence gpm
+      ~context:(ctx "weather(snow). task(overtake).")
+  with
+  | Some ("reject", 1) -> ()
+  | _ -> Alcotest.fail "expected reject as the only (penalized) option"
+
+let test_compile_unknown_option_rejected () =
+  Alcotest.(check bool) "forbidding an undeclared option fails" true
+    (try
+       ignore
+         (Intent.compile "the options are accept. never launch when x is y.");
+       false
+     with Intent.Intent_error _ -> true)
+
+let test_conditions_at_least_most () =
+  let gpm =
+    Intent.compile
+      "the options are share or refuse. never share when trust is at most 2. \
+       never share when value is at least 9."
+  in
+  Alcotest.(check bool) "low trust blocked" false
+    (Asg.Membership.accepts_in_context gpm ~context:(ctx "trust(2). value(1).")
+       "share");
+  Alcotest.(check bool) "high value blocked" false
+    (Asg.Membership.accepts_in_context gpm ~context:(ctx "trust(5). value(9).")
+       "share");
+  Alcotest.(check bool) "mid range shared" true
+    (Asg.Membership.accepts_in_context gpm ~context:(ctx "trust(5). value(3).")
+       "share")
+
+let test_condition_negation () =
+  let gpm =
+    Intent.compile
+      "the options are permit or deny. never permit when clearance is not granted."
+  in
+  Alcotest.(check bool) "no clearance blocked" false
+    (Asg.Membership.accepts_in_context gpm ~context:(ctx "") "permit");
+  Alcotest.(check bool) "clearance ok" true
+    (Asg.Membership.accepts_in_context gpm
+       ~context:(ctx "clearance(granted).") "permit")
+
+let test_multiple_options_rejected () =
+  Alcotest.(check bool) "two options statements rejected" true
+    (try
+       ignore
+         (Intent.compile "the options are a. the options are b.");
+       false
+     with Intent.Intent_error _ -> true);
+  Alcotest.(check bool) "no options statement rejected" true
+    (try
+       ignore (Intent.compile "never a when x is y.");
+       false
+     with Intent.Intent_error _ -> true)
+
+let test_describe () =
+  let gpm = Intent.compile cav_intents in
+  let rules = Intent.describe gpm in
+  Alcotest.(check int) "three compiled rules" 3 (List.length rules)
+
+let () =
+  Alcotest.run "intent"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "options" `Quick test_parse_options;
+          Alcotest.test_case "forbid" `Quick test_parse_forbid;
+          Alcotest.test_case "penalize/prefer" `Quick test_parse_penalize_and_prefer;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "compilation",
+        [
+          Alcotest.test_case "membership" `Quick test_compile_membership;
+          Alcotest.test_case "preference" `Quick test_compile_preference;
+          Alcotest.test_case "fallback" `Quick test_compile_fallback_choice;
+          Alcotest.test_case "unknown option" `Quick test_compile_unknown_option_rejected;
+          Alcotest.test_case "at least/most" `Quick test_conditions_at_least_most;
+          Alcotest.test_case "negation" `Quick test_condition_negation;
+          Alcotest.test_case "describe" `Quick test_describe;
+          Alcotest.test_case "options statement arity" `Quick test_multiple_options_rejected;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Tests for the shallow-ML baselines. *)
+
+let xor_dataset =
+  (* label = "t" iff features differ: needs both features *)
+  Ml.Dataset.make ~feature_names:[| "a"; "b" |]
+    [
+      { Ml.Dataset.features = [| "0"; "0" |]; label = "f" };
+      { Ml.Dataset.features = [| "0"; "1" |]; label = "t" };
+      { Ml.Dataset.features = [| "1"; "0" |]; label = "t" };
+      { Ml.Dataset.features = [| "1"; "1" |]; label = "f" };
+    ]
+
+let weather_dataset =
+  Ml.Dataset.make ~feature_names:[| "weather"; "task" |]
+    [
+      { Ml.Dataset.features = [| "snow"; "overtake" |]; label = "reject" };
+      { Ml.Dataset.features = [| "snow"; "turn" |]; label = "accept" };
+      { Ml.Dataset.features = [| "clear"; "overtake" |]; label = "accept" };
+      { Ml.Dataset.features = [| "clear"; "turn" |]; label = "accept" };
+      { Ml.Dataset.features = [| "snow"; "overtake" |]; label = "reject" };
+      { Ml.Dataset.features = [| "clear"; "overtake" |]; label = "accept" };
+    ]
+
+let test_dataset_basics () =
+  Alcotest.(check int) "size" 4 (Ml.Dataset.size xor_dataset);
+  Alcotest.(check (list string)) "labels" [ "f"; "t" ] (Ml.Dataset.labels xor_dataset);
+  Alcotest.(check (list string)) "feature values" [ "0"; "1" ]
+    (Ml.Dataset.feature_values xor_dataset 0)
+
+let test_dataset_split () =
+  let train, test = Ml.Dataset.split_at 3 xor_dataset in
+  Alcotest.(check int) "train 3" 3 (Ml.Dataset.size train);
+  Alcotest.(check int) "test 1" 1 (Ml.Dataset.size test)
+
+let test_dataset_shuffle_deterministic () =
+  let s1 = Ml.Dataset.shuffle ~seed:5 xor_dataset in
+  let s2 = Ml.Dataset.shuffle ~seed:5 xor_dataset in
+  Alcotest.(check bool) "same seed same order" true
+    (s1.Ml.Dataset.instances = s2.Ml.Dataset.instances);
+  Alcotest.(check int) "same size" 4 (Ml.Dataset.size s1)
+
+let test_majority () =
+  Alcotest.(check (option string)) "majority accept" (Some "accept")
+    (Ml.Dataset.majority_label weather_dataset)
+
+let test_id3_fits_xor () =
+  let model = Ml.Decision_tree.train xor_dataset in
+  Alcotest.(check (float 0.001)) "xor learned exactly" 1.0
+    (Ml.Eval.accuracy (Ml.Decision_tree.classify model) xor_dataset)
+
+let test_id3_unseen_value_default () =
+  let model = Ml.Decision_tree.train weather_dataset in
+  (* unseen weather value falls back to the node default, not a crash *)
+  let label = Ml.Decision_tree.classify model [| "fog"; "turn" |] in
+  Alcotest.(check bool) "some label" true (label = "accept" || label = "reject")
+
+let test_id3_depth_limit () =
+  let model = Ml.Decision_tree.train ~max_depth:1 xor_dataset in
+  Alcotest.(check bool) "stump depth" true (Ml.Decision_tree.depth model.Ml.Decision_tree.tree <= 2)
+
+let test_naive_bayes () =
+  let model = Ml.Naive_bayes.train weather_dataset in
+  Alcotest.(check string) "snow overtake rejected" "reject"
+    (Ml.Naive_bayes.classify model [| "snow"; "overtake" |]);
+  Alcotest.(check string) "clear turn accepted" "accept"
+    (Ml.Naive_bayes.classify model [| "clear"; "turn" |])
+
+let test_knn () =
+  let model = Ml.Knn.train ~k:1 weather_dataset in
+  Alcotest.(check string) "1-nn exact recall" "reject"
+    (Ml.Knn.classify model [| "snow"; "overtake" |]);
+  let model3 = Ml.Knn.train ~k:3 weather_dataset in
+  Alcotest.(check string) "3-nn majority" "accept"
+    (Ml.Knn.classify model3 [| "clear"; "turn" |])
+
+let test_learning_curve_shape () =
+  let big = Workloads.Cav.to_dataset (Workloads.Cav.sample ~seed:11 200) in
+  let test = Workloads.Cav.to_dataset (Workloads.Cav.sample ~seed:12 100) in
+  let curve =
+    Ml.Eval.learning_curve Ml.Eval.decision_tree ~train:big ~test
+      ~sizes:[ 10; 50; 200 ]
+  in
+  Alcotest.(check int) "three points" 3 (List.length curve);
+  let acc_at n = List.assoc n curve in
+  Alcotest.(check bool) "more data helps (or ties)" true
+    (acc_at 200 >= acc_at 10 -. 0.05)
+
+let test_majority_classifier () =
+  let predict = Ml.Eval.majority_class.Ml.Eval.train weather_dataset in
+  Alcotest.(check string) "always majority" "accept" (predict [| "x"; "y" |])
+
+let test_nb_unseen_value () =
+  let model = Ml.Naive_bayes.train weather_dataset in
+  let label = Ml.Naive_bayes.classify model [| "hail"; "turn" |] in
+  Alcotest.(check bool) "graceful on unseen value" true
+    (label = "accept" || label = "reject")
+
+let test_empty_test_set_accuracy () =
+  let empty = Ml.Dataset.make ~feature_names:[| "a"; "b" |] [] in
+  Alcotest.(check (float 0.001)) "vacuous accuracy" 1.0
+    (Ml.Eval.accuracy (fun _ -> "x") empty)
+
+(* property: accuracy is always within [0,1] and training-set accuracy of
+   an unlimited tree on deduplicated-consistent data is 1.0 *)
+let prop_accuracy_bounds =
+  QCheck2.Test.make ~name:"accuracy in [0,1]" ~count:30
+    QCheck2.Gen.(int_range 1 60)
+    (fun n ->
+      let d = Workloads.Cav.to_dataset (Workloads.Cav.sample ~seed:n 40) in
+      let t = Workloads.Cav.to_dataset (Workloads.Cav.sample ~seed:(n + 1) 40) in
+      let model = Ml.Decision_tree.train d in
+      let a = Ml.Eval.accuracy (Ml.Decision_tree.classify model) t in
+      a >= 0.0 && a <= 1.0)
+
+let prop_tree_consistent_training =
+  QCheck2.Test.make ~name:"tree fits consistent training data" ~count:20
+    QCheck2.Gen.(int_range 1 40)
+    (fun seed ->
+      (* CAV ground truth is a function of the features, so data is
+         consistent and an unbounded tree must fit it perfectly *)
+      let d = Workloads.Cav.to_dataset (Workloads.Cav.sample ~seed 50) in
+      let model = Ml.Decision_tree.train ~max_depth:32 d in
+      Ml.Eval.accuracy (Ml.Decision_tree.classify model) d = 1.0)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_accuracy_bounds; prop_tree_consistent_training ]
+
+let () =
+  Alcotest.run "ml"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "basics" `Quick test_dataset_basics;
+          Alcotest.test_case "split" `Quick test_dataset_split;
+          Alcotest.test_case "shuffle deterministic" `Quick test_dataset_shuffle_deterministic;
+          Alcotest.test_case "majority" `Quick test_majority;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "id3 xor" `Quick test_id3_fits_xor;
+          Alcotest.test_case "id3 unseen value" `Quick test_id3_unseen_value_default;
+          Alcotest.test_case "id3 depth limit" `Quick test_id3_depth_limit;
+          Alcotest.test_case "naive bayes" `Quick test_naive_bayes;
+          Alcotest.test_case "knn" `Quick test_knn;
+          Alcotest.test_case "majority classifier" `Quick test_majority_classifier;
+          Alcotest.test_case "nb unseen value" `Quick test_nb_unseen_value;
+          Alcotest.test_case "empty test set" `Quick test_empty_test_set_accuracy;
+        ] );
+      ( "eval",
+        [ Alcotest.test_case "learning curve" `Quick test_learning_curve_shape ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,569 @@
+(* Tests for the policy substrate: expressions, rule/policy evaluation,
+   combining algorithms, quality metrics, conflicts, and the XACML-ASG
+   bridge. *)
+
+open Policy
+
+let role = Attribute.subject "role"
+let res = Attribute.resource "type"
+let act = Attribute.action "id"
+let level = Attribute.subject "level"
+
+let req ?(r = "admin") ?(t = "database") ?(a = "read") () =
+  Request.of_list
+    [
+      (role, Attribute.Str r); (res, Attribute.Str t); (act, Attribute.Str a);
+    ]
+
+(* ---- Expr ---- *)
+
+let test_expr_equals () =
+  let e = Expr.Equals (role, Attribute.Str "admin") in
+  Alcotest.(check bool) "matches" true (Expr.matches (req ()) e);
+  Alcotest.(check bool) "no match" false (Expr.matches (req ~r:"intern" ()) e)
+
+let test_expr_missing () =
+  let e = Expr.Equals (level, Attribute.Int 3) in
+  Alcotest.(check bool) "missing attr" true (Expr.eval (req ()) e = `Missing)
+
+let test_expr_compare () =
+  let r = Request.bind level (Attribute.Int 3) (req ()) in
+  Alcotest.(check bool) "3 >= 2" true (Expr.matches r (Expr.Compare (Expr.Ge, level, 2)));
+  Alcotest.(check bool) "3 < 2 fails" false
+    (Expr.matches r (Expr.Compare (Expr.Lt, level, 2)))
+
+let test_expr_boolean () =
+  let e =
+    Expr.And
+      [
+        Expr.Equals (role, Attribute.Str "admin");
+        Expr.Not (Expr.Equals (act, Attribute.Str "delete"));
+      ]
+  in
+  Alcotest.(check bool) "admin read ok" true (Expr.matches (req ()) e);
+  Alcotest.(check bool) "admin delete no" false
+    (Expr.matches (req ~a:"delete" ()) e);
+  let o =
+    Expr.Or
+      [ Expr.Equals (role, Attribute.Str "x"); Expr.Equals (act, Attribute.Str "read") ]
+  in
+  Alcotest.(check bool) "or" true (Expr.matches (req ()) o)
+
+let test_expr_one_of () =
+  let e = Expr.One_of (role, [ Attribute.Str "admin"; Attribute.Str "manager" ]) in
+  Alcotest.(check bool) "in set" true (Expr.matches (req ()) e);
+  Alcotest.(check bool) "not in set" false (Expr.matches (req ~r:"intern" ()) e)
+
+(* ---- Rule / policy evaluation ---- *)
+
+let deny_delete =
+  Rule_policy.rule ~effect:Rule_policy.Deny "deny-delete"
+    ~condition:(Expr.Equals (act, Attribute.Str "delete"))
+
+let permit_all = Rule_policy.rule ~effect:Rule_policy.Permit "permit-all"
+
+let test_rule_eval () =
+  Alcotest.(check string) "deny fires" "Deny"
+    (Decision.to_string (Rule_policy.eval_rule (req ~a:"delete" ()) deny_delete));
+  Alcotest.(check string) "not applicable" "NotApplicable"
+    (Decision.to_string (Rule_policy.eval_rule (req ()) deny_delete))
+
+let test_first_applicable () =
+  let p = Rule_policy.make "p" [ deny_delete; permit_all ] in
+  Alcotest.(check string) "delete denied" "Deny"
+    (Decision.to_string (Rule_policy.evaluate p (req ~a:"delete" ())));
+  Alcotest.(check string) "read permitted" "Permit"
+    (Decision.to_string (Rule_policy.evaluate p (req ())))
+
+let test_deny_overrides () =
+  let p =
+    Rule_policy.make ~alg:Rule_policy.Deny_overrides "p"
+      [ permit_all; deny_delete ]
+  in
+  Alcotest.(check string) "deny wins" "Deny"
+    (Decision.to_string (Rule_policy.evaluate p (req ~a:"delete" ())))
+
+let test_permit_overrides () =
+  let p =
+    Rule_policy.make ~alg:Rule_policy.Permit_overrides "p"
+      [ deny_delete; permit_all ]
+  in
+  Alcotest.(check string) "permit wins" "Permit"
+    (Decision.to_string (Rule_policy.evaluate p (req ~a:"delete" ())))
+
+let test_deny_unless_permit () =
+  let p =
+    Rule_policy.make ~alg:Rule_policy.Deny_unless_permit "p" [ deny_delete ]
+  in
+  Alcotest.(check string) "no permit -> deny" "Deny"
+    (Decision.to_string (Rule_policy.evaluate p (req ())))
+
+let test_policy_target () =
+  let p =
+    Rule_policy.make ~target:(Expr.Equals (res, Attribute.Str "config")) "p"
+      [ permit_all ]
+  in
+  Alcotest.(check string) "target gates" "NotApplicable"
+    (Decision.to_string (Rule_policy.evaluate p (req ())))
+
+(* ---- Quality ---- *)
+
+let small_space =
+  List.concat_map
+    (fun r ->
+      List.map (fun a -> req ~r ~a ()) [ "read"; "write"; "delete" ])
+    [ "admin"; "intern" ]
+
+let permit_non_delete =
+  Rule_policy.rule ~effect:Rule_policy.Permit "permit-non-delete"
+    ~condition:(Expr.Not (Expr.Equals (act, Attribute.Str "delete")))
+
+let test_quality_perfect () =
+  (* non-overlapping rules: no conflicts, nothing redundant, full cover *)
+  let p = Rule_policy.make "p" [ deny_delete; permit_non_delete ] in
+  let q = Quality.assess p small_space in
+  Alcotest.(check bool) "high quality" true (Quality.is_high_quality q)
+
+let test_quality_incomplete () =
+  let p = Rule_policy.make "p" [ deny_delete ] in
+  let q = Quality.assess p small_space in
+  Alcotest.(check bool) "incomplete" true (q.Quality.completeness < 1.0);
+  Alcotest.(check int) "uncovered count" 4 (List.length q.Quality.uncovered)
+
+let test_quality_redundant () =
+  let clone = Rule_policy.rule ~effect:Rule_policy.Deny "deny-delete-2"
+      ~condition:(Expr.Equals (act, Attribute.Str "delete")) in
+  let p = Rule_policy.make "p" [ deny_delete; clone; permit_all ] in
+  let q = Quality.assess p small_space in
+  Alcotest.(check bool) "redundancy found" true (q.Quality.minimality < 1.0)
+
+let test_quality_irrelevant () =
+  let ghost =
+    Rule_policy.rule ~effect:Rule_policy.Deny "ghost"
+      ~condition:(Expr.Equals (role, Attribute.Str "nobody"))
+  in
+  let p = Rule_policy.make "p" [ ghost; permit_all ] in
+  let q = Quality.assess p small_space in
+  Alcotest.(check int) "one irrelevant" 1 (List.length q.Quality.irrelevant_rules)
+
+let test_quality_conflict () =
+  let permit_delete =
+    Rule_policy.rule ~effect:Rule_policy.Permit "permit-delete"
+      ~condition:(Expr.Equals (act, Attribute.Str "delete"))
+  in
+  let p = Rule_policy.make ~alg:Rule_policy.Deny_overrides "p"
+      [ deny_delete; permit_delete; permit_all ] in
+  let q = Quality.assess p small_space in
+  Alcotest.(check bool) "conflicts detected" true (q.Quality.consistency < 1.0);
+  Alcotest.(check bool) "witnesses exist" true (q.Quality.conflicts <> [])
+
+(* ---- Conflict ---- *)
+
+let test_static_conflicts () =
+  let permit_delete =
+    Rule_policy.rule ~effect:Rule_policy.Permit "permit-delete"
+      ~condition:(Expr.Equals (act, Attribute.Str "delete"))
+  in
+  let found = Conflict.static_conflicts [ deny_delete; permit_delete ] small_space in
+  Alcotest.(check int) "one conflicting pair" 1 (List.length found)
+
+let test_context_dependent_conflict () =
+  (* the paper's example: conflicts depend on whether a subject matches
+     both policies' conditions in the given context *)
+  let deny_intern =
+    Rule_policy.rule ~effect:Rule_policy.Deny "deny-intern"
+      ~condition:(Expr.Equals (role, Attribute.Str "intern"))
+  in
+  let permit_read =
+    Rule_policy.rule ~effect:Rule_policy.Permit "permit-read"
+      ~condition:(Expr.Equals (act, Attribute.Str "read"))
+  in
+  Alcotest.(check bool) "conflict for intern read" true
+    (Conflict.conflicts_on deny_intern permit_read (req ~r:"intern" ()));
+  Alcotest.(check bool) "no conflict for admin read" false
+    (Conflict.conflicts_on deny_intern permit_read (req ()))
+
+let test_resolution_strategies () =
+  let permit_delete =
+    Rule_policy.rule ~effect:Rule_policy.Permit "permit-delete"
+      ~condition:(Expr.Equals (act, Attribute.Str "delete"))
+  in
+  let rules = [ deny_delete; permit_delete ] in
+  let r = req ~a:"delete" () in
+  Alcotest.(check string) "prefer deny" "Deny"
+    (Decision.to_string (Conflict.evaluate_with Conflict.Prefer_deny rules r));
+  Alcotest.(check string) "prefer permit" "Permit"
+    (Decision.to_string (Conflict.evaluate_with Conflict.Prefer_permit rules r));
+  let rank = function "permit-delete" -> 10 | _ -> 1 in
+  Alcotest.(check string) "priority" "Permit"
+    (Decision.to_string
+       (Conflict.evaluate_with (Conflict.Priority rank) rules r))
+
+let test_most_specific () =
+  let specific =
+    Rule_policy.rule ~effect:Rule_policy.Permit "specific"
+      ~condition:
+        (Expr.And
+           [
+             Expr.Equals (act, Attribute.Str "delete");
+             Expr.Equals (role, Attribute.Str "admin");
+           ])
+  in
+  let r = req ~a:"delete" () in
+  Alcotest.(check string) "specific wins" "Permit"
+    (Decision.to_string
+       (Conflict.evaluate_with Conflict.Most_specific [ deny_delete; specific ] r))
+
+(* ---- Policy sets ---- *)
+
+let test_policy_set_nested () =
+  let member_a =
+    Rule_policy.make "member-a" [ deny_delete ]
+  in
+  let member_b = Rule_policy.make "member-b" [ permit_non_delete ] in
+  let tree =
+    Policy_set.set ~alg:Rule_policy.Deny_overrides "coalition"
+      [ Policy_set.policy member_a; Policy_set.policy member_b ]
+  in
+  Alcotest.(check string) "deny wins across members" "Deny"
+    (Decision.to_string (Policy_set.evaluate tree (req ~a:"delete" ())));
+  Alcotest.(check string) "permit elsewhere" "Permit"
+    (Decision.to_string (Policy_set.evaluate tree (req ())));
+  Alcotest.(check int) "two leaf policies" 2
+    (List.length (Policy_set.policies tree));
+  Alcotest.(check int) "depth 2" 2 (Policy_set.depth tree)
+
+let test_policy_set_target_gates () =
+  let inner = Rule_policy.make "p" [ permit_all ] in
+  let tree =
+    Policy_set.set ~alg:Rule_policy.First_applicable
+      ~target:(Expr.Equals (res, Attribute.Str "config"))
+      "config-only"
+      [ Policy_set.policy inner ]
+  in
+  Alcotest.(check string) "outside target" "NotApplicable"
+    (Decision.to_string (Policy_set.evaluate tree (req ())));
+  Alcotest.(check string) "inside target" "Permit"
+    (Decision.to_string (Policy_set.evaluate tree (req ~t:"config" ())))
+
+let test_policy_set_deciding_policy () =
+  let member_a = Rule_policy.make "member-a" [ deny_delete ] in
+  let member_b = Rule_policy.make "member-b" [ permit_non_delete ] in
+  let tree =
+    Policy_set.set ~alg:Rule_policy.First_applicable "coalition"
+      [ Policy_set.policy member_a; Policy_set.policy member_b ]
+  in
+  (match Policy_set.deciding_policy tree (req ~a:"delete" ()) with
+  | Some p -> Alcotest.(check string) "member-a decided" "member-a" p.Rule_policy.pid
+  | None -> Alcotest.fail "expected a deciding policy");
+  match Policy_set.deciding_policy tree (req ()) with
+  | Some p -> Alcotest.(check string) "member-b decided" "member-b" p.Rule_policy.pid
+  | None -> Alcotest.fail "expected a deciding policy"
+
+let test_policy_set_three_levels () =
+  let leaf = Rule_policy.make "leaf" [ permit_all ] in
+  let tree =
+    Policy_set.set ~alg:Rule_policy.Deny_overrides "root"
+      [ Policy_set.set ~alg:Rule_policy.First_applicable "mid"
+          [ Policy_set.policy leaf ] ]
+  in
+  Alcotest.(check int) "depth 3" 3 (Policy_set.depth tree);
+  Alcotest.(check string) "decision flows up" "Permit"
+    (Decision.to_string (Policy_set.evaluate tree (req ())))
+
+(* ---- XACML-ASG bridge ---- *)
+
+let test_xacml_decide () =
+  let gpm = Xacml.decision_gpm () in
+  let h =
+    Asg.Annotation.parse_rule_string
+      ":- result(permit)@1, attr(action, id, delete)."
+  in
+  let learned = Asg.Gpm.with_hypothesis gpm [ (0, h) ] in
+  Alcotest.(check string) "delete denied" "Deny"
+    (Decision.to_string (Xacml.decide learned (req ~a:"delete" ())));
+  Alcotest.(check string) "read permitted (default)" "Permit"
+    (Decision.to_string (Xacml.decide learned (req ())))
+
+let test_request_to_context () =
+  let ctx = Request.to_context (req ()) in
+  Alcotest.(check int) "three facts" 3 (Asp.Program.size ctx);
+  let text = Asp.Program.to_string ctx in
+  Alcotest.(check bool) "role fact present" true
+    (let needle = "attr(subject, role, admin)" in
+     let rec go i =
+       i + String.length needle <= String.length text
+       && (String.sub text i (String.length needle) = needle || go (i + 1))
+     in
+     go 0)
+
+let test_rule_of_constraint () =
+  let c =
+    Asg.Annotation.parse_rule_string
+      ":- result(permit)@1, attr(subject, role, intern), attr(action, id, write)."
+  in
+  match Xacml.rule_of_constraint ~rid:"r1" c with
+  | None -> Alcotest.fail "expected a rendered rule"
+  | Some rule ->
+    Alcotest.(check bool) "deny effect" true (rule.Rule_policy.effect = Rule_policy.Deny);
+    Alcotest.(check string) "renders conditions"
+      "rule r1: Deny if (subject.role = intern and action.id = write)"
+      (Fmt.str "%a" Rule_policy.pp_rule rule)
+
+let test_rule_of_constraint_rejects_vars () =
+  let c =
+    Asg.Annotation.parse_rule_string
+      ":- result(permit)@1, role_level(S), S < 2."
+  in
+  Alcotest.(check bool) "variable rule not renderable" true
+    (Xacml.rule_of_constraint ~rid:"r" c = None)
+
+let test_examples_of_log () =
+  let log =
+    [ (req (), Decision.Permit); (req ~a:"delete" (), Decision.Deny) ]
+  in
+  let examples = Xacml.examples_of_log log in
+  Alcotest.(check int) "two per entry" 4 (List.length examples);
+  let na_log = [ (req (), Decision.Not_applicable) ] in
+  Alcotest.(check int) "irrelevant dropped" 0
+    (List.length (Xacml.examples_of_log na_log));
+  Alcotest.(check int) "irrelevant kept when asked" 1
+    (List.length (Xacml.examples_of_log ~keep_irrelevant:true na_log))
+
+(* ---- XACML XML serialization ---- *)
+
+let sample_policy () =
+  Rule_policy.make ~alg:Rule_policy.Deny_overrides "coalition-policy"
+    ~target:(Expr.Equals (res, Attribute.Str "database"))
+    [
+      Rule_policy.rule ~effect:Rule_policy.Deny "deny-delete"
+        ~condition:
+          (Expr.And
+             [ Expr.Equals (act, Attribute.Str "delete");
+               Expr.Not (Expr.Equals (role, Attribute.Str "admin")) ]);
+      Rule_policy.rule ~effect:Rule_policy.Permit "permit-some"
+        ~target:(Expr.One_of (role, [ Attribute.Str "admin"; Attribute.Str "manager" ]))
+        ~condition:(Expr.Compare (Expr.Ge, level, 2));
+      Rule_policy.rule ~effect:Rule_policy.Permit "default";
+    ]
+
+let test_xml_roundtrip () =
+  let p = sample_policy () in
+  let xml = Xacml_xml.to_string p in
+  let p' = Xacml_xml.of_string xml in
+  Alcotest.(check string) "same id" p.Rule_policy.pid p'.Rule_policy.pid;
+  Alcotest.(check int) "same rule count"
+    (List.length p.Rule_policy.rules)
+    (List.length p'.Rule_policy.rules);
+  (* behavioural equality over a request sample *)
+  let space =
+    req () :: req ~r:"intern" ~a:"delete" ()
+    :: req ~r:"manager" ~t:"database" ()
+    :: Request.bind level (Attribute.Int 3) (req ~r:"manager" ())
+    :: small_space
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        (Request.to_string r)
+        (Decision.to_string (Rule_policy.evaluate p r))
+        (Decision.to_string (Rule_policy.evaluate p' r)))
+    space
+
+let test_xml_escaping () =
+  let p =
+    Rule_policy.make "q<&>\"uote"
+      [ Rule_policy.rule ~effect:Rule_policy.Permit "r"
+          ~condition:(Expr.Equals (role, Attribute.Str "a\"b&c")) ]
+  in
+  let p' = Xacml_xml.of_string (Xacml_xml.to_string p) in
+  Alcotest.(check string) "id escaped and restored" p.Rule_policy.pid
+    p'.Rule_policy.pid;
+  match (List.hd p'.Rule_policy.rules).Rule_policy.condition with
+  | Expr.Equals (_, Attribute.Str v) ->
+    Alcotest.(check string) "value restored" "a\"b&c" v
+  | _ -> Alcotest.fail "expected equals condition"
+
+let test_xml_rejects_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (try
+       ignore (Xacml_xml.of_string "<NotAPolicy/>");
+       false
+     with Xacml_xml.Xml_error _ -> true)
+
+let test_xml_learned_policy_roundtrip () =
+  (* the Fig-3a pipeline output survives serialization *)
+  let c =
+    Asg.Annotation.parse_rule_string
+      ":- result(permit)@1, attr(subject, role, intern), attr(action, id, write)."
+  in
+  match Xacml.rule_of_constraint ~rid:"r1" c with
+  | None -> Alcotest.fail "render failed"
+  | Some rule ->
+    let p = Rule_policy.make "learned" [ rule ] in
+    let p' = Xacml_xml.of_string (Xacml_xml.to_string p) in
+    Alcotest.(check string) "conditions preserved"
+      (Fmt.str "%a" Rule_policy.pp p)
+      (Fmt.str "%a" Rule_policy.pp p')
+
+(* random policies for the XML roundtrip property *)
+let gen_expr =
+  QCheck2.Gen.(
+    sized_size (int_bound 2) @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [ return Expr.True;
+              map
+                (fun r -> Expr.Equals (role, Attribute.Str r))
+                (oneofl [ "admin"; "intern"; "man&ager" ]);
+              map (fun k -> Expr.Compare (Expr.Ge, level, k)) (int_bound 5);
+              map
+                (fun vs -> Expr.One_of (act, List.map (fun v -> Attribute.Str v) vs))
+                (list_size (int_range 1 3) (oneofl [ "read"; "write" ])) ]
+        in
+        if n <= 0 then leaf
+        else
+          oneof
+            [ leaf;
+              map (fun e -> Expr.Not e) (self (n - 1));
+              map (fun es -> Expr.And es) (list_size (int_range 1 3) (self (n - 1)));
+              map (fun es -> Expr.Or es) (list_size (int_range 1 3) (self (n - 1))) ]))
+
+let gen_policy =
+  QCheck2.Gen.(
+    let gen_rule i =
+      map2
+        (fun target condition ->
+          Rule_policy.rule ~target ~condition
+            ~effect:(if i mod 2 = 0 then Rule_policy.Deny else Rule_policy.Permit)
+            (Printf.sprintf "r%d" i))
+        gen_expr gen_expr
+    in
+    let* n = int_range 1 4 in
+    let* rules = flatten_l (List.init n gen_rule) in
+    let* alg =
+      oneofl
+        Rule_policy.
+          [ First_applicable; Deny_overrides; Permit_overrides;
+            Deny_unless_permit; Permit_unless_deny ]
+    in
+    let+ target = gen_expr in
+    Rule_policy.make ~target ~alg "random-policy" rules)
+
+let prop_xml_roundtrip_behaviour =
+  QCheck2.Test.make ~name:"XML roundtrip preserves decisions" ~count:100
+    gen_policy (fun p ->
+      let p' = Xacml_xml.of_string (Xacml_xml.to_string p) in
+      let probe =
+        Request.bind level (Attribute.Int 3) (req ())
+        :: req ~r:"intern" ~a:"write" ()
+        :: req ~r:"man&ager" ~a:"read" ()
+        :: small_space
+      in
+      List.for_all
+        (fun r ->
+          Decision.equal (Rule_policy.evaluate p r) (Rule_policy.evaluate p' r))
+        probe)
+
+(* property: combining algorithms agree on conflict-free inputs *)
+let prop_combining_agree_no_conflict =
+  QCheck2.Test.make ~name:"deny/permit-overrides agree without conflicts"
+    ~count:100
+    QCheck2.Gen.(list_size (int_range 0 6) (oneofl [ "permit"; "deny"; "na" ]))
+    (fun raw ->
+      let ds =
+        List.map
+          (function
+            | "permit" -> Decision.Permit
+            | "deny" -> Decision.Deny
+            | _ -> Decision.Not_applicable)
+          raw
+      in
+      let has d = List.mem d ds in
+      if has Decision.Permit && has Decision.Deny then true
+      else
+        Decision.equal
+          (Rule_policy.combine Rule_policy.Deny_overrides ds)
+          (Rule_policy.combine Rule_policy.Permit_overrides ds))
+
+let prop_first_applicable_prefix =
+  QCheck2.Test.make ~name:"first-applicable ignores later rules" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 4) (oneofl [ "permit"; "deny"; "na" ]))
+        (list_size (int_range 0 4) (oneofl [ "permit"; "deny"; "na" ])))
+    (fun (prefix, suffix) ->
+      let to_d = function
+        | "permit" -> Decision.Permit
+        | "deny" -> Decision.Deny
+        | _ -> Decision.Not_applicable
+      in
+      let ds = List.map to_d prefix in
+      let fa = Rule_policy.combine Rule_policy.First_applicable in
+      if fa ds = Decision.Not_applicable then true
+      else Decision.equal (fa ds) (fa (ds @ List.map to_d suffix)))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_combining_agree_no_conflict; prop_first_applicable_prefix;
+      prop_xml_roundtrip_behaviour ]
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "equals" `Quick test_expr_equals;
+          Alcotest.test_case "missing" `Quick test_expr_missing;
+          Alcotest.test_case "compare" `Quick test_expr_compare;
+          Alcotest.test_case "boolean" `Quick test_expr_boolean;
+          Alcotest.test_case "one_of" `Quick test_expr_one_of;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "rule" `Quick test_rule_eval;
+          Alcotest.test_case "first-applicable" `Quick test_first_applicable;
+          Alcotest.test_case "deny-overrides" `Quick test_deny_overrides;
+          Alcotest.test_case "permit-overrides" `Quick test_permit_overrides;
+          Alcotest.test_case "deny-unless-permit" `Quick test_deny_unless_permit;
+          Alcotest.test_case "policy target" `Quick test_policy_target;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "perfect" `Quick test_quality_perfect;
+          Alcotest.test_case "incomplete" `Quick test_quality_incomplete;
+          Alcotest.test_case "redundant" `Quick test_quality_redundant;
+          Alcotest.test_case "irrelevant" `Quick test_quality_irrelevant;
+          Alcotest.test_case "conflict" `Quick test_quality_conflict;
+        ] );
+      ( "conflict",
+        [
+          Alcotest.test_case "static" `Quick test_static_conflicts;
+          Alcotest.test_case "context-dependent" `Quick test_context_dependent_conflict;
+          Alcotest.test_case "strategies" `Quick test_resolution_strategies;
+          Alcotest.test_case "most specific" `Quick test_most_specific;
+        ] );
+      ( "policy-set",
+        [
+          Alcotest.test_case "nested" `Quick test_policy_set_nested;
+          Alcotest.test_case "target gates" `Quick test_policy_set_target_gates;
+          Alcotest.test_case "deciding policy" `Quick test_policy_set_deciding_policy;
+          Alcotest.test_case "three levels" `Quick test_policy_set_three_levels;
+        ] );
+      ( "xacml",
+        [
+          Alcotest.test_case "decide" `Quick test_xacml_decide;
+          Alcotest.test_case "request context" `Quick test_request_to_context;
+          Alcotest.test_case "rule rendering" `Quick test_rule_of_constraint;
+          Alcotest.test_case "variable rules unrendered" `Quick test_rule_of_constraint_rejects_vars;
+          Alcotest.test_case "examples of log" `Quick test_examples_of_log;
+        ] );
+      ( "xml",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_xml_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_xml_escaping;
+          Alcotest.test_case "garbage" `Quick test_xml_rejects_garbage;
+          Alcotest.test_case "learned policy" `Quick test_xml_learned_policy_roundtrip;
+        ] );
+      ("properties", qcheck_cases);
+    ]
