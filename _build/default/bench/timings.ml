@@ -58,6 +58,45 @@ let tests () =
              ~options:[ "accept"; "reject" ]));
   ]
 
+(* Seed (pre-rewrite) ns/run numbers for the same workloads, captured
+   before the semi-naive grounder and counter-propagation solver landed.
+   They are the committed perf baseline that BENCH_asp.json runs compare
+   against; re-capture them only when intentionally re-baselining. *)
+let baseline_ns : (string * float) list =
+  [
+    ("asp-parse", 1045.0);
+    ("asp-ground", 111461.0);
+    ("asp-solve-6cycle", 842024.0);
+    ("earley-parse", 695.0);
+    ("asg-membership", 39746.0);
+    ("pdp-decide", 78676.0);
+  ]
+
+(** Persist the benchmark snapshot (baseline, current run, speedups, and
+    one instrumented engine pass) as [BENCH_asp.json] in the working
+    directory. Schema documented in EXPERIMENTS.md. *)
+let write_snapshot (results : (string * float) list) (stats : Asp.Stats.t) =
+  let oc = open_out "BENCH_asp.json" in
+  let field (name, ns) = Printf.sprintf "\"%s\": %.0f" name ns in
+  let speedup (name, ns) =
+    match List.assoc_opt name baseline_ns with
+    | Some base when ns > 0.0 -> Some (Printf.sprintf "\"%s\": %.2f" name (base /. ns))
+    | _ -> None
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"bench-asp/1\",\n\
+    \  \"baseline_ns_per_run\": {%s},\n\
+    \  \"current_ns_per_run\": {%s},\n\
+    \  \"speedup\": {%s},\n\
+    \  \"stats\": %s\n\
+     }\n"
+    (String.concat ", " (List.map field baseline_ns))
+    (String.concat ", " (List.map field results))
+    (String.concat ", " (List.filter_map speedup results))
+    (Asp.Stats.to_json stats);
+  close_out oc
+
 let run () =
   Fmt.pr "@.==================================================@.";
   Fmt.pr "TIMINGS  Bechamel micro-benchmarks (ns/run, OLS)@.";
@@ -69,6 +108,7 @@ let run () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -76,7 +116,26 @@ let run () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Fmt.pr "%-20s %12.0f ns/run@." name est
+          | Some [ est ] ->
+            Fmt.pr "%-20s %12.0f ns/run@." name est;
+            collected := (name, est) :: !collected
           | _ -> Fmt.pr "%-20s (no estimate)@." name)
         analysis)
-    (tests ())
+    (tests ());
+  (* one instrumented pass over the benchmark workloads, so the counters
+     describe exactly what the numbers above measured *)
+  Asp.Stats.reset ();
+  ignore (Asp.Grounder.ground (coloring_program 8));
+  ignore (Asp.Solver.solve (coloring_program 6));
+  let stats = Asp.Stats.snapshot () in
+  Fmt.pr "@.engine statistics (one asp-ground + one asp-solve pass):@.%a@."
+    Asp.Stats.pp stats;
+  write_snapshot (List.rev !collected) stats;
+  Fmt.pr "@.snapshot written to BENCH_asp.json@.";
+  List.iter
+    (fun (name, est) ->
+      match List.assoc_opt name baseline_ns with
+      | Some base when est > 0.0 ->
+        Fmt.pr "%-20s %12.2fx vs baseline@." name (base /. est)
+      | _ -> ())
+    (List.rev !collected)

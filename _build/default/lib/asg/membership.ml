@@ -7,6 +7,7 @@ let tokenize sentence =
 
 (** Does [tree] witness membership (its induced program is satisfiable)? *)
 let tree_accepted (g : Gpm.t) tree =
+  Asp.Stats.global.hypothesis_evals <- Asp.Stats.global.hypothesis_evals + 1;
   Asp.Solver.has_answer_set (Tree_program.program g tree)
 
 (** Is the token list in the language of the grammar? Tries parse trees
@@ -31,5 +32,8 @@ let witness (g : Gpm.t) (sentence : string) : Asp.Solver.model option =
     (fun acc tree ->
       match acc with
       | Some _ -> acc
-      | None -> Asp.Solver.first_answer_set (Tree_program.program g tree))
+      | None ->
+        Asp.Stats.global.hypothesis_evals <-
+          Asp.Stats.global.hypothesis_evals + 1;
+        Asp.Solver.first_answer_set (Tree_program.program g tree))
     None trees

@@ -1,1 +1,1 @@
-lib/asp/grounder.ml: Atom Fmt Hashtbl List Option Program Rule String Term
+lib/asp/grounder.ml: Array Atom Dependency Fmt Hashtbl Int List Program Rule Stats String Term

@@ -1,1 +1,1 @@
-lib/asp/solver.ml: Array Atom Fmt Grounder Hashtbl Int List Program Query String Wellfounded
+lib/asp/solver.ml: Array Atom Fmt Grounder Hashtbl Int List Program Query Stats String

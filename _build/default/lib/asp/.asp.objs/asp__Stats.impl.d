@@ -1,0 +1,1 @@
+lib/asp/stats.ml: Fmt Fun Printf Sys

@@ -1,1 +1,1 @@
-lib/asp/wellfounded.ml: Atom Grounder List
+lib/asp/wellfounded.ml: Array Atom Grounder Hashtbl List

@@ -2,19 +2,27 @@
 
 type t = { pred : string; args : Term.t list }
 
+(** [make p args] is the atom [p(args)]. *)
 val make : string -> Term.t list -> t
 
 (** A propositional atom (no arguments). *)
 val prop : string -> t
 
+(** Number of arguments. *)
 val arity : t -> int
+
+(** Total order: predicate name, then arity, then arguments. *)
 val compare : t -> t -> int
+
 val equal : t -> t -> bool
+
+(** No free variables in any argument. *)
 val is_ground : t -> bool
 
 (** Free variables, in first-occurrence order, without duplicates. *)
 val vars : t -> string list
 
+(** Apply a substitution to every argument. *)
 val apply : Term.subst -> t -> t
 
 (** Evaluate arithmetic inside the arguments; [None] if any argument
@@ -27,6 +35,8 @@ val match_atom : Term.subst -> t -> t -> Term.subst option
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+(** Ordering module for functor use, plus atom sets and maps. *)
 module Ord : Set.OrderedType with type t = t
+
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t

@@ -4,13 +4,20 @@
 (** Predicate name and arity. *)
 type pred = string * int
 
+(** Whether the dependency passes through negation as failure. *)
 type edge_kind = Positive | Negative
 
 module PredMap : Map.S with type key = pred
 
+(** The predicate dependency graph of a program. *)
 type graph
 
+(** Build the graph: an edge from each head predicate to each predicate
+    of its rule's body (and, for choice rules, from each choice atom's
+    predicate to the predicates of its condition). *)
 val build : Program.t -> graph
+
+(** Outgoing edges of a predicate (its body dependencies). *)
 val successors : graph -> pred -> (pred * edge_kind) list
 
 (** Strongly connected components, callees before callers. *)

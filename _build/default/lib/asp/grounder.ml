@@ -1,13 +1,40 @@
 (** Grounding: instantiating a safe program's variables with the constants
     that can actually matter.
 
-    The algorithm follows the standard two-phase scheme:
+    The algorithm follows the standard two-phase scheme, evaluated
+    bottom-up over the predicate dependency graph:
+
     1. compute the set of {e possible atoms} — the least fixpoint of the
        positive projection of the program (negation ignored, choice heads
-       treated as derivable);
+       treated as derivable) — by {e semi-naive evaluation}: predicates are
+       processed one dependency SCC at a time (callees first), and within
+       an SCC each fixpoint round joins rule bodies against the {e delta}
+       (atoms derived in the previous round) rather than re-deriving
+       everything from the full base;
     2. instantiate each rule against that base, evaluating arithmetic and
        comparison builtins, dropping rules that can never fire and negative
-       literals that can never hold. *)
+       literals that can never hold.
+
+    Rule bodies are grounded by {e selectivity-ordered indexed joins}: body
+    literals are statically reordered so that comparisons run as soon as
+    their variables are bound (each builtin is therefore evaluated once per
+    binding prefix instead of once per complete substitution), and
+    candidate atoms for each positive literal are fetched from a
+    per-predicate index discriminated on the first argument whenever that
+    argument is bound. Join plans precompute, per literal, whether interval
+    expansion or arithmetic normalization can be needed at all, so the
+    common case (plain variables and values) skips both.
+
+    {2 Negative body literals}
+
+    A ground negative literal [not a] whose atom lies outside the
+    possible-atom base is trivially true and is dropped from the rule
+    instance (the rule is kept). Interval arguments in negative literals
+    denote the conjunction over their expansion: [not q(1..2)] grounds to
+    [not q(1), not q(2)], each instance subject to the same rule. A
+    negative literal whose arguments fail to evaluate once ground (e.g.
+    division by zero) makes that rule instance inapplicable: the instance
+    is dropped, mirroring the behaviour of positive builtin failure. *)
 
 exception Unsafe_rule of Rule.t
 
@@ -89,200 +116,661 @@ and expand_args = function
 let expand_atom (a : Atom.t) : Atom.t list =
   List.map (fun args -> { a with Atom.args }) (expand_args a.Atom.args)
 
+let rec term_has_interval : Term.t -> bool = function
+  | Term.Var _ | Term.Int _ -> false
+  | Term.Fun (_, args) -> List.exists term_has_interval args
+  | Term.Binop (_, a, b) -> term_has_interval a || term_has_interval b
+  | Term.Interval _ -> true
+
+let atom_has_interval (a : Atom.t) = List.exists term_has_interval a.Atom.args
+
+let rec term_has_binop : Term.t -> bool = function
+  | Term.Var _ | Term.Int _ -> false
+  | Term.Fun (_, args) -> List.exists term_has_binop args
+  | Term.Binop _ -> true
+  | Term.Interval (a, b) -> term_has_binop a || term_has_binop b
+
+let atom_has_binop (a : Atom.t) = List.exists term_has_binop a.Atom.args
+
 (* -- Indexed atom base ------------------------------------------------ *)
 
-type base = { mutable atoms : Atom.Set.t; by_pred : (string * int, Atom.t list ref) Hashtbl.t }
+(** Per-predicate atom store with first-argument discrimination: [all]
+    holds every flushed atom of the predicate, [by_first] buckets them by
+    first argument, and [delta] holds the atoms added in the most recently
+    completed fixpoint round. *)
+type pred_index = {
+  mutable all : Atom.t list;
+  by_first : (Term.t, Atom.t list ref) Hashtbl.t;
+  mutable delta : Atom.t list;
+}
 
-let base_create () = { atoms = Atom.Set.empty; by_pred = Hashtbl.create 64 }
+(** The possible-atom base under construction. [stamp] doubles as the
+    membership table: an atom is present iff stamped, and flushed (visible
+    to joins) iff its stamp is at most [flushed_round]. *)
+type base = {
+  stamp : (Atom.t, int) Hashtbl.t;
+  mutable pending : Atom.t list;  (** derived in the current round *)
+  by_pred : (string * int, pred_index) Hashtbl.t;
+  mutable flushed_round : int;
+  mutable delta_preds : (string * int) list;  (** preds with nonempty delta *)
+  expand_memo : (Atom.t, Atom.t list) Hashtbl.t;
+}
 
-let base_mem b a = Atom.Set.mem a b.atoms
+let base_create () =
+  {
+    stamp = Hashtbl.create 64;
+    pending = [];
+    by_pred = Hashtbl.create 16;
+    flushed_round = -1;
+    delta_preds = [];
+    expand_memo = Hashtbl.create 16;
+  }
 
-let base_add b a =
-  if not (Atom.Set.mem a b.atoms) then begin
-    b.atoms <- Atom.Set.add a b.atoms;
-    let key = (a.Atom.pred, Atom.arity a) in
-    match Hashtbl.find_opt b.by_pred key with
-    | Some l -> l := a :: !l
-    | None -> Hashtbl.replace b.by_pred key (ref [ a ]);
+(** Membership among all derived atoms, flushed or pending. *)
+let base_mem b a = Hashtbl.mem b.stamp a
+
+(** Add a ground, evaluated atom to the current round's pending set.
+    Returns [true] when the atom is new. *)
+let base_add b ~round a =
+  if Hashtbl.mem b.stamp a then false
+  else begin
+    b.pending <- a :: b.pending;
+    Hashtbl.replace b.stamp a round;
+    true
   end
 
-let base_candidates b (a : Atom.t) =
+let pred_index_for b key =
+  match Hashtbl.find_opt b.by_pred key with
+  | Some pi -> pi
+  | None ->
+    let pi = { all = []; by_first = Hashtbl.create 8; delta = [] } in
+    Hashtbl.replace b.by_pred key pi;
+    pi
+
+(** Move the current round's pending atoms into the indexes; they become
+    the new delta. Returns [true] when the round derived anything. *)
+let base_flush b ~round =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt b.by_pred key with
+      | Some pi -> pi.delta <- []
+      | None -> ())
+    b.delta_preds;
+  b.delta_preds <- [];
+  let added = b.pending <> [] in
+  List.iter
+    (fun (a : Atom.t) ->
+      let key = (a.Atom.pred, Atom.arity a) in
+      let pi = pred_index_for b key in
+      if pi.delta = [] then b.delta_preds <- key :: b.delta_preds;
+      pi.all <- a :: pi.all;
+      pi.delta <- a :: pi.delta;
+      match a.Atom.args with
+      | [] -> ()
+      | first :: _ -> (
+        match Hashtbl.find_opt pi.by_first first with
+        | Some l -> l := a :: !l
+        | None -> Hashtbl.replace pi.by_first first (ref [ a ])))
+    b.pending;
+  b.pending <- [];
+  b.flushed_round <- round;
+  added
+
+(** Which slice of the base a join literal ranges over: the whole flushed
+    base, atoms stamped at most [n], or the previous round's delta only. *)
+type occ = Any | UpTo of int | Delta
+
+let mem_occ b (a : Atom.t) occ =
+  match Hashtbl.find_opt b.stamp a with
+  | None -> false
+  | Some s -> (
+    match occ with
+    | Any -> s <= b.flushed_round
+    | UpTo n -> s <= n && s <= b.flushed_round
+    | Delta -> s = b.flushed_round)
+
+(** Iterate the candidate atoms a (partially bound) pattern may match,
+    using the first-argument index when the pattern's first argument is
+    ground. *)
+let iter_candidates b (a : Atom.t) occ f =
   match Hashtbl.find_opt b.by_pred (a.Atom.pred, Atom.arity a) with
-  | Some l -> !l
-  | None -> []
-
-(* -- Substitution enumeration over a rule body ------------------------ *)
-
-(** Enumerate all substitutions grounding the positive body literals against
-    [b], with comparisons checked as soon as their variables are bound.
-    Calls [yield] once per complete substitution. *)
-let enum_substitutions b (body : Rule.body_elt list) yield =
-  (* Process positive literals first only when safe ordering requires it;
-     we keep source order but defer comparisons until evaluable. *)
-  let rec go subst pending_cmps = function
-    | [] ->
-      let ok =
-        List.for_all
-          (fun (op, t1, t2) ->
-            match
-              (Term.eval (Term.apply subst t1), Term.eval (Term.apply subst t2))
-            with
-            | Some v1, Some v2 -> Rule.eval_cmp op v1 v2
-            | _ -> false)
-          pending_cmps
-      in
-      if ok then yield subst
-    | Rule.Pos a :: rest ->
-      let a' = Atom.apply subst a in
-      let expanded = expand_atom a' in
+  | None -> ()
+  | Some pi -> (
+    let indexed () =
+      match a.Atom.args with
+      | first :: _ when Term.is_ground first -> (
+        match Hashtbl.find_opt pi.by_first first with
+        | Some l -> Some !l
+        | None -> Some [])
+      | _ -> None
+    in
+    match occ with
+    | Delta -> List.iter f pi.delta
+    | Any -> (
+      match indexed () with
+      | Some l -> List.iter f l
+      | None -> List.iter f pi.all)
+    | UpTo n ->
+      let src = match indexed () with Some l -> l | None -> pi.all in
       List.iter
-        (fun a' ->
-          if Atom.is_ground a' then begin
-            match Atom.eval a' with
-            | Some ga -> if base_mem b ga then go subst pending_cmps rest
-            | None -> ()
+        (fun at ->
+          match Hashtbl.find_opt b.stamp at with
+          | Some s when s <= n -> f at
+          | _ -> ())
+        src)
+
+(* -- Join plans ------------------------------------------------------- *)
+
+(** A body compiled for joining: positive literals interleaved with the
+    comparisons that become decidable (or variable-binding) once the
+    literals before them are bound. *)
+type jelt =
+  | JPos of {
+      atom : Atom.t;
+      ord : int;  (** position in join order (the semi-naive pivot index) *)
+      src : int;  (** position in source order, to rebuild bodies *)
+      iv : bool;  (** may need interval expansion *)
+      ev : bool;  (** may need arithmetic normalization *)
+      ground_at : bool;  (** fully bound by the time this literal runs *)
+    }
+  | JCheck of Rule.cmp_op * Term.t * Term.t
+  | JBind of string * Term.t  (** [V = t] with [t] evaluable: bind V *)
+
+(** Compile a body into a selectivity-ordered join plan, assuming the
+    [initially_bound] variables are supplied by the caller. Comparisons
+    are scheduled as early as their variables allow; positive literals are
+    chosen greedily, preferring literals whose arithmetic arguments are
+    already evaluable, then literals introducing the fewest unbound
+    variables (most selective join), then literals usable through the
+    first-argument index. Negative literals and aggregates take no part in
+    joining. Returns the plan, the number of positive literals, and the
+    variables bound after running it. *)
+let make_plan ?(initially_bound = []) (body : Rule.body_elt list) :
+    jelt list * int * string list =
+  let pos =
+    ref
+      (List.filter_map (function Rule.Pos a -> Some a | _ -> None) body
+      |> List.mapi (fun src a -> (src, a)))
+  in
+  let cmps =
+    ref
+      (List.filter_map
+         (function Rule.Cmp (o, a, c) -> Some (o, a, c) | _ -> None)
+         body)
+  in
+  let bound = ref initially_bound in
+  let is_bound v = List.mem v !bound in
+  let plan = ref [] in
+  let nord = ref 0 in
+  let rec term_ready t =
+    match t with
+    | Term.Var _ | Term.Int _ -> true
+    | Term.Fun (_, args) -> List.for_all term_ready args
+    | Term.Binop _ | Term.Interval _ -> List.for_all is_bound (Term.vars t)
+  in
+  (* Emit every comparison that is decidable now, and bind variables via
+     evaluable equalities, to a local fixpoint. *)
+  let rec absorb_cmps () =
+    let progressed = ref false in
+    let keep =
+      List.filter
+        (fun (op, t1, t2) ->
+          let evaluable t = List.for_all is_bound (Term.vars t) in
+          if evaluable t1 && evaluable t2 then begin
+            plan := JCheck (op, t1, t2) :: !plan;
+            progressed := true;
+            false
           end
           else
-            List.iter
-              (fun cand ->
-                match Atom.match_atom subst a' cand with
-                | Some subst' -> go subst' pending_cmps rest
-                | None -> ())
-              (base_candidates b a'))
-        expanded
-    | Rule.Neg _ :: rest -> go subst pending_cmps rest
-    | Rule.Count _ :: rest -> go subst pending_cmps rest
-    | Rule.Cmp (op, t1, t2) :: rest -> (
-      (* Equality can bind a variable: X = t with t evaluable. *)
-      let t1' = Term.apply subst t1 and t2' = Term.apply subst t2 in
-      match (op, t1', t2') with
-      | Rule.Eq, Term.Var v, t when Term.eval t <> None ->
-        let value = Option.get (Term.eval t) in
-        go (Term.subst_bind v value subst) pending_cmps rest
-      | Rule.Eq, t, Term.Var v when Term.eval t <> None ->
-        let value = Option.get (Term.eval t) in
-        go (Term.subst_bind v value subst) pending_cmps rest
-      | _ -> (
-        match (Term.eval t1', Term.eval t2') with
-        | Some v1, Some v2 ->
-          if Rule.eval_cmp op v1 v2 then go subst pending_cmps rest
-        | _ -> go subst ((op, t1, t2) :: pending_cmps) rest))
+            match (op, t1, t2) with
+            | Rule.Eq, Term.Var v, t when (not (is_bound v)) && evaluable t ->
+              plan := JBind (v, t) :: !plan;
+              bound := v :: !bound;
+              progressed := true;
+              false
+            | Rule.Eq, t, Term.Var v when (not (is_bound v)) && evaluable t ->
+              plan := JBind (v, t) :: !plan;
+              bound := v :: !bound;
+              progressed := true;
+              false
+            | _ -> true)
+        !cmps
+    in
+    cmps := keep;
+    if !progressed then absorb_cmps ()
   in
-  go Term.subst_empty [] body
-
-(* -- Phase 1: possible atoms ------------------------------------------ *)
-
-let head_instances b subst (head : Rule.head) : Atom.t list =
-  match head with
-  | Rule.Head a ->
-    List.filter_map Atom.eval (expand_atom (Atom.apply subst a))
-  | Rule.Falsity | Rule.Weak _ -> []
-  | Rule.Choice (_, elts, _) ->
-    List.concat_map
-      (fun (e : Rule.choice_elt) ->
-        (* enumerate local condition bindings *)
-        let conds = List.map (fun c -> Rule.Pos (Atom.apply subst c)) e.condition in
-        let results = ref [] in
-        enum_substitutions b conds (fun local_subst ->
-            let a = Atom.apply local_subst (Atom.apply subst e.choice_atom) in
-            List.iter
-              (fun a ->
-                match Atom.eval a with
-                | Some ga when Atom.is_ground ga -> results := ga :: !results
-                | _ -> ())
-              (expand_atom a));
-        !results)
-      elts
-
-let compute_possible_atoms (p : Program.t) : base =
-  let b = base_create () in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun (r : Rule.t) ->
-        enum_substitutions b r.body (fun subst ->
-            List.iter
-              (fun a ->
-                if not (base_mem b a) then begin
-                  base_add b a;
-                  changed := true
-                end)
-              (head_instances b subst r.head)))
-      p.rules
+  absorb_cmps ();
+  while !pos <> [] do
+    let score (_, (a : Atom.t)) =
+      let unbound =
+        List.length (List.filter (fun v -> not (is_bound v)) (Atom.vars a))
+      in
+      let ready = List.for_all term_ready a.Atom.args in
+      let indexable =
+        match a.Atom.args with
+        | first :: _ -> List.for_all is_bound (Term.vars first)
+        | [] -> true
+      in
+      ((if ready then 0 else 1), unbound, if indexable then 0 else 1)
+    in
+    let best =
+      List.fold_left
+        (fun acc cand ->
+          match acc with
+          | None -> Some cand
+          | Some cur -> if score cand < score cur then Some cand else Some cur)
+        None !pos
+    in
+    (match best with
+    | Some ((src, a) as chosen) ->
+      pos := List.filter (fun c -> c != chosen) !pos;
+      let ground_at = List.for_all is_bound (Atom.vars a) in
+      plan :=
+        JPos
+          {
+            atom = a;
+            ord = !nord;
+            src;
+            iv = atom_has_interval a;
+            ev = atom_has_binop a;
+            ground_at;
+          }
+        :: !plan;
+      incr nord;
+      List.iter
+        (fun v -> if not (is_bound v) then bound := v :: !bound)
+        (Atom.vars a);
+      absorb_cmps ()
+    | None -> ());
+    ()
   done;
-  b
+  (* anything left is undecidable even with all literals bound; keep it as
+     a trailing check, which fails unless evaluable *)
+  List.iter (fun (op, t1, t2) -> plan := JCheck (op, t1, t2) :: !plan) !cmps;
+  (List.rev !plan, !nord, !bound)
 
-(* -- Phase 2: rule instantiation -------------------------------------- *)
+let expand_atom_memo b (a : Atom.t) =
+  match Hashtbl.find_opt b.expand_memo a with
+  | Some l -> l
+  | None ->
+    let l = expand_atom a in
+    Hashtbl.add b.expand_memo a l;
+    l
 
-let ground_body b subst (body : Rule.body_elt list) :
-    (Atom.t list * Atom.t list * Rule.count list) option =
-  let rec go pos neg counts = function
-    | [] -> Some (List.rev pos, List.rev neg, List.rev counts)
-    | Rule.Pos a :: rest -> (
-      match Atom.eval (Atom.apply subst a) with
-      | Some ga when Atom.is_ground ga ->
-        if base_mem b ga then go (ga :: pos) neg counts rest else None
-      | _ -> None)
-    | Rule.Neg a :: rest -> (
-      match Atom.eval (Atom.apply subst a) with
-      | Some ga when Atom.is_ground ga ->
-        (* a negative literal over an underivable atom is trivially true *)
-        if base_mem b ga then go pos (ga :: neg) counts rest
-        else go pos neg counts rest
-      | _ -> None)
-    | Rule.Cmp (op, t1, t2) :: rest -> (
+(** Evaluate the ground arguments of a partially-bound pattern so that it
+    matches the (normalized) stored atoms; [None] when a ground argument
+    fails to evaluate (the literal can match nothing). *)
+let normalize_pattern (a : Atom.t) : Atom.t option =
+  let rec go acc = function
+    | [] -> Some { a with Atom.args = List.rev acc }
+    | t :: rest ->
+      if Term.is_ground t then
+        match Term.eval t with
+        | Some t' -> go (t' :: acc) rest
+        | None -> None
+      else go (t :: acc) rest
+  in
+  go [] a.Atom.args
+
+(** Enumerate the substitutions (and the ground positive-body instances
+    they select, tagged by source position) grounding [plan] against [b],
+    starting from [init], with each positive literal of join ordinal [o]
+    restricted to the base slice [occ_of o]. *)
+let run_plan b ~init (plan : jelt list) ~occ_of yield =
+  let rec go subst pos_insts = function
+    | [] ->
+      Stats.global.join_tuples <- Stats.global.join_tuples + 1;
+      yield subst pos_insts
+    | JCheck (op, t1, t2) :: rest -> (
       match
         (Term.eval (Term.apply subst t1), Term.eval (Term.apply subst t2))
       with
       | Some v1, Some v2 ->
-        if Rule.eval_cmp op v1 v2 then go pos neg counts rest else None
-      | _ -> None)
-    | Rule.Count c :: rest -> (
-      match Rule.apply_body_elt subst (Rule.Count c) with
-      | Rule.Count c' -> go pos neg (c' :: counts) rest
-      | _ -> None)
+        if Rule.eval_cmp op v1 v2 then go subst pos_insts rest
+      | _ -> ())
+    | JBind (v, t) :: rest -> (
+      match Term.eval (Term.apply subst t) with
+      | Some value -> go (Term.subst_bind v value subst) pos_insts rest
+      | None -> ())
+    | JPos { atom; ord; src; iv; ev; ground_at } :: rest ->
+      let occ = occ_of ord in
+      let a' = Atom.apply subst atom in
+      let instances = if iv then expand_atom_memo b a' else [ a' ] in
+      List.iter
+        (fun a' ->
+          if ground_at || Atom.is_ground a' then begin
+            let ga = if ev || iv then Atom.eval a' else Some a' in
+            match ga with
+            | Some ga ->
+              if mem_occ b ga occ then go subst ((src, ga) :: pos_insts) rest
+            | None -> ()
+          end
+          else
+            let pat = if ev then normalize_pattern a' else Some a' in
+            match pat with
+            | None -> ()
+            | Some pat ->
+              iter_candidates b pat occ (fun cand ->
+                  match Atom.match_atom subst pat cand with
+                  | Some subst' -> go subst' ((src, cand) :: pos_insts) rest
+                  | None -> ()))
+        instances
   in
-  go [] [] [] body
+  go init [] plan
 
-(** Ground a program. Raises [Unsafe_rule] if any rule is unsafe. *)
+(* -- Phase 1: possible atoms ------------------------------------------ *)
+
+(** A derivation template: one (head atom, join plan) pair per normal-rule
+    head or choice element, with choice-element conditions folded into the
+    body so the semi-naive join covers them. *)
+type template = {
+  t_head : Atom.t;
+  t_head_iv : bool;
+  t_head_ev : bool;
+  t_plan : jelt list;
+  t_npos : int;
+}
+
+let template_of head body =
+  let plan, npos, _ = make_plan body in
+  {
+    t_head = head;
+    t_head_iv = atom_has_interval head;
+    t_head_ev = atom_has_binop head;
+    t_plan = plan;
+    t_npos = npos;
+  }
+
+let templates_of_rule (r : Rule.t) : template list =
+  match r.head with
+  | Rule.Falsity | Rule.Weak _ -> []
+  | Rule.Head a -> [ template_of a r.body ]
+  | Rule.Choice (_, elts, _) ->
+    List.map
+      (fun (e : Rule.choice_elt) ->
+        template_of e.choice_atom
+          (r.body @ List.map (fun c -> Rule.Pos c) e.condition))
+      elts
+
+let derive_head b ~round t subst =
+  let a = Atom.apply subst t.t_head in
+  if t.t_head_iv then
+    List.iter
+      (fun inst ->
+        match Atom.eval inst with
+        | Some ga when Atom.is_ground ga -> ignore (base_add b ~round ga)
+        | _ -> ())
+      (expand_atom_memo b a)
+  else if t.t_head_ev then
+    match Atom.eval a with
+    | Some ga -> ignore (base_add b ~round ga)
+    | None -> ()
+  else ignore (base_add b ~round a)
+
+(** Compute the possible-atom base by SCC-stratified semi-naive
+    evaluation: templates are grouped by the dependency SCC of their head
+    predicate and processed callees-first; each group starts with one
+    naive pass over the base built so far, then iterates delta rounds
+    until its fixpoint. New atoms in round [r] carry stamp [r]; a delta
+    round instantiates each template once per pivot position, with
+    literals before the pivot ranging over rounds [<= r-2], the pivot over
+    exactly [r-1], and literals after it over [<= r-1] — the standard
+    non-duplicating scheme, so each combination is enumerated exactly
+    once across the whole fixpoint. *)
+let compute_possible_atoms (p : Program.t) : base =
+  let b = base_create () in
+  let graph = Dependency.build p in
+  let sccs = Dependency.sccs graph in
+  let comp_of = Hashtbl.create 16 in
+  List.iteri
+    (fun i comp -> List.iter (fun pr -> Hashtbl.replace comp_of pr i) comp)
+    sccs;
+  let n_groups = List.length sccs in
+  let groups = Array.make (max n_groups 1) [] in
+  List.iter
+    (fun (r : Rule.t) ->
+      List.iter
+        (fun t ->
+          let key = (t.t_head.Atom.pred, Atom.arity t.t_head) in
+          let gi =
+            match Hashtbl.find_opt comp_of key with
+            | Some i -> i
+            | None -> n_groups - 1 (* unreachable: predicates covers heads *)
+          in
+          groups.(gi) <- t :: groups.(gi))
+        (templates_of_rule r))
+    p.rules;
+  let round = ref 0 in
+  let any_occ _ = Any in
+  Array.iter
+    (fun templates ->
+      match templates with
+      | [] -> ()
+      | templates ->
+        (* group round 0: naive pass over everything derived so far *)
+        List.iter
+          (fun t ->
+            run_plan b ~init:Term.subst_empty t.t_plan ~occ_of:any_occ
+              (fun subst _ -> derive_head b ~round:!round t subst))
+          templates;
+        let continue = ref (base_flush b ~round:!round) in
+        incr round;
+        Stats.global.delta_rounds <- Stats.global.delta_rounds + 1;
+        (* semi-naive delta rounds until the group's fixpoint *)
+        while !continue do
+          let r = !round in
+          List.iter
+            (fun t ->
+              if t.t_npos > 0 then
+                for pivot = 0 to t.t_npos - 1 do
+                  run_plan b ~init:Term.subst_empty t.t_plan
+                    ~occ_of:(fun ord ->
+                      if ord < pivot then UpTo (r - 2)
+                      else if ord = pivot then Delta
+                      else UpTo (r - 1))
+                    (fun subst _ -> derive_head b ~round:r t subst)
+                done)
+            templates;
+          continue := base_flush b ~round:r;
+          incr round;
+          if !continue then
+            Stats.global.delta_rounds <- Stats.global.delta_rounds + 1
+        done)
+    groups;
+  b
+
+(* -- Phase 2: rule instantiation -------------------------------------- *)
+
+(** Assemble the ground body for one substitution: positive instances come
+    from the join (source order restored), negative literals are interval-
+    expanded and kept only when their atom is derivable, aggregates are
+    instantiated for model-time evaluation. Comparisons were already
+    checked by the join plan. Returns [None] when the instance can never
+    fire (a negative literal failed to evaluate). *)
+let ground_body b subst ~pos_insts (body : Rule.body_elt list) :
+    (Atom.t list * Atom.t list * Rule.count list) option =
+  let exception Inapplicable in
+  let pos_sorted =
+    List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2) pos_insts
+  in
+  let next = ref pos_sorted in
+  try
+    let rec go pos neg counts = function
+      | [] -> Some (List.rev pos, List.rev neg, List.rev counts)
+      | Rule.Pos _ :: rest ->
+        let ga =
+          match !next with
+          | (_, ga) :: tl ->
+            next := tl;
+            ga
+          | [] -> raise Inapplicable (* join always supplies every slot *)
+        in
+        go (ga :: pos) neg counts rest
+      | Rule.Neg a :: rest ->
+        let a' = Atom.apply subst a in
+        let instances =
+          if atom_has_interval a' then expand_atom_memo b a' else [ a' ]
+        in
+        let neg =
+          List.fold_left
+            (fun neg inst ->
+              match Atom.eval inst with
+              | Some ga when Atom.is_ground ga ->
+                (* a negative literal over an underivable atom is
+                   trivially true and drops out *)
+                if base_mem b ga then ga :: neg else neg
+              | _ -> raise Inapplicable)
+            neg instances
+        in
+        go pos neg counts rest
+      | Rule.Cmp _ :: rest -> go pos neg counts rest (* checked by the join *)
+      | Rule.Count c :: rest -> (
+        match Rule.apply_body_elt subst (Rule.Count c) with
+        | Rule.Count c' -> go pos neg (c' :: counts) rest
+        | _ -> raise Inapplicable)
+    in
+    go [] [] [] body
+  with Inapplicable -> None
+
+(** Per-choice-element compiled condition plan (phase 2): run with the
+    outer substitution as initial bindings to enumerate the element's
+    instances. *)
+type elem_plan = {
+  e_atom : Atom.t;
+  e_iv : bool;
+  e_ev : bool;
+  e_plan : jelt list;
+}
+
+let head_instances_choice b subst (elems : elem_plan list) : Atom.t list =
+  List.concat_map
+    (fun e ->
+      let results = ref [] in
+      run_plan b ~init:subst e.e_plan
+        ~occ_of:(fun _ -> Any)
+        (fun local_subst _ ->
+          let a = Atom.apply local_subst e.e_atom in
+          if e.e_iv then
+            List.iter
+              (fun inst ->
+                match Atom.eval inst with
+                | Some ga when Atom.is_ground ga -> results := ga :: !results
+                | _ -> ())
+              (expand_atom_memo b a)
+          else if e.e_ev then (
+            match Atom.eval a with
+            | Some ga -> results := ga :: !results
+            | None -> ())
+          else results := a :: !results);
+      !results)
+    elems
+
+(** Ground a program: compute the possible-atom base (semi-naive, indexed),
+    then instantiate every rule against it with selectivity-ordered joins.
+
+    Worst-case complexity is O(|rules| * |base|^v) substitutions for v the
+    maximum number of body variables of any rule — grounding is inherently
+    exponential in rule width — but the index-driven joins visit only
+    candidate atoms matching each literal's bound prefix, and semi-naive
+    evaluation re-derives nothing: across the whole fixpoint each rule
+    instantiation is enumerated once per delta combination rather than once
+    per iteration.
+
+    @raise Unsafe_rule on unsafe input.
+    @raise Aggregate_in_rule when an aggregate occurs outside a constraint
+    or weak-constraint body. *)
 let ground (p : Program.t) : ground_program =
+  Stats.time_ground @@ fun () ->
+  Stats.global.ground_calls <- Stats.global.ground_calls + 1;
   List.iter
     (fun r -> if not (Rule.is_safe r) then raise (Unsafe_rule r))
     p.rules;
   let b = compute_possible_atoms p in
   let out = ref [] in
-  let emit gr = out := gr :: !out in
+  let n_out = ref 0 in
+  let emit gr =
+    out := gr :: !out;
+    incr n_out
+  in
+  let emit_head_atom a ~iv ~ev subst gpos gneg gcounts =
+    let a = Atom.apply subst a in
+    if iv then
+      List.iter
+        (fun inst ->
+          match Atom.eval inst with
+          | Some ga when Atom.is_ground ga ->
+            emit { ghead = GAtom ga; gpos; gneg; gcounts }
+          | _ -> ())
+        (expand_atom_memo b a)
+    else if ev then (
+      match Atom.eval a with
+      | Some ga -> emit { ghead = GAtom ga; gpos; gneg; gcounts }
+      | None -> ())
+    else emit { ghead = GAtom a; gpos; gneg; gcounts }
+  in
   List.iter
     (fun (r : Rule.t) ->
-      enum_substitutions b r.body (fun subst ->
-          match ground_body b subst r.body with
-          | None -> ()
-          | Some (gpos, gneg, gcounts) -> (
-            match r.head with
-            | (Rule.Head _ | Rule.Choice _) when gcounts <> [] ->
-              raise (Aggregate_in_rule r)
-            | Rule.Head a ->
-              List.iter
-                (fun inst ->
-                  match Atom.eval inst with
-                  | Some ga when Atom.is_ground ga ->
-                    emit { ghead = GAtom ga; gpos; gneg; gcounts }
-                  | _ -> ())
-                (expand_atom (Atom.apply subst a))
-            | Rule.Falsity -> emit { ghead = GFalse; gpos; gneg; gcounts }
-            | Rule.Weak w -> (
+      match (r.head, r.body) with
+      | Rule.Head a, [] ->
+        (* fact fast path: no join, no body assembly *)
+        emit_head_atom a ~iv:(atom_has_interval a) ~ev:(atom_has_binop a)
+          Term.subst_empty [] [] []
+      | _ ->
+        let plan, _, bound = make_plan r.body in
+        let head_action =
+          match r.head with
+          | Rule.Head a ->
+            let iv = atom_has_interval a and ev = atom_has_binop a in
+            fun subst gpos gneg gcounts ->
+              if gcounts <> [] then raise (Aggregate_in_rule r);
+              emit_head_atom a ~iv ~ev subst gpos gneg gcounts
+          | Rule.Falsity ->
+            fun _ gpos gneg gcounts ->
+              emit { ghead = GFalse; gpos; gneg; gcounts }
+          | Rule.Weak w ->
+            fun subst gpos gneg gcounts -> (
               match Term.eval (Term.apply subst w) with
               | Some (Term.Int cost) ->
                 emit { ghead = GWeak cost; gpos; gneg; gcounts }
               | Some _ | None -> ())
-            | Rule.Choice (l, _, u) ->
-              let atoms = head_instances b subst r.head in
+          | Rule.Choice (l, elts, u) ->
+            let elems =
+              List.map
+                (fun (e : Rule.choice_elt) ->
+                  let e_plan, _, _ =
+                    make_plan ~initially_bound:bound
+                      (List.map (fun c -> Rule.Pos c) e.condition)
+                  in
+                  {
+                    e_atom = e.choice_atom;
+                    e_iv = atom_has_interval e.choice_atom;
+                    e_ev = atom_has_binop e.choice_atom;
+                    e_plan;
+                  })
+                elts
+            in
+            fun subst gpos gneg gcounts ->
+              if gcounts <> [] then raise (Aggregate_in_rule r);
+              let atoms = head_instances_choice b subst elems in
               let atoms = List.sort_uniq Atom.compare atoms in
               if atoms <> [] || l <> None then
-                emit { ghead = GChoice (l, atoms, u); gpos; gneg; gcounts })))
+                emit { ghead = GChoice (l, atoms, u); gpos; gneg; gcounts }
+        in
+        run_plan b ~init:Term.subst_empty plan
+          ~occ_of:(fun _ -> Any)
+          (fun subst pos_insts ->
+            match ground_body b subst ~pos_insts r.body with
+            | None -> ()
+            | Some (gpos, gneg, gcounts) ->
+              head_action subst gpos gneg gcounts))
     p.rules;
-  { grules = List.rev !out; base = b.atoms }
+  Stats.global.ground_rules <- Stats.global.ground_rules + !n_out;
+  let base_set =
+    Hashtbl.fold (fun a _ acc -> Atom.Set.add a acc) b.stamp Atom.Set.empty
+  in
+  Stats.global.possible_atoms <-
+    Stats.global.possible_atoms + Atom.Set.cardinal base_set;
+  { grules = List.rev !out; base = base_set }
 
 let size gp = List.length gp.grules
 let atom_count gp = Atom.Set.cardinal gp.base

@@ -1,8 +1,22 @@
 (** Grounding: instantiating a safe program's variables with the constants
-    that can matter, via the standard two-phase scheme (possible-atom
-    fixpoint, then rule instantiation with builtin evaluation). *)
+    that can matter, via the standard two-phase scheme — a possible-atom
+    fixpoint computed by SCC-stratified {e semi-naive evaluation} over
+    per-predicate first-argument indexes, then rule instantiation by
+    selectivity-ordered indexed joins with builtin evaluation.
+
+    {2 Negative body literals}
+
+    A ground negative literal [not a] whose atom lies outside the
+    possible-atom base is trivially true: the literal is dropped and the
+    rule instance is {e kept}. Interval arguments inside a negative
+    literal denote the conjunction over their expansion ([not q(1..2)]
+    grounds to [not q(1), not q(2)]); a negative literal whose arguments
+    fail to evaluate once ground (e.g. division by zero) makes that rule
+    instance inapplicable. Earlier revisions silently dropped whole rules
+    in these cases; the regression tests pin the current semantics. *)
 
 exception Unsafe_rule of Rule.t
+(** Raised on rules with variables not bound by the positive body. *)
 
 exception Aggregate_in_rule of Rule.t
 (** Aggregates are admitted only in constraint and weak-constraint
@@ -34,8 +48,21 @@ val expand_atom : Atom.t -> Atom.t list
 
 (** Ground a program. Negative literals over underivable atoms are
     dropped (trivially true); rules that can never fire are omitted.
-    @raise Unsafe_rule on unsafe input. *)
+
+    Complexity: worst-case O(|rules| * |base|{^ v}) instantiations, for
+    [v] the maximum number of variables in any rule body — grounding is
+    inherently exponential in rule width. In practice the first-argument
+    indexes restrict each join step to candidates matching the bound
+    prefix, and semi-naive delta evaluation enumerates each derivation at
+    most once across the whole fixpoint instead of once per iteration.
+
+    @raise Unsafe_rule on unsafe input.
+    @raise Aggregate_in_rule when an aggregate occurs in a normal or
+    choice rule body. *)
 val ground : Program.t -> ground_program
 
+(** Number of ground rules. *)
 val size : ground_program -> int
+
+(** Size of the possible-atom base. *)
 val atom_count : ground_program -> int

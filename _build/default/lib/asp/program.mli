@@ -5,21 +5,31 @@ type t = { rules : Rule.t list }
 val empty : t
 val of_rules : Rule.t list -> t
 val rules : t -> Rule.t list
+
+(** Append one rule at the end (source order is preserved). *)
 val add_rule : t -> Rule.t -> t
+
 val append : t -> t -> t
 val concat : t list -> t
+
+(** Number of rules. *)
 val size : t -> int
+
 val is_empty : t -> bool
 
 (** Ground atoms asserted as facts (head with empty body). *)
 val facts : t -> Atom.t list
 
+(** The constraint rules (empty heads), in source order. *)
 val constraints : t -> Rule.t list
 
 (** All predicate name/arity pairs appearing anywhere in the program. *)
 val predicates : t -> (string * int) list
 
+(** No variables anywhere in the rule. *)
 val is_ground_rule : Rule.t -> bool
+
+(** Every rule is ground. *)
 val is_ground : t -> bool
 
 (** Add ground atoms as facts (used to inject contexts). *)

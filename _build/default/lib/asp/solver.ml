@@ -5,7 +5,18 @@
     remaining unknown atoms. Each complete assignment is verified against
     the Gelfond–Lifschitz condition (least model of the reduct equals the
     candidate), so the search is sound and complete for normal rules,
-    constraints, and choice rules with cardinality bounds. *)
+    constraints, and choice rules with cardinality bounds.
+
+    Propagation is {e counter-based} in the style of two-watched-literal
+    schemes: every rule keeps a satisfied-literal counter and a
+    falsified-literal counter, occurrence lists map each atom to the rules
+    watching it, and assignments drain through a queue touching only the
+    rules that mention the assigned atom — unit propagation is O(occurrences)
+    per flip instead of O(rules). Head support is tracked with {e source
+    pointers}: each atom points at one non-blocked rule that can still
+    derive it, and only when that rule's body becomes blocked is a
+    replacement searched; atoms with no remaining source are forced false
+    (or conflict, if already true). *)
 
 type model = Atom.Set.t
 
@@ -41,6 +52,20 @@ type search_state = {
   count_rules : Grounder.ground_rule list;
       (** aggregate-bearing constraints/weak rules, checked on candidate
           models rather than during propagation *)
+  (* -- incremental propagation state -- *)
+  pos_occ : int list array;  (** rules with atom i in their positive body *)
+  neg_occ : int list array;  (** rules with atom i in their negative body *)
+  nbody : int array;  (** body literal count per rule (static) *)
+  sat_cnt : int array;  (** body literals currently satisfied, per rule *)
+  blk_cnt : int array;  (** body literals currently falsified, per rule *)
+  source : int array;  (** supporting rule per atom, or -1 *)
+  queue : int array;  (** assignment queue (ring of atom ids) *)
+  mutable qhead : int;
+  mutable qtail : int;
+  (* -- preallocated Gelfond–Lifschitz check buffers -- *)
+  gl_derived : bool array;
+  gl_rem : int array;
+  gl_neg_ok : bool array;
 }
 
 let index_program (gp : Grounder.ground_program) =
@@ -70,190 +95,363 @@ let index_program (gp : Grounder.ground_program) =
       plain_rules
   in
   let rule_arr = Array.of_list rules in
-  let rules_by_head = Array.make (Array.length atoms) [] in
+  let n = Array.length atoms in
+  let nr = Array.length rule_arr in
+  let rules_by_head = Array.make n [] in
+  let pos_occ = Array.make n [] in
+  let neg_occ = Array.make n [] in
+  let nbody = Array.make nr 0 in
   Array.iteri
     (fun ri r ->
-      match r.ihead with
+      (match r.ihead with
       | IAtom h -> rules_by_head.(h) <- ri :: rules_by_head.(h)
       | IFalse | IWeak _ -> ()
       | IChoice (_, ats, _) ->
-        Array.iter (fun a -> rules_by_head.(a) <- ri :: rules_by_head.(a)) ats)
+        Array.iter (fun a -> rules_by_head.(a) <- ri :: rules_by_head.(a)) ats);
+      nbody.(ri) <- Array.length r.ipos + Array.length r.ineg;
+      Array.iter (fun a -> pos_occ.(a) <- ri :: pos_occ.(a)) r.ipos;
+      Array.iter (fun a -> neg_occ.(a) <- ri :: neg_occ.(a)) r.ineg)
     rule_arr;
   {
     atoms;
     rules;
     rules_by_head;
     rule_arr;
-    assignment = Array.make (Array.length atoms) Unknown;
+    assignment = Array.make n Unknown;
     count_rules;
+    pos_occ;
+    neg_occ;
+    nbody;
+    sat_cnt = Array.make nr 0;
+    blk_cnt = Array.make nr 0;
+    source = Array.make n (-1);
+    (* n+1 slots: each atom enqueues at most once between drains, so the
+       ring can never fill and alias empty *)
+    queue = Array.make (n + 1) 0;
+    qhead = 0;
+    qtail = 0;
+    gl_derived = Array.make n false;
+    gl_rem = Array.make nr 0;
+    gl_neg_ok = Array.make nr false;
   }
 
 (* -- Propagation ------------------------------------------------------- *)
 
-let body_status st r =
-  (* Tri-valued status of a rule body: [`Sat], [`Blocked], or [`Open]. *)
-  let blocked = ref false and open_ = ref false in
-  Array.iter
-    (fun a ->
-      match st.assignment.(a) with
-      | True -> ()
-      | False -> blocked := true
-      | Unknown -> open_ := true)
-    r.ipos;
-  Array.iter
-    (fun a ->
-      match st.assignment.(a) with
-      | False -> ()
-      | True -> blocked := true
-      | Unknown -> open_ := true)
-    r.ineg;
-  if !blocked then `Blocked else if !open_ then `Open else `Sat
-
-(** A rule can still support its head atom [a] if its body is not blocked. *)
-let rule_supports st ri a =
-  let r = st.rule_arr.(ri) in
-  match r.ihead with
-  | IAtom h -> h = a && body_status st r <> `Blocked
-  | IChoice (_, ats, _) ->
-    Array.exists (fun x -> x = a) ats && body_status st r <> `Blocked
-  | IFalse | IWeak _ -> false
-
+(** Enqueue an assignment. Raises [Conflict] on contradiction; returns
+    [true] when the atom was newly assigned. *)
 let set st i v =
   match st.assignment.(i) with
-  | Unknown -> st.assignment.(i) <- v; true
+  | Unknown ->
+    st.assignment.(i) <- v;
+    st.queue.(st.qtail) <- i;
+    st.qtail <- (st.qtail + 1) mod Array.length st.queue;
+    Stats.global.propagations <- Stats.global.propagations + 1;
+    true
   | existing -> if existing = v then false else raise Conflict
 
-(** Deterministic consequences at the current assignment. Raises [Conflict]
-    when a constraint fires or a forced value contradicts the assignment. *)
+let clear_queue st =
+  st.qhead <- 0;
+  st.qtail <- 0
+
+(** Cardinality propagation for a choice rule whose body is satisfied. *)
+let choice_bounds st lower ats upper =
+  let n_true = ref 0 and n_unknown = ref 0 in
+  Array.iter
+    (fun a ->
+      match st.assignment.(a) with
+      | True -> incr n_true
+      | Unknown -> incr n_unknown
+      | False -> ())
+    ats;
+  (match upper with
+  | Some u ->
+    if !n_true > u then raise Conflict
+    else if !n_true = u && !n_unknown > 0 then
+      (* remaining elements must be false *)
+      Array.iter
+        (fun a -> if st.assignment.(a) = Unknown then ignore (set st a False))
+        ats
+  | None -> ());
+  match lower with
+  | Some l ->
+    if !n_true + !n_unknown < l then raise Conflict
+    else if !n_true + !n_unknown = l && !n_unknown > 0 then
+      Array.iter
+        (fun a -> if st.assignment.(a) = Unknown then ignore (set st a True))
+        ats
+  | None -> ()
+
+(** Consequences of rule [ri]'s body having just become satisfied. *)
+let on_body_sat st ri =
+  match st.rule_arr.(ri).ihead with
+  | IAtom h -> ignore (set st h True)
+  | IFalse -> raise Conflict
+  | IWeak _ -> ()
+  | IChoice (l, ats, u) -> choice_bounds st l ats u
+
+(** Unit propagation on a constraint: with no falsified literal and a
+    single unknown one left, that literal must be falsified. *)
+let constraint_unit st ri =
+  let r = st.rule_arr.(ri) in
+  match r.ihead with
+  | IFalse when st.blk_cnt.(ri) = 0 && st.nbody.(ri) - st.sat_cnt.(ri) = 1 ->
+    Array.iter
+      (fun a -> if st.assignment.(a) = Unknown then ignore (set st a False))
+      r.ipos;
+    Array.iter
+      (fun a -> if st.assignment.(a) = Unknown then ignore (set st a True))
+      r.ineg
+  | _ -> ()
+
+(** Rule [ri]'s body has just become blocked: atoms whose source pointer
+    was [ri] must seek a new non-blocked supporter; an atom with none left
+    is false (conflict if already true). *)
+let on_body_blocked st ri =
+  let reselect a =
+    if st.source.(a) = ri && st.assignment.(a) <> False then begin
+      let rec seek = function
+        | [] -> None
+        | cand :: rest -> if st.blk_cnt.(cand) = 0 then Some cand else seek rest
+      in
+      match seek st.rules_by_head.(a) with
+      | Some cand -> st.source.(a) <- cand
+      | None ->
+        st.source.(a) <- -1;
+        if st.assignment.(a) = True then raise Conflict
+        else ignore (set st a False)
+    end
+  in
+  match st.rule_arr.(ri).ihead with
+  | IAtom h -> reselect h
+  | IChoice (_, ats, _) -> Array.iter reselect ats
+  | IFalse | IWeak _ -> ()
+
+(** Process one literal of rule [ri] becoming satisfied (pos literal made
+    true / neg literal made false). *)
+let literal_sat st ri =
+  st.sat_cnt.(ri) <- st.sat_cnt.(ri) + 1;
+  if st.blk_cnt.(ri) = 0 then
+    if st.sat_cnt.(ri) = st.nbody.(ri) then on_body_sat st ri
+    else constraint_unit st ri
+
+(** Process one literal of rule [ri] becoming falsified. *)
+let literal_blocked st ri =
+  st.blk_cnt.(ri) <- st.blk_cnt.(ri) + 1;
+  if st.blk_cnt.(ri) = 1 then on_body_blocked st ri
+
+(** Drain the assignment queue, touching only rules that watch each newly
+    assigned atom. Raises [Conflict] on contradiction. *)
 let propagate st =
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    (* forward: satisfied bodies derive their normal heads *)
+  while st.qhead <> st.qtail do
+    let i = st.queue.(st.qhead) in
+    st.qhead <- (st.qhead + 1) mod Array.length st.queue;
+    let v = st.assignment.(i) in
+    (match v with
+    | True ->
+      List.iter (fun ri -> literal_sat st ri) st.pos_occ.(i);
+      List.iter (fun ri -> literal_blocked st ri) st.neg_occ.(i)
+    | False ->
+      List.iter (fun ri -> literal_blocked st ri) st.pos_occ.(i);
+      List.iter (fun ri -> literal_sat st ri) st.neg_occ.(i)
+    | Unknown -> () (* unreachable: queued atoms are assigned *));
+    (* an assigned choice element may tighten its rule's bounds *)
     List.iter
-      (fun r ->
-        match r.ihead with
-        | IAtom h ->
-          if body_status st r = `Sat then
-            if set st h True then changed := true
-        | IFalse -> (
-          match body_status st r with
-          | `Sat -> raise Conflict
-          | `Open ->
-            (* unit propagation on constraints *)
-            let unknown_pos = ref [] and unknown_neg = ref [] in
-            Array.iter
-              (fun a -> if st.assignment.(a) = Unknown then unknown_pos := a :: !unknown_pos)
-              r.ipos;
-            Array.iter
-              (fun a -> if st.assignment.(a) = Unknown then unknown_neg := a :: !unknown_neg)
-              r.ineg;
-            (match (!unknown_pos, !unknown_neg) with
-            | [ a ], [] -> if set st a False then changed := true
-            | [], [ a ] -> if set st a True then changed := true
-            | _ -> ())
-          | `Blocked -> ())
-        | IWeak _ -> ()
-        | IChoice (lower, ats, upper) ->
-          if body_status st r = `Sat then begin
-            let n_true = ref 0 and n_unknown = ref 0 in
-            Array.iter
-              (fun a ->
-                match st.assignment.(a) with
-                | True -> incr n_true
-                | Unknown -> incr n_unknown
-                | False -> ())
-              ats;
-            (match upper with
-            | Some u ->
-              if !n_true > u then raise Conflict
-              else if !n_true = u && !n_unknown > 0 then
-                (* remaining elements must be false *)
-                Array.iter
-                  (fun a ->
-                    if st.assignment.(a) = Unknown then
-                      if set st a False then changed := true)
-                  ats
-            | None -> ());
-            match lower with
-            | Some l ->
-              if !n_true + !n_unknown < l then raise Conflict
-              else if !n_true + !n_unknown = l && !n_unknown > 0 then
-                Array.iter
-                  (fun a ->
-                    if st.assignment.(a) = Unknown then
-                      if set st a True then changed := true)
-                  ats
-            | None -> ()
-          end)
-      st.rules;
-    (* backward: an atom with no remaining support must be false *)
-    Array.iteri
-      (fun i v ->
-        if v = Unknown then
-          let supported =
-            List.exists (fun ri -> rule_supports st ri i) st.rules_by_head.(i)
-          in
-          if not supported then if set st i False then changed := true)
-      st.assignment
+      (fun ri ->
+        match st.rule_arr.(ri).ihead with
+        | IChoice (l, ats, u)
+          when st.blk_cnt.(ri) = 0 && st.sat_cnt.(ri) = st.nbody.(ri) ->
+          choice_bounds st l ats u
+        | _ -> ())
+      st.rules_by_head.(i)
+  done
+
+(** One-time initialization after seeding: derive counters from the current
+    assignment, pick initial source pointers, and fire all immediately
+    available consequences. *)
+let init_propagation st =
+  let nr = Array.length st.rule_arr in
+  for ri = 0 to nr - 1 do
+    let r = st.rule_arr.(ri) in
+    let sat = ref 0 and blk = ref 0 in
+    Array.iter
+      (fun a ->
+        match st.assignment.(a) with
+        | True -> incr sat
+        | False -> incr blk
+        | Unknown -> ())
+      r.ipos;
+    Array.iter
+      (fun a ->
+        match st.assignment.(a) with
+        | False -> incr sat
+        | True -> incr blk
+        | Unknown -> ())
+      r.ineg;
+    st.sat_cnt.(ri) <- !sat;
+    st.blk_cnt.(ri) <- !blk
+  done;
+  (* initial source pointers; unsupported atoms are false *)
+  Array.iteri
+    (fun i v ->
+      if v <> False then begin
+        let rec seek = function
+          | [] -> None
+          | cand :: rest ->
+            if st.blk_cnt.(cand) = 0 then Some cand else seek rest
+        in
+        match seek st.rules_by_head.(i) with
+        | Some cand -> st.source.(i) <- cand
+        | None ->
+          st.source.(i) <- -1;
+          if v = True then raise Conflict else ignore (set st i False)
+      end)
+    st.assignment;
+  (* fire rules already satisfied or unit by the seeded assignment *)
+  for ri = 0 to nr - 1 do
+    if st.blk_cnt.(ri) = 0 then
+      if st.sat_cnt.(ri) = st.nbody.(ri) then on_body_sat st ri
+      else constraint_unit st ri
+  done;
+  propagate st
+
+(* -- Well-founded seeding ---------------------------------------------- *)
+
+(** Alternating-fixpoint well-founded bounds computed directly on the
+    indexed rules (the logic mirrors {!Wellfounded.compute}, reusing this
+    solver's occurrence lists): atoms in the lower bound are seeded true,
+    atoms outside the upper bound false. The result is unchanged, the
+    search space shrinks. *)
+let wellfounded_seed st =
+  let n = Array.length st.atoms in
+  let nr = Array.length st.rule_arr in
+  let lower = Array.make n false in
+  let upper = Array.make n true in
+  let lower' = Array.make n false in
+  let upper' = Array.make n false in
+  let rem_pos = Array.make nr 0 in
+  let gamma ~negatives_wrt ~include_choices ~out =
+    Array.fill out 0 n false;
+    let work = ref [] in
+    let derive a =
+      if not out.(a) then begin
+        out.(a) <- true;
+        work := a :: !work
+      end
+    in
+    let fire ri =
+      match st.rule_arr.(ri).ihead with
+      | IAtom h -> derive h
+      | IChoice (_, ats, _) -> if include_choices then Array.iter derive ats
+      | IFalse | IWeak _ -> ()
+    in
+    for ri = 0 to nr - 1 do
+      let r = st.rule_arr.(ri) in
+      let neg_ok = Array.for_all (fun a -> not negatives_wrt.(a)) r.ineg in
+      if not neg_ok then rem_pos.(ri) <- max_int (* can never fire *)
+      else begin
+        rem_pos.(ri) <- Array.length r.ipos;
+        if rem_pos.(ri) = 0 then fire ri
+      end
+    done;
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | a :: rest ->
+        work := rest;
+        List.iter
+          (fun ri ->
+            if rem_pos.(ri) <> max_int then begin
+              rem_pos.(ri) <- rem_pos.(ri) - 1;
+              if rem_pos.(ri) = 0 then fire ri
+            end)
+          st.pos_occ.(a)
+    done
+  in
+  let continue = ref true in
+  while !continue do
+    gamma ~negatives_wrt:upper ~include_choices:false ~out:lower';
+    gamma ~negatives_wrt:lower' ~include_choices:true ~out:upper';
+    if lower = lower' (* structural: same contents *) && upper = upper' then
+      continue := false
+    else begin
+      Array.blit lower' 0 lower 0 n;
+      Array.blit upper' 0 upper 0 n
+    end
+  done;
+  for i = 0 to n - 1 do
+    if lower.(i) then st.assignment.(i) <- True
+    else if not upper.(i) then st.assignment.(i) <- False
   done
 
 (* -- Stability check --------------------------------------------------- *)
 
 (** Gelfond–Lifschitz check: the least model of the reduct w.r.t. the
     candidate must equal the candidate; constraints and cardinality bounds
-    must hold. *)
+    must hold. Runs in time linear in the program size: a worklist
+    derivation with per-rule remaining-positive-literal counters, instead
+    of repeated full scans. *)
 let is_stable st =
+  Stats.global.gl_checks <- Stats.global.gl_checks + 1;
   let in_m i = st.assignment.(i) = True in
   let n = Array.length st.atoms in
-  let derived = Array.make n false in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun r ->
-        let neg_ok = Array.for_all (fun a -> not (in_m a)) r.ineg in
-        let pos_ok = Array.for_all (fun a -> derived.(a)) r.ipos in
-        if neg_ok && pos_ok then
-          match r.ihead with
-          | IAtom h ->
-            if not derived.(h) then begin
-              derived.(h) <- true;
-              changed := true
-            end
-          | IFalse | IWeak _ -> ()
-          | IChoice (_, ats, _) ->
-            Array.iter
-              (fun a ->
-                if in_m a && not derived.(a) then begin
-                  derived.(a) <- true;
-                  changed := true
-                end)
-              ats)
-      st.rules
+  let nr = Array.length st.rule_arr in
+  let derived = st.gl_derived in
+  let rem_pos = st.gl_rem in
+  let neg_ok = st.gl_neg_ok in
+  Array.fill derived 0 n false;
+  let work = ref [] in
+  let derive a =
+    if not derived.(a) then begin
+      derived.(a) <- true;
+      work := a :: !work
+    end
+  in
+  let fire ri =
+    match st.rule_arr.(ri).ihead with
+    | IAtom h -> derive h
+    | IFalse | IWeak _ -> ()
+    | IChoice (_, ats, _) -> Array.iter (fun a -> if in_m a then derive a) ats
+  in
+  for ri = 0 to nr - 1 do
+    let r = st.rule_arr.(ri) in
+    rem_pos.(ri) <- Array.length r.ipos;
+    neg_ok.(ri) <- Array.for_all (fun a -> not (in_m a)) r.ineg;
+    if neg_ok.(ri) && rem_pos.(ri) = 0 then fire ri
+  done;
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | a :: rest ->
+      work := rest;
+      List.iter
+        (fun ri ->
+          rem_pos.(ri) <- rem_pos.(ri) - 1;
+          if rem_pos.(ri) = 0 && neg_ok.(ri) then fire ri)
+        st.pos_occ.(a)
   done;
   let least_equals_m = ref true in
   for i = 0 to n - 1 do
     if derived.(i) <> in_m i then least_equals_m := false
   done;
-  !least_equals_m
-  && List.for_all
-       (fun r ->
-         let body_sat =
-           Array.for_all in_m r.ipos
-           && Array.for_all (fun a -> not (in_m a)) r.ineg
-         in
-         match r.ihead with
-         | IFalse -> not body_sat
-         | IAtom _ | IWeak _ -> true
-         | IChoice (lower, ats, upper) ->
-           if not body_sat then true
-           else begin
-             let k = Array.fold_left (fun acc a -> if in_m a then acc + 1 else acc) 0 ats in
-             (match lower with Some l -> k >= l | None -> true)
-             && match upper with Some u -> k <= u | None -> true
-           end)
-       st.rules
+  (* constraints and cardinality bounds, using the live body counters: at a
+     complete assignment, sat_cnt = nbody iff the body holds in the model *)
+  let bounds_ok () =
+    let ok = ref true in
+    for ri = 0 to nr - 1 do
+      if !ok && st.sat_cnt.(ri) = st.nbody.(ri) then
+        match st.rule_arr.(ri).ihead with
+        | IFalse -> ok := false
+        | IAtom _ | IWeak _ -> ()
+        | IChoice (lower, ats, upper) ->
+          let k =
+            Array.fold_left (fun acc a -> if in_m a then acc + 1 else acc) 0 ats
+          in
+          (match lower with Some l -> if k < l then ok := false | None -> ());
+          (match upper with Some u -> if k > u then ok := false | None -> ())
+    done;
+    !ok
+  in
+  !least_equals_m && bounds_ok ()
 
 (* -- Search ------------------------------------------------------------ *)
 
@@ -269,18 +467,10 @@ let extract_model st =
     the ablation benchmark); the result is unchanged, only slower. *)
 let solve_ground ?limit ?(wellfounded = true) (gp : Grounder.ground_program) :
     model list =
+  Stats.time_solve @@ fun () ->
+  Stats.global.solve_calls <- Stats.global.solve_calls + 1;
   let st = index_program gp in
-  if wellfounded then begin
-    let wf = Wellfounded.compute gp in
-    try
-      Array.iteri
-        (fun i a ->
-          if Atom.Set.mem a wf.Wellfounded.lower then ignore (set st i True)
-          else if not (Atom.Set.mem a wf.Wellfounded.upper) then
-            ignore (set st i False))
-        st.atoms
-    with Conflict -> ()
-  end;
+  if wellfounded then wellfounded_seed st;
   let found = ref [] in
   let count = ref 0 in
   let aggregate_constraints_ok m =
@@ -303,40 +493,66 @@ let solve_ground ?limit ?(wellfounded = true) (gp : Grounder.ground_program) :
       if aggregate_constraints_ok m then begin
         found := m :: !found;
         incr count;
+        Stats.global.models_found <- Stats.global.models_found + 1;
         match limit with Some l when !count >= l -> raise Done | _ -> ()
       end
     end
   in
-  let snapshot () = Array.copy st.assignment in
-  let restore snap = Array.blit snap 0 st.assignment 0 (Array.length snap) in
-  let rec search () =
-    match
-      (try
-         propagate st;
-         `Ok
-       with Conflict -> `Conflict)
-    with
-    | `Conflict -> ()
-    | `Ok -> (
-      (* find an unknown atom to branch on *)
-      let rec find i =
-        if i >= Array.length st.assignment then None
-        else if st.assignment.(i) = Unknown then Some i
-        else find (i + 1)
-      in
-      match find 0 with
-      | None -> record ()
-      | Some i ->
-        let snap = snapshot () in
-        (* try false first: favours subset-minimal candidates *)
-        st.assignment.(i) <- False;
-        search ();
-        restore snap;
-        st.assignment.(i) <- True;
-        search ();
-        restore snap)
+  let snapshot () =
+    ( Array.copy st.assignment,
+      Array.copy st.sat_cnt,
+      Array.copy st.blk_cnt,
+      Array.copy st.source )
   in
-  (try search () with Done -> ());
+  let restore (asg, sat, blk, src) =
+    Array.blit asg 0 st.assignment 0 (Array.length asg);
+    Array.blit sat 0 st.sat_cnt 0 (Array.length sat);
+    Array.blit blk 0 st.blk_cnt 0 (Array.length blk);
+    Array.blit src 0 st.source 0 (Array.length src);
+    clear_queue st
+  in
+  (* atoms below [from_i] stay assigned within this subtree, so the scan
+     for a branch atom resumes where the parent left off *)
+  let rec search from_i =
+    let rec find i =
+      if i >= Array.length st.assignment then None
+      else if st.assignment.(i) = Unknown then Some i
+      else find (i + 1)
+    in
+    match find from_i with
+    | None -> record ()
+    | Some i ->
+      let snap = snapshot () in
+      let branch v =
+        Stats.global.decisions <- Stats.global.decisions + 1;
+        match
+          (try
+             ignore (set st i v);
+             propagate st;
+             `Ok
+           with Conflict ->
+             Stats.global.conflicts <- Stats.global.conflicts + 1;
+             `Conflict)
+        with
+        | `Ok -> search i
+        | `Conflict -> ()
+      in
+      (* try false first: favours subset-minimal candidates *)
+      branch False;
+      restore snap;
+      branch True;
+      restore snap
+  in
+  (match
+     (try
+        init_propagation st;
+        `Ok
+      with Conflict ->
+        Stats.global.conflicts <- Stats.global.conflicts + 1;
+        `Conflict)
+   with
+  | `Ok -> ( try search 0 with Done -> ())
+  | `Conflict -> ());
   List.rev !found
 
 (** Enumerate stable models of a (non-ground) program. *)

@@ -1,8 +1,18 @@
 (** Stable-model (answer-set) computation: well-founded narrowing followed
     by DPLL-style search with a Gelfond–Lifschitz stability check at each
     complete assignment. Sound and complete for normal rules, constraints
-    and bounded choice rules; weak constraints rank models. *)
+    and bounded choice rules; weak constraints rank models.
 
+    Unit propagation is {e counter-based} in the style of two-watched
+    literals: ground rules are integer-indexed, each keeps satisfied- and
+    blocked-literal counters that are updated through per-atom occurrence
+    lists, so an assignment touches only the rules it appears in instead
+    of rescanning the program. Source pointers track one non-blocked
+    supporting rule per true atom and propagate unsupportedness eagerly.
+    Search statistics (propagations, decisions, conflicts, GL checks) are
+    accumulated in {!Stats}. *)
+
+(** A stable model: the set of atoms assigned true. *)
 type model = Atom.Set.t
 
 val pp_model : Format.formatter -> model -> unit
@@ -10,14 +20,25 @@ val model_to_string : model -> string
 
 (** Enumerate stable models of a ground program, up to [limit].
     [wellfounded:false] disables the well-founded narrowing (ablation
-    knob); results are identical, search is slower. *)
+    knob); results are identical, search is slower.
+
+    Complexity: deciding stable-model existence is NP-complete, so the
+    worst case is exponential in the number of unknown atoms after
+    propagation. Each unit propagation is amortized O(occurrences of the
+    assigned atom); each leaf runs one Gelfond–Lifschitz least-model
+    check, linear in the size of the ground program. *)
 val solve_ground :
   ?limit:int -> ?wellfounded:bool -> Grounder.ground_program -> model list
 
-(** Ground and solve. *)
+(** Ground and solve: [solve p] is
+    [solve_ground (Grounder.ground p)] (see {!Grounder.ground} for
+    grounding complexity). *)
 val solve : ?limit:int -> ?wellfounded:bool -> Program.t -> model list
 
+(** Is there at least one stable model? Stops at the first. *)
 val has_answer_set : Program.t -> bool
+
+(** The first stable model found, if any. *)
 val first_answer_set : Program.t -> model option
 
 (** Atoms true in at least one answer set, optionally restricted to a

@@ -1,0 +1,106 @@
+(** Engine instrumentation: cheap global counters and phase timers for the
+    grounder and solver, exposed so benchmarks and callers that re-solve in
+    a loop (the ILP learner, ASG membership checks) can observe where time
+    goes without threading state through every call.
+
+    Counters accumulate until {!reset}; {!snapshot} copies the current
+    values so a caller can diff two points in time. *)
+
+type t = {
+  (* grounder *)
+  mutable ground_calls : int;
+  mutable ground_rules : int;
+  mutable possible_atoms : int;
+  mutable delta_rounds : int;
+  mutable join_tuples : int;
+  (* solver *)
+  mutable solve_calls : int;
+  mutable propagations : int;
+  mutable decisions : int;
+  mutable conflicts : int;
+  mutable gl_checks : int;
+  mutable models_found : int;
+  (* callers *)
+  mutable hypothesis_evals : int;
+  (* wall-clock, seconds *)
+  mutable ground_seconds : float;
+  mutable solve_seconds : float;
+}
+
+let make () =
+  {
+    ground_calls = 0;
+    ground_rules = 0;
+    possible_atoms = 0;
+    delta_rounds = 0;
+    join_tuples = 0;
+    solve_calls = 0;
+    propagations = 0;
+    decisions = 0;
+    conflicts = 0;
+    gl_checks = 0;
+    models_found = 0;
+    hypothesis_evals = 0;
+    ground_seconds = 0.0;
+    solve_seconds = 0.0;
+  }
+
+let global = make ()
+
+let reset () =
+  let z = make () in
+  global.ground_calls <- z.ground_calls;
+  global.ground_rules <- z.ground_rules;
+  global.possible_atoms <- z.possible_atoms;
+  global.delta_rounds <- z.delta_rounds;
+  global.join_tuples <- z.join_tuples;
+  global.solve_calls <- z.solve_calls;
+  global.propagations <- z.propagations;
+  global.decisions <- z.decisions;
+  global.conflicts <- z.conflicts;
+  global.gl_checks <- z.gl_checks;
+  global.models_found <- z.models_found;
+  global.hypothesis_evals <- z.hypothesis_evals;
+  global.ground_seconds <- z.ground_seconds;
+  global.solve_seconds <- z.solve_seconds
+
+let snapshot () = { global with ground_calls = global.ground_calls }
+
+(** Monotonic-ish wall clock. [Unix] is deliberately avoided to keep the
+    library dependency-free; [Sys.time] measures processor time, which for
+    the single-threaded engine tracks wall-clock closely. *)
+let now () = Sys.time ()
+
+let time_ground f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () ->
+      global.ground_seconds <- global.ground_seconds +. (now () -. t0))
+    f
+
+let time_solve f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () ->
+      global.solve_seconds <- global.solve_seconds +. (now () -. t0))
+    f
+
+let pp ppf s =
+  Fmt.pf ppf
+    "@[<v>grounder: %d call(s), %d ground rule(s), %d possible atom(s), %d \
+     delta round(s), %d join tuple(s), %.4fs@,\
+     solver: %d call(s), %d propagation(s), %d decision(s), %d conflict(s), \
+     %d GL check(s), %d model(s), %.4fs@,\
+     callers: %d hypothesis evaluation(s)@]"
+    s.ground_calls s.ground_rules s.possible_atoms s.delta_rounds s.join_tuples
+    s.ground_seconds s.solve_calls s.propagations s.decisions s.conflicts
+    s.gl_checks s.models_found s.solve_seconds s.hypothesis_evals
+
+let to_json s =
+  Printf.sprintf
+    "{\"ground_calls\": %d, \"ground_rules\": %d, \"possible_atoms\": %d, \
+     \"delta_rounds\": %d, \"join_tuples\": %d, \"solve_calls\": %d, \
+     \"propagations\": %d, \"decisions\": %d, \"conflicts\": %d, \
+     \"gl_checks\": %d, \"models_found\": %d, \"hypothesis_evals\": %d, \
+     \"ground_seconds\": %.6f, \"solve_seconds\": %.6f}"
+    s.ground_calls s.ground_rules s.possible_atoms s.delta_rounds s.join_tuples
+    s.solve_calls s.propagations s.decisions s.conflicts s.gl_checks
+    s.models_found s.hypothesis_evals s.ground_seconds s.solve_seconds

@@ -1,0 +1,60 @@
+(** Engine instrumentation: global counters and phase timers maintained by
+    {!Grounder} and {!Solver}, plus caller-level counters bumped by the ILP
+    learner and ASG membership layer.
+
+    All counters are cumulative from the last {!reset}. The intended usage
+    pattern for measuring one workload is:
+
+    {[
+      Asp.Stats.reset ();
+      (* ... run the workload ... *)
+      Fmt.pr "%a@." Asp.Stats.pp (Asp.Stats.snapshot ())
+    ]}
+
+    The counters are plain field increments on a single global record, so
+    their overhead is negligible next to grounding or search; they are not
+    thread-safe. *)
+
+type t = {
+  mutable ground_calls : int;  (** calls to {!Grounder.ground} *)
+  mutable ground_rules : int;  (** ground rule instances emitted *)
+  mutable possible_atoms : int;  (** atoms in the possible-atom base *)
+  mutable delta_rounds : int;
+      (** semi-naive fixpoint rounds (delta iterations) across all
+          grounding calls *)
+  mutable join_tuples : int;
+      (** complete body substitutions enumerated by the rule-body joins *)
+  mutable solve_calls : int;  (** calls to {!Solver.solve_ground} *)
+  mutable propagations : int;  (** atom assignments made by propagation *)
+  mutable decisions : int;  (** DPLL branch decisions *)
+  mutable conflicts : int;  (** conflicts raised during search *)
+  mutable gl_checks : int;
+      (** Gelfond–Lifschitz stability checks on complete assignments *)
+  mutable models_found : int;  (** stable models returned *)
+  mutable hypothesis_evals : int;
+      (** hypothesis/membership evaluations by ILP and ASG callers *)
+  mutable ground_seconds : float;  (** wall-clock spent grounding *)
+  mutable solve_seconds : float;  (** wall-clock spent in stable-model search *)
+}
+
+(** The single global statistics record, mutated in place by the engine. *)
+val global : t
+
+(** Zero every counter and timer of {!global}. *)
+val reset : unit -> unit
+
+(** An immutable-by-convention copy of {!global}'s current values. *)
+val snapshot : unit -> t
+
+(** Run a thunk, adding its wall-clock duration to [ground_seconds]. *)
+val time_ground : (unit -> 'a) -> 'a
+
+(** Run a thunk, adding its wall-clock duration to [solve_seconds]. *)
+val time_solve : (unit -> 'a) -> 'a
+
+(** Human-readable multi-line rendering of a snapshot. *)
+val pp : Format.formatter -> t -> unit
+
+(** One-line JSON object with every counter, as persisted in
+    [BENCH_asp.json] (schema documented in [EXPERIMENTS.md]). *)
+val to_json : t -> string

@@ -6,8 +6,11 @@ type learned = {
   outcome : Learner.outcome;
 }
 
+(** Solve a learning task and graft the winning hypothesis back into the
+    grammar; [None] when the task has no solution. *)
 val learn_gpm : ?max_witnesses:int -> Task.t -> learned option
 
+(** Convenience wrapper around {!learn_gpm} building the task in place. *)
 val learn :
   ?max_witnesses:int ->
   gpm:Asg.Gpm.t ->
@@ -19,4 +22,5 @@ val learn :
 (** Fraction of examples whose membership matches their label. *)
 val accuracy : Asg.Gpm.t -> Example.t list -> float
 
+(** The learned annotation rules rendered as source text, one per rule. *)
 val hypothesis_text : learned -> string list

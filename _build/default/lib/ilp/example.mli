@@ -11,14 +11,21 @@ type t = {
   weight : int option;  (** [None] = hard (may not be sacrificed) *)
 }
 
+(** [positive sentence] / [negative sentence]: a labelled example with an
+    optional context program and penalty weight. *)
 val positive : ?weight:int -> ?context:Asp.Program.t -> string -> t
+
 val negative : ?weight:int -> ?context:Asp.Program.t -> string -> t
 
 (** Variants taking the context as ASP source text. *)
 
 val positive_ctx : ?weight:int -> string -> string -> t
 val negative_ctx : ?weight:int -> string -> string -> t
+
 val is_positive : t -> bool
+
+(** Has no weight, so it may not be sacrificed during noise-tolerant
+    learning. *)
 val is_hard : t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -10,7 +10,10 @@ type candidate = {
 
 type t = candidate list
 
+(** Default cost of a rule: its literal count. *)
 val rule_cost : Asg.Annotation.rule -> int
+
+(** [candidate rule prod_id] with an optional cost override. *)
 val candidate : ?cost:int -> Asg.Annotation.rule -> int -> candidate
 
 (** Explicit space: annotation-rule source text plus target productions. *)
@@ -19,12 +22,16 @@ val of_rules : (string * int list) list -> t
 (** Safety of an annotation rule (sites erased, then ASP safety). *)
 val rule_is_safe : Asg.Annotation.rule -> bool
 
+(** Is the candidate's rule a constraint (empty head)? The exact
+    set-cover engine applies only to all-constraint spaces. *)
 val is_constraint_candidate : candidate -> bool
 
 (** Generate the space described by a mode bias; unsafe and duplicate
     rules are dropped. *)
 val generate : Mode.t -> t
 
+(** Number of candidates. *)
 val size : t -> int
+
 val pp_candidate : Format.formatter -> candidate -> unit
 val pp : Format.formatter -> t -> unit

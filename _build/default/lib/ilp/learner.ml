@@ -60,6 +60,8 @@ let witnesses_of_example ?(max_witnesses = 64) (gpm : Asg.Gpm.t)
             (Grammar.Parse_tree.nodes_with_traces tree);
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
         in
+        Asp.Stats.global.hypothesis_evals <-
+          Asp.Stats.global.hypothesis_evals + 1;
         let models =
           Asp.Solver.solve ~limit:(max_witnesses - !count)
             (Asg.Tree_program.program g tree)

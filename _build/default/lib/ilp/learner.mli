@@ -29,6 +29,9 @@ type witness = {
   traces_by_prod : (int * int list list) list;
 }
 
+(** All witnesses of an example under the base grammar, up to
+    [max_witnesses] per parse tree. Each call solves one induced ASP
+    program (counted in [Asp.Stats.hypothesis_evals]). *)
 val witnesses_of_example :
   ?max_witnesses:int -> Asg.Gpm.t -> Example.t -> witness list
 

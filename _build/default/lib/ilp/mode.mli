@@ -18,12 +18,17 @@ type matom = {
           mode atom is marked) — typically the decision literal *)
 }
 
+(** [matom pred args] builds a body-mode schema (not negated, not
+    required, no site by default). *)
 val matom :
   ?site:int option -> ?negated:bool -> ?required:bool -> string -> arg list ->
   matom
 
+(** A weak-constraint weight: a typed variable or a literal integer. *)
 type operand = VarOperand of string | IntOperand of int
 
+(** Allowed rule heads: constraints, atom heads, or weak constraints with
+    the given weight. *)
 type mhead = Constraint | HeadAtom of matom | WeakHead of operand
 
 val operand_to_term : operand -> Asp.Term.t

@@ -1,1 +1,1 @@
-test/test_asp.ml: Alcotest Asp List Option Printf QCheck2 QCheck_alcotest String
+test/test_asp.ml: Alcotest Asp Atom Fmt Grounder List Option Printf Program QCheck2 QCheck_alcotest Rule String Term

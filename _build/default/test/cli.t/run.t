@@ -71,6 +71,6 @@ Grounding is inspectable:
   $ agenp ground small.lp
   n(1).
   n(2).
-  d(4) :- n(2).
   d(2) :- n(1).
+  d(4) :- n(2).
   % 4 atoms, 4 ground rules

@@ -130,6 +130,36 @@ let test_ground_neg_underivable () =
   check_models "derives p" "p :- not q." [ [ "p" ] ];
   ignore p
 
+(* Regression tests for negative body literals mentioning atoms outside
+   the possible-atom base. Earlier grounder revisions silently dropped
+   the whole rule; the documented semantics (grounder.mli) is that each
+   underivable conjunct is vacuously true and removed, keeping the
+   instance. Interval arguments in a negative literal denote the
+   conjunction over the expansion. *)
+
+let test_neg_interval_underivable () =
+  check_models "whole interval underivable" "p :- not q(1..2)." [ [ "p" ] ]
+
+let test_neg_interval_partial_base () =
+  (* q(2) is underivable so its conjunct drops; not q(1) remains and
+     fails, blocking p *)
+  check_models "interval partially in base" "q(1). p :- not q(1..2)."
+    [ [ "q(1)" ] ]
+
+let test_neg_interval_full_base () =
+  check_models "interval fully in base" "q(1). q(2). p :- not q(1..2)."
+    [ [ "q(1)"; "q(2)" ] ]
+
+let test_neg_interval_conjunction_choice () =
+  (* conjunction semantics: p holds iff no expansion member does *)
+  check_models "conjunction under choice" "{ q(1) }. p :- not q(1..2)."
+    [ [ "p" ]; [ "q(1)" ] ]
+
+let test_neg_nonground_outside_base () =
+  check_models "non-ground neg literal never derivable"
+    "n(1..2). p(X) :- n(X), not q(X)."
+    [ [ "n(1)"; "n(2)"; "p(1)"; "p(2)" ] ]
+
 (* ---- Dependency tests ---- *)
 
 let test_stratified () =
@@ -641,6 +671,204 @@ let prop_solver_matches_reference =
       let reference = reference_stable_models rules [ "a"; "b"; "c"; "d" ] in
       solver_models = reference)
 
+(* ---- Differential testing of the grounder itself ---- *)
+
+(* An independent naive reference grounder for function-free,
+   interval-free normal programs: enumerate every substitution against
+   the possible-atom base, iterate to fixpoint, then instantiate. It is
+   deliberately quadratic and shares no code with the semi-naive indexed
+   implementation in Asp.Grounder. *)
+let reference_ground (p : Asp.Program.t) :
+    Asp.Grounder.ground_rule list * Asp.Atom.Set.t =
+  let open Asp in
+  let rules = Program.rules p in
+  let split r =
+    List.fold_left
+      (fun (pos, neg, cmps) -> function
+        | Rule.Pos a -> (a :: pos, neg, cmps)
+        | Rule.Neg a -> (pos, a :: neg, cmps)
+        | Rule.Cmp (op, t1, t2) -> (pos, neg, (op, t1, t2) :: cmps)
+        | Rule.Count _ -> (pos, neg, cmps))
+      ([], [], []) r.Rule.body
+    |> fun (pos, neg, cmps) -> (List.rev pos, List.rev neg, List.rev cmps)
+  in
+  (* all substitutions matching the positive literals against [base] *)
+  let rec enum base subst pos k =
+    match pos with
+    | [] -> k subst
+    | a :: rest ->
+      Atom.Set.iter
+        (fun b ->
+          match Atom.match_atom subst a b with
+          | Some s -> enum base s rest k
+          | None -> ())
+        base
+  in
+  let cmp_ok s (op, t1, t2) =
+    Rule.eval_cmp op (Term.apply s t1) (Term.apply s t2)
+  in
+  let base = ref Atom.Set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        match r.Rule.head with
+        | Rule.Head h ->
+          let pos, _, cmps = split r in
+          enum !base Term.subst_empty pos (fun s ->
+              if List.for_all (cmp_ok s) cmps then begin
+                let hg = Atom.apply s h in
+                if not (Atom.Set.mem hg !base) then begin
+                  base := Atom.Set.add hg !base;
+                  changed := true
+                end
+              end)
+        | _ -> ())
+      rules
+  done;
+  let grules = ref [] in
+  List.iter
+    (fun r ->
+      match r.Rule.head with
+      | Rule.Head h ->
+        let pos, neg, cmps = split r in
+        enum !base Term.subst_empty pos (fun s ->
+            if List.for_all (cmp_ok s) cmps then begin
+              let gneg =
+                List.map (Atom.apply s) neg
+                |> List.filter (fun a -> Atom.Set.mem a !base)
+              in
+              grules :=
+                {
+                  Grounder.ghead = Grounder.GAtom (Atom.apply s h);
+                  gpos = List.map (Atom.apply s) pos;
+                  gneg;
+                  gcounts = [];
+                }
+                :: !grules
+            end)
+      | _ -> ())
+    rules;
+  (!grules, !base)
+
+(* Compare ground programs modulo rule order, literal order within a
+   body, and duplicate instances. *)
+let normalized_rule_strings (grules : Asp.Grounder.ground_rule list) =
+  grules
+  |> List.map (fun (gr : Asp.Grounder.ground_rule) ->
+         let s = List.sort_uniq Asp.Atom.compare in
+         Fmt.str "%a" Asp.Grounder.pp_ground_rule
+           { gr with Asp.Grounder.gpos = s gr.Asp.Grounder.gpos; gneg = s gr.Asp.Grounder.gneg })
+  |> List.sort_uniq compare
+
+(* Random safe function-free programs: facts over p/1 and q/2, rules
+   whose heads are h/1 or r/1, positive bodies over all four predicates,
+   optional negative literal (h or r) and comparison over bound
+   variables. Safety holds by construction: head, negative, and
+   comparison arguments only use variables bound by the positive body. *)
+let gen_fo_program_source =
+  QCheck2.Gen.(
+    let rterm = function `C i -> string_of_int i | `V v -> v in
+    let rlit (p, args) =
+      p ^ "(" ^ String.concat ", " (List.map rterm args) ^ ")"
+    in
+    let gconst = map (fun i -> `C i) (int_range 1 2) in
+    let gterm = oneof [ gconst; map (fun v -> `V v) (oneofl [ "X"; "Y" ]) ] in
+    let lit1 name = map (fun t -> (name, [ t ])) gterm in
+    let lit2 name = map2 (fun a b -> (name, [ a; b ])) gterm gterm in
+    let pos_lit = oneof [ lit1 "p"; lit2 "q"; lit1 "h"; lit1 "r" ] in
+    let fact =
+      oneof
+        [ map (fun i -> ("p", [ `C i ])) (int_range 1 2);
+          map2 (fun i j -> ("q", [ `C i; `C j ])) (int_range 1 2) (int_range 1 2) ]
+    in
+    let rule =
+      let* pos = list_size (int_range 1 2) pos_lit in
+      let bound =
+        List.concat_map
+          (fun (_, args) ->
+            List.filter_map (function `V v -> Some v | `C _ -> None) args)
+          pos
+      in
+      let bound_term =
+        match bound with
+        | [] -> gconst
+        | vs -> oneof [ gconst; map (fun v -> `V v) (oneofl vs) ]
+      in
+      let* head_pred = oneofl [ "h"; "r" ] in
+      let* head_arg = bound_term in
+      let* neg =
+        option (map2 (fun p t -> (p, [ t ])) (oneofl [ "h"; "r" ]) bound_term)
+      in
+      let* cmp =
+        match bound with
+        | [] -> return None
+        | vs ->
+          option
+            (map3
+               (fun v op b -> Printf.sprintf "%s %s %d" v op b)
+               (oneofl vs) (oneofl [ "<"; ">=" ]) (int_range 1 2))
+      in
+      let body =
+        List.map rlit pos
+        @ (match neg with Some l -> [ "not " ^ rlit l ] | None -> [])
+        @ match cmp with Some c -> [ c ] | None -> []
+      in
+      return
+        (Printf.sprintf "%s :- %s." (rlit (head_pred, [ head_arg ]))
+           (String.concat ", " body))
+    in
+    let* facts = list_size (int_range 1 4) fact in
+    let* rules = list_size (int_range 1 3) rule in
+    return (String.concat " " (List.map (fun f -> rlit f ^ ".") facts @ rules)))
+
+let prop_grounder_matches_naive_reference =
+  QCheck2.Test.make
+    ~name:"semi-naive grounder agrees with naive reference" ~count:300
+    gen_fo_program_source (fun src ->
+      let p = parse src in
+      QCheck2.assume (List.for_all Asp.Rule.is_safe (Asp.Program.rules p));
+      let gp = Asp.Grounder.ground p in
+      let ref_rules, ref_base = reference_ground p in
+      Asp.Atom.Set.equal gp.Asp.Grounder.base ref_base
+      && normalized_rule_strings gp.Asp.Grounder.grules
+         = normalized_rule_strings ref_rules)
+
+let prop_solver_models_match_ground_reference =
+  (* first-order pipeline check: models of the solver on the original
+     program equal the brute-force stable models of the independently
+     grounded program *)
+  QCheck2.Test.make
+    ~name:"solver models agree with reference grounding + brute force"
+    ~count:150 gen_fo_program_source (fun src ->
+      let p = parse src in
+      let ref_rules, ref_base = reference_ground p in
+      QCheck2.assume (Asp.Atom.Set.cardinal ref_base <= 10);
+      let atoms = List.map Asp.Atom.to_string (Asp.Atom.Set.elements ref_base) in
+      let prop_rules =
+        List.map
+          (fun (gr : Asp.Grounder.ground_rule) ->
+            let head =
+              match gr.Asp.Grounder.ghead with
+              | Asp.Grounder.GAtom a -> Some (Asp.Atom.to_string a)
+              | _ -> None
+            in
+            ( head,
+              List.map Asp.Atom.to_string gr.Asp.Grounder.gpos,
+              List.map Asp.Atom.to_string gr.Asp.Grounder.gneg ))
+          ref_rules
+      in
+      let reference = reference_stable_models prop_rules atoms in
+      let solver_models =
+        Asp.Solver.solve p
+        |> List.map (fun m ->
+               List.map Asp.Atom.to_string (Asp.Atom.Set.elements m)
+               |> List.sort compare)
+        |> List.sort compare
+      in
+      solver_models = reference)
+
 (* pretty-print / parse roundtrip over random rule ASTs *)
 let gen_rule =
   QCheck2.Gen.(
@@ -691,6 +919,8 @@ let qcheck_cases =
       prop_choice_models_within_bounds;
       prop_models_satisfy_constraints;
       prop_solver_matches_reference;
+      prop_grounder_matches_naive_reference;
+      prop_solver_models_match_ground_reference;
       prop_rule_pp_parse_roundtrip ]
 
 let () =
@@ -721,6 +951,16 @@ let () =
           Alcotest.test_case "comparison" `Quick test_ground_comparison;
           Alcotest.test_case "eq binding" `Quick test_ground_eq_binding;
           Alcotest.test_case "neg underivable" `Quick test_ground_neg_underivable;
+          Alcotest.test_case "neg interval underivable" `Quick
+            test_neg_interval_underivable;
+          Alcotest.test_case "neg interval partial base" `Quick
+            test_neg_interval_partial_base;
+          Alcotest.test_case "neg interval full base" `Quick
+            test_neg_interval_full_base;
+          Alcotest.test_case "neg interval conjunction" `Quick
+            test_neg_interval_conjunction_choice;
+          Alcotest.test_case "neg nonground outside base" `Quick
+            test_neg_nonground_outside_base;
         ] );
       ( "dependency",
         [

@@ -28,7 +28,9 @@ let pred_of (a : Atom.t) : pred = (a.pred, Atom.arity a)
 
 (** Build the predicate dependency graph of a program. There is an edge
     h -> b (positive or negative) whenever some rule has head predicate h
-    and body literal with predicate b. Constraint bodies add no edges. *)
+    and body literal with predicate b; a choice element's atom also
+    depends positively on the element's condition predicates. Constraint
+    bodies add no edges. *)
 let build (p : Program.t) : graph =
   let add_edge map from_ to_ kind =
     let existing = Option.value ~default:[] (PredMap.find_opt from_ map) in
@@ -36,9 +38,22 @@ let build (p : Program.t) : graph =
     else PredMap.add from_ ((to_, kind) :: existing) map
   in
   let all_preds = Program.predicates p in
+  let add_choice_condition_edges map (r : Rule.t) =
+    match r.head with
+    | Rule.Choice (_, elts, _) ->
+      List.fold_left
+        (fun map (e : Rule.choice_elt) ->
+          let h = pred_of e.choice_atom in
+          List.fold_left
+            (fun map c -> add_edge map h (pred_of c) Positive)
+            map e.condition)
+        map elts
+    | _ -> map
+  in
   let edges =
     List.fold_left
       (fun map (r : Rule.t) ->
+        let map = add_choice_condition_edges map r in
         let heads = List.map pred_of (head_atoms r) in
         List.fold_left
           (fun map h ->

@@ -16,6 +16,7 @@ type t =
       absent : Atom.t list;
     }
 
+(** The atom a justification explains. *)
 val atom_of : t -> Atom.t
 
 (** Justify every atom of a stable model. *)
@@ -24,6 +25,8 @@ val justify_all : Grounder.ground_program -> Solver.model -> t Atom.Map.t
 (** Justification for one atom, if derivable. *)
 val justify : Grounder.ground_program -> Solver.model -> Atom.t -> t option
 
+(** Height of the derivation tree (a fact has depth 1). *)
 val depth : t -> int
+
 val pp : ?indent:int -> Format.formatter -> t -> unit
 val to_string : t -> string

@@ -6,55 +6,115 @@
     unique answer-set candidate directly; otherwise the solver branches
     only on the atoms left between the bounds. Choice rules are handled
     conservatively: they contribute to the upper bound but never force an
-    atom true. *)
+    atom true.
+
+    Each application of the reduct operator runs as a worklist least-model
+    computation over an integer-indexed copy of the program — linear in
+    program size — rather than repeated full-program scans. *)
 
 type bounds = { lower : Atom.Set.t; upper : Atom.Set.t }
 
-(** Least fixpoint of one application of the reduct operator.
-    [negatives_wrt] decides which negative literals count as satisfied
-    (an atom's negation holds iff the atom is outside that set).
-    [include_choices] makes choice heads derivable (upper-bound mode). *)
-let gamma (gp : Grounder.ground_program) ~negatives_wrt ~include_choices =
-  let derived = ref Atom.Set.empty in
-  let changed = ref true in
-  let neg_ok atoms = List.for_all (fun a -> not (Atom.Set.mem a negatives_wrt)) atoms in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun (r : Grounder.ground_rule) ->
-        let body_fires =
-          List.for_all (fun a -> Atom.Set.mem a !derived) r.gpos && neg_ok r.gneg
-        in
-        if body_fires then
-          match r.ghead with
-          | Grounder.GAtom a ->
-            if not (Atom.Set.mem a !derived) then begin
-              derived := Atom.Set.add a !derived;
-              changed := true
-            end
-          | Grounder.GFalse | Grounder.GWeak _ -> ()
-          | Grounder.GChoice (_, atoms, _) ->
-            if include_choices then
-              List.iter
-                (fun a ->
-                  if not (Atom.Set.mem a !derived) then begin
-                    derived := Atom.Set.add a !derived;
-                    changed := true
-                  end)
-                atoms)
-      gp.grules
+(* Integer-indexed program view, built once per [compute] call. *)
+type indexed = {
+  atoms : Atom.t array;
+  heads : int array;  (** derived atom per rule, or -1 (constraint/weak) *)
+  choices : int array array;  (** choice-element atoms per rule ([||] if none) *)
+  ipos : int array array;
+  ineg : int array array;
+  pos_occ : int list array;  (** rules with atom i in their positive body *)
+}
+
+let index (gp : Grounder.ground_program) : indexed =
+  let atoms = Array.of_list (Atom.Set.elements gp.base) in
+  let id_of = Hashtbl.create (Array.length atoms * 2) in
+  Array.iteri (fun i a -> Hashtbl.replace id_of a i) atoms;
+  let id a = Hashtbl.find id_of a in
+  let rules = Array.of_list gp.grules in
+  let nr = Array.length rules in
+  let heads = Array.make nr (-1) in
+  let choices = Array.make nr [||] in
+  let ipos = Array.make nr [||] in
+  let ineg = Array.make nr [||] in
+  let pos_occ = Array.make (Array.length atoms) [] in
+  Array.iteri
+    (fun ri (r : Grounder.ground_rule) ->
+      (match r.ghead with
+      | Grounder.GAtom a -> heads.(ri) <- id a
+      | Grounder.GChoice (_, ats, _) ->
+        choices.(ri) <- Array.of_list (List.map id ats)
+      | Grounder.GFalse | Grounder.GWeak _ -> ());
+      ipos.(ri) <- Array.of_list (List.map id r.gpos);
+      ineg.(ri) <- Array.of_list (List.map id r.gneg);
+      Array.iter (fun a -> pos_occ.(a) <- ri :: pos_occ.(a)) ipos.(ri))
+    rules;
+  { atoms; heads; choices; ipos; ineg; pos_occ }
+
+(** Least fixpoint of one application of the reduct operator, as a
+    worklist derivation with remaining-positive-literal counters.
+    [negatives_wrt] decides which negative literals count as satisfied (an
+    atom's negation holds iff the atom is outside that set).
+    [include_choices] makes choice heads derivable (upper-bound mode).
+    Writes the result into [out]. *)
+let gamma (ix : indexed) ~negatives_wrt ~include_choices ~out =
+  let n = Array.length ix.atoms in
+  let nr = Array.length ix.heads in
+  Array.fill out 0 n false;
+  let rem_pos = Array.make nr 0 in
+  let work = ref [] in
+  let derive a =
+    if not out.(a) then begin
+      out.(a) <- true;
+      work := a :: !work
+    end
+  in
+  let fire ri =
+    if ix.heads.(ri) >= 0 then derive ix.heads.(ri)
+    else if include_choices then Array.iter derive ix.choices.(ri)
+  in
+  for ri = 0 to nr - 1 do
+    rem_pos.(ri) <- Array.length ix.ipos.(ri);
+    let neg_ok = Array.for_all (fun a -> not negatives_wrt.(a)) ix.ineg.(ri) in
+    if not neg_ok then rem_pos.(ri) <- max_int (* can never fire *)
+    else if rem_pos.(ri) = 0 then fire ri
   done;
-  !derived
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | a :: rest ->
+      work := rest;
+      List.iter
+        (fun ri ->
+          if rem_pos.(ri) <> max_int then begin
+            rem_pos.(ri) <- rem_pos.(ri) - 1;
+            if rem_pos.(ri) = 0 then fire ri
+          end)
+        ix.pos_occ.(a)
+  done
 
 (** Alternating fixpoint: returns well-founded lower/upper bounds. *)
 let compute (gp : Grounder.ground_program) : bounds =
-  let rec iterate lower upper =
-    let lower' = gamma gp ~negatives_wrt:upper ~include_choices:false in
-    let upper' = gamma gp ~negatives_wrt:lower' ~include_choices:true in
-    if Atom.Set.equal lower lower' && Atom.Set.equal upper upper' then
-      { lower = lower'; upper = upper' }
-    else iterate lower' upper'
+  let ix = index gp in
+  let n = Array.length ix.atoms in
+  let lower = Array.make n false in
+  let upper = Array.make n true in
+  let lower' = Array.make n false in
+  let upper' = Array.make n false in
+  let continue = ref true in
+  while !continue do
+    gamma ix ~negatives_wrt:upper ~include_choices:false ~out:lower';
+    gamma ix ~negatives_wrt:lower' ~include_choices:true ~out:upper';
+    if lower = lower' (* structural: same contents *) && upper = upper' then
+      continue := false
+    else begin
+      Array.blit lower' 0 lower 0 n;
+      Array.blit upper' 0 upper 0 n
+    end
+  done;
+  let to_set flags =
+    let s = ref Atom.Set.empty in
+    Array.iteri (fun i v -> if v then s := Atom.Set.add ix.atoms.(i) !s) flags;
+    !s
   in
-  iterate Atom.Set.empty gp.base
+  { lower = to_set lower; upper = to_set upper }
 
 let is_total b = Atom.Set.equal b.lower b.upper

@@ -5,6 +5,9 @@
 
 type bounds = { lower : Atom.Set.t; upper : Atom.Set.t }
 
+(** The well-founded bounds of a ground program, by iterating the
+    alternating fixpoint of the indexed immediate-consequence operator
+    until the bounds stabilize. *)
 val compute : Grounder.ground_program -> bounds
 
 (** Do the bounds coincide (the well-founded model is total)? *)

@@ -12,8 +12,12 @@ type hypothesis = Hypothesis_space.candidate list
 val make :
   gpm:Asg.Gpm.t -> space:Hypothesis_space.t -> examples:Example.t list -> t
 
+(** The positively / negatively labelled examples of the task. *)
 val positives : t -> Example.t list
+
 val negatives : t -> Example.t list
+
+(** Summed candidate costs (the learner's minimization objective). *)
 val hypothesis_cost : hypothesis -> int
 
 (** [G : H]. *)
