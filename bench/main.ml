@@ -3,6 +3,7 @@
      dune exec bench/main.exe                 -- full run
      dune exec bench/main.exe -- --quick      -- reduced sizes
      dune exec bench/main.exe -- --timings    -- add Bechamel micro-benches
+     dune exec bench/main.exe -- --trace F    -- write a Chrome trace to F
      dune exec bench/main.exe -- fig3a cav    -- selected experiments only *)
 
 let registry =
@@ -27,8 +28,20 @@ let registry =
     ("perf", Experiments.perf);
   ]
 
+(* Extract "--trace FILE" from the raw argument list, returning the file
+   (if any) and the arguments with both tokens removed. *)
+let rec extract_trace = function
+  | [] -> (None, [])
+  | "--trace" :: file :: rest ->
+    let _, rest = extract_trace rest in
+    (Some file, rest)
+  | a :: rest ->
+    let tr, rest = extract_trace rest in
+    (tr, a :: rest)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let trace_file, args = extract_trace args in
   let quick = List.mem "--quick" args in
   let timings = List.mem "--timings" args in
   let selected =
@@ -45,7 +58,21 @@ let () =
       (String.concat ", " (List.map fst registry));
     exit 1
   end;
+  (* Coarse spans only: a full experiment run produces millions of fine
+     spans, so the detail gate stays shut to bound trace memory. *)
+  if trace_file <> None then Obs.Trace.start ();
   let t0 = Sys.time () in
-  List.iter (fun (_, f) -> f ~quick ()) to_run;
+  List.iter
+    (fun (name, f) -> Obs.span ("bench." ^ name) (fun () -> f ~quick ()))
+    to_run;
   if timings then Timings.run ();
+  (match trace_file with
+  | Some path ->
+    let spans = Obs.Trace.stop () in
+    Obs.Trace.write_chrome path spans;
+    Fmt.pr "@.trace: %d span(s) -> %s%s@." (List.length spans) path
+      (if Obs.Trace.dropped () > 0 then
+         Printf.sprintf " (%d dropped)" (Obs.Trace.dropped ())
+       else "")
+  | None -> ());
   Fmt.pr "@.total wall time: %.1fs@." (Sys.time () -. t0)

@@ -1,5 +1,6 @@
 (* The agenp command-line tool: solve ASP programs, check/generate/learn
-   answer set grammars, and explain decisions — all from files.
+   answer set grammars, explain decisions, and drive the AGENP closed
+   loop — all from files.
 
    File formats:
    - ASP programs / contexts: plain ASP text (see lib/asp/parser.ml).
@@ -7,7 +8,21 @@
    - Examples: one per line, [+ sentence | context-program] for positive
      and [- sentence | context-program] for negative (context optional).
    - Hypothesis spaces: one per line, [prod_ids | annotated-rule], e.g.
-     [0 | :- result(accept)@1, weather(snow).]. *)
+     [0 | :- result(accept)@1, weather(snow).].
+   Blank lines and lines starting with '#' are ignored in both.
+
+   Every subcommand accepts [--trace FILE] (write a Chrome trace_event
+   JSON of the run, loadable in chrome://tracing or Perfetto) and
+   [--report] (print the aggregate span/counter report on exit). *)
+
+(** A malformed input file; the message carries [path:line:]. *)
+exception Cli_input_error of string
+
+let input_error path lineno fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise (Cli_input_error (Printf.sprintf "%s:%d: %s" path lineno msg)))
+    fmt
 
 let read_file path =
   let ic = open_in_bin path in
@@ -16,65 +31,130 @@ let read_file path =
   close_in ic;
   s
 
+(** Lines of [path] with 1-based numbers, blanks and '#' comments
+    dropped, leading/trailing whitespace trimmed. *)
+let numbered_lines path =
+  read_file path
+  |> String.split_on_char '\n'
+  |> List.mapi (fun i line -> (i + 1, String.trim line))
+  |> List.filter (fun (_, line) -> line <> "" && line.[0] <> '#')
+
+(** Parse an embedded ASP fragment, rewrapping engine errors with the
+    file position. *)
+let parse_asp_at path lineno what text =
+  match Asp.Parser.parse_program text with
+  | p -> p
+  | exception Asp.Parser.Parse_error msg ->
+    input_error path lineno "bad %s: %s" what msg
+  | exception Asp.Lexer.Lex_error (msg, _) ->
+    input_error path lineno "bad %s: %s" what msg
+
 let load_context = function
   | None -> Asp.Program.empty
   | Some path -> Asp.Parser.parse_program (read_file path)
 
 let parse_examples_file path : Ilp.Example.t list =
-  read_file path
-  |> String.split_on_char '\n'
-  |> List.filter_map (fun line ->
-         let line = String.trim line in
-         if line = "" || line.[0] = '#' then None
-         else begin
-           let label, rest =
-             match line.[0] with
-             | '+' -> (`Pos, String.sub line 1 (String.length line - 1))
-             | '-' -> (`Neg, String.sub line 1 (String.length line - 1))
-             | _ ->
-               failwith
-                 (Printf.sprintf "example line must start with + or -: %s" line)
-           in
-           let sentence, ctx =
-             match String.index_opt rest '|' with
-             | None -> (String.trim rest, "")
-             | Some i ->
-               ( String.trim (String.sub rest 0 i),
-                 String.sub rest (i + 1) (String.length rest - i - 1) )
-           in
-           let context = Asp.Parser.parse_program ctx in
-           Some
-             (match label with
-             | `Pos -> Ilp.Example.positive ~context sentence
-             | `Neg -> Ilp.Example.negative ~context sentence)
-         end)
+  numbered_lines path
+  |> List.map (fun (lineno, line) ->
+         let label, rest =
+           match line.[0] with
+           | '+' -> (`Pos, String.sub line 1 (String.length line - 1))
+           | '-' -> (`Neg, String.sub line 1 (String.length line - 1))
+           | _ ->
+             input_error path lineno
+               "example line must start with '+' or '-': %s" line
+         in
+         let sentence, ctx =
+           match String.index_opt rest '|' with
+           | None -> (String.trim rest, "")
+           | Some i ->
+             ( String.trim (String.sub rest 0 i),
+               String.sub rest (i + 1) (String.length rest - i - 1) )
+         in
+         if sentence = "" then input_error path lineno "empty sentence";
+         let context = parse_asp_at path lineno "context program" ctx in
+         match label with
+         | `Pos -> Ilp.Example.positive ~context sentence
+         | `Neg -> Ilp.Example.negative ~context sentence)
 
 let parse_space_file path : Ilp.Hypothesis_space.t =
-  read_file path
-  |> String.split_on_char '\n'
-  |> List.filter_map (fun line ->
-         let line = String.trim line in
-         if line = "" || line.[0] = '#' then None
-         else
-           match String.index_opt line '|' with
-           | None ->
-             failwith
-               (Printf.sprintf "space line must be 'prods | rule': %s" line)
-           | Some i ->
-             let prods =
-               String.sub line 0 i |> String.split_on_char ' '
-               |> List.filter_map (fun s ->
-                      match int_of_string_opt (String.trim s) with
+  numbered_lines path
+  |> List.concat_map (fun (lineno, line) ->
+         match String.index_opt line '|' with
+         | None ->
+           input_error path lineno "space line must be 'prods | rule': %s" line
+         | Some i ->
+           let prods =
+             String.sub line 0 i |> String.split_on_char ' '
+             |> List.filter_map (fun s ->
+                    let s = String.trim s in
+                    if s = "" then None
+                    else
+                      match int_of_string_opt s with
                       | Some n -> Some n
-                      | None -> None)
-             in
-             let rule = String.sub line (i + 1) (String.length line - i - 1) in
-             Some (String.trim rule, prods))
-  |> fun entries -> Ilp.Hypothesis_space.of_rules entries
+                      | None ->
+                        input_error path lineno
+                          "production ids must be integers: %s" s)
+           in
+           let rule =
+             String.trim (String.sub line (i + 1) (String.length line - i - 1))
+           in
+           (* one of_rules call per line so parse errors carry the line *)
+           (match Ilp.Hypothesis_space.of_rules [ (rule, prods) ] with
+           | space -> space
+           | exception Asp.Parser.Parse_error msg ->
+             input_error path lineno "bad rule: %s" msg
+           | exception Asp.Lexer.Lex_error (msg, _) ->
+             input_error path lineno "bad rule: %s" msg))
+
+(* ---- observability ----------------------------------------------------- *)
+
+type obs_opts = { trace : string option; report : bool }
+
+(** Run a command body under the requested observability: start trace
+    collection (with fine spans) when [--trace] is given, and emit the
+    trace file / aggregate report when the body is done — also on the
+    error path, so a failing run still leaves its trace behind. *)
+let with_obs (o : obs_opts) f =
+  (match o.trace with
+  | Some _ ->
+    Obs.set_detailed true;
+    Obs.Trace.start ()
+  | None -> ());
+  let finish () =
+    (match o.trace with
+    | Some path ->
+      let spans = Obs.Trace.stop () in
+      Obs.Trace.write_chrome path spans;
+      Fmt.epr "%% trace: %d span(s) -> %s%s@." (List.length spans) path
+        (if Obs.Trace.dropped () > 0 then
+           Printf.sprintf " (%d dropped)" (Obs.Trace.dropped ())
+         else "")
+    | None -> ());
+    if o.report then Fmt.pr "%s@?" (Obs.report_to_string (Obs.report ()))
+  in
+  Fun.protect ~finally:finish f
+
+(** Turn input errors into a clean one-line diagnostic (exit code 2)
+    instead of an uncaught-exception backtrace. *)
+let guard f =
+  try f () with
+  | Cli_input_error msg | Sys_error msg ->
+    Fmt.epr "agenp: %s@." msg;
+    2
+  | Asp.Parser.Parse_error msg ->
+    Fmt.epr "agenp: parse error: %s@." msg;
+    2
+  | Asp.Lexer.Lex_error (msg, pos) ->
+    Fmt.epr "agenp: lex error at offset %d: %s@." pos msg;
+    2
+
+let run obs f = with_obs obs (fun () -> guard f)
 
 (* ---- commands --------------------------------------------------------- *)
 
-let solve_cmd file models optimal =
+let solve_cmd obs file models optimal =
+  run obs @@ fun () ->
   let program = Asp.Parser.parse_program (read_file file) in
   if optimal then begin
     match Asp.Solver.solve_optimal program with
@@ -99,7 +179,8 @@ let solve_cmd file models optimal =
       0
   end
 
-let ground_cmd file =
+let ground_cmd obs file =
+  run obs @@ fun () ->
   let program = Asp.Parser.parse_program (read_file file) in
   let gp = Asp.Grounder.ground program in
   List.iter (Fmt.pr "%a@." Asp.Grounder.pp_ground_rule) gp.Asp.Grounder.grules;
@@ -107,7 +188,8 @@ let ground_cmd file =
     (Asp.Grounder.atom_count gp) (Asp.Grounder.size gp);
   0
 
-let check_cmd grammar sentence context =
+let check_cmd obs grammar sentence context =
+  run obs @@ fun () ->
   let gpm = Asg.Asg_parser.parse (read_file grammar) in
   let context = load_context context in
   if Asg.Membership.accepts_in_context gpm ~context sentence then begin
@@ -119,7 +201,8 @@ let check_cmd grammar sentence context =
     1
   end
 
-let generate_cmd grammar context depth ranked =
+let generate_cmd obs grammar context depth ranked =
+  run obs @@ fun () ->
   let gpm = Asg.Asg_parser.parse (read_file grammar) in
   let context = load_context context in
   if ranked then
@@ -131,7 +214,8 @@ let generate_cmd grammar context depth ranked =
       (Asg.Language.sentences_in_context ~max_depth:depth gpm ~context);
   0
 
-let learn_cmd grammar examples space save =
+let learn_cmd obs grammar examples space save =
+  run obs @@ fun () ->
   let gpm = Asg.Asg_parser.parse (read_file grammar) in
   let examples = parse_examples_file examples in
   let space = parse_space_file space in
@@ -153,7 +237,8 @@ let learn_cmd grammar examples space save =
       Fmt.pr "%% learned grammar written to %s@." path);
     0
 
-let explain_cmd grammar sentence context =
+let explain_cmd obs grammar sentence context =
+  run obs @@ fun () ->
   let gpm = Asg.Asg_parser.parse (read_file grammar) in
   let context = load_context context in
   if Asg.Membership.accepts_in_context gpm ~context sentence then begin
@@ -167,6 +252,48 @@ let explain_cmd grammar sentence context =
       (Explain.Why.why_not_to_string (Explain.Why.why_not gpm ~context sentence));
     1
   end
+
+(** Drive the XACML request log through the full AGENP closed loop (PIP →
+    PDP → PEP → PAdaP), exercising every layer of the stack — the
+    workload behind the stock trace/report demonstration. *)
+let pipeline_cmd obs requests seed =
+  run obs @@ fun () ->
+  let spec : Agenp.Prep.pbms_spec =
+    {
+      Agenp.Prep.grammar_text =
+        Asg.Asg_parser.render (Workloads.Xacml_logs.gpm ());
+      global_constraints = [];
+    }
+  in
+  let space = Ilp.Hypothesis_space.generate (Workloads.Xacml_logs.modes ()) in
+  (* ground truth for the request currently being enforced; set from the
+     log before each PDP call, read by the monitoring oracle *)
+  let truth = ref Policy.Decision.Permit in
+  let env : Agenp.Ams.environment =
+    {
+      Agenp.Ams.options = [ "permit"; "deny" ];
+      oracle =
+        (fun _context opt ->
+          match opt with
+          | "deny" -> true (* denying is always safe *)
+          | "permit" -> Policy.Decision.equal !truth Policy.Decision.Permit
+          | _ -> false);
+      audit_rate = 0.0;
+    }
+  in
+  let ams = Agenp.Ams.create ~name:"xacml-ams" ~seed ~spec ~space env in
+  let log = Workloads.Xacml_logs.log ~seed ~n:requests () in
+  List.iter
+    (fun (r, d) ->
+      truth := d;
+      ignore (Agenp.Ams.handle_request ams (Policy.Request.to_context r)))
+    log;
+  Fmt.pr "%d request(s), compliance %.3f, %d adaptation(s), %d rule(s) learned@."
+    (List.length log)
+    (Agenp.Ams.compliance_rate ams)
+    (Agenp.Ams.relearn_count ams)
+    (List.length (Agenp.Ams.hypothesis ams));
+  0
 
 let repl_cmd () =
   Fmt.pr "agenp ASP repl — enter rules ending with '.', then:@.";
@@ -252,6 +379,19 @@ open Cmdliner
 
 let file_arg ~doc n name = Arg.(required & pos n (some file) None & info [] ~docv:name ~doc)
 
+let obs_t =
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the run to FILE \
+                 (view in chrome://tracing or ui.perfetto.dev). Enables \
+                 fine-grained spans.")
+  in
+  let report =
+    Arg.(value & flag & info [ "report" ]
+           ~doc:"Print the aggregate span/counter report after the run.")
+  in
+  Term.(const (fun trace report -> { trace; report }) $ trace $ report)
+
 let context_opt =
   Arg.(value & opt (some file) None & info [ "context"; "c" ] ~docv:"FILE"
          ~doc:"ASP program providing the context facts/rules.")
@@ -267,12 +407,13 @@ let solve_t =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute the answer sets of an ASP program.")
-    Term.(const solve_cmd $ file_arg ~doc:"ASP program file." 0 "FILE" $ models $ optimal)
+    Term.(const solve_cmd $ obs_t $ file_arg ~doc:"ASP program file." 0 "FILE"
+          $ models $ optimal)
 
 let ground_t =
   Cmd.v
     (Cmd.info "ground" ~doc:"Print the ground instantiation of an ASP program.")
-    Term.(const ground_cmd $ file_arg ~doc:"ASP program file." 0 "FILE")
+    Term.(const ground_cmd $ obs_t $ file_arg ~doc:"ASP program file." 0 "FILE")
 
 let sentence_arg n =
   Arg.(required & pos n (some string) None & info [] ~docv:"SENTENCE"
@@ -281,7 +422,7 @@ let sentence_arg n =
 let check_t =
   Cmd.v
     (Cmd.info "check" ~doc:"Check membership of a sentence in an ASG's language.")
-    Term.(const check_cmd $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
+    Term.(const check_cmd $ obs_t $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
           $ sentence_arg 1 $ context_opt)
 
 let generate_t =
@@ -296,7 +437,7 @@ let generate_t =
   Cmd.v
     (Cmd.info "generate"
        ~doc:"Generate the valid policies of an ASG (optionally in a context).")
-    Term.(const generate_cmd $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
+    Term.(const generate_cmd $ obs_t $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
           $ context_opt $ depth $ ranked)
 
 let learn_t =
@@ -307,10 +448,24 @@ let learn_t =
   Cmd.v
     (Cmd.info "learn"
        ~doc:"Learn ASG annotations from context-dependent examples.")
-    Term.(const learn_cmd $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
+    Term.(const learn_cmd $ obs_t $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
           $ file_arg ~doc:"Examples file (+/- sentence | context)." 1 "EXAMPLES"
           $ file_arg ~doc:"Hypothesis-space file (prods | rule)." 2 "SPACE"
           $ save)
+
+let pipeline_t =
+  let requests =
+    Arg.(value & opt int 40 & info [ "requests"; "n" ] ~docv:"N"
+           ~doc:"Number of access requests to replay.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Replay the XACML request log through the full AGENP closed \
+             loop (PIP, PDP, PEP, PAdaP); the go-to workload for --trace.")
+    Term.(const pipeline_cmd $ obs_t $ requests $ seed)
 
 let repl_t =
   Cmd.v
@@ -321,7 +476,7 @@ let explain_t =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Explain why a sentence is (in)valid under a context.")
-    Term.(const explain_cmd $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
+    Term.(const explain_cmd $ obs_t $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
           $ sentence_arg 1 $ context_opt)
 
 let () =
@@ -332,4 +487,5 @@ let () =
   in
   exit
     (Cmd.eval' (Cmd.group info
-          [ solve_t; ground_t; check_t; generate_t; learn_t; explain_t; repl_t ]))
+          [ solve_t; ground_t; check_t; generate_t; learn_t; explain_t;
+            pipeline_t; repl_t ]))

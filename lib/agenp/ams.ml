@@ -70,6 +70,7 @@ let learn_from t ~context option_ ~valid =
 
 (** The full request loop. Returns the enforcement record. *)
 let handle_request (t : t) (local_context : Asp.Program.t) : Pep.record =
+  Obs.span "agenp.ams.request" @@ fun () ->
   (* PIP: merge external conditions into the context *)
   let external_facts = Pip.poll_all t.pip in
   let context = Asp.Program.append local_context external_facts in

@@ -12,14 +12,22 @@ type decision = {
 
 let decide (gpm : Asg.Gpm.t) ~(context : Asp.Program.t)
     ~(options : string list) : decision =
+  Obs.span "agenp.pdp.decide"
+    ~attrs:[ ("options", string_of_int (List.length options)) ]
+  @@ fun () ->
   let valid_options =
     List.filter
       (fun opt -> Asg.Membership.accepts_in_context gpm ~context opt)
       options
   in
-  match valid_options with
-  | chosen :: _ -> { chosen; valid_options; fallback_used = false }
-  | [] -> (
-    match List.rev options with
-    | fallback :: _ -> { chosen = fallback; valid_options; fallback_used = true }
-    | [] -> invalid_arg "Pdp.decide: no options")
+  let d =
+    match valid_options with
+    | chosen :: _ -> { chosen; valid_options; fallback_used = false }
+    | [] -> (
+      match List.rev options with
+      | fallback :: _ ->
+        { chosen = fallback; valid_options; fallback_used = true }
+      | [] -> invalid_arg "Pdp.decide: no options")
+  in
+  Obs.set_attr "fallback_used" (string_of_bool d.fallback_used);
+  d

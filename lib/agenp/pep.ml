@@ -21,6 +21,7 @@ let create () = { log = []; tick = 0 }
     (ground truth oracle in simulations, human/monitoring in the field). *)
 let enforce (t : t) ~(context : Asp.Program.t) (decision : Pdp.decision)
     ~(verdict : bool) : record =
+  Obs.span "agenp.pep.enforce" @@ fun () ->
   t.tick <- t.tick + 1;
   let r = { tick = t.tick; context; decision; compliant = verdict } in
   t.log <- r :: t.log;

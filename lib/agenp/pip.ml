@@ -13,6 +13,13 @@ let register t name poll = t.sources <- t.sources @ [ { name; poll } ]
 
 (** Poll every source and merge the external facts. *)
 let poll_all (t : t) : Asp.Program.t =
-  Asp.Program.concat (List.map (fun s -> s.poll ()) t.sources)
+  Obs.span "agenp.pip.poll"
+    ~attrs:[ ("sources", string_of_int (List.length t.sources)) ]
+  @@ fun () ->
+  Asp.Program.concat
+    (List.map
+       (fun s ->
+         Obs.fine_span "agenp.pip.source" ~attrs:[ ("name", s.name) ] s.poll)
+       t.sources)
 
 let source_names t = List.map (fun s -> s.name) t.sources

@@ -15,6 +15,7 @@ type pbms_spec = {
 (** Refine the PBMS spec into the initial generative policy model:
     parse, drop useless productions, attach the global constraints. *)
 let refine (spec : pbms_spec) : Asg.Gpm.t =
+  Obs.span "agenp.prep.refine" @@ fun () ->
   let gpm = Asg.Gpm.clean (Asg.Asg_parser.parse spec.grammar_text) in
   let constraints =
     List.map Asg.Annotation.parse_rule_string spec.global_constraints
@@ -27,6 +28,8 @@ let refine (spec : pbms_spec) : Asg.Gpm.t =
     repository. Returns the stored version. *)
 let generate_policies ?(max_depth = 8) (gpm : Asg.Gpm.t)
     ~(context : Asp.Program.t) (repo : Repository.t) : int * string list =
+  Obs.span "agenp.prep.generate" @@ fun () ->
   let policies = Asg.Language.sentences_in_context ~max_depth gpm ~context in
   let version = Repository.store_policies repo policies in
+  Obs.set_attr "policies" (string_of_int (List.length policies));
   (version, policies)

@@ -2,17 +2,21 @@
     least one parse tree of the underlying CFG for [s] induces a program
     with an answer set. *)
 
+let c_hypothesis_evals = Obs.Counter.make "asg.hypothesis_evals"
+
 let tokenize sentence =
   String.split_on_char ' ' sentence |> List.filter (fun s -> s <> "")
 
 (** Does [tree] witness membership (its induced program is satisfiable)? *)
 let tree_accepted (g : Gpm.t) tree =
-  Asp.Stats.global.hypothesis_evals <- Asp.Stats.global.hypothesis_evals + 1;
+  Obs.Counter.incr c_hypothesis_evals;
+  Obs.fine_span "asg.tree_eval" @@ fun () ->
   Asp.Solver.has_answer_set (Tree_program.program g tree)
 
 (** Is the token list in the language of the grammar? Tries parse trees
     lazily and stops at the first satisfiable one. *)
 let accepts_tokens (g : Gpm.t) (tokens : string list) : bool =
+  Obs.span "asg.membership" @@ fun () ->
   let trees = Grammar.Earley.parses (Gpm.cfg g) tokens in
   List.exists (tree_accepted g) trees
 
@@ -27,13 +31,13 @@ let accepts_in_context (g : Gpm.t) ~(context : Asp.Program.t)
 (** A witnessing answer set for an accepted sentence, if any — the basis
     for decision explanations. *)
 let witness (g : Gpm.t) (sentence : string) : Asp.Solver.model option =
+  Obs.span "asg.witness" @@ fun () ->
   let trees = Grammar.Earley.parses (Gpm.cfg g) (tokenize sentence) in
   List.fold_left
     (fun acc tree ->
       match acc with
       | Some _ -> acc
       | None ->
-        Asp.Stats.global.hypothesis_evals <-
-          Asp.Stats.global.hypothesis_evals + 1;
+        Obs.Counter.incr c_hypothesis_evals;
         Asp.Solver.first_answer_set (Tree_program.program g tree))
     None trees

@@ -36,6 +36,14 @@
     division by zero) makes that rule instance inapplicable: the instance
     is dropped, mirroring the behaviour of positive builtin failure. *)
 
+(* Obs handles (shared with the Stats view, which registers the same
+   names): plain field increments, safe in the join hot path. *)
+let c_ground_calls = Obs.Counter.make "asp.ground.calls"
+let c_ground_rules = Obs.Counter.make "asp.ground.rules"
+let c_possible_atoms = Obs.Counter.make "asp.ground.possible_atoms"
+let c_delta_rounds = Obs.Counter.make "asp.ground.delta_rounds"
+let c_join_tuples = Obs.Counter.make "asp.ground.join_tuples"
+
 exception Unsafe_rule of Rule.t
 
 exception Aggregate_in_rule of Rule.t
@@ -419,7 +427,7 @@ let normalize_pattern (a : Atom.t) : Atom.t option =
 let run_plan b ~init (plan : jelt list) ~occ_of yield =
   let rec go subst pos_insts = function
     | [] ->
-      Stats.global.join_tuples <- Stats.global.join_tuples + 1;
+      Obs.Counter.incr c_join_tuples;
       yield subst pos_insts
     | JCheck (op, t1, t2) :: rest -> (
       match
@@ -548,33 +556,34 @@ let compute_possible_atoms (p : Program.t) : base =
       | [] -> ()
       | templates ->
         (* group round 0: naive pass over everything derived so far *)
-        List.iter
-          (fun t ->
-            run_plan b ~init:Term.subst_empty t.t_plan ~occ_of:any_occ
-              (fun subst _ -> derive_head b ~round:!round t subst))
-          templates;
+        Obs.fine_span "asp.ground.delta" (fun () ->
+            List.iter
+              (fun t ->
+                run_plan b ~init:Term.subst_empty t.t_plan ~occ_of:any_occ
+                  (fun subst _ -> derive_head b ~round:!round t subst))
+              templates);
         let continue = ref (base_flush b ~round:!round) in
         incr round;
-        Stats.global.delta_rounds <- Stats.global.delta_rounds + 1;
+        Obs.Counter.incr c_delta_rounds;
         (* semi-naive delta rounds until the group's fixpoint *)
         while !continue do
           let r = !round in
-          List.iter
-            (fun t ->
-              if t.t_npos > 0 then
-                for pivot = 0 to t.t_npos - 1 do
-                  run_plan b ~init:Term.subst_empty t.t_plan
-                    ~occ_of:(fun ord ->
-                      if ord < pivot then UpTo (r - 2)
-                      else if ord = pivot then Delta
-                      else UpTo (r - 1))
-                    (fun subst _ -> derive_head b ~round:r t subst)
-                done)
-            templates;
+          Obs.fine_span "asp.ground.delta" (fun () ->
+              List.iter
+                (fun t ->
+                  if t.t_npos > 0 then
+                    for pivot = 0 to t.t_npos - 1 do
+                      run_plan b ~init:Term.subst_empty t.t_plan
+                        ~occ_of:(fun ord ->
+                          if ord < pivot then UpTo (r - 2)
+                          else if ord = pivot then Delta
+                          else UpTo (r - 1))
+                        (fun subst _ -> derive_head b ~round:r t subst)
+                    done)
+                templates);
           continue := base_flush b ~round:r;
           incr round;
-          if !continue then
-            Stats.global.delta_rounds <- Stats.global.delta_rounds + 1
+          if !continue then Obs.Counter.incr c_delta_rounds
         done)
     groups;
   b
@@ -680,12 +689,14 @@ let head_instances_choice b subst (elems : elem_plan list) : Atom.t list =
     @raise Aggregate_in_rule when an aggregate occurs outside a constraint
     or weak-constraint body. *)
 let ground (p : Program.t) : ground_program =
-  Stats.time_ground @@ fun () ->
-  Stats.global.ground_calls <- Stats.global.ground_calls + 1;
+  Obs.span "asp.ground" @@ fun () ->
+  Obs.Counter.incr c_ground_calls;
   List.iter
     (fun r -> if not (Rule.is_safe r) then raise (Unsafe_rule r))
     p.rules;
-  let b = compute_possible_atoms p in
+  let b =
+    Obs.fine_span "asp.ground.possible" (fun () -> compute_possible_atoms p)
+  in
   let out = ref [] in
   let n_out = ref 0 in
   let emit gr =
@@ -708,7 +719,8 @@ let ground (p : Program.t) : ground_program =
       | None -> ())
     else emit { ghead = GAtom a; gpos; gneg; gcounts }
   in
-  List.iter
+  let instantiate () =
+    List.iter
     (fun (r : Rule.t) ->
       match (r.head, r.body) with
       | Rule.Head a, [] ->
@@ -763,13 +775,15 @@ let ground (p : Program.t) : ground_program =
             | None -> ()
             | Some (gpos, gneg, gcounts) ->
               head_action subst gpos gneg gcounts))
-    p.rules;
-  Stats.global.ground_rules <- Stats.global.ground_rules + !n_out;
+      p.rules
+  in
+  Obs.fine_span "asp.ground.instantiate" instantiate;
+  Obs.Counter.incr c_ground_rules ~by:!n_out;
   let base_set =
     Hashtbl.fold (fun a _ acc -> Atom.Set.add a acc) b.stamp Atom.Set.empty
   in
-  Stats.global.possible_atoms <-
-    Stats.global.possible_atoms + Atom.Set.cardinal base_set;
+  Obs.Counter.incr c_possible_atoms ~by:(Atom.Set.cardinal base_set);
+  Obs.set_attr "ground_rules" (string_of_int !n_out);
   { grules = List.rev !out; base = base_set }
 
 let size gp = List.length gp.grules

@@ -20,6 +20,13 @@
 
 type model = Atom.Set.t
 
+let c_solve_calls = Obs.Counter.make "asp.solve.calls"
+let c_propagations = Obs.Counter.make "asp.solve.propagations"
+let c_decisions = Obs.Counter.make "asp.solve.decisions"
+let c_conflicts = Obs.Counter.make "asp.solve.conflicts"
+let c_gl_checks = Obs.Counter.make "asp.solve.gl_checks"
+let c_models_found = Obs.Counter.make "asp.solve.models"
+
 let pp_model ppf m =
   Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Atom.pp) (Atom.Set.elements m)
 
@@ -145,7 +152,7 @@ let set st i v =
     st.assignment.(i) <- v;
     st.queue.(st.qtail) <- i;
     st.qtail <- (st.qtail + 1) mod Array.length st.queue;
-    Stats.global.propagations <- Stats.global.propagations + 1;
+    Obs.Counter.incr c_propagations;
     true
   | existing -> if existing = v then false else raise Conflict
 
@@ -391,7 +398,8 @@ let wellfounded_seed st =
     derivation with per-rule remaining-positive-literal counters, instead
     of repeated full scans. *)
 let is_stable st =
-  Stats.global.gl_checks <- Stats.global.gl_checks + 1;
+  Obs.Counter.incr c_gl_checks;
+  Obs.fine_span "asp.solve.gl_check" @@ fun () ->
   let in_m i = st.assignment.(i) = True in
   let n = Array.length st.atoms in
   let nr = Array.length st.rule_arr in
@@ -467,10 +475,10 @@ let extract_model st =
     the ablation benchmark); the result is unchanged, only slower. *)
 let solve_ground ?limit ?(wellfounded = true) (gp : Grounder.ground_program) :
     model list =
-  Stats.time_solve @@ fun () ->
-  Stats.global.solve_calls <- Stats.global.solve_calls + 1;
+  Obs.span "asp.solve" @@ fun () ->
+  Obs.Counter.incr c_solve_calls;
   let st = index_program gp in
-  if wellfounded then wellfounded_seed st;
+  if wellfounded then Obs.fine_span "asp.solve.wellfounded" (fun () -> wellfounded_seed st);
   let found = ref [] in
   let count = ref 0 in
   let aggregate_constraints_ok m =
@@ -493,7 +501,7 @@ let solve_ground ?limit ?(wellfounded = true) (gp : Grounder.ground_program) :
       if aggregate_constraints_ok m then begin
         found := m :: !found;
         incr count;
-        Stats.global.models_found <- Stats.global.models_found + 1;
+        Obs.Counter.incr c_models_found;
         match limit with Some l when !count >= l -> raise Done | _ -> ()
       end
     end
@@ -524,14 +532,14 @@ let solve_ground ?limit ?(wellfounded = true) (gp : Grounder.ground_program) :
     | Some i ->
       let snap = snapshot () in
       let branch v =
-        Stats.global.decisions <- Stats.global.decisions + 1;
+        Obs.Counter.incr c_decisions;
         match
           (try
              ignore (set st i v);
              propagate st;
              `Ok
            with Conflict ->
-             Stats.global.conflicts <- Stats.global.conflicts + 1;
+             Obs.Counter.incr c_conflicts;
              `Conflict)
         with
         | `Ok -> search i
@@ -548,11 +556,12 @@ let solve_ground ?limit ?(wellfounded = true) (gp : Grounder.ground_program) :
         init_propagation st;
         `Ok
       with Conflict ->
-        Stats.global.conflicts <- Stats.global.conflicts + 1;
+        Obs.Counter.incr c_conflicts;
         `Conflict)
    with
   | `Ok -> ( try search 0 with Done -> ())
   | `Conflict -> ());
+  Obs.set_attr "models" (string_of_int !count);
   List.rev !found
 
 (** Enumerate stable models of a (non-ground) program. *)

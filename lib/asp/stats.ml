@@ -1,87 +1,111 @@
-(** Engine instrumentation: cheap global counters and phase timers for the
-    grounder and solver, exposed so benchmarks and callers that re-solve in
-    a loop (the ILP learner, ASG membership checks) can observe where time
-    goes without threading state through every call.
+(** Engine statistics, re-expressed as a thin view over the [Obs]
+    registry: the grounder, solver, learner, and ASG membership layer
+    maintain named [Obs] counters and span histograms; this module maps
+    them back onto the flat record that benchmarks and [BENCH_asp.json]
+    have always consumed. *)
 
-    Counters accumulate until {!reset}; {!snapshot} copies the current
-    values so a caller can diff two points in time. *)
+let c_ground_calls = Obs.Counter.make "asp.ground.calls"
+let c_ground_rules = Obs.Counter.make "asp.ground.rules"
+let c_possible_atoms = Obs.Counter.make "asp.ground.possible_atoms"
+let c_delta_rounds = Obs.Counter.make "asp.ground.delta_rounds"
+let c_join_tuples = Obs.Counter.make "asp.ground.join_tuples"
+let c_solve_calls = Obs.Counter.make "asp.solve.calls"
+let c_propagations = Obs.Counter.make "asp.solve.propagations"
+let c_decisions = Obs.Counter.make "asp.solve.decisions"
+let c_conflicts = Obs.Counter.make "asp.solve.conflicts"
+let c_gl_checks = Obs.Counter.make "asp.solve.gl_checks"
+let c_models_found = Obs.Counter.make "asp.solve.models"
+let c_ilp_hypothesis_evals = Obs.Counter.make "ilp.hypothesis_evals"
+let c_asg_hypothesis_evals = Obs.Counter.make "asg.hypothesis_evals"
+
+(* Wall-clock comes from the span histograms of the engine's root spans. *)
+let h_ground = Obs.Histogram.make "asp.ground"
+let h_solve = Obs.Histogram.make "asp.solve"
+
+let counters =
+  [
+    c_ground_calls;
+    c_ground_rules;
+    c_possible_atoms;
+    c_delta_rounds;
+    c_join_tuples;
+    c_solve_calls;
+    c_propagations;
+    c_decisions;
+    c_conflicts;
+    c_gl_checks;
+    c_models_found;
+    c_ilp_hypothesis_evals;
+    c_asg_hypothesis_evals;
+  ]
 
 type t = {
-  (* grounder *)
-  mutable ground_calls : int;
-  mutable ground_rules : int;
-  mutable possible_atoms : int;
-  mutable delta_rounds : int;
-  mutable join_tuples : int;
-  (* solver *)
-  mutable solve_calls : int;
-  mutable propagations : int;
-  mutable decisions : int;
-  mutable conflicts : int;
-  mutable gl_checks : int;
-  mutable models_found : int;
-  (* callers *)
-  mutable hypothesis_evals : int;
-  (* wall-clock, seconds *)
-  mutable ground_seconds : float;
-  mutable solve_seconds : float;
+  ground_calls : int;
+  ground_rules : int;
+  possible_atoms : int;
+  delta_rounds : int;
+  join_tuples : int;
+  solve_calls : int;
+  propagations : int;
+  decisions : int;
+  conflicts : int;
+  gl_checks : int;
+  models_found : int;
+  hypothesis_evals : int;
+  ground_seconds : float;
+  solve_seconds : float;
 }
 
-let make () =
+let snapshot () =
   {
-    ground_calls = 0;
-    ground_rules = 0;
-    possible_atoms = 0;
-    delta_rounds = 0;
-    join_tuples = 0;
-    solve_calls = 0;
-    propagations = 0;
-    decisions = 0;
-    conflicts = 0;
-    gl_checks = 0;
-    models_found = 0;
-    hypothesis_evals = 0;
-    ground_seconds = 0.0;
-    solve_seconds = 0.0;
+    ground_calls = Obs.Counter.value c_ground_calls;
+    ground_rules = Obs.Counter.value c_ground_rules;
+    possible_atoms = Obs.Counter.value c_possible_atoms;
+    delta_rounds = Obs.Counter.value c_delta_rounds;
+    join_tuples = Obs.Counter.value c_join_tuples;
+    solve_calls = Obs.Counter.value c_solve_calls;
+    propagations = Obs.Counter.value c_propagations;
+    decisions = Obs.Counter.value c_decisions;
+    conflicts = Obs.Counter.value c_conflicts;
+    gl_checks = Obs.Counter.value c_gl_checks;
+    models_found = Obs.Counter.value c_models_found;
+    hypothesis_evals =
+      Obs.Counter.value c_ilp_hypothesis_evals
+      + Obs.Counter.value c_asg_hypothesis_evals;
+    ground_seconds = Obs.Histogram.total h_ground;
+    solve_seconds = Obs.Histogram.total h_solve;
   }
 
-let global = make ()
-
 let reset () =
-  let z = make () in
-  global.ground_calls <- z.ground_calls;
-  global.ground_rules <- z.ground_rules;
-  global.possible_atoms <- z.possible_atoms;
-  global.delta_rounds <- z.delta_rounds;
-  global.join_tuples <- z.join_tuples;
-  global.solve_calls <- z.solve_calls;
-  global.propagations <- z.propagations;
-  global.decisions <- z.decisions;
-  global.conflicts <- z.conflicts;
-  global.gl_checks <- z.gl_checks;
-  global.models_found <- z.models_found;
-  global.hypothesis_evals <- z.hypothesis_evals;
-  global.ground_seconds <- z.ground_seconds;
-  global.solve_seconds <- z.solve_seconds
+  List.iter Obs.Counter.reset counters;
+  Obs.Histogram.reset h_ground;
+  Obs.Histogram.reset h_solve
 
-let snapshot () = { global with ground_calls = global.ground_calls }
+let diff a b =
+  {
+    ground_calls = a.ground_calls - b.ground_calls;
+    ground_rules = a.ground_rules - b.ground_rules;
+    possible_atoms = a.possible_atoms - b.possible_atoms;
+    delta_rounds = a.delta_rounds - b.delta_rounds;
+    join_tuples = a.join_tuples - b.join_tuples;
+    solve_calls = a.solve_calls - b.solve_calls;
+    propagations = a.propagations - b.propagations;
+    decisions = a.decisions - b.decisions;
+    conflicts = a.conflicts - b.conflicts;
+    gl_checks = a.gl_checks - b.gl_checks;
+    models_found = a.models_found - b.models_found;
+    hypothesis_evals = a.hypothesis_evals - b.hypothesis_evals;
+    ground_seconds = a.ground_seconds -. b.ground_seconds;
+    solve_seconds = a.solve_seconds -. b.solve_seconds;
+  }
 
-(** Monotonic-ish wall clock. [Unix] is deliberately avoided to keep the
-    library dependency-free; [Sys.time] measures processor time, which for
-    the single-threaded engine tracks wall-clock closely. *)
-let now () = Sys.time ()
+let with_diff f =
+  let before = snapshot () in
+  let x = f () in
+  (x, diff (snapshot ()) before)
 
-let time_ground f =
-  let t0 = now () in
-  Fun.protect ~finally:(fun () ->
-      global.ground_seconds <- global.ground_seconds +. (now () -. t0))
-    f
-
-let time_solve f =
-  let t0 = now () in
-  Fun.protect ~finally:(fun () ->
-      global.solve_seconds <- global.solve_seconds +. (now () -. t0))
-    f
+let time_ground f = Obs.span "asp.ground" f
+let time_solve f = Obs.span "asp.solve" f
 
 let pp ppf s =
   Fmt.pf ppf

@@ -1,55 +1,75 @@
-(** Engine instrumentation: global counters and phase timers maintained by
-    {!Grounder} and {!Solver}, plus caller-level counters bumped by the ILP
-    learner and ASG membership layer.
+(** Engine statistics as a thin view over the [Obs] registry.
 
-    All counters are cumulative from the last {!reset}. The intended usage
-    pattern for measuring one workload is:
+    The grounder and solver (and the ILP/ASG callers above them)
+    maintain named [Obs] counters — [asp.ground.*], [asp.solve.*],
+    [ilp.hypothesis_evals], [asg.hypothesis_evals] — and root spans
+    [asp.ground] / [asp.solve] whose histogram totals carry the phase
+    wall-clock. This module projects those registry entries onto the
+    flat record consumed by the benchmarks and persisted in
+    [BENCH_asp.json]; the record layout and JSON schema are unchanged
+    from the pre-[Obs] implementation.
+
+    Counters are cumulative from the last {!reset}. To measure one
+    workload without clobbering surrounding measurements, prefer the
+    scoped {!with_diff} over the reset/snapshot pattern:
 
     {[
-      Asp.Stats.reset ();
-      (* ... run the workload ... *)
-      Fmt.pr "%a@." Asp.Stats.pp (Asp.Stats.snapshot ())
+      let models, stats = Asp.Stats.with_diff (fun () -> Asp.Solver.solve p) in
+      Fmt.pr "%a@." Asp.Stats.pp stats
     ]}
 
-    The counters are plain field increments on a single global record, so
-    their overhead is negligible next to grounding or search; they are not
-    thread-safe. *)
+    The underlying counters are plain field increments on preallocated
+    [Obs] handles, so their overhead is negligible next to grounding or
+    search; they are not thread-safe. *)
 
 type t = {
-  mutable ground_calls : int;  (** calls to {!Grounder.ground} *)
-  mutable ground_rules : int;  (** ground rule instances emitted *)
-  mutable possible_atoms : int;  (** atoms in the possible-atom base *)
-  mutable delta_rounds : int;
+  ground_calls : int;  (** calls to {!Grounder.ground} *)
+  ground_rules : int;  (** ground rule instances emitted *)
+  possible_atoms : int;  (** atoms in the possible-atom base *)
+  delta_rounds : int;
       (** semi-naive fixpoint rounds (delta iterations) across all
           grounding calls *)
-  mutable join_tuples : int;
+  join_tuples : int;
       (** complete body substitutions enumerated by the rule-body joins *)
-  mutable solve_calls : int;  (** calls to {!Solver.solve_ground} *)
-  mutable propagations : int;  (** atom assignments made by propagation *)
-  mutable decisions : int;  (** DPLL branch decisions *)
-  mutable conflicts : int;  (** conflicts raised during search *)
-  mutable gl_checks : int;
+  solve_calls : int;  (** calls to {!Solver.solve_ground} *)
+  propagations : int;  (** atom assignments made by propagation *)
+  decisions : int;  (** DPLL branch decisions *)
+  conflicts : int;  (** conflicts raised during search *)
+  gl_checks : int;
       (** Gelfond–Lifschitz stability checks on complete assignments *)
-  mutable models_found : int;  (** stable models returned *)
-  mutable hypothesis_evals : int;
-      (** hypothesis/membership evaluations by ILP and ASG callers *)
-  mutable ground_seconds : float;  (** wall-clock spent grounding *)
-  mutable solve_seconds : float;  (** wall-clock spent in stable-model search *)
+  models_found : int;  (** stable models returned *)
+  hypothesis_evals : int;
+      (** hypothesis/membership evaluations by ILP and ASG callers
+          (the sum of the [ilp.hypothesis_evals] and
+          [asg.hypothesis_evals] counters) *)
+  ground_seconds : float;  (** wall-clock spent grounding *)
+  solve_seconds : float;  (** wall-clock spent in stable-model search *)
 }
 
-(** The single global statistics record, mutated in place by the engine. *)
-val global : t
-
-(** Zero every counter and timer of {!global}. *)
+(** Zero the viewed counters and phase timers in the [Obs] registry.
+    Other [Obs] entries (fine-grained spans, layer counters outside
+    this view) are left untouched; [Obs.reset] clears everything. *)
 val reset : unit -> unit
 
-(** An immutable-by-convention copy of {!global}'s current values. *)
+(** The current values of the viewed registry entries. *)
 val snapshot : unit -> t
 
-(** Run a thunk, adding its wall-clock duration to [ground_seconds]. *)
+(** Field-wise difference [a - b] of two snapshots. *)
+val diff : t -> t -> t
+
+(** [with_diff f] runs [f] and returns its result together with the
+    statistics accrued during the call — a scoped measurement that
+    needs no global {!reset}, so nested and surrounding measurements
+    are unaffected. *)
+val with_diff : (unit -> 'a) -> 'a * t
+
+(** Run a thunk inside the [asp.ground] span (adds its duration to
+    [ground_seconds]). Exception-safe: elapsed time is recorded even
+    when the thunk raises. *)
 val time_ground : (unit -> 'a) -> 'a
 
-(** Run a thunk, adding its wall-clock duration to [solve_seconds]. *)
+(** Run a thunk inside the [asp.solve] span (adds its duration to
+    [solve_seconds]). Exception-safe. *)
 val time_solve : (unit -> 'a) -> 'a
 
 (** Human-readable multi-line rendering of a snapshot. *)

@@ -57,6 +57,7 @@ let rec subsets_up_to k l =
 (** Generate the hypothesis space described by a mode bias. Unsafe rules
     and duplicate rules (after canonical printing) are dropped. *)
 let generate (m : Mode.t) : t =
+  Obs.span "ilp.space_generate" @@ fun () ->
   let body_atom_choices : (bool * Asg.Annotation.body_elt list) list =
     List.map
       (fun (ma : Mode.matom) ->
@@ -127,9 +128,13 @@ let generate (m : Mode.t) : t =
         body_combos)
     heads;
   let rules = List.rev !out in
-  List.concat_map
-    (fun rule -> List.map (candidate rule) m.target_prods)
-    rules
+  let cands =
+    List.concat_map
+      (fun rule -> List.map (candidate rule) m.target_prods)
+      rules
+  in
+  Obs.set_attr "candidates" (string_of_int (List.length cands));
+  cands
 
 let size (t : t) = List.length t
 

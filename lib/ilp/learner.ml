@@ -20,6 +20,10 @@
     over subsets in cost order, validating each candidate hypothesis with
     full membership checks. Exponential — intended for small spaces. *)
 
+let c_hypothesis_evals = Obs.Counter.make "ilp.hypothesis_evals"
+let c_candidate_evals = Obs.Counter.make "ilp.candidate_evals"
+let c_search_nodes = Obs.Counter.make "ilp.search_nodes"
+
 type stats = {
   witnesses : int;
   nodes : int;  (** branch-and-bound nodes explored *)
@@ -60,9 +64,9 @@ let witnesses_of_example ?(max_witnesses = 64) (gpm : Asg.Gpm.t)
             (Grammar.Parse_tree.nodes_with_traces tree);
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
         in
-        Asp.Stats.global.hypothesis_evals <-
-          Asp.Stats.global.hypothesis_evals + 1;
+        Obs.Counter.incr c_hypothesis_evals;
         let models =
+          Obs.fine_span "ilp.witness_solve" @@ fun () ->
           Asp.Solver.solve ~limit:(max_witnesses - !count)
             (Asg.Tree_program.program g tree)
         in
@@ -94,6 +98,7 @@ exception Infeasible
 
 let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
     : outcome option =
+  Obs.span "ilp.learn" @@ fun () ->
   let t0 = Sys.time () in
   let examples = Array.of_list t.Task.examples in
   let n_ex = Array.length examples in
@@ -103,32 +108,36 @@ let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
   let witnesses = ref [] in
   let n_wit = ref 0 in
   let wit_ids_of_ex = Array.make n_ex [] in
-  Array.iteri
-    (fun i e ->
-      let ws = witnesses_of_example ~max_witnesses t.Task.gpm e in
-      List.iter
-        (fun w ->
-          let wid = !n_wit in
-          incr n_wit;
-          witnesses := { w with ex_idx = i } :: !witnesses;
-          wit_ids_of_ex.(i) <- wid :: wit_ids_of_ex.(i))
-        ws)
-    examples;
+  Obs.span "ilp.witnesses" (fun () ->
+      Array.iteri
+        (fun i e ->
+          let ws = witnesses_of_example ~max_witnesses t.Task.gpm e in
+          List.iter
+            (fun w ->
+              let wid = !n_wit in
+              incr n_wit;
+              witnesses := { w with ex_idx = i } :: !witnesses;
+              wit_ids_of_ex.(i) <- wid :: wit_ids_of_ex.(i))
+            ws)
+        examples);
   let witnesses = Array.of_list (List.rev !witnesses) in
   let n_wit = !n_wit in
   (* kill matrix *)
   let kill = Array.make_matrix n_cand n_wit false in
   let killers_of = Array.make n_wit [] in
   let killed_by_cand = Array.make n_cand [] in
-  for ci = 0 to n_cand - 1 do
-    for wi = 0 to n_wit - 1 do
-      if kills candidates.(ci) witnesses.(wi) then begin
-        kill.(ci).(wi) <- true;
-        killers_of.(wi) <- ci :: killers_of.(wi);
-        killed_by_cand.(ci) <- wi :: killed_by_cand.(ci)
-      end
-    done
-  done;
+  Obs.span "ilp.kill_matrix" (fun () ->
+      for ci = 0 to n_cand - 1 do
+        Obs.Counter.incr c_candidate_evals;
+        Obs.fine_span "ilp.candidate_eval" (fun () ->
+            for wi = 0 to n_wit - 1 do
+              if kills candidates.(ci) witnesses.(wi) then begin
+                kill.(ci).(wi) <- true;
+                killers_of.(wi) <- ci :: killers_of.(wi);
+                killed_by_cand.(ci) <- wi :: killed_by_cand.(ci)
+              end
+            done)
+      done);
   (* search state *)
   let kill_count = Array.make n_wit 0 in
   let chosen = Array.make n_cand false in
@@ -333,6 +342,7 @@ let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
        chosen.(ci) <- false
      and dfs () =
        incr nodes;
+       Obs.Counter.incr c_search_nodes;
        (match !best with
        | _ when !nodes > max_nodes -> ()  (* anytime cutoff: keep best so far *)
        | Some (bcost, _, _) when !current_cost + !dead_penalty >= bcost -> ()
@@ -387,8 +397,10 @@ let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
              sacrificed.(ei) <- false
            | None -> ())))
      in
-     dfs ()
+     Obs.span "ilp.search" dfs
    with Infeasible -> ());
+  Obs.set_attr "witnesses" (string_of_int n_wit);
+  Obs.set_attr "nodes" (string_of_int !nodes);
   match !best with
   | None -> None
   | Some (total, choice, sac) ->
@@ -409,6 +421,7 @@ let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
     hypothesis space but exponential. Soft example weights are ignored
     (all examples are treated as hard). *)
 let learn_general ?(max_subsets = 100_000) (t : Task.t) : outcome option =
+  Obs.span "ilp.learn" @@ fun () ->
   let t0 = Sys.time () in
   let candidates = Array.of_list t.Task.space in
   let n = Array.length candidates in
@@ -444,8 +457,12 @@ let learn_general ?(max_subsets = 100_000) (t : Task.t) : outcome option =
       | None -> None
       | Some (cost, (next, chosen_rev)) ->
         incr explored;
+        Obs.Counter.incr c_candidate_evals;
         let hypothesis = List.rev_map (fun ci -> candidates.(ci)) chosen_rev in
-        if Task.is_solution t hypothesis then
+        if
+          Obs.fine_span "ilp.candidate_eval" (fun () ->
+              Task.is_solution t hypothesis)
+        then
           Some
             {
               hypothesis;

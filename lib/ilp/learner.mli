@@ -31,7 +31,8 @@ type witness = {
 
 (** All witnesses of an example under the base grammar, up to
     [max_witnesses] per parse tree. Each call solves one induced ASP
-    program (counted in [Asp.Stats.hypothesis_evals]). *)
+    program (counted in the [ilp.hypothesis_evals] counter, visible
+    through [Asp.Stats.hypothesis_evals]). *)
 val witnesses_of_example :
   ?max_witnesses:int -> Asg.Gpm.t -> Example.t -> witness list
 

@@ -1,0 +1,342 @@
+(* Hierarchical tracing + metrics. See obs.mli for the design notes;
+   the short version: spans always aggregate into the histogram
+   registry, sinks (including the Trace collector) see every finished
+   span, and fine_span is gated behind the [detailed] flag so hot
+   per-item paths cost one boolean read when observability is off. *)
+
+(* -- Clock -------------------------------------------------------------- *)
+
+let default_clock = Sys.time
+let clock = ref default_clock
+let set_clock f = clock := f
+let use_default_clock () = clock := default_clock
+let now () = !clock ()
+
+(* -- Detail gate --------------------------------------------------------- *)
+
+let detailed = ref false
+let set_detailed b = detailed := b
+let detailed_enabled () = !detailed
+
+type attr = string * string
+
+type span = {
+  sp_name : string;
+  sp_start : float;
+  sp_dur : float;
+  sp_depth : int;
+  sp_attrs : attr list;
+}
+
+(* -- Registries ---------------------------------------------------------- *)
+
+let by_name_compare name_of a b = String.compare (name_of a) (name_of b)
+
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { name; value = 0 } in
+      Hashtbl.add registry name c;
+      c
+
+  let incr ?(by = 1) c = c.value <- c.value + by
+  let value c = c.value
+  let name c = c.name
+  let reset c = c.value <- 0
+  let find name = Hashtbl.find_opt registry name
+
+  let all () =
+    Hashtbl.fold (fun _ c acc -> c :: acc) registry []
+    |> List.sort (by_name_compare name)
+end
+
+module Histogram = struct
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable total : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+      let h =
+        { name; count = 0; total = 0.0; min_v = infinity; max_v = neg_infinity }
+      in
+      Hashtbl.add registry name h;
+      h
+
+  let observe h v =
+    h.count <- h.count + 1;
+    h.total <- h.total +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+
+  let count h = h.count
+  let total h = h.total
+  let mean h = if h.count = 0 then 0.0 else h.total /. float_of_int h.count
+  let max_value h = if h.count = 0 then 0.0 else h.max_v
+  let min_value h = if h.count = 0 then 0.0 else h.min_v
+  let name h = h.name
+
+  let reset h =
+    h.count <- 0;
+    h.total <- 0.0;
+    h.min_v <- infinity;
+    h.max_v <- neg_infinity
+
+  let find name = Hashtbl.find_opt registry name
+
+  let all () =
+    Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+    |> List.sort (by_name_compare name)
+end
+
+(* -- Sinks --------------------------------------------------------------- *)
+
+type sink = { on_span : span -> unit }
+
+let sinks : sink list ref = ref []
+let register_sink s = sinks := s :: !sinks
+let unregister_sink s = sinks := List.filter (fun x -> x != s) !sinks
+
+(* -- Spans --------------------------------------------------------------- *)
+
+(* The stack of open spans. Attrs are stored newest-first and reversed
+   on finish; [set_attr] therefore shadows earlier values for the same
+   key in export order. *)
+type frame = {
+  f_name : string;
+  f_start : float;
+  mutable f_attrs : attr list;
+}
+
+let stack : frame list ref = ref []
+
+let set_attr k v =
+  match !stack with
+  | [] -> ()
+  | f :: _ -> f.f_attrs <- (k, v) :: f.f_attrs
+
+let span ?(attrs = []) name f =
+  let fr = { f_name = name; f_start = now (); f_attrs = List.rev attrs } in
+  let depth = List.length !stack in
+  stack := fr :: !stack;
+  Fun.protect
+    ~finally:(fun () ->
+      (match !stack with
+      | top :: rest when top == fr -> stack := rest
+      | _ -> stack := List.filter (fun x -> x != fr) !stack);
+      let dur = now () -. fr.f_start in
+      Histogram.observe (Histogram.make fr.f_name) dur;
+      if !sinks <> [] then begin
+        let sp =
+          {
+            sp_name = fr.f_name;
+            sp_start = fr.f_start;
+            sp_dur = dur;
+            sp_depth = depth;
+            sp_attrs = List.rev fr.f_attrs;
+          }
+        in
+        List.iter (fun s -> s.on_span sp) !sinks
+      end)
+    f
+
+let fine_span ?attrs name f = if !detailed then span ?attrs name f else f ()
+
+(* -- Trace collection + Chrome export ------------------------------------ *)
+
+module Trace = struct
+  let limit = ref 1_000_000
+  let set_limit n = limit := n
+  let buf : span list ref = ref []
+  let count = ref 0
+  let dropped_count = ref 0
+  let active_flag = ref false
+
+  let sink =
+    {
+      on_span =
+        (fun sp ->
+          if !count < !limit then begin
+            buf := sp :: !buf;
+            incr count
+          end
+          else incr dropped_count);
+    }
+
+  let start () =
+    if not !active_flag then begin
+      active_flag := true;
+      register_sink sink
+    end
+
+  let active () = !active_flag
+
+  let spans () =
+    List.stable_sort
+      (fun a b -> Float.compare a.sp_start b.sp_start)
+      (List.rev !buf)
+
+  let stop () =
+    if !active_flag then begin
+      active_flag := false;
+      unregister_sink sink
+    end;
+    spans ()
+
+  let clear () =
+    buf := [];
+    count := 0;
+    dropped_count := 0
+
+  let dropped () = !dropped_count
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let layer_of name =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+
+  let to_chrome_json (spans : span list) : string =
+    let origin =
+      List.fold_left (fun acc sp -> Float.min acc sp.sp_start) infinity spans
+    in
+    let origin = if Float.is_finite origin then origin else 0.0 in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    Buffer.add_string b
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"agenp\"}}";
+    List.iter
+      (fun sp ->
+        Printf.bprintf b
+          ",\n\
+           {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%d"
+          (json_escape sp.sp_name)
+          (json_escape (layer_of sp.sp_name))
+          ((sp.sp_start -. origin) *. 1e6)
+          (sp.sp_dur *. 1e6) sp.sp_depth;
+        List.iter
+          (fun (k, v) ->
+            Printf.bprintf b ",\"%s\":\"%s\"" (json_escape k) (json_escape v))
+          sp.sp_attrs;
+        Buffer.add_string b "}}")
+      spans;
+    Buffer.add_string b "]}\n";
+    Buffer.contents b
+
+  let write_chrome path spans =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_chrome_json spans))
+end
+
+(* -- Reset --------------------------------------------------------------- *)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> Counter.reset c) Counter.registry;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) Histogram.registry;
+  Trace.clear ()
+
+(* -- Aggregate report ----------------------------------------------------- *)
+
+type span_agg = {
+  agg_name : string;
+  agg_count : int;
+  agg_total : float;
+  agg_mean : float;
+  agg_max : float;
+}
+
+type report = {
+  r_spans : span_agg list;
+  r_counters : (string * int) list;
+}
+
+let report () =
+  let r_spans =
+    Histogram.all ()
+    |> List.filter (fun h -> Histogram.count h > 0)
+    |> List.map (fun h ->
+           {
+             agg_name = Histogram.name h;
+             agg_count = Histogram.count h;
+             agg_total = Histogram.total h;
+             agg_mean = Histogram.mean h;
+             agg_max = Histogram.max_value h;
+           })
+  in
+  let r_counters =
+    Counter.all () |> List.map (fun c -> (Counter.name c, Counter.value c))
+  in
+  { r_spans; r_counters }
+
+let report_to_string r =
+  let b = Buffer.create 1024 in
+  if r.r_spans <> [] then begin
+    Printf.bprintf b "%-36s %10s %12s %12s %12s\n" "span" "count" "total(s)"
+      "mean(s)" "max(s)";
+    List.iter
+      (fun a ->
+        Printf.bprintf b "%-36s %10d %12.6f %12.6f %12.6f\n" a.agg_name
+          a.agg_count a.agg_total a.agg_mean a.agg_max)
+      r.r_spans
+  end;
+  if r.r_counters <> [] then begin
+    if r.r_spans <> [] then Buffer.add_char b '\n';
+    Printf.bprintf b "%-36s %10s\n" "counter" "value";
+    List.iter
+      (fun (name, v) -> Printf.bprintf b "%-36s %10d\n" name v)
+      r.r_counters
+  end;
+  Buffer.contents b
+
+let pp_report ppf r = Format.pp_print_string ppf (report_to_string r)
+
+let report_to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"spans\": {";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b
+        "\"%s\": {\"count\": %d, \"total_s\": %.6f, \"mean_s\": %.6f, \"max_s\": %.6f}"
+        (Trace.json_escape a.agg_name)
+        a.agg_count a.agg_total a.agg_mean a.agg_max)
+    r.r_spans;
+  Buffer.add_string b "}, \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "\"%s\": %d" (Trace.json_escape name) v)
+    r.r_counters;
+  Buffer.add_string b "}}";
+  Buffer.contents b

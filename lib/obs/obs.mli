@@ -1,0 +1,192 @@
+(** Hierarchical tracing and metrics for the whole stack.
+
+    A dependency-free observability substrate: every other library may
+    link it, so it links nothing itself. Three concepts:
+
+    - {e spans} — named, nested wall-clock measurements
+      ([Obs.span "ilp.search" @@ fun () -> ...]). Span names follow the
+      [layer.operation] convention ([asp.ground], [ilp.learn],
+      [agenp.pdp.decide]); the segment before the first dot is the layer
+      and becomes the category in trace exports.
+    - {e counters} and {e histograms} — a named registry of cheap
+      aggregates. Counter increments are a single field update on a
+      preallocated handle, so they are safe in the hottest loops.
+    - {e sinks} — a pluggable interface receiving every finished span.
+      The built-in {!Trace} collector (Chrome [trace_event] export) is
+      itself a sink; tests and embedders can register their own.
+
+    {2 Cost model and the detail gate}
+
+    Every span costs two clock reads plus one histogram update. The
+    default clock ({!Sys.time}) is a few hundred nanoseconds per read,
+    so instrumentation on {e per-item} hot paths (a grounder delta
+    round, a solver stability check, a learner candidate evaluation)
+    uses {!fine_span}, which is a no-op unless {!set_detailed} was
+    called — one boolean read when disabled. Call-level spans
+    ({!span}) are always measured and always feed the aggregate
+    registry, which is what {!report} summarizes.
+
+    The clock is monotone (processor time) and injectable with
+    {!set_clock} so tests can run against a deterministic clock.
+
+    State is global and not thread-safe, matching the engine. *)
+
+(** {1 Clock} *)
+
+(** Replace the clock (seconds, monotone non-decreasing). Affects all
+    subsequent spans; aggregates recorded under the old clock keep
+    their values. *)
+val set_clock : (unit -> float) -> unit
+
+(** Restore the default clock ([Sys.time]: monotone processor time,
+    avoiding a Unix dependency; for the single-threaded engine it
+    tracks wall-clock closely). *)
+val use_default_clock : unit -> unit
+
+(** Current clock reading, in seconds. *)
+val now : unit -> float
+
+(** {1 Detail gate} *)
+
+(** Enable/disable {!fine_span} recording (default: disabled). *)
+val set_detailed : bool -> unit
+
+val detailed_enabled : unit -> bool
+
+(** {1 Spans} *)
+
+type attr = string * string
+
+type span = {
+  sp_name : string;
+  sp_start : float;  (** clock reading at span start, seconds *)
+  sp_dur : float;  (** duration, seconds *)
+  sp_depth : int;  (** nesting depth when the span ran; roots are 0 *)
+  sp_attrs : attr list;
+}
+
+(** [span name f] runs [f], measuring it as one span. The duration is
+    recorded in the histogram named [name] (see {!report}) and the
+    finished span is delivered to every registered sink. Exception-safe:
+    the span is recorded even when [f] raises. *)
+val span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+
+(** Like {!span} when the detail gate is open ({!set_detailed}); just
+    runs the thunk otherwise. For per-item hot-path instrumentation. *)
+val fine_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span (no-op outside any
+    span). Later values for the same key shadow earlier ones in export
+    order. *)
+val set_attr : string -> string -> unit
+
+(** {1 Counters and histograms} *)
+
+module Counter : sig
+  type t
+
+  (** Find-or-create the counter registered under [name]. Handles are
+      stable: repeated calls return the same counter. *)
+  val make : string -> t
+
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+  val name : t -> string
+  val reset : t -> unit
+
+  val find : string -> t option
+
+  (** All registered counters, sorted by name. *)
+  val all : unit -> t list
+end
+
+module Histogram : sig
+  type t
+
+  (** Find-or-create, like {!Counter.make}. Span durations land in the
+      histogram named after the span. *)
+  val make : string -> t
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+
+  (** Mean/max/min observed value; 0 when empty. *)
+  val mean : t -> float
+
+  val max_value : t -> float
+  val min_value : t -> float
+  val name : t -> string
+  val reset : t -> unit
+  val find : string -> t option
+  val all : unit -> t list
+end
+
+(** Zero every registered counter and histogram (handles stay valid)
+    and clear the trace buffer. *)
+val reset : unit -> unit
+
+(** {1 Sinks} *)
+
+type sink = { on_span : span -> unit }
+
+val register_sink : sink -> unit
+val unregister_sink : sink -> unit
+
+(** {1 Trace collection and Chrome export} *)
+
+module Trace : sig
+  (** Start retaining finished spans in memory (idempotent). Retention
+      is capped (default 1,000,000 spans); spans beyond the cap are
+      counted in {!dropped} instead of retained. *)
+  val start : unit -> unit
+
+  val active : unit -> bool
+
+  (** Stop collecting and return the retained spans in start order. *)
+  val stop : unit -> span list
+
+  (** Retained spans so far, in start order, without stopping. *)
+  val spans : unit -> span list
+
+  val clear : unit -> unit
+  val dropped : unit -> int
+  val set_limit : int -> unit
+
+  (** Render spans as Chrome [trace_event] JSON (the format of
+      [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}): one
+      complete ("ph":"X") event per span with microsecond timestamps
+      relative to the earliest span, [cat] set to the span's layer
+      (name segment before the first dot), and attributes plus nesting
+      depth under [args]. *)
+  val to_chrome_json : span list -> string
+
+  val write_chrome : string -> span list -> unit
+end
+
+(** {1 Aggregate report} *)
+
+type span_agg = {
+  agg_name : string;
+  agg_count : int;
+  agg_total : float;  (** seconds *)
+  agg_mean : float;
+  agg_max : float;
+}
+
+type report = {
+  r_spans : span_agg list;  (** non-empty histograms, sorted by name *)
+  r_counters : (string * int) list;  (** all counters, sorted by name *)
+}
+
+val report : unit -> report
+
+(** Human-readable table: one line per span name
+    ([name count total mean max]) and one per counter. *)
+val report_to_string : report -> string
+
+val pp_report : Format.formatter -> report -> unit
+
+(** One JSON object: [{"spans": {name: {count, total_s, mean_s,
+    max_s}}, "counters": {name: value}}]. *)
+val report_to_json : report -> string

@@ -74,3 +74,60 @@ Grounding is inspectable:
   d(2) :- n(1).
   d(4) :- n(2).
   % 4 atoms, 4 ground rules
+
+Malformed input files are reported with their position, not a backtrace:
+
+  $ cat > bad-examples.txt <<'EX'
+  > + accept | weather(sun).
+  > accept | weather(snow).
+  > EX
+  $ agenp learn g.asg bad-examples.txt space.txt
+  agenp: bad-examples.txt:2: example line must start with '+' or '-': accept | weather(snow).
+  [2]
+  $ cat > bad-space.txt <<'SP'
+  > 0 | :- result(accept)@1, weather(snow).
+  > # comments and blank lines are fine
+  > 
+  > 0 : not a space line
+  > SP
+  $ agenp learn g.asg examples.txt bad-space.txt
+  agenp: bad-space.txt:4: space line must be 'prods | rule': 0 : not a space line
+  [2]
+
+Every command takes --report (aggregate span/counter table) and --trace
+(Chrome trace_event JSON). Timings vary run to run, so normalize numbers:
+
+  $ agenp solve prog.lp --optimal --report | sed -E 's/ +[0-9]+\.[0-9]+//g; s/ +[0-9]+/ N/g'
+  Optimal (cost N): {cost(a, N), cost(b, N), pick(b)}
+  span                                      count     total(s)      mean(s)       max(s)
+  asp.ground N
+  asp.solve N
+  
+  counter                                   value
+  asg.hypothesis_evals N
+  asp.ground.calls N
+  asp.ground.delta_rounds N
+  asp.ground.join_tuples N
+  asp.ground.possible_atoms N
+  asp.ground.rules N
+  asp.solve.calls N
+  asp.solve.conflicts N
+  asp.solve.decisions N
+  asp.solve.gl_checks N
+  asp.solve.models N
+  asp.solve.propagations N
+  ilp.candidate_evals N
+  ilp.hypothesis_evals N
+  ilp.search_nodes N
+
+The pipeline subcommand drives the XACML closed loop; its trace covers
+all three layers (asp.*, ilp.*, agenp.*):
+
+  $ agenp pipeline --requests 20 --trace trace.json 2>/dev/null
+  20 request(s), compliance 0.650, 1 adaptation(s), 1 rule(s) learned
+  $ grep -c '"cat":"asp"' trace.json > /dev/null && echo asp-spans
+  asp-spans
+  $ grep -c '"cat":"ilp"' trace.json > /dev/null && echo ilp-spans
+  ilp-spans
+  $ grep -c '"cat":"agenp"' trace.json > /dev/null && echo agenp-spans
+  agenp-spans

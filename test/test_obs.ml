@@ -1,0 +1,445 @@
+(* Tests for the observability substrate: span nesting and ordering,
+   counter/histogram aggregation, sink delivery, Chrome trace export
+   (emitted JSON is parsed back with a small JSON reader), and a qcheck
+   property tying the aggregate report to the raw span durations. *)
+
+(* ---- deterministic clock ---------------------------------------------- *)
+
+(* A fake clock the tests advance by hand; [tick] moves time forward. *)
+let time = ref 0.0
+let tick dt = time := !time +. dt
+
+let with_fake_clock f =
+  Obs.reset ();
+  Obs.set_detailed false;
+  time := 0.0;
+  Obs.set_clock (fun () -> !time);
+  Fun.protect ~finally:Obs.use_default_clock f
+
+(* ---- a minimal JSON reader (no JSON library in the dependency set) ---- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      String.iter (fun c -> expect c) word;
+      v
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' ->
+            Buffer.add_char b '\n';
+            advance ();
+            go ()
+          | Some 't' ->
+            Buffer.add_char b '\t';
+            advance ();
+            go ()
+          | Some 'r' ->
+            Buffer.add_char b '\r';
+            advance ();
+            go ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              advance ()
+            done;
+            Buffer.add_char b '?';
+            go ()
+          | Some c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+          | None -> fail "bad escape")
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> list ()
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (number ())
+      | None -> fail "unexpected end"
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    and list () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems []
+      end
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc k kvs
+    | _ -> raise (Bad ("no member " ^ k))
+
+  let to_list = function List l -> l | _ -> raise (Bad "not a list")
+  let to_str = function Str s -> s | _ -> raise (Bad "not a string")
+  let to_num = function Num f -> f | _ -> raise (Bad "not a number")
+end
+
+(* ---- spans ------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_fake_clock @@ fun () ->
+  let finished = ref [] in
+  let sink = { Obs.on_span = (fun sp -> finished := sp :: !finished) } in
+  Obs.register_sink sink;
+  Fun.protect ~finally:(fun () -> Obs.unregister_sink sink) @@ fun () ->
+  Obs.span "outer" (fun () ->
+      tick 1.0;
+      Obs.span "inner" (fun () -> tick 0.25);
+      tick 0.5);
+  let spans = List.rev !finished in
+  Alcotest.(check (list string))
+    "children finish first" [ "inner"; "outer" ]
+    (List.map (fun sp -> sp.Obs.sp_name) spans);
+  let inner = List.hd spans and outer = List.nth spans 1 in
+  Alcotest.(check int) "inner depth" 1 inner.Obs.sp_depth;
+  Alcotest.(check int) "outer depth" 0 outer.Obs.sp_depth;
+  Alcotest.(check (float 1e-9)) "inner duration" 0.25 inner.Obs.sp_dur;
+  Alcotest.(check (float 1e-9)) "outer duration" 1.75 outer.Obs.sp_dur;
+  Alcotest.(check (float 1e-9)) "inner start" 1.0 inner.Obs.sp_start
+
+let test_span_exception_safety () =
+  with_fake_clock @@ fun () ->
+  (try
+     Obs.span "boom" (fun () ->
+         tick 2.0;
+         failwith "boom")
+   with Failure _ -> ());
+  match Obs.Histogram.find "boom" with
+  | None -> Alcotest.fail "span not recorded"
+  | Some h ->
+    Alcotest.(check int) "recorded once" 1 (Obs.Histogram.count h);
+    Alcotest.(check (float 1e-9)) "duration recorded" 2.0
+      (Obs.Histogram.total h)
+
+let test_span_attrs () =
+  with_fake_clock @@ fun () ->
+  let captured = ref None in
+  let sink = { Obs.on_span = (fun sp -> captured := Some sp) } in
+  Obs.register_sink sink;
+  Fun.protect ~finally:(fun () -> Obs.unregister_sink sink) @@ fun () ->
+  Obs.span ~attrs:[ ("a", "1") ] "with-attrs" (fun () ->
+      Obs.set_attr "b" "2");
+  match !captured with
+  | None -> Alcotest.fail "no span delivered"
+  | Some sp ->
+    Alcotest.(check (list (pair string string)))
+      "attrs in order"
+      [ ("a", "1"); ("b", "2") ]
+      sp.Obs.sp_attrs
+
+let test_fine_span_gating () =
+  with_fake_clock @@ fun () ->
+  Obs.set_detailed false;
+  Obs.fine_span "gated" (fun () -> tick 1.0);
+  Alcotest.(check bool) "no histogram when disabled" true
+    (match Obs.Histogram.find "gated" with
+    | None -> true
+    | Some h -> Obs.Histogram.count h = 0);
+  Obs.set_detailed true;
+  Fun.protect ~finally:(fun () -> Obs.set_detailed false) @@ fun () ->
+  Obs.fine_span "gated" (fun () -> tick 1.0);
+  match Obs.Histogram.find "gated" with
+  | None -> Alcotest.fail "fine span not recorded when enabled"
+  | Some h ->
+    Alcotest.(check int) "recorded when enabled" 1 (Obs.Histogram.count h)
+
+(* ---- counters and histograms ------------------------------------------ *)
+
+let test_counters () =
+  Obs.reset ();
+  let c = Obs.Counter.make "test.counter" in
+  Obs.Counter.incr c;
+  Obs.Counter.incr c ~by:41;
+  Alcotest.(check int) "accumulated" 42 (Obs.Counter.value c);
+  (* find-or-create returns the same handle *)
+  let c' = Obs.Counter.make "test.counter" in
+  Obs.Counter.incr c';
+  Alcotest.(check int) "shared handle" 43 (Obs.Counter.value c);
+  Obs.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Obs.Counter.value c')
+
+let test_histograms () =
+  Obs.reset ();
+  let h = Obs.Histogram.make "test.histogram" in
+  List.iter (Obs.Histogram.observe h) [ 1.0; 3.0; 2.0 ];
+  Alcotest.(check int) "count" 3 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "total" 6.0 (Obs.Histogram.total h);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Obs.Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Obs.Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Obs.Histogram.min_value h);
+  Obs.Histogram.reset h;
+  Alcotest.(check int) "reset count" 0 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "reset mean" 0.0 (Obs.Histogram.mean h)
+
+(* ---- trace collection and Chrome export ------------------------------- *)
+
+let test_chrome_trace_roundtrip () =
+  with_fake_clock @@ fun () ->
+  Obs.Trace.clear ();
+  Obs.Trace.start ();
+  Obs.span "asp.ground" (fun () ->
+      tick 0.001;
+      Obs.span ~attrs:[ ("k", "v \"quoted\"") ] "asp.ground.delta" (fun () ->
+          tick 0.002));
+  Obs.span "ilp.learn" (fun () -> tick 0.003);
+  let spans = Obs.Trace.stop () in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let path = Filename.temp_file "obs_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Trace.write_chrome path spans;
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let json = Json.parse (String.trim text) in
+  let events = Json.(to_list (member "traceEvents" json)) in
+  (* one metadata event + one complete event per span *)
+  Alcotest.(check int) "event count" 4 (List.length events);
+  let complete =
+    List.filter (fun e -> Json.(to_str (member "ph" e)) = "X") events
+  in
+  let names = List.map (fun e -> Json.(to_str (member "name" e))) complete in
+  Alcotest.(check (list string))
+    "names in start order"
+    [ "asp.ground"; "asp.ground.delta"; "ilp.learn" ]
+    names;
+  let cats = List.map (fun e -> Json.(to_str (member "cat" e))) complete in
+  Alcotest.(check (list string)) "layer categories" [ "asp"; "asp"; "ilp" ] cats;
+  let delta = List.nth complete 1 in
+  Alcotest.(check (float 1e-6)) "ts is relative microseconds" 1000.0
+    Json.(to_num (member "ts" delta));
+  Alcotest.(check (float 1e-6)) "dur in microseconds" 2000.0
+    Json.(to_num (member "dur" delta));
+  (* the escaped attribute survives the round-trip *)
+  Alcotest.(check string) "attr escaped" "v \"quoted\""
+    Json.(to_str (member "k" (member "args" delta)))
+
+let test_trace_limit () =
+  with_fake_clock @@ fun () ->
+  Obs.Trace.clear ();
+  Obs.Trace.set_limit 2;
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_limit 1_000_000) @@ fun () ->
+  Obs.Trace.start ();
+  for _ = 1 to 5 do
+    Obs.span "tiny" (fun () -> tick 0.1)
+  done;
+  let spans = Obs.Trace.stop () in
+  Alcotest.(check int) "capped" 2 (List.length spans);
+  Alcotest.(check int) "dropped counted" 3 (Obs.Trace.dropped ())
+
+(* ---- aggregate report -------------------------------------------------- *)
+
+let test_report () =
+  with_fake_clock @@ fun () ->
+  Obs.span "w.a" (fun () -> tick 1.0);
+  Obs.span "w.a" (fun () -> tick 3.0);
+  Obs.Counter.incr (Obs.Counter.make "w.count") ~by:7;
+  let r = Obs.report () in
+  (match List.find_opt (fun a -> a.Obs.agg_name = "w.a") r.Obs.r_spans with
+  | None -> Alcotest.fail "span missing from report"
+  | Some a ->
+    Alcotest.(check int) "count" 2 a.Obs.agg_count;
+    Alcotest.(check (float 1e-9)) "total" 4.0 a.Obs.agg_total;
+    Alcotest.(check (float 1e-9)) "mean" 2.0 a.Obs.agg_mean;
+    Alcotest.(check (float 1e-9)) "max" 3.0 a.Obs.agg_max);
+  Alcotest.(check (option int)) "counter present" (Some 7)
+    (List.assoc_opt "w.count" r.Obs.r_counters);
+  (* the rendered report and its JSON form mention both entries *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  let text = Obs.report_to_string r in
+  Alcotest.(check bool) "text has span" true (contains text "w.a");
+  Alcotest.(check bool) "text has counter" true (contains text "w.count");
+  let json = Json.parse (Obs.report_to_json r) in
+  Alcotest.(check (float 1e-9)) "json total" 4.0
+    Json.(to_num (member "total_s" (member "w.a" (member "spans" json))));
+  Alcotest.(check (float 1e-9)) "json counter" 7.0
+    Json.(to_num (member "w.count" (member "counters" json)))
+
+let test_stats_view () =
+  Obs.reset ();
+  let p = Asp.Parser.parse_program "a :- not b. b :- not a." in
+  let models, stats = Asp.Stats.with_diff (fun () -> Asp.Solver.solve p) in
+  Alcotest.(check int) "two models" 2 (List.length models);
+  Alcotest.(check int) "one ground call" 1 stats.Asp.Stats.ground_calls;
+  Alcotest.(check int) "one solve call" 1 stats.Asp.Stats.solve_calls;
+  Alcotest.(check int) "models counted" 2 stats.Asp.Stats.models_found;
+  Alcotest.(check bool) "ground time measured" true
+    (stats.Asp.Stats.ground_seconds >= 0.0);
+  (* the same numbers are visible through the Obs registry *)
+  Alcotest.(check int) "registry agrees"
+    (Obs.Counter.value (Obs.Counter.make "asp.solve.calls"))
+    stats.Asp.Stats.solve_calls;
+  (* a second scoped measurement starts from zero *)
+  let _, stats2 = Asp.Stats.with_diff (fun () -> Asp.Solver.solve p) in
+  Alcotest.(check int) "diff is scoped" 1 stats2.Asp.Stats.solve_calls
+
+(* ---- qcheck: report totals equal the sum of span durations ------------ *)
+
+let report_totals_prop =
+  QCheck.Test.make ~count:100
+    ~name:"report per-span totals = sum of span durations"
+    QCheck.(small_list (pair (int_bound 3) (int_range 1 1000)))
+    (fun spans ->
+      with_fake_clock @@ fun () ->
+      let name_of i = Printf.sprintf "prop.s%d" i in
+      List.iter
+        (fun (name_idx, dur_ms) ->
+          Obs.span (name_of name_idx) (fun () ->
+              tick (float_of_int dur_ms /. 1000.0)))
+        spans;
+      let r = Obs.report () in
+      List.for_all
+        (fun idx ->
+          let expected =
+            List.fold_left
+              (fun acc (i, d) ->
+                if i = idx then acc +. (float_of_int d /. 1000.0) else acc)
+              0.0 spans
+          and count = List.length (List.filter (fun (i, _) -> i = idx) spans) in
+          match
+            List.find_opt (fun a -> a.Obs.agg_name = name_of idx) r.Obs.r_spans
+          with
+          | None -> count = 0
+          | Some a ->
+            a.Obs.agg_count = count
+            && Float.abs (a.Obs.agg_total -. expected) < 1e-9)
+        [ 0; 1; 2; 3 ])
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "attributes" `Quick test_span_attrs;
+          Alcotest.test_case "fine span gating" `Quick test_fine_span_gating;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "chrome JSON round-trip" `Quick
+            test_chrome_trace_roundtrip;
+          Alcotest.test_case "span cap" `Quick test_trace_limit;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "aggregation" `Quick test_report;
+          Alcotest.test_case "stats view" `Quick test_stats_view;
+          QCheck_alcotest.to_alcotest report_totals_prop;
+        ] );
+    ]
