@@ -880,3 +880,79 @@ let perf ~quick () =
           ~context:(Workloads.Cav.to_context s) "accept")
   in
   Fmt.pr "%-24s %.5fs per decision@." "accepts_in_context" t
+
+(* ---- PAR: parallel learner scaling over domains ---------------------- *)
+
+(** Wall-clock of the full constraint learner at 1/2/4 domains on one
+    task, with an outcome-identity check across all degrees, persisted
+    as BENCH_par.json (schema bench-par/1). On a single-core container
+    the domains timeshare, so the honest expectation there is ~1.0x (or
+    slightly below, from scheduling overhead); the identity check is
+    what must hold everywhere. *)
+let par ~quick () =
+  section "PAR  Parallel learner: wall-clock and outcome identity vs domains";
+  let n = if quick then 24 else 48 in
+  let examples = Workloads.Cav.examples_of (Workloads.Cav.sample ~seed:42 n) in
+  let space = Ilp.Hypothesis_space.generate (Workloads.Cav.modes ()) in
+  let task = Ilp.Task.make ~gpm:(Workloads.Cav.gpm ()) ~space ~examples in
+  let fingerprint = function
+    | None -> "unsat"
+    | Some (o : Ilp.Learner.outcome) ->
+      Printf.sprintf "cost=%d penalty=%d sacrificed=%d rules=[%s]"
+        o.Ilp.Learner.cost o.Ilp.Learner.penalty
+        (List.length o.Ilp.Learner.sacrificed)
+        (String.concat "; "
+           (List.map
+              (fun (c : Ilp.Hypothesis_space.candidate) ->
+                Printf.sprintf "pr%d %s" c.prod_id
+                  (Asg.Annotation.rule_to_string c.rule))
+              o.Ilp.Learner.hypothesis))
+  in
+  let degrees = [ 1; 2; 4 ] in
+  let runs =
+    List.map
+      (fun domains ->
+        let pool = Par.create ~domains () in
+        let t0 = Obs.now () in
+        let outcome = Ilp.Learner.learn_constraints ~pool task in
+        let dt = Obs.now () -. t0 in
+        Par.shutdown pool;
+        (domains, dt, fingerprint outcome))
+      degrees
+  in
+  let _, t1, fp1 = List.hd runs in
+  let identical = List.for_all (fun (_, _, fp) -> fp = fp1) runs in
+  Fmt.pr "%-10s %-12s %-12s %s@." "domains" "seconds" "speedup" "outcome";
+  List.iter
+    (fun (d, dt, fp) ->
+      Fmt.pr "%-10d %-12.3f %-12.2f %s@." d dt
+        (t1 /. (dt +. 1e-9))
+        (if fp = fp1 then "identical" else "DIFFERENT"))
+    runs;
+  Fmt.pr "outcome at 1 domain: %s@." fp1;
+  if not identical then
+    Fmt.pr "WARNING: outcomes differ across domain counts@.";
+  let oc = open_out "BENCH_par.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"bench-par/1\",\n\
+    \  \"recommended_domains\": %d,\n\
+    \  \"examples\": %d,\n\
+    \  \"space\": %d,\n\
+    \  \"seconds\": {%s},\n\
+    \  \"speedup_vs_1\": {%s},\n\
+    \  \"identical_outcome\": %b\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    n
+    (Ilp.Hypothesis_space.size space)
+    (String.concat ", "
+       (List.map (fun (d, dt, _) -> Printf.sprintf "\"%d\": %.3f" d dt) runs))
+    (String.concat ", "
+       (List.map
+          (fun (d, dt, _) ->
+            Printf.sprintf "\"%d\": %.2f" d (t1 /. (dt +. 1e-9)))
+          runs))
+    identical;
+  close_out oc;
+  Fmt.pr "snapshot written to BENCH_par.json@."

@@ -4,6 +4,7 @@
      dune exec bench/main.exe -- --quick      -- reduced sizes
      dune exec bench/main.exe -- --timings    -- add Bechamel micro-benches
      dune exec bench/main.exe -- --trace F    -- write a Chrome trace to F
+     dune exec bench/main.exe -- --domains N  -- parallelism degree (Par.Config)
      dune exec bench/main.exe -- fig3a cav    -- selected experiments only *)
 
 let registry =
@@ -26,6 +27,7 @@ let registry =
     ("preference", Experiments.preference);
     ("federated", Experiments.federated);
     ("perf", Experiments.perf);
+    ("par", Experiments.par);
   ]
 
 (* Extract "--trace FILE" from the raw argument list, returning the file
@@ -39,9 +41,23 @@ let rec extract_trace = function
     let tr, rest = extract_trace rest in
     (tr, a :: rest)
 
+(* Same for "--domains N": the process-wide parallelism degree every
+   experiment inherits through Par.Config (the "par" experiment builds
+   its own pools on top and is unaffected). *)
+let rec extract_domains = function
+  | [] -> (None, [])
+  | "--domains" :: n :: rest ->
+    let _, rest = extract_domains rest in
+    (int_of_string_opt n, rest)
+  | a :: rest ->
+    let d, rest = extract_domains rest in
+    (d, a :: rest)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let trace_file, args = extract_trace args in
+  let domains, args = extract_domains args in
+  Option.iter Par.Config.set_domains domains;
   let quick = List.mem "--quick" args in
   let timings = List.mem "--timings" args in
   let selected =

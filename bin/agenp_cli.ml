@@ -109,13 +109,16 @@ let parse_space_file path : Ilp.Hypothesis_space.t =
 
 (* ---- observability ----------------------------------------------------- *)
 
-type obs_opts = { trace : string option; report : bool }
+type obs_opts = { trace : string option; report : bool; domains : int }
 
 (** Run a command body under the requested observability: start trace
     collection (with fine spans) when [--trace] is given, and emit the
     trace file / aggregate report when the body is done — also on the
-    error path, so a failing run still leaves its trace behind. *)
+    error path, so a failing run still leaves its trace behind. Also the
+    single place the process-wide parallelism degree ([--domains]) is
+    installed, before any library builds the global pool. *)
 let with_obs (o : obs_opts) f =
+  if o.domains <> Par.Config.domains () then Par.Config.set_domains o.domains;
   (match o.trace with
   | Some _ ->
     Obs.set_detailed true;
@@ -214,16 +217,22 @@ let generate_cmd obs grammar context depth ranked =
       (Asg.Language.sentences_in_context ~max_depth:depth gpm ~context);
   0
 
-let learn_cmd obs grammar examples space save =
+let learn_cmd obs grammar examples space save max_witnesses =
   run obs @@ fun () ->
   let gpm = Asg.Asg_parser.parse (read_file grammar) in
   let examples = parse_examples_file examples in
   let space = parse_space_file space in
-  match Ilp.Asg_learning.learn ~gpm ~space ~examples () with
+  match Ilp.Asg_learning.learn ~max_witnesses ~gpm ~space ~examples () with
   | None ->
     Fmt.pr "UNSATISFIABLE (no inductive solution)@.";
     1
   | Some learned ->
+    let stats = learned.Ilp.Asg_learning.outcome.Ilp.Learner.stats in
+    if stats.Ilp.Learner.truncated > 0 then
+      Fmt.epr
+        "%% warning: witness enumeration hit the cap (%d) for %d example(s); \
+         the result may change with a larger --max-witnesses@."
+        max_witnesses stats.Ilp.Learner.truncated;
     List.iter (Fmt.pr "%s@.") (Ilp.Asg_learning.hypothesis_text learned);
     Fmt.pr "%% cost %d, penalty %d@."
       learned.Ilp.Asg_learning.outcome.Ilp.Learner.cost
@@ -390,7 +399,14 @@ let obs_t =
     Arg.(value & flag & info [ "report" ]
            ~doc:"Print the aggregate span/counter report after the run.")
   in
-  Term.(const (fun trace report -> { trace; report }) $ trace $ report)
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Number of domains (OCaml threads of parallelism) for the \
+                 learner's fan-outs. 1 (the default) runs sequentially; \
+                 results are identical for every value.")
+  in
+  Term.(const (fun trace report domains -> { trace; report; domains })
+        $ trace $ report $ domains)
 
 let context_opt =
   Arg.(value & opt (some file) None & info [ "context"; "c" ] ~docv:"FILE"
@@ -445,13 +461,19 @@ let learn_t =
     Arg.(value & opt (some string) None & info [ "save"; "o" ] ~docv:"FILE"
            ~doc:"Write the learned grammar (ASG syntax) to FILE.")
   in
+  let max_witnesses =
+    Arg.(value & opt int 64 & info [ "max-witnesses" ] ~docv:"N"
+           ~doc:"Cap on (parse tree, answer set) witnesses enumerated per \
+                 example. A warning is printed when the cap truncates the \
+                 enumeration.")
+  in
   Cmd.v
     (Cmd.info "learn"
        ~doc:"Learn ASG annotations from context-dependent examples.")
     Term.(const learn_cmd $ obs_t $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
           $ file_arg ~doc:"Examples file (+/- sentence | context)." 1 "EXAMPLES"
           $ file_arg ~doc:"Hypothesis-space file (prods | rule)." 2 "SPACE"
-          $ save)
+          $ save $ max_witnesses)
 
 let pipeline_t =
   let requests =

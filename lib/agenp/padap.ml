@@ -11,6 +11,9 @@ type config = {
   memory : int;  (** maximum retained examples (sliding window) *)
   example_weight : int option;
       (** weight given to observation examples; [Some w] tolerates noise *)
+  pool : Par.t option;
+      (** domain pool for the learner's fan-outs; [None] uses the
+          process-wide {!Par.Config.pool} *)
 }
 
 let default_config space =
@@ -20,6 +23,7 @@ let default_config space =
     window = 20;
     memory = 400;
     example_weight = Some 1;
+    pool = None;
   }
 
 type t = {
@@ -77,7 +81,7 @@ let relearn (t : t) : [ `Updated | `Unchanged | `Failed ] =
     Ilp.Task.make ~gpm:t.gpm0 ~space:t.config.space
       ~examples:(List.rev t.examples)
   in
-  match Ilp.Learner.learn task with
+  match Ilp.Learner.learn ?pool:t.config.pool task with
   | None -> `Failed
   | Some outcome ->
     t.relearn_count <- t.relearn_count + 1;

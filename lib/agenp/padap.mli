@@ -10,6 +10,9 @@ type config = {
   memory : int;  (** maximum retained examples (sliding window) *)
   example_weight : int option;
       (** weight of observation examples; [Some w] tolerates noise *)
+  pool : Par.t option;
+      (** domain pool for the learner's fan-outs; [None] uses the
+          process-wide {!Par.Config.pool} *)
 }
 
 val default_config : Ilp.Hypothesis_space.t -> config

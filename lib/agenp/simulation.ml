@@ -66,6 +66,21 @@ let run (config : config) (members : Ams.t list)
   done;
   { timeline = List.rev !timeline; coalition }
 
+(** Run several independent scenarios, one per pool slot. Each thunk
+    builds its whole scenario (members are stateful, so they must be
+    constructed inside the worker that runs them) and the results come
+    back in input order — a pool of size 1 degenerates to [List.map]. *)
+let run_many ?pool
+    (scenarios :
+      (unit -> config * Ams.t list * (string -> int -> int -> Asp.Program.t))
+      list) : result list =
+  let pool = match pool with Some p -> p | None -> Par.Config.pool () in
+  Par.map_list pool
+    (fun setup ->
+      let config, members, request_stream = setup () in
+      run config members ~request_stream)
+    scenarios
+
 (** Mean compliance over the last [n] ticks of a result. *)
 let recent_compliance (r : result) (n : int) : float =
   let recent = List.filteri (fun i _ -> i >= List.length r.timeline - n) r.timeline in

@@ -30,6 +30,16 @@ val run :
   request_stream:(string -> int -> int -> Asp.Program.t) ->
   result
 
+(** Run several independent scenarios across [pool] (default: the
+    process-wide {!Par.Config.pool}). Each thunk builds its own config,
+    members, and request stream — members are stateful and must not be
+    shared between scenarios — and results are returned in input order
+    regardless of scheduling. *)
+val run_many :
+  ?pool:Par.t ->
+  (unit -> config * Ams.t list * (string -> int -> int -> Asp.Program.t)) list ->
+  result list
+
 (** Mean compliance over the last [n] ticks. *)
 val recent_compliance : result -> int -> float
 

@@ -8,15 +8,15 @@ type learned = {
 }
 
 (** Run the workflow. [None] when the task has no inductive solution. *)
-let learn_gpm ?max_witnesses (t : Task.t) : learned option =
-  match Learner.learn ?max_witnesses t with
+let learn_gpm ?pool ?max_witnesses (t : Task.t) : learned option =
+  match Learner.learn ?pool ?max_witnesses t with
   | None -> None
   | Some outcome ->
     Some { gpm = Task.apply_hypothesis t.Task.gpm outcome.hypothesis; outcome }
 
 (** Convenience: build the task and learn in one call. *)
-let learn ?max_witnesses ~gpm ~space ~examples () : learned option =
-  learn_gpm ?max_witnesses (Task.make ~gpm ~space ~examples)
+let learn ?pool ?max_witnesses ~gpm ~space ~examples () : learned option =
+  learn_gpm ?pool ?max_witnesses (Task.make ~gpm ~space ~examples)
 
 (** Accuracy of a GPM against labelled examples: the fraction whose
     membership matches the label — the metric of the paper's CAV

@@ -7,11 +7,13 @@ type learned = {
 }
 
 (** Solve a learning task and graft the winning hypothesis back into the
-    grammar; [None] when the task has no solution. *)
-val learn_gpm : ?max_witnesses:int -> Task.t -> learned option
+    grammar; [None] when the task has no solution. [pool] is forwarded
+    to {!Learner.learn_constraints}. *)
+val learn_gpm : ?pool:Par.t -> ?max_witnesses:int -> Task.t -> learned option
 
 (** Convenience wrapper around {!learn_gpm} building the task in place. *)
 val learn :
+  ?pool:Par.t ->
   ?max_witnesses:int ->
   gpm:Asg.Gpm.t ->
   space:Hypothesis_space.t ->

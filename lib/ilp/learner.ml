@@ -23,11 +23,13 @@
 let c_hypothesis_evals = Obs.Counter.make "ilp.hypothesis_evals"
 let c_candidate_evals = Obs.Counter.make "ilp.candidate_evals"
 let c_search_nodes = Obs.Counter.make "ilp.search_nodes"
+let c_witnesses_truncated = Obs.Counter.make "ilp.witnesses_truncated"
 
 type stats = {
   witnesses : int;
+  truncated : int;  (** examples whose witness enumeration hit the cap *)
   nodes : int;  (** branch-and-bound nodes explored *)
-  duration : float;  (** seconds *)
+  duration : float;  (** seconds, wall-clock *)
 }
 
 type outcome = {
@@ -44,16 +46,24 @@ type witness = {
   traces_by_prod : (int * int list list) list;  (** prod id -> node traces *)
 }
 
-let witnesses_of_example ?(max_witnesses = 64) (gpm : Asg.Gpm.t)
-    (e : Example.t) : witness list =
+(* Witness enumeration with exact truncation detection: each solve asks
+   for one model more than the remaining budget, so a within-tree cutoff
+   is observed (the surplus model is discarded, keeping the returned set
+   identical to a plain capped enumeration); a parse tree skipped after
+   the budget is exhausted also reports truncation, conservatively — its
+   induced program may or may not have had answer sets. *)
+let witnesses_of_example_counted ?(max_witnesses = 64) (gpm : Asg.Gpm.t)
+    (e : Example.t) : witness list * bool =
   let g = Asg.Gpm.with_context gpm e.Example.context in
   let tokens = Asg.Membership.tokenize e.Example.sentence in
   let trees = Grammar.Earley.parses (Asg.Gpm.cfg g) tokens in
   let out = ref [] in
   let count = ref 0 in
+  let truncated = ref false in
   List.iter
     (fun tree ->
-      if !count < max_witnesses then begin
+      if !count >= max_witnesses then truncated := true
+      else begin
         let traces_by_prod =
           let tbl = Hashtbl.create 8 in
           List.iter
@@ -65,19 +75,27 @@ let witnesses_of_example ?(max_witnesses = 64) (gpm : Asg.Gpm.t)
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
         in
         Obs.Counter.incr c_hypothesis_evals;
+        let remaining = max_witnesses - !count in
         let models =
           Obs.fine_span "ilp.witness_solve" @@ fun () ->
-          Asp.Solver.solve ~limit:(max_witnesses - !count)
+          Asp.Solver.solve ~limit:(remaining + 1)
             (Asg.Tree_program.program g tree)
         in
-        List.iter
-          (fun model ->
-            incr count;
-            out := { ex_idx = -1; model; traces_by_prod } :: !out)
+        List.iteri
+          (fun k model ->
+            if k < remaining then begin
+              incr count;
+              out := { ex_idx = -1; model; traces_by_prod } :: !out
+            end
+            else truncated := true)
           models
       end)
     trees;
-  List.rev !out
+  if !truncated then Obs.Counter.incr c_witnesses_truncated;
+  (List.rev !out, !truncated)
+
+let witnesses_of_example ?max_witnesses gpm e =
+  fst (witnesses_of_example_counted ?max_witnesses gpm e)
 
 (** Does candidate [c] kill witness [w]? True when the candidate's
     constraint, instantiated at some node of the witness's tree carrying
@@ -94,24 +112,43 @@ let kills (c : Hypothesis_space.candidate) (w : witness) : bool =
 
 exception Infeasible
 
+(* Greedy preference over (gain, cost, candidate index): higher
+   gain-per-cost first, compared exactly by cross-multiplication (costs
+   are positive integers), then higher index first. The ratio order used
+   to rely on polymorphic [compare] over floats and the tie order on
+   sort stability over the ci-descending killer lists; both are now
+   pinned explicitly. *)
+let greedy_score_compare (g1, c1, i1) (g2, c2, i2) =
+  let r = Int.compare (g2 * c1) (g1 * c2) in
+  if r <> 0 then r else Int.compare i2 i1
+
 (* ---- Constraint path -------------------------------------------------- *)
 
-let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
-    : outcome option =
+let learn_constraints ?pool ?(max_witnesses = 64) ?(max_nodes = 300_000)
+    (t : Task.t) : outcome option =
   Obs.span "ilp.learn" @@ fun () ->
-  let t0 = Sys.time () in
+  let pool = match pool with Some p -> p | None -> Par.Config.pool () in
+  let t0 = Obs.now () in
   let examples = Array.of_list t.Task.examples in
   let n_ex = Array.length examples in
   let candidates = Array.of_list t.Task.space in
   let n_cand = Array.length candidates in
-  (* collect witnesses *)
+  (* collect witnesses: per-example enumeration fans out across the pool
+     (each example is independent); assembly stays sequential in example
+     order so witness ids match the sequential run bit for bit *)
   let witnesses = ref [] in
   let n_wit = ref 0 in
+  let n_truncated = ref 0 in
   let wit_ids_of_ex = Array.make n_ex [] in
   Obs.span "ilp.witnesses" (fun () ->
+      let per_example =
+        Par.parallel_map pool
+          (fun e -> witnesses_of_example_counted ~max_witnesses t.Task.gpm e)
+          examples
+      in
       Array.iteri
-        (fun i e ->
-          let ws = witnesses_of_example ~max_witnesses t.Task.gpm e in
+        (fun i (ws, truncated) ->
+          if truncated then incr n_truncated;
           List.iter
             (fun w ->
               let wid = !n_wit in
@@ -119,24 +156,33 @@ let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
               witnesses := { w with ex_idx = i } :: !witnesses;
               wit_ids_of_ex.(i) <- wid :: wit_ids_of_ex.(i))
             ws)
-        examples);
+        per_example);
   let witnesses = Array.of_list (List.rev !witnesses) in
   let n_wit = !n_wit in
-  (* kill matrix *)
+  let n_truncated = !n_truncated in
+  (* kill matrix: one task per candidate row — each task writes only its
+     own [kill.(ci)] row and [killed_by_cand.(ci)] cell, so rows race on
+     nothing; [killers_of] is rebuilt sequentially afterwards in the same
+     ci-ascending order the sequential loop used *)
   let kill = Array.make_matrix n_cand n_wit false in
   let killers_of = Array.make n_wit [] in
   let killed_by_cand = Array.make n_cand [] in
   Obs.span "ilp.kill_matrix" (fun () ->
+      Par.parallel_iter pool
+        (fun ci ->
+          Obs.Counter.incr c_candidate_evals;
+          Obs.fine_span "ilp.candidate_eval" (fun () ->
+              for wi = 0 to n_wit - 1 do
+                if kills candidates.(ci) witnesses.(wi) then begin
+                  kill.(ci).(wi) <- true;
+                  killed_by_cand.(ci) <- wi :: killed_by_cand.(ci)
+                end
+              done))
+        (Array.init n_cand Fun.id);
       for ci = 0 to n_cand - 1 do
-        Obs.Counter.incr c_candidate_evals;
-        Obs.fine_span "ilp.candidate_eval" (fun () ->
-            for wi = 0 to n_wit - 1 do
-              if kills candidates.(ci) witnesses.(wi) then begin
-                kill.(ci).(wi) <- true;
-                killers_of.(wi) <- ci :: killers_of.(wi);
-                killed_by_cand.(ci) <- wi :: killed_by_cand.(ci)
-              end
-            done)
+        for wi = 0 to n_wit - 1 do
+          if kill.(ci).(wi) then killers_of.(wi) <- ci :: killers_of.(wi)
+        done
       done);
   (* search state *)
   let kill_count = Array.make n_wit 0 in
@@ -222,11 +268,11 @@ let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
                           = Example.Negative)
                      killed_by_cand.(ci))
               in
-              (float_of_int gain /. float_of_int candidates.(ci).Hypothesis_space.cost, ci))
+              (gain, candidates.(ci).Hypothesis_space.cost, ci))
             usable
         in
-        match List.sort (fun (a, _) (b, _) -> compare b a) scored with
-        | (_, ci) :: _ -> apply ci
+        match List.sort greedy_score_compare scored with
+        | (_, _, ci) :: _ -> apply ci
         | [] -> (
           match examples.(ei).Example.weight with
           | Some w ->
@@ -400,6 +446,7 @@ let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
      Obs.span "ilp.search" dfs
    with Infeasible -> ());
   Obs.set_attr "witnesses" (string_of_int n_wit);
+  Obs.set_attr "truncated" (string_of_int n_truncated);
   Obs.set_attr "nodes" (string_of_int !nodes);
   match !best with
   | None -> None
@@ -412,7 +459,13 @@ let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
         cost;
         penalty = total - cost;
         sacrificed = List.map (fun i -> examples.(i)) sac;
-        stats = { witnesses = n_wit; nodes = !nodes; duration = Sys.time () -. t0 };
+        stats =
+          {
+            witnesses = n_wit;
+            truncated = n_truncated;
+            nodes = !nodes;
+            duration = Obs.now () -. t0;
+          };
       }
 
 (* ---- General path ------------------------------------------------------ *)
@@ -422,7 +475,7 @@ let learn_constraints ?(max_witnesses = 64) ?(max_nodes = 300_000) (t : Task.t)
     (all examples are treated as hard). *)
 let learn_general ?(max_subsets = 100_000) (t : Task.t) : outcome option =
   Obs.span "ilp.learn" @@ fun () ->
-  let t0 = Sys.time () in
+  let t0 = Obs.now () in
   let candidates = Array.of_list t.Task.space in
   let n = Array.length candidates in
   (* priority queue of (cost, next_index, chosen_rev) *)
@@ -470,7 +523,12 @@ let learn_general ?(max_subsets = 100_000) (t : Task.t) : outcome option =
               penalty = 0;
               sacrificed = [];
               stats =
-                { witnesses = 0; nodes = !explored; duration = Sys.time () -. t0 };
+                {
+                  witnesses = 0;
+                  truncated = 0;
+                  nodes = !explored;
+                  duration = Obs.now () -. t0;
+                };
             }
         else begin
           for ci = next to n - 1 do
@@ -486,15 +544,18 @@ let learn_general ?(max_subsets = 100_000) (t : Task.t) : outcome option =
 (** Learn an optimal hypothesis, dispatching on the hypothesis space:
     the set-cover engine when every candidate is a constraint, the
     general subset search otherwise. *)
-let learn ?max_witnesses (t : Task.t) : outcome option =
+let learn ?pool ?max_witnesses (t : Task.t) : outcome option =
   if List.for_all Hypothesis_space.is_constraint_candidate t.Task.space then
-    learn_constraints ?max_witnesses t
+    learn_constraints ?pool ?max_witnesses t
   else learn_general t
 
 let pp_outcome ppf o =
-  Fmt.pf ppf "learned %d rule(s), cost %d, penalty %d (%d witnesses, %d nodes, %.3fs)"
-    (List.length o.hypothesis) o.cost o.penalty o.stats.witnesses o.stats.nodes
-    o.stats.duration;
+  Fmt.pf ppf "learned %d rule(s), cost %d, penalty %d (%d witnesses%s, %d nodes, %.3fs)"
+    (List.length o.hypothesis) o.cost o.penalty o.stats.witnesses
+    (if o.stats.truncated > 0 then
+       Fmt.str ", %d truncated" o.stats.truncated
+     else "")
+    o.stats.nodes o.stats.duration;
   List.iter
     (fun c ->
       Fmt.pf ppf "@.  [pr%d] %a" c.Hypothesis_space.prod_id

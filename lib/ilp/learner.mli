@@ -9,8 +9,14 @@
 
 type stats = {
   witnesses : int;
+  truncated : int;
+      (** examples whose witness enumeration hit the [max_witnesses]
+          cap (also counted in the [ilp.witnesses_truncated] counter);
+          a non-zero value means the learner reasoned about a strict
+          subset of the possible (tree, answer set) pairs and the
+          result may change under a larger cap *)
   nodes : int;
-  duration : float;  (** seconds *)
+  duration : float;  (** seconds, wall-clock *)
 }
 
 type outcome = {
@@ -36,19 +42,36 @@ type witness = {
 val witnesses_of_example :
   ?max_witnesses:int -> Asg.Gpm.t -> Example.t -> witness list
 
+(** Like {!witnesses_of_example}, also reporting whether the cap
+    truncated the enumeration (exactly detected within a parse tree by
+    over-asking the solver one model; conservatively when whole parse
+    trees were left unexplored). A truncated call increments the
+    [ilp.witnesses_truncated] counter. *)
+val witnesses_of_example_counted :
+  ?max_witnesses:int -> Asg.Gpm.t -> Example.t -> witness list * bool
+
 (** Does the candidate kill the witness (its constraint fires in the
     witness's model at some node of its production)? *)
 val kills : Hypothesis_space.candidate -> witness -> bool
 
-(** Exact engine for constraint-only spaces. *)
+(** Greedy warm-start preference over [(gain, cost, candidate index)]
+    triples: higher gain-per-cost ratio first (compared exactly, by
+    integer cross-multiplication), ties broken toward the higher
+    candidate index. Exposed so tests can pin the order. *)
+val greedy_score_compare : int * int * int -> int * int * int -> int
+
+(** Exact engine for constraint-only spaces. Witness generation and the
+    kill matrix fan out across [pool] (default: the process-wide
+    {!Par.Config.pool}, sequential unless configured otherwise); the
+    outcome is identical for every pool size. *)
 val learn_constraints :
-  ?max_witnesses:int -> ?max_nodes:int -> Task.t -> outcome option
+  ?pool:Par.t -> ?max_witnesses:int -> ?max_nodes:int -> Task.t -> outcome option
 
 (** Best-first subset search; sound for any space, exponential. Weights
-    are ignored (all examples treated as hard). *)
+    are ignored (all examples treated as hard). Always sequential. *)
 val learn_general : ?max_subsets:int -> Task.t -> outcome option
 
 (** Dispatch: constraint engine when possible, general search otherwise. *)
-val learn : ?max_witnesses:int -> Task.t -> outcome option
+val learn : ?pool:Par.t -> ?max_witnesses:int -> Task.t -> outcome option
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -2,11 +2,24 @@
    the short version: spans always aggregate into the histogram
    registry, sinks (including the Trace collector) see every finished
    span, and fine_span is gated behind the [detailed] flag so hot
-   per-item paths cost one boolean read when observability is off. *)
+   per-item paths cost one boolean read when observability is off.
+
+   Domain safety (the parallel learner runs spans and counters from
+   worker domains):
+   - counters are atomics — increments from any domain are never lost;
+   - the span stack is domain-local ([Domain.DLS]), so nesting depth is
+     tracked per domain and parallel spans cannot corrupt each other;
+   - registry lookups and histogram updates take [registry_lock]; sink
+     delivery (including the Trace buffer) takes [sink_lock]. Both are
+     only touched on span finish / handle creation, never per counter
+     increment. *)
 
 (* -- Clock -------------------------------------------------------------- *)
 
-let default_clock = Sys.time
+(* Wall clock, not [Sys.time]: CPU time silently under-reports blocking
+   (sleeps, IO) and multi-domain work, where the process accumulates CPU
+   seconds faster than real time. *)
+let default_clock = Unix.gettimeofday
 let clock = ref default_clock
 let set_clock f = clock := f
 let use_default_clock () = clock := default_clock
@@ -25,34 +38,60 @@ type span = {
   sp_start : float;
   sp_dur : float;
   sp_depth : int;
+  sp_domain : int;
   sp_attrs : attr list;
 }
+
+(* -- Locks --------------------------------------------------------------- *)
+
+(* [registry_lock] guards the counter/histogram hashtables and histogram
+   field updates; [sink_lock] guards the sink list and serializes span
+   delivery (the Trace buffer mutates inside it). A sink callback may
+   create registry handles (it takes [registry_lock] while holding
+   [sink_lock]); registry operations never take [sink_lock], so the
+   acquisition order is acyclic. *)
+let registry_lock = Mutex.create ()
+let sink_lock = Mutex.create ()
+
+let locked m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
 
 (* -- Registries ---------------------------------------------------------- *)
 
 let by_name_compare name_of a b = String.compare (name_of a) (name_of b)
 
 module Counter = struct
-  type t = { name : string; mutable value : int }
+  type t = { name : string; value : int Atomic.t }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
   let make name =
+    locked registry_lock @@ fun () ->
     match Hashtbl.find_opt registry name with
     | Some c -> c
     | None ->
-      let c = { name; value = 0 } in
+      let c = { name; value = Atomic.make 0 } in
       Hashtbl.add registry name c;
       c
 
-  let incr ?(by = 1) c = c.value <- c.value + by
-  let value c = c.value
+  let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.value by)
+  let value c = Atomic.get c.value
   let name c = c.name
-  let reset c = c.value <- 0
-  let find name = Hashtbl.find_opt registry name
+  let reset c = Atomic.set c.value 0
+
+  let find name =
+    locked registry_lock @@ fun () -> Hashtbl.find_opt registry name
 
   let all () =
-    Hashtbl.fold (fun _ c acc -> c :: acc) registry []
+    locked registry_lock (fun () ->
+        Hashtbl.fold (fun _ c acc -> c :: acc) registry [])
     |> List.sort (by_name_compare name)
 end
 
@@ -68,6 +107,7 @@ module Histogram = struct
   let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 
   let make name =
+    locked registry_lock @@ fun () ->
     match Hashtbl.find_opt registry name with
     | Some h -> h
     | None ->
@@ -78,6 +118,7 @@ module Histogram = struct
       h
 
   let observe h v =
+    locked registry_lock @@ fun () ->
     h.count <- h.count + 1;
     h.total <- h.total +. v;
     if v < h.min_v then h.min_v <- v;
@@ -91,15 +132,18 @@ module Histogram = struct
   let name h = h.name
 
   let reset h =
+    locked registry_lock @@ fun () ->
     h.count <- 0;
     h.total <- 0.0;
     h.min_v <- infinity;
     h.max_v <- neg_infinity
 
-  let find name = Hashtbl.find_opt registry name
+  let find name =
+    locked registry_lock @@ fun () -> Hashtbl.find_opt registry name
 
   let all () =
-    Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+    locked registry_lock (fun () ->
+        Hashtbl.fold (fun _ h acc -> h :: acc) registry [])
     |> List.sort (by_name_compare name)
 end
 
@@ -108,28 +152,36 @@ end
 type sink = { on_span : span -> unit }
 
 let sinks : sink list ref = ref []
-let register_sink s = sinks := s :: !sinks
-let unregister_sink s = sinks := List.filter (fun x -> x != s) !sinks
+
+let register_sink s =
+  locked sink_lock @@ fun () -> sinks := s :: !sinks
+
+let unregister_sink s =
+  locked sink_lock @@ fun () -> sinks := List.filter (fun x -> x != s) !sinks
 
 (* -- Spans --------------------------------------------------------------- *)
 
-(* The stack of open spans. Attrs are stored newest-first and reversed
-   on finish; [set_attr] therefore shadows earlier values for the same
-   key in export order. *)
+(* The stack of open spans, one per domain. Attrs are stored
+   newest-first and reversed on finish; [set_attr] therefore shadows
+   earlier values for the same key in export order. *)
 type frame = {
   f_name : string;
   f_start : float;
   mutable f_attrs : attr list;
 }
 
-let stack : frame list ref = ref []
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let set_attr k v =
-  match !stack with
+  match !(stack ()) with
   | [] -> ()
   | f :: _ -> f.f_attrs <- (k, v) :: f.f_attrs
 
 let span ?(attrs = []) name f =
+  let stack = stack () in
   let fr = { f_name = name; f_start = now (); f_attrs = List.rev attrs } in
   let depth = List.length !stack in
   stack := fr :: !stack;
@@ -140,18 +192,20 @@ let span ?(attrs = []) name f =
       | _ -> stack := List.filter (fun x -> x != fr) !stack);
       let dur = now () -. fr.f_start in
       Histogram.observe (Histogram.make fr.f_name) dur;
-      if !sinks <> [] then begin
-        let sp =
-          {
-            sp_name = fr.f_name;
-            sp_start = fr.f_start;
-            sp_dur = dur;
-            sp_depth = depth;
-            sp_attrs = List.rev fr.f_attrs;
-          }
-        in
-        List.iter (fun s -> s.on_span sp) !sinks
-      end)
+      locked sink_lock (fun () ->
+          if !sinks <> [] then begin
+            let sp =
+              {
+                sp_name = fr.f_name;
+                sp_start = fr.f_start;
+                sp_dur = dur;
+                sp_depth = depth;
+                sp_domain = (Domain.self () :> int);
+                sp_attrs = List.rev fr.f_attrs;
+              }
+            in
+            List.iter (fun s -> s.on_span sp) !sinks
+          end))
     f
 
 let fine_span ?attrs name f = if !detailed then span ?attrs name f else f ()
@@ -161,6 +215,9 @@ let fine_span ?attrs name f = if !detailed then span ?attrs name f else f ()
 module Trace = struct
   let limit = ref 1_000_000
   let set_limit n = limit := n
+
+  (* Mutated only from inside [sink_lock] (delivery) or under it
+     (clear/stop), so plain refs are safe. *)
   let buf : span list ref = ref []
   let count = ref 0
   let dropped_count = ref 0
@@ -186,9 +243,10 @@ module Trace = struct
   let active () = !active_flag
 
   let spans () =
+    let collected = locked sink_lock (fun () -> !buf) in
     List.stable_sort
       (fun a b -> Float.compare a.sp_start b.sp_start)
-      (List.rev !buf)
+      (List.rev collected)
 
   let stop () =
     if !active_flag then begin
@@ -198,6 +256,7 @@ module Trace = struct
     spans ()
 
   let clear () =
+    locked sink_lock @@ fun () ->
     buf := [];
     count := 0;
     dropped_count := 0
@@ -238,9 +297,10 @@ module Trace = struct
       (fun sp ->
         Printf.bprintf b
           ",\n\
-           {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%d"
+           {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%d"
           (json_escape sp.sp_name)
           (json_escape (layer_of sp.sp_name))
+          (sp.sp_domain + 1)
           ((sp.sp_start -. origin) *. 1e6)
           (sp.sp_dur *. 1e6) sp.sp_depth;
         List.iter
@@ -262,8 +322,8 @@ end
 (* -- Reset --------------------------------------------------------------- *)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> Counter.reset c) Counter.registry;
-  Hashtbl.iter (fun _ h -> Histogram.reset h) Histogram.registry;
+  List.iter Counter.reset (Counter.all ());
+  List.iter Histogram.reset (Histogram.all ());
   Trace.clear ()
 
 (* -- Aggregate report ----------------------------------------------------- *)

@@ -18,18 +18,30 @@
     {2 Cost model and the detail gate}
 
     Every span costs two clock reads plus one histogram update. The
-    default clock ({!Sys.time}) is a few hundred nanoseconds per read,
-    so instrumentation on {e per-item} hot paths (a grounder delta
-    round, a solver stability check, a learner candidate evaluation)
-    uses {!fine_span}, which is a no-op unless {!set_detailed} was
-    called — one boolean read when disabled. Call-level spans
-    ({!span}) are always measured and always feed the aggregate
-    registry, which is what {!report} summarizes.
+    default clock ({!Unix.gettimeofday}) is a few hundred nanoseconds
+    per read, so instrumentation on {e per-item} hot paths (a grounder
+    delta round, a solver stability check, a learner candidate
+    evaluation) uses {!fine_span}, which is a no-op unless
+    {!set_detailed} was called — one boolean read when disabled.
+    Call-level spans ({!span}) are always measured and always feed the
+    aggregate registry, which is what {!report} summarizes.
 
-    The clock is monotone (processor time) and injectable with
+    The clock measures {e wall-clock} time and is injectable with
     {!set_clock} so tests can run against a deterministic clock.
 
-    State is global and not thread-safe, matching the engine. *)
+    {2 Domain safety}
+
+    State is global but safe to use from multiple domains (the
+    parallel learner, [lib/par] fan-outs): counter increments are
+    atomic, the span stack is domain-local (each domain nests its own
+    spans; {!span.sp_domain} records which domain a span ran on, and
+    becomes the [tid] in Chrome exports), and histogram updates, sink
+    delivery, and the trace buffer are serialized by internal locks
+    taken only on span finish — never per counter increment. Reads of
+    aggregates ({!report}, [Histogram.count], …) are not synchronized
+    against concurrently {e running} spans; read them from one domain
+    after parallel regions complete, which is what the CLI and bench
+    drivers do. *)
 
 (** {1 Clock} *)
 
@@ -38,9 +50,11 @@
     their values. *)
 val set_clock : (unit -> float) -> unit
 
-(** Restore the default clock ([Sys.time]: monotone processor time,
-    avoiding a Unix dependency; for the single-threaded engine it
-    tracks wall-clock closely). *)
+(** Restore the default clock ([Unix.gettimeofday]: wall-clock
+    seconds, so spans covering blocking waits or multi-domain parallel
+    sections report real elapsed time — unlike CPU-time clocks such as
+    [Sys.time], which under-report sleeps and over-count parallel
+    work). *)
 val use_default_clock : unit -> unit
 
 (** Current clock reading, in seconds. *)
@@ -61,7 +75,9 @@ type span = {
   sp_name : string;
   sp_start : float;  (** clock reading at span start, seconds *)
   sp_dur : float;  (** duration, seconds *)
-  sp_depth : int;  (** nesting depth when the span ran; roots are 0 *)
+  sp_depth : int;
+      (** nesting depth {e on the span's own domain}; roots are 0 *)
+  sp_domain : int;  (** id of the domain the span ran on; main is 0 *)
   sp_attrs : attr list;
 }
 

@@ -119,6 +119,7 @@ Every command takes --report (aggregate span/counter table) and --trace
   ilp.candidate_evals N
   ilp.hypothesis_evals N
   ilp.search_nodes N
+  ilp.witnesses_truncated N
 
 The pipeline subcommand drives the XACML closed loop; its trace covers
 all three layers (asp.*, ilp.*, agenp.*):

@@ -200,6 +200,74 @@ let test_multiple_witnesses () =
     Alcotest.(check bool) "verified" true (Task.is_solution task o.Learner.hypothesis);
     Alcotest.(check int) "only the snow rule" 1 (List.length o.Learner.hypothesis)
 
+(* The choice grammar gives every example two witnesses (mode fast/slow),
+   so a cap of 1 must truncate — and say so, instead of the old silent
+   drop — while a cap of exactly 2 must not (the detection over-asks the
+   solver by one model, which must not misfire at the boundary). *)
+let choice_gpm () =
+  Asg.Asg_parser.parse
+    {| start -> decision { 1 { mode(fast); mode(slow) } 1. }
+       decision -> "accept" { result(accept). } | "reject" { result(reject). } |}
+
+let test_witness_truncation_flag () =
+  let gpm = choice_gpm () in
+  let e = Ilp.Example.positive_ctx "accept" "weather(sun)." in
+  let counter_value () =
+    match Obs.Counter.find "ilp.witnesses_truncated" with
+    | Some c -> Obs.Counter.value c
+    | None -> 0
+  in
+  let before = counter_value () in
+  let ws, truncated = Learner.witnesses_of_example_counted ~max_witnesses:1 gpm e in
+  Alcotest.(check int) "cap 1 keeps one witness" 1 (List.length ws);
+  Alcotest.(check bool) "cap 1 reports truncation" true truncated;
+  Alcotest.(check int) "counter incremented" (before + 1) (counter_value ());
+  let ws2, truncated2 =
+    Learner.witnesses_of_example_counted ~max_witnesses:2 gpm e
+  in
+  Alcotest.(check int) "cap 2 keeps both" 2 (List.length ws2);
+  Alcotest.(check bool) "exact cap is not truncation" false truncated2;
+  let ws_default = Learner.witnesses_of_example gpm e in
+  Alcotest.(check int) "default cap keeps both" 2 (List.length ws_default)
+
+let test_learn_surfaces_truncation () =
+  let space =
+    Ilp.Hypothesis_space.of_rules [ (":- result(accept)@1, weather(snow).", [ 0 ]) ]
+  in
+  let examples =
+    [
+      Ilp.Example.positive_ctx "accept" "weather(sun).";
+      Ilp.Example.negative_ctx "accept" "weather(snow).";
+    ]
+  in
+  let task = Task.make ~gpm:(choice_gpm ()) ~space ~examples in
+  (match Learner.learn_constraints ~max_witnesses:1 task with
+  | None -> Alcotest.fail "capped task should still solve"
+  | Some o ->
+    Alcotest.(check int) "both examples truncated" 2 o.Learner.stats.Learner.truncated);
+  match Learner.learn_constraints task with
+  | None -> Alcotest.fail "uncapped task should solve"
+  | Some o ->
+    Alcotest.(check int) "no truncation at default cap" 0
+      o.Learner.stats.Learner.truncated
+
+(* Pin the greedy warm-start order: exact gain-per-cost descending,
+   ties toward the higher candidate index. *)
+let test_greedy_score_compare () =
+  Alcotest.(check bool) "higher ratio first" true
+    (Learner.greedy_score_compare (3, 1, 0) (2, 1, 9) < 0);
+  (* 2/5 > 1/3 exactly; float rounding must not be involved *)
+  Alcotest.(check bool) "exact rational comparison" true
+    (Learner.greedy_score_compare (2, 5, 0) (1, 3, 1) < 0);
+  Alcotest.(check bool) "equal ratios tie-break to higher index" true
+    (Learner.greedy_score_compare (2, 2, 5) (1, 1, 3) < 0);
+  let show (g, c, i) = Printf.sprintf "%d/%d@%d" g c i in
+  Alcotest.(check (list string)) "full pinned order"
+    [ "4/1@0"; "2/1@7"; "2/1@3"; "1/2@2" ]
+    (List.map show
+       (List.sort Learner.greedy_score_compare
+          [ (1, 2, 2); (2, 1, 3); (4, 1, 0); (2, 1, 7) ]))
+
 let test_accuracy () =
   let gpm = decision_gpm () in
   let h = Asg.Annotation.parse_rule_string ":- result(accept)@1, weather(snow)." in
@@ -493,6 +561,9 @@ let () =
           Alcotest.test_case "hard vs soft conflict" `Quick test_hard_conflict_infeasible_vs_soft;
           Alcotest.test_case "general path" `Quick test_learn_general_with_defined_atom;
           Alcotest.test_case "multiple witnesses" `Quick test_multiple_witnesses;
+          Alcotest.test_case "witness truncation flag" `Quick test_witness_truncation_flag;
+          Alcotest.test_case "truncation in stats" `Quick test_learn_surfaces_truncation;
+          Alcotest.test_case "greedy tie-break" `Quick test_greedy_score_compare;
           Alcotest.test_case "accuracy" `Quick test_accuracy;
           Alcotest.test_case "minimality" `Quick test_minimality_prefers_one_general_rule;
         ] );

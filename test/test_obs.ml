@@ -414,6 +414,53 @@ let report_totals_prop =
             && Float.abs (a.Obs.agg_total -. expected) < 1e-9)
         [ 0; 1; 2; 3 ])
 
+(* Regression for the default clock: a span around a real sleep must
+   measure elapsed wall-clock time. The old [Sys.time] default counted
+   CPU time, under which a sleeping span reads ~0. *)
+let test_default_clock_is_wall_clock () =
+  Obs.reset ();
+  Obs.use_default_clock ();
+  let seen = ref None in
+  let sink = { Obs.on_span = (fun s -> seen := Some s) } in
+  Obs.register_sink sink;
+  Fun.protect
+    ~finally:(fun () -> Obs.unregister_sink sink)
+    (fun () -> Obs.span "test.sleep" (fun () -> Unix.sleepf 0.05));
+  match !seen with
+  | None -> Alcotest.fail "span not delivered"
+  | Some s ->
+    Alcotest.(check bool)
+      (Printf.sprintf "sleep of 0.05s measured as %.4fs" s.Obs.sp_dur)
+      true
+      (s.Obs.sp_dur >= 0.04)
+
+(* Parallel spans: counters from many domains aggregate exactly, and
+   each span records the domain it ran on. *)
+let test_domain_safety () =
+  Obs.reset ();
+  Obs.use_default_clock ();
+  let c = Obs.Counter.make "test.par_incrs" in
+  let domains = ref [] in
+  let sink =
+    { Obs.on_span = (fun s -> domains := s.Obs.sp_domain :: !domains) }
+  in
+  Obs.register_sink sink;
+  Fun.protect
+    ~finally:(fun () -> Obs.unregister_sink sink)
+    (fun () ->
+      let worker () =
+        for _ = 1 to 1000 do
+          Obs.Counter.incr c
+        done;
+        Obs.span "test.par_span" (fun () -> ())
+      in
+      let spawned = List.init 3 (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned);
+  Alcotest.(check int) "atomic increments" 4000 (Obs.Counter.value c);
+  Alcotest.(check int) "one span per domain" 4 (List.length !domains);
+  Alcotest.(check bool) "main domain recorded" true (List.mem 0 !domains)
+
 let () =
   Alcotest.run "obs"
     [
@@ -424,6 +471,8 @@ let () =
             test_span_exception_safety;
           Alcotest.test_case "attributes" `Quick test_span_attrs;
           Alcotest.test_case "fine span gating" `Quick test_fine_span_gating;
+          Alcotest.test_case "wall clock" `Quick test_default_clock_is_wall_clock;
+          Alcotest.test_case "domain safety" `Quick test_domain_safety;
         ] );
       ( "registry",
         [
