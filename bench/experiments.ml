@@ -889,37 +889,49 @@ let perf ~quick () =
     the domains timeshare, so the honest expectation there is ~1.0x (or
     slightly below, from scheduling overhead); the identity check is
     what must hold everywhere. *)
-let par ~quick () =
-  section "PAR  Parallel learner: wall-clock and outcome identity vs domains";
-  let n = if quick then 24 else 48 in
+let par_fingerprint = function
+  | None -> "unsat"
+  | Some (o : Ilp.Learner.outcome) ->
+    Printf.sprintf "cost=%d penalty=%d sacrificed=%d rules=[%s]"
+      o.Ilp.Learner.cost o.Ilp.Learner.penalty
+      (List.length o.Ilp.Learner.sacrificed)
+      (String.concat "; "
+         (List.map
+            (fun (c : Ilp.Hypothesis_space.candidate) ->
+              Printf.sprintf "pr%d %s" c.prod_id
+                (Asg.Annotation.rule_to_string c.rule))
+            o.Ilp.Learner.hypothesis))
+
+(** Run the constraint learner on the CAV task ([n] examples) once per
+    degree in [degrees]; returns [(domains, seconds, fingerprint)] per
+    run. Shared by the [par] experiment and the bench gate's quick
+    outcome-identity re-check. *)
+let par_runs ~n ~degrees () =
   let examples = Workloads.Cav.examples_of (Workloads.Cav.sample ~seed:42 n) in
   let space = Ilp.Hypothesis_space.generate (Workloads.Cav.modes ()) in
   let task = Ilp.Task.make ~gpm:(Workloads.Cav.gpm ()) ~space ~examples in
-  let fingerprint = function
-    | None -> "unsat"
-    | Some (o : Ilp.Learner.outcome) ->
-      Printf.sprintf "cost=%d penalty=%d sacrificed=%d rules=[%s]"
-        o.Ilp.Learner.cost o.Ilp.Learner.penalty
-        (List.length o.Ilp.Learner.sacrificed)
-        (String.concat "; "
-           (List.map
-              (fun (c : Ilp.Hypothesis_space.candidate) ->
-                Printf.sprintf "pr%d %s" c.prod_id
-                  (Asg.Annotation.rule_to_string c.rule))
-              o.Ilp.Learner.hypothesis))
-  in
-  let degrees = [ 1; 2; 4 ] in
-  let runs =
-    List.map
-      (fun domains ->
-        let pool = Par.create ~domains () in
-        let t0 = Obs.now () in
-        let outcome = Ilp.Learner.learn_constraints ~pool task in
-        let dt = Obs.now () -. t0 in
-        Par.shutdown pool;
-        (domains, dt, fingerprint outcome))
-      degrees
-  in
+  List.map
+    (fun domains ->
+      let pool = Par.create ~domains () in
+      let t0 = Obs.now () in
+      let outcome = Ilp.Learner.learn_constraints ~pool task in
+      let dt = Obs.now () -. t0 in
+      Par.shutdown pool;
+      (domains, dt, par_fingerprint outcome))
+    degrees
+
+(** The gate's quick form of the [par] identity check: smaller task, two
+    degrees, no timing table, no snapshot file. *)
+let par_outcomes_identical () =
+  match par_runs ~n:12 ~degrees:[ 1; 2 ] () with
+  | (_, _, fp1) :: rest -> List.for_all (fun (_, _, fp) -> fp = fp1) rest
+  | [] -> false
+
+let par ~quick () =
+  section "PAR  Parallel learner: wall-clock and outcome identity vs domains";
+  let n = if quick then 24 else 48 in
+  let space = Ilp.Hypothesis_space.generate (Workloads.Cav.modes ()) in
+  let runs = par_runs ~n ~degrees:[ 1; 2; 4 ] () in
   let _, t1, fp1 = List.hd runs in
   let identical = List.for_all (fun (_, _, fp) -> fp = fp1) runs in
   Fmt.pr "%-10s %-12s %-12s %s@." "domains" "seconds" "speedup" "outcome";

@@ -1,0 +1,181 @@
+(* The bench regression gate: re-run the Bechamel micro-benches and
+   compare against the committed BENCH_asp.json snapshot, plus re-check
+   the BENCH_par.json outcome-identity invariant. Exit codes:
+
+     0  every bench within tolerance and par outcomes identical
+     1  at least one regression (or identity violation)
+     2  missing/malformed baseline file or bad arguments
+
+   The committed [current_ns_per_run] numbers are the baseline here:
+   they are what the container measured when the snapshot was taken, so
+   "current > committed * (1 + tolerance)" means the code got slower
+   since. ([baseline_ns_per_run] in the same file is the *pre-rewrite*
+   seed the speedup table is computed against — not what we gate on.) *)
+
+let usage =
+  "usage: bench gate [--tolerance F] [--quota SEC] [--runs N] \
+   [--baseline-asp FILE] [--baseline-par FILE] [--skip-par] [--rebaseline]"
+
+type opts = {
+  tolerance : float;  (** allowed fractional slowdown, default 0.15 *)
+  quota : float;  (** Bechamel seconds per bench per run, default 0.5 *)
+  runs : int;  (** measurement repetitions, per-bench min kept *)
+  baseline_asp : string;
+  baseline_par : string;
+  skip_par : bool;
+  rebaseline : bool;  (** re-capture BENCH_asp.json instead of checking *)
+}
+
+let default_opts =
+  {
+    tolerance = 0.15;
+    quota = 0.5;
+    runs = 5;
+    baseline_asp = "BENCH_asp.json";
+    baseline_par = "BENCH_par.json";
+    skip_par = false;
+    rebaseline = false;
+  }
+
+exception Bad_args of string
+
+let parse_args args =
+  let rec go o = function
+    | [] -> o
+    | "--tolerance" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f when f >= 0.0 -> go { o with tolerance = f } rest
+      | _ -> raise (Bad_args ("bad --tolerance: " ^ v)))
+    | "--quota" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f when f > 0.0 -> go { o with quota = f } rest
+      | _ -> raise (Bad_args ("bad --quota: " ^ v)))
+    | "--runs" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> go { o with runs = n } rest
+      | _ -> raise (Bad_args ("bad --runs: " ^ v)))
+    | "--baseline-asp" :: v :: rest -> go { o with baseline_asp = v } rest
+    | "--baseline-par" :: v :: rest -> go { o with baseline_par = v } rest
+    | "--skip-par" :: rest -> go { o with skip_par = true } rest
+    | "--rebaseline" :: rest -> go { o with rebaseline = true } rest
+    | a :: _ -> raise (Bad_args ("unknown argument: " ^ a))
+  in
+  go default_opts args
+
+let read_json path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Obs.Json.parse s
+
+(* load the committed snapshot's per-bench numbers, checking the schema
+   tag so a stale or foreign file fails loudly instead of gating against
+   garbage *)
+let load_asp_baseline path : (string * float) list =
+  let j = read_json path in
+  (match Obs.Json.(to_str (member "schema" j)) with
+  | "bench-asp/1" -> ()
+  | other -> failwith (Printf.sprintf "unexpected schema %S" other));
+  match Obs.Json.member "current_ns_per_run" j with
+  | Obs.Json.Obj kvs -> List.map (fun (k, v) -> (k, Obs.Json.to_num v)) kvs
+  | _ -> failwith "current_ns_per_run is not an object"
+
+let load_par_identical path : bool =
+  let j = read_json path in
+  (match Obs.Json.(to_str (member "schema" j)) with
+  | "bench-par/1" -> ()
+  | other -> failwith (Printf.sprintf "unexpected schema %S" other));
+  Obs.Json.(to_bool (member "identical_outcome" j))
+
+let rebaseline o =
+  Fmt.pr "bench gate: re-capturing BENCH_asp.json (quota %.2fs, min of %d \
+          run(s))@."
+    o.quota o.runs;
+  let collected, _ = Timings.snapshot ~quota:o.quota ~runs:o.runs () in
+  List.iter
+    (fun (name, est) -> Fmt.pr "%-20s %12.0f ns/run@." name est)
+    collected;
+  Fmt.pr "bench gate: snapshot written to BENCH_asp.json@.";
+  0
+
+let run args =
+  match
+    let o = parse_args args in
+    if o.rebaseline then `Rebaseline o
+    else
+      let baseline = load_asp_baseline o.baseline_asp in
+      let par_baseline_ok =
+        if o.skip_par then None else Some (load_par_identical o.baseline_par)
+      in
+      `Check (o, baseline, par_baseline_ok)
+  with
+  | exception Bad_args msg ->
+    Fmt.epr "bench gate: %s@.%s@." msg usage;
+    2
+  | exception Sys_error msg ->
+    Fmt.epr "bench gate: %s@." msg;
+    2
+  | exception Obs.Json.Parse_error msg ->
+    Fmt.epr "bench gate: bad baseline: %s@." msg;
+    2
+  | exception Failure msg ->
+    Fmt.epr "bench gate: bad baseline: %s@." msg;
+    2
+  | `Rebaseline o -> rebaseline o
+  | `Check (o, baseline, par_baseline_ok) ->
+    Fmt.pr
+      "bench gate: %d bench(es), tolerance %.0f%%, quota %.2fs, min of %d \
+       run(s)@."
+      (List.length baseline) (o.tolerance *. 100.0) o.quota o.runs;
+    let current = Timings.measure ~quota:o.quota ~runs:o.runs () in
+    let regressions = ref 0 in
+    let missing = ref 0 in
+    List.iter
+      (fun (name, base) ->
+        match List.assoc_opt name current with
+        | None ->
+          incr missing;
+          Fmt.pr "%-20s %12.0f ns baseline, no current measurement  MISSING@."
+            name base
+        | Some cur ->
+          let ratio = if base > 0.0 then cur /. base else infinity in
+          let regressed = cur > base *. (1.0 +. o.tolerance) in
+          if regressed then incr regressions;
+          Fmt.pr "%-20s %12.0f ns -> %10.0f ns (%.2fx)  %s@." name base cur
+            ratio
+            (if regressed then "REGRESSION" else "ok"))
+      baseline;
+    let par_ok =
+      match par_baseline_ok with
+      | None ->
+        Fmt.pr "par: skipped@.";
+        true
+      | Some committed ->
+        if not committed then begin
+          Fmt.pr "par: committed snapshot has identical_outcome=false  FAIL@.";
+          false
+        end
+        else begin
+          let identical = Experiments.par_outcomes_identical () in
+          Fmt.pr "par: outcome identity at 1 vs 2 domains: %s@."
+            (if identical then "identical" else "DIFFERENT");
+          identical
+        end
+    in
+    if !missing > 0 then begin
+      Fmt.epr "bench gate: %d baseline bench(es) have no current \
+               counterpart — stale baseline?@."
+        !missing;
+      2
+    end
+    else if !regressions > 0 || not par_ok then begin
+      Fmt.pr "bench gate: FAIL (%d regression(s) beyond %.0f%%%s)@."
+        !regressions (o.tolerance *. 100.0)
+        (if par_ok then "" else "; par outcomes differ");
+      1
+    end
+    else begin
+      Fmt.pr "bench gate: PASS@.";
+      0
+    end

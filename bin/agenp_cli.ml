@@ -12,8 +12,11 @@
    Blank lines and lines starting with '#' are ignored in both.
 
    Every subcommand accepts [--trace FILE] (write a Chrome trace_event
-   JSON of the run, loadable in chrome://tracing or Perfetto) and
-   [--report] (print the aggregate span/counter report on exit). *)
+   JSON of the run, loadable in chrome://tracing or Perfetto),
+   [--flamegraph FILE] (speedscope JSON or folded stacks, by extension),
+   [--log FILE] (JSONL structured log at debug level), [--gc-stats]
+   (per-span allocation accounting) and [--report] (print the aggregate
+   span/counter report on exit). *)
 
 (** A malformed input file; the message carries [path:line:]. *)
 exception Cli_input_error of string
@@ -109,31 +112,59 @@ let parse_space_file path : Ilp.Hypothesis_space.t =
 
 (* ---- observability ----------------------------------------------------- *)
 
-type obs_opts = { trace : string option; report : bool; domains : int }
+type obs_opts = {
+  trace : string option;
+  flamegraph : string option;
+  log_file : string option;
+  gc_stats : bool;
+  report : bool;
+  domains : int;
+}
 
 (** Run a command body under the requested observability: start trace
-    collection (with fine spans) when [--trace] is given, and emit the
-    trace file / aggregate report when the body is done — also on the
-    error path, so a failing run still leaves its trace behind. Also the
-    single place the process-wide parallelism degree ([--domains]) is
+    collection (with fine spans) when [--trace] or [--flamegraph] is
+    given, open the JSONL structured log for [--log], enable per-span GC
+    accounting for [--gc-stats], and emit the trace/flamegraph files and
+    aggregate report when the body is done — also on the error path, so
+    a failing run still leaves its artifacts behind. Also the single
+    place the process-wide parallelism degree ([--domains]) is
     installed, before any library builds the global pool. *)
 let with_obs (o : obs_opts) f =
   if o.domains <> Par.Config.domains () then Par.Config.set_domains o.domains;
-  (match o.trace with
-  | Some _ ->
+  if o.trace <> None || o.flamegraph <> None then begin
     Obs.set_detailed true;
     Obs.Trace.start ()
+  end;
+  if o.gc_stats then Obs.set_gc_stats true;
+  (match o.log_file with
+  | Some path ->
+    Obs.Log.open_file path;
+    (* a log file is a request for everything; stderr keeps its
+       warn-and-up threshold *)
+    Obs.Log.set_level Obs.Log.Debug
   | None -> ());
   let finish () =
-    (match o.trace with
-    | Some path ->
-      let spans = Obs.Trace.stop () in
-      Obs.Trace.write_chrome path spans;
-      Fmt.epr "%% trace: %d span(s) -> %s%s@." (List.length spans) path
-        (if Obs.Trace.dropped () > 0 then
-           Printf.sprintf " (%d dropped)" (Obs.Trace.dropped ())
-         else "")
-    | None -> ());
+    (if o.trace <> None || o.flamegraph <> None then begin
+       let spans = Obs.Trace.stop () in
+       (match o.trace with
+       | Some path ->
+         Obs.Trace.write_chrome path spans;
+         Fmt.epr "%% trace: %d span(s) -> %s%s@." (List.length spans) path
+           (if Obs.Trace.dropped () > 0 then
+              Printf.sprintf " (%d dropped)" (Obs.Trace.dropped ())
+            else "")
+       | None -> ());
+       match o.flamegraph with
+       | Some path ->
+         (* .json gets the speedscope document; anything else the
+            flamegraph.pl folded-stacks text *)
+         if Filename.check_suffix path ".json" then
+           Obs.Trace.write_speedscope path spans
+         else Obs.Trace.write_folded path spans;
+         Fmt.epr "%% flamegraph: %d span(s) -> %s@." (List.length spans) path
+       | None -> ()
+     end);
+    Obs.Log.close_file ();
     if o.report then Fmt.pr "%s@?" (Obs.report_to_string (Obs.report ()))
   in
   Fun.protect ~finally:finish f
@@ -152,7 +183,16 @@ let guard f =
     Fmt.epr "agenp: lex error at offset %d: %s@." pos msg;
     2
 
-let run obs f = with_obs obs (fun () -> guard f)
+(** [guard] covers the command body; the outer match covers observability
+    setup and teardown (an unwritable [--trace]/[--flamegraph]/[--log]
+    path raises [Sys_error] outside the body — from [finish] it arrives
+    wrapped in [Fun.Finally_raised]). *)
+let run obs f =
+  match with_obs obs (fun () -> guard f) with
+  | code -> code
+  | exception (Sys_error msg | Fun.Finally_raised (Sys_error msg)) ->
+    Fmt.epr "agenp: %s@." msg;
+    2
 
 (* ---- commands --------------------------------------------------------- *)
 
@@ -227,12 +267,12 @@ let learn_cmd obs grammar examples space save max_witnesses =
     Fmt.pr "UNSATISFIABLE (no inductive solution)@.";
     1
   | Some learned ->
+    (* the truncation warning itself now comes from the learner via
+       Obs.Log; the CLI only names the flag that raises the cap *)
     let stats = learned.Ilp.Asg_learning.outcome.Ilp.Learner.stats in
     if stats.Ilp.Learner.truncated > 0 then
-      Fmt.epr
-        "%% warning: witness enumeration hit the cap (%d) for %d example(s); \
-         the result may change with a larger --max-witnesses@."
-        max_witnesses stats.Ilp.Learner.truncated;
+      Fmt.epr "%% hint: raise --max-witnesses (currently %d) to recheck@."
+        max_witnesses;
     List.iter (Fmt.pr "%s@.") (Ilp.Asg_learning.hypothesis_text learned);
     Fmt.pr "%% cost %d, penalty %d@."
       learned.Ilp.Asg_learning.outcome.Ilp.Learner.cost
@@ -395,6 +435,26 @@ let obs_t =
                  (view in chrome://tracing or ui.perfetto.dev). Enables \
                  fine-grained spans.")
   in
+  let flamegraph =
+    Arg.(value & opt (some string) None & info [ "flamegraph" ] ~docv:"FILE"
+           ~doc:"Write a flamegraph of the run to FILE: a speedscope JSON \
+                 document when FILE ends in .json (view at speedscope.app), \
+                 Brendan-Gregg folded stacks otherwise (input to \
+                 flamegraph.pl). Enables fine-grained spans, like --trace.")
+  in
+  let log_file =
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+           ~doc:"Write the structured log to FILE as JSON Lines (one object \
+                 per record: ts, level, domain, span, depth, msg, attrs) and \
+                 lower the log threshold to debug. Warnings still go to \
+                 stderr either way.")
+  in
+  let gc_stats =
+    Arg.(value & flag & info [ "gc-stats" ]
+           ~doc:"Record per-span GC deltas (minor words, promoted words, \
+                 major collections) as span attributes and aggregate them \
+                 per span name; --report then grows allocation columns.")
+  in
   let report =
     Arg.(value & flag & info [ "report" ]
            ~doc:"Print the aggregate span/counter report after the run.")
@@ -405,8 +465,9 @@ let obs_t =
                  learner's fan-outs. 1 (the default) runs sequentially; \
                  results are identical for every value.")
   in
-  Term.(const (fun trace report domains -> { trace; report; domains })
-        $ trace $ report $ domains)
+  Term.(const (fun trace flamegraph log_file gc_stats report domains ->
+            { trace; flamegraph; log_file; gc_stats; report; domains })
+        $ trace $ flamegraph $ log_file $ gc_stats $ report $ domains)
 
 let context_opt =
   Arg.(value & opt (some file) None & info [ "context"; "c" ] ~docv:"FILE"

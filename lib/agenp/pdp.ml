@@ -30,4 +30,11 @@ let decide (gpm : Asg.Gpm.t) ~(context : Asp.Program.t)
       | [] -> invalid_arg "Pdp.decide: no options")
   in
   Obs.set_attr "fallback_used" (string_of_bool d.fallback_used);
+  if d.fallback_used then
+    Obs.Log.info "pdp fell back: model admits no requested option"
+      ~attrs:
+        [
+          ("chosen", d.chosen);
+          ("options", string_of_int (List.length options));
+        ];
   d

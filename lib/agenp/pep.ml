@@ -25,6 +25,12 @@ let enforce (t : t) ~(context : Asp.Program.t) (decision : Pdp.decision)
   t.tick <- t.tick + 1;
   let r = { tick = t.tick; context; decision; compliant = verdict } in
   t.log <- r :: t.log;
+  if not verdict then
+    Obs.Log.info "pep recorded a non-compliant enforcement"
+      ~attrs:
+        [
+          ("tick", string_of_int r.tick); ("chosen", r.decision.Pdp.chosen);
+        ];
   r
 
 let log t = t.log

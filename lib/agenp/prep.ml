@@ -20,6 +20,8 @@ let refine (spec : pbms_spec) : Asg.Gpm.t =
   let constraints =
     List.map Asg.Annotation.parse_rule_string spec.global_constraints
   in
+  Obs.Log.debug "prep refined PBMS spec"
+    ~attrs:[ ("constraints", string_of_int (List.length constraints)) ];
   List.fold_left
     (fun gpm rule -> Asg.Gpm.add_annotation gpm 0 [ rule ])
     gpm constraints
@@ -32,4 +34,10 @@ let generate_policies ?(max_depth = 8) (gpm : Asg.Gpm.t)
   let policies = Asg.Language.sentences_in_context ~max_depth gpm ~context in
   let version = Repository.store_policies repo policies in
   Obs.set_attr "policies" (string_of_int (List.length policies));
+  Obs.Log.debug "prep generated policies"
+    ~attrs:
+      [
+        ("policies", string_of_int (List.length policies));
+        ("version", string_of_int version);
+      ];
   (version, policies)

@@ -784,6 +784,13 @@ let ground (p : Program.t) : ground_program =
   in
   Obs.Counter.incr c_possible_atoms ~by:(Atom.Set.cardinal base_set);
   Obs.set_attr "ground_rules" (string_of_int !n_out);
+  Obs.Log.debug "grounded program"
+    ~attrs:
+      [
+        ("rules", string_of_int (List.length p.rules));
+        ("ground_rules", string_of_int !n_out);
+        ("possible_atoms", string_of_int (Atom.Set.cardinal base_set));
+      ];
   { grules = List.rev !out; base = base_set }
 
 let size gp = List.length gp.grules

@@ -562,6 +562,12 @@ let solve_ground ?limit ?(wellfounded = true) (gp : Grounder.ground_program) :
   | `Ok -> ( try search 0 with Done -> ())
   | `Conflict -> ());
   Obs.set_attr "models" (string_of_int !count);
+  Obs.Log.debug "solved ground program"
+    ~attrs:
+      [
+        ("models", string_of_int !count);
+        ("atoms", string_of_int (Array.length st.assignment));
+      ];
   List.rev !found
 
 (** Enumerate stable models of a (non-ground) program. *)

@@ -160,6 +160,15 @@ let learn_constraints ?pool ?(max_witnesses = 64) ?(max_nodes = 300_000)
   let witnesses = Array.of_list (List.rev !witnesses) in
   let n_wit = !n_wit in
   let n_truncated = !n_truncated in
+  if n_truncated > 0 then
+    Obs.Log.warn
+      "witness enumeration hit the cap; the result may change with a larger \
+       cap"
+      ~attrs:
+        [
+          ("cap", string_of_int max_witnesses);
+          ("examples_truncated", string_of_int n_truncated);
+        ];
   (* kill matrix: one task per candidate row — each task writes only its
      own [kill.(ci)] row and [killed_by_cand.(ci)] cell, so rows race on
      nothing; [killers_of] is rebuilt sequentially afterwards in the same

@@ -1,18 +1,20 @@
-(* Hierarchical tracing + metrics. See obs.mli for the design notes;
-   the short version: spans always aggregate into the histogram
+(* Hierarchical tracing + metrics + profiling. See obs.mli for the design
+   notes; the short version: spans always aggregate into the histogram
    registry, sinks (including the Trace collector) see every finished
    span, and fine_span is gated behind the [detailed] flag so hot
-   per-item paths cost one boolean read when observability is off.
+   per-item paths cost one boolean read when observability is off. GC
+   accounting is gated the same way behind [gc_stats].
 
    Domain safety (the parallel learner runs spans and counters from
    worker domains):
    - counters are atomics — increments from any domain are never lost;
    - the span stack is domain-local ([Domain.DLS]), so nesting depth is
      tracked per domain and parallel spans cannot corrupt each other;
-   - registry lookups and histogram updates take [registry_lock]; sink
-     delivery (including the Trace buffer) takes [sink_lock]. Both are
-     only touched on span finish / handle creation, never per counter
-     increment. *)
+   - each histogram and GC aggregate carries its own lock, so two
+     domains observing different metrics never contend ([registry_lock]
+     only guards the find-or-create tables); sink delivery (including
+     the Trace buffer) takes [sink_lock]. All of these are only touched
+     on span finish / handle creation, never per counter increment. *)
 
 (* -- Clock -------------------------------------------------------------- *)
 
@@ -25,11 +27,14 @@ let set_clock f = clock := f
 let use_default_clock () = clock := default_clock
 let now () = !clock ()
 
-(* -- Detail gate --------------------------------------------------------- *)
+(* -- Gates --------------------------------------------------------------- *)
 
 let detailed = ref false
 let set_detailed b = detailed := b
 let detailed_enabled () = !detailed
+let gc_stats = ref false
+let set_gc_stats b = gc_stats := b
+let gc_stats_enabled () = !gc_stats
 
 type attr = string * string
 
@@ -44,12 +49,13 @@ type span = {
 
 (* -- Locks --------------------------------------------------------------- *)
 
-(* [registry_lock] guards the counter/histogram hashtables and histogram
-   field updates; [sink_lock] guards the sink list and serializes span
-   delivery (the Trace buffer mutates inside it). A sink callback may
-   create registry handles (it takes [registry_lock] while holding
-   [sink_lock]); registry operations never take [sink_lock], so the
-   acquisition order is acyclic. *)
+(* [registry_lock] guards the find-or-create hashtables only; each
+   histogram / GC aggregate has a lock of its own, so observes on
+   different handles never contend. [sink_lock] guards the sink list and
+   serializes span delivery (the Trace buffer mutates inside it). A sink
+   callback may create registry handles (it takes [registry_lock] while
+   holding [sink_lock]); registry operations never take [sink_lock], so
+   the acquisition order is acyclic. *)
 let registry_lock = Mutex.create ()
 let sink_lock = Mutex.create ()
 
@@ -96,8 +102,25 @@ module Counter = struct
 end
 
 module Histogram = struct
+  (* Log-bucketed (DDSketch-style): bucket [i] covers (γ^(i-1), γ^i] and
+     a value in it is estimated as 2γ^i/(γ+1), so the relative error of
+     any quantile estimate is bounded by α = (γ-1)/(γ+1) ≈ 4.8% at
+     γ = 1.1 — with fixed memory: one int array regardless of how many
+     values are observed. Indices are clamped to [lo_idx, hi_idx]
+     (≈ 1.4e-10 s .. 4.6e6 s); non-positive values land in a dedicated
+     zero bucket estimated as 0. *)
+  let gamma = 1.1
+  let inv_log_gamma = 1.0 /. Float.log gamma
+  let quantile_relative_error = (gamma -. 1.0) /. (gamma +. 1.0)
+  let lo_idx = -240
+  let hi_idx = 160
+  let n_buckets = hi_idx - lo_idx + 1
+
   type t = {
     name : string;
+    lock : Mutex.t;
+    buckets : int array;  (** counts per log bucket, index offset by lo_idx *)
+    mutable zero : int;  (** observations <= 0 *)
     mutable count : int;
     mutable total : float;
     mutable min_v : float;
@@ -112,27 +135,84 @@ module Histogram = struct
     | Some h -> h
     | None ->
       let h =
-        { name; count = 0; total = 0.0; min_v = infinity; max_v = neg_infinity }
+        {
+          name;
+          lock = Mutex.create ();
+          buckets = Array.make n_buckets 0;
+          zero = 0;
+          count = 0;
+          total = 0.0;
+          min_v = infinity;
+          max_v = neg_infinity;
+        }
       in
       Hashtbl.add registry name h;
       h
 
+  let bucket_of v =
+    let i = int_of_float (Float.ceil (Float.log v *. inv_log_gamma)) in
+    if i < lo_idx then lo_idx else if i > hi_idx then hi_idx else i
+
+  (* the DDSketch midpoint estimate for bucket [i] *)
+  let value_of_bucket i = 2.0 *. (gamma ** float_of_int i) /. (gamma +. 1.0)
+
   let observe h v =
-    locked registry_lock @@ fun () ->
+    locked h.lock @@ fun () ->
+    if v > 0.0 then begin
+      let i = bucket_of v in
+      h.buckets.(i - lo_idx) <- h.buckets.(i - lo_idx) + 1
+    end
+    else h.zero <- h.zero + 1;
     h.count <- h.count + 1;
     h.total <- h.total +. v;
     if v < h.min_v then h.min_v <- v;
     if v > h.max_v then h.max_v <- v
 
-  let count h = h.count
-  let total h = h.total
-  let mean h = if h.count = 0 then 0.0 else h.total /. float_of_int h.count
-  let max_value h = if h.count = 0 then 0.0 else h.max_v
-  let min_value h = if h.count = 0 then 0.0 else h.min_v
+  let count h = locked h.lock @@ fun () -> h.count
+  let total h = locked h.lock @@ fun () -> h.total
+
+  let mean h =
+    locked h.lock @@ fun () ->
+    if h.count = 0 then 0.0 else h.total /. float_of_int h.count
+
+  let max_value h = locked h.lock @@ fun () -> if h.count = 0 then 0.0 else h.max_v
+  let min_value h = locked h.lock @@ fun () -> if h.count = 0 then 0.0 else h.min_v
   let name h = h.name
 
+  (* [quantile h q] estimates the q-quantile (the ⌈q·count⌉-th smallest
+     observation, q clamped to [0,1]); 0 when empty. Bounded relative
+     error [quantile_relative_error] for values inside the bucketed
+     range. *)
+  let quantile h q =
+    locked h.lock @@ fun () ->
+    if h.count = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let rank =
+        let r = int_of_float (Float.ceil (q *. float_of_int h.count)) in
+        if r < 1 then 1 else if r > h.count then h.count else r
+      in
+      if rank <= h.zero then 0.0
+      else begin
+        let cum = ref h.zero in
+        let result = ref (if h.count = 0 then 0.0 else h.max_v) in
+        (try
+           for i = 0 to n_buckets - 1 do
+             cum := !cum + h.buckets.(i);
+             if !cum >= rank then begin
+               result := value_of_bucket (i + lo_idx);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !result
+      end
+    end
+
   let reset h =
-    locked registry_lock @@ fun () ->
+    locked h.lock @@ fun () ->
+    Array.fill h.buckets 0 n_buckets 0;
+    h.zero <- 0;
     h.count <- 0;
     h.total <- 0.0;
     h.min_v <- infinity;
@@ -144,6 +224,72 @@ module Histogram = struct
   let all () =
     locked registry_lock (fun () ->
         Hashtbl.fold (fun _ h acc -> h :: acc) registry [])
+    |> List.sort (by_name_compare name)
+end
+
+(* -- GC / allocation accounting ------------------------------------------ *)
+
+module Alloc = struct
+  (* Per-span-name allocation aggregates, fed by [span] when the
+     [gc_stats] gate is open. [Gc.quick_stat] is per-domain in OCaml 5
+     for the minor-heap fields, and a span starts and finishes on the
+     same domain, so the deltas are consistent. Deltas are inclusive of
+     child spans, like span durations. *)
+  type t = {
+    name : string;
+    lock : Mutex.t;
+    mutable count : int;
+    mutable minor_words : float;
+    mutable promoted_words : float;
+    mutable major_collections : int;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make name =
+    locked registry_lock @@ fun () ->
+    match Hashtbl.find_opt registry name with
+    | Some a -> a
+    | None ->
+      let a =
+        {
+          name;
+          lock = Mutex.create ();
+          count = 0;
+          minor_words = 0.0;
+          promoted_words = 0.0;
+          major_collections = 0;
+        }
+      in
+      Hashtbl.add registry name a;
+      a
+
+  let record a ~minor_words ~promoted_words ~major_collections =
+    locked a.lock @@ fun () ->
+    a.count <- a.count + 1;
+    a.minor_words <- a.minor_words +. minor_words;
+    a.promoted_words <- a.promoted_words +. promoted_words;
+    a.major_collections <- a.major_collections + major_collections
+
+  let name a = a.name
+  let count a = locked a.lock @@ fun () -> a.count
+  let minor_words a = locked a.lock @@ fun () -> a.minor_words
+  let promoted_words a = locked a.lock @@ fun () -> a.promoted_words
+  let major_collections a = locked a.lock @@ fun () -> a.major_collections
+
+  let reset a =
+    locked a.lock @@ fun () ->
+    a.count <- 0;
+    a.minor_words <- 0.0;
+    a.promoted_words <- 0.0;
+    a.major_collections <- 0
+
+  let find name =
+    locked registry_lock @@ fun () -> Hashtbl.find_opt registry name
+
+  let all () =
+    locked registry_lock (fun () ->
+        Hashtbl.fold (fun _ a acc -> a :: acc) registry [])
     |> List.sort (by_name_compare name)
 end
 
@@ -180,10 +326,23 @@ let set_attr k v =
   | [] -> ()
   | f :: _ -> f.f_attrs <- (k, v) :: f.f_attrs
 
+(* innermost open span name on this domain, and current depth — the span
+   context structured log records carry *)
+let current_span_name () =
+  match !(stack ()) with [] -> None | f :: _ -> Some f.f_name
+
+let current_depth () = List.length !(stack ())
+
 let span ?(attrs = []) name f =
   let stack = stack () in
   let fr = { f_name = name; f_start = now (); f_attrs = List.rev attrs } in
   let depth = List.length !stack in
+  (* [Gc.minor_words ()] reads the domain's allocation pointer directly;
+     [quick_stat]'s minor_words field only advances at minor
+     collections, so it would under-count short spans to zero. *)
+  let gc0 =
+    if !gc_stats then Some (Gc.minor_words (), Gc.quick_stat ()) else None
+  in
   stack := fr :: !stack;
   Fun.protect
     ~finally:(fun () ->
@@ -191,6 +350,22 @@ let span ?(attrs = []) name f =
       | top :: rest when top == fr -> stack := rest
       | _ -> stack := List.filter (fun x -> x != fr) !stack);
       let dur = now () -. fr.f_start in
+      (match gc0 with
+      | Some (mw0, g0) ->
+        let g1 = Gc.quick_stat () in
+        let minor_words = Gc.minor_words () -. mw0 in
+        let promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words in
+        let major_collections =
+          g1.Gc.major_collections - g0.Gc.major_collections
+        in
+        Alloc.record (Alloc.make fr.f_name) ~minor_words ~promoted_words
+          ~major_collections;
+        fr.f_attrs <-
+          ("gc.major_collections", string_of_int major_collections)
+          :: ("gc.promoted_words", Printf.sprintf "%.0f" promoted_words)
+          :: ("gc.minor_words", Printf.sprintf "%.0f" minor_words)
+          :: fr.f_attrs
+      | None -> ());
       Histogram.observe (Histogram.make fr.f_name) dur;
       locked sink_lock (fun () ->
           if !sinks <> [] then begin
@@ -210,17 +385,296 @@ let span ?(attrs = []) name f =
 
 let fine_span ?attrs name f = if !detailed then span ?attrs name f else f ()
 
-(* -- Trace collection + Chrome export ------------------------------------ *)
+(* -- A minimal JSON reader ------------------------------------------------ *)
+
+(* The dependency set has no JSON library; this covers what the bench
+   gate (reading BENCH_*.json baselines) and the exporter round-trip
+   tests need. Numbers are floats, \u escapes outside the basic escapes
+   are replaced with '?'. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      String.iter (fun c -> expect c) word;
+      v
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' ->
+            Buffer.add_char b '\n';
+            advance ();
+            go ()
+          | Some 't' ->
+            Buffer.add_char b '\t';
+            advance ();
+            go ()
+          | Some 'r' ->
+            Buffer.add_char b '\r';
+            advance ();
+            go ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              advance ()
+            done;
+            Buffer.add_char b '?';
+            go ()
+          | Some c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+          | None -> fail "bad escape")
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> list ()
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (number ())
+      | None -> fail "unexpected end"
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    and list () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems []
+      end
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+
+  let member k = function
+    | Obj kvs -> (
+      match List.assoc_opt k kvs with
+      | Some v -> v
+      | None -> raise (Parse_error ("no member " ^ k)))
+    | _ -> raise (Parse_error ("no member " ^ k))
+
+  let member_opt k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let to_list = function List l -> l | _ -> raise (Parse_error "not a list")
+  let to_str = function Str s -> s | _ -> raise (Parse_error "not a string")
+  let to_num = function Num f -> f | _ -> raise (Parse_error "not a number")
+  let to_bool = function Bool b -> b | _ -> raise (Parse_error "not a bool")
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+end
+
+(* -- Structured logging --------------------------------------------------- *)
+
+module Log = struct
+  type level = Debug | Info | Warn | Error
+
+  let level_to_string = function
+    | Debug -> "debug"
+    | Info -> "info"
+    | Warn -> "warn"
+    | Error -> "error"
+
+  let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+  (* records below [threshold] are dropped entirely; records at or above
+     [stderr_threshold] are additionally mirrored to stderr in a
+     one-line human format (no timestamp, so the output is stable under
+     test). *)
+  let threshold = ref Warn
+  let set_level l = threshold := l
+  let level () = !threshold
+  let enabled l = severity l >= severity !threshold
+  let stderr_threshold : level option ref = ref (Some Warn)
+  let set_stderr_threshold o = stderr_threshold := o
+
+  let lock = Mutex.create ()
+  let chan : out_channel option ref = ref None
+
+  let open_file path =
+    locked lock @@ fun () ->
+    (match !chan with Some oc -> close_out oc | None -> ());
+    chan := Some (open_out path)
+
+  let close_file () =
+    locked lock @@ fun () ->
+    match !chan with
+    | Some oc ->
+      chan := None;
+      close_out oc
+    | None -> ()
+
+  let jsonl_record ts l ~domain ~span ~depth ~attrs msg =
+    let b = Buffer.create 160 in
+    Printf.bprintf b "{\"ts\": %.6f, \"level\": \"%s\", \"domain\": %d" ts
+      (level_to_string l) domain;
+    (match span with
+    | Some s -> Printf.bprintf b ", \"span\": \"%s\"" (Json.escape s)
+    | None -> Buffer.add_string b ", \"span\": null");
+    Printf.bprintf b ", \"depth\": %d, \"msg\": \"%s\", \"attrs\": {" depth
+      (Json.escape msg);
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Printf.bprintf b "\"%s\": \"%s\"" (Json.escape k) (Json.escape v))
+      attrs;
+    Buffer.add_string b "}}\n";
+    Buffer.contents b
+
+  let log l ?(attrs = []) msg =
+    if enabled l then begin
+      let ts = now () in
+      let domain = (Domain.self () :> int) in
+      let span = current_span_name () in
+      let depth = current_depth () in
+      locked lock (fun () ->
+          match !chan with
+          | Some oc ->
+            output_string oc (jsonl_record ts l ~domain ~span ~depth ~attrs msg);
+            flush oc
+          | None -> ());
+      match !stderr_threshold with
+      | Some t when severity l >= severity t ->
+        let attr_text =
+          if attrs = [] then ""
+          else
+            Printf.sprintf " (%s)"
+              (String.concat ", "
+                 (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) attrs))
+        in
+        Printf.eprintf "%% [%s] %s%s\n%!" (level_to_string l) msg attr_text
+      | _ -> ()
+    end
+
+  let debug ?attrs msg = log Debug ?attrs msg
+  let info ?attrs msg = log Info ?attrs msg
+  let warn ?attrs msg = log Warn ?attrs msg
+  let error ?attrs msg = log Error ?attrs msg
+end
+
+(* -- Trace collection + exporters ---------------------------------------- *)
 
 module Trace = struct
   let limit = ref 1_000_000
   let set_limit n = limit := n
 
-  (* Mutated only from inside [sink_lock] (delivery) or under it
-     (clear/stop), so plain refs are safe. *)
+  (* [buf]/[count] are mutated only from inside [sink_lock] (delivery)
+     or under it (clear/stop), so plain refs are safe there;
+     [dropped_count] is additionally read unsynchronized by [dropped],
+     so it is atomic. *)
   let buf : span list ref = ref []
   let count = ref 0
-  let dropped_count = ref 0
+  let dropped_count = Atomic.make 0
   let active_flag = ref false
 
   let sink =
@@ -231,7 +685,7 @@ module Trace = struct
             buf := sp :: !buf;
             incr count
           end
-          else incr dropped_count);
+          else Atomic.incr dropped_count);
     }
 
   let start () =
@@ -259,25 +713,11 @@ module Trace = struct
     locked sink_lock @@ fun () ->
     buf := [];
     count := 0;
-    dropped_count := 0
+    Atomic.set dropped_count 0
 
-  let dropped () = !dropped_count
+  let dropped () = Atomic.get dropped_count
 
-  let json_escape s =
-    let b = Buffer.create (String.length s + 8) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | '\r' -> Buffer.add_string b "\\r"
-        | '\t' -> Buffer.add_string b "\\t"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
+  let json_escape = Json.escape
 
   let layer_of name =
     match String.index_opt name '.' with
@@ -317,6 +757,185 @@ module Trace = struct
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (to_chrome_json spans))
+
+  (* ---- span tree reconstruction (shared by the flamegraph exporters) --
+
+     Spans arrive flat, in start order, with their nesting depth and
+     domain recorded. Because a child both starts after and finishes
+     before its parent, scanning each domain's spans in start order with
+     a depth-pruned stack rebuilds the call tree exactly. *)
+
+  type node = { nd_span : span; mutable nd_children : node list (* reversed *) }
+
+  let forest_of (spans : span list) : (int * node list) list =
+    let domains = Hashtbl.create 4 in
+    List.iter
+      (fun sp ->
+        let d = sp.sp_domain in
+        if not (Hashtbl.mem domains d) then Hashtbl.add domains d ())
+      spans;
+    let per_domain d =
+      let roots = ref [] in
+      let stack = ref [] in
+      List.iter
+        (fun sp ->
+          if sp.sp_domain = d then begin
+            let node = { nd_span = sp; nd_children = [] } in
+            (* pop frames at the same or deeper nesting than [sp] *)
+            while
+              match !stack with
+              | top :: _ -> top.nd_span.sp_depth >= sp.sp_depth
+              | [] -> false
+            do
+              stack := List.tl !stack
+            done;
+            (match !stack with
+            | parent :: _ -> parent.nd_children <- node :: parent.nd_children
+            | [] -> roots := node :: !roots);
+            stack := node :: !stack
+          end)
+        spans;
+      let rec finalize n =
+        n.nd_children <- List.rev n.nd_children;
+        List.iter finalize n.nd_children
+      in
+      let roots = List.rev !roots in
+      List.iter finalize roots;
+      roots
+    in
+    Hashtbl.fold (fun d () acc -> d :: acc) domains []
+    |> List.sort Int.compare
+    |> List.map (fun d -> (d, per_domain d))
+
+  (* ---- folded stacks (Brendan Gregg flamegraph.pl / speedscope input) --
+
+     One line per distinct stack: "frame;frame;frame weight", weight in
+     integer microseconds of SELF time (span duration minus children).
+     When the trace covers several domains, stacks are rooted at a
+     synthetic "domainN" frame to keep their timelines apart. *)
+
+  let to_folded (spans : span list) : string =
+    let forest = forest_of spans in
+    let multi = List.length forest > 1 in
+    let weights : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    let add_weight path w =
+      if w > 0 then
+        Hashtbl.replace weights path
+          (w + Option.value ~default:0 (Hashtbl.find_opt weights path))
+    in
+    let rec walk prefix node =
+      let sp = node.nd_span in
+      let path =
+        if prefix = "" then sp.sp_name else prefix ^ ";" ^ sp.sp_name
+      in
+      let child_time =
+        List.fold_left
+          (fun acc c -> acc +. c.nd_span.sp_dur)
+          0.0 node.nd_children
+      in
+      let self_us =
+        int_of_float (Float.round ((sp.sp_dur -. child_time) *. 1e6))
+      in
+      add_weight path self_us;
+      List.iter (walk path) node.nd_children
+    in
+    List.iter
+      (fun (d, roots) ->
+        let prefix = if multi then Printf.sprintf "domain%d" d else "" in
+        List.iter (walk prefix) roots)
+      forest;
+    let lines =
+      Hashtbl.fold
+        (fun path w acc -> Printf.sprintf "%s %d" path w :: acc)
+        weights []
+    in
+    String.concat "\n" (List.sort String.compare lines)
+    ^ if Hashtbl.length weights > 0 then "\n" else ""
+
+  let write_folded path spans =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_folded spans))
+
+  (* ---- speedscope (https://www.speedscope.app/file-format-schema.json) --
+
+     One "evented" profile per domain, times in seconds relative to the
+     earliest span. Open/close events are emitted from the reconstructed
+     tree, with a monotone cursor so rounding can never produce the
+     out-of-order or unbalanced event sequences the schema forbids. *)
+
+  let to_speedscope_json ?(name = "agenp") (spans : span list) : string =
+    let forest = forest_of spans in
+    let origin =
+      List.fold_left (fun acc sp -> Float.min acc sp.sp_start) infinity spans
+    in
+    let origin = if Float.is_finite origin then origin else 0.0 in
+    (* frame table, deduplicated by name *)
+    let frame_ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    let frames_rev = ref [] in
+    let frame_id name =
+      match Hashtbl.find_opt frame_ids name with
+      | Some i -> i
+      | None ->
+        let i = Hashtbl.length frame_ids in
+        Hashtbl.add frame_ids name i;
+        frames_rev := name :: !frames_rev;
+        i
+    in
+    let profiles =
+      List.map
+        (fun (d, roots) ->
+          let events = Buffer.create 1024 in
+          let first = ref true in
+          let cursor = ref 0.0 in
+          let emit ty frame at =
+            let at = Float.max at !cursor in
+            cursor := at;
+            if not !first then Buffer.add_string events ",";
+            first := false;
+            Printf.bprintf events
+              "{\"type\":\"%s\",\"frame\":%d,\"at\":%.9f}" ty frame at
+          in
+          let rec walk node =
+            let sp = node.nd_span in
+            let fid = frame_id sp.sp_name in
+            emit "O" fid (sp.sp_start -. origin);
+            List.iter walk node.nd_children;
+            emit "C" fid (sp.sp_start -. origin +. sp.sp_dur)
+          in
+          List.iter walk roots;
+          let end_value = !cursor in
+          (d, Buffer.contents events, end_value))
+        forest
+    in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",";
+    Printf.bprintf b "\"name\":\"%s\",\"exporter\":\"agenp-obs\","
+      (Json.escape name);
+    Buffer.add_string b "\"activeProfileIndex\":0,\"shared\":{\"frames\":[";
+    List.iteri
+      (fun i fname ->
+        if i > 0 then Buffer.add_string b ",";
+        Printf.bprintf b "{\"name\":\"%s\"}" (Json.escape fname))
+      (List.rev !frames_rev);
+    Buffer.add_string b "]},\"profiles\":[";
+    List.iteri
+      (fun i (d, events, end_value) ->
+        if i > 0 then Buffer.add_string b ",";
+        Printf.bprintf b
+          "{\"type\":\"evented\",\"name\":\"domain %d\",\"unit\":\"seconds\",\"startValue\":0,\"endValue\":%.9f,\"events\":[%s]}"
+          d end_value events)
+      profiles;
+    Buffer.add_string b "]}\n";
+    Buffer.contents b
+
+  let write_speedscope ?name path spans =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_speedscope_json ?name spans))
 end
 
 (* -- Reset --------------------------------------------------------------- *)
@@ -324,6 +943,7 @@ end
 let reset () =
   List.iter Counter.reset (Counter.all ());
   List.iter Histogram.reset (Histogram.all ());
+  List.iter Alloc.reset (Alloc.all ());
   Trace.clear ()
 
 (* -- Aggregate report ----------------------------------------------------- *)
@@ -334,6 +954,12 @@ type span_agg = {
   agg_total : float;
   agg_mean : float;
   agg_max : float;
+  agg_p50 : float;
+  agg_p90 : float;
+  agg_p99 : float;
+  agg_minor_words : float;
+  agg_promoted_words : float;
+  agg_major_collections : int;
 }
 
 type report = {
@@ -346,12 +972,27 @@ let report () =
     Histogram.all ()
     |> List.filter (fun h -> Histogram.count h > 0)
     |> List.map (fun h ->
+           let name = Histogram.name h in
+           let minor, promoted, major =
+             match Alloc.find name with
+             | Some a ->
+               ( Alloc.minor_words a,
+                 Alloc.promoted_words a,
+                 Alloc.major_collections a )
+             | None -> (0.0, 0.0, 0)
+           in
            {
-             agg_name = Histogram.name h;
+             agg_name = name;
              agg_count = Histogram.count h;
              agg_total = Histogram.total h;
              agg_mean = Histogram.mean h;
              agg_max = Histogram.max_value h;
+             agg_p50 = Histogram.quantile h 0.50;
+             agg_p90 = Histogram.quantile h 0.90;
+             agg_p99 = Histogram.quantile h 0.99;
+             agg_minor_words = minor;
+             agg_promoted_words = promoted;
+             agg_major_collections = major;
            })
   in
   let r_counters =
@@ -361,13 +1002,25 @@ let report () =
 
 let report_to_string r =
   let b = Buffer.create 1024 in
+  let with_alloc =
+    List.exists
+      (fun a -> a.agg_minor_words > 0.0 || a.agg_major_collections > 0)
+      r.r_spans
+  in
   if r.r_spans <> [] then begin
-    Printf.bprintf b "%-36s %10s %12s %12s %12s\n" "span" "count" "total(s)"
-      "mean(s)" "max(s)";
+    Printf.bprintf b "%-36s %8s %11s %11s %11s %11s %11s %11s" "span" "count"
+      "total(s)" "mean(s)" "p50(s)" "p90(s)" "p99(s)" "max(s)";
+    if with_alloc then Printf.bprintf b " %14s %12s %6s" "minor(w)" "promoted(w)" "majgc";
+    Buffer.add_char b '\n';
     List.iter
       (fun a ->
-        Printf.bprintf b "%-36s %10d %12.6f %12.6f %12.6f\n" a.agg_name
-          a.agg_count a.agg_total a.agg_mean a.agg_max)
+        Printf.bprintf b "%-36s %8d %11.6f %11.6f %11.6f %11.6f %11.6f %11.6f"
+          a.agg_name a.agg_count a.agg_total a.agg_mean a.agg_p50 a.agg_p90
+          a.agg_p99 a.agg_max;
+        if with_alloc then
+          Printf.bprintf b " %14.0f %12.0f %6d" a.agg_minor_words
+            a.agg_promoted_words a.agg_major_collections;
+        Buffer.add_char b '\n')
       r.r_spans
   end;
   if r.r_counters <> [] then begin
@@ -388,15 +1041,19 @@ let report_to_json r =
     (fun i a ->
       if i > 0 then Buffer.add_string b ", ";
       Printf.bprintf b
-        "\"%s\": {\"count\": %d, \"total_s\": %.6f, \"mean_s\": %.6f, \"max_s\": %.6f}"
-        (Trace.json_escape a.agg_name)
-        a.agg_count a.agg_total a.agg_mean a.agg_max)
+        "\"%s\": {\"count\": %d, \"total_s\": %.6f, \"mean_s\": %.6f, \
+         \"p50_s\": %.6f, \"p90_s\": %.6f, \"p99_s\": %.6f, \"max_s\": %.6f, \
+         \"gc\": {\"minor_words\": %.0f, \"promoted_words\": %.0f, \
+         \"major_collections\": %d}}"
+        (Json.escape a.agg_name) a.agg_count a.agg_total a.agg_mean a.agg_p50
+        a.agg_p90 a.agg_p99 a.agg_max a.agg_minor_words a.agg_promoted_words
+        a.agg_major_collections)
     r.r_spans;
   Buffer.add_string b "}, \"counters\": {";
   List.iteri
     (fun i (name, v) ->
       if i > 0 then Buffer.add_string b ", ";
-      Printf.bprintf b "\"%s\": %d" (Trace.json_escape name) v)
+      Printf.bprintf b "\"%s\": %d" (Json.escape name) v)
     r.r_counters;
   Buffer.add_string b "}}";
   Buffer.contents b

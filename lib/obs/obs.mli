@@ -1,7 +1,8 @@
-(** Hierarchical tracing and metrics for the whole stack.
+(** Hierarchical tracing, metrics, and profiling for the whole stack.
 
     A dependency-free observability substrate: every other library may
-    link it, so it links nothing itself. Three concepts:
+    link it, so it links nothing itself (beyond [unix] for the clock).
+    Concepts:
 
     - {e spans} — named, nested wall-clock measurements
       ([Obs.span "ilp.search" @@ fun () -> ...]). Span names follow the
@@ -9,13 +10,22 @@
       [agenp.pdp.decide]); the segment before the first dot is the layer
       and becomes the category in trace exports.
     - {e counters} and {e histograms} — a named registry of cheap
-      aggregates. Counter increments are a single field update on a
+      aggregates. Counter increments are a single atomic update on a
       preallocated handle, so they are safe in the hottest loops.
+      Histograms are log-bucketed and answer quantile queries
+      (p50/p90/p99) with bounded relative error in fixed memory.
+    - {e GC accounting} — per-span allocation deltas ([Gc.quick_stat]),
+      gated like {!fine_span} so hot paths stay cheap (see
+      {!set_gc_stats}).
     - {e sinks} — a pluggable interface receiving every finished span.
-      The built-in {!Trace} collector (Chrome [trace_event] export) is
-      itself a sink; tests and embedders can register their own.
+      The built-in {!Trace} collector (Chrome [trace_event], folded
+      flamegraph, and speedscope exports) is itself a sink; tests and
+      embedders can register their own.
+    - {e structured logs} — a leveled JSONL logger ({!Log}) that stamps
+      each record with the innermost open span, replacing ad-hoc
+      [Fmt.epr] warnings in the libraries.
 
-    {2 Cost model and the detail gate}
+    {2 Cost model and the gates}
 
     Every span costs two clock reads plus one histogram update. The
     default clock ({!Unix.gettimeofday}) is a few hundred nanoseconds
@@ -26,6 +36,12 @@
     Call-level spans ({!span}) are always measured and always feed the
     aggregate registry, which is what {!report} summarizes.
 
+    GC accounting adds two [Gc.quick_stat] calls per span (tens of
+    nanoseconds each — the stat is per-domain and does not stop the
+    world) plus one locked aggregate update; it is off by default and
+    gated by {!set_gc_stats} independently of the detail gate, so
+    latency profiling does not pay for allocation profiling.
+
     The clock measures {e wall-clock} time and is injectable with
     {!set_clock} so tests can run against a deterministic clock.
 
@@ -35,13 +51,17 @@
     parallel learner, [lib/par] fan-outs): counter increments are
     atomic, the span stack is domain-local (each domain nests its own
     spans; {!span.sp_domain} records which domain a span ran on, and
-    becomes the [tid] in Chrome exports), and histogram updates, sink
-    delivery, and the trace buffer are serialized by internal locks
-    taken only on span finish — never per counter increment. Reads of
-    aggregates ({!report}, [Histogram.count], …) are not synchronized
-    against concurrently {e running} spans; read them from one domain
-    after parallel regions complete, which is what the CLI and bench
-    drivers do. *)
+    becomes the [tid] in Chrome exports), and each histogram / GC
+    aggregate carries its own lock, so concurrent observes on
+    {e different} metrics never contend and concurrent observes on the
+    {e same} metric are serialized but lose nothing. Sink delivery and
+    the trace buffer are serialized by one internal lock taken only on
+    span finish — never per counter increment. Reads of aggregates
+    ({!report}, [Histogram.count], …) take the same per-handle locks,
+    so they are safe anytime, but a report taken {e during} a parallel
+    region is a consistent snapshot per-metric, not across metrics;
+    read after parallel regions complete, which is what the CLI and
+    bench drivers do. *)
 
 (** {1 Clock} *)
 
@@ -60,12 +80,23 @@ val use_default_clock : unit -> unit
 (** Current clock reading, in seconds. *)
 val now : unit -> float
 
-(** {1 Detail gate} *)
+(** {1 Gates} *)
 
 (** Enable/disable {!fine_span} recording (default: disabled). *)
 val set_detailed : bool -> unit
 
 val detailed_enabled : unit -> bool
+
+(** Enable/disable per-span GC/allocation accounting (default:
+    disabled). When enabled, every {!span} records [Gc.quick_stat]
+    deltas — minor words allocated, words promoted, major collections —
+    as span attributes ([gc.minor_words], [gc.promoted_words],
+    [gc.major_collections]) and aggregates them per span name (see
+    {!Alloc} and the allocation columns of {!report_to_string}).
+    Deltas are inclusive of child spans, like durations. *)
+val set_gc_stats : bool -> unit
+
+val gc_stats_enabled : unit -> bool
 
 (** {1 Spans} *)
 
@@ -96,7 +127,14 @@ val fine_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
     order. *)
 val set_attr : string -> string -> unit
 
-(** {1 Counters and histograms} *)
+(** Name of the innermost open span on the calling domain, if any.
+    This is the span context {!Log} records carry. *)
+val current_span_name : unit -> string option
+
+(** Number of open spans on the calling domain. *)
+val current_depth : unit -> int
+
+(** {1 Counters, histograms, allocation aggregates} *)
 
 module Counter : sig
   type t
@@ -132,14 +170,61 @@ module Histogram : sig
 
   val max_value : t -> float
   val min_value : t -> float
+
+  (** [quantile h q] estimates the q-quantile of the observed values —
+      the ⌈q·count⌉-th smallest observation ([q] clamped to [0,1]); 0
+      when the histogram is empty.
+
+      Observations are stored in logarithmic buckets (DDSketch-style,
+      γ = 1.1): bucket [i] covers the interval (γ{^i-1}, γ{^i}] and is
+      estimated by its midpoint 2γ{^i}/(γ+1), so every quantile
+      estimate [e] of a true value [v] satisfies
+      [|e - v| <= quantile_relative_error * v] — about 4.8% — with
+      fixed memory (~400 int buckets spanning 1.4e-10 .. 4.6e6
+      seconds; values outside are clamped to the edge buckets,
+      non-positive values land in an exact zero bucket). *)
+  val quantile : t -> float -> float
+
+  (** The relative error bound α = (γ-1)/(γ+1) of {!quantile}. *)
+  val quantile_relative_error : float
+
   val name : t -> string
   val reset : t -> unit
   val find : string -> t option
   val all : unit -> t list
 end
 
-(** Zero every registered counter and histogram (handles stay valid)
-    and clear the trace buffer. *)
+(** Per-span-name allocation aggregates, populated by {!span} when
+    {!set_gc_stats} is enabled. All figures are inclusive of child
+    spans, like span durations. *)
+module Alloc : sig
+  type t
+
+  (** Find-or-create, like {!Counter.make}. *)
+  val make : string -> t
+
+  val record :
+    t ->
+    minor_words:float ->
+    promoted_words:float ->
+    major_collections:int ->
+    unit
+
+  val name : t -> string
+
+  (** Number of spans that contributed deltas. *)
+  val count : t -> int
+
+  val minor_words : t -> float
+  val promoted_words : t -> float
+  val major_collections : t -> int
+  val reset : t -> unit
+  val find : string -> t option
+  val all : unit -> t list
+end
+
+(** Zero every registered counter, histogram, and allocation aggregate
+    (handles stay valid) and clear the trace buffer. *)
 val reset : unit -> unit
 
 (** {1 Sinks} *)
@@ -149,7 +234,87 @@ type sink = { on_span : span -> unit }
 val register_sink : sink -> unit
 val unregister_sink : sink -> unit
 
-(** {1 Trace collection and Chrome export} *)
+(** {1 JSON reading} *)
+
+(** A minimal JSON parser — the dependency set has no JSON library.
+    Used by the bench regression gate to load committed baselines and
+    by tests to round-trip the exporters. Numbers are parsed as
+    floats; [\uXXXX] escapes are not decoded (replaced with ['?']). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  (** Parse a complete JSON document; raises {!Parse_error} on
+      malformed or trailing input. *)
+  val parse : string -> t
+
+  (** Object member access; raises {!Parse_error} when absent or not
+      an object. *)
+  val member : string -> t -> t
+
+  val member_opt : string -> t -> t option
+  val to_list : t -> t list
+  val to_str : t -> string
+  val to_num : t -> float
+  val to_bool : t -> bool
+
+  (** Escape a string for embedding inside JSON double quotes. *)
+  val escape : string -> string
+end
+
+(** {1 Structured logging} *)
+
+(** Leveled structured logging with span context.
+
+    Records below the threshold ({!set_level}, default [Warn]) are
+    dropped at the call site. Enabled records go to the JSONL file
+    opened with {!open_file} (one object per line:
+    [{"ts": seconds, "level": "...", "domain": n, "span": name-or-null,
+    "depth": n, "msg": "...", "attrs": {...}}] — [span]/[depth] are
+    the innermost open span and nesting depth on the logging domain),
+    and records at or above the stderr threshold
+    ({!set_stderr_threshold}, default [Warn]) are also mirrored to
+    stderr as one stable human-readable line
+    ([% [level] msg (k=v, ...)] — no timestamp, so test output is
+    deterministic). Logging is safe from any domain. *)
+module Log : sig
+  type level = Debug | Info | Warn | Error
+
+  val level_to_string : level -> string
+
+  (** Minimum level that is recorded at all (default [Warn]). *)
+  val set_level : level -> unit
+
+  val level : unit -> level
+
+  (** [enabled l] is true when a record at level [l] would be kept. *)
+  val enabled : level -> bool
+
+  (** Minimum level mirrored to stderr; [None] silences stderr
+      entirely (default [Some Warn]). *)
+  val set_stderr_threshold : level option -> unit
+
+  (** Open (or replace) the JSONL output file. *)
+  val open_file : string -> unit
+
+  (** Flush and close the JSONL file, if open. *)
+  val close_file : unit -> unit
+
+  val log : level -> ?attrs:attr list -> string -> unit
+  val debug : ?attrs:attr list -> string -> unit
+  val info : ?attrs:attr list -> string -> unit
+  val warn : ?attrs:attr list -> string -> unit
+  val error : ?attrs:attr list -> string -> unit
+end
+
+(** {1 Trace collection and exporters} *)
 
 module Trace : sig
   (** Start retaining finished spans in memory (idempotent). Retention
@@ -178,6 +343,29 @@ module Trace : sig
   val to_chrome_json : span list -> string
 
   val write_chrome : string -> span list -> unit
+
+  (** Render spans as Brendan-Gregg folded stacks (the input format of
+      [flamegraph.pl] and of speedscope's "folded" importer): one line
+      per distinct call stack, [frame;frame;frame weight], where the
+      weight is the stack's {e self} time (duration minus children) in
+      integer microseconds, summed over occurrences. The call tree is
+      reconstructed from recorded depths per domain; when spans from
+      more than one domain are present, stacks are rooted at a
+      synthetic [domainN] frame. Lines are sorted for determinism. *)
+  val to_folded : span list -> string
+
+  val write_folded : string -> span list -> unit
+
+  (** Render spans as a {{:https://www.speedscope.app}speedscope} JSON
+      document ([evented] format, one profile per domain, times in
+      seconds relative to the earliest span). Open/close event pairs
+      are emitted from the reconstructed call tree with a monotone
+      cursor, so the event sequence is always well-nested and
+      non-decreasing as the schema requires. [name] defaults to
+      ["agenp"]. *)
+  val to_speedscope_json : ?name:string -> span list -> string
+
+  val write_speedscope : ?name:string -> string -> span list -> unit
 end
 
 (** {1 Aggregate report} *)
@@ -188,6 +376,14 @@ type span_agg = {
   agg_total : float;  (** seconds *)
   agg_mean : float;
   agg_max : float;
+  agg_p50 : float;  (** {!Histogram.quantile} 0.50 — ±4.8% *)
+  agg_p90 : float;
+  agg_p99 : float;
+  agg_minor_words : float;
+      (** total minor-heap words allocated under this span name (0
+          unless {!set_gc_stats} was enabled) *)
+  agg_promoted_words : float;
+  agg_major_collections : int;
 }
 
 type report = {
@@ -198,11 +394,14 @@ type report = {
 val report : unit -> report
 
 (** Human-readable table: one line per span name
-    ([name count total mean max]) and one per counter. *)
+    ([name count total mean p50 p90 p99 max], plus
+    [minor(w) promoted(w) majgc] columns when any allocation data was
+    recorded) and one line per counter. *)
 val report_to_string : report -> string
 
 val pp_report : Format.formatter -> report -> unit
 
-(** One JSON object: [{"spans": {name: {count, total_s, mean_s,
-    max_s}}, "counters": {name: value}}]. *)
+(** One JSON object: [{"spans": {name: {count, total_s, mean_s, p50_s,
+    p90_s, p99_s, max_s, gc: {minor_words, promoted_words,
+    major_collections}}}, "counters": {name: value}}]. *)
 val report_to_json : report -> string

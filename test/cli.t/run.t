@@ -99,7 +99,7 @@ Every command takes --report (aggregate span/counter table) and --trace
 
   $ agenp solve prog.lp --optimal --report | sed -E 's/ +[0-9]+\.[0-9]+//g; s/ +[0-9]+/ N/g'
   Optimal (cost N): {cost(a, N), cost(b, N), pick(b)}
-  span                                      count     total(s)      mean(s)       max(s)
+  span                                    count    total(s)     mean(s)      p50(s)      p90(s)      p99(s)      max(s)
   asp.ground N
   asp.solve N
   
@@ -132,3 +132,45 @@ all three layers (asp.*, ilp.*, agenp.*):
   ilp-spans
   $ grep -c '"cat":"agenp"' trace.json > /dev/null && echo agenp-spans
   agenp-spans
+
+Profiling flags: --gc-stats grows the report with allocation columns,
+--flamegraph exports folded stacks (or speedscope JSON when the file
+ends in .json), and --log captures leveled JSONL records that carry the
+enclosing span's context:
+
+  $ agenp pipeline --requests 20 --report --gc-stats 2>/dev/null | sed -E 's/ +-?[0-9]+\.[0-9]+//g; s/ +-?[0-9]+/ N/g' | head -8
+  20 request(s), compliance, N adaptation(s), N rule(s) learned
+  span                                    count    total(s)     mean(s)      p50(s)      p90(s)      p99(s)      max(s)       minor(w)  promoted(w)  majgc
+  agenp.ams.request N N N N
+  agenp.pdp.decide N N N N
+  agenp.pep.enforce N N N N
+  agenp.pip.poll N N N N
+  agenp.prep.refine N N N N
+  asg.membership N N N N
+
+  $ agenp pipeline --requests 20 --flamegraph profile.folded 2>/dev/null
+  20 request(s), compliance 0.650, 1 adaptation(s), 1 rule(s) learned
+  $ cut -d ' ' -f 1 profile.folded | sort -u | head -4
+  agenp.ams.request
+  agenp.ams.request;agenp.pdp.decide
+  agenp.ams.request;agenp.pdp.decide;asg.membership
+  agenp.ams.request;agenp.pdp.decide;asg.membership;asg.tree_eval
+
+  $ agenp pipeline --requests 20 --flamegraph profile.json 2>/dev/null
+  20 request(s), compliance 0.650, 1 adaptation(s), 1 rule(s) learned
+  $ grep -c 'speedscope.app/file-format-schema.json' profile.json
+  1
+
+  $ agenp pipeline --requests 20 --log run.log 2>/dev/null
+  20 request(s), compliance 0.650, 1 adaptation(s), 1 rule(s) learned
+  $ grep -o '"msg": "grounded program"' run.log | sort -u
+  "msg": "grounded program"
+
+Unwritable output paths are reported as errors, not backtraces:
+
+  $ agenp pipeline --requests 2 --flamegraph /nonexistent/x.folded 2>&1 >/dev/null
+  agenp: /nonexistent/x.folded: No such file or directory
+  [2]
+  $ agenp pipeline --requests 2 --log /nonexistent/x.jsonl 2>&1 >/dev/null
+  agenp: /nonexistent/x.jsonl: No such file or directory
+  [2]

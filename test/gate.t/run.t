@@ -1,0 +1,62 @@
+The bench regression gate: it validates the committed baseline before
+spending any time measuring, so malformed input fails fast with exit 2.
+
+  $ agenp-bench gate --frobnicate
+  bench gate: unknown argument: --frobnicate
+  usage: bench gate [--tolerance F] [--quota SEC] [--runs N] [--baseline-asp FILE] [--baseline-par FILE] [--skip-par] [--rebaseline]
+  [2]
+  $ agenp-bench gate --tolerance nope
+  bench gate: bad --tolerance: nope
+  usage: bench gate [--tolerance F] [--quota SEC] [--runs N] [--baseline-asp FILE] [--baseline-par FILE] [--skip-par] [--rebaseline]
+  [2]
+  $ agenp-bench gate --baseline-asp missing.json
+  bench gate: missing.json: No such file or directory
+  [2]
+  $ cat > wrong-schema.json <<'JSON'
+  > {"schema": "bench-par/1", "current_ns_per_run": {}}
+  > JSON
+  $ agenp-bench gate --baseline-asp wrong-schema.json
+  bench gate: bad baseline: unexpected schema "bench-par/1"
+  [2]
+  $ echo 'not json' > garbage.json
+  $ agenp-bench gate --baseline-asp garbage.json 2>&1 | head -1
+  bench gate: bad baseline: expected 'u' at 1
+
+A generous baseline passes. Measured numbers vary run to run, so
+normalize every number and collapse the column padding:
+
+  $ cat > loose.json <<'JSON'
+  > {"schema": "bench-asp/1", "current_ns_per_run": {"asp-parse": 1000000000000}}
+  > JSON
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
+  bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
+  asp-parse N ns -> N ns (Nx) ok
+  par: skipped
+  bench gate: PASS
+
+An artificially tightened baseline demonstrably fails with exit 1:
+
+  $ cat > tight.json <<'JSON'
+  > {"schema": "bench-asp/1", "current_ns_per_run": {"asp-parse": 1}}
+  > JSON
+  $ agenp-bench gate --baseline-asp tight.json --skip-par --quota 0.05 --runs 1 > out.txt
+  [1]
+  $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
+  bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
+  asp-parse N ns -> N ns (Nx) REGRESSION
+  par: skipped
+  bench gate: FAIL (N regression(s) beyond N%)
+
+A baseline naming a bench that no longer exists means the snapshot is
+stale, which is neither a pass nor a regression:
+
+  $ cat > stale.json <<'JSON'
+  > {"schema": "bench-asp/1", "current_ns_per_run": {"no-such-bench": 5}}
+  > JSON
+  $ agenp-bench gate --baseline-asp stale.json --skip-par --quota 0.05 --runs 1 > out.txt 2>&1
+  [2]
+  $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
+  bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
+  no-such-bench N ns baseline, no current measurement MISSING
+  par: skipped
+  bench gate: N baseline bench(es) have no current counterpart — stale baseline?

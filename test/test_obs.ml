@@ -16,169 +16,16 @@ let with_fake_clock f =
   Obs.set_clock (fun () -> !time);
   Fun.protect ~finally:Obs.use_default_clock f
 
-(* ---- a minimal JSON reader (no JSON library in the dependency set) ---- *)
+(* The JSON reader used to live here; it moved into the library as
+   [Obs.Json] so the bench gate can load baselines with it. The export
+   round-trip tests below double as its parser tests. *)
+module Json = Obs.Json
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  exception Bad of string
-
-  let parse (s : string) : t =
-    let n = String.length s in
-    let pos = ref 0 in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      match peek () with
-      | Some c' when c' = c -> advance ()
-      | _ -> fail (Printf.sprintf "expected '%c'" c)
-    in
-    let literal word v =
-      String.iter (fun c -> expect c) word;
-      v
-    in
-    let string_lit () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        match peek () with
-        | None -> fail "unterminated string"
-        | Some '"' -> advance ()
-        | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some 'n' ->
-            Buffer.add_char b '\n';
-            advance ();
-            go ()
-          | Some 't' ->
-            Buffer.add_char b '\t';
-            advance ();
-            go ()
-          | Some 'r' ->
-            Buffer.add_char b '\r';
-            advance ();
-            go ()
-          | Some 'u' ->
-            advance ();
-            for _ = 1 to 4 do
-              advance ()
-            done;
-            Buffer.add_char b '?';
-            go ()
-          | Some c ->
-            Buffer.add_char b c;
-            advance ();
-            go ()
-          | None -> fail "bad escape")
-        | Some c ->
-          Buffer.add_char b c;
-          advance ();
-          go ()
-      in
-      go ();
-      Buffer.contents b
-    in
-    let number () =
-      let start = !pos in
-      let is_num_char c =
-        (c >= '0' && c <= '9')
-        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-      in
-      while (match peek () with Some c -> is_num_char c | None -> false) do
-        advance ()
-      done;
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> f
-      | None -> fail "bad number"
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' -> obj ()
-      | Some '[' -> list ()
-      | Some '"' -> Str (string_lit ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> Num (number ())
-      | None -> fail "unexpected end"
-    and obj () =
-      expect '{';
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = string_lit () in
-          skip_ws ();
-          expect ':';
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((k, v) :: acc)
-          | Some '}' ->
-            advance ();
-            Obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        members []
-      end
-    and list () =
-      expect '[';
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        List []
-      end
-      else begin
-        let rec elems acc =
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elems (v :: acc)
-          | Some ']' ->
-            advance ();
-            List (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        elems []
-      end
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing input";
-    v
-
-  let member k = function
-    | Obj kvs -> List.assoc k kvs
-    | _ -> raise (Bad ("no member " ^ k))
-
-  let to_list = function List l -> l | _ -> raise (Bad "not a list")
-  let to_str = function Str s -> s | _ -> raise (Bad "not a string")
-  let to_num = function Num f -> f | _ -> raise (Bad "not a number")
-end
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* ---- spans ------------------------------------------------------------- *)
 
@@ -277,6 +124,209 @@ let test_histograms () =
   Alcotest.(check int) "reset count" 0 (Obs.Histogram.count h);
   Alcotest.(check (float 1e-9)) "reset mean" 0.0 (Obs.Histogram.mean h)
 
+(* ---- quantiles --------------------------------------------------------- *)
+
+let alpha = Obs.Histogram.quantile_relative_error
+
+let test_quantiles_basic () =
+  Obs.reset ();
+  let h = Obs.Histogram.make "test.quantiles" in
+  (* 1..100 ms: the q-quantile's exact answer is ceil(q*100)/1000 s *)
+  for i = 1 to 100 do
+    Obs.Histogram.observe h (float_of_int i /. 1000.0)
+  done;
+  List.iter
+    (fun q ->
+      let exact = Float.ceil (q *. 100.0) /. 1000.0 in
+      let est = Obs.Histogram.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f %.6f within %.1f%% of %.6f" (q *. 100.0) est
+           (alpha *. 100.0) exact)
+        true
+        (Float.abs (est -. exact) <= (alpha +. 1e-6) *. exact))
+    [ 0.5; 0.9; 0.99 ];
+  Alcotest.(check (float 1e-9)) "empty histogram quantile" 0.0
+    (Obs.Histogram.quantile (Obs.Histogram.make "test.quantiles.empty") 0.5);
+  (* non-positive observations land in the zero bucket *)
+  let z = Obs.Histogram.make "test.quantiles.zero" in
+  Obs.Histogram.observe z 0.0;
+  Obs.Histogram.observe z 5.0;
+  Alcotest.(check (float 1e-9)) "p25 of {0,5} is the zero bucket" 0.0
+    (Obs.Histogram.quantile z 0.25)
+
+(* The satellite property: quantile estimates stay within the log-bucket
+   error bound of an exact sorted-list oracle, for arbitrary value sets
+   spanning six orders of magnitude. *)
+let quantile_bound_prop =
+  QCheck.Test.make ~count:200
+    ~name:"histogram quantiles within log-bucket error bound"
+    QCheck.(list_of_size Gen.(1 -- 200) (int_range 1 1_000_000))
+    (fun raw ->
+      QCheck.assume (raw <> []);
+      Obs.Histogram.reset (Obs.Histogram.make "prop.quantile");
+      let h = Obs.Histogram.make "prop.quantile" in
+      let values = List.map (fun i -> float_of_int i /. 1000.0) raw in
+      List.iter (Obs.Histogram.observe h) values;
+      let sorted = List.sort Float.compare values in
+      let n = List.length sorted in
+      List.for_all
+        (fun q ->
+          let rank =
+            let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+            if r < 1 then 1 else if r > n then n else r
+          in
+          let oracle = List.nth sorted (rank - 1) in
+          let est = Obs.Histogram.quantile h q in
+          Float.abs (est -. oracle) <= (alpha +. 1e-6) *. oracle)
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ])
+
+(* Satellite fix: observes on the same histogram from several domains
+   must serialize on the handle's own lock and lose nothing. *)
+let test_histogram_domain_safety () =
+  Obs.reset ();
+  Obs.use_default_clock ();
+  let h = Obs.Histogram.make "test.par_observe" in
+  let per_domain = 10_000 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Obs.Histogram.observe h 1.0
+    done
+  in
+  let spawned = List.init 3 (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "no lost observations" (4 * per_domain)
+    (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-6)) "exact total" (float_of_int (4 * per_domain))
+    (Obs.Histogram.total h);
+  Alcotest.(check bool) "quantile of constant stream" true
+    (Float.abs (Obs.Histogram.quantile h 0.5 -. 1.0) <= alpha +. 1e-6)
+
+(* ---- GC accounting ------------------------------------------------------ *)
+
+let test_gc_accounting () =
+  Obs.reset ();
+  Obs.use_default_clock ();
+  Obs.set_gc_stats true;
+  Fun.protect ~finally:(fun () -> Obs.set_gc_stats false) @@ fun () ->
+  let captured = ref None in
+  let sink = { Obs.on_span = (fun sp -> captured := Some sp) } in
+  Obs.register_sink sink;
+  Fun.protect ~finally:(fun () -> Obs.unregister_sink sink) @@ fun () ->
+  let sum = ref 0.0 in
+  Obs.span "test.gc_span" (fun () ->
+      (* enough boxed-float allocation to be unmissable on the minor heap *)
+      let a = Array.init 50_000 (fun i -> float_of_int i +. 0.5) in
+      Array.iter (fun x -> sum := !sum +. x) a);
+  (match Obs.Alloc.find "test.gc_span" with
+  | None -> Alcotest.fail "no allocation aggregate recorded"
+  | Some a ->
+    Alcotest.(check int) "one contributing span" 1 (Obs.Alloc.count a);
+    Alcotest.(check bool) "minor words counted" true
+      (Obs.Alloc.minor_words a > 10_000.0));
+  (match !captured with
+  | None -> Alcotest.fail "no span delivered"
+  | Some sp ->
+    Alcotest.(check bool) "gc.minor_words attr present" true
+      (List.mem_assoc "gc.minor_words" sp.Obs.sp_attrs);
+    Alcotest.(check bool) "gc.major_collections attr present" true
+      (List.mem_assoc "gc.major_collections" sp.Obs.sp_attrs));
+  (* gate closed: no aggregate, no attrs *)
+  Obs.set_gc_stats false;
+  Obs.span "test.gc_off" (fun () -> ignore (Array.init 1000 Fun.id));
+  Alcotest.(check bool) "no aggregate when disabled" true
+    (match Obs.Alloc.find "test.gc_off" with
+    | None -> true
+    | Some a -> Obs.Alloc.count a = 0)
+
+(* the report surfaces allocation aggregates next to the quantiles *)
+let test_report_gc_columns () =
+  Obs.reset ();
+  Obs.use_default_clock ();
+  Obs.set_gc_stats true;
+  Fun.protect ~finally:(fun () -> Obs.set_gc_stats false) @@ fun () ->
+  Obs.span "test.gc_report" (fun () ->
+      ignore (Array.init 50_000 (fun i -> float_of_int i +. 0.5)));
+  let r = Obs.report () in
+  match
+    List.find_opt (fun a -> a.Obs.agg_name = "test.gc_report") r.Obs.r_spans
+  with
+  | None -> Alcotest.fail "span missing from report"
+  | Some a ->
+    Alcotest.(check bool) "agg minor words" true (a.Obs.agg_minor_words > 0.0);
+    let json = Json.parse (Obs.report_to_json r) in
+    let gc =
+      Json.(member "gc" (member "test.gc_report" (member "spans" json)))
+    in
+    Alcotest.(check bool) "json minor words" true
+      (Json.(to_num (member "minor_words" gc)) > 0.0);
+    let text = Obs.report_to_string r in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec at i =
+        i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+      in
+      at 0
+    in
+    Alcotest.(check bool) "table grows alloc columns" true
+      (contains text "minor(w)")
+
+(* ---- structured logging ------------------------------------------------- *)
+
+let test_log_jsonl () =
+  with_fake_clock @@ fun () ->
+  let path = Filename.temp_file "obs_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.close_file ();
+      Obs.Log.set_level Obs.Log.Warn;
+      Obs.Log.set_stderr_threshold (Some Obs.Log.Warn);
+      Sys.remove path)
+  @@ fun () ->
+  Obs.Log.set_stderr_threshold None;
+  Obs.Log.open_file path;
+  Obs.Log.set_level Obs.Log.Debug;
+  tick 1.5;
+  Obs.span "test.logged_span" (fun () ->
+      Obs.Log.warn ~attrs:[ ("k", "v \"q\"") ] "inside");
+  Obs.Log.set_level Obs.Log.Warn;
+  Obs.Log.info "filtered out";
+  Obs.Log.error "outside";
+  Obs.Log.close_file ();
+  let lines =
+    String.split_on_char '\n' (String.trim (read_file path))
+    |> List.map Json.parse
+  in
+  Alcotest.(check int) "info below threshold dropped" 2 (List.length lines);
+  let first = List.hd lines in
+  Alcotest.(check string) "level" "warn" Json.(to_str (member "level" first));
+  Alcotest.(check string) "msg" "inside" Json.(to_str (member "msg" first));
+  Alcotest.(check string) "span context" "test.logged_span"
+    Json.(to_str (member "span" first));
+  Alcotest.(check (float 1e-9)) "depth" 1.0
+    Json.(to_num (member "depth" first));
+  Alcotest.(check (float 1e-9)) "fake-clock timestamp" 1.5
+    Json.(to_num (member "ts" first));
+  Alcotest.(check string) "attr escaped" "v \"q\""
+    Json.(to_str (member "k" (member "attrs" first)));
+  let second = List.nth lines 1 in
+  Alcotest.(check string) "error kept" "error"
+    Json.(to_str (member "level" second));
+  (* outside any span the context is null *)
+  Alcotest.(check bool) "span null outside spans" true
+    (Json.member "span" second = Json.Null)
+
+let test_log_levels () =
+  Obs.Log.set_level Obs.Log.Warn;
+  Alcotest.(check bool) "debug disabled at warn" false
+    (Obs.Log.enabled Obs.Log.Debug);
+  Alcotest.(check bool) "error enabled at warn" true
+    (Obs.Log.enabled Obs.Log.Error);
+  Obs.Log.set_level Obs.Log.Debug;
+  Alcotest.(check bool) "debug enabled at debug" true
+    (Obs.Log.enabled Obs.Log.Debug);
+  Obs.Log.set_level Obs.Log.Warn
+
 (* ---- trace collection and Chrome export ------------------------------- *)
 
 let test_chrome_trace_roundtrip () =
@@ -331,6 +381,74 @@ let test_trace_limit () =
   let spans = Obs.Trace.stop () in
   Alcotest.(check int) "capped" 2 (List.length spans);
   Alcotest.(check int) "dropped counted" 3 (Obs.Trace.dropped ())
+
+(* ---- flamegraph exporters ---------------------------------------------- *)
+
+(* A small two-root trace with known self-times:
+     a (4ms total: 1ms self before b, then b for 2ms, then 1ms self)
+     a;b (2ms)
+     a again (1ms)
+   Folded self-times: "a" 1+1+1 = 3ms, "a;b" 2ms. *)
+let sample_trace () =
+  Obs.Trace.clear ();
+  Obs.Trace.start ();
+  Obs.span "a" (fun () ->
+      tick 0.001;
+      Obs.span "b" (fun () -> tick 0.002);
+      tick 0.001);
+  Obs.span "a" (fun () -> tick 0.001);
+  Obs.Trace.stop ()
+
+let test_folded_export () =
+  with_fake_clock @@ fun () ->
+  let spans = sample_trace () in
+  Alcotest.(check string) "folded self-time stacks" "a 3000\na;b 2000\n"
+    (Obs.Trace.to_folded spans);
+  let path = Filename.temp_file "obs_folded" ".folded" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Trace.write_folded path spans;
+  Alcotest.(check string) "file matches in-memory form"
+    (Obs.Trace.to_folded spans) (read_file path)
+
+let test_speedscope_export () =
+  with_fake_clock @@ fun () ->
+  let spans = sample_trace () in
+  let json = Json.parse (Obs.Trace.to_speedscope_json spans) in
+  Alcotest.(check string) "schema"
+    "https://www.speedscope.app/file-format-schema.json"
+    Json.(to_str (member "$schema" json));
+  let frames = Json.(to_list (member "frames" (member "shared" json))) in
+  let frame_names =
+    List.map (fun f -> Json.(to_str (member "name" f))) frames
+  in
+  Alcotest.(check (list string)) "frames deduplicated" [ "a"; "b" ] frame_names;
+  let profiles = Json.(to_list (member "profiles" json)) in
+  Alcotest.(check int) "single-domain trace, one profile" 1
+    (List.length profiles);
+  let p = List.hd profiles in
+  Alcotest.(check string) "evented profile" "evented"
+    Json.(to_str (member "type" p));
+  Alcotest.(check string) "unit seconds" "seconds"
+    Json.(to_str (member "unit" p));
+  let events = Json.(to_list (member "events" p)) in
+  (* three spans -> three O/C pairs, balanced and non-decreasing in time *)
+  Alcotest.(check int) "event count" 6 (List.length events);
+  let depth = ref 0 and last_at = ref neg_infinity and ok = ref true in
+  List.iter
+    (fun e ->
+      let at = Json.(to_num (member "at" e)) in
+      if at < !last_at then ok := false;
+      last_at := at;
+      (match Json.(to_str (member "type" e)) with
+      | "O" -> incr depth
+      | "C" -> decr depth
+      | _ -> ok := false);
+      if !depth < 0 then ok := false)
+    events;
+  Alcotest.(check bool) "events balanced and monotone" true
+    (!ok && !depth = 0);
+  Alcotest.(check (float 1e-9)) "profile spans the whole trace" 0.005
+    Json.(to_num (member "endValue" p))
 
 (* ---- aggregate report -------------------------------------------------- *)
 
@@ -478,12 +596,28 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "quantiles" `Quick test_quantiles_basic;
+          Alcotest.test_case "concurrent observes" `Quick
+            test_histogram_domain_safety;
+          QCheck_alcotest.to_alcotest quantile_bound_prop;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "span accounting" `Quick test_gc_accounting;
+          Alcotest.test_case "report columns" `Quick test_report_gc_columns;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "jsonl sink" `Quick test_log_jsonl;
+          Alcotest.test_case "level thresholds" `Quick test_log_levels;
         ] );
       ( "trace",
         [
           Alcotest.test_case "chrome JSON round-trip" `Quick
             test_chrome_trace_roundtrip;
           Alcotest.test_case "span cap" `Quick test_trace_limit;
+          Alcotest.test_case "folded stacks" `Quick test_folded_export;
+          Alcotest.test_case "speedscope JSON" `Quick test_speedscope_export;
         ] );
       ( "report",
         [
