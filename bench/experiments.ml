@@ -96,7 +96,7 @@ let fig2_loop ~quick () =
     (fun i s ->
       let r = Agenp.Ams.handle_request ams (Workloads.Cav.to_context s) in
       incr seen;
-      if r.Agenp.Pep.compliant then incr correct;
+      if Agenp.Pep.compliant r then incr correct;
       if (i + 1) mod window = 0 then begin
         Fmt.pr "%-10d %-14.2f %-12d %d@." (i + 1)
           (float_of_int !correct /. float_of_int !seen)
@@ -968,3 +968,120 @@ let par ~quick () =
     identical;
   close_out oc;
   Fmt.pr "snapshot written to BENCH_par.json@."
+
+(* ---- SERVE: decision-serving throughput, cold vs warm vs batched ----- *)
+
+(** The XACML request log as serving requests (permit/deny in preference
+    order), shared by the [serve] experiment and the gate's quick
+    differential re-check. *)
+let serve_requests ~n ~seed () : Serve.Request.t list =
+  Workloads.Xacml_logs.log ~seed ~n ()
+  |> List.map (fun (r, _) ->
+         Serve.Request.make
+           ~context:(Policy.Request.to_context r)
+           ~options:[ "permit"; "deny" ]
+           ())
+
+(** The gate's quick form of the serve differential: cached decisions
+    must be bit-identical to the uncached reference on a small XACML
+    workload, and the second pass must actually hit the memo. Returns
+    (identical, decision-cache hit rate). *)
+let serve_cached_identical () : bool * float =
+  let gpm = Workloads.Xacml_logs.gpm () in
+  let reqs = serve_requests ~n:12 ~seed:7 () in
+  let uncached = List.map (Serve.decide_uncached gpm) reqs in
+  let engine = Serve.create gpm in
+  let pass () =
+    List.map (fun r -> (Serve.decide engine r).Serve.Response.decision) reqs
+  in
+  let pass1 = pass () in
+  let pass2 = pass () in
+  let identical =
+    List.for_all2 Serve.Decision.equal uncached pass1
+    && List.for_all2 Serve.Decision.equal uncached pass2
+  in
+  let st = Serve.stats engine in
+  (identical, Serve.hit_rate st.Serve.decisions)
+
+let serve ~quick () =
+  section "SERVE  Decision serving: cold vs warm vs batched throughput";
+  let n = if quick then 30 else 120 in
+  let gpm = Workloads.Xacml_logs.gpm () in
+  let reqs = serve_requests ~n ~seed:5 () in
+  let time f =
+    let t0 = Obs.now () in
+    let r = f () in
+    (r, Obs.now () -. t0)
+  in
+  (* cold: the cache-free reference path, one full membership evaluation
+     per request *)
+  let cold, cold_t = time (fun () -> List.map (Serve.decide_uncached gpm) reqs) in
+  (* engine: the first pass fills both tiers, the second is the warm
+     measurement (every request repeats, so it is all memo hits) *)
+  let engine = Serve.create gpm in
+  let pass () =
+    List.map (fun r -> (Serve.decide engine r).Serve.Response.decision) reqs
+  in
+  let fill, fill_t = time pass in
+  let warm, warm_t = time pass in
+  (* batched warm serving across the domain pool *)
+  let batch, batch_t =
+    time (fun () ->
+        List.map
+          (fun (r : Serve.Response.t) -> r.Serve.Response.decision)
+          (Serve.Batch.run engine reqs))
+  in
+  let identical =
+    List.for_all2 Serve.Decision.equal cold fill
+    && List.for_all2 Serve.Decision.equal cold warm
+    && List.for_all2 Serve.Decision.equal cold batch
+  in
+  let st = Serve.stats engine in
+  let per_req t = t /. float_of_int n *. 1e9 in
+  let speedup t = cold_t /. (t +. 1e-12) in
+  Fmt.pr "%-10s %-12s %-14s %s@." "mode" "seconds" "ns/request" "speedup";
+  List.iter
+    (fun (mode, t) ->
+      Fmt.pr "%-10s %-12.4f %-14.0f %.1fx@." mode t (per_req t) (speedup t))
+    [ ("cold", cold_t); ("fill", fill_t); ("warm", warm_t);
+      ("batch", batch_t) ];
+  Fmt.pr "decisions %s across all modes@."
+    (if identical then "identical" else "DIFFERENT");
+  Fmt.pr "decision cache: %d hit(s), %d miss(es), %d eviction(s), rate %.2f@."
+    st.Serve.decisions.Serve.hits st.Serve.decisions.Serve.misses
+    st.Serve.decisions.Serve.evictions
+    (Serve.hit_rate st.Serve.decisions);
+  Fmt.pr "ground cache:   %d hit(s), %d miss(es), %d eviction(s), rate %.2f@."
+    st.Serve.grounds.Serve.hits st.Serve.grounds.Serve.misses
+    st.Serve.grounds.Serve.evictions
+    (Serve.hit_rate st.Serve.grounds);
+  if not identical then
+    Fmt.pr "WARNING: cached decisions differ from the uncached reference@.";
+  let tier name (ts : Serve.tier_stats) =
+    Printf.sprintf
+      "\"%s\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+       \"hit_rate\": %.3f}"
+      name ts.Serve.hits ts.Serve.misses ts.Serve.evictions
+      (Serve.hit_rate ts)
+  in
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"bench-serve/1\",\n\
+    \  \"requests\": %d,\n\
+    \  \"cold_ns_per_req\": %.0f,\n\
+    \  \"fill_ns_per_req\": %.0f,\n\
+    \  \"warm_ns_per_req\": %.0f,\n\
+    \  \"batch_ns_per_req\": %.0f,\n\
+    \  \"warm_speedup\": %.2f,\n\
+    \  %s,\n\
+    \  %s,\n\
+    \  \"identical_outcome\": %b\n\
+     }\n"
+    n (per_req cold_t) (per_req fill_t) (per_req warm_t) (per_req batch_t)
+    (speedup warm_t)
+    (tier "decision_cache" st.Serve.decisions)
+    (tier "ground_cache" st.Serve.grounds)
+    identical;
+  close_out oc;
+  Fmt.pr "snapshot written to BENCH_serve.json@."

@@ -14,7 +14,8 @@
 
 let usage =
   "usage: bench gate [--tolerance F] [--quota SEC] [--runs N] \
-   [--baseline-asp FILE] [--baseline-par FILE] [--skip-par] [--rebaseline]"
+   [--baseline-asp FILE] [--baseline-par FILE] [--baseline-serve FILE] \
+   [--skip-par] [--skip-serve] [--rebaseline]"
 
 type opts = {
   tolerance : float;  (** allowed fractional slowdown, default 0.15 *)
@@ -22,7 +23,9 @@ type opts = {
   runs : int;  (** measurement repetitions, per-bench min kept *)
   baseline_asp : string;
   baseline_par : string;
+  baseline_serve : string;
   skip_par : bool;
+  skip_serve : bool;
   rebaseline : bool;  (** re-capture BENCH_asp.json instead of checking *)
 }
 
@@ -33,7 +36,9 @@ let default_opts =
     runs = 5;
     baseline_asp = "BENCH_asp.json";
     baseline_par = "BENCH_par.json";
+    baseline_serve = "BENCH_serve.json";
     skip_par = false;
+    skip_serve = false;
     rebaseline = false;
   }
 
@@ -56,7 +61,9 @@ let parse_args args =
       | _ -> raise (Bad_args ("bad --runs: " ^ v)))
     | "--baseline-asp" :: v :: rest -> go { o with baseline_asp = v } rest
     | "--baseline-par" :: v :: rest -> go { o with baseline_par = v } rest
+    | "--baseline-serve" :: v :: rest -> go { o with baseline_serve = v } rest
     | "--skip-par" :: rest -> go { o with skip_par = true } rest
+    | "--skip-serve" :: rest -> go { o with skip_serve = true } rest
     | "--rebaseline" :: rest -> go { o with rebaseline = true } rest
     | a :: _ -> raise (Bad_args ("unknown argument: " ^ a))
   in
@@ -88,6 +95,17 @@ let load_par_identical path : bool =
   | other -> failwith (Printf.sprintf "unexpected schema %S" other));
   Obs.Json.(to_bool (member "identical_outcome" j))
 
+(* the committed serve snapshot: the cached-equals-uncached invariant and
+   the warm decision-cache hit rate (which must be strictly positive —
+   a snapshot whose caches never hit measured nothing) *)
+let load_serve_baseline path : bool * float =
+  let j = read_json path in
+  (match Obs.Json.(to_str (member "schema" j)) with
+  | "bench-serve/1" -> ()
+  | other -> failwith (Printf.sprintf "unexpected schema %S" other));
+  ( Obs.Json.(to_bool (member "identical_outcome" j)),
+    Obs.Json.(to_num (member "hit_rate" (member "decision_cache" j))) )
+
 let rebaseline o =
   Fmt.pr "bench gate: re-capturing BENCH_asp.json (quota %.2fs, min of %d \
           run(s))@."
@@ -108,7 +126,11 @@ let run args =
       let par_baseline_ok =
         if o.skip_par then None else Some (load_par_identical o.baseline_par)
       in
-      `Check (o, baseline, par_baseline_ok)
+      let serve_baseline =
+        if o.skip_serve then None
+        else Some (load_serve_baseline o.baseline_serve)
+      in
+      `Check (o, baseline, par_baseline_ok, serve_baseline)
   with
   | exception Bad_args msg ->
     Fmt.epr "bench gate: %s@.%s@." msg usage;
@@ -123,7 +145,7 @@ let run args =
     Fmt.epr "bench gate: bad baseline: %s@." msg;
     2
   | `Rebaseline o -> rebaseline o
-  | `Check (o, baseline, par_baseline_ok) ->
+  | `Check (o, baseline, par_baseline_ok, serve_baseline) ->
     Fmt.pr
       "bench gate: %d bench(es), tolerance %.0f%%, quota %.2fs, min of %d \
        run(s)@."
@@ -163,16 +185,42 @@ let run args =
           identical
         end
     in
+    let serve_ok =
+      match serve_baseline with
+      | None ->
+        Fmt.pr "serve: skipped@.";
+        true
+      | Some (committed_identical, committed_hit_rate) ->
+        if not committed_identical then begin
+          Fmt.pr
+            "serve: committed snapshot has identical_outcome=false  FAIL@.";
+          false
+        end
+        else if committed_hit_rate <= 0.0 then begin
+          Fmt.pr
+            "serve: committed snapshot has warm hit rate 0 — caches never \
+             engaged  FAIL@.";
+          false
+        end
+        else begin
+          let identical, hit_rate = Experiments.serve_cached_identical () in
+          Fmt.pr "serve: cached vs uncached decisions: %s (warm hit rate %.2f)@."
+            (if identical then "identical" else "DIFFERENT")
+            hit_rate;
+          identical && hit_rate > 0.0
+        end
+    in
     if !missing > 0 then begin
       Fmt.epr "bench gate: %d baseline bench(es) have no current \
                counterpart — stale baseline?@."
         !missing;
       2
     end
-    else if !regressions > 0 || not par_ok then begin
-      Fmt.pr "bench gate: FAIL (%d regression(s) beyond %.0f%%%s)@."
+    else if !regressions > 0 || not par_ok || not serve_ok then begin
+      Fmt.pr "bench gate: FAIL (%d regression(s) beyond %.0f%%%s%s)@."
         !regressions (o.tolerance *. 100.0)
-        (if par_ok then "" else "; par outcomes differ");
+        (if par_ok then "" else "; par outcomes differ")
+        (if serve_ok then "" else "; serve caches unsound");
       1
     end
     else begin

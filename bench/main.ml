@@ -31,6 +31,7 @@ let registry =
     ("federated", Experiments.federated);
     ("perf", Experiments.perf);
     ("par", Experiments.par);
+    ("serve", Experiments.serve);
   ]
 
 (* Extract "FLAG FILE" from the raw argument list, returning the file

@@ -302,10 +302,66 @@ let explain_cmd obs grammar sentence context =
     1
   end
 
+(** Parse a decision-request file: one request per line,
+    [opt1 opt2 ... | context-program] with the context optional. *)
+let parse_requests_file path : (string list * Asp.Program.t) list =
+  numbered_lines path
+  |> List.map (fun (lineno, line) ->
+         let opts_str, ctx =
+           match String.index_opt line '|' with
+           | None -> (line, "")
+           | Some i ->
+             ( String.sub line 0 i,
+               String.sub line (i + 1) (String.length line - i - 1) )
+         in
+         let options =
+           String.split_on_char ' ' opts_str
+           |> List.filter_map (fun s ->
+                  let s = String.trim s in
+                  if s = "" then None else Some s)
+         in
+         if options = [] then input_error path lineno "no options on line";
+         let context = parse_asp_at path lineno "context program" ctx in
+         (options, context))
+
+(** Serve decision requests from a file through the caching engine.
+    Sequential serving prints each decision with its cache provenance
+    (deterministic); [--batch] fans the request list across the domain
+    pool and prints decisions only, in input order. [--repeat] replays
+    the request list, demonstrating the memo warming up. *)
+let serve_cmd obs grammar requests context repeat stats batch =
+  run obs @@ fun () ->
+  let gpm = Asg.Asg_parser.parse (read_file grammar) in
+  let base = load_context context in
+  let reqs =
+    parse_requests_file requests
+    |> List.map (fun (options, ctx) ->
+           Serve.Request.make ~context:(Asp.Program.append base ctx) ~options ())
+  in
+  let engine = Serve.create gpm in
+  for _pass = 1 to repeat do
+    if batch then
+      List.iter
+        (fun (r : Serve.Response.t) ->
+          Fmt.pr "%s@." r.Serve.Response.decision.Serve.Decision.chosen)
+        (Serve.Batch.run engine reqs)
+    else
+      List.iter
+        (fun req ->
+          let r = Serve.decide engine req in
+          Fmt.pr "%s [%s]@." r.Serve.Response.decision.Serve.Decision.chosen
+            (Serve.provenance_to_string r.Serve.Response.provenance))
+        reqs
+  done;
+  if stats then Fmt.pr "%a@." Serve.pp_stats (Serve.stats engine);
+  0
+
 (** Drive the XACML request log through the full AGENP closed loop (PIP →
     PDP → PEP → PAdaP), exercising every layer of the stack — the
-    workload behind the stock trace/report demonstration. *)
-let pipeline_cmd obs requests seed =
+    workload behind the stock trace/report demonstration. [--serve]
+    routes the PDP through the caching engine; the output is identical
+    by construction (caches never change decisions). *)
+let pipeline_cmd obs requests seed serve =
   run obs @@ fun () ->
   let spec : Agenp.Prep.pbms_spec =
     {
@@ -331,6 +387,8 @@ let pipeline_cmd obs requests seed =
     }
   in
   let ams = Agenp.Ams.create ~name:"xacml-ams" ~seed ~spec ~space env in
+  if serve then
+    Agenp.Ams.attach_engine ams (Serve.create (Agenp.Ams.gpm ams));
   let log = Workloads.Xacml_logs.log ~seed ~n:requests () in
   List.iter
     (fun (r, d) ->
@@ -544,11 +602,41 @@ let pipeline_t =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
   in
+  let serve =
+    Arg.(value & flag & info [ "serve" ]
+           ~doc:"Route PDP decisions through the caching serving engine. \
+                 Output is identical either way; only latency changes.")
+  in
   Cmd.v
     (Cmd.info "pipeline"
        ~doc:"Replay the XACML request log through the full AGENP closed \
              loop (PIP, PDP, PEP, PAdaP); the go-to workload for --trace.")
-    Term.(const pipeline_cmd $ obs_t $ requests $ seed)
+    Term.(const pipeline_cmd $ obs_t $ requests $ seed $ serve)
+
+let serve_t =
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Serve the request list N times; later passes hit the \
+                 decision memo.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print cache hit/miss/eviction statistics after serving.")
+  in
+  let batch =
+    Arg.(value & flag & info [ "batch" ]
+           ~doc:"Serve each pass as one batch across the domain pool \
+                 (--domains); decisions are printed in input order and \
+                 are identical to sequential serving.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve decision requests from a file through the two-tier \
+             caching engine. Requests are lines of the form \
+             'opt1 opt2 ... | context-program' (context optional).")
+    Term.(const serve_cmd $ obs_t $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
+          $ file_arg ~doc:"Requests file (options | context per line)." 1 "REQUESTS"
+          $ context_opt $ repeat $ stats $ batch)
 
 let repl_t =
   Cmd.v
@@ -571,4 +659,4 @@ let () =
   exit
     (Cmd.eval' (Cmd.group info
           [ solve_t; ground_t; check_t; generate_t; learn_t; explain_t;
-            pipeline_t; repl_t ]))
+            serve_t; pipeline_t; repl_t ]))

@@ -29,6 +29,9 @@ type t = {
   context_repo : Context_repo.t;
   repository : Repository.t;
   rng : Random.State.t;
+  mutable serve_engine : Serve.t option;
+      (** when attached, the PDP routes decisions through the caching
+          serving engine *)
 }
 
 let create ~name ~seed ~(spec : Prep.pbms_spec) ~(space : Ilp.Hypothesis_space.t)
@@ -46,9 +49,12 @@ let create ~name ~seed ~(spec : Prep.pbms_spec) ~(space : Ilp.Hypothesis_space.t
     context_repo = Context_repo.create ();
     repository = Repository.create ();
     rng = Random.State.make [| seed |];
+    serve_engine = None;
   }
 
 let gpm t = Padap.gpm t.padap
+let attach_engine t engine = t.serve_engine <- Some engine
+let engine t = t.serve_engine
 let base_gpm t = t.padap.Padap.gpm0
 let repository t = t.repository
 let pep t = t.pep
@@ -76,10 +82,14 @@ let handle_request (t : t) (local_context : Asp.Program.t) : Pep.record =
   let context = Asp.Program.append local_context external_facts in
   Context_repo.update t.context_repo context;
   (* PDP: decide with the current learned model *)
-  let decision = Pdp.decide (gpm t) ~context ~options:t.env.options in
+  let request = Request.make ~context ~options:t.env.options () in
+  let decision =
+    Pdp.decide ?engine:t.serve_engine (gpm t) ~context
+      ~options:t.env.options
+  in
   (* PEP + monitoring: enforce, compare with ground truth *)
   let verdict = t.env.oracle context decision.Pdp.chosen in
-  let record = Pep.enforce t.pep ~context decision ~verdict in
+  let record = Pep.enforce t.pep ~request ~decision ~verdict in
   (* monitoring feedback: the chosen option's validity is observed *)
   learn_from t ~context decision.Pdp.chosen ~valid:verdict;
   (* periodic audit: label every option *)

@@ -24,6 +24,13 @@ val create :
 
 val gpm : t -> Asg.Gpm.t
 
+(** Route this member's decisions through a caching serving engine. The
+    PDP keeps the engine's model in sync with the learned GPM, so
+    adaptations invalidate the engine's decision memo automatically. *)
+val attach_engine : t -> Serve.t -> unit
+
+val engine : t -> Serve.t option
+
 (** The PReP-refined initial model (before any learned hypothesis). *)
 val base_gpm : t -> Asg.Gpm.t
 

@@ -1,0 +1,16 @@
+(** The single decision payload of the AGenP surface — the serving
+    layer's {!Serve.Decision} re-exported, so the PDP, PEP, simulation,
+    and CLI all speak one type. The record equation keeps existing field
+    accesses ([d.Agenp.Pdp.chosen] etc.) compiling. *)
+
+type t = Serve.Decision.t = {
+  chosen : string;
+  valid_options : string list;
+  fallback_used : bool;
+  compliant : bool option;
+      (** monitoring verdict, filled in by {!Pep.enforce}; [None] until
+          the decision has been enforced *)
+}
+
+let equal = Serve.Decision.equal
+let pp = Serve.Decision.pp

@@ -15,19 +15,19 @@ let summarize ?(window = 20) (pep : Pep.t) : summary =
   let count p = List.length (List.filter p log) in
   let compliance =
     if n = 0 then 1.0
-    else float_of_int (count (fun r -> r.Pep.compliant)) /. float_of_int n
+    else float_of_int (count Pep.compliant) /. float_of_int n
   in
   let fallback_rate =
     if n = 0 then 0.0
     else
       float_of_int
-        (count (fun r -> r.Pep.decision.Pdp.fallback_used))
+        (count (fun r -> r.Pep.decision.Decision.fallback_used))
       /. float_of_int n
   in
   let mix = Hashtbl.create 8 in
   List.iter
     (fun (r : Pep.record) ->
-      let k = r.Pep.decision.Pdp.chosen in
+      let k = r.Pep.decision.Decision.chosen in
       Hashtbl.replace mix k (1 + Option.value ~default:0 (Hashtbl.find_opt mix k)))
     log;
   let decision_mix =
@@ -39,7 +39,7 @@ let summarize ?(window = 20) (pep : Pep.t) : summary =
     match recent with
     | [] -> 1.0
     | _ ->
-      float_of_int (List.length (List.filter (fun r -> r.Pep.compliant) recent))
+      float_of_int (List.length (List.filter Pep.compliant recent))
       /. float_of_int (List.length recent)
   in
   { requests = n; compliance; fallback_rate; decision_mix; recent_compliance }

@@ -35,6 +35,11 @@ type t = {
   mutable relearn_count : int;
   mutable context_changed : bool;
       (** external signal: the operating context has shifted *)
+  mutable current : Asg.Gpm.t;
+      (** [apply_hypothesis gpm0 hypothesis], cached so the served model
+          (and its {!Asg.Gpm.version}) is stable between adaptations —
+          recomputing per request would stamp a fresh version each time
+          and defeat the serving layer's decision memo *)
 }
 
 let create config gpm0 =
@@ -46,10 +51,14 @@ let create config gpm0 =
     recent_violations = [];
     relearn_count = 0;
     context_changed = false;
+    current = Ilp.Task.apply_hypothesis gpm0 [];
   }
 
 (** The current learned GPM. *)
-let gpm (t : t) : Asg.Gpm.t = Ilp.Task.apply_hypothesis t.gpm0 t.hypothesis
+let gpm (t : t) : Asg.Gpm.t = t.current
+
+let refresh (t : t) =
+  t.current <- Ilp.Task.apply_hypothesis t.gpm0 t.hypothesis
 
 let examples t = t.examples
 let relearn_count t = t.relearn_count
@@ -95,6 +104,7 @@ let relearn (t : t) : [ `Updated | `Unchanged | `Failed ] =
            outcome.Ilp.Learner.hypothesis t.hypothesis
     in
     t.hypothesis <- outcome.Ilp.Learner.hypothesis;
+    refresh t;
     t.recent_violations <- [];
     if same then `Unchanged else `Updated
 
@@ -119,6 +129,8 @@ let maybe_adapt (t : t) : [ `Updated | `Unchanged | `Failed | `Not_triggered ] =
 
 (** Install an externally produced hypothesis (used by coalition policy
     sharing after PCP validation). *)
-let install (t : t) (h : Ilp.Task.hypothesis) = t.hypothesis <- h
+let install (t : t) (h : Ilp.Task.hypothesis) =
+  t.hypothesis <- h;
+  refresh t
 
 let hypothesis t = t.hypothesis

@@ -25,6 +25,9 @@ type t = {
   mutable recent_violations : bool list;
   mutable relearn_count : int;
   mutable context_changed : bool;
+  mutable current : Asg.Gpm.t;
+      (** cached [apply_hypothesis gpm0 hypothesis]; keeps the served
+          model's version stable between adaptations *)
 }
 
 val create : config -> Asg.Gpm.t -> t

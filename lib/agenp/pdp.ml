@@ -2,32 +2,33 @@
     the generative model admits in the current context. Options are tried
     in preference order; the first valid one is the decision. A fallback
     (the last option) applies when the model admits nothing — and the
-    event is flagged so the PAdaP can react to the coverage gap. *)
+    event is flagged so the PAdaP can react to the coverage gap.
 
-type decision = {
+    The decision core lives in the serving layer ({!Serve}); this module
+    is the AGenP-facing wrapper that adds the [agenp.pdp.decide] span and
+    fallback logging, and optionally routes through a caching engine. *)
+
+exception No_options = Serve.No_options
+
+type decision = Decision.t = {
   chosen : string;
   valid_options : string list;
   fallback_used : bool;
+  compliant : bool option;
 }
 
-let decide (gpm : Asg.Gpm.t) ~(context : Asp.Program.t)
-    ~(options : string list) : decision =
+let decide ?(engine : Serve.t option) (gpm : Asg.Gpm.t)
+    ~(context : Asp.Program.t) ~(options : string list) : decision =
   Obs.span "agenp.pdp.decide"
     ~attrs:[ ("options", string_of_int (List.length options)) ]
   @@ fun () ->
-  let valid_options =
-    List.filter
-      (fun opt -> Asg.Membership.accepts_in_context gpm ~context opt)
-      options
-  in
+  let request = Request.make ~context ~options () in
   let d =
-    match valid_options with
-    | chosen :: _ -> { chosen; valid_options; fallback_used = false }
-    | [] -> (
-      match List.rev options with
-      | fallback :: _ ->
-        { chosen = fallback; valid_options; fallback_used = true }
-      | [] -> invalid_arg "Pdp.decide: no options")
+    match engine with
+    | Some e ->
+      Serve.set_gpm e gpm;
+      (Serve.decide e request).Serve.Response.decision
+    | None -> Serve.decide_uncached gpm request
   in
   Obs.set_attr "fallback_used" (string_of_bool d.fallback_used);
   if d.fallback_used then

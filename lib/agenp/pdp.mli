@@ -1,11 +1,27 @@
 (** The Policy Decision Point: the first preference-ordered option valid
     in the context; the last option as a flagged fail-safe. *)
 
-type decision = {
+exception No_options
+(** Raised on an empty options list (alias of {!Serve.No_options}) —
+    there is nothing to decide and no fail-safe to fall back to. *)
+
+type decision = Decision.t = {
   chosen : string;
   valid_options : string list;
   fallback_used : bool;
+  compliant : bool option;
+      (** [None] here; filled in by {!Pep.enforce} *)
 }
+(** Alias of {!Decision.t}. The bare three-field record of earlier
+    versions is gone; this equation keeps field accesses compiling. *)
 
+(** Decide; with [engine] the decision is served through the caching
+    engine (whose model is updated to [gpm] first), otherwise through
+    the cache-free reference path. Both paths return identical
+    decisions. @raise No_options when [options] is empty. *)
 val decide :
-  Asg.Gpm.t -> context:Asp.Program.t -> options:string list -> decision
+  ?engine:Serve.t ->
+  Asg.Gpm.t ->
+  context:Asp.Program.t ->
+  options:string list ->
+  decision

@@ -1,13 +1,17 @@
 (** The Policy Enforcement Point: carries out PDP decisions on the managed
     resources and records what happened, producing the monitoring stream
-    the PAdaP learns from. The managed resource is abstracted as an
-    [enforce] closure returning whether the action succeeded / complied. *)
+    the PAdaP learns from. The managed resource is abstracted as the
+    [verdict] of an enforcement: whether the action succeeded / complied.
+
+    A record stores the full request alongside the decision; the verdict
+    lives inside the decision's [compliant] field (set here), so the
+    record carries exactly one canonical payload. *)
 
 type record = {
   tick : int;
-  context : Asp.Program.t;
-  decision : Pdp.decision;
-  compliant : bool;  (** monitoring verdict from the environment *)
+  request : Request.t;
+  decision : Decision.t;
+      (** [compliant] is [Some verdict] for every enforced record *)
 }
 
 type t = {
@@ -19,20 +23,26 @@ let create () = { log = []; tick = 0 }
 
 (** Enforce a decision; [verdict] is the environment's compliance check
     (ground truth oracle in simulations, human/monitoring in the field). *)
-let enforce (t : t) ~(context : Asp.Program.t) (decision : Pdp.decision)
+let enforce (t : t) ~(request : Request.t) ~(decision : Decision.t)
     ~(verdict : bool) : record =
   Obs.span "agenp.pep.enforce" @@ fun () ->
   t.tick <- t.tick + 1;
-  let r = { tick = t.tick; context; decision; compliant = verdict } in
+  let decision = { decision with Decision.compliant = Some verdict } in
+  let r = { tick = t.tick; request; decision } in
   t.log <- r :: t.log;
   if not verdict then
     Obs.Log.info "pep recorded a non-compliant enforcement"
       ~attrs:
         [
-          ("tick", string_of_int r.tick); ("chosen", r.decision.Pdp.chosen);
+          ("tick", string_of_int r.tick);
+          ("chosen", r.decision.Decision.chosen);
         ];
   r
 
+let compliant (r : record) =
+  match r.decision.Decision.compliant with Some c -> c | None -> false
+
+let context (r : record) = r.request.Request.context
 let log t = t.log
 let tick t = t.tick
 
@@ -40,5 +50,5 @@ let compliance_rate t =
   match t.log with
   | [] -> 1.0
   | log ->
-    float_of_int (List.length (List.filter (fun r -> r.compliant) log))
+    float_of_int (List.length (List.filter compliant log))
     /. float_of_int (List.length log)

@@ -3,15 +3,25 @@
 
 type record = {
   tick : int;
-  context : Asp.Program.t;
-  decision : Pdp.decision;
-  compliant : bool;  (** monitoring verdict *)
+  request : Request.t;  (** the request the decision answered *)
+  decision : Decision.t;
+      (** [compliant] is [Some verdict] for every enforced record *)
 }
 
 type t
 
 val create : unit -> t
-val enforce : t -> context:Asp.Program.t -> Pdp.decision -> verdict:bool -> record
+
+(** Enforce [decision] for [request]; [verdict] is the monitoring
+    verdict, stored into the decision's [compliant] field. *)
+val enforce :
+  t -> request:Request.t -> decision:Decision.t -> verdict:bool -> record
+
+(** The stored monitoring verdict ([false] only for records enforced
+    non-compliant). *)
+val compliant : record -> bool
+
+val context : record -> Asp.Program.t
 val log : t -> record list
 val tick : t -> int
 val compliance_rate : t -> float

@@ -1,0 +1,11 @@
+(** A decision request — {!Serve.Request} re-exported so AGenP call
+    sites build the serving layer's canonical request shape. *)
+
+type t = Serve.Request.t = {
+  context : Asp.Program.t;
+  options : string list;
+  priority : int;
+  deadline : float option;
+}
+
+let make = Serve.Request.make

@@ -1,0 +1,17 @@
+(** A decision request: {!Serve.Request} re-exported. *)
+
+type t = Serve.Request.t = {
+  context : Asp.Program.t;  (** the facts/rules the decision is made in *)
+  options : string list;
+      (** candidate decisions in preference order; last is the fail-safe *)
+  priority : int;  (** batch scheduling priority (higher first) *)
+  deadline : float option;  (** latency budget in seconds, reporting only *)
+}
+
+val make :
+  ?priority:int ->
+  ?deadline:float ->
+  context:Asp.Program.t ->
+  options:string list ->
+  unit ->
+  t

@@ -27,9 +27,19 @@ type result = {
 }
 
 (** Run the simulation. [request_stream member_name tick index] supplies
-    each request context — deterministic streams give reproducible runs. *)
-let run (config : config) (members : Ams.t list)
+    each request context — deterministic streams give reproducible runs.
+    With [serve_config], each member gets a caching serving engine of
+    that size; decisions are identical either way (the engine only
+    changes latency). *)
+let run ?(serve_config : Serve.Config.t option) (config : config)
+    (members : Ams.t list)
     ~(request_stream : string -> int -> int -> Asp.Program.t) : result =
+  (match serve_config with
+  | Some sc ->
+    List.iter
+      (fun m -> Ams.attach_engine m (Serve.create ~config:sc (Ams.gpm m)))
+      members
+  | None -> ());
   let coalition = Coalition.create () in
   List.iter (Coalition.add_member coalition) members;
   let timeline = ref [] in
@@ -41,7 +51,7 @@ let run (config : config) (members : Ams.t list)
           let context = request_stream (Ams.name ams) tick i in
           let record = Ams.handle_request ams context in
           incr total;
-          if record.Pep.compliant then incr compliant
+          if Pep.compliant record then incr compliant
         done)
       members;
     let adopted =
@@ -70,7 +80,7 @@ let run (config : config) (members : Ams.t list)
     builds its whole scenario (members are stateful, so they must be
     constructed inside the worker that runs them) and the results come
     back in input order — a pool of size 1 degenerates to [List.map]. *)
-let run_many ?pool
+let run_many ?pool ?serve_config
     (scenarios :
       (unit -> config * Ams.t list * (string -> int -> int -> Asp.Program.t))
       list) : result list =
@@ -78,7 +88,7 @@ let run_many ?pool
   Par.map_list pool
     (fun setup ->
       let config, members, request_stream = setup () in
-      run config members ~request_stream)
+      run ?serve_config config members ~request_stream)
     scenarios
 
 (** Mean compliance over the last [n] ticks of a result. *)

@@ -23,8 +23,12 @@ type result = {
   coalition : Coalition.t;
 }
 
-(** [request_stream member tick index] supplies request contexts. *)
+(** [request_stream member tick index] supplies request contexts. With
+    [serve_config], each member decides through a caching serving engine
+    of that size — identical decisions, lower latency on recurring
+    contexts. *)
 val run :
+  ?serve_config:Serve.Config.t ->
   config ->
   Ams.t list ->
   request_stream:(string -> int -> int -> Asp.Program.t) ->
@@ -37,6 +41,7 @@ val run :
     regardless of scheduling. *)
 val run_many :
   ?pool:Par.t ->
+  ?serve_config:Serve.Config.t ->
   (unit -> config * Ams.t list * (string -> int -> int -> Asp.Program.t)) list ->
   result list
 

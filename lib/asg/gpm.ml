@@ -10,11 +10,22 @@ type t = {
       (** production id -> annotated program *)
   shared : Annotation.program;
       (** rules attached to {e every} production — used for contexts *)
+  version : int;
+      (** process-unique stamp; every construction/derivation gets a
+          fresh one, so equal versions imply the same grammar value *)
 }
 
-let make ?(annotations = []) cfg = { cfg; annotations; shared = [] }
+(* Process-wide version source. Atomic so grammars can be derived from
+   worker domains (e.g. the serving layer's batch path) without racing. *)
+let next_version = Atomic.make 0
+let fresh_version () = Atomic.fetch_and_add next_version 1
+
+let make ?(annotations = []) cfg =
+  { cfg; annotations; shared = []; version = fresh_version () }
+
 let cfg g = g.cfg
 let shared g = g.shared
+let version g = g.version
 
 let annotation g prod_id =
   List.concat_map (fun (id, p) -> if id = prod_id then p else []) g.annotations
@@ -26,7 +37,11 @@ let full_annotation g prod_id = annotation g prod_id @ g.shared
 (** [G(C)]: the grammar constructed by adding program [C] to the annotation
     of every production rule. *)
 let with_context g (c : Asp.Program.t) =
-  { g with shared = g.shared @ Annotation.of_asp_program c }
+  {
+    g with
+    shared = g.shared @ Annotation.of_asp_program c;
+    version = fresh_version ();
+  }
 
 (** [G : H]: add each hypothesis rule to the annotation of the production
     it names. *)
@@ -34,10 +49,15 @@ let with_hypothesis g (h : (int * Annotation.rule) list) =
   {
     g with
     annotations = g.annotations @ List.map (fun (id, r) -> (id, [ r ])) h;
+    version = fresh_version ();
   }
 
 let add_annotation g prod_id rules =
-  { g with annotations = g.annotations @ [ (prod_id, rules) ] }
+  {
+    g with
+    annotations = g.annotations @ [ (prod_id, rules) ];
+    version = fresh_version ();
+  }
 
 (** The underlying CFG with annotations removed (called [G_CF] in the
     paper) is just [cfg g]; the language of that CFG always contains the
@@ -69,4 +89,4 @@ let clean (g : t) : t =
         | rules -> Some (new_id, rules))
       mapping
   in
-  { cfg = cleaned; annotations; shared = g.shared }
+  { cfg = cleaned; annotations; shared = g.shared; version = fresh_version () }

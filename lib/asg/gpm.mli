@@ -8,6 +8,13 @@ type t
 val make : ?annotations:(int * Annotation.program) list -> Grammar.Cfg.t -> t
 val cfg : t -> Grammar.Cfg.t
 
+(** Process-unique version stamp: every construction and every derivation
+    ({!make}, {!with_context}, {!with_hypothesis}, {!add_annotation},
+    {!clean}) yields a fresh version, so equal versions imply the same
+    grammar value. The serving layer keys its decision memo on this, which
+    makes cache invalidation on hypothesis/context changes automatic. *)
+val version : t -> int
+
 (** Rules attached to every production (contexts). *)
 val shared : t -> Annotation.program
 

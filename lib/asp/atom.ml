@@ -11,6 +11,14 @@ let compare a b =
   if c <> 0 then c else Term.compare_list a.args b.args
 
 let equal a b = compare a b = 0
+
+let hash_fold h a =
+  List.fold_left Term.hash_fold
+    (Term.hash_combine (Term.hash_combine h (Hashtbl.hash a.pred))
+       (List.length a.args))
+    a.args
+
+let hash a = hash_fold 0x811c9dc5 a
 let is_ground a = List.for_all Term.is_ground a.args
 
 let vars a =

@@ -16,6 +16,11 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+(** Structural hash consistent with {!equal} (see {!Term.hash}). *)
+val hash : t -> int
+
+val hash_fold : int -> t -> int
+
 (** No free variables in any argument. *)
 val is_ground : t -> bool
 

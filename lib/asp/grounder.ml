@@ -795,3 +795,16 @@ let ground (p : Program.t) : ground_program =
 
 let size gp = List.length gp.grules
 let atom_count gp = Atom.Set.cardinal gp.base
+
+(** Ground with a pre-grounded core: when [core = (p0, gp0)] was produced
+    by [ground p0] and [p] is structurally equal to [p0], the core is
+    returned as-is and no grounding work happens — the seam the serving
+    layer's fingerprint-keyed ground cache goes through. Fingerprints can
+    collide, so equality is confirmed with {!Program.equal} here rather
+    than trusted from the cache key; on a mismatch (or without a core)
+    this is just [ground p]. *)
+let ground_with ?(core : (Program.t * ground_program) option) (p : Program.t) :
+    ground_program =
+  match core with
+  | Some (p0, gp0) when Program.equal p0 p -> gp0
+  | Some _ | None -> ground p

@@ -61,6 +61,16 @@ val expand_atom : Atom.t -> Atom.t list
     choice rule body. *)
 val ground : Program.t -> ground_program
 
+(** Ground with a pre-grounded core: [ground_with ~core:(p0, gp0) p]
+    returns [gp0] unchanged when [Program.equal p0 p] — the entry point a
+    ground-program cache goes through, so a warm hit skips the fixpoint
+    and instantiation entirely. Falls back to [ground p] on a core
+    mismatch or when no core is given. The caller keys its cache by
+    {!Program.fingerprint}; equality is confirmed here because
+    fingerprints may collide. *)
+val ground_with :
+  ?core:Program.t * ground_program -> Program.t -> ground_program
+
 (** Number of ground rules. *)
 val size : ground_program -> int
 

@@ -49,6 +49,20 @@ let predicates p =
 let is_ground_rule (r : Rule.t) = Rule.vars r = []
 let is_ground p = List.for_all is_ground_rule p.rules
 
+(** Rule-order-sensitive structural equality. Programs are ordered rule
+    lists, and grounding/solving preserve that order, so two programs are
+    interchangeable for caching exactly when they are equal rule by
+    rule. *)
+let equal p q =
+  p == q || List.compare Rule.compare p.rules q.rules = 0
+
+(** Structural fingerprint consistent with {!equal}: equal programs have
+    equal fingerprints; distinct programs collide only with hash-collision
+    probability, so a cache keyed by fingerprint must confirm with
+    {!equal} before trusting a hit. *)
+let fingerprint p =
+  List.fold_left Rule.hash_fold (Term.hash_combine 0x811c9dc5 (List.length p.rules)) p.rules
+
 (** Add a set of ground atoms as facts (used to inject contexts). *)
 let with_facts p atoms =
   { rules = List.map Rule.fact atoms @ p.rules }

@@ -26,6 +26,16 @@ val constraints : t -> Rule.t list
 (** All predicate name/arity pairs appearing anywhere in the program. *)
 val predicates : t -> (string * int) list
 
+(** Rule-order-sensitive structural equality: programs are ordered rule
+    lists, so this is equality rule by rule. *)
+val equal : t -> t -> bool
+
+(** Structural fingerprint consistent with {!equal}: equal programs have
+    equal fingerprints. Collisions between distinct programs are possible
+    (it is a hash), so caches keyed by fingerprint must confirm hits with
+    {!equal}. *)
+val fingerprint : t -> int
+
 (** No variables anywhere in the rule. *)
 val is_ground_rule : Rule.t -> bool
 

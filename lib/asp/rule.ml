@@ -261,6 +261,35 @@ let compare r1 r2 =
 
 let equal r1 r2 = compare r1 r2 = 0
 
+let rec hash_fold_body_elt h = function
+  | Pos a -> Atom.hash_fold (Term.hash_combine h 1) a
+  | Neg a -> Atom.hash_fold (Term.hash_combine h 2) a
+  | Cmp (op, t1, t2) ->
+    Term.hash_fold
+      (Term.hash_fold (Term.hash_combine (Term.hash_combine h 3) (Hashtbl.hash op)) t1)
+      t2
+  | Count c ->
+    let h = Term.hash_combine h 4 in
+    let h = List.fold_left Term.hash_fold h c.tuple in
+    let h = List.fold_left hash_fold_body_elt h c.conditions in
+    Term.hash_fold (Term.hash_combine h (Hashtbl.hash c.count_op)) c.bound
+
+let hash_fold_head h = function
+  | Head a -> Atom.hash_fold (Term.hash_combine h 10) a
+  | Falsity -> Term.hash_combine h 11
+  | Weak w -> Term.hash_fold (Term.hash_combine h 12) w
+  | Choice (l, elts, u) ->
+    let h = Term.hash_combine (Term.hash_combine h 13) (Hashtbl.hash (l, u)) in
+    List.fold_left
+      (fun h (e : choice_elt) ->
+        List.fold_left Atom.hash_fold (Atom.hash_fold h e.choice_atom) e.condition)
+      h elts
+
+let hash_fold h r =
+  List.fold_left hash_fold_body_elt (hash_fold_head h r.head) r.body
+
+let hash r = hash_fold 0x811c9dc5 r
+
 let rec pp_body_elt ppf = function
   | Pos a -> Atom.pp ppf a
   | Neg a -> Fmt.pf ppf "not %a" Atom.pp a

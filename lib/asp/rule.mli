@@ -78,6 +78,12 @@ val apply : Term.subst -> t -> t
 val compare_body_elt : body_elt -> body_elt -> int
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+(** Structural hash consistent with {!equal}, folding over the whole
+    rule (see {!Term.hash}). *)
+val hash : t -> int
+
+val hash_fold : int -> t -> int
 val pp_body_elt : Format.formatter -> body_elt -> unit
 val pp_choice_elt : Format.formatter -> choice_elt -> unit
 val pp_head : Format.formatter -> head -> unit

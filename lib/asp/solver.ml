@@ -580,6 +580,17 @@ let has_answer_set (p : Program.t) : bool =
 let first_answer_set (p : Program.t) : model option =
   match solve ~limit:1 p with [] -> None | m :: _ -> Some m
 
+(* Entry points over a pre-grounded core: callers holding a cached
+   [Grounder.ground_program] (keyed by [Program.fingerprint]) skip
+   grounding entirely. Results coincide with the [Program.t] variants on
+   [Grounder.ground p] by construction. *)
+
+let has_answer_set_ground (gp : Grounder.ground_program) : bool =
+  match solve_ground ~limit:1 gp with [] -> false | _ -> true
+
+let first_answer_set_ground (gp : Grounder.ground_program) : model option =
+  match solve_ground ~limit:1 gp with [] -> None | m :: _ -> Some m
+
 (** Atoms true in at least one answer set (brave consequences), restricted
     to a predicate when [pred] is given. *)
 let brave_consequences ?pred (p : Program.t) : Atom.Set.t =

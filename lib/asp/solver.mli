@@ -41,6 +41,14 @@ val has_answer_set : Program.t -> bool
 (** The first stable model found, if any. *)
 val first_answer_set : Program.t -> model option
 
+(** {!has_answer_set} over a pre-grounded core: callers holding a cached
+    {!Grounder.ground_program} skip grounding entirely. Coincides with
+    [has_answer_set p] when the core is [Grounder.ground p]. *)
+val has_answer_set_ground : Grounder.ground_program -> bool
+
+(** {!first_answer_set} over a pre-grounded core. *)
+val first_answer_set_ground : Grounder.ground_program -> model option
+
 (** Atoms true in at least one answer set, optionally restricted to a
     predicate. *)
 val brave_consequences : ?pred:string -> Program.t -> Atom.Set.t

@@ -50,7 +50,7 @@ let rec compare t1 t2 =
     let c = compare a1 a2 in
     if c <> 0 then c else compare b1 b2
 
-and compare_list l1 l2 =
+and compare_list l1 l2 : int =
   match (l1, l2) with
   | [], [] -> 0
   | [], _ :: _ -> -1
@@ -60,6 +60,26 @@ and compare_list l1 l2 =
     if c <> 0 then c else compare_list xs ys
 
 let equal t1 t2 = compare t1 t2 = 0
+
+(* FNV-1a-style mixing: unlike [Hashtbl.hash], which stops after a fixed
+   number of meaningful nodes, this folds over the whole term, so two
+   programs differing only deep inside a term still get distinct
+   fingerprints (with overwhelming probability). *)
+let hash_combine h x = ((h * 0x01000193) lxor x) land max_int
+
+let rec hash_fold h = function
+  | Var v -> hash_combine (hash_combine h 1) (Hashtbl.hash v)
+  | Int n -> hash_combine (hash_combine h 2) n
+  | Fun (f, args) ->
+    List.fold_left hash_fold
+      (hash_combine (hash_combine (hash_combine h 3) (Hashtbl.hash f))
+         (List.length args))
+      args
+  | Binop (op, a, b) ->
+    hash_fold (hash_fold (hash_combine (hash_combine h 4) (Hashtbl.hash op)) a) b
+  | Interval (a, b) -> hash_fold (hash_fold (hash_combine h 5) a) b
+
+let hash t = hash_fold 0x811c9dc5 t
 
 let rec is_ground = function
   | Var _ -> false

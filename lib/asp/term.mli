@@ -30,6 +30,19 @@ val compare : t -> t -> int
 
 val compare_list : t list -> t list -> int
 val equal : t -> t -> bool
+
+(** Structural hash consistent with {!equal}. Unlike [Hashtbl.hash] it
+    folds over the {e whole} term, so deep differences still produce
+    distinct hashes (with overwhelming probability). *)
+val hash : t -> int
+
+(** Fold a term into an accumulated hash (building block for the atom,
+    rule, and program fingerprints). *)
+val hash_fold : int -> t -> int
+
+(** Mix one int into an accumulated hash (FNV-1a style). *)
+val hash_combine : int -> int -> int
+
 val is_ground : t -> bool
 
 (** Free variables, in first-occurrence order, without duplicates. *)

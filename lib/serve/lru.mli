@@ -1,0 +1,32 @@
+(** A small polymorphic LRU cache: hash table plus intrusive recency
+    list. [find] promotes the entry to most-recently-used; [add] evicts
+    the least-recently-used entry when the cache is full. Not
+    thread-safe — callers serialize access (the serving engine holds one
+    mutex over both of its tiers). *)
+
+type ('k, 'v) t
+
+(** [create ~capacity ()] — [capacity] must be at least 1. *)
+val create : capacity:int -> unit -> ('k, 'v) t
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+(** Lookup; a hit promotes the entry to most-recently-used. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+(** Insert or replace, promoting to most-recently-used. Returns the
+    evicted key when the insert pushed the least-recently-used entry
+    out. *)
+val add : ('k, 'v) t -> 'k -> 'v -> 'k option
+
+(** Keys in recency order, most recently used first — the eviction order
+    reversed. Exposed so eviction policy is unit-testable. *)
+val keys_newest_first : ('k, 'v) t -> 'k list
+
+(** Total evictions since creation (or the last {!clear}). *)
+val evictions : ('k, 'v) t -> int
+
+val clear : ('k, 'v) t -> unit

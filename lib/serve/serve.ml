@@ -1,0 +1,329 @@
+(* The decision-serving engine. See serve.mli for the cache design; the
+   invariant that matters throughout is that every cached artifact is a
+   pure function of its key — ground programs of the induced program,
+   decisions of (model version, context, options) — so caching can change
+   latency and provenance but never the decision. *)
+
+module Lru = Lru
+
+exception No_options
+
+module Request = struct
+  type t = {
+    context : Asp.Program.t;
+    options : string list;
+    priority : int;
+    deadline : float option;
+  }
+
+  let make ?(priority = 0) ?deadline ~context ~options () =
+    { context; options; priority; deadline }
+end
+
+module Decision = struct
+  type t = {
+    chosen : string;
+    valid_options : string list;
+    fallback_used : bool;
+    compliant : bool option;
+  }
+
+  let equal a b =
+    String.equal a.chosen b.chosen
+    && List.equal String.equal a.valid_options b.valid_options
+    && Bool.equal a.fallback_used b.fallback_used
+    && Option.equal Bool.equal a.compliant b.compliant
+
+  let pp ppf d =
+    Fmt.pf ppf "%s%s%a" d.chosen
+      (if d.fallback_used then " (fallback)" else "")
+      (fun ppf -> function
+        | None -> ()
+        | Some c -> Fmt.pf ppf " [%s]" (if c then "compliant" else "violation"))
+      d.compliant
+end
+
+type provenance = Cold | Ground_hit | Memo_hit
+
+let provenance_to_string = function
+  | Cold -> "cold"
+  | Ground_hit -> "ground"
+  | Memo_hit -> "memo"
+
+module Response = struct
+  type t = {
+    decision : Decision.t;
+    provenance : provenance;
+    latency : float;
+    gpm_version : int;
+    deadline_missed : bool;
+  }
+end
+
+module Config = struct
+  type t = { decision_cache : int; ground_cache : int }
+
+  let default = { decision_cache = 256; ground_cache = 512 }
+end
+
+type tier_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  cap : int;
+}
+
+type stats = { decisions : tier_stats; grounds : tier_stats }
+
+let hit_rate (s : tier_stats) =
+  let n = s.hits + s.misses in
+  if n = 0 then 0.0 else float_of_int s.hits /. float_of_int n
+
+let pp_tier ppf (s : tier_stats) =
+  Fmt.pf ppf "%d/%d entries, %d hit(s), %d miss(es), %d eviction(s), rate %.2f"
+    s.entries s.cap s.hits s.misses s.evictions (hit_rate s)
+
+let pp_stats ppf s =
+  Fmt.pf ppf "decisions: %a@.grounds:   %a" pp_tier s.decisions pp_tier
+    s.grounds
+
+(* Process-wide counters, created on first engine use rather than at
+   module initialization so that runs that never serve (plain `agenp
+   solve` etc.) keep their counter tables unchanged. *)
+type counters = {
+  c_requests : Obs.Counter.t;
+  cd_hits : Obs.Counter.t;
+  cd_misses : Obs.Counter.t;
+  cd_evictions : Obs.Counter.t;
+  cg_hits : Obs.Counter.t;
+  cg_misses : Obs.Counter.t;
+  cg_evictions : Obs.Counter.t;
+}
+
+let counters =
+  lazy
+    {
+      c_requests = Obs.Counter.make "serve.requests";
+      cd_hits = Obs.Counter.make "serve.decision_cache.hits";
+      cd_misses = Obs.Counter.make "serve.decision_cache.misses";
+      cd_evictions = Obs.Counter.make "serve.decision_cache.evictions";
+      cg_hits = Obs.Counter.make "serve.ground_cache.hits";
+      cg_misses = Obs.Counter.make "serve.ground_cache.misses";
+      cg_evictions = Obs.Counter.make "serve.ground_cache.evictions";
+    }
+
+(* ---- the decision core ------------------------------------------------ *)
+
+(** First valid option, or the last option as a flagged fail-safe —
+    exactly the PDP semantics, shared by cached and uncached paths.
+    [membership] decides one option. *)
+let decide_core ~(membership : string -> bool) (options : string list) :
+    Decision.t =
+  if options = [] then raise No_options;
+  let valid_options = List.filter membership options in
+  match valid_options with
+  | chosen :: _ ->
+    { Decision.chosen; valid_options; fallback_used = false; compliant = None }
+  | [] ->
+    let fallback = List.hd (List.rev options) in
+    {
+      Decision.chosen = fallback;
+      valid_options = [];
+      fallback_used = true;
+      compliant = None;
+    }
+
+let decide_uncached (gpm : Asg.Gpm.t) (req : Request.t) : Decision.t =
+  decide_core req.options
+    ~membership:(fun opt ->
+      Asg.Membership.accepts_in_context gpm ~context:req.context opt)
+
+(* ---- the engine ------------------------------------------------------- *)
+
+type memo_key = int * int * string list
+(* (gpm version, context fingerprint, options) *)
+
+type t = {
+  mutable gpm : Asg.Gpm.t;
+  cfg : Config.t;
+  memo : (memo_key, Asp.Program.t * Decision.t) Lru.t;
+      (** the stored context confirms fingerprint hits *)
+  grounds : (int, Asp.Program.t * Asp.Grounder.ground_program) Lru.t;
+      (** induced-program fingerprint -> (program, its grounding) *)
+  mu : Mutex.t;  (** guards both tiers and the stat mirror *)
+  mutable d_hits : int;
+  mutable d_misses : int;
+  mutable g_hits : int;
+  mutable g_misses : int;
+}
+
+let create ?(config = Config.default) gpm =
+  ignore (Lazy.force counters);
+  {
+    gpm;
+    cfg = config;
+    memo = Lru.create ~capacity:config.decision_cache ();
+    grounds = Lru.create ~capacity:config.ground_cache ();
+    mu = Mutex.create ();
+    d_hits = 0;
+    d_misses = 0;
+    g_hits = 0;
+    g_misses = 0;
+  }
+
+let gpm t = t.gpm
+let config t = t.cfg
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let set_gpm t gpm =
+  if Asg.Gpm.version gpm <> Asg.Gpm.version t.gpm then begin
+    t.gpm <- gpm;
+    (* the version key already makes old entries unreachable; clearing
+       reclaims their memory immediately (adaptation is rare, requests
+       are not) *)
+    locked t (fun () -> Lru.clear t.memo)
+  end
+
+let invalidate t =
+  locked t (fun () ->
+      Lru.clear t.memo;
+      Lru.clear t.grounds)
+
+let stats t =
+  locked t (fun () ->
+      {
+        decisions =
+          {
+            hits = t.d_hits;
+            misses = t.d_misses;
+            evictions = Lru.evictions t.memo;
+            entries = Lru.length t.memo;
+            cap = Lru.capacity t.memo;
+          };
+        grounds =
+          {
+            hits = t.g_hits;
+            misses = t.g_misses;
+            evictions = Lru.evictions t.grounds;
+            entries = Lru.length t.grounds;
+            cap = Lru.capacity t.grounds;
+          };
+      })
+
+(** Grounding of [p] through the fingerprint-keyed cache. Sets [hit]
+    when the cached core was reused. *)
+let ground_cached t (p : Asp.Program.t) ~(hit : bool ref) :
+    Asp.Grounder.ground_program =
+  let c = Lazy.force counters in
+  let fp = Asp.Program.fingerprint p in
+  let core = locked t (fun () -> Lru.find t.grounds fp) in
+  match core with
+  | Some (p0, gp) when Asp.Program.equal p0 p ->
+    locked t (fun () -> t.g_hits <- t.g_hits + 1);
+    Obs.Counter.incr c.cg_hits;
+    hit := true;
+    gp
+  | _ ->
+    (* miss, or a fingerprint collision: ground_with re-confirms and
+       falls back to grounding either way *)
+    let gp = Asp.Grounder.ground_with ?core p in
+    locked t (fun () ->
+        t.g_misses <- t.g_misses + 1;
+        match Lru.add t.grounds fp (p, gp) with
+        | Some _ -> Obs.Counter.incr c.cg_evictions
+        | None -> ());
+    Obs.Counter.incr c.cg_misses;
+    gp
+
+(** One option's membership check, [s ∈ L(G(C))], on cached ground
+    programs: parse, induce each tree's program, solve the cached
+    grounding — stopping at the first satisfiable tree, like
+    {!Asg.Membership.accepts_in_context}. *)
+let accepts_cached t (g_ctx : Asg.Gpm.t) (opt : string) ~(hit : bool ref) :
+    bool =
+  let tokens = Asg.Membership.tokenize opt in
+  let trees = Grammar.Earley.parses (Asg.Gpm.cfg g_ctx) tokens in
+  List.exists
+    (fun tree ->
+      let p = Asg.Tree_program.program g_ctx tree in
+      Asp.Solver.has_answer_set_ground (ground_cached t p ~hit))
+    trees
+
+let decide t (req : Request.t) : Response.t =
+  let c = Lazy.force counters in
+  Obs.span "serve.decide"
+    ~attrs:[ ("options", string_of_int (List.length req.options)) ]
+  @@ fun () ->
+  Obs.Counter.incr c.c_requests;
+  let t0 = Obs.now () in
+  if req.options = [] then raise No_options;
+  let gpm = t.gpm in
+  let version = Asg.Gpm.version gpm in
+  let key = (version, Asp.Program.fingerprint req.context, req.options) in
+  let memo = locked t (fun () -> Lru.find t.memo key) in
+  let decision, provenance =
+    match memo with
+    | Some (ctx0, d) when Asp.Program.equal ctx0 req.context ->
+      locked t (fun () -> t.d_hits <- t.d_hits + 1);
+      Obs.Counter.incr c.cd_hits;
+      (d, Memo_hit)
+    | _ ->
+      locked t (fun () -> t.d_misses <- t.d_misses + 1);
+      Obs.Counter.incr c.cd_misses;
+      let g_ctx = Asg.Gpm.with_context gpm req.context in
+      let ground_hit = ref false in
+      let d =
+        decide_core req.options
+          ~membership:(accepts_cached t g_ctx ~hit:ground_hit)
+      in
+      locked t (fun () ->
+          match Lru.add t.memo key (req.context, d) with
+          | Some _ -> Obs.Counter.incr c.cd_evictions
+          | None -> ());
+      (d, if !ground_hit then Ground_hit else Cold)
+  in
+  let latency = Obs.now () -. t0 in
+  Obs.set_attr "provenance" (provenance_to_string provenance);
+  {
+    Response.decision;
+    provenance;
+    latency;
+    gpm_version = version;
+    deadline_missed =
+      (match req.deadline with Some d -> latency > d | None -> false);
+  }
+
+module Batch = struct
+  (* Higher priority first; ties broken by input position so the
+     schedule (not just the output) is deterministic. *)
+  let schedule (arr : Request.t array) : int array =
+    let order = Array.init (Array.length arr) Fun.id in
+    Array.sort
+      (fun i j ->
+        let c =
+          Int.compare arr.(j).Request.priority arr.(i).Request.priority
+        in
+        if c <> 0 then c else Int.compare i j)
+      order;
+    order
+
+  let run ?pool t (reqs : Request.t list) : Response.t list =
+    match reqs with
+    | [] -> []
+    | _ ->
+      Obs.span "serve.batch"
+        ~attrs:[ ("requests", string_of_int (List.length reqs)) ]
+      @@ fun () ->
+      let pool = match pool with Some p -> p | None -> Par.Config.pool () in
+      let arr = Array.of_list reqs in
+      let order = schedule arr in
+      let scheduled = Array.map (fun i -> arr.(i)) order in
+      let results = Par.parallel_map pool (fun req -> decide t req) scheduled in
+      let out = Array.make (Array.length arr) results.(0) in
+      Array.iteri (fun k i -> out.(i) <- results.(k)) order;
+      Array.to_list out
+end

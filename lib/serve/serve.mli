@@ -1,0 +1,162 @@
+(** The policy-decision serving layer: a request/response engine over a
+    generative policy model ({!Asg.Gpm}) that makes repeated decisions
+    fast with two cache tiers.
+
+    {2 Decision semantics}
+
+    A request carries a context and candidate options in preference
+    order. The decision is the first option admitted by the model in
+    that context ([s ∈ L(G(C))]); when the model admits none, the last
+    option is returned as a flagged fail-safe. Cached and uncached paths
+    return bit-identical decisions — caches only change latency, never
+    outcomes (pinned by the differential property tests).
+
+    {2 Cache tiers}
+
+    - {b Ground-program cache}: each membership check induces an ASP
+      program from a parse tree under the context; its grounding is
+      cached keyed by {!Asp.Program.fingerprint} (hits confirmed with
+      {!Asp.Program.equal}) and reused through
+      {!Asp.Grounder.ground_with} + {!Asp.Solver.has_answer_set_ground}.
+      Keys do not mention the model version: a structurally recurring
+      program stays warm across adaptations.
+    - {b Decision memo}: whole decisions keyed by (GPM version, context
+      fingerprint, options). {!Asg.Gpm.version} is bumped by every
+      [with_context]/[with_hypothesis]/adaptation, so stale entries are
+      unreachable by construction; {!set_gpm} additionally clears the
+      memo explicitly when the model changes, and {!invalidate} drops
+      both tiers.
+
+    Both tiers use LRU eviction ({!Lru}) and report hit/miss/eviction
+    counters plus latency histograms through [lib/obs] (spans
+    [serve.decide] / [serve.batch], counters [serve.*]). *)
+
+module Lru = Lru
+
+exception No_options
+(** Raised by {!decide}/{!decide_uncached} on a request with an empty
+    options list — there is nothing to decide and no fail-safe to fall
+    back to. *)
+
+module Request : sig
+  type t = {
+    context : Asp.Program.t;  (** the facts/rules the decision is made in *)
+    options : string list;
+        (** candidate decisions in preference order; last is the
+            fail-safe *)
+    priority : int;
+        (** batch scheduling priority (higher first); does not affect
+            the decision *)
+    deadline : float option;
+        (** latency budget in seconds; exceeding it is only {e reported}
+            (via {!Response.t.deadline_missed}), never enforced *)
+  }
+
+  val make :
+    ?priority:int ->
+    ?deadline:float ->
+    context:Asp.Program.t ->
+    options:string list ->
+    unit ->
+    t
+end
+
+module Decision : sig
+  (** The single decision payload of the serving API — also re-exported
+      as [Agenp.Decision] and folded into the PDP/PEP surfaces. *)
+  type t = {
+    chosen : string;
+    valid_options : string list;
+        (** every option the model admits, in preference order *)
+    fallback_used : bool;  (** the model admitted nothing *)
+    compliant : bool option;
+        (** monitoring verdict, filled in at enforcement time; [None]
+            until the PEP has seen the decision *)
+  }
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Where a response came from. *)
+type provenance =
+  | Cold  (** full membership evaluation, no cache helped *)
+  | Ground_hit  (** decision recomputed, but on cached ground programs *)
+  | Memo_hit  (** whole decision served from the memo *)
+
+val provenance_to_string : provenance -> string
+
+module Response : sig
+  type t = {
+    decision : Decision.t;
+    provenance : provenance;
+    latency : float;  (** seconds spent serving this request *)
+    gpm_version : int;  (** model version that made the decision *)
+    deadline_missed : bool;
+        (** latency exceeded the request's deadline (if any) *)
+  }
+end
+
+module Config : sig
+  type t = {
+    decision_cache : int;  (** decision-memo capacity (entries) *)
+    ground_cache : int;  (** ground-program cache capacity (entries) *)
+  }
+
+  (** 256 decisions, 512 ground programs. *)
+  val default : t
+end
+
+(** Per-tier cache statistics of one engine. *)
+type tier_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  cap : int;
+}
+
+type stats = { decisions : tier_stats; grounds : tier_stats }
+
+(** [hits / (hits + misses)]; 0 before any lookup. *)
+val hit_rate : tier_stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type t
+
+(** A fresh engine serving [gpm]. *)
+val create : ?config:Config.t -> Asg.Gpm.t -> t
+
+val gpm : t -> Asg.Gpm.t
+val config : t -> Config.t
+
+(** Swap the served model (e.g. after the PAdaP adapts). A version
+    change clears the decision memo — the explicit invalidation backing
+    the version-keyed one — and keeps the ground cache, whose
+    fingerprint keys are model-independent. *)
+val set_gpm : t -> Asg.Gpm.t -> unit
+
+(** Drop both cache tiers (statistics survive). *)
+val invalidate : t -> unit
+
+(** Serve one request through the caches. Thread-safe: the engine may be
+    shared across pool domains (cache state affects only speed, never
+    the decision). @raise No_options on an empty options list. *)
+val decide : t -> Request.t -> Response.t
+
+(** The cache-free reference path: evaluates membership directly through
+    {!Asg.Membership}. The differential oracle for the cached engine.
+    @raise No_options on an empty options list. *)
+val decide_uncached : Asg.Gpm.t -> Request.t -> Decision.t
+
+val stats : t -> stats
+
+module Batch : sig
+  (** Fan a batch across [pool] (default {!Par.Config.pool}), scheduling
+      higher-priority requests first, and return responses in {e input}
+      order. Decisions are deterministic at every pool size — each
+      request is evaluated in isolation and caches never change
+      outcomes; provenance and latency naturally vary with scheduling. *)
+  val run : ?pool:Par.t -> t -> Request.t list -> Response.t list
+end

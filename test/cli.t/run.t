@@ -174,3 +174,79 @@ Unwritable output paths are reported as errors, not backtraces:
   $ agenp pipeline --requests 2 --log /nonexistent/x.jsonl 2>&1 >/dev/null
   agenp: /nonexistent/x.jsonl: No such file or directory
   [2]
+
+The serve subcommand answers decision requests through the two-tier
+caching engine: requests are 'options | context' lines, repeats come
+back from the decision memo, and --stats shows both tiers. The engine's
+span and counters flow through the observability report like everything
+else:
+
+  $ cat > requests.txt <<'REQ'
+  > accept reject | weather(snow).
+  > accept reject | weather(sun).
+  > accept reject | weather(snow).
+  > REQ
+  $ agenp serve learned.asg requests.txt --repeat 2 --stats
+  reject [cold]
+  accept [cold]
+  reject [memo]
+  reject [memo]
+  accept [memo]
+  reject [memo]
+  decisions: 2/256 entries, 4 hit(s), 2 miss(es), 0 eviction(s), rate 0.67
+  grounds:   4/512 entries, 0 hit(s), 4 miss(es), 0 eviction(s), rate 0.00
+  $ agenp serve learned.asg requests.txt --report | sed -E 's/ +[0-9]+\.[0-9]+//g; s/ +[0-9]+/ N/g'
+  reject [cold]
+  accept [cold]
+  reject [memo]
+  span                                    count    total(s)     mean(s)      p50(s)      p90(s)      p99(s)      max(s)
+  asp.ground N
+  asp.solve N
+  serve.decide N
+  
+  counter                                   value
+  asg.hypothesis_evals N
+  asp.ground.calls N
+  asp.ground.delta_rounds N
+  asp.ground.join_tuples N
+  asp.ground.possible_atoms N
+  asp.ground.rules N
+  asp.solve.calls N
+  asp.solve.conflicts N
+  asp.solve.decisions N
+  asp.solve.gl_checks N
+  asp.solve.models N
+  asp.solve.propagations N
+  ilp.candidate_evals N
+  ilp.hypothesis_evals N
+  ilp.search_nodes N
+  ilp.witnesses_truncated N
+  serve.decision_cache.evictions N
+  serve.decision_cache.hits N
+  serve.decision_cache.misses N
+  serve.ground_cache.evictions N
+  serve.ground_cache.hits N
+  serve.ground_cache.misses N
+  serve.requests N
+
+Batched serving fans across the domain pool but still prints decisions
+in input order:
+
+  $ agenp serve learned.asg requests.txt --batch --domains 2
+  reject
+  accept
+  reject
+
+A request line without options is a positioned input error:
+
+  $ echo ' | weather(snow).' > bad-requests.txt
+  $ agenp serve learned.asg bad-requests.txt
+  agenp: bad-requests.txt:1: no options on line
+  [2]
+
+The pipeline routed through the serving engine (--serve) is
+output-identical to the uncached run — caches change latency, never
+decisions:
+
+  $ agenp pipeline --requests 20 --serve
+  20 request(s), compliance 0.650, 1 adaptation(s), 1 rule(s) learned

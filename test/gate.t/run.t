@@ -3,11 +3,11 @@ spending any time measuring, so malformed input fails fast with exit 2.
 
   $ agenp-bench gate --frobnicate
   bench gate: unknown argument: --frobnicate
-  usage: bench gate [--tolerance F] [--quota SEC] [--runs N] [--baseline-asp FILE] [--baseline-par FILE] [--skip-par] [--rebaseline]
+  usage: bench gate [--tolerance F] [--quota SEC] [--runs N] [--baseline-asp FILE] [--baseline-par FILE] [--baseline-serve FILE] [--skip-par] [--skip-serve] [--rebaseline]
   [2]
   $ agenp-bench gate --tolerance nope
   bench gate: bad --tolerance: nope
-  usage: bench gate [--tolerance F] [--quota SEC] [--runs N] [--baseline-asp FILE] [--baseline-par FILE] [--skip-par] [--rebaseline]
+  usage: bench gate [--tolerance F] [--quota SEC] [--runs N] [--baseline-asp FILE] [--baseline-par FILE] [--baseline-serve FILE] [--skip-par] [--skip-serve] [--rebaseline]
   [2]
   $ agenp-bench gate --baseline-asp missing.json
   bench gate: missing.json: No such file or directory
@@ -28,10 +28,11 @@ normalize every number and collapse the column padding:
   $ cat > loose.json <<'JSON'
   > {"schema": "bench-asp/1", "current_ns_per_run": {"asp-parse": 1000000000000}}
   > JSON
-  $ agenp-bench gate --baseline-asp loose.json --skip-par --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   asp-parse N ns -> N ns (Nx) ok
   par: skipped
+  serve: skipped
   bench gate: PASS
 
 An artificially tightened baseline demonstrably fails with exit 1:
@@ -39,12 +40,13 @@ An artificially tightened baseline demonstrably fails with exit 1:
   $ cat > tight.json <<'JSON'
   > {"schema": "bench-asp/1", "current_ns_per_run": {"asp-parse": 1}}
   > JSON
-  $ agenp-bench gate --baseline-asp tight.json --skip-par --quota 0.05 --runs 1 > out.txt
+  $ agenp-bench gate --baseline-asp tight.json --skip-par --skip-serve --quota 0.05 --runs 1 > out.txt
   [1]
   $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   asp-parse N ns -> N ns (Nx) REGRESSION
   par: skipped
+  serve: skipped
   bench gate: FAIL (N regression(s) beyond N%)
 
 A baseline naming a bench that no longer exists means the snapshot is
@@ -53,10 +55,55 @@ stale, which is neither a pass nor a regression:
   $ cat > stale.json <<'JSON'
   > {"schema": "bench-asp/1", "current_ns_per_run": {"no-such-bench": 5}}
   > JSON
-  $ agenp-bench gate --baseline-asp stale.json --skip-par --quota 0.05 --runs 1 > out.txt 2>&1
+  $ agenp-bench gate --baseline-asp stale.json --skip-par --skip-serve --quota 0.05 --runs 1 > out.txt 2>&1
   [2]
   $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   no-such-bench N ns baseline, no current measurement MISSING
   par: skipped
+  serve: skipped
   bench gate: N baseline bench(es) have no current counterpart — stale baseline?
+
+The serve baseline is validated the same way: a wrong schema or an
+unsound committed snapshot fails before any measurement.
+
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --baseline-serve wrong-schema.json
+  bench gate: bad baseline: unexpected schema "bench-par/1"
+  [2]
+  $ cat > serve-bad.json <<'JSON'
+  > {"schema": "bench-serve/1", "decision_cache": {"hit_rate": 0.5}, "identical_outcome": false}
+  > JSON
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --baseline-serve serve-bad.json --quota 0.05 --runs 1 > out.txt
+  [1]
+  $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
+  bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
+  asp-parse N ns -> N ns (Nx) ok
+  par: skipped
+  serve: committed snapshot has identical_outcome=false FAIL
+  bench gate: FAIL (N regression(s) beyond N%; serve caches unsound)
+
+A committed snapshot whose caches never hit measured nothing:
+
+  $ cat > serve-nohit.json <<'JSON'
+  > {"schema": "bench-serve/1", "decision_cache": {"hit_rate": 0.0}, "identical_outcome": true}
+  > JSON
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --baseline-serve serve-nohit.json --quota 0.05 --runs 1 > out.txt
+  [1]
+  $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
+  bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
+  asp-parse N ns -> N ns (Nx) ok
+  par: skipped
+  serve: committed snapshot has warm hit rate N — caches never engaged FAIL
+  bench gate: FAIL (N regression(s) beyond N%; serve caches unsound)
+
+A sound snapshot passes the live cached-vs-uncached re-check:
+
+  $ cat > serve-ok.json <<'JSON'
+  > {"schema": "bench-serve/1", "decision_cache": {"hit_rate": 0.5}, "identical_outcome": true}
+  > JSON
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --baseline-serve serve-ok.json --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
+  bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
+  asp-parse N ns -> N ns (Nx) ok
+  par: skipped
+  serve: cached vs uncached decisions: identical (warm hit rate N)
+  bench gate: PASS

@@ -1,0 +1,339 @@
+(* Tests for the decision-serving layer: the LRU eviction policy, the
+   typed No_options error, cache provenance and invalidation, the
+   cached-equals-uncached differential property, and batch determinism
+   across pool sizes. *)
+
+(* ---- fixtures --------------------------------------------------------- *)
+
+(* the weather grammar of the CLI cram test: accept is forbidden in snow *)
+let snow_grammar =
+  {| start -> decision { :- result(accept)@1, weather(snow). }
+     decision -> "accept" { result(accept). }
+     decision -> "reject" { result(reject). } |}
+
+(* a stricter variant: accept is only admitted in sun *)
+let sun_only_grammar =
+  {| start -> decision { :- result(accept)@1, not weather(sun). }
+     decision -> "accept" { result(accept). }
+     decision -> "reject" { result(reject). } |}
+
+(* no constraints at all: everything is admitted *)
+let free_grammar =
+  {| start -> decision
+     decision -> "accept" { result(accept). }
+     decision -> "reject" { result(reject). } |}
+
+let gpm_of text = Asg.Asg_parser.parse text
+let ctx text = Asp.Parser.parse_program text
+
+let snow = ctx "weather(snow)."
+let sun = ctx "weather(sun)."
+let fog = ctx "weather(fog)."
+
+let request ?priority ?deadline context options =
+  Serve.Request.make ?priority ?deadline ~context ~options ()
+
+let decision_t =
+  Alcotest.testable Serve.Decision.pp Serve.Decision.equal
+
+(* ---- LRU -------------------------------------------------------------- *)
+
+let test_lru_eviction_order () =
+  let l = Serve.Lru.create ~capacity:3 () in
+  Alcotest.(check (option string)) "no eviction" None (Serve.Lru.add l "a" 1);
+  ignore (Serve.Lru.add l "b" 2);
+  ignore (Serve.Lru.add l "c" 3);
+  Alcotest.(check (list string))
+    "newest first" [ "c"; "b"; "a" ]
+    (Serve.Lru.keys_newest_first l);
+  (* a hit promotes: "a" becomes newest, "b" becomes the LRU *)
+  Alcotest.(check (option int)) "find a" (Some 1) (Serve.Lru.find l "a");
+  Alcotest.(check (option string))
+    "b evicted, not a" (Some "b")
+    (Serve.Lru.add l "d" 4);
+  Alcotest.(check (list string))
+    "order after eviction" [ "d"; "a"; "c" ]
+    (Serve.Lru.keys_newest_first l);
+  Alcotest.(check int) "one eviction" 1 (Serve.Lru.evictions l);
+  Alcotest.(check bool) "b gone" false (Serve.Lru.mem l "b")
+
+let test_lru_replace_promotes () =
+  let l = Serve.Lru.create ~capacity:2 () in
+  ignore (Serve.Lru.add l "a" 1);
+  ignore (Serve.Lru.add l "b" 2);
+  (* replacing "a" promotes it, so the next eviction takes "b" *)
+  Alcotest.(check (option string)) "replace, no eviction" None
+    (Serve.Lru.add l "a" 10);
+  Alcotest.(check (option int)) "replaced value" (Some 10)
+    (Serve.Lru.find l "a");
+  Alcotest.(check (option string)) "b evicted" (Some "b")
+    (Serve.Lru.add l "c" 3)
+
+let test_lru_clear () =
+  let l = Serve.Lru.create ~capacity:1 () in
+  ignore (Serve.Lru.add l 1 "x");
+  ignore (Serve.Lru.add l 2 "y");
+  Alcotest.(check int) "eviction counted" 1 (Serve.Lru.evictions l);
+  Serve.Lru.clear l;
+  Alcotest.(check int) "empty" 0 (Serve.Lru.length l);
+  Alcotest.(check int) "evictions reset" 0 (Serve.Lru.evictions l);
+  Alcotest.(check (list int)) "no keys" [] (Serve.Lru.keys_newest_first l);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (Serve.Lru.create ~capacity:0 ()))
+
+(* ---- structural hashing / pre-grounded cores -------------------------- *)
+
+let test_fingerprint () =
+  let p1 = ctx "p(1). q(X) :- p(X)." in
+  let p2 = ctx "p(1). q(X) :- p(X)." in
+  let p3 = ctx "p(2). q(X) :- p(X)." in
+  Alcotest.(check bool) "equal programs" true (Asp.Program.equal p1 p2);
+  Alcotest.(check bool)
+    "equal fingerprints" true
+    (Asp.Program.fingerprint p1 = Asp.Program.fingerprint p2);
+  Alcotest.(check bool) "different programs" false (Asp.Program.equal p1 p3);
+  Alcotest.(check bool)
+    "different fingerprints" false
+    (Asp.Program.fingerprint p1 = Asp.Program.fingerprint p3)
+
+let test_ground_with () =
+  let p = ctx "p(1). p(2). q(X) :- p(X)." in
+  let gp = Asp.Grounder.ground p in
+  (* matching core: returned unchanged, no regrounding *)
+  let gp' = Asp.Grounder.ground_with ~core:(p, gp) p in
+  Alcotest.(check bool) "core reused" true (gp == gp');
+  (* mismatched core: falls back to grounding the real program *)
+  let q = ctx "p(3). q(X) :- p(X)." in
+  let gq = Asp.Grounder.ground_with ~core:(p, gp) q in
+  Alcotest.(check bool) "mismatch reground" false (gq == gp);
+  Alcotest.(check int)
+    "same as direct grounding"
+    (Asp.Grounder.size (Asp.Grounder.ground q))
+    (Asp.Grounder.size gq)
+
+(* ---- No_options ------------------------------------------------------- *)
+
+let test_no_options () =
+  let gpm = gpm_of snow_grammar in
+  Alcotest.check_raises "uncached" Serve.No_options (fun () ->
+      ignore (Serve.decide_uncached gpm (request sun [])));
+  let engine = Serve.create gpm in
+  Alcotest.check_raises "engine" Serve.No_options (fun () ->
+      ignore (Serve.decide engine (request sun [])));
+  (* the PDP surfaces the same typed error (regression: this used to be
+     an untyped Invalid_argument) *)
+  Alcotest.check_raises "pdp" Agenp.Pdp.No_options (fun () ->
+      ignore (Agenp.Pdp.decide gpm ~context:sun ~options:[]))
+
+(* ---- provenance and invalidation -------------------------------------- *)
+
+let prov = function
+  | Serve.Cold -> "cold"
+  | Serve.Ground_hit -> "ground"
+  | Serve.Memo_hit -> "memo"
+
+let test_provenance () =
+  let engine = Serve.create (gpm_of snow_grammar) in
+  let req = request snow [ "accept"; "reject" ] in
+  let r1 = Serve.decide engine req in
+  Alcotest.(check string) "first is cold" "cold" (prov r1.Serve.Response.provenance);
+  Alcotest.(check string) "snow rejects" "reject"
+    r1.Serve.Response.decision.Serve.Decision.chosen;
+  let r2 = Serve.decide engine req in
+  Alcotest.(check string) "second is memo" "memo" (prov r2.Serve.Response.provenance);
+  Alcotest.check decision_t "identical decision" r1.Serve.Response.decision
+    r2.Serve.Response.decision;
+  (* a different options list misses the memo but reuses the ground
+     programs induced for the shared options *)
+  let r3 = Serve.decide engine (request snow [ "accept" ]) in
+  Alcotest.(check string) "ground tier hit" "ground"
+    (prov r3.Serve.Response.provenance);
+  Alcotest.(check bool) "accept is the fail-safe here" true
+    r3.Serve.Response.decision.Serve.Decision.fallback_used;
+  let st = Serve.stats engine in
+  Alcotest.(check bool) "memo hits counted" true
+    (st.Serve.decisions.Serve.hits > 0);
+  Alcotest.(check bool) "ground hits counted" true
+    (st.Serve.grounds.Serve.hits > 0);
+  (* invalidate drops both tiers: the same request is cold again *)
+  Serve.invalidate engine;
+  let r4 = Serve.decide engine req in
+  Alcotest.(check string) "cold after invalidate" "cold"
+    (prov r4.Serve.Response.provenance);
+  Alcotest.check decision_t "still the same decision" r1.Serve.Response.decision
+    r4.Serve.Response.decision
+
+let test_set_gpm_invalidates () =
+  let g_snow = gpm_of snow_grammar in
+  let g_free = gpm_of free_grammar in
+  let engine = Serve.create g_snow in
+  let req = request snow [ "accept"; "reject" ] in
+  Alcotest.(check string) "snow model rejects" "reject"
+    (Serve.decide engine req).Serve.Response.decision.Serve.Decision.chosen;
+  Serve.set_gpm engine g_free;
+  let r = Serve.decide engine req in
+  Alcotest.(check string) "fresh model's decision, not the memo's" "accept"
+    r.Serve.Response.decision.Serve.Decision.chosen;
+  Alcotest.(check bool) "new model version reported" true
+    (r.Serve.Response.gpm_version = Asg.Gpm.version g_free);
+  (* versions also change through derivation: with_hypothesis on the
+     served model must never replay its memo entries *)
+  Alcotest.(check bool) "derivations bump versions" false
+    (Asg.Gpm.version g_snow = Asg.Gpm.version (Asg.Gpm.with_context g_snow snow))
+
+(* ---- the differential property ---------------------------------------- *)
+
+(* Random op sequences against one engine with deliberately tiny caches
+   (so evictions happen constantly), with every decision checked against
+   the cache-free reference on the same model. Ops: decide on a random
+   (context, options), swap the served model, drop the caches. *)
+let differential_prop =
+  let models =
+    [| gpm_of snow_grammar; gpm_of sun_only_grammar; gpm_of free_grammar |]
+  in
+  let contexts = [| snow; sun; fog; Asp.Program.empty |] in
+  let option_sets =
+    [| [ "accept"; "reject" ]; [ "reject"; "accept" ]; [ "accept" ]; [ "reject" ] |]
+  in
+  let gen_op =
+    QCheck2.Gen.(
+      frequency
+        [
+          ( 6,
+            map2
+              (fun c o -> `Decide (c, o))
+              (int_bound (Array.length contexts - 1))
+              (int_bound (Array.length option_sets - 1)) );
+          (1, map (fun m -> `Set_gpm m) (int_bound (Array.length models - 1)));
+          (1, return `Invalidate);
+        ])
+  in
+  QCheck2.Test.make ~name:"cached decisions = uncached, under churn" ~count:40
+    QCheck2.Gen.(list_size (int_range 5 25) gen_op)
+    (fun ops ->
+      let engine =
+        Serve.create
+          ~config:{ Serve.Config.decision_cache = 4; ground_cache = 4 }
+          models.(0)
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Set_gpm m ->
+            Serve.set_gpm engine models.(m);
+            true
+          | `Invalidate ->
+            Serve.invalidate engine;
+            true
+          | `Decide (c, o) ->
+            let req = request contexts.(c) option_sets.(o) in
+            let cached = (Serve.decide engine req).Serve.Response.decision in
+            let reference = Serve.decide_uncached (Serve.gpm engine) req in
+            Serve.Decision.equal cached reference)
+        ops)
+
+(* ---- batch determinism ------------------------------------------------ *)
+
+let batch_requests () =
+  (* priorities deliberately shuffled; decisions must come back in input
+     order at every pool size *)
+  [
+    request ~priority:1 snow [ "accept"; "reject" ];
+    request ~priority:5 sun [ "accept"; "reject" ];
+    request ~priority:3 fog [ "accept"; "reject" ];
+    request ~priority:5 snow [ "reject"; "accept" ];
+    request ~priority:0 sun [ "reject" ];
+    request ~priority:2 snow [ "accept"; "reject" ];
+  ]
+
+let test_batch_determinism () =
+  let gpm = gpm_of sun_only_grammar in
+  let reqs = batch_requests () in
+  let reference = List.map (Serve.decide_uncached gpm) reqs in
+  List.iter
+    (fun domains ->
+      let pool = Par.create ~domains () in
+      let engine = Serve.create gpm in
+      let batched =
+        List.map
+          (fun (r : Serve.Response.t) -> r.Serve.Response.decision)
+          (Serve.Batch.run ~pool engine reqs)
+      in
+      Par.shutdown pool;
+      Alcotest.(check (list decision_t))
+        (Printf.sprintf "input order preserved at %d domain(s)" domains)
+        reference batched)
+    [ 1; 2; 4 ];
+  (* an empty batch is a no-op, not a pool round-trip *)
+  let engine = Serve.create gpm in
+  Alcotest.(check int) "empty batch" 0
+    (List.length (Serve.Batch.run engine []))
+
+(* ---- the simulation opt-in -------------------------------------------- *)
+
+(* Reuses the CAV closed-loop fixture of test_agenp: the simulation with
+   a serving engine attached must trace the exact same timeline as the
+   uncached run (decisions, adaptations, everything). *)
+let test_simulation_serve_config () =
+  let spec : Agenp.Prep.pbms_spec =
+    {
+      Agenp.Prep.grammar_text = snow_grammar;
+      global_constraints = [];
+    }
+  in
+  let space = Ilp.Hypothesis_space.generate (Workloads.Cav.modes ()) in
+  let env : Agenp.Ams.environment =
+    {
+      Agenp.Ams.options = [ "accept"; "reject" ];
+      oracle = (fun context _opt -> Asp.Program.equal context snow);
+      audit_rate = 0.0;
+    }
+  in
+  let stream _name tick i = if (tick + i) mod 2 = 0 then snow else sun in
+  let config =
+    { Agenp.Simulation.default_config with ticks = 4; gossip_every = None }
+  in
+  let timeline serve_config =
+    let ams = Agenp.Ams.create ~name:"m" ~seed:3 ~spec ~space env in
+    let r =
+      Agenp.Simulation.run ?serve_config config [ ams ]
+        ~request_stream:stream
+    in
+    List.map
+      (fun (t : Agenp.Simulation.tick_stats) -> (t.tick, t.compliance))
+      r.Agenp.Simulation.timeline
+  in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "same timeline with and without the engine" (timeline None)
+    (timeline (Some Serve.Config.default))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "replace promotes" `Quick test_lru_replace_promotes;
+          Alcotest.test_case "clear" `Quick test_lru_clear;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "program fingerprint" `Quick test_fingerprint;
+          Alcotest.test_case "ground_with core" `Quick test_ground_with;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "no options" `Quick test_no_options;
+          Alcotest.test_case "provenance" `Quick test_provenance;
+          Alcotest.test_case "set_gpm invalidates" `Quick test_set_gpm_invalidates;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest differential_prop ]);
+      ( "batch",
+        [ Alcotest.test_case "determinism" `Quick test_batch_determinism ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "serve_config opt-in" `Quick
+            test_simulation_serve_config;
+        ] );
+    ]
