@@ -985,8 +985,8 @@ let serve_requests ~n ~seed () : Serve.Request.t list =
 (** The gate's quick form of the serve differential: cached decisions
     must be bit-identical to the uncached reference on a small XACML
     workload, and the second pass must actually hit the memo. Returns
-    (identical, decision-cache hit rate). *)
-let serve_cached_identical () : bool * float =
+    (identical, decision-cache hit rate, ground-cache hit rate). *)
+let serve_cached_identical () : bool * float * float =
   let gpm = Workloads.Xacml_logs.gpm () in
   let reqs = serve_requests ~n:12 ~seed:7 () in
   let uncached = List.map (Serve.decide_uncached gpm) reqs in
@@ -1001,7 +1001,7 @@ let serve_cached_identical () : bool * float =
     && List.for_all2 Serve.Decision.equal uncached pass2
   in
   let st = Serve.stats engine in
-  (identical, Serve.hit_rate st.Serve.decisions)
+  (identical, Serve.hit_rate st.Serve.decisions, Serve.hit_rate st.Serve.grounds)
 
 let serve ~quick () =
   section "SERVE  Decision serving: cold vs warm vs batched throughput";

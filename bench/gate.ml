@@ -97,14 +97,19 @@ let load_par_identical path : bool =
 
 (* the committed serve snapshot: the cached-equals-uncached invariant and
    the warm decision-cache hit rate (which must be strictly positive —
-   a snapshot whose caches never hit measured nothing) *)
-let load_serve_baseline path : bool * float =
+   a snapshot whose caches never hit measured nothing). The ground-tier
+   rate is optional: snapshots predating per-tier reporting lack the
+   "ground_cache" member. *)
+let load_serve_baseline path : bool * float * float option =
   let j = read_json path in
   (match Obs.Json.(to_str (member "schema" j)) with
   | "bench-serve/1" -> ()
   | other -> failwith (Printf.sprintf "unexpected schema %S" other));
   ( Obs.Json.(to_bool (member "identical_outcome" j)),
-    Obs.Json.(to_num (member "hit_rate" (member "decision_cache" j))) )
+    Obs.Json.(to_num (member "hit_rate" (member "decision_cache" j))),
+    Obs.Json.(
+      Option.map (fun g -> to_num (member "hit_rate" g))
+        (member_opt "ground_cache" j)) )
 
 let rebaseline o =
   Fmt.pr "bench gate: re-capturing BENCH_asp.json (quota %.2fs, min of %d \
@@ -190,7 +195,7 @@ let run args =
       | None ->
         Fmt.pr "serve: skipped@.";
         true
-      | Some (committed_identical, committed_hit_rate) ->
+      | Some (committed_identical, committed_hit_rate, committed_ground_rate) ->
         if not committed_identical then begin
           Fmt.pr
             "serve: committed snapshot has identical_outcome=false  FAIL@.";
@@ -203,11 +208,34 @@ let run args =
           false
         end
         else begin
-          let identical, hit_rate = Experiments.serve_cached_identical () in
-          Fmt.pr "serve: cached vs uncached decisions: %s (warm hit rate %.2f)@."
+          (match committed_ground_rate with
+          | Some r ->
+            Fmt.pr "serve: committed snapshot tier rates: decision %.2f, \
+                    ground %.2f@."
+              committed_hit_rate r
+          | None ->
+            Fmt.pr "serve: committed snapshot predates per-tier rates \
+                    (decision %.2f only)@."
+              committed_hit_rate);
+          let identical, decision_rate, ground_rate =
+            Experiments.serve_cached_identical ()
+          in
+          Fmt.pr
+            "serve: cached vs uncached decisions: %s (decision tier %.2f, \
+             ground tier %.2f)@."
             (if identical then "identical" else "DIFFERENT")
-            hit_rate;
-          identical && hit_rate > 0.0
+            decision_rate ground_rate;
+          (* zero-hit tiers are a coverage smell, not a failure: on the
+             quick differential the memo legitimately absorbs repeats
+             before the ground tier sees them *)
+          List.iter
+            (fun (tier, rate) ->
+              if rate <= 0.0 then
+                Fmt.pr "serve: WARNING: %s tier never hit on the quick \
+                        differential@."
+                  tier)
+            [ ("decision", decision_rate); ("ground", ground_rate) ];
+          identical && decision_rate > 0.0
         end
     in
     if !missing > 0 then begin

@@ -328,8 +328,18 @@ let parse_requests_file path : (string list * Asp.Program.t) list =
     Sequential serving prints each decision with its cache provenance
     (deterministic); [--batch] fans the request list across the domain
     pool and prints decisions only, in input order. [--repeat] replays
-    the request list, demonstrating the memo warming up. *)
-let serve_cmd obs grammar requests context repeat stats batch =
+    the request list, demonstrating the memo warming up.
+
+    The ops-plane flags: [--metrics-port] exposes /metrics over TCP
+    while the process runs (plus [--metrics-linger] to stay scrapeable
+    after the requests are served), [--metrics-once] prints the
+    OpenMetrics snapshot to stdout, [--stats-json] writes the schema'd
+    engine statistics, [--audit] exports the decision audit trail as
+    JSONL, and [--slo-target]/[--slo-objective]/[--slo-window]
+    configure the latency SLO the engine tracks. *)
+let serve_cmd obs grammar requests context repeat stats batch stats_json
+    audit_out metrics_port metrics_linger metrics_once slo_target
+    slo_objective slo_window =
   run obs @@ fun () ->
   let gpm = Asg.Asg_parser.parse (read_file grammar) in
   let base = load_context context in
@@ -338,7 +348,24 @@ let serve_cmd obs grammar requests context repeat stats batch =
     |> List.map (fun (options, ctx) ->
            Serve.Request.make ~context:(Asp.Program.append base ctx) ~options ())
   in
-  let engine = Serve.create gpm in
+  let config =
+    { Serve.Config.default with slo_target; slo_objective; slo_window }
+  in
+  let engine = Serve.create ~config gpm in
+  let server =
+    Option.map
+      (fun port ->
+        let s =
+          Serve.Metrics.start ~port
+            ~render:(fun () -> Serve.openmetrics engine)
+            ()
+        in
+        Fmt.epr "%% metrics: /metrics on port %d@." (Serve.Metrics.port s);
+        s)
+      metrics_port
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Serve.Metrics.stop server)
+  @@ fun () ->
   for _pass = 1 to repeat do
     if batch then
       List.iter
@@ -354,6 +381,127 @@ let serve_cmd obs grammar requests context repeat stats batch =
         reqs
   done;
   if stats then Fmt.pr "%a@." Serve.pp_stats (Serve.stats engine);
+  (match stats_json with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Serve.stats_to_json engine);
+    output_char oc '\n';
+    close_out oc;
+    Fmt.epr "%% stats: %s@." path
+  | None -> ());
+  (match (audit_out, Serve.audit engine) with
+  | Some path, Some ring ->
+    let records = Serve.Audit.to_list ring in
+    Serve.Audit.write_jsonl path records;
+    Fmt.epr "%% audit: %d record(s) -> %s@." (List.length records) path
+  | Some path, None -> Serve.Audit.write_jsonl path []
+  | None, _ -> ());
+  if metrics_once then print_string (Serve.openmetrics engine);
+  (match metrics_linger with
+  | Some sec when server <> None ->
+    Fmt.epr "%% metrics: lingering %gs@." sec;
+    Unix.sleepf sec
+  | _ -> ());
+  0
+
+(** Query/tail a decision audit trail exported with [serve --audit]. *)
+let audit_cmd obs file last trace_filter fallbacks json =
+  run obs @@ fun () ->
+  let records =
+    try Serve.Audit.read_jsonl file
+    with Obs.Json.Parse_error msg ->
+      raise (Cli_input_error (Printf.sprintf "%s: bad audit JSONL: %s" file msg))
+  in
+  let records =
+    match trace_filter with
+    | Some id ->
+      List.filter
+        (fun (r : Serve.Audit.record) -> String.equal r.trace_id id)
+        records
+    | None -> records
+  in
+  let records =
+    if fallbacks then
+      List.filter (fun (r : Serve.Audit.record) -> r.fallback_used) records
+    else records
+  in
+  let records =
+    match last with
+    | Some n ->
+      let len = List.length records in
+      List.filteri (fun i _ -> i >= len - n) records
+    | None -> records
+  in
+  if json then
+    List.iter
+      (fun r -> Fmt.pr "%s@." (Serve.Audit.record_to_json r))
+      records
+  else begin
+    List.iter
+      (fun (r : Serve.Audit.record) ->
+        Fmt.pr "%6d %s %s [%s]%s%s %.6fs@." r.seq r.trace_id r.chosen
+          r.provenance
+          (if r.fallback_used then " fallback" else "")
+          (match r.compliant with
+          | Some true -> " compliant"
+          | Some false -> " violation"
+          | None -> "")
+          r.latency)
+      records;
+    Fmt.pr "%% %d record(s)@." (List.length records)
+  end;
+  0
+
+(** Replay requests through an engine and print the rolling-window /
+    SLO view of the run — the live-ops counterpart of [serve --stats]. *)
+let monitor_cmd obs grammar requests context repeat slo_target slo_objective
+    slo_window =
+  run obs @@ fun () ->
+  let gpm = Asg.Asg_parser.parse (read_file grammar) in
+  let base = load_context context in
+  let reqs =
+    parse_requests_file requests
+    |> List.map (fun (options, ctx) ->
+           Serve.Request.make ~context:(Asp.Program.append base ctx) ~options ())
+  in
+  let config =
+    {
+      Serve.Config.default with
+      slo_target = Some slo_target;
+      slo_objective;
+      slo_window;
+    }
+  in
+  let engine = Serve.create ~config gpm in
+  for _pass = 1 to repeat do
+    List.iter (fun req -> ignore (Serve.decide engine req)) reqs
+  done;
+  let s = Serve.stats engine in
+  Fmt.pr "served %d request(s): memo rate %.2f, ground rate %.2f@."
+    (s.Serve.decisions.Serve.hits + s.Serve.decisions.Serve.misses)
+    (Serve.hit_rate s.Serve.decisions)
+    (Serve.hit_rate s.Serve.grounds);
+  (match Obs.Window.find "serve.decide" with
+  | Some w ->
+    Fmt.pr
+      "window serve.decide (last %.0fs): count %d, rate %.2f/s, p50 %.6fs, \
+       p90 %.6fs, p99 %.6fs@."
+      (Obs.Window.window_seconds w)
+      (Obs.Window.count w) (Obs.Window.rate w)
+      (Obs.Window.quantile w 0.50)
+      (Obs.Window.quantile w 0.90)
+      (Obs.Window.quantile w 0.99)
+  | None -> ());
+  (match Serve.slo engine with
+  | Some slo ->
+    let st = Obs.Slo.status slo in
+    Fmt.pr "slo serve.decide: target %.6fs, objective %.4f over %.0fs@."
+      st.Obs.Slo.slo_target st.Obs.Slo.slo_objective st.Obs.Slo.slo_window;
+    Fmt.pr
+      "    seen %d, breach(es) %d, compliance %.4f, burn %.2f, budget %.2f@."
+      st.Obs.Slo.window_total st.Obs.Slo.window_breaches st.Obs.Slo.compliance
+      st.Obs.Slo.burn_rate st.Obs.Slo.budget_remaining
+  | None -> ());
   0
 
 (** Drive the XACML request log through the full AGENP closed loop (PIP →
@@ -531,6 +679,24 @@ let context_opt =
   Arg.(value & opt (some file) None & info [ "context"; "c" ] ~docv:"FILE"
          ~doc:"ASP program providing the context facts/rules.")
 
+(* SLO flags shared by [serve] (optional target) and [monitor] (target
+   with a default — monitoring always tracks an SLO). *)
+let slo_target_opt =
+  Arg.(value & opt (some float) None & info [ "slo-target" ] ~docv:"SEC"
+         ~doc:"Track a latency SLO with this target in seconds; the \
+               engine records breaches, compliance and error-budget burn \
+               over the --slo-window.")
+
+let slo_objective_t =
+  Arg.(value & opt float 0.99 & info [ "slo-objective" ] ~docv:"FRAC"
+         ~doc:"Fraction of requests that must meet the SLO target \
+               (e.g. 0.99).")
+
+let slo_window_t =
+  Arg.(value & opt float 60.0 & info [ "slo-window" ] ~docv:"SEC"
+         ~doc:"Rolling window, in seconds, over which SLO compliance and \
+               burn rate are computed.")
+
 let solve_t =
   let models =
     Arg.(value & opt (some int) None & info [ "models"; "n" ] ~docv:"N"
@@ -629,6 +795,39 @@ let serve_t =
                  (--domains); decisions are printed in input order and \
                  are identical to sequential serving.")
   in
+  let stats_json =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write the engine statistics to FILE as one JSON object \
+                 (schema serve-stats/1: per-tier hits/misses/evictions/\
+                 entries/capacity/hit_rate, plus audit-ring occupancy).")
+  in
+  let audit_out =
+    Arg.(value & opt (some string) None & info [ "audit" ] ~docv:"FILE"
+           ~doc:"Export the decision audit trail to FILE as JSON Lines \
+                 (one record per served decision: seq, ts, trace, \
+                 context_fp, gpm_version, options, chosen, fallback_used, \
+                 compliant, provenance, latency_s). Query it with \
+                 'agenp audit'.")
+  in
+  let metrics_port =
+    Arg.(value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT"
+           ~doc:"Serve the OpenMetrics exposition at \
+                 http://127.0.0.1:PORT/metrics for the lifetime of the \
+                 run (PORT 0 picks an ephemeral port; the bound port is \
+                 printed to stderr).")
+  in
+  let metrics_linger =
+    Arg.(value & opt (some float) None & info [ "metrics-linger" ] ~docv:"SEC"
+           ~doc:"After serving, keep the process (and the --metrics-port \
+                 endpoint) alive for SEC seconds so an external scraper \
+                 can collect the final exposition.")
+  in
+  let metrics_once =
+    Arg.(value & flag & info [ "metrics-once" ]
+           ~doc:"Print the OpenMetrics exposition to stdout once after \
+                 serving — the one-shot, no-TCP counterpart of \
+                 --metrics-port.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve decision requests from a file through the two-tier \
@@ -636,7 +835,57 @@ let serve_t =
              'opt1 opt2 ... | context-program' (context optional).")
     Term.(const serve_cmd $ obs_t $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
           $ file_arg ~doc:"Requests file (options | context per line)." 1 "REQUESTS"
-          $ context_opt $ repeat $ stats $ batch)
+          $ context_opt $ repeat $ stats $ batch $ stats_json $ audit_out
+          $ metrics_port $ metrics_linger $ metrics_once $ slo_target_opt
+          $ slo_objective_t $ slo_window_t)
+
+let audit_t =
+  let last =
+    Arg.(value & opt (some int) None & info [ "last"; "n" ] ~docv:"N"
+           ~doc:"Show only the newest N matching records (a tail).")
+  in
+  let trace_filter =
+    Arg.(value & opt (some string) None & info [ "trace-id" ] ~docv:"ID"
+           ~doc:"Show only records with this trace ID.")
+  in
+  let fallbacks =
+    Arg.(value & flag & info [ "fallbacks" ]
+           ~doc:"Show only decisions where the model admitted nothing and \
+                 the fail-safe fallback was used.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Re-emit the matching records as JSON Lines instead of the \
+                 human-readable table.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Query a decision audit trail exported by 'agenp serve \
+             --audit' (filter by trace ID or fallback use, tail the \
+             newest N).")
+    Term.(const audit_cmd $ obs_t
+          $ file_arg ~doc:"Audit JSONL file (from serve --audit)." 0 "FILE"
+          $ last $ trace_filter $ fallbacks $ json)
+
+let monitor_t =
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Replay the request list N times before reporting.")
+  in
+  let slo_target =
+    Arg.(value & opt float 0.1 & info [ "slo-target" ] ~docv:"SEC"
+           ~doc:"Latency SLO target in seconds.")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Replay decision requests and print the rolling-window / SLO \
+             ops view: windowed latency quantiles, request rate, error \
+             budget and burn rate.")
+    Term.(const monitor_cmd $ obs_t
+          $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
+          $ file_arg ~doc:"Requests file (options | context per line)." 1 "REQUESTS"
+          $ context_opt $ repeat $ slo_target $ slo_objective_t
+          $ slo_window_t)
 
 let repl_t =
   Cmd.v
@@ -659,4 +908,4 @@ let () =
   exit
     (Cmd.eval' (Cmd.group info
           [ solve_t; ground_t; check_t; generate_t; learn_t; explain_t;
-            serve_t; pipeline_t; repl_t ]))
+            serve_t; audit_t; monitor_t; pipeline_t; repl_t ]))

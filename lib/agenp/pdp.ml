@@ -19,6 +19,10 @@ type decision = Decision.t = {
 
 let decide ?(engine : Serve.t option) (gpm : Asg.Gpm.t)
     ~(context : Asp.Program.t) ~(options : string list) : decision =
+  (* one trace scope per PDP decision: the pdp span, the serve engine
+     (or uncached membership) beneath it, and any fallback log line all
+     correlate under the same request-scoped ID *)
+  Obs.Trace_context.scope @@ fun _trace_id ->
   Obs.span "agenp.pdp.decide"
     ~attrs:[ ("options", string_of_int (List.length options)) ]
   @@ fun () ->

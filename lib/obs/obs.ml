@@ -293,6 +293,298 @@ module Alloc = struct
     |> List.sort (by_name_compare name)
 end
 
+(* -- Rolling windows ------------------------------------------------------ *)
+
+module Window = struct
+  (* A sliding-window histogram: the window is split into [n] time
+     slots, each a full log-bucket array; a slot is lazily cleared and
+     re-stamped when its epoch comes around again, so observations older
+     than the window fall out with no timer thread. Queries merge the
+     slots whose epoch is still inside the window. Same γ-bucket
+     geometry (and error bound) as {!Histogram}. *)
+  type slot = {
+    mutable s_epoch : int;  (** -1 = never used *)
+    s_buckets : int array;
+    mutable s_zero : int;
+    mutable s_count : int;
+    mutable s_total : float;
+  }
+
+  type t = {
+    name : string;
+    lock : Mutex.t;
+    window : float;
+    slot_s : float;
+    slots : slot array;
+  }
+
+  let default_window = 30.0
+  let default_slots = 15
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make ?(slots = default_slots) ?(window = default_window) name =
+    locked registry_lock @@ fun () ->
+    match Hashtbl.find_opt registry name with
+    | Some w -> w
+    | None ->
+      let slots = max 1 slots in
+      let window = Float.max 1e-9 window in
+      let w =
+        {
+          name;
+          lock = Mutex.create ();
+          window;
+          slot_s = window /. float_of_int slots;
+          slots =
+            Array.init slots (fun _ ->
+                {
+                  s_epoch = -1;
+                  s_buckets = Array.make Histogram.n_buckets 0;
+                  s_zero = 0;
+                  s_count = 0;
+                  s_total = 0.0;
+                });
+        }
+      in
+      Hashtbl.add registry name w;
+      w
+
+  let name w = w.name
+  let window_seconds w = w.window
+  let n_slots w = Array.length w.slots
+
+  (* epochs count slot widths since clock zero; the clock is clamped to
+     0 so a (test) clock that starts negative cannot produce negative
+     [mod] indices *)
+  let epoch_of w t = int_of_float (Float.floor (Float.max 0.0 t /. w.slot_s))
+
+  let clear_slot s =
+    Array.fill s.s_buckets 0 (Array.length s.s_buckets) 0;
+    s.s_zero <- 0;
+    s.s_count <- 0;
+    s.s_total <- 0.0
+
+  let observe w v =
+    locked w.lock @@ fun () ->
+    let e = epoch_of w (now ()) in
+    let s = w.slots.(e mod Array.length w.slots) in
+    if s.s_epoch <> e then begin
+      clear_slot s;
+      s.s_epoch <- e
+    end;
+    (if v > 0.0 then begin
+       let i = Histogram.bucket_of v in
+       s.s_buckets.(i - Histogram.lo_idx) <-
+         s.s_buckets.(i - Histogram.lo_idx) + 1
+     end
+     else s.s_zero <- s.s_zero + 1);
+    s.s_count <- s.s_count + 1;
+    s.s_total <- s.s_total +. v
+
+  (* call with [w.lock] held *)
+  let live_slots w =
+    let e_now = epoch_of w (now ()) in
+    let n = Array.length w.slots in
+    Array.to_list w.slots
+    |> List.filter (fun s ->
+           s.s_epoch > e_now - n && s.s_epoch <= e_now && s.s_count > 0)
+
+  let live_count live = List.fold_left (fun acc s -> acc + s.s_count) 0 live
+  let count w = locked w.lock @@ fun () -> live_count (live_slots w)
+
+  let total w =
+    locked w.lock @@ fun () ->
+    List.fold_left (fun acc s -> acc +. s.s_total) 0.0 (live_slots w)
+
+  let rate w =
+    locked w.lock @@ fun () ->
+    float_of_int (live_count (live_slots w)) /. w.window
+
+  let quantile w q =
+    locked w.lock @@ fun () ->
+    let live = live_slots w in
+    let count = live_count live in
+    if count = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let rank =
+        let r = int_of_float (Float.ceil (q *. float_of_int count)) in
+        if r < 1 then 1 else if r > count then count else r
+      in
+      let zero = List.fold_left (fun acc s -> acc + s.s_zero) 0 live in
+      if rank <= zero then 0.0
+      else begin
+        let cum = ref zero in
+        let result = ref (Histogram.value_of_bucket Histogram.hi_idx) in
+        (try
+           for i = 0 to Histogram.n_buckets - 1 do
+             List.iter (fun s -> cum := !cum + s.s_buckets.(i)) live;
+             if !cum >= rank then begin
+               result := Histogram.value_of_bucket (i + Histogram.lo_idx);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !result
+      end
+    end
+
+  let reset w =
+    locked w.lock @@ fun () ->
+    Array.iter
+      (fun s ->
+        clear_slot s;
+        s.s_epoch <- -1)
+      w.slots
+
+  let find name =
+    locked registry_lock @@ fun () -> Hashtbl.find_opt registry name
+
+  let all () =
+    locked registry_lock (fun () ->
+        Hashtbl.fold (fun _ w acc -> w :: acc) registry [])
+    |> List.sort (by_name_compare name)
+end
+
+(* -- SLO tracking --------------------------------------------------------- *)
+
+module Slo = struct
+  (* A latency SLO: [objective] of the observations over the rolling
+     [window] must land at or under [target] seconds. Windowing reuses
+     the {!Window} slot-ring scheme but only counts totals and breaches
+     per slot. The burn rate is the pace at which the error budget is
+     consumed — windowed breach fraction over the allowed fraction
+     (1 - objective): 1.0 spends the budget exactly at the sustainable
+     pace, above 1 exhausts it early. *)
+  type t = {
+    name : string;
+    lock : Mutex.t;
+    target : float;
+    objective : float;
+    window : float;
+    slot_s : float;
+    epochs : int array;
+    totals : int array;
+    breaches : int array;
+    mutable cum_total : int;
+    mutable cum_breaches : int;
+  }
+
+  type status = {
+    slo_name : string;
+    slo_target : float;
+    slo_objective : float;
+    slo_window : float;
+    total : int;
+    breaches : int;
+    window_total : int;
+    window_breaches : int;
+    compliance : float;
+    burn_rate : float;
+    budget_remaining : float;
+  }
+
+  let default_slots = 15
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+  let make ?(objective = 0.99) ?(window = 60.0) ~target name =
+    locked registry_lock @@ fun () ->
+    match Hashtbl.find_opt registry name with
+    | Some s -> s
+    | None ->
+      let objective = Float.max 0.0 (Float.min 1.0 objective) in
+      let window = Float.max 1e-9 window in
+      let n = default_slots in
+      let s =
+        {
+          name;
+          lock = Mutex.create ();
+          target;
+          objective;
+          window;
+          slot_s = window /. float_of_int n;
+          epochs = Array.make n (-1);
+          totals = Array.make n 0;
+          breaches = Array.make n 0;
+          cum_total = 0;
+          cum_breaches = 0;
+        }
+      in
+      Hashtbl.add registry name s;
+      s
+
+  let name s = s.name
+  let target s = s.target
+  let objective s = s.objective
+  let window_seconds s = s.window
+  let epoch_of s t = int_of_float (Float.floor (Float.max 0.0 t /. s.slot_s))
+
+  let record s latency =
+    locked s.lock @@ fun () ->
+    let e = epoch_of s (now ()) in
+    let i = e mod Array.length s.epochs in
+    if s.epochs.(i) <> e then begin
+      s.epochs.(i) <- e;
+      s.totals.(i) <- 0;
+      s.breaches.(i) <- 0
+    end;
+    s.totals.(i) <- s.totals.(i) + 1;
+    s.cum_total <- s.cum_total + 1;
+    if latency > s.target then begin
+      s.breaches.(i) <- s.breaches.(i) + 1;
+      s.cum_breaches <- s.cum_breaches + 1
+    end
+
+  let status s =
+    locked s.lock @@ fun () ->
+    let e_now = epoch_of s (now ()) in
+    let n = Array.length s.epochs in
+    let wt = ref 0 and wb = ref 0 in
+    for i = 0 to n - 1 do
+      if s.epochs.(i) > e_now - n && s.epochs.(i) <= e_now then begin
+        wt := !wt + s.totals.(i);
+        wb := !wb + s.breaches.(i)
+      end
+    done;
+    let breach_frac =
+      if !wt = 0 then 0.0 else float_of_int !wb /. float_of_int !wt
+    in
+    (* the epsilon keeps a 100% objective finite instead of dividing by
+       zero; any breach then reads as an enormous (but serializable)
+       burn rate, which is the right signal *)
+    let allowed = Float.max (1.0 -. s.objective) 1e-9 in
+    let burn_rate = breach_frac /. allowed in
+    {
+      slo_name = s.name;
+      slo_target = s.target;
+      slo_objective = s.objective;
+      slo_window = s.window;
+      total = s.cum_total;
+      breaches = s.cum_breaches;
+      window_total = !wt;
+      window_breaches = !wb;
+      compliance = 1.0 -. breach_frac;
+      burn_rate;
+      budget_remaining = 1.0 -. burn_rate;
+    }
+
+  let reset s =
+    locked s.lock @@ fun () ->
+    Array.fill s.epochs 0 (Array.length s.epochs) (-1);
+    Array.fill s.totals 0 (Array.length s.totals) 0;
+    Array.fill s.breaches 0 (Array.length s.breaches) 0;
+    s.cum_total <- 0;
+    s.cum_breaches <- 0
+
+  let find name =
+    locked registry_lock @@ fun () -> Hashtbl.find_opt registry name
+
+  let all () =
+    locked registry_lock (fun () ->
+        Hashtbl.fold (fun _ s acc -> s :: acc) registry [])
+    |> List.sort (by_name_compare name)
+end
+
 (* -- Sinks --------------------------------------------------------------- *)
 
 type sink = { on_span : span -> unit }
@@ -333,6 +625,57 @@ let current_span_name () =
 
 let current_depth () = List.length !(stack ())
 
+(* -- Trace context -------------------------------------------------------- *)
+
+module Trace_context = struct
+  (* The request-scoped identity: a domain-local (DLS) optional trace
+     ID. Root IDs must be unique within a run (the audit-trail
+     uniqueness guarantee) and unlikely to collide across runs whose
+     JSONL lands in the same place, hence the pid/start-time nonce. *)
+  let nonce =
+    lazy
+      (let t = Unix.gettimeofday () in
+       let mix =
+         (Unix.getpid () * 1_000_003)
+         + int_of_float (Float.rem (t *. 1e3) 1_048_576.0)
+       in
+       Printf.sprintf "%05x" (mix land 0xfffff))
+
+  let root_counter = Atomic.make 0
+  let child_counter = Atomic.make 0
+
+  let key : string option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let slot () = Domain.DLS.get key
+  let current () = !(slot ())
+
+  let new_root_id () =
+    Printf.sprintf "%s-%06d" (Lazy.force nonce)
+      (Atomic.fetch_and_add root_counter 1)
+
+  let child_id () =
+    match current () with
+    | None -> new_root_id ()
+    | Some parent ->
+      Printf.sprintf "%s.%d" parent (Atomic.fetch_and_add child_counter 1)
+
+  let with_opt v f =
+    let s = slot () in
+    let saved = !s in
+    s := v;
+    Fun.protect ~finally:(fun () -> s := saved) f
+
+  let with_id id f = with_opt (Some id) f
+
+  let scope f =
+    match current () with
+    | Some id -> f id
+    | None ->
+      let id = new_root_id () in
+      with_id id (fun () -> f id)
+end
+
 let span ?(attrs = []) name f =
   let stack = stack () in
   let fr = { f_name = name; f_start = now (); f_attrs = List.rev attrs } in
@@ -365,6 +708,11 @@ let span ?(attrs = []) name f =
           :: ("gc.promoted_words", Printf.sprintf "%.0f" promoted_words)
           :: ("gc.minor_words", Printf.sprintf "%.0f" minor_words)
           :: fr.f_attrs
+      | None -> ());
+      (* stamp the ambient trace ID (if any) last so it exports after
+         user attrs; spans outside any trace context are unchanged *)
+      (match Trace_context.current () with
+      | Some id -> fr.f_attrs <- ("trace", id) :: fr.f_attrs
       | None -> ());
       Histogram.observe (Histogram.make fr.f_name) dur;
       locked sink_lock (fun () ->
@@ -614,13 +962,16 @@ module Log = struct
       close_out oc
     | None -> ()
 
-  let jsonl_record ts l ~domain ~span ~depth ~attrs msg =
+  let jsonl_record ts l ~domain ~span ~depth ~trace ~attrs msg =
     let b = Buffer.create 160 in
     Printf.bprintf b "{\"ts\": %.6f, \"level\": \"%s\", \"domain\": %d" ts
       (level_to_string l) domain;
     (match span with
     | Some s -> Printf.bprintf b ", \"span\": \"%s\"" (Json.escape s)
     | None -> Buffer.add_string b ", \"span\": null");
+    (match trace with
+    | Some t -> Printf.bprintf b ", \"trace\": \"%s\"" (Json.escape t)
+    | None -> Buffer.add_string b ", \"trace\": null");
     Printf.bprintf b ", \"depth\": %d, \"msg\": \"%s\", \"attrs\": {" depth
       (Json.escape msg);
     List.iteri
@@ -637,10 +988,12 @@ module Log = struct
       let domain = (Domain.self () :> int) in
       let span = current_span_name () in
       let depth = current_depth () in
+      let trace = Trace_context.current () in
       locked lock (fun () ->
           match !chan with
           | Some oc ->
-            output_string oc (jsonl_record ts l ~domain ~span ~depth ~attrs msg);
+            output_string oc
+              (jsonl_record ts l ~domain ~span ~depth ~trace ~attrs msg);
             flush oc
           | None -> ());
       match !stderr_threshold with
@@ -938,12 +1291,143 @@ module Trace = struct
       (fun () -> output_string oc (to_speedscope_json ?name spans))
 end
 
+(* -- OpenMetrics exposition ----------------------------------------------- *)
+
+module Openmetrics = struct
+  (* Text exposition per the OpenMetrics spec: counters carry the
+     [_total] suffix (TYPE line on the family name), histograms render
+     as summaries with quantile labels, windows and SLOs as labeled
+     gauges, and the document ends with "# EOF". Metric names are
+     prefixed [agenp_] and sanitized to the allowed charset. *)
+  let content_type =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+  let sanitize name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      name
+
+  let metric name = "agenp_" ^ sanitize name
+
+  let escape_label v =
+    let b = Buffer.create (String.length v + 4) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+
+  let labels_text = function
+    | [] -> ""
+    | ls ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v))
+             ls)
+      ^ "}"
+
+  let fnum v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.9g" v
+
+  let render ?(extra = []) () =
+    let b = Buffer.create 4096 in
+    let typed = Hashtbl.create 32 in
+    let ty name kind =
+      if not (Hashtbl.mem typed name) then begin
+        Hashtbl.add typed name ();
+        Printf.bprintf b "# TYPE %s %s\n" name kind
+      end
+    in
+    let gauge ?(labels = []) name v =
+      ty name "gauge";
+      Printf.bprintf b "%s%s %s\n" name (labels_text labels) (fnum v)
+    in
+    List.iter
+      (fun c ->
+        let n = metric (Counter.name c) in
+        ty n "counter";
+        Printf.bprintf b "%s_total %d\n" n (Counter.value c))
+      (Counter.all ());
+    List.iter
+      (fun h ->
+        if Histogram.count h > 0 then begin
+          let n = metric (Histogram.name h) ^ "_seconds" in
+          ty n "summary";
+          List.iter
+            (fun q ->
+              Printf.bprintf b "%s{quantile=\"%g\"} %s\n" n q
+                (fnum (Histogram.quantile h q)))
+            [ 0.5; 0.9; 0.99 ];
+          Printf.bprintf b "%s_sum %s\n" n (fnum (Histogram.total h));
+          Printf.bprintf b "%s_count %d\n" n (Histogram.count h)
+        end)
+      (Histogram.all ());
+    List.iter
+      (fun w ->
+        let c = Window.count w in
+        if c > 0 then begin
+          let base = metric (Window.name w) ^ "_window" in
+          let wl =
+            ("window", Printf.sprintf "%gs" (Window.window_seconds w))
+          in
+          List.iter
+            (fun (qn, q) ->
+              gauge
+                ~labels:[ ("quantile", qn); wl ]
+                (base ^ "_seconds") (Window.quantile w q))
+            [ ("0.5", 0.5); ("0.9", 0.9); ("0.99", 0.99) ];
+          gauge ~labels:[ wl ] (base ^ "_count") (float_of_int c);
+          gauge ~labels:[ wl ] (base ^ "_rate") (Window.rate w)
+        end)
+      (Window.all ());
+    List.iter
+      (fun s ->
+        let st = Slo.status s in
+        let base = metric ("slo." ^ Slo.name s) in
+        let labels =
+          [
+            ("target", fnum (Slo.target s));
+            ("objective", fnum (Slo.objective s));
+          ]
+        in
+        gauge ~labels (base ^ "_compliance") st.Slo.compliance;
+        gauge ~labels (base ^ "_burn_rate") st.Slo.burn_rate;
+        gauge ~labels (base ^ "_budget_remaining") st.Slo.budget_remaining;
+        ty (base ^ "_breaches") "counter";
+        Printf.bprintf b "%s_breaches_total%s %d\n" base (labels_text labels)
+          st.Slo.breaches)
+      (Slo.all ());
+    let g = Gc.quick_stat () in
+    gauge "agenp_gc_minor_words" (Gc.minor_words ());
+    gauge "agenp_gc_promoted_words" g.Gc.promoted_words;
+    gauge "agenp_gc_major_words" g.Gc.major_words;
+    gauge "agenp_gc_minor_collections" (float_of_int g.Gc.minor_collections);
+    gauge "agenp_gc_major_collections" (float_of_int g.Gc.major_collections);
+    gauge "agenp_gc_compactions" (float_of_int g.Gc.compactions);
+    gauge "agenp_gc_heap_words" (float_of_int g.Gc.heap_words);
+    List.iter (fun (name, labels, v) -> gauge ~labels (metric name) v) extra;
+    Buffer.add_string b "# EOF\n";
+    Buffer.contents b
+end
+
 (* -- Reset --------------------------------------------------------------- *)
 
 let reset () =
   List.iter Counter.reset (Counter.all ());
   List.iter Histogram.reset (Histogram.all ());
   List.iter Alloc.reset (Alloc.all ());
+  List.iter Window.reset (Window.all ());
+  List.iter Slo.reset (Slo.all ());
   Trace.clear ()
 
 (* -- Aggregate report ----------------------------------------------------- *)
@@ -962,9 +1446,21 @@ type span_agg = {
   agg_major_collections : int;
 }
 
+type window_agg = {
+  w_name : string;
+  w_window : float;
+  w_count : int;
+  w_rate : float;
+  w_p50 : float;
+  w_p90 : float;
+  w_p99 : float;
+}
+
 type report = {
   r_spans : span_agg list;
   r_counters : (string * int) list;
+  r_windows : window_agg list;
+  r_slos : Slo.status list;
 }
 
 let report () =
@@ -998,7 +1494,22 @@ let report () =
   let r_counters =
     Counter.all () |> List.map (fun c -> (Counter.name c, Counter.value c))
   in
-  { r_spans; r_counters }
+  let r_windows =
+    Window.all ()
+    |> List.filter (fun w -> Window.count w > 0)
+    |> List.map (fun w ->
+           {
+             w_name = Window.name w;
+             w_window = Window.window_seconds w;
+             w_count = Window.count w;
+             w_rate = Window.rate w;
+             w_p50 = Window.quantile w 0.50;
+             w_p90 = Window.quantile w 0.90;
+             w_p99 = Window.quantile w 0.99;
+           })
+  in
+  let r_slos = Slo.all () |> List.map Slo.status in
+  { r_spans; r_counters; r_windows; r_slos }
 
 let report_to_string r =
   let b = Buffer.create 1024 in
@@ -1023,12 +1534,34 @@ let report_to_string r =
         Buffer.add_char b '\n')
       r.r_spans
   end;
+  if r.r_windows <> [] then begin
+    if Buffer.length b > 0 then Buffer.add_char b '\n';
+    Printf.bprintf b "%-36s %8s %8s %10s %11s %11s %11s\n" "window" "last(s)"
+      "count" "rate(/s)" "p50(s)" "p90(s)" "p99(s)";
+    List.iter
+      (fun w ->
+        Printf.bprintf b "%-36s %8.0f %8d %10.2f %11.6f %11.6f %11.6f\n"
+          w.w_name w.w_window w.w_count w.w_rate w.w_p50 w.w_p90 w.w_p99)
+      r.r_windows
+  end;
   if r.r_counters <> [] then begin
-    if r.r_spans <> [] then Buffer.add_char b '\n';
+    if Buffer.length b > 0 then Buffer.add_char b '\n';
     Printf.bprintf b "%-36s %10s\n" "counter" "value";
     List.iter
       (fun (name, v) -> Printf.bprintf b "%-36s %10d\n" name v)
       r.r_counters
+  end;
+  if r.r_slos <> [] then begin
+    if Buffer.length b > 0 then Buffer.add_char b '\n';
+    Printf.bprintf b "%-24s %10s %10s %9s %7s %8s %11s %8s\n" "slo" "target(s)"
+      "objective" "last(s)" "seen" "breach" "compliance" "burn";
+    List.iter
+      (fun (st : Slo.status) ->
+        Printf.bprintf b "%-24s %10.6f %10.4f %9.0f %7d %8d %11.4f %8.2f\n"
+          st.Slo.slo_name st.Slo.slo_target st.Slo.slo_objective
+          st.Slo.slo_window st.Slo.window_total st.Slo.window_breaches
+          st.Slo.compliance st.Slo.burn_rate)
+      r.r_slos
   end;
   Buffer.contents b
 
@@ -1055,5 +1588,29 @@ let report_to_json r =
       if i > 0 then Buffer.add_string b ", ";
       Printf.bprintf b "\"%s\": %d" (Json.escape name) v)
     r.r_counters;
+  Buffer.add_string b "}, \"windows\": {";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b
+        "\"%s\": {\"window_s\": %g, \"count\": %d, \"rate\": %.6f, \"p50_s\": \
+         %.6f, \"p90_s\": %.6f, \"p99_s\": %.6f}"
+        (Json.escape w.w_name) w.w_window w.w_count w.w_rate w.w_p50 w.w_p90
+        w.w_p99)
+    r.r_windows;
+  Buffer.add_string b "}, \"slos\": {";
+  List.iteri
+    (fun i (st : Slo.status) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b
+        "\"%s\": {\"target_s\": %g, \"objective\": %g, \"window_s\": %g, \
+         \"total\": %d, \"breaches\": %d, \"window_total\": %d, \
+         \"window_breaches\": %d, \"compliance\": %.6f, \"burn_rate\": %.6f, \
+         \"budget_remaining\": %.6f}"
+        (Json.escape st.Slo.slo_name) st.Slo.slo_target st.Slo.slo_objective
+        st.Slo.slo_window st.Slo.total st.Slo.breaches st.Slo.window_total
+        st.Slo.window_breaches st.Slo.compliance st.Slo.burn_rate
+        st.Slo.budget_remaining)
+    r.r_slos;
   Buffer.add_string b "}}";
   Buffer.contents b

@@ -134,6 +134,45 @@ val current_span_name : unit -> string option
 (** Number of open spans on the calling domain. *)
 val current_depth : unit -> int
 
+(** {1 Trace context}
+
+    Request-scoped identity: a domain-local optional trace ID that
+    correlates everything one request touches. While a context is
+    installed, every finished {!span} gains a [trace] attribute and
+    every {!Log} record a ["trace"] field, so spans, log lines, and the
+    serve-layer audit records of one request can be joined end to end.
+    The context is domain-local ([Domain.DLS]); [lib/par] fan-outs
+    re-install the submitting context on worker domains so it survives
+    parallel sections. *)
+module Trace_context : sig
+  (** A fresh process-unique root ID ([<run-nonce>-<seq>]). The nonce
+      mixes pid and start time so IDs from different runs are unlikely
+      to collide in shared logs; the sequence makes them unique within
+      the run. *)
+  val new_root_id : unit -> string
+
+  (** A child of the current context ([<parent>.<seq>]), or a fresh
+      root when no context is installed. Used to give each request of a
+      batch its own ID under the batch's ambient trace. *)
+  val child_id : unit -> string
+
+  (** The trace ID installed on the calling domain, if any. *)
+  val current : unit -> string option
+
+  (** [with_id id f] runs [f] with [id] installed, restoring the
+      previous context afterwards (exception-safe). *)
+  val with_id : string -> (unit -> 'a) -> 'a
+
+  (** Like {!with_id} but installs an optional context verbatim —
+      [with_opt None] masks any ambient context. *)
+  val with_opt : string option -> (unit -> 'a) -> 'a
+
+  (** [scope f] runs [f id] under the current context when one is
+      installed, else under a fresh root installed for the call — the
+      entry-point idiom: reuse the caller's trace, or start one. *)
+  val scope : (string -> 'a) -> 'a
+end
+
 (** {1 Counters, histograms, allocation aggregates} *)
 
 module Counter : sig
@@ -223,8 +262,91 @@ module Alloc : sig
   val all : unit -> t list
 end
 
-(** Zero every registered counter, histogram, and allocation aggregate
-    (handles stay valid) and clear the trace buffer. *)
+(** {1 Rolling windows and SLOs} *)
+
+(** Sliding-window histograms: like {!Histogram} (same log-bucket
+    geometry and ±4.8% quantile error) but covering only the last
+    [window] seconds. The window is a ring of time slots lazily
+    re-stamped as the clock advances, so expiry needs no timer thread;
+    queries merge the in-window slots. Deterministic under an injected
+    clock ({!set_clock}). *)
+module Window : sig
+  type t
+
+  (** Find-or-create, like {!Counter.make}. [window] is the covered
+      span in seconds (default 30), divided into [slots] ring slots
+      (default 15 — the expiry granularity). Parameters are fixed at
+      first creation. *)
+  val make : ?slots:int -> ?window:float -> string -> t
+
+  val observe : t -> float -> unit
+
+  (** Observations still inside the window. *)
+  val count : t -> int
+
+  val total : t -> float
+
+  (** [count / window]: the windowed arrival rate per second. *)
+  val rate : t -> float
+
+  (** Windowed quantile, same estimator and error bound as
+      {!Histogram.quantile}; 0 when the window is empty. *)
+  val quantile : t -> float -> float
+
+  val name : t -> string
+  val window_seconds : t -> float
+  val n_slots : t -> int
+  val reset : t -> unit
+  val find : string -> t option
+  val all : unit -> t list
+end
+
+(** Latency SLO tracking with error-budget burn rate. An SLO says:
+    over the rolling [window], at least [objective] of observations
+    must be at or under [target] seconds. The {e error budget} is the
+    allowed breach fraction (1 - objective); the {e burn rate} is the
+    windowed breach fraction divided by that allowance — 1.0 spends
+    the budget exactly at the sustainable pace, above 1 exhausts it
+    early. *)
+module Slo : sig
+  type t
+
+  type status = {
+    slo_name : string;
+    slo_target : float;  (** seconds *)
+    slo_objective : float;
+    slo_window : float;  (** seconds *)
+    total : int;  (** observations since creation/reset *)
+    breaches : int;  (** cumulative observations over target *)
+    window_total : int;
+    window_breaches : int;
+    compliance : float;  (** windowed in-target fraction; 1 when idle *)
+    burn_rate : float;
+    budget_remaining : float;
+        (** [1 - burn_rate]: fraction of the window's error budget
+            unspent; negative when overspent *)
+  }
+
+  (** Find-or-create by name; [objective] defaults to 0.99 (clamped to
+      [0,1]), [window] to 60 s. Parameters are fixed at first
+      creation. *)
+  val make : ?objective:float -> ?window:float -> target:float -> string -> t
+
+  (** Record one observed latency (seconds). *)
+  val record : t -> float -> unit
+
+  val status : t -> status
+  val name : t -> string
+  val target : t -> float
+  val objective : t -> float
+  val window_seconds : t -> float
+  val reset : t -> unit
+  val find : string -> t option
+  val all : unit -> t list
+end
+
+(** Zero every registered counter, histogram, allocation aggregate,
+    window, and SLO (handles stay valid) and clear the trace buffer. *)
 val reset : unit -> unit
 
 (** {1 Sinks} *)
@@ -277,8 +399,9 @@ end
     dropped at the call site. Enabled records go to the JSONL file
     opened with {!open_file} (one object per line:
     [{"ts": seconds, "level": "...", "domain": n, "span": name-or-null,
-    "depth": n, "msg": "...", "attrs": {...}}] — [span]/[depth] are
-    the innermost open span and nesting depth on the logging domain),
+    "trace": id-or-null, "depth": n, "msg": "...", "attrs": {...}}] —
+    [span]/[depth] are the innermost open span and nesting depth on the
+    logging domain, [trace] the ambient {!Trace_context} ID),
     and records at or above the stderr threshold
     ({!set_stderr_threshold}, default [Warn]) are also mirrored to
     stderr as one stable human-readable line
@@ -368,6 +491,34 @@ module Trace : sig
   val write_speedscope : ?name:string -> string -> span list -> unit
 end
 
+(** {1 OpenMetrics exposition} *)
+
+(** Render the registries in the OpenMetrics/Prometheus text format —
+    what a [/metrics] endpoint serves. *)
+module Openmetrics : sig
+  (** The HTTP [Content-Type] of the rendered document. *)
+  val content_type : string
+
+  (** Replace characters outside [[a-zA-Z0-9_:]] with ['_']. *)
+  val sanitize : string -> string
+
+  (** [metric name] is the exposition name: ["agenp_" ^ sanitize name]. *)
+  val metric : string -> string
+
+  (** [render ()] renders every registered counter (as [<name>_total]
+      with a [counter] TYPE line), non-empty histogram (as a summary:
+      [quantile="0.5"/"0.9"/"0.99"] samples plus [_sum]/[_count],
+      suffixed [_seconds]), non-empty window (labeled gauges suffixed
+      [_window_seconds]/[_window_count]/[_window_rate]), SLO
+      ([_compliance]/[_burn_rate]/[_budget_remaining] gauges and a
+      [_breaches_total] counter, labeled with target and objective),
+      and current GC figures ([agenp_gc_*] gauges); [extra] appends
+      caller gauges as [(name, labels, value)] triples. The document
+      ends with ["# EOF"] as the spec requires. *)
+  val render :
+    ?extra:(string * (string * string) list * float) list -> unit -> string
+end
+
 (** {1 Aggregate report} *)
 
 type span_agg = {
@@ -386,9 +537,21 @@ type span_agg = {
   agg_major_collections : int;
 }
 
+type window_agg = {
+  w_name : string;
+  w_window : float;  (** window width, seconds *)
+  w_count : int;
+  w_rate : float;  (** arrivals per second over the window *)
+  w_p50 : float;
+  w_p90 : float;
+  w_p99 : float;
+}
+
 type report = {
   r_spans : span_agg list;  (** non-empty histograms, sorted by name *)
   r_counters : (string * int) list;  (** all counters, sorted by name *)
+  r_windows : window_agg list;  (** non-empty windows, sorted by name *)
+  r_slos : Slo.status list;  (** all registered SLOs, sorted by name *)
 }
 
 val report : unit -> report
@@ -396,12 +559,17 @@ val report : unit -> report
 (** Human-readable table: one line per span name
     ([name count total mean p50 p90 p99 max], plus
     [minor(w) promoted(w) majgc] columns when any allocation data was
-    recorded) and one line per counter. *)
+    recorded) and one line per counter; window and SLO sections follow
+    only when windows/SLOs are registered and non-empty, so reports
+    from runs that never used them are unchanged. *)
 val report_to_string : report -> string
 
 val pp_report : Format.formatter -> report -> unit
 
 (** One JSON object: [{"spans": {name: {count, total_s, mean_s, p50_s,
     p90_s, p99_s, max_s, gc: {minor_words, promoted_words,
-    major_collections}}}, "counters": {name: value}}]. *)
+    major_collections}}}, "counters": {name: value}, "windows": {name:
+    {window_s, count, rate, p50_s, p90_s, p99_s}}, "slos": {name:
+    {target_s, objective, window_s, total, breaches, window_total,
+    window_breaches, compliance, burn_rate, budget_remaining}}}]. *)
 val report_to_json : report -> string

@@ -123,7 +123,13 @@ let parallel_map pool f arr =
         b_failures = [];
       }
     in
+    (* captured once at submission: chunks re-install the submitter's
+       trace context on whichever domain runs them, so request-scoped
+       IDs survive the fan-out (and a context-free submission masks any
+       leftover context on a helping domain) *)
+    let ctx = Obs.Trace_context.current () in
     let chunk ci () =
+      Obs.Trace_context.with_opt ctx @@ fun () ->
       let lo = ci * n / nchunks and hi = (ci + 1) * n / nchunks in
       match
         for j = lo to hi - 1 do

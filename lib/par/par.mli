@@ -1,4 +1,5 @@
-(** A small, dependency-free domain pool for data-parallel fan-outs.
+(** A small domain pool for data-parallel fan-outs (linking only
+    [lib/obs], whose trace context it propagates).
 
     The learner's hot loops — per-example witness generation, the
     candidate×witness kill matrix, multi-seed experiment sweeps — are
@@ -54,7 +55,12 @@ val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map pool f arr] is [Array.map f arr], evaluated across
     the pool in index-order chunks. See the determinism contract
     above. [f] must not depend on evaluation order; shared mutable
-    state it touches must be domain-safe (e.g. [Obs] counters). *)
+    state it touches must be domain-safe (e.g. [Obs] counters).
+
+    The submitting domain's [Obs.Trace_context] (captured once at
+    submission) is re-installed around every chunk, so request-scoped
+    trace IDs propagate across the fan-out no matter which domain runs
+    which chunk. *)
 
 val parallel_iter : t -> ('a -> unit) -> 'a array -> unit
 (** [parallel_iter pool f arr] runs [f] on every element, in parallel.

@@ -1,0 +1,151 @@
+(* The bounded decision audit ring. See audit.mli. The ring is an array
+   indexed by [seq mod capacity], so wraparound keeps exactly the newest
+   [capacity] records and the oldest-first order of [to_list] follows
+   from the sequence numbers alone. *)
+
+type record = {
+  seq : int;
+  ts : float;
+  trace_id : string;
+  context_fp : int;
+  gpm_version : int;
+  options : string list;
+  chosen : string;
+  fallback_used : bool;
+  compliant : bool option;
+  provenance : string;
+  latency : float;
+}
+
+type t = {
+  cap : int;
+  buf : record option array;
+  mutable total : int;
+  mu : Mutex.t;
+}
+
+let create ~capacity =
+  let cap = max 1 capacity in
+  { cap; buf = Array.make cap None; total = 0; mu = Mutex.create () }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let length t = locked t @@ fun () -> min t.total t.cap
+let total t = locked t @@ fun () -> t.total
+
+let add t ~ts ~trace_id ~context_fp ~gpm_version ~options ~chosen
+    ~fallback_used ~compliant ~provenance ~latency =
+  locked t @@ fun () ->
+  let seq = t.total in
+  t.buf.(seq mod t.cap) <-
+    Some
+      {
+        seq;
+        ts;
+        trace_id;
+        context_fp;
+        gpm_version;
+        options;
+        chosen;
+        fallback_used;
+        compliant;
+        provenance;
+        latency;
+      };
+  t.total <- t.total + 1;
+  seq
+
+let to_list ?last t =
+  locked t @@ fun () ->
+  let kept = min t.total t.cap in
+  let kept = match last with Some n -> min kept (max 0 n) | None -> kept in
+  let first_seq = t.total - kept in
+  List.init kept (fun i ->
+      match t.buf.((first_seq + i) mod t.cap) with
+      | Some r -> r
+      | None -> assert false (* seqs below [total] are always filled *))
+
+let clear t =
+  locked t @@ fun () ->
+  Array.fill t.buf 0 t.cap None;
+  t.total <- 0
+
+let record_to_json r =
+  let b = Buffer.create 256 in
+  (* the fingerprint is a 62-bit hash: as a JSON number it would lose
+     bits to float round-tripping, so it travels as a hex string *)
+  Printf.bprintf b
+    "{\"seq\": %d, \"ts\": %.6f, \"trace\": \"%s\", \"context_fp\": \"%x\", \
+     \"gpm_version\": %d, \"options\": [%s], \"chosen\": \"%s\", \
+     \"fallback_used\": %b, \"compliant\": %s, \"provenance\": \"%s\", \
+     \"latency_s\": %.9f}"
+    r.seq r.ts
+    (Obs.Json.escape r.trace_id)
+    r.context_fp r.gpm_version
+    (String.concat ", "
+       (List.map
+          (fun o -> Printf.sprintf "\"%s\"" (Obs.Json.escape o))
+          r.options))
+    (Obs.Json.escape r.chosen)
+    r.fallback_used
+    (match r.compliant with
+    | Some true -> "true"
+    | Some false -> "false"
+    | None -> "null")
+    (Obs.Json.escape r.provenance)
+    r.latency;
+  Buffer.contents b
+
+let record_of_json line =
+  let j = Obs.Json.parse line in
+  let num k = int_of_float (Obs.Json.to_num (Obs.Json.member k j)) in
+  let fnum k = Obs.Json.to_num (Obs.Json.member k j) in
+  let str k = Obs.Json.to_str (Obs.Json.member k j) in
+  {
+    seq = num "seq";
+    ts = fnum "ts";
+    trace_id = str "trace";
+    context_fp =
+      (match int_of_string_opt ("0x" ^ str "context_fp") with
+      | Some fp -> fp
+      | None -> raise (Obs.Json.Parse_error "bad context_fp"));
+    gpm_version = num "gpm_version";
+    options =
+      List.map Obs.Json.to_str (Obs.Json.to_list (Obs.Json.member "options" j));
+    chosen = str "chosen";
+    fallback_used = Obs.Json.to_bool (Obs.Json.member "fallback_used" j);
+    compliant =
+      (match Obs.Json.member "compliant" j with
+      | Obs.Json.Null -> None
+      | v -> Some (Obs.Json.to_bool v));
+    provenance = str "provenance";
+    latency = fnum "latency_s";
+  }
+
+let write_jsonl path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          output_string oc (record_to_json r);
+          output_char oc '\n')
+        records)
+
+let read_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> go acc
+        | line -> go (record_of_json line :: acc)
+      in
+      go [])

@@ -5,6 +5,8 @@
    latency and provenance but never the decision. *)
 
 module Lru = Lru
+module Audit = Audit
+module Metrics = Metrics
 
 exception No_options
 
@@ -53,6 +55,7 @@ let provenance_to_string = function
 module Response = struct
   type t = {
     decision : Decision.t;
+    trace_id : string;
     provenance : provenance;
     latency : float;
     gpm_version : int;
@@ -61,9 +64,24 @@ module Response = struct
 end
 
 module Config = struct
-  type t = { decision_cache : int; ground_cache : int }
+  type t = {
+    decision_cache : int;
+    ground_cache : int;
+    audit_capacity : int;
+    slo_target : float option;
+    slo_objective : float;
+    slo_window : float;
+  }
 
-  let default = { decision_cache = 256; ground_cache = 512 }
+  let default =
+    {
+      decision_cache = 256;
+      ground_cache = 512;
+      audit_capacity = 1024;
+      slo_target = None;
+      slo_objective = 0.99;
+      slo_window = 60.0;
+    }
 end
 
 type tier_stats = {
@@ -99,6 +117,7 @@ type counters = {
   cg_hits : Obs.Counter.t;
   cg_misses : Obs.Counter.t;
   cg_evictions : Obs.Counter.t;
+  w_decide : Obs.Window.t;
 }
 
 let counters =
@@ -111,6 +130,7 @@ let counters =
       cg_hits = Obs.Counter.make "serve.ground_cache.hits";
       cg_misses = Obs.Counter.make "serve.ground_cache.misses";
       cg_evictions = Obs.Counter.make "serve.ground_cache.evictions";
+      w_decide = Obs.Window.make "serve.decide";
     }
 
 (* ---- the decision core ------------------------------------------------ *)
@@ -156,6 +176,8 @@ type t = {
   mutable d_misses : int;
   mutable g_hits : int;
   mutable g_misses : int;
+  audit : Audit.t option;
+  slo : Obs.Slo.t option;
 }
 
 let create ?(config = Config.default) gpm =
@@ -170,10 +192,22 @@ let create ?(config = Config.default) gpm =
     d_misses = 0;
     g_hits = 0;
     g_misses = 0;
+    audit =
+      (if config.audit_capacity > 0 then
+         Some (Audit.create ~capacity:config.audit_capacity)
+       else None);
+    slo =
+      Option.map
+        (fun target ->
+          Obs.Slo.make ~objective:config.slo_objective
+            ~window:config.slo_window ~target "serve.decide")
+        config.slo_target;
   }
 
 let gpm t = t.gpm
 let config t = t.cfg
+let audit t = t.audit
+let slo t = t.slo
 
 let locked t f =
   Mutex.lock t.mu;
@@ -213,6 +247,41 @@ let stats t =
             cap = Lru.capacity t.grounds;
           };
       })
+
+let stats_to_json t =
+  let s = stats t in
+  let tier (ts : tier_stats) =
+    Printf.sprintf
+      "{\"hits\": %d, \"misses\": %d, \"evictions\": %d, \"entries\": %d, \
+       \"capacity\": %d, \"hit_rate\": %.6f}"
+      ts.hits ts.misses ts.evictions ts.entries ts.cap (hit_rate ts)
+  in
+  let audit_part =
+    match t.audit with
+    | Some ring ->
+      Printf.sprintf "{\"capacity\": %d, \"retained\": %d, \"total\": %d}"
+        (Audit.capacity ring) (Audit.length ring) (Audit.total ring)
+    | None -> "null"
+  in
+  Printf.sprintf
+    "{\"schema\": \"serve-stats/1\", \"gpm_version\": %d, \"requests\": %d, \
+     \"decision_cache\": %s, \"ground_cache\": %s, \"audit\": %s}"
+    (Asg.Gpm.version t.gpm)
+    (s.decisions.hits + s.decisions.misses)
+    (tier s.decisions) (tier s.grounds) audit_part
+
+let openmetrics t =
+  let s = stats t in
+  let tier name (ts : tier_stats) =
+    [
+      ("serve.cache.entries", [ ("tier", name) ], float_of_int ts.entries);
+      ("serve.cache.capacity", [ ("tier", name) ], float_of_int ts.cap);
+      ("serve.cache.hit_rate", [ ("tier", name) ], hit_rate ts);
+    ]
+  in
+  Obs.Openmetrics.render
+    ~extra:(tier "decision" s.decisions @ tier "ground" s.grounds)
+    ()
 
 (** Grounding of [p] through the fingerprint-keyed cache. Sets [hit]
     when the cached core was reused. *)
@@ -255,6 +324,11 @@ let accepts_cached t (g_ctx : Asg.Gpm.t) (opt : string) ~(hit : bool ref) :
 
 let decide t (req : Request.t) : Response.t =
   let c = Lazy.force counters in
+  (* the request-scoped identity: reuse the ambient trace (a batch or
+     PDP scope) or root a fresh one, so the serve.decide span, any
+     grounder/solver spans and log lines beneath it, and the audit
+     record all carry the same ID *)
+  Obs.Trace_context.scope @@ fun trace_id ->
   Obs.span "serve.decide"
     ~attrs:[ ("options", string_of_int (List.length req.options)) ]
   @@ fun () ->
@@ -288,8 +362,23 @@ let decide t (req : Request.t) : Response.t =
   in
   let latency = Obs.now () -. t0 in
   Obs.set_attr "provenance" (provenance_to_string provenance);
+  Obs.Window.observe c.w_decide latency;
+  Option.iter (fun slo -> Obs.Slo.record slo latency) t.slo;
+  (match t.audit with
+  | Some ring ->
+    ignore
+      (Audit.add ring ~ts:(Obs.now ()) ~trace_id
+         ~context_fp:(Asp.Program.fingerprint req.context)
+         ~gpm_version:version ~options:req.options
+         ~chosen:decision.Decision.chosen
+         ~fallback_used:decision.Decision.fallback_used
+         ~compliant:decision.Decision.compliant
+         ~provenance:(provenance_to_string provenance)
+         ~latency)
+  | None -> ());
   {
     Response.decision;
+    trace_id;
     provenance;
     latency;
     gpm_version = version;
@@ -315,14 +404,25 @@ module Batch = struct
     match reqs with
     | [] -> []
     | _ ->
+      (* the batch runs under one trace scope; each request gets its
+         own child ID at submission time (deterministic in schedule
+         order), installed around its decide on whichever pool domain
+         runs it — IDs stay unique per request and chain to the batch *)
+      Obs.Trace_context.scope @@ fun _batch_id ->
       Obs.span "serve.batch"
         ~attrs:[ ("requests", string_of_int (List.length reqs)) ]
       @@ fun () ->
       let pool = match pool with Some p -> p | None -> Par.Config.pool () in
       let arr = Array.of_list reqs in
       let order = schedule arr in
-      let scheduled = Array.map (fun i -> arr.(i)) order in
-      let results = Par.parallel_map pool (fun req -> decide t req) scheduled in
+      let scheduled =
+        Array.map (fun i -> (Obs.Trace_context.child_id (), arr.(i))) order
+      in
+      let results =
+        Par.parallel_map pool
+          (fun (id, req) -> Obs.Trace_context.with_id id (fun () -> decide t req))
+          scheduled
+      in
       let out = Array.make (Array.length arr) results.(0) in
       Array.iteri (fun k i -> out.(i) <- results.(k)) order;
       Array.to_list out

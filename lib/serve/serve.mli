@@ -29,9 +29,25 @@
 
     Both tiers use LRU eviction ({!Lru}) and report hit/miss/eviction
     counters plus latency histograms through [lib/obs] (spans
-    [serve.decide] / [serve.batch], counters [serve.*]). *)
+    [serve.decide] / [serve.batch], counters [serve.*], rolling window
+    [serve.decide]).
+
+    {2 The ops plane}
+
+    Every served decision is request-scoped: {!decide} runs under an
+    [Obs.Trace_context] scope (reusing the ambient trace or rooting a
+    fresh one), so its span, any grounder/solver spans and log lines
+    beneath it, the audit record, and {!Response.t.trace_id} all carry
+    one ID; {!Batch.run} gives each request a child ID that survives
+    the [lib/par] fan-out. Decisions are recorded in a bounded
+    {!Audit} ring (JSONL-exportable), latency feeds a rolling
+    [serve.decide] window and an optional {!Obs.Slo}, and
+    {!openmetrics} (servable over TCP via {!Metrics}) exposes it all
+    in the Prometheus/OpenMetrics text format. *)
 
 module Lru = Lru
+module Audit = Audit
+module Metrics = Metrics
 
 exception No_options
 (** Raised by {!decide}/{!decide_uncached} on a request with an empty
@@ -89,6 +105,9 @@ val provenance_to_string : provenance -> string
 module Response : sig
   type t = {
     decision : Decision.t;
+    trace_id : string;
+        (** the request's trace ID — the one on its spans, log lines,
+            and audit record *)
     provenance : provenance;
     latency : float;  (** seconds spent serving this request *)
     gpm_version : int;  (** model version that made the decision *)
@@ -101,9 +120,16 @@ module Config : sig
   type t = {
     decision_cache : int;  (** decision-memo capacity (entries) *)
     ground_cache : int;  (** ground-program cache capacity (entries) *)
+    audit_capacity : int;
+        (** audit-ring capacity (records); [0] disables the trail *)
+    slo_target : float option;
+        (** latency SLO target in seconds; [None] tracks no SLO *)
+    slo_objective : float;  (** fraction that must meet the target *)
+    slo_window : float;  (** SLO rolling window, seconds *)
   }
 
-  (** 256 decisions, 512 ground programs. *)
+  (** 256 decisions, 512 ground programs, 1024 audit records, no SLO
+      (objective 0.99 over 60 s once a target is set). *)
   val default : t
 end
 
@@ -152,11 +178,40 @@ val decide_uncached : Asg.Gpm.t -> Request.t -> Decision.t
 
 val stats : t -> stats
 
+(** The engine's decision audit ring, unless disabled by
+    [audit_capacity = 0]. *)
+val audit : t -> Audit.t option
+
+(** The engine's SLO handle, when [slo_target] is configured. The
+    handle is the [Obs.Slo] registered as ["serve.decide"], so it also
+    appears in [Obs.report]. *)
+val slo : t -> Obs.Slo.t option
+
+(** One JSON object (schema [serve-stats/1]):
+    [{"schema", "gpm_version", "requests", "decision_cache": tier,
+    "ground_cache": tier, "audit": {"capacity", "retained", "total"}
+    or null}] with [tier = {"hits", "misses", "evictions", "entries",
+    "capacity", "hit_rate"}]. The machine-readable face of
+    {!pp_stats}. *)
+val stats_to_json : t -> string
+
+(** The OpenMetrics exposition for this engine:
+    {!Obs.Openmetrics.render} extended with per-tier gauges
+    ([agenp_serve_cache_entries]/[_capacity]/[_hit_rate], labeled
+    [tier="decision"|"ground"]). This is what a {!Metrics} server
+    should render. *)
+val openmetrics : t -> string
+
 module Batch : sig
   (** Fan a batch across [pool] (default {!Par.Config.pool}), scheduling
       higher-priority requests first, and return responses in {e input}
       order. Decisions are deterministic at every pool size — each
       request is evaluated in isolation and caches never change
-      outcomes; provenance and latency naturally vary with scheduling. *)
+      outcomes; provenance and latency naturally vary with scheduling.
+
+      The batch runs under one trace scope; every request is assigned
+      its own child trace ID at submission (so IDs are unique across
+      the batch and chain to any ambient trace) and carries it to
+      whichever pool domain serves it. *)
   val run : ?pool:Par.t -> t -> Request.t list -> Response.t list
 end

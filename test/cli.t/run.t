@@ -204,6 +204,9 @@ else:
   asp.solve N
   serve.decide N
   
+  window                                last(s)    count   rate(/s)      p50(s)      p90(s)      p99(s)
+  serve.decide N N
+  
   counter                                   value
   asg.hypothesis_evals N
   asp.ground.calls N
@@ -229,6 +232,8 @@ else:
   serve.ground_cache.misses N
   serve.requests N
 
+
+
 Batched serving fans across the domain pool but still prints decisions
 in input order:
 
@@ -243,6 +248,49 @@ A request line without options is a positioned input error:
   $ agenp serve learned.asg bad-requests.txt
   agenp: bad-requests.txt:1: no options on line
   [2]
+
+The ops plane. --stats-json writes the schema'd engine statistics and
+--audit exports the per-decision audit trail as JSONL; every record
+carries a distinct trace ID (the one on the request's spans and logs):
+
+  $ agenp serve learned.asg requests.txt --stats-json stats.json --audit audit.jsonl 2>/dev/null
+  reject [cold]
+  accept [cold]
+  reject [memo]
+  $ grep -o '"schema": "serve-stats/1"' stats.json
+  "schema": "serve-stats/1"
+  $ grep -oE '"trace": "[^"]*"' audit.jsonl | sort -u | wc -l
+  3
+
+The audit subcommand queries an exported trail — human table or JSONL
+re-emission, tailed with --last (sequence numbers, trace IDs and
+latencies vary, so normalize them):
+
+  $ agenp audit audit.jsonl --last 2 | sed -E 's/^ +[0-9]+ [^ ]+/N ID/; s/[0-9]+\.[0-9]+s/T/'
+  N ID accept [cold] T
+  N ID reject [memo] T
+  % 2 record(s)
+  $ agenp audit audit.jsonl --json | wc -l
+  3
+
+The monitor subcommand replays requests and prints the rolling-window /
+SLO ops view:
+
+  $ agenp monitor learned.asg requests.txt --repeat 2 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g'
+  served N request(s): memo rate N, ground rate N
+  window serve.decide (last Ns): count N, rate N/s, pN Ns, pN Ns, pN Ns
+  slo serve.decide: target Ns, objective N over Ns
+      seen N, breach(es) N, compliance N, burn N, budget N
+
+--metrics-once prints the OpenMetrics exposition that --metrics-port
+serves over HTTP, counters and per-tier cache gauges included:
+
+  $ agenp serve learned.asg requests.txt --metrics-once 2>/dev/null | grep -E '^(# TYPE agenp_serve_requests |agenp_serve_requests_total|agenp_serve_cache_entries|# EOF)'
+  # TYPE agenp_serve_requests counter
+  agenp_serve_requests_total 3
+  agenp_serve_cache_entries{tier="decision"} 2
+  agenp_serve_cache_entries{tier="ground"} 4
+  # EOF
 
 The pipeline routed through the serving engine (--serve) is
 output-identical to the uncached run — caches change latency, never

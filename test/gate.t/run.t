@@ -96,7 +96,11 @@ A committed snapshot whose caches never hit measured nothing:
   serve: committed snapshot has warm hit rate N — caches never engaged FAIL
   bench gate: FAIL (N regression(s) beyond N%; serve caches unsound)
 
-A sound snapshot passes the live cached-vs-uncached re-check:
+A sound snapshot passes the live cached-vs-uncached re-check. The gate
+prints per-tier hit rates; a tier that never hit is a warning, not a
+failure (the memo legitimately absorbs repeats before the ground tier
+sees them on the quick differential). A snapshot written before
+per-tier reporting (no "ground_cache" member) is still accepted:
 
   $ cat > serve-ok.json <<'JSON'
   > {"schema": "bench-serve/1", "decision_cache": {"hit_rate": 0.5}, "identical_outcome": true}
@@ -105,5 +109,21 @@ A sound snapshot passes the live cached-vs-uncached re-check:
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   asp-parse N ns -> N ns (Nx) ok
   par: skipped
-  serve: cached vs uncached decisions: identical (warm hit rate N)
+  serve: committed snapshot predates per-tier rates (decision N only)
+  serve: cached vs uncached decisions: identical (decision tier N, ground tier N)
+  serve: WARNING: ground tier never hit on the quick differential
+  bench gate: PASS
+
+A current snapshot carries both tiers' rates:
+
+  $ cat > serve-tiers.json <<'JSON'
+  > {"schema": "bench-serve/1", "decision_cache": {"hit_rate": 0.5}, "ground_cache": {"hit_rate": 0.25}, "identical_outcome": true}
+  > JSON
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --baseline-serve serve-tiers.json --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
+  bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
+  asp-parse N ns -> N ns (Nx) ok
+  par: skipped
+  serve: committed snapshot tier rates: decision N, ground N
+  serve: cached vs uncached decisions: identical (decision tier N, ground tier N)
+  serve: WARNING: ground tier never hit on the quick differential
   bench gate: PASS

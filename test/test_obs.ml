@@ -552,6 +552,205 @@ let test_default_clock_is_wall_clock () =
       true
       (s.Obs.sp_dur >= 0.04)
 
+(* ---- rolling windows ---------------------------------------------------- *)
+
+(* Slot-granular expiry under a hand-advanced clock: window 10 s in
+   5 slots of 2 s, so an observation expires once its slot's epoch
+   falls out of the last 5. *)
+let test_window_expiry () =
+  with_fake_clock @@ fun () ->
+  let w = Obs.Window.make ~slots:5 ~window:10.0 "test.window" in
+  Obs.Window.observe w 1.0;
+  tick 4.0;
+  Obs.Window.observe w 2.0;
+  Alcotest.(check int) "both inside the window" 2 (Obs.Window.count w);
+  Alcotest.(check (float 1e-9)) "total over live slots" 3.0
+    (Obs.Window.total w);
+  Alcotest.(check (float 1e-9)) "rate = count / window" 0.2
+    (Obs.Window.rate w);
+  tick 7.0;
+  (* t = 11: the t = 0 slot is 5 epochs old and gone, t = 4 is live *)
+  Alcotest.(check int) "old slot expired" 1 (Obs.Window.count w);
+  Alcotest.(check (float 1e-9)) "expired value left the total" 2.0
+    (Obs.Window.total w);
+  tick 20.0;
+  Alcotest.(check int) "everything expired" 0 (Obs.Window.count w);
+  Alcotest.(check (float 1e-9)) "empty window quantile" 0.0
+    (Obs.Window.quantile w 0.5)
+
+(* The satellite property: windowed quantiles match an exact sorted
+   oracle (within the shared log-bucket error bound) when every
+   observation is still inside the window — the fake clock advances
+   less than the window span in total. *)
+let window_oracle_prop =
+  QCheck.Test.make ~count:100
+    ~name:"window quantiles match a sorted oracle on a synthetic clock"
+    QCheck.(
+      list_of_size Gen.(1 -- 100)
+        (pair (int_range 1 1_000_000) (int_bound 300)))
+    (fun raw ->
+      QCheck.assume (raw <> []);
+      with_fake_clock @@ fun () ->
+      let w = Obs.Window.make ~window:60.0 "prop.window" in
+      let values =
+        List.map
+          (fun (v, dt_ms) ->
+            tick (float_of_int dt_ms /. 1000.0);
+            let v = float_of_int v /. 1000.0 in
+            Obs.Window.observe w v;
+            v)
+          raw
+      in
+      let sorted = List.sort Float.compare values in
+      let n = List.length sorted in
+      Obs.Window.count w = n
+      && List.for_all
+           (fun q ->
+             let rank =
+               let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+               if r < 1 then 1 else if r > n then n else r
+             in
+             let oracle = List.nth sorted (rank - 1) in
+             let est = Obs.Window.quantile w q in
+             Float.abs (est -. oracle) <= (alpha +. 1e-6) *. oracle)
+           [ 0.25; 0.5; 0.9; 0.99 ])
+
+let test_slo_burn () =
+  with_fake_clock @@ fun () ->
+  let slo = Obs.Slo.make ~objective:0.9 ~window:60.0 ~target:0.1 "test.slo" in
+  (* idle: fully compliant, nothing burned *)
+  let idle = Obs.Slo.status slo in
+  Alcotest.(check (float 1e-9)) "idle compliance" 1.0 idle.Obs.Slo.compliance;
+  Alcotest.(check (float 1e-9)) "idle burn" 0.0 idle.Obs.Slo.burn_rate;
+  (* 18 in-target + 2 breaches with a 10% budget = burning at exactly
+     the sustainable pace *)
+  for _ = 1 to 18 do
+    Obs.Slo.record slo 0.05
+  done;
+  for _ = 1 to 2 do
+    Obs.Slo.record slo 0.5
+  done;
+  let st = Obs.Slo.status slo in
+  Alcotest.(check int) "total" 20 st.Obs.Slo.total;
+  Alcotest.(check int) "breaches" 2 st.Obs.Slo.breaches;
+  Alcotest.(check int) "windowed total" 20 st.Obs.Slo.window_total;
+  Alcotest.(check (float 1e-6)) "compliance" 0.9 st.Obs.Slo.compliance;
+  Alcotest.(check (float 1e-6)) "burn rate" 1.0 st.Obs.Slo.burn_rate;
+  Alcotest.(check (float 1e-6)) "budget spent exactly" 0.0
+    st.Obs.Slo.budget_remaining;
+  (* the window forgets; cumulative totals do not *)
+  tick 120.0;
+  let later = Obs.Slo.status slo in
+  Alcotest.(check int) "window empty after expiry" 0
+    later.Obs.Slo.window_total;
+  Alcotest.(check (float 1e-9)) "compliant when idle again" 1.0
+    later.Obs.Slo.compliance;
+  Alcotest.(check int) "cumulative breaches survive" 2 later.Obs.Slo.breaches
+
+(* ---- trace context ------------------------------------------------------ *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let test_trace_context () =
+  Alcotest.(check bool) "roots unique" true
+    (Obs.Trace_context.new_root_id () <> Obs.Trace_context.new_root_id ());
+  Alcotest.(check (option string)) "no ambient context" None
+    (Obs.Trace_context.current ());
+  Obs.Trace_context.with_id "t-1" (fun () ->
+      Alcotest.(check (option string)) "installed" (Some "t-1")
+        (Obs.Trace_context.current ());
+      let child = Obs.Trace_context.child_id () in
+      Alcotest.(check bool)
+        (Printf.sprintf "child %s extends parent" child)
+        true
+        (starts_with ~prefix:"t-1." child);
+      Obs.Trace_context.with_opt None (fun () ->
+          Alcotest.(check (option string)) "with_opt None masks" None
+            (Obs.Trace_context.current ())));
+  Alcotest.(check (option string)) "restored after with_id" None
+    (Obs.Trace_context.current ());
+  (* scope: fresh root at an entry point, reused inside one *)
+  Obs.Trace_context.scope (fun id ->
+      Alcotest.(check bool) "scope roots an id" true (id <> "");
+      Alcotest.(check (option string)) "scope installs it" (Some id)
+        (Obs.Trace_context.current ());
+      Obs.Trace_context.scope (fun inner ->
+          Alcotest.(check string) "nested scope reuses the ambient id" id
+            inner));
+  (* a child without any context is itself a root *)
+  Alcotest.(check bool) "orphan child is a root" true
+    (Obs.Trace_context.child_id () <> "")
+
+(* spans finished under a context carry it as a "trace" attribute; spans
+   outside any context stay attribute-free *)
+let test_span_trace_attr () =
+  with_fake_clock @@ fun () ->
+  let captured = ref None in
+  let sink = { Obs.on_span = (fun sp -> captured := Some sp) } in
+  Obs.register_sink sink;
+  Fun.protect ~finally:(fun () -> Obs.unregister_sink sink) @@ fun () ->
+  Obs.Trace_context.with_id "t-attr" (fun () ->
+      Obs.span "test.traced" (fun () -> ()));
+  (match !captured with
+  | None -> Alcotest.fail "no span delivered"
+  | Some sp ->
+    Alcotest.(check (option string)) "trace attr carries the id"
+      (Some "t-attr")
+      (List.assoc_opt "trace" sp.Obs.sp_attrs));
+  Obs.span "test.untraced" (fun () -> ());
+  match !captured with
+  | None -> Alcotest.fail "no span delivered"
+  | Some sp ->
+    Alcotest.(check (option string)) "no trace attr outside a context" None
+      (List.assoc_opt "trace" sp.Obs.sp_attrs)
+
+(* ---- OpenMetrics exposition --------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_openmetrics_render () =
+  with_fake_clock @@ fun () ->
+  Obs.Counter.incr (Obs.Counter.make "om.count") ~by:3;
+  Obs.span "om.span" (fun () -> tick 0.25);
+  let w = Obs.Window.make "om.window" in
+  Obs.Window.observe w 0.5;
+  let slo = Obs.Slo.make ~target:0.1 "om.slo" in
+  Obs.Slo.record slo 0.2;
+  let text =
+    Obs.Openmetrics.render ~extra:[ ("om.gauge", [ ("k", "v") ], 7.0) ] ()
+  in
+  List.iter
+    (fun (what, needle) ->
+      Alcotest.(check bool) (what ^ ": " ^ needle) true (contains text needle))
+    [
+      ("counter type", "# TYPE agenp_om_count counter");
+      ("counter sample", "agenp_om_count_total 3");
+      ("summary type", "# TYPE agenp_om_span_seconds summary");
+      ("summary quantile", "agenp_om_span_seconds{quantile=\"0.5\"}");
+      ("summary count", "agenp_om_span_seconds_count 1");
+      ( "window quantile gauge",
+        "agenp_om_window_window_seconds{quantile=\"0.5\",window=\"30s\"}" );
+      ("window count gauge", "agenp_om_window_window_count{window=\"30s\"} 1");
+      ( "slo compliance",
+        "agenp_slo_om_slo_compliance{target=\"0.1\",objective=\"0.99\"}" );
+      ( "slo breach counter",
+        "agenp_slo_om_slo_breaches_total{target=\"0.1\",objective=\"0.99\"} 1" );
+      ("gc gauge", "# TYPE agenp_gc_minor_words gauge");
+      ("extra gauge", "agenp_om_gauge{k=\"v\"} 7");
+    ];
+  let eof = "# EOF\n" in
+  Alcotest.(check string) "terminated by # EOF" eof
+    (String.sub text (String.length text - String.length eof)
+       (String.length eof));
+  Alcotest.(check string) "names sanitized"
+    "agenp_serve_cache_hit_rate"
+    (Obs.Openmetrics.metric "serve.cache-hit rate")
+
 (* Parallel spans: counters from many domains aggregate exactly, and
    each span records the domain it ran on. *)
 let test_domain_safety () =
@@ -624,5 +823,22 @@ let () =
           Alcotest.test_case "aggregation" `Quick test_report;
           Alcotest.test_case "stats view" `Quick test_stats_view;
           QCheck_alcotest.to_alcotest report_totals_prop;
+        ] );
+      ( "windows",
+        [
+          Alcotest.test_case "slot expiry" `Quick test_window_expiry;
+          QCheck_alcotest.to_alcotest window_oracle_prop;
+          Alcotest.test_case "slo burn accounting" `Quick test_slo_burn;
+        ] );
+      ( "trace-context",
+        [
+          Alcotest.test_case "ids, nesting, masking" `Quick test_trace_context;
+          Alcotest.test_case "span trace attribute" `Quick
+            test_span_trace_attr;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "exposition shapes" `Quick
+            test_openmetrics_render;
         ] );
     ]

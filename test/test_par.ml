@@ -84,6 +84,34 @@ let test_shutdown_idempotent_and_fallback () =
 let test_config_defaults_sequential () =
   Alcotest.(check int) "default degree" 1 (Par.Config.domains ())
 
+(* The submitter's trace context must reach every chunk, on every pool
+   domain — and a context-free submitter must stay context-free even
+   when worker domains carry stale contexts from earlier batches. *)
+let test_trace_context_propagation () =
+  let arr = Array.init 64 (fun i -> i) in
+  List.iter
+    (fun (d, pool) ->
+      let seen =
+        Obs.Trace_context.with_id "batch-ctx" (fun () ->
+            Par.parallel_map pool
+              (fun _ -> Obs.Trace_context.current ())
+              arr)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "context inherited by every task at %d domain(s)" d)
+        true
+        (Array.for_all (fun c -> c = Some "batch-ctx") seen);
+      let unscoped =
+        Par.parallel_map pool (fun _ -> Obs.Trace_context.current ()) arr
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "no context leaks into a bare submission at %d \
+                         domain(s)"
+           d)
+        true
+        (Array.for_all (fun c -> c = None) unscoped))
+    (all_pools ())
+
 (* ---- differential properties: parallel = sequential ---- *)
 
 let prop_map_differential =
@@ -222,6 +250,8 @@ let () =
           Alcotest.test_case "nested submission" `Quick test_nested_submission;
           Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent_and_fallback;
           Alcotest.test_case "config default" `Quick test_config_defaults_sequential;
+          Alcotest.test_case "trace context propagation" `Quick
+            test_trace_context_propagation;
         ] );
       ("differential", qcheck_cases);
     ]

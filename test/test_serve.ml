@@ -214,7 +214,8 @@ let differential_prop =
     (fun ops ->
       let engine =
         Serve.create
-          ~config:{ Serve.Config.decision_cache = 4; ground_cache = 4 }
+          ~config:
+            { Serve.Config.default with decision_cache = 4; ground_cache = 4 }
           models.(0)
       in
       List.for_all
@@ -269,6 +270,222 @@ let test_batch_determinism () =
   let engine = Serve.create gpm in
   Alcotest.(check int) "empty batch" 0
     (List.length (Serve.Batch.run engine []))
+
+(* ---- the ops plane: trace IDs, audit ring, stats JSON, /metrics ------- *)
+
+(* every response carries a trace ID, and the engine's audit ring
+   records the same ID alongside the decision *)
+let test_audit_records_decisions () =
+  let engine = Serve.create (gpm_of snow_grammar) in
+  let r1 = Serve.decide engine (request snow [ "accept"; "reject" ]) in
+  let r2 = Serve.decide engine (request sun [ "accept"; "reject" ]) in
+  Alcotest.(check bool) "trace ids non-empty" true
+    (r1.Serve.Response.trace_id <> "" && r2.Serve.Response.trace_id <> "");
+  Alcotest.(check bool) "trace ids unique" true
+    (r1.Serve.Response.trace_id <> r2.Serve.Response.trace_id);
+  match Serve.audit engine with
+  | None -> Alcotest.fail "default config keeps an audit ring"
+  | Some ring ->
+    let records = Serve.Audit.to_list ring in
+    Alcotest.(check int) "one record per decision" 2 (List.length records);
+    Alcotest.(check (list string))
+      "audit trace ids match the responses"
+      [ r1.Serve.Response.trace_id; r2.Serve.Response.trace_id ]
+      (List.map (fun (r : Serve.Audit.record) -> r.trace_id) records);
+    Alcotest.(check (list string))
+      "decisions recorded" [ "reject"; "accept" ]
+      (List.map (fun (r : Serve.Audit.record) -> r.chosen) records);
+    let r = List.hd records in
+    Alcotest.(check int) "context fingerprint recorded"
+      (Asp.Program.fingerprint snow) r.Serve.Audit.context_fp;
+    Alcotest.(check string) "provenance recorded" "cold"
+      r.Serve.Audit.provenance
+
+(* wraparound: a ring of capacity n keeps exactly the newest n records,
+   oldest first, with seq/total still counting everything ever added *)
+let test_audit_wraparound () =
+  let ring = Serve.Audit.create ~capacity:4 in
+  let add i =
+    ignore
+      (Serve.Audit.add ring ~ts:(float_of_int i) ~trace_id:(string_of_int i)
+         ~context_fp:i ~gpm_version:0 ~options:[ "a" ] ~chosen:"a"
+         ~fallback_used:false ~compliant:None ~provenance:"cold"
+         ~latency:0.0)
+  in
+  for i = 0 to 9 do
+    add i
+  done;
+  Alcotest.(check int) "total counts everything" 10 (Serve.Audit.total ring);
+  Alcotest.(check int) "length is the capacity" 4 (Serve.Audit.length ring);
+  Alcotest.(check (list int))
+    "newest 4 in order" [ 6; 7; 8; 9 ]
+    (List.map
+       (fun (r : Serve.Audit.record) -> r.seq)
+       (Serve.Audit.to_list ring));
+  Alcotest.(check (list int))
+    "to_list ~last tails further" [ 8; 9 ]
+    (List.map
+       (fun (r : Serve.Audit.record) -> r.seq)
+       (Serve.Audit.to_list ~last:2 ring))
+
+(* the JSONL export round-trips every field, including the hex-encoded
+   fingerprint and the three-valued compliance verdict *)
+let test_audit_jsonl_roundtrip () =
+  let mk seq compliant =
+    {
+      Serve.Audit.seq;
+      ts = 12.5;
+      trace_id = Printf.sprintf "abc-%06d" seq;
+      context_fp = Asp.Program.fingerprint snow;
+      gpm_version = 3;
+      options = [ "accept"; "reject" ];
+      chosen = "reject";
+      fallback_used = seq = 1;
+      compliant;
+      provenance = "memo";
+      latency = 0.25;
+    }
+  in
+  let records = [ mk 0 None; mk 1 (Some true); mk 2 (Some false) ] in
+  let path = Filename.temp_file "serve_audit" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Serve.Audit.write_jsonl path records;
+  let back = Serve.Audit.read_jsonl path in
+  Alcotest.(check int) "all lines parsed" 3 (List.length back);
+  List.iter2
+    (fun (a : Serve.Audit.record) (b : Serve.Audit.record) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "record %d round-trips" a.seq)
+        true (a = b))
+    records back
+
+(* batch fan-out: every response gets its own child trace ID, unique
+   across the batch and recorded in the audit trail, at every pool size *)
+let test_batch_trace_ids () =
+  let gpm = gpm_of sun_only_grammar in
+  let reqs = batch_requests () in
+  List.iter
+    (fun domains ->
+      let pool = Par.create ~domains () in
+      let engine = Serve.create gpm in
+      let responses = Serve.Batch.run ~pool engine reqs in
+      Par.shutdown pool;
+      let ids =
+        List.map (fun (r : Serve.Response.t) -> r.Serve.Response.trace_id)
+          responses
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "no empty ids at %d domain(s)" domains)
+        true
+        (List.for_all (fun id -> id <> "") ids);
+      Alcotest.(check int)
+        (Printf.sprintf "ids unique across the batch at %d domain(s)" domains)
+        (List.length ids)
+        (List.length (List.sort_uniq String.compare ids));
+      match Serve.audit engine with
+      | None -> Alcotest.fail "audit ring expected"
+      | Some ring ->
+        let audited =
+          List.map
+            (fun (r : Serve.Audit.record) -> r.trace_id)
+            (Serve.Audit.to_list ring)
+        in
+        Alcotest.(check (list string))
+          (Printf.sprintf "audit ids = response ids at %d domain(s)" domains)
+          (List.sort String.compare ids)
+          (List.sort String.compare audited))
+    [ 1; 2; 4 ]
+
+let test_stats_json () =
+  let engine = Serve.create (gpm_of snow_grammar) in
+  let req = request snow [ "accept"; "reject" ] in
+  ignore (Serve.decide engine req);
+  ignore (Serve.decide engine req);
+  let j = Obs.Json.parse (Serve.stats_to_json engine) in
+  Alcotest.(check string) "schema" "serve-stats/1"
+    Obs.Json.(to_str (member "schema" j));
+  Alcotest.(check (float 1e-9)) "requests" 2.0
+    Obs.Json.(to_num (member "requests" j));
+  let d = Obs.Json.member "decision_cache" j in
+  Alcotest.(check (float 1e-9)) "memo hits" 1.0
+    Obs.Json.(to_num (member "hits" d));
+  Alcotest.(check (float 1e-9)) "memo hit rate" 0.5
+    Obs.Json.(to_num (member "hit_rate" d));
+  Alcotest.(check (float 1e-9)) "ground capacity" 512.0
+    Obs.Json.(to_num (member "capacity" (member "ground_cache" j)));
+  Alcotest.(check (float 1e-9)) "audit retained" 2.0
+    Obs.Json.(to_num (member "retained" (member "audit" j)))
+
+(* an engine with the trail disabled serves fine and reports it as null *)
+let test_audit_disabled () =
+  let engine =
+    Serve.create
+      ~config:{ Serve.Config.default with audit_capacity = 0 }
+      (gpm_of snow_grammar)
+  in
+  ignore (Serve.decide engine (request snow [ "accept"; "reject" ]));
+  Alcotest.(check bool) "no ring" true (Serve.audit engine = None);
+  let j = Obs.Json.parse (Serve.stats_to_json engine) in
+  Alcotest.(check bool) "audit is null" true
+    (Obs.Json.member "audit" j = Obs.Json.Null)
+
+(* a live scrape: start the exposition server on an ephemeral port,
+   fetch /metrics over a raw socket, and check the document shape *)
+let http_get ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> Unix.close sock) @@ fun () ->
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path in
+  ignore (Unix.write_substring sock req 0 (String.length req));
+  let b = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read sock chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      drain ()
+  in
+  drain ();
+  Buffer.contents b
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_metrics_scrape () =
+  (* counters are process-wide; zero them so sample values are exact *)
+  Obs.reset ();
+  let engine = Serve.create (gpm_of snow_grammar) in
+  ignore (Serve.decide engine (request snow [ "accept"; "reject" ]));
+  let server =
+    Serve.Metrics.start ~port:0 ~render:(fun () -> Serve.openmetrics engine) ()
+  in
+  Fun.protect ~finally:(fun () -> Serve.Metrics.stop server) @@ fun () ->
+  let port = Serve.Metrics.port server in
+  Alcotest.(check bool) "ephemeral port resolved" true (port > 0);
+  let resp = http_get ~port "/metrics" in
+  Alcotest.(check bool) "200" true (contains resp "HTTP/1.1 200 OK");
+  Alcotest.(check bool) "content type" true
+    (contains resp Obs.Openmetrics.content_type);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("body has " ^ needle) true (contains resp needle))
+    [
+      "agenp_serve_requests_total 1";
+      "agenp_serve_decide_seconds{quantile=\"0.5\"}";
+      "agenp_serve_decide_window_count";
+      "agenp_serve_cache_hit_rate{tier=\"decision\"}";
+      "agenp_serve_cache_entries{tier=\"ground\"}";
+      "# EOF";
+    ];
+  (* consecutive scrapes work (connection-per-request) and other paths
+     are 404s *)
+  Alcotest.(check bool) "second scrape" true
+    (contains (http_get ~port "/metrics") "# EOF");
+  Alcotest.(check bool) "404 elsewhere" true
+    (contains (http_get ~port "/nope") "404")
 
 (* ---- the simulation opt-in -------------------------------------------- *)
 
@@ -331,6 +548,18 @@ let () =
       ("properties", [ QCheck_alcotest.to_alcotest differential_prop ]);
       ( "batch",
         [ Alcotest.test_case "determinism" `Quick test_batch_determinism ] );
+      ( "ops",
+        [
+          Alcotest.test_case "audit records decisions" `Quick
+            test_audit_records_decisions;
+          Alcotest.test_case "audit wraparound" `Quick test_audit_wraparound;
+          Alcotest.test_case "audit JSONL round-trip" `Quick
+            test_audit_jsonl_roundtrip;
+          Alcotest.test_case "batch trace ids" `Quick test_batch_trace_ids;
+          Alcotest.test_case "stats JSON" `Quick test_stats_json;
+          Alcotest.test_case "audit disabled" `Quick test_audit_disabled;
+          Alcotest.test_case "live /metrics scrape" `Quick test_metrics_scrape;
+        ] );
       ( "simulation",
         [
           Alcotest.test_case "serve_config opt-in" `Quick
