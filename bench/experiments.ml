@@ -1004,18 +1004,45 @@ let serve_cached_identical () : bool * float * float =
   (identical, Serve.hit_rate st.Serve.decisions, Serve.hit_rate st.Serve.grounds)
 
 let serve ~quick () =
-  section "SERVE  Decision serving: cold vs warm vs batched throughput";
+  section "SERVE  Decision serving: uncached vs cold vs warm vs batched";
   let n = if quick then 30 else 120 in
   let gpm = Workloads.Xacml_logs.gpm () in
   let reqs = serve_requests ~n ~seed:5 () in
+  (* the cold workload: every context made unique by an inert sequence
+     fact, so the decision memo can never hit and each request exercises
+     the incremental path — parse-tree reuse, core-cache hit, per-request
+     delta grounding *)
+  let distinct_reqs =
+    List.mapi
+      (fun i (r : Serve.Request.t) ->
+        Serve.Request.make
+          ~context:
+            (Asp.Program.with_facts r.Serve.Request.context
+               [ Asp.Atom.make "req_seq" [ Asp.Term.int i ] ])
+          ~options:r.Serve.Request.options ())
+      reqs
+  in
   let time f =
     let t0 = Obs.now () in
     let r = f () in
     (r, Obs.now () -. t0)
   in
-  (* cold: the cache-free reference path, one full membership evaluation
-     per request *)
-  let cold, cold_t = time (fun () -> List.map (Serve.decide_uncached gpm) reqs) in
+  (* uncached: the cache-free reference path, one full membership
+     evaluation per request (this was "cold" in bench-serve/1) *)
+  let uncached, uncached_t =
+    time (fun () -> List.map (Serve.decide_uncached gpm) reqs)
+  in
+  (* cold: a fresh engine over the distinct contexts — no request ever
+     repeats, so this is the hot path the incremental grounder serves:
+     memo misses, core hits, delta grounds *)
+  let cold_engine = Serve.create gpm in
+  let cold, cold_t =
+    time (fun () ->
+        List.map
+          (fun r -> (Serve.decide cold_engine r).Serve.Response.decision)
+          distinct_reqs)
+  in
+  let cold_reference = List.map (Serve.decide_uncached gpm) distinct_reqs in
   (* engine: the first pass fills both tiers, the second is the warm
      measurement (every request repeats, so it is all memo hits) *)
   let engine = Serve.create gpm in
@@ -1032,19 +1059,25 @@ let serve ~quick () =
           (Serve.Batch.run engine reqs))
   in
   let identical =
-    List.for_all2 Serve.Decision.equal cold fill
-    && List.for_all2 Serve.Decision.equal cold warm
-    && List.for_all2 Serve.Decision.equal cold batch
+    List.for_all2 Serve.Decision.equal uncached fill
+    && List.for_all2 Serve.Decision.equal uncached warm
+    && List.for_all2 Serve.Decision.equal uncached batch
+    && List.for_all2 Serve.Decision.equal cold_reference cold
   in
   let st = Serve.stats engine in
+  let cold_st = Serve.stats cold_engine in
   let per_req t = t /. float_of_int n *. 1e9 in
-  let speedup t = cold_t /. (t +. 1e-12) in
+  let speedup t = uncached_t /. (t +. 1e-12) in
+  let delta = cold_st.Serve.delta in
+  let ns_per_ground =
+    cold_t *. 1e9 /. float_of_int (max 1 delta.Serve.delta_grounds)
+  in
   Fmt.pr "%-10s %-12s %-14s %s@." "mode" "seconds" "ns/request" "speedup";
   List.iter
     (fun (mode, t) ->
       Fmt.pr "%-10s %-12.4f %-14.0f %.1fx@." mode t (per_req t) (speedup t))
-    [ ("cold", cold_t); ("fill", fill_t); ("warm", warm_t);
-      ("batch", batch_t) ];
+    [ ("uncached", uncached_t); ("cold", cold_t); ("fill", fill_t);
+      ("warm", warm_t); ("batch", batch_t) ];
   Fmt.pr "decisions %s across all modes@."
     (if identical then "identical" else "DIFFERENT");
   Fmt.pr "decision cache: %d hit(s), %d miss(es), %d eviction(s), rate %.2f@."
@@ -1055,6 +1088,11 @@ let serve ~quick () =
     st.Serve.grounds.Serve.hits st.Serve.grounds.Serve.misses
     st.Serve.grounds.Serve.evictions
     (Serve.hit_rate st.Serve.grounds);
+  Fmt.pr
+    "cold-path delta: %d ground(s), %d fact(s), %d rule(s) added, %d \
+     fallback(s), %.0f ns/ground@."
+    delta.Serve.delta_grounds delta.Serve.delta_facts
+    delta.Serve.delta_rules delta.Serve.fallbacks ns_per_ground;
   if not identical then
     Fmt.pr "WARNING: cached decisions differ from the uncached reference@.";
   let tier name (ts : Serve.tier_stats) =
@@ -1067,21 +1105,26 @@ let serve ~quick () =
   let oc = open_out "BENCH_serve.json" in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"bench-serve/1\",\n\
+    \  \"schema\": \"bench-serve/2\",\n\
     \  \"requests\": %d,\n\
+    \  \"uncached_ns_per_req\": %.0f,\n\
     \  \"cold_ns_per_req\": %.0f,\n\
     \  \"fill_ns_per_req\": %.0f,\n\
     \  \"warm_ns_per_req\": %.0f,\n\
     \  \"batch_ns_per_req\": %.0f,\n\
+    \  \"cold_speedup\": %.2f,\n\
     \  \"warm_speedup\": %.2f,\n\
     \  %s,\n\
     \  %s,\n\
+    \  \"delta\": {\"grounds\": %d, \"facts\": %d, \"rules_added\": %d, \
+     \"fallbacks\": %d, \"ns_per_ground\": %.0f},\n\
     \  \"identical_outcome\": %b\n\
      }\n"
-    n (per_req cold_t) (per_req fill_t) (per_req warm_t) (per_req batch_t)
-    (speedup warm_t)
+    n (per_req uncached_t) (per_req cold_t) (per_req fill_t) (per_req warm_t)
+    (per_req batch_t) (speedup cold_t) (speedup warm_t)
     (tier "decision_cache" st.Serve.decisions)
     (tier "ground_cache" st.Serve.grounds)
-    identical;
+    delta.Serve.delta_grounds delta.Serve.delta_facts delta.Serve.delta_rules
+    delta.Serve.fallbacks ns_per_ground identical;
   close_out oc;
   Fmt.pr "snapshot written to BENCH_serve.json@."

@@ -97,13 +97,14 @@ let load_par_identical path : bool =
 
 (* the committed serve snapshot: the cached-equals-uncached invariant and
    the warm decision-cache hit rate (which must be strictly positive —
-   a snapshot whose caches never hit measured nothing). The ground-tier
-   rate is optional: snapshots predating per-tier reporting lack the
-   "ground_cache" member. *)
+   a snapshot whose caches never hit measured nothing). Both snapshot
+   generations load: bench-serve/2 adds the incremental-grounding delta
+   section, which the gate doesn't compare. The ground-tier rate is
+   optional only in bench-serve/1 files predating per-tier reporting. *)
 let load_serve_baseline path : bool * float * float option =
   let j = read_json path in
   (match Obs.Json.(to_str (member "schema" j)) with
-  | "bench-serve/1" -> ()
+  | "bench-serve/1" | "bench-serve/2" -> ()
   | other -> failwith (Printf.sprintf "unexpected schema %S" other));
   ( Obs.Json.(to_bool (member "identical_outcome" j)),
     Obs.Json.(to_num (member "hit_rate" (member "decision_cache" j))),
@@ -208,15 +209,24 @@ let run args =
           false
         end
         else begin
-          (match committed_ground_rate with
-          | Some r ->
-            Fmt.pr "serve: committed snapshot tier rates: decision %.2f, \
-                    ground %.2f@."
-              committed_hit_rate r
-          | None ->
-            Fmt.pr "serve: committed snapshot predates per-tier rates \
-                    (decision %.2f only)@."
-              committed_hit_rate);
+          let committed_ground_ok =
+            match committed_ground_rate with
+            | Some r when r <= 0.0 ->
+              Fmt.pr
+                "serve: committed snapshot has ground tier rate 0 — the \
+                 core cache never engaged  FAIL@.";
+              false
+            | Some r ->
+              Fmt.pr "serve: committed snapshot tier rates: decision %.2f, \
+                      ground %.2f@."
+                committed_hit_rate r;
+              true
+            | None ->
+              Fmt.pr "serve: committed snapshot predates per-tier rates \
+                      (decision %.2f only)@."
+                committed_hit_rate;
+              true
+          in
           let identical, decision_rate, ground_rate =
             Experiments.serve_cached_identical ()
           in
@@ -225,17 +235,19 @@ let run args =
              ground tier %.2f)@."
             (if identical then "identical" else "DIFFERENT")
             decision_rate ground_rate;
-          (* zero-hit tiers are a coverage smell, not a failure: on the
-             quick differential the memo legitimately absorbs repeats
-             before the ground tier sees them *)
+          (* a zero-hit tier is fatal since the incremental grounder
+             landed: context-independent cores mean even the quick
+             differential's distinct contexts must hit the ground tier,
+             and the memo must absorb its repeats *)
           List.iter
             (fun (tier, rate) ->
               if rate <= 0.0 then
-                Fmt.pr "serve: WARNING: %s tier never hit on the quick \
-                        differential@."
+                Fmt.pr "serve: %s tier never hit on the quick \
+                        differential  FAIL@."
                   tier)
             [ ("decision", decision_rate); ("ground", ground_rate) ];
-          identical && decision_rate > 0.0
+          committed_ground_ok && identical && decision_rate > 0.0
+          && ground_rate > 0.0
         end
     in
     if !missing > 0 then begin

@@ -154,7 +154,11 @@ type pred_index = {
 
 (** The possible-atom base under construction. [stamp] doubles as the
     membership table: an atom is present iff stamped, and flushed (visible
-    to joins) iff its stamp is at most [flushed_round]. *)
+    to joins) iff its stamp is at most [flushed_round]. A base may layer
+    over a frozen [parent] (the incremental grounder's per-request
+    overlay): lookups fall through to the parent, writes stay in the
+    child, so a frozen core base is never mutated and can be shared by
+    concurrent overlays. *)
 type base = {
   stamp : (Atom.t, int) Hashtbl.t;
   mutable pending : Atom.t list;  (** derived in the current round *)
@@ -162,6 +166,7 @@ type base = {
   mutable flushed_round : int;
   mutable delta_preds : (string * int) list;  (** preds with nonempty delta *)
   expand_memo : (Atom.t, Atom.t list) Hashtbl.t;
+  parent : base option;  (** frozen layer below; never written through *)
 }
 
 let base_create () =
@@ -172,15 +177,38 @@ let base_create () =
     flushed_round = -1;
     delta_preds = [];
     expand_memo = Hashtbl.create 16;
+    parent = None;
   }
 
-(** Membership among all derived atoms, flushed or pending. *)
-let base_mem b a = Hashtbl.mem b.stamp a
+(** A fresh mutable layer over a frozen parent base. Round numbering
+    continues from the parent's, so stamps stay globally monotone across
+    the layers. *)
+let base_child parent =
+  {
+    stamp = Hashtbl.create 16;
+    pending = [];
+    by_pred = Hashtbl.create 8;
+    flushed_round = parent.flushed_round;
+    delta_preds = [];
+    expand_memo = Hashtbl.create 16;
+    parent = Some parent;
+  }
+
+(** Membership among all derived atoms, flushed or pending, in any
+    layer. *)
+let rec base_mem b a =
+  Hashtbl.mem b.stamp a
+  || (match b.parent with Some p -> base_mem p a | None -> false)
+
+let rec find_stamp b a =
+  match Hashtbl.find_opt b.stamp a with
+  | Some _ as s -> s
+  | None -> ( match b.parent with Some p -> find_stamp p a | None -> None)
 
 (** Add a ground, evaluated atom to the current round's pending set.
-    Returns [true] when the atom is new. *)
+    Returns [true] when the atom is new (in every layer). *)
 let base_add b ~round a =
-  if Hashtbl.mem b.stamp a then false
+  if base_mem b a then false
   else begin
     b.pending <- a :: b.pending;
     Hashtbl.replace b.stamp a round;
@@ -225,22 +253,31 @@ let base_flush b ~round =
   added
 
 (** Which slice of the base a join literal ranges over: the whole flushed
-    base, atoms stamped at most [n], or the previous round's delta only. *)
-type occ = Any | UpTo of int | Delta
+    base, atoms stamped at most [n], the previous round's delta only, or
+    atoms stamped at least [n] (the incremental grounder's "new since the
+    last instantiation" slice — [From n] with [n] beyond every parent
+    stamp, so only the top layer qualifies). *)
+type occ = Any | UpTo of int | Delta | From of int
 
 let mem_occ b (a : Atom.t) occ =
-  match Hashtbl.find_opt b.stamp a with
+  match find_stamp b a with
   | None -> false
   | Some s -> (
     match occ with
     | Any -> s <= b.flushed_round
     | UpTo n -> s <= n && s <= b.flushed_round
-    | Delta -> s = b.flushed_round)
+    | Delta -> s = b.flushed_round
+    | From n -> s >= n && s <= b.flushed_round)
 
 (** Iterate the candidate atoms a (partially bound) pattern may match,
     using the first-argument index when the pattern's first argument is
-    ground. *)
-let iter_candidates b (a : Atom.t) occ f =
+    ground. [Delta] and [From _] range over the top layer only: parent
+    layers are frozen, so their deltas are stale and their stamps lie
+    below any [From] threshold the overlay uses. *)
+let rec iter_candidates b (a : Atom.t) occ f =
+  (match (occ, b.parent) with
+  | (Any | UpTo _), Some p -> iter_candidates p a occ f
+  | (Delta | From _), Some _ | _, None -> ());
   match Hashtbl.find_opt b.by_pred (a.Atom.pred, Atom.arity a) with
   | None -> ()
   | Some pi -> (
@@ -264,6 +301,14 @@ let iter_candidates b (a : Atom.t) occ f =
         (fun at ->
           match Hashtbl.find_opt b.stamp at with
           | Some s when s <= n -> f at
+          | _ -> ())
+        src
+    | From n ->
+      let src = match indexed () with Some l -> l | None -> pi.all in
+      List.iter
+        (fun at ->
+          match Hashtbl.find_opt b.stamp at with
+          | Some s when s >= n -> f at
           | _ -> ())
         src)
 
@@ -595,17 +640,22 @@ let compute_possible_atoms (p : Program.t) : base =
     expanded and kept only when their atom is derivable, aggregates are
     instantiated for model-time evaluation. Comparisons were already
     checked by the join plan. Returns [None] when the instance can never
-    fire (a negative literal failed to evaluate). *)
+    fire (a negative literal failed to evaluate). The last component of
+    the result is {e every} ground negative instance in body order —
+    including the trivially-true ones dropped from the second component —
+    which the incremental grounder re-filters when delta facts extend the
+    base ([gneg] is its restriction to the current base). *)
 let ground_body b subst ~pos_insts (body : Rule.body_elt list) :
-    (Atom.t list * Atom.t list * Rule.count list) option =
+    (Atom.t list * Atom.t list * Rule.count list * Atom.t list) option =
   let exception Inapplicable in
   let pos_sorted =
     List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2) pos_insts
   in
   let next = ref pos_sorted in
   try
-    let rec go pos neg counts = function
-      | [] -> Some (List.rev pos, List.rev neg, List.rev counts)
+    let rec go pos neg counts all_neg = function
+      | [] ->
+        Some (List.rev pos, List.rev neg, List.rev counts, List.rev all_neg)
       | Rule.Pos _ :: rest ->
         let ga =
           match !next with
@@ -614,31 +664,32 @@ let ground_body b subst ~pos_insts (body : Rule.body_elt list) :
             ga
           | [] -> raise Inapplicable (* join always supplies every slot *)
         in
-        go (ga :: pos) neg counts rest
+        go (ga :: pos) neg counts all_neg rest
       | Rule.Neg a :: rest ->
         let a' = Atom.apply subst a in
         let instances =
           if atom_has_interval a' then expand_atom_memo b a' else [ a' ]
         in
-        let neg =
+        let neg, all_neg =
           List.fold_left
-            (fun neg inst ->
+            (fun (neg, all_neg) inst ->
               match Atom.eval inst with
               | Some ga when Atom.is_ground ga ->
                 (* a negative literal over an underivable atom is
                    trivially true and drops out *)
-                if base_mem b ga then ga :: neg else neg
+                ((if base_mem b ga then ga :: neg else neg), ga :: all_neg)
               | _ -> raise Inapplicable)
-            neg instances
+            (neg, all_neg) instances
         in
-        go pos neg counts rest
-      | Rule.Cmp _ :: rest -> go pos neg counts rest (* checked by the join *)
+        go pos neg counts all_neg rest
+      | Rule.Cmp _ :: rest ->
+        go pos neg counts all_neg rest (* checked by the join *)
       | Rule.Count c :: rest -> (
         match Rule.apply_body_elt subst (Rule.Count c) with
-        | Rule.Count c' -> go pos neg (c' :: counts) rest
+        | Rule.Count c' -> go pos neg (c' :: counts) all_neg rest
         | _ -> raise Inapplicable)
     in
-    go [] [] [] body
+    go [] [] [] [] body
   with Inapplicable -> None
 
 (** Per-choice-element compiled condition plan (phase 2): run with the
@@ -674,6 +725,170 @@ let head_instances_choice b subst (elems : elem_plan list) : Atom.t list =
       !results)
     elems
 
+(** One phase-2 rule instance, together with the re-grounding hooks the
+    incremental layer needs: the full (pre-drop) ordered negative
+    instances, and for choice heads the substitution and element plans so
+    element enumeration can be repeated against an extended base. *)
+type emission = {
+  em_rule : ground_rule;
+  em_all_negs : Atom.t list;
+      (** every ground negative instance in body order; [em_rule.gneg] is
+          its restriction to the base *)
+  em_choice : (Term.subst * int option * elem_plan list * int option) option;
+}
+
+(** A choice-rule body instance whose head had no instantiable element
+    and no lower bound: [ground] emits nothing for it, but delta facts
+    can make an element condition satisfiable, so the incremental
+    grounder keeps it dormant and revives it then. *)
+type dormant = {
+  d_subst : Term.subst;
+  d_l : int option;
+  d_u : int option;
+  d_elems : elem_plan list;
+  d_gpos : Atom.t list;
+  d_all_negs : Atom.t list;
+  d_gcounts : Rule.count list;
+}
+
+(** Context-free compilation of a rule head: everything about emitting it
+    that does not depend on the base, so the incremental grounder can
+    compile once at freeze time and re-run the action against extended
+    bases. *)
+type chead =
+  | CAtom of Atom.t * bool * bool  (** atom, interval?, binop? *)
+  | CFalse
+  | CWeak of Term.t
+  | CChoice of int option * elem_plan list * int option
+
+let compile_chead (r : Rule.t) ~bound : chead =
+  match r.head with
+  | Rule.Head a -> CAtom (a, atom_has_interval a, atom_has_binop a)
+  | Rule.Falsity -> CFalse
+  | Rule.Weak w -> CWeak w
+  | Rule.Choice (l, elts, u) ->
+    let elems =
+      List.map
+        (fun (e : Rule.choice_elt) ->
+          let e_plan, _, _ =
+            make_plan ~initially_bound:bound
+              (List.map (fun c -> Rule.Pos c) e.condition)
+          in
+          {
+            e_atom = e.choice_atom;
+            e_iv = atom_has_interval e.choice_atom;
+            e_ev = atom_has_binop e.choice_atom;
+            e_plan;
+          })
+        elts
+    in
+    CChoice (l, elems, u)
+
+let emit_head_atom b ~emit_plain a ~iv ~ev subst gpos gneg gcounts ~all_negs =
+  let a = Atom.apply subst a in
+  if iv then
+    List.iter
+      (fun inst ->
+        match Atom.eval inst with
+        | Some ga when Atom.is_ground ga ->
+          emit_plain { ghead = GAtom ga; gpos; gneg; gcounts } all_negs
+        | _ -> ())
+      (expand_atom_memo b a)
+  else if ev then (
+    match Atom.eval a with
+    | Some ga -> emit_plain { ghead = GAtom ga; gpos; gneg; gcounts } all_negs
+    | None -> ())
+  else emit_plain { ghead = GAtom a; gpos; gneg; gcounts } all_negs
+
+(** Turn a compiled head into the per-substitution emit action against
+    base [b]. *)
+let head_action b (r : Rule.t) (ch : chead) ~(emit : emission -> unit)
+    ~(emit_dormant : dormant -> unit) =
+  let emit_plain gr all_negs =
+    emit { em_rule = gr; em_all_negs = all_negs; em_choice = None }
+  in
+  match ch with
+  | CAtom (a, iv, ev) ->
+    fun subst gpos gneg gcounts all_negs ->
+      if gcounts <> [] then raise (Aggregate_in_rule r);
+      emit_head_atom b ~emit_plain a ~iv ~ev subst gpos gneg gcounts ~all_negs
+  | CFalse ->
+    fun _ gpos gneg gcounts all_negs ->
+      emit_plain { ghead = GFalse; gpos; gneg; gcounts } all_negs
+  | CWeak w ->
+    fun subst gpos gneg gcounts all_negs -> (
+      match Term.eval (Term.apply subst w) with
+      | Some (Term.Int cost) ->
+        emit_plain { ghead = GWeak cost; gpos; gneg; gcounts } all_negs
+      | Some _ | None -> ())
+  | CChoice (l, elems, u) ->
+    fun subst gpos gneg gcounts all_negs ->
+      if gcounts <> [] then raise (Aggregate_in_rule r);
+      let atoms = head_instances_choice b subst elems in
+      let atoms = List.sort_uniq Atom.compare atoms in
+      if atoms <> [] || l <> None then
+        emit
+          {
+            em_rule = { ghead = GChoice (l, atoms, u); gpos; gneg; gcounts };
+            em_all_negs = all_negs;
+            em_choice = Some (subst, l, elems, u);
+          }
+      else
+        emit_dormant
+          {
+            d_subst = subst;
+            d_l = l;
+            d_u = u;
+            d_elems = elems;
+            d_gpos = gpos;
+            d_all_negs = all_negs;
+            d_gcounts = gcounts;
+          }
+
+(** Instantiate every rule of [p] against base [b] with selectivity-
+    ordered joins, calling [emit] per ground rule (in program order) and
+    [emit_dormant] per dormant choice-body instance. *)
+let instantiate_emissions b (p : Program.t) ~(emit : emission -> unit)
+    ~(emit_dormant : dormant -> unit) =
+  let emit_plain gr all_negs =
+    emit { em_rule = gr; em_all_negs = all_negs; em_choice = None }
+  in
+  List.iter
+    (fun (r : Rule.t) ->
+      match (r.head, r.body) with
+      | Rule.Head a, [] ->
+        (* fact fast path: no join, no body assembly *)
+        emit_head_atom b ~emit_plain a ~iv:(atom_has_interval a)
+          ~ev:(atom_has_binop a) Term.subst_empty [] [] [] ~all_negs:[]
+      | _ ->
+        let plan, _, bound = make_plan r.body in
+        let action =
+          head_action b r (compile_chead r ~bound) ~emit ~emit_dormant
+        in
+        run_plan b ~init:Term.subst_empty plan
+          ~occ_of:(fun _ -> Any)
+          (fun subst pos_insts ->
+            match ground_body b subst ~pos_insts r.body with
+            | None -> ()
+            | Some (gpos, gneg, gcounts, all_negs) ->
+              action subst gpos gneg gcounts all_negs))
+    p.rules
+
+let base_set_of b =
+  Hashtbl.fold (fun a _ acc -> Atom.Set.add a acc) b.stamp Atom.Set.empty
+
+let log_grounded p ~n_out ~base_set =
+  Obs.Counter.incr c_ground_rules ~by:n_out;
+  Obs.Counter.incr c_possible_atoms ~by:(Atom.Set.cardinal base_set);
+  Obs.set_attr "ground_rules" (string_of_int n_out);
+  Obs.Log.debug "grounded program"
+    ~attrs:
+      [
+        ("rules", string_of_int (List.length (Program.rules p)));
+        ("ground_rules", string_of_int n_out);
+        ("possible_atoms", string_of_int (Atom.Set.cardinal base_set));
+      ]
+
 (** Ground a program: compute the possible-atom base (semi-naive, indexed),
     then instantiate every rule against it with selectivity-ordered joins.
 
@@ -699,98 +914,14 @@ let ground (p : Program.t) : ground_program =
   in
   let out = ref [] in
   let n_out = ref 0 in
-  let emit gr =
-    out := gr :: !out;
-    incr n_out
-  in
-  let emit_head_atom a ~iv ~ev subst gpos gneg gcounts =
-    let a = Atom.apply subst a in
-    if iv then
-      List.iter
-        (fun inst ->
-          match Atom.eval inst with
-          | Some ga when Atom.is_ground ga ->
-            emit { ghead = GAtom ga; gpos; gneg; gcounts }
-          | _ -> ())
-        (expand_atom_memo b a)
-    else if ev then (
-      match Atom.eval a with
-      | Some ga -> emit { ghead = GAtom ga; gpos; gneg; gcounts }
-      | None -> ())
-    else emit { ghead = GAtom a; gpos; gneg; gcounts }
-  in
-  let instantiate () =
-    List.iter
-    (fun (r : Rule.t) ->
-      match (r.head, r.body) with
-      | Rule.Head a, [] ->
-        (* fact fast path: no join, no body assembly *)
-        emit_head_atom a ~iv:(atom_has_interval a) ~ev:(atom_has_binop a)
-          Term.subst_empty [] [] []
-      | _ ->
-        let plan, _, bound = make_plan r.body in
-        let head_action =
-          match r.head with
-          | Rule.Head a ->
-            let iv = atom_has_interval a and ev = atom_has_binop a in
-            fun subst gpos gneg gcounts ->
-              if gcounts <> [] then raise (Aggregate_in_rule r);
-              emit_head_atom a ~iv ~ev subst gpos gneg gcounts
-          | Rule.Falsity ->
-            fun _ gpos gneg gcounts ->
-              emit { ghead = GFalse; gpos; gneg; gcounts }
-          | Rule.Weak w ->
-            fun subst gpos gneg gcounts -> (
-              match Term.eval (Term.apply subst w) with
-              | Some (Term.Int cost) ->
-                emit { ghead = GWeak cost; gpos; gneg; gcounts }
-              | Some _ | None -> ())
-          | Rule.Choice (l, elts, u) ->
-            let elems =
-              List.map
-                (fun (e : Rule.choice_elt) ->
-                  let e_plan, _, _ =
-                    make_plan ~initially_bound:bound
-                      (List.map (fun c -> Rule.Pos c) e.condition)
-                  in
-                  {
-                    e_atom = e.choice_atom;
-                    e_iv = atom_has_interval e.choice_atom;
-                    e_ev = atom_has_binop e.choice_atom;
-                    e_plan;
-                  })
-                elts
-            in
-            fun subst gpos gneg gcounts ->
-              if gcounts <> [] then raise (Aggregate_in_rule r);
-              let atoms = head_instances_choice b subst elems in
-              let atoms = List.sort_uniq Atom.compare atoms in
-              if atoms <> [] || l <> None then
-                emit { ghead = GChoice (l, atoms, u); gpos; gneg; gcounts }
-        in
-        run_plan b ~init:Term.subst_empty plan
-          ~occ_of:(fun _ -> Any)
-          (fun subst pos_insts ->
-            match ground_body b subst ~pos_insts r.body with
-            | None -> ()
-            | Some (gpos, gneg, gcounts) ->
-              head_action subst gpos gneg gcounts))
-      p.rules
-  in
-  Obs.fine_span "asp.ground.instantiate" instantiate;
-  Obs.Counter.incr c_ground_rules ~by:!n_out;
-  let base_set =
-    Hashtbl.fold (fun a _ acc -> Atom.Set.add a acc) b.stamp Atom.Set.empty
-  in
-  Obs.Counter.incr c_possible_atoms ~by:(Atom.Set.cardinal base_set);
-  Obs.set_attr "ground_rules" (string_of_int !n_out);
-  Obs.Log.debug "grounded program"
-    ~attrs:
-      [
-        ("rules", string_of_int (List.length p.rules));
-        ("ground_rules", string_of_int !n_out);
-        ("possible_atoms", string_of_int (Atom.Set.cardinal base_set));
-      ];
+  Obs.fine_span "asp.ground.instantiate" (fun () ->
+      instantiate_emissions b p
+        ~emit:(fun em ->
+          out := em.em_rule :: !out;
+          incr n_out)
+        ~emit_dormant:(fun _ -> ()));
+  let base_set = base_set_of b in
+  log_grounded p ~n_out:!n_out ~base_set;
   { grules = List.rev !out; base = base_set }
 
 let size gp = List.length gp.grules
@@ -808,3 +939,581 @@ let ground_with ?(core : (Program.t * ground_program) option) (p : Program.t) :
   match core with
   | Some (p0, gp0) when Program.equal p0 p -> gp0
   | Some _ | None -> ground p
+
+(* -- Incremental grounding -------------------------------------------- *)
+
+(** Two-stage incremental grounding. [freeze] grounds a context-free core
+    program once and keeps, besides the ground program itself, everything
+    needed to extend it by ground context facts without regrounding:
+
+    - the possible-atom base with its indexes (layered over by each
+      overlay, never mutated);
+    - per emitted rule, its full ordered negative instances (when some
+      were dropped as trivially true) and its compiled choice-element
+      plans (when new base atoms could enable further elements) — the two
+      ways an {e existing} ground rule can change when the base grows;
+    - dormant choice-body instances that emitted nothing but could be
+      revived;
+    - the compiled phase-1 derivation templates and phase-2 join plans,
+      each indexed by the predicate at every join position, so a delta
+      touches only the plans that can see it.
+
+    An {!overlay} then adds context facts: phase 1 continues the core's
+    semi-naive rounds in a child base layer (stamps stay globally
+    monotone), and phase 2 runs each affected plan with the new [From]
+    occurrence at the pivot — every new rule instance is enumerated
+    exactly once, at its first join position holding a new atom. Truth
+    maintenance is DRed at delta granularity: retraction drops the whole
+    overlay layer and re-derives from the surviving facts; the frozen
+    core is never touched. *)
+module Incremental = struct
+  let jpos_live elems =
+    List.exists
+      (fun e ->
+        List.exists (function JPos _ -> true | _ -> false) e.e_plan)
+      elems
+
+  (** Predicate key at each join ordinal of a plan. *)
+  let jpos_preds plan npos =
+    let arr = Array.make npos ("", 0) in
+    List.iter
+      (function
+        | JPos { atom; ord; _ } -> arr.(ord) <- (atom.Atom.pred, Atom.arity atom)
+        | JCheck _ | JBind _ -> ())
+      plan;
+    arr
+
+  type frozen = {
+    fz_rule : ground_rule;
+    fz_negs : Atom.t list;
+        (** all ground negative instances in body order when at least one
+            was dropped as trivially true; [[]] when [gneg] is final *)
+    fz_choice : (Term.subst * int option * elem_plan list * int option) option;
+        (** present iff new base atoms could enable further elements *)
+  }
+
+  type inst_rule = { ir_rule : Rule.t; ir_plan : jelt list; ir_chead : chead }
+
+  type core = {
+    k_program : Program.t;
+    k_base : base;
+    k_next_round : int;
+    k_ground : ground_program;
+    k_frozen : frozen array;  (** same order as [k_ground.grules] *)
+    k_latent : (Atom.t, int list ref) Hashtbl.t;
+        (** dropped negative atom -> frozen rules to re-filter if derived *)
+    k_choice_deps : (string * int, int list ref) Hashtbl.t;
+        (** element-condition predicate -> frozen choice rules to refresh *)
+    k_dormant : dormant array;
+    k_dormant_deps : (string * int, int list ref) Hashtbl.t;
+    k_inst : inst_rule array;  (** phase-2 plans with >= 1 join literal *)
+    k_inst_by_pred : (string * int, (int * int) list ref) Hashtbl.t;
+        (** body predicate -> (inst rule, pivot ordinal) pairs to re-join *)
+    k_templates : (template * (string * int) array) list;
+        (** phase-1 templates with >= 1 join literal, with per-ordinal
+            predicate keys *)
+    k_inert : bool;
+        (** asserted facts can have no consequences: nothing to join them
+            into (no template, no phase-2 plan) and nothing they could
+            repair or revive (no latent negation, choice dependency or
+            dormant rule) — the delta is then just the facts themselves *)
+  }
+
+  let core_program k = k.k_program
+  let core_ground k = k.k_ground
+
+  let add_dep tbl key i =
+    match Hashtbl.find_opt tbl key with
+    | Some l -> ( match !l with j :: _ when j = i -> () | _ -> l := i :: !l)
+    | None -> Hashtbl.replace tbl key (ref [ i ])
+
+  let freeze (p : Program.t) : core =
+    Obs.span "asp.ground" @@ fun () ->
+    Obs.Counter.incr c_ground_calls;
+    List.iter
+      (fun r -> if not (Rule.is_safe r) then raise (Unsafe_rule r))
+      p.rules;
+    let b =
+      Obs.fine_span "asp.ground.possible" (fun () -> compute_possible_atoms p)
+    in
+    let k_latent = Hashtbl.create 16 in
+    let k_choice_deps = Hashtbl.create 16 in
+    let k_dormant_deps = Hashtbl.create 16 in
+    let elem_cond_preds elems =
+      List.concat_map
+        (fun e ->
+          List.filter_map
+            (function
+              | JPos { atom; _ } -> Some (atom.Atom.pred, Atom.arity atom)
+              | JCheck _ | JBind _ -> None)
+            e.e_plan)
+        elems
+      |> List.sort_uniq compare
+    in
+    let frozen = ref [] and n_frozen = ref 0 in
+    let dormants = ref [] and n_dorm = ref 0 in
+    Obs.fine_span "asp.ground.instantiate" (fun () ->
+        instantiate_emissions b p
+          ~emit:(fun em ->
+            let i = !n_frozen in
+            let dropped =
+              List.filter (fun a -> not (base_mem b a)) em.em_all_negs
+            in
+            let fz_negs = if dropped = [] then [] else em.em_all_negs in
+            List.iter (fun a -> add_dep k_latent a i) dropped;
+            let fz_choice =
+              match em.em_choice with
+              | Some (_, _, elems, _) when jpos_live elems ->
+                List.iter
+                  (fun key -> add_dep k_choice_deps key i)
+                  (elem_cond_preds elems);
+                em.em_choice
+              | Some _ | None -> None
+            in
+            frozen := { fz_rule = em.em_rule; fz_negs; fz_choice } :: !frozen;
+            incr n_frozen)
+          ~emit_dormant:(fun d ->
+            if jpos_live d.d_elems then begin
+              let i = !n_dorm in
+              List.iter
+                (fun key -> add_dep k_dormant_deps key i)
+                (elem_cond_preds d.d_elems);
+              dormants := d :: !dormants;
+              incr n_dorm
+            end));
+    let k_frozen = Array.of_list (List.rev !frozen) in
+    let k_dormant = Array.of_list (List.rev !dormants) in
+    let k_inst_by_pred = Hashtbl.create 16 in
+    let insts = ref [] and n_inst = ref 0 in
+    List.iter
+      (fun (r : Rule.t) ->
+        match (r.head, r.body) with
+        | Rule.Head _, [] -> ()
+        | _ ->
+          let plan, nord, bound = make_plan r.body in
+          if nord > 0 then begin
+            let i = !n_inst in
+            insts :=
+              { ir_rule = r; ir_plan = plan; ir_chead = compile_chead r ~bound }
+              :: !insts;
+            incr n_inst;
+            Array.iteri
+              (fun pivot key -> add_dep k_inst_by_pred key (i, pivot))
+              (jpos_preds plan nord)
+          end)
+      p.rules;
+    let k_templates =
+      List.concat_map
+        (fun r ->
+          List.filter_map
+            (fun t ->
+              if t.t_npos > 0 then Some (t, jpos_preds t.t_plan t.t_npos)
+              else None)
+            (templates_of_rule r))
+        p.rules
+    in
+    let base_set = base_set_of b in
+    log_grounded p ~n_out:!n_frozen ~base_set;
+    {
+      k_program = p;
+      k_base = b;
+      k_next_round = b.flushed_round + 1;
+      k_ground =
+        {
+          grules = List.map (fun fz -> fz.fz_rule) (Array.to_list k_frozen);
+          base = base_set;
+        };
+      k_frozen;
+      k_latent;
+      k_choice_deps;
+      k_dormant;
+      k_dormant_deps;
+      k_inst = Array.of_list (List.rev !insts);
+      k_inst_by_pred;
+      k_templates;
+      k_inert =
+        k_templates = [] && !n_inst = 0 && !n_dorm = 0
+        && Hashtbl.length k_latent = 0
+        && Hashtbl.length k_choice_deps = 0;
+    }
+
+  (** A ground rule the overlay emitted, with the same re-grounding hooks
+      a frozen rule keeps (later facts can extend it further). *)
+  type orule = {
+    og : ground_rule;
+    og_negs : Atom.t list;
+    og_choice : (Term.subst * int option * elem_plan list * int option) option;
+  }
+
+  type overlay = {
+    o_core : core;
+    mutable o_base : base;  (** child layer over [o_core.k_base] *)
+    mutable o_round : int;
+    mutable o_inst_from : int;
+        (** stamps >= this are new since the last phase-2 delta pass *)
+    mutable o_facts : Atom.t list;  (** asserted context facts, in order *)
+    mutable o_queue : Atom.t list;  (** facts not yet emitted, reversed *)
+    mutable o_fresh : Atom.t list;
+        (** base atoms derived since the last materialization *)
+    mutable o_rules : orule list;  (** delta ground rules, reversed *)
+    o_affected : (int, unit) Hashtbl.t;  (** frozen rules needing refresh *)
+    o_dormant_live : (int, unit) Hashtbl.t;  (** triggered dormants *)
+    mutable o_local_dormant : dormant list;
+    mutable o_cached : ground_program option;
+  }
+
+  let overlay core =
+    {
+      o_core = core;
+      o_base = base_child core.k_base;
+      o_round = core.k_next_round;
+      o_inst_from = core.k_next_round;
+      o_facts = [];
+      o_queue = [];
+      o_fresh = [];
+      o_rules = [];
+      o_affected = Hashtbl.create 8;
+      o_dormant_live = Hashtbl.create 8;
+      o_local_dormant = [];
+      o_cached = None;
+    }
+
+  let facts o = o.o_facts
+
+  (** Normalize an asserted fact the way the grounder normalizes emitted
+      heads: intervals expand to their conjunctions, arithmetic is
+      evaluated, and an unevaluable fact is silently inapplicable.
+      @raise Invalid_argument on a non-ground fact. *)
+  let normalize_fact (a : Atom.t) : Atom.t list =
+    if List.for_all Term.is_value a.Atom.args then [ a ]
+    else if not (Atom.is_ground a) then
+      invalid_arg "Grounder.Incremental: context facts must be ground"
+    else
+    if atom_has_interval a then
+      List.filter_map
+        (fun inst ->
+          match Atom.eval inst with
+          | Some ga when Atom.is_ground ga -> Some ga
+          | _ -> None)
+        (expand_atom a)
+    else match Atom.eval a with Some ga -> [ ga ] | None -> []
+
+  let add_facts o (atoms : Atom.t list) =
+    let rec dedup seen acc = function
+      | [] -> List.rev acc
+      | a :: rest ->
+        if List.exists (fun x -> Atom.compare x a = 0) seen then
+          dedup seen acc rest
+        else dedup (a :: seen) (a :: acc) rest
+    in
+    let fresh = dedup o.o_facts [] (List.concat_map normalize_fact atoms) in
+    if fresh <> [] then begin
+      o.o_cached <- None;
+      o.o_facts <- o.o_facts @ fresh;
+      o.o_queue <- List.rev_append fresh o.o_queue;
+      let b = o.o_base in
+      let r0 = o.o_round in
+      List.iter (fun a -> ignore (base_add b ~round:r0 a)) fresh;
+      o.o_fresh <- List.rev_append b.pending o.o_fresh;
+      let continue = ref (base_flush b ~round:r0) in
+      o.o_round <- r0 + 1;
+      (* continue the core's semi-naive fixpoint in the child layer: the
+         pivot ranges over the previous round's delta (top layer only),
+         literals before it over rounds the pivot's round has not seen,
+         so each new combination is derived exactly once *)
+      while !continue do
+        let r = o.o_round in
+        Obs.fine_span "asp.ground.delta" (fun () ->
+            List.iter
+              (fun ((t : template), preds) ->
+                for pivot = 0 to t.t_npos - 1 do
+                  if List.mem preds.(pivot) b.delta_preds then
+                    run_plan b ~init:Term.subst_empty t.t_plan
+                      ~occ_of:(fun ord ->
+                        if ord < pivot then UpTo (r - 2)
+                        else if ord = pivot then Delta
+                        else UpTo (r - 1))
+                      (fun subst _ -> derive_head b ~round:r t subst)
+                done)
+              o.o_core.k_templates);
+        o.o_fresh <- List.rev_append b.pending o.o_fresh;
+        continue := base_flush b ~round:r;
+        o.o_round <- r + 1;
+        if !continue then Obs.Counter.incr c_delta_rounds
+      done
+    end
+
+  (** Emit the ground consequences of the facts added since the last
+      materialization: queued fact rules, refresh triggers for affected
+      frozen rules, brand-new phase-2 instances (via the [From] pivot
+      scheme), and dormant revivals. *)
+  let materialize o =
+    let b = o.o_base in
+    let core = o.o_core in
+    List.iter
+      (fun a ->
+        o.o_rules <-
+          {
+            og = { ghead = GAtom a; gpos = []; gneg = []; gcounts = [] };
+            og_negs = [];
+            og_choice = None;
+          }
+          :: o.o_rules)
+      (List.rev o.o_queue);
+    o.o_queue <- [];
+    let fresh = o.o_fresh in
+    o.o_fresh <- [];
+    if fresh <> [] then begin
+      let fresh_preds =
+        List.sort_uniq compare
+          (List.map (fun (a : Atom.t) -> (a.Atom.pred, Atom.arity a)) fresh)
+      in
+      List.iter
+        (fun a ->
+          match Hashtbl.find_opt core.k_latent a with
+          | Some l -> List.iter (fun i -> Hashtbl.replace o.o_affected i ()) !l
+          | None -> ())
+        fresh;
+      List.iter
+        (fun key ->
+          (match Hashtbl.find_opt core.k_choice_deps key with
+          | Some l -> List.iter (fun i -> Hashtbl.replace o.o_affected i ()) !l
+          | None -> ());
+          match Hashtbl.find_opt core.k_dormant_deps key with
+          | Some l ->
+            List.iter (fun i -> Hashtbl.replace o.o_dormant_live i ()) !l
+          | None -> ())
+        fresh_preds;
+      let n0 = o.o_inst_from in
+      let emit em =
+        let dropped =
+          List.exists (fun a -> not (base_mem b a)) em.em_all_negs
+        in
+        o.o_rules <-
+          {
+            og = em.em_rule;
+            og_negs = (if dropped then em.em_all_negs else []);
+            og_choice =
+              (match em.em_choice with
+              | Some (_, _, elems, _) when jpos_live elems -> em.em_choice
+              | Some _ | None -> None);
+          }
+          :: o.o_rules
+      in
+      let emit_dormant d =
+        if jpos_live d.d_elems then
+          o.o_local_dormant <- d :: o.o_local_dormant
+      in
+      List.iter
+        (fun (i, pivot) ->
+          let ir = core.k_inst.(i) in
+          let action = head_action b ir.ir_rule ir.ir_chead ~emit ~emit_dormant in
+          run_plan b ~init:Term.subst_empty ir.ir_plan
+            ~occ_of:(fun ord ->
+              if ord < pivot then UpTo (n0 - 1)
+              else if ord = pivot then From n0
+              else Any)
+            (fun subst pos_insts ->
+              match ground_body b subst ~pos_insts ir.ir_rule.Rule.body with
+              | None -> ()
+              | Some (gpos, gneg, gcounts, all_negs) ->
+                action subst gpos gneg gcounts all_negs))
+        (List.concat_map
+           (fun key ->
+             match Hashtbl.find_opt core.k_inst_by_pred key with
+             | Some l -> !l
+             | None -> [])
+           fresh_preds);
+      o.o_inst_from <- o.o_round;
+      (* revive dormant choice bodies whose elements became instantiable *)
+      let revive (d : dormant) : orule option =
+        let atoms = head_instances_choice b d.d_subst d.d_elems in
+        let atoms = List.sort_uniq Atom.compare atoms in
+        if atoms = [] then None
+        else
+          Some
+            {
+              og =
+                {
+                  ghead = GChoice (d.d_l, atoms, d.d_u);
+                  gpos = d.d_gpos;
+                  gneg = List.filter (base_mem b) d.d_all_negs;
+                  gcounts = d.d_gcounts;
+                };
+              og_negs =
+                (if List.exists (fun a -> not (base_mem b a)) d.d_all_negs then
+                   d.d_all_negs
+                 else []);
+              og_choice = Some (d.d_subst, d.d_l, d.d_elems, d.d_u);
+            }
+      in
+      let live = Hashtbl.fold (fun i () acc -> i :: acc) o.o_dormant_live [] in
+      List.iter
+        (fun i ->
+          match revive core.k_dormant.(i) with
+          | Some r ->
+            o.o_rules <- r :: o.o_rules;
+            Hashtbl.remove o.o_dormant_live i
+          | None -> ())
+        (List.sort Int.compare live);
+      o.o_local_dormant <-
+        List.filter
+          (fun d ->
+            match revive d with
+            | Some r ->
+              o.o_rules <- r :: o.o_rules;
+              false
+            | None -> true)
+          o.o_local_dormant
+    end
+
+  (** Refresh a ground rule against the (possibly grown) base: re-filter
+      its negative instances, re-enumerate its choice elements. Shares
+      the input when nothing changed. *)
+  let refresh_rule b (og : ground_rule) negs choice : ground_rule =
+    let gneg = if negs = [] then og.gneg else List.filter (base_mem b) negs in
+    let ghead =
+      match choice with
+      | Some (subst, l, elems, u) ->
+        let atoms =
+          List.sort_uniq Atom.compare (head_instances_choice b subst elems)
+        in
+        GChoice (l, atoms, u)
+      | None -> og.ghead
+    in
+    if gneg == og.gneg && ghead == og.ghead then og else { og with gneg; ghead }
+
+  let ground_overlay o : ground_program =
+    match o.o_cached with
+    | Some gp -> gp
+    | None ->
+      Obs.span "asp.ground" @@ fun () ->
+      Obs.Counter.incr c_ground_calls;
+      materialize o;
+      let b = o.o_base in
+      let core = o.o_core in
+      let core_rules =
+        if Hashtbl.length o.o_affected = 0 then core.k_ground.grules
+        else
+          Array.to_list
+            (Array.mapi
+               (fun i fz ->
+                 if Hashtbl.mem o.o_affected i then
+                   refresh_rule b fz.fz_rule fz.fz_negs fz.fz_choice
+                 else fz.fz_rule)
+               core.k_frozen)
+      in
+      let delta =
+        List.rev_map (fun r -> refresh_rule b r.og r.og_negs r.og_choice) o.o_rules
+      in
+      let base_set =
+        Hashtbl.fold
+          (fun a _ acc -> Atom.Set.add a acc)
+          b.stamp core.k_ground.base
+      in
+      Obs.Counter.incr c_ground_rules ~by:(List.length delta);
+      Obs.set_attr "ground_rules" (string_of_int (List.length delta));
+      let gp = { grules = core_rules @ delta; base = base_set } in
+      o.o_cached <- Some gp;
+      gp
+
+  (** The delta-only product: the overlay's own ground rules, refreshed
+      against the grown base, {e without} rebuilding the combined
+      program (no frozen-rule scan, no base-set union). Valid only when
+      no frozen core rule needs repair — [None] when asserted facts
+      touched a latent negative literal or a choice head of the core, in
+      which case the caller must fall back to {!ground}. A solver
+      holding precompiled state for the unmodified core can extend it
+      with exactly these rules. *)
+  let delta o : ground_rule list option =
+    Obs.span "asp.ground" @@ fun () ->
+    Obs.Counter.incr c_ground_calls;
+    materialize o;
+    if Hashtbl.length o.o_affected <> 0 then None
+    else begin
+      let b = o.o_base in
+      let d =
+        List.rev_map (fun r -> refresh_rule b r.og r.og_negs r.og_choice) o.o_rules
+      in
+      Obs.Counter.incr c_ground_rules ~by:(List.length d);
+      Obs.set_attr "ground_rules" (string_of_int (List.length d));
+      Some d
+    end
+
+  (** One-shot delta product for a batch of facts over [core]. On an
+      {e inert} core (nothing joins on, repairs from, or is revived by
+      new facts — the common shape of context-free decision cores) the
+      overlay machinery is skipped entirely: the delta is the normalized,
+      deduplicated facts as ground fact rules, exactly what the overlay
+      would emit. Otherwise equivalent to [delta] on a fresh overlay with
+      the facts asserted. *)
+  let delta_with core ~(facts : Atom.t list) : ground_rule list option =
+    if not core.k_inert then begin
+      let o = overlay core in
+      add_facts o facts;
+      delta o
+    end
+    else
+      Obs.span "asp.ground" @@ fun () ->
+      Obs.Counter.incr c_ground_calls;
+      (* hash-prefiltered, order-preserving dedup: full atom comparison
+         only on a hash match *)
+      let rec dedup seen acc = function
+        | [] -> List.rev acc
+        | a :: rest ->
+          let h = Atom.hash a in
+          if List.exists (fun (h', x) -> h' = h && Atom.compare x a = 0) seen
+          then dedup seen acc rest
+          else dedup ((h, a) :: seen) (a :: acc) rest
+      in
+      let fresh = dedup [] [] (List.concat_map normalize_fact facts) in
+      let d =
+        List.map
+          (fun a -> { ghead = GAtom a; gpos = []; gneg = []; gcounts = [] })
+          fresh
+      in
+      Obs.Counter.incr c_ground_rules ~by:(List.length d);
+      Obs.set_attr "ground_rules" (string_of_int (List.length d));
+      Some d
+
+  (** Retract asserted facts. Truth maintenance is DRed at delta
+      granularity: the frozen core is untouched; the overlay layer is
+      dropped and re-derived from the surviving facts, so exactly the
+      ground rules depending on the retracted facts disappear. Returns
+      how many ground rules were dropped. *)
+  let retract_facts o (atoms : Atom.t list) : int =
+    let victims = List.concat_map normalize_fact atoms in
+    let keep =
+      List.filter
+        (fun f -> not (List.exists (fun v -> Atom.compare v f = 0) victims))
+        o.o_facts
+    in
+    if List.length keep = List.length o.o_facts then 0
+    else begin
+      let before = List.length (ground_overlay o).grules in
+      o.o_base <- base_child o.o_core.k_base;
+      o.o_round <- o.o_core.k_next_round;
+      o.o_inst_from <- o.o_core.k_next_round;
+      o.o_facts <- [];
+      o.o_queue <- [];
+      o.o_fresh <- [];
+      o.o_rules <- [];
+      Hashtbl.reset o.o_affected;
+      Hashtbl.reset o.o_dormant_live;
+      o.o_local_dormant <- [];
+      o.o_cached <- None;
+      add_facts o keep;
+      let after = List.length (ground_overlay o).grules in
+      before - after
+    end
+
+  let ground = ground_overlay
+
+  let ground_with core ~(facts : Atom.t list) : ground_program =
+    match facts with
+    | [] -> core.k_ground
+    | facts ->
+      let o = overlay core in
+      add_facts o facts;
+      ground_overlay o
+end

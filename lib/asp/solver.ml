@@ -52,7 +52,9 @@ and ihead =
 
 type search_state = {
   atoms : Atom.t array;
-  rules : irule list;
+  id_of : (Atom.t, int) Hashtbl.t;
+      (** atom ids; never mutated after construction, so {!prepare} can
+          share it across extensions *)
   rules_by_head : int list array;  (** rule indices that can derive atom i *)
   rule_arr : irule array;
   assignment : value array;
@@ -121,7 +123,7 @@ let index_program (gp : Grounder.ground_program) =
     rule_arr;
   {
     atoms;
-    rules;
+    id_of;
     rules_by_head;
     rule_arr;
     assignment = Array.make n Unknown;
@@ -470,14 +472,11 @@ let extract_model st =
     st.assignment;
   !m
 
-(** Enumerate stable models of a ground program, up to [limit].
+(** Enumerate stable models over a prebuilt search state, up to [limit].
     [wellfounded:false] disables the well-founded narrowing (exposed for
     the ablation benchmark); the result is unchanged, only slower. *)
-let solve_ground ?limit ?(wellfounded = true) (gp : Grounder.ground_program) :
-    model list =
-  Obs.span "asp.solve" @@ fun () ->
+let solve_state ?limit ?(wellfounded = true) (st : search_state) : model list =
   Obs.Counter.incr c_solve_calls;
-  let st = index_program gp in
   if wellfounded then Obs.fine_span "asp.solve.wellfounded" (fun () -> wellfounded_seed st);
   let found = ref [] in
   let count = ref 0 in
@@ -570,6 +569,12 @@ let solve_ground ?limit ?(wellfounded = true) (gp : Grounder.ground_program) :
       ];
   List.rev !found
 
+(** Enumerate stable models of a ground program, up to [limit]. *)
+let solve_ground ?limit ?wellfounded (gp : Grounder.ground_program) : model list
+    =
+  Obs.span "asp.solve" @@ fun () ->
+  solve_state ?limit ?wellfounded (index_program gp)
+
 (** Enumerate stable models of a (non-ground) program. *)
 let solve ?limit ?wellfounded (p : Program.t) : model list =
   solve_ground ?limit ?wellfounded (Grounder.ground p)
@@ -590,6 +595,197 @@ let has_answer_set_ground (gp : Grounder.ground_program) : bool =
 
 let first_answer_set_ground (gp : Grounder.ground_program) : model option =
   match solve_ground ~limit:1 gp with [] -> None | m :: _ -> Some m
+
+(* -- Delta solving over a prepared core --------------------------------- *)
+
+(* The compiled, immutable slice of a ground program: atoms, ids, indexed
+   rules, occurrence lists. Everything mutable in [search_state] is
+   excluded, so one [prepared] value can back any number of concurrent
+   extensions. *)
+type prepared = {
+  pr_atoms : Atom.t array;
+  pr_id_of : (Atom.t, int) Hashtbl.t;  (* never mutated after [prepare] *)
+  pr_rule_arr : irule array;
+  pr_counts : Grounder.ground_rule list;
+  pr_rules_by_head : int list array;
+  pr_pos_occ : int list array;
+  pr_neg_occ : int list array;
+  pr_nbody : int array;
+  pr_definite : bool;
+      (* every rule has a plain atom head, no negative body, no
+         aggregates: the program is definite, so its least model exists
+         and equals the grounder's derived base *)
+}
+
+let prepare (gp : Grounder.ground_program) : prepared =
+  let st = index_program gp in
+  {
+    pr_atoms = st.atoms;
+    pr_id_of = st.id_of;
+    pr_rule_arr = st.rule_arr;
+    pr_counts = st.count_rules;
+    pr_rules_by_head = st.rules_by_head;
+    pr_pos_occ = st.pos_occ;
+    pr_neg_occ = st.neg_occ;
+    pr_nbody = st.nbody;
+    pr_definite =
+      st.count_rules = []
+      && List.for_all
+           (fun (r : Grounder.ground_rule) ->
+             r.gneg = []
+             &&
+             match r.ghead with
+             | Grounder.GAtom _ -> true
+             | Grounder.GFalse | Grounder.GWeak _ | Grounder.GChoice _ ->
+               false)
+           gp.grules;
+  }
+
+(** A fresh search state over [pr]'s program extended with [delta] ground
+    rules: the core compilation is shared untouched, only the delta rules
+    are compiled (with ids above the core's), and all mutable search
+    arrays are freshly allocated. Consing delta occurrences onto the
+    copied occurrence slots builds new list cells over the core's
+    immutable tails, so the prepared value is never written. *)
+let extend (pr : prepared) (delta : Grounder.ground_rule list) : search_state =
+  let n0 = Array.length pr.pr_atoms in
+  let new_atoms = ref [] in
+  let n_new = ref 0 in
+  let local = Hashtbl.create 16 in
+  let id a =
+    match Hashtbl.find_opt pr.pr_id_of a with
+    | Some i -> i
+    | None -> (
+      match Hashtbl.find_opt local a with
+      | Some i -> i
+      | None ->
+        let i = n0 + !n_new in
+        Hashtbl.add local a i;
+        new_atoms := a :: !new_atoms;
+        incr n_new;
+        i)
+  in
+  (* aggregate-bearing delta rules are model-checked like the core's; their
+     body atoms need no ids — an atom no plain rule can derive is never
+     true in a stable model, so checking it against the extracted model
+     coincides with the full-program search *)
+  let count_delta, plain_delta =
+    List.partition (fun (r : Grounder.ground_rule) -> r.gcounts <> []) delta
+  in
+  let darr =
+    Array.of_list
+      (List.map
+         (fun (r : Grounder.ground_rule) ->
+           {
+             ihead =
+               (match r.ghead with
+               | Grounder.GAtom a -> IAtom (id a)
+               | Grounder.GFalse -> IFalse
+               | Grounder.GWeak w -> IWeak w
+               | Grounder.GChoice (l, ats, u) ->
+                 IChoice (l, Array.of_list (List.map id ats), u));
+             ipos = Array.of_list (List.map id r.gpos);
+             ineg = Array.of_list (List.map id r.gneg);
+           })
+         plain_delta)
+  in
+  let n = n0 + !n_new in
+  let atoms =
+    if !n_new = 0 then pr.pr_atoms
+    else begin
+      let fill = List.hd !new_atoms in
+      let arr = Array.make n fill in
+      Array.blit pr.pr_atoms 0 arr 0 n0;
+      (* [new_atoms] lists ids in decreasing order *)
+      let i = ref (n - 1) in
+      List.iter
+        (fun a ->
+          arr.(!i) <- a;
+          decr i)
+        !new_atoms;
+      arr
+    end
+  in
+  let nr0 = Array.length pr.pr_rule_arr in
+  let rule_arr = Array.append pr.pr_rule_arr darr in
+  let nr = Array.length rule_arr in
+  let rules_by_head = Array.make n [] in
+  let pos_occ = Array.make n [] in
+  let neg_occ = Array.make n [] in
+  Array.blit pr.pr_rules_by_head 0 rules_by_head 0 n0;
+  Array.blit pr.pr_pos_occ 0 pos_occ 0 n0;
+  Array.blit pr.pr_neg_occ 0 neg_occ 0 n0;
+  let nbody = Array.make nr 0 in
+  Array.blit pr.pr_nbody 0 nbody 0 nr0;
+  Array.iteri
+    (fun k r ->
+      let ri = nr0 + k in
+      (match r.ihead with
+      | IAtom h -> rules_by_head.(h) <- ri :: rules_by_head.(h)
+      | IFalse | IWeak _ -> ()
+      | IChoice (_, ats, _) ->
+        Array.iter (fun a -> rules_by_head.(a) <- ri :: rules_by_head.(a)) ats);
+      nbody.(ri) <- Array.length r.ipos + Array.length r.ineg;
+      Array.iter (fun a -> pos_occ.(a) <- ri :: pos_occ.(a)) r.ipos;
+      Array.iter (fun a -> neg_occ.(a) <- ri :: neg_occ.(a)) r.ineg)
+    darr;
+  {
+    atoms;
+    id_of = pr.pr_id_of;
+    rules_by_head;
+    rule_arr;
+    assignment = Array.make n Unknown;
+    count_rules = (if count_delta = [] then pr.pr_counts
+                   else pr.pr_counts @ count_delta);
+    pos_occ;
+    neg_occ;
+    nbody;
+    sat_cnt = Array.make nr 0;
+    blk_cnt = Array.make nr 0;
+    source = Array.make n (-1);
+    queue = Array.make (n + 1) 0;
+    qhead = 0;
+    qtail = 0;
+    gl_derived = Array.make n false;
+    gl_rem = Array.make nr 0;
+    gl_neg_ok = Array.make nr false;
+  }
+
+(* When the prepared core is definite, the extension stays decidable in
+   one pass over the delta: a definite program always has its least
+   model, which equals the grounder's derived base — so a delta
+   constraint with a purely positive, aggregate-free body is violated
+   outright (the grounder instantiated that body from the base), while
+   negation, aggregates or choice heads in the delta force the general
+   search. Weak constraints never remove models. *)
+let classify_definite_delta (delta : Grounder.ground_rule list) =
+  let rec go unsat = function
+    | [] -> if unsat then `Unsat else `Sat
+    | (r : Grounder.ground_rule) :: rest ->
+      if r.gneg <> [] || r.gcounts <> [] then `Unknown
+      else (
+        match r.ghead with
+        | Grounder.GAtom _ | Grounder.GWeak _ -> go unsat rest
+        | Grounder.GFalse -> go true rest
+        | Grounder.GChoice _ -> `Unknown)
+  in
+  go false delta
+
+(** [has_answer_set_ground] over a prepared core extended with delta
+    rules: coincides with
+    [has_answer_set_ground { grules = core.grules @ delta; base }] by
+    construction, skipping the per-call recompilation of the core — and
+    skipping search entirely on the definite fast path. *)
+let has_answer_set_prepared ?wellfounded (pr : prepared)
+    ~(delta : Grounder.ground_rule list) : bool =
+  match if pr.pr_definite then classify_definite_delta delta else `Unknown with
+  | `Sat -> true
+  | `Unsat -> false
+  | `Unknown -> (
+    Obs.span "asp.solve" @@ fun () ->
+    match solve_state ~limit:1 ?wellfounded (extend pr delta) with
+    | [] -> false
+    | _ -> true)
 
 (** Atoms true in at least one answer set (brave consequences), restricted
     to a predicate when [pred] is given. *)

@@ -49,6 +49,28 @@ val has_answer_set_ground : Grounder.ground_program -> bool
 (** {!first_answer_set} over a pre-grounded core. *)
 val first_answer_set_ground : Grounder.ground_program -> model option
 
+(** {2 Delta solving over a prepared core}
+
+    For the serve hot path: compile a ground core once with {!prepare},
+    then decide satisfiability of core + per-request delta rules with
+    {!has_answer_set_prepared} — only the delta is compiled per call.
+    Pairs with {!Grounder.Incremental.delta}, which produces exactly the
+    extension rules when the frozen core needs no repair. *)
+
+type prepared
+(** The compiled, immutable slice of a ground program (atom ids, indexed
+    rules, occurrence lists). Never mutated after {!prepare}; safe to
+    share across threads and extend concurrently. *)
+
+val prepare : Grounder.ground_program -> prepared
+
+(** [has_answer_set_prepared pr ~delta] coincides with
+    {!has_answer_set_ground} on the prepared program extended with the
+    [delta] ground rules, skipping the per-call recompilation of the
+    core. [delta:[]] decides the prepared program itself. *)
+val has_answer_set_prepared :
+  ?wellfounded:bool -> prepared -> delta:Grounder.ground_rule list -> bool
+
 (** Atoms true in at least one answer set, optionally restricted to a
     predicate. *)
 val brave_consequences : ?pred:string -> Program.t -> Atom.Set.t

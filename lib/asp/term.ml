@@ -142,6 +142,15 @@ let rec eval term =
     | _ -> None)
   | Interval _ -> None
 
+(** A term already in evaluated form — no variable, arithmetic or
+    interval anywhere — so {!eval} returns it unchanged (and it is
+    ground). The common case for asserted context facts; checking it is
+    allocation-free. *)
+let rec is_value = function
+  | Int _ -> true
+  | Fun (_, args) -> List.for_all is_value args
+  | Var _ | Binop _ | Interval _ -> false
+
 (** One-way matching: extend [s] so that [apply s pattern = target].
     [target] must be ground. *)
 let rec match_term (s : subst) pattern target =

@@ -63,6 +63,11 @@ val apply : subst -> t -> t
     zero, or non-integer operands. *)
 val eval : t -> t option
 
+(** Already in evaluated form (no variable, arithmetic or interval
+    anywhere), so {!eval} is the identity on it and it is ground.
+    Allocation-free. *)
+val is_value : t -> bool
+
 (** One-way matching: extend the substitution so the pattern equals the
     (ground) target. *)
 val match_term : subst -> t -> t -> subst option

@@ -14,6 +14,8 @@ type record = {
   fallback_used : bool;
   compliant : bool option;
   provenance : string;
+  ground_hits : int;
+  ground_misses : int;
   latency : float;
 }
 
@@ -38,7 +40,8 @@ let length t = locked t @@ fun () -> min t.total t.cap
 let total t = locked t @@ fun () -> t.total
 
 let add t ~ts ~trace_id ~context_fp ~gpm_version ~options ~chosen
-    ~fallback_used ~compliant ~provenance ~latency =
+    ~fallback_used ~compliant ~provenance ~ground_hits ~ground_misses ~latency
+    =
   locked t @@ fun () ->
   let seq = t.total in
   t.buf.(seq mod t.cap) <-
@@ -54,6 +57,8 @@ let add t ~ts ~trace_id ~context_fp ~gpm_version ~options ~chosen
         fallback_used;
         compliant;
         provenance;
+        ground_hits;
+        ground_misses;
         latency;
       };
   t.total <- t.total + 1;
@@ -82,7 +87,7 @@ let record_to_json r =
     "{\"seq\": %d, \"ts\": %.6f, \"trace\": \"%s\", \"context_fp\": \"%x\", \
      \"gpm_version\": %d, \"options\": [%s], \"chosen\": \"%s\", \
      \"fallback_used\": %b, \"compliant\": %s, \"provenance\": \"%s\", \
-     \"latency_s\": %.9f}"
+     \"ground_hits\": %d, \"ground_misses\": %d, \"latency_s\": %.9f}"
     r.seq r.ts
     (Obs.Json.escape r.trace_id)
     r.context_fp r.gpm_version
@@ -97,7 +102,7 @@ let record_to_json r =
     | Some false -> "false"
     | None -> "null")
     (Obs.Json.escape r.provenance)
-    r.latency;
+    r.ground_hits r.ground_misses r.latency;
   Buffer.contents b
 
 let record_of_json line =
@@ -123,6 +128,16 @@ let record_of_json line =
       | Obs.Json.Null -> None
       | v -> Some (Obs.Json.to_bool v));
     provenance = str "provenance";
+    (* absent in pre-ground-count exports; default 0 keeps old trails
+       readable *)
+    ground_hits =
+      (match Obs.Json.member_opt "ground_hits" j with
+      | Some v -> int_of_float (Obs.Json.to_num v)
+      | None -> 0);
+    ground_misses =
+      (match Obs.Json.member_opt "ground_misses" j with
+      | Some v -> int_of_float (Obs.Json.to_num v)
+      | None -> 0);
     latency = fnum "latency_s";
   }
 

@@ -21,6 +21,10 @@ type record = {
   fallback_used : bool;
   compliant : bool option;
   provenance : string;  (** [Serve.provenance_to_string] of the response *)
+  ground_hits : int;
+      (** ground-cache hits across {e every} membership check of this
+          decision (one per parse tree per option) *)
+  ground_misses : int;  (** ditto, misses — [0]/[0] on a memo hit *)
   latency : float;  (** seconds *)
 }
 
@@ -50,6 +54,8 @@ val add :
   fallback_used:bool ->
   compliant:bool option ->
   provenance:string ->
+  ground_hits:int ->
+  ground_misses:int ->
   latency:float ->
   int
 
@@ -62,7 +68,7 @@ val clear : t -> unit
     [{"seq", "ts", "trace", "context_fp" (hex string — the 62-bit hash
     would lose bits as a JSON number), "gpm_version", "options",
     "chosen", "fallback_used", "compliant" (bool or null),
-    "provenance", "latency_s"}]. *)
+    "provenance", "ground_hits", "ground_misses", "latency_s"}]. *)
 val record_to_json : record -> string
 
 (** Parse one {!record_to_json} line.

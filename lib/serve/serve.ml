@@ -92,7 +92,18 @@ type tier_stats = {
   cap : int;
 }
 
-type stats = { decisions : tier_stats; grounds : tier_stats }
+type delta_stats = {
+  delta_grounds : int;
+  delta_facts : int;
+  delta_rules : int;
+  fallbacks : int;
+}
+
+type stats = {
+  decisions : tier_stats;
+  grounds : tier_stats;
+  delta : delta_stats;
+}
 
 let hit_rate (s : tier_stats) =
   let n = s.hits + s.misses in
@@ -102,9 +113,13 @@ let pp_tier ppf (s : tier_stats) =
   Fmt.pf ppf "%d/%d entries, %d hit(s), %d miss(es), %d eviction(s), rate %.2f"
     s.entries s.cap s.hits s.misses s.evictions (hit_rate s)
 
+let pp_delta ppf (d : delta_stats) =
+  Fmt.pf ppf "%d ground(s), %d fact(s), %d rule(s) added, %d fallback(s)"
+    d.delta_grounds d.delta_facts d.delta_rules d.fallbacks
+
 let pp_stats ppf s =
-  Fmt.pf ppf "decisions: %a@.grounds:   %a" pp_tier s.decisions pp_tier
-    s.grounds
+  Fmt.pf ppf "decisions: %a@.grounds:   %a@.delta:     %a" pp_tier s.decisions
+    pp_tier s.grounds pp_delta s.delta
 
 (* Process-wide counters, created on first engine use rather than at
    module initialization so that runs that never serve (plain `agenp
@@ -117,6 +132,10 @@ type counters = {
   cg_hits : Obs.Counter.t;
   cg_misses : Obs.Counter.t;
   cg_evictions : Obs.Counter.t;
+  cs_delta_grounds : Obs.Counter.t;
+  cs_delta_facts : Obs.Counter.t;
+  cs_delta_rules : Obs.Counter.t;
+  cs_delta_fallbacks : Obs.Counter.t;
   w_decide : Obs.Window.t;
 }
 
@@ -130,6 +149,10 @@ let counters =
       cg_hits = Obs.Counter.make "serve.ground_cache.hits";
       cg_misses = Obs.Counter.make "serve.ground_cache.misses";
       cg_evictions = Obs.Counter.make "serve.ground_cache.evictions";
+      cs_delta_grounds = Obs.Counter.make "serve.delta.grounds";
+      cs_delta_facts = Obs.Counter.make "serve.delta.facts";
+      cs_delta_rules = Obs.Counter.make "serve.delta.rules";
+      cs_delta_fallbacks = Obs.Counter.make "serve.delta.fallbacks";
       w_decide = Obs.Window.make "serve.decide";
     }
 
@@ -164,18 +187,50 @@ let decide_uncached (gpm : Asg.Gpm.t) (req : Request.t) : Decision.t =
 type memo_key = int * int * string list
 (* (gpm version, context fingerprint, options) *)
 
+(* Per-request ground-cache accounting: every membership check of a
+   request (one per parse tree per option) bumps exactly one of these, so
+   provenance can be derived from the full set instead of a single
+   any-tree-hit flag. *)
+type req_counts = { mutable rq_hits : int; mutable rq_misses : int }
+
+(* A ground-cache entry: the frozen incremental core plus its precompiled
+   solver state, so the hot path pays neither regrounding nor solver-core
+   recompilation. Both halves are immutable and keyed by the same core
+   program. *)
+type centry = {
+  ce_core : Asp.Grounder.Incremental.core;
+  ce_prepared : Asp.Solver.prepared;
+}
+
 type t = {
   mutable gpm : Asg.Gpm.t;
   cfg : Config.t;
   memo : (memo_key, Asp.Program.t * Decision.t) Lru.t;
       (** the stored context confirms fingerprint hits *)
-  grounds : (int, Asp.Program.t * Asp.Grounder.ground_program) Lru.t;
-      (** induced-program fingerprint -> (program, its grounding) *)
-  mu : Mutex.t;  (** guards both tiers and the stat mirror *)
+  grounds : (int, centry) Lru.t;
+      (** {e core}-program fingerprint -> frozen incremental core with
+          its prepared solver state; the stored core's program confirms
+          fingerprint hits *)
+  trees :
+    ( int * string,
+      (Grammar.Parse_tree.t * Asp.Program.t * int) list )
+    Hashtbl.t;
+      (** (gpm version, option) -> parse trees with their context-free
+          induced programs and the programs' fingerprints (precomputed:
+          they key the ground cache on every membership check); bounded
+          by the option vocabulary *)
+  mu : Mutex.t;  (** guards all tiers and the stat mirrors *)
   mutable d_hits : int;
   mutable d_misses : int;
   mutable g_hits : int;
   mutable g_misses : int;
+  mutable g_coll_evictions : int;
+      (** entries displaced by fingerprint-collision replacement (the
+          [Lru.add] value-replace path, invisible to [Lru.evictions]) *)
+  mutable n_delta_grounds : int;
+  mutable n_delta_facts : int;
+  mutable n_delta_rules : int;
+  mutable n_fallbacks : int;
   audit : Audit.t option;
   slo : Obs.Slo.t option;
 }
@@ -187,11 +242,17 @@ let create ?(config = Config.default) gpm =
     cfg = config;
     memo = Lru.create ~capacity:config.decision_cache ();
     grounds = Lru.create ~capacity:config.ground_cache ();
+    trees = Hashtbl.create 16;
     mu = Mutex.create ();
     d_hits = 0;
     d_misses = 0;
     g_hits = 0;
     g_misses = 0;
+    g_coll_evictions = 0;
+    n_delta_grounds = 0;
+    n_delta_facts = 0;
+    n_delta_rules = 0;
+    n_fallbacks = 0;
     audit =
       (if config.audit_capacity > 0 then
          Some (Audit.create ~capacity:config.audit_capacity)
@@ -219,13 +280,16 @@ let set_gpm t gpm =
     (* the version key already makes old entries unreachable; clearing
        reclaims their memory immediately (adaptation is rare, requests
        are not) *)
-    locked t (fun () -> Lru.clear t.memo)
+    locked t (fun () ->
+        Lru.clear t.memo;
+        Hashtbl.reset t.trees)
   end
 
 let invalidate t =
   locked t (fun () ->
       Lru.clear t.memo;
-      Lru.clear t.grounds)
+      Lru.clear t.grounds;
+      Hashtbl.reset t.trees)
 
 let stats t =
   locked t (fun () ->
@@ -242,9 +306,16 @@ let stats t =
           {
             hits = t.g_hits;
             misses = t.g_misses;
-            evictions = Lru.evictions t.grounds;
+            evictions = Lru.evictions t.grounds + t.g_coll_evictions;
             entries = Lru.length t.grounds;
             cap = Lru.capacity t.grounds;
+          };
+        delta =
+          {
+            delta_grounds = t.n_delta_grounds;
+            delta_facts = t.n_delta_facts;
+            delta_rules = t.n_delta_rules;
+            fallbacks = t.n_fallbacks;
           };
       })
 
@@ -263,12 +334,20 @@ let stats_to_json t =
         (Audit.capacity ring) (Audit.length ring) (Audit.total ring)
     | None -> "null"
   in
+  let delta_part =
+    Printf.sprintf
+      "{\"grounds\": %d, \"facts\": %d, \"rules_added\": %d, \"fallbacks\": \
+       %d}"
+      s.delta.delta_grounds s.delta.delta_facts s.delta.delta_rules
+      s.delta.fallbacks
+  in
   Printf.sprintf
-    "{\"schema\": \"serve-stats/1\", \"gpm_version\": %d, \"requests\": %d, \
-     \"decision_cache\": %s, \"ground_cache\": %s, \"audit\": %s}"
+    "{\"schema\": \"serve-stats/2\", \"gpm_version\": %d, \"requests\": %d, \
+     \"decision_cache\": %s, \"ground_cache\": %s, \"delta\": %s, \"audit\": \
+     %s}"
     (Asg.Gpm.version t.gpm)
     (s.decisions.hits + s.decisions.misses)
-    (tier s.decisions) (tier s.grounds) audit_part
+    (tier s.decisions) (tier s.grounds) delta_part audit_part
 
 let openmetrics t =
   let s = stats t in
@@ -283,43 +362,137 @@ let openmetrics t =
     ~extra:(tier "decision" s.decisions @ tier "ground" s.grounds)
     ()
 
-(** Grounding of [p] through the fingerprint-keyed cache. Sets [hit]
-    when the cached core was reused. *)
-let ground_cached t (p : Asp.Program.t) ~(hit : bool ref) :
-    Asp.Grounder.ground_program =
+(** The frozen incremental core for program [p], through the
+    fingerprint-keyed cache. A resident entry whose program is not
+    structurally equal to [p] is a fingerprint collision: freezing [p]
+    and [Lru.add]ing it displaces the resident through the value-replace
+    path, which [Lru.evictions] cannot see — so the displacement is
+    counted here as an eviction (it is one: a live entry left the
+    cache). *)
+let core_cached t (p : Asp.Program.t) ~(fp : int) ~(counts : req_counts) :
+    centry =
   let c = Lazy.force counters in
-  let fp = Asp.Program.fingerprint p in
-  let core = locked t (fun () -> Lru.find t.grounds fp) in
-  match core with
-  | Some (p0, gp) when Asp.Program.equal p0 p ->
+  let resident = locked t (fun () -> Lru.find t.grounds fp) in
+  match resident with
+  | Some e
+    when Asp.Program.equal
+           (Asp.Grounder.Incremental.core_program e.ce_core)
+           p ->
     locked t (fun () -> t.g_hits <- t.g_hits + 1);
     Obs.Counter.incr c.cg_hits;
-    hit := true;
-    gp
+    counts.rq_hits <- counts.rq_hits + 1;
+    e
   | _ ->
-    (* miss, or a fingerprint collision: ground_with re-confirms and
-       falls back to grounding either way *)
-    let gp = Asp.Grounder.ground_with ?core p in
+    let collision = Option.is_some resident in
+    let core = Asp.Grounder.Incremental.freeze p in
+    let e =
+      {
+        ce_core = core;
+        ce_prepared =
+          Asp.Solver.prepare (Asp.Grounder.Incremental.core_ground core);
+      }
+    in
     locked t (fun () ->
         t.g_misses <- t.g_misses + 1;
-        match Lru.add t.grounds fp (p, gp) with
+        if collision then t.g_coll_evictions <- t.g_coll_evictions + 1;
+        match Lru.add t.grounds fp e with
         | Some _ -> Obs.Counter.incr c.cg_evictions
-        | None -> ());
+        | None -> if collision then Obs.Counter.incr c.cg_evictions);
     Obs.Counter.incr c.cg_misses;
-    gp
+    counts.rq_misses <- counts.rq_misses + 1;
+    e
 
-(** One option's membership check, [s ∈ L(G(C))], on cached ground
-    programs: parse, induce each tree's program, solve the cached
-    grounding — stopping at the first satisfiable tree, like
-    {!Asg.Membership.accepts_in_context}. *)
-let accepts_cached t (g_ctx : Asg.Gpm.t) (opt : string) ~(hit : bool ref) :
-    bool =
+(** A context consisting solely of ground facts — the common case, and
+    the one that delta-grounds instead of regrounding: the induced core
+    program is context-free, so the cache can finally hit across
+    requests with distinct contexts. *)
+let fact_only_context (p : Asp.Program.t) : Asp.Atom.t list option =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | (r : Asp.Rule.t) :: rest -> (
+      match (r.head, r.body) with
+      | Asp.Rule.Head a, [] when Asp.Atom.is_ground a -> go (a :: acc) rest
+      | _ -> None)
+  in
+  go [] (Asp.Program.rules p)
+
+(** Parse trees of [opt] under the served grammar with their
+    context-free induced programs, cached per (version, option): the
+    Earley parse and program induction are context-independent, so on
+    the hot path they are paid once per option per model version. *)
+let trees_for t (gpm : Asg.Gpm.t) (opt : string) :
+    (Grammar.Parse_tree.t * Asp.Program.t * int) list =
+  let key = (Asg.Gpm.version gpm, opt) in
+  match locked t (fun () -> Hashtbl.find_opt t.trees key) with
+  | Some l -> l
+  | None ->
+    let tokens = Asg.Membership.tokenize opt in
+    let l =
+      List.map
+        (fun tree ->
+          let p = Asg.Tree_program.program gpm tree in
+          (tree, p, Asp.Program.fingerprint p))
+        (Grammar.Earley.parses (Asg.Gpm.cfg gpm) tokens)
+    in
+    locked t (fun () -> Hashtbl.replace t.trees key l);
+    l
+
+(** One option's membership check, [s ∈ L(G(C))], by incremental
+    grounding with delta solving: the context-free core is fetched
+    frozen from the cache (or frozen on a miss) and only the context
+    facts — instantiated at each node trace — are delta-grounded, per
+    tree, stopping at the first satisfiable one like
+    {!Asg.Membership.accepts_in_context}. When the frozen core needs no
+    repair (the overwhelmingly common case) the delta rules extend the
+    entry's precompiled solver state directly; only a context that
+    touches a latent negative literal or dormant choice of the core pays
+    the full reground-and-recompile. *)
+let accepts_incremental t (gpm : Asg.Gpm.t) (opt : string)
+    ~(counts : req_counts) ~(ctx_facts : Asp.Atom.t list) : bool =
+  let c = Lazy.force counters in
+  List.exists
+    (fun (tree, core_p, core_fp) ->
+      let e = core_cached t core_p ~fp:core_fp ~counts in
+      match ctx_facts with
+      | [] -> Asp.Solver.has_answer_set_prepared e.ce_prepared ~delta:[]
+      | _ -> (
+        let facts = Asg.Tree_program.context_facts tree ctx_facts in
+        let note added =
+          locked t (fun () ->
+              t.n_delta_grounds <- t.n_delta_grounds + 1;
+              t.n_delta_facts <- t.n_delta_facts + List.length facts;
+              t.n_delta_rules <- t.n_delta_rules + added);
+          Obs.Counter.incr c.cs_delta_grounds;
+          Obs.Counter.incr c.cs_delta_facts ~by:(List.length facts);
+          Obs.Counter.incr c.cs_delta_rules ~by:added
+        in
+        match Asp.Grounder.Incremental.delta_with e.ce_core ~facts with
+        | Some d ->
+          note (List.length d);
+          Asp.Solver.has_answer_set_prepared e.ce_prepared ~delta:d
+        | None ->
+          (* core repair needed: rebuild the combined program *)
+          let gp = Asp.Grounder.Incremental.ground_with e.ce_core ~facts in
+          note
+            (Asp.Grounder.size gp
+            - Asp.Grounder.size (Asp.Grounder.Incremental.core_ground e.ce_core));
+          Asp.Solver.has_answer_set_ground gp))
+    (trees_for t gpm opt)
+
+(** The fallback for contexts carrying proper rules: the context is
+    baked into the grammar ({!Asg.Gpm.with_context}) and each tree's
+    full induced program is frozen whole — structurally recurring
+    contexts still hit the cache, exactly the pre-incremental
+    behaviour. *)
+let accepts_fallback t (g_ctx : Asg.Gpm.t) (opt : string)
+    ~(counts : req_counts) : bool =
   let tokens = Asg.Membership.tokenize opt in
   let trees = Grammar.Earley.parses (Asg.Gpm.cfg g_ctx) tokens in
   List.exists
     (fun tree ->
       let p = Asg.Tree_program.program g_ctx tree in
-      Asp.Solver.has_answer_set_ground (ground_cached t p ~hit))
+      let e = core_cached t p ~fp:(Asp.Program.fingerprint p) ~counts in
+      Asp.Solver.has_answer_set_prepared e.ce_prepared ~delta:[])
     trees
 
 let decide t (req : Request.t) : Response.t =
@@ -337,8 +510,10 @@ let decide t (req : Request.t) : Response.t =
   if req.options = [] then raise No_options;
   let gpm = t.gpm in
   let version = Asg.Gpm.version gpm in
-  let key = (version, Asp.Program.fingerprint req.context, req.options) in
+  let ctx_fp = Asp.Program.fingerprint req.context in
+  let key = (version, ctx_fp, req.options) in
   let memo = locked t (fun () -> Lru.find t.memo key) in
+  let counts = { rq_hits = 0; rq_misses = 0 } in
   let decision, provenance =
     match memo with
     | Some (ctx0, d) when Asp.Program.equal ctx0 req.context ->
@@ -348,17 +523,29 @@ let decide t (req : Request.t) : Response.t =
     | _ ->
       locked t (fun () -> t.d_misses <- t.d_misses + 1);
       Obs.Counter.incr c.cd_misses;
-      let g_ctx = Asg.Gpm.with_context gpm req.context in
-      let ground_hit = ref false in
       let d =
-        decide_core req.options
-          ~membership:(accepts_cached t g_ctx ~hit:ground_hit)
+        match fact_only_context req.context with
+        | Some ctx_facts ->
+          decide_core req.options
+            ~membership:(fun opt ->
+              accepts_incremental t gpm opt ~counts ~ctx_facts)
+        | None ->
+          (* rule-bearing context: no context-free core to reuse *)
+          locked t (fun () -> t.n_fallbacks <- t.n_fallbacks + 1);
+          Obs.Counter.incr c.cs_delta_fallbacks;
+          let g_ctx = Asg.Gpm.with_context gpm req.context in
+          decide_core req.options
+            ~membership:(fun opt -> accepts_fallback t g_ctx opt ~counts)
       in
       locked t (fun () ->
           match Lru.add t.memo key (req.context, d) with
           | Some _ -> Obs.Counter.incr c.cd_evictions
           | None -> ());
-      (d, if !ground_hit then Ground_hit else Cold)
+      (* ground-cache provenance over the full set of membership checks:
+         a request is a [Ground_hit] only when every ground program it
+         needed came from the cache (one stray miss used to be enough to
+         mislabel the request when any other tree hit) *)
+      (d, if counts.rq_misses = 0 && counts.rq_hits > 0 then Ground_hit else Cold)
   in
   let latency = Obs.now () -. t0 in
   Obs.set_attr "provenance" (provenance_to_string provenance);
@@ -367,13 +554,13 @@ let decide t (req : Request.t) : Response.t =
   (match t.audit with
   | Some ring ->
     ignore
-      (Audit.add ring ~ts:(Obs.now ()) ~trace_id
-         ~context_fp:(Asp.Program.fingerprint req.context)
+      (Audit.add ring ~ts:(Obs.now ()) ~trace_id ~context_fp:ctx_fp
          ~gpm_version:version ~options:req.options
          ~chosen:decision.Decision.chosen
          ~fallback_used:decision.Decision.fallback_used
          ~compliant:decision.Decision.compliant
          ~provenance:(provenance_to_string provenance)
+         ~ground_hits:counts.rq_hits ~ground_misses:counts.rq_misses
          ~latency)
   | None -> ());
   {
@@ -387,16 +574,24 @@ let decide t (req : Request.t) : Response.t =
   }
 
 module Batch = struct
-  (* Higher priority first; ties broken by input position so the
-     schedule (not just the output) is deterministic. *)
+  (* Higher priority first; within a priority class, earliest deadline
+     first (no deadline sorts last — it can never be missed); remaining
+     ties broken by input position so the schedule (not just the output)
+     is deterministic at every pool size. *)
   let schedule (arr : Request.t array) : int array =
+    let deadline i =
+      match arr.(i).Request.deadline with Some d -> d | None -> infinity
+    in
     let order = Array.init (Array.length arr) Fun.id in
     Array.sort
       (fun i j ->
         let c =
           Int.compare arr.(j).Request.priority arr.(i).Request.priority
         in
-        if c <> 0 then c else Int.compare i j)
+        if c <> 0 then c
+        else
+          let c = Float.compare (deadline i) (deadline j) in
+          if c <> 0 then c else Int.compare i j)
       order;
     order
 

@@ -13,13 +13,30 @@
 
     {2 Cache tiers}
 
-    - {b Ground-program cache}: each membership check induces an ASP
-      program from a parse tree under the context; its grounding is
-      cached keyed by {!Asp.Program.fingerprint} (hits confirmed with
-      {!Asp.Program.equal}) and reused through
-      {!Asp.Grounder.ground_with} + {!Asp.Solver.has_answer_set_ground}.
-      Keys do not mention the model version: a structurally recurring
-      program stays warm across adaptations.
+    - {b Ground-program (core) cache}: each membership check grounds an
+      induced ASP program. For the common fact-only context the engine
+      splits the program in two: the {e context-free core} the parse
+      tree induces — frozen once via {!Asp.Grounder.Incremental.freeze},
+      paired with its precompiled solver state ({!Asp.Solver.prepare}),
+      and cached keyed by {!Asp.Program.fingerprint} (hits confirmed
+      with {!Asp.Program.equal}) — and the per-request context facts,
+      which are {e delta-grounded} against the frozen core
+      ({!Asp.Grounder.Incremental.delta_with}) and {e delta-solved}
+      against the prepared state
+      ({!Asp.Solver.has_answer_set_prepared}), so a warm check pays for
+      its delta only, never a recompile of the core. A context that
+      touches a latent negative literal or dormant choice of the core
+      repairs it via {!Asp.Grounder.Incremental.ground_with} and solves
+      the combined program whole. The cache key no longer embeds the
+      context, so distinct contexts over the same model hit the same
+      core and per-request grounding cost scales with context size, not
+      program size. Contexts carrying proper rules fall back to
+      freezing the full context-baked program (counted in
+      [delta.fallbacks]); structurally recurring rule contexts still
+      hit. Keys do not mention the model version: a structurally
+      recurring program stays warm across adaptations. A fingerprint
+      collision (resident key, unequal program) replaces the resident
+      entry and is counted as an eviction.
     - {b Decision memo}: whole decisions keyed by (GPM version, context
       fingerprint, options). {!Asg.Gpm.version} is bumped by every
       [with_context]/[with_hypothesis]/adaptation, so stale entries are
@@ -142,7 +159,20 @@ type tier_stats = {
   cap : int;
 }
 
-type stats = { decisions : tier_stats; grounds : tier_stats }
+(** Incremental-grounding statistics: how much serving work ran as
+    delta-grounding over a cached core rather than full regrounds. *)
+type delta_stats = {
+  delta_grounds : int;  (** delta grounds performed (core reused) *)
+  delta_facts : int;  (** context facts delta-grounded, instantiated *)
+  delta_rules : int;  (** ground rules the deltas added *)
+  fallbacks : int;  (** rule-bearing contexts, full core freeze *)
+}
+
+type stats = {
+  decisions : tier_stats;
+  grounds : tier_stats;
+  delta : delta_stats;
+}
 
 (** [hits / (hits + misses)]; 0 before any lookup. *)
 val hit_rate : tier_stats -> float
@@ -187,12 +217,12 @@ val audit : t -> Audit.t option
     appears in [Obs.report]. *)
 val slo : t -> Obs.Slo.t option
 
-(** One JSON object (schema [serve-stats/1]):
+(** One JSON object (schema [serve-stats/2]):
     [{"schema", "gpm_version", "requests", "decision_cache": tier,
-    "ground_cache": tier, "audit": {"capacity", "retained", "total"}
-    or null}] with [tier = {"hits", "misses", "evictions", "entries",
-    "capacity", "hit_rate"}]. The machine-readable face of
-    {!pp_stats}. *)
+    "ground_cache": tier, "delta": {"grounds", "facts", "rules_added",
+    "fallbacks"}, "audit": {"capacity", "retained", "total"} or null}]
+    with [tier = {"hits", "misses", "evictions", "entries", "capacity",
+    "hit_rate"}]. The machine-readable face of {!pp_stats}. *)
 val stats_to_json : t -> string
 
 (** The OpenMetrics exposition for this engine:
@@ -203,8 +233,15 @@ val stats_to_json : t -> string
 val openmetrics : t -> string
 
 module Batch : sig
+  (** The deterministic dispatch order over a request array: by priority
+      (higher first), then earliest deadline (no deadline last), then
+      input position. Exposed for scheduling tests; {!run} dispatches in
+      exactly this order. *)
+  val schedule : Request.t array -> int array
+
   (** Fan a batch across [pool] (default {!Par.Config.pool}), scheduling
-      higher-priority requests first, and return responses in {e input}
+      higher-priority requests first and, within a priority class,
+      earlier-deadline requests first, and return responses in {e input}
       order. Decisions are deterministic at every pool size — each
       request is evaluated in isolation and caches never change
       outcomes; provenance and latency naturally vary with scheduling.

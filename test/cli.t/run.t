@@ -188,20 +188,20 @@ else:
   > REQ
   $ agenp serve learned.asg requests.txt --repeat 2 --stats
   reject [cold]
-  accept [cold]
+  accept [ground]
   reject [memo]
   reject [memo]
   accept [memo]
   reject [memo]
   decisions: 2/256 entries, 4 hit(s), 2 miss(es), 0 eviction(s), rate 0.67
-  grounds:   4/512 entries, 0 hit(s), 4 miss(es), 0 eviction(s), rate 0.00
+  grounds:   2/512 entries, 2 hit(s), 2 miss(es), 0 eviction(s), rate 0.50
+  delta:     4 ground(s), 8 fact(s), 9 rule(s) added, 0 fallback(s)
   $ agenp serve learned.asg requests.txt --report | sed -E 's/ +[0-9]+\.[0-9]+//g; s/ +[0-9]+/ N/g'
   reject [cold]
-  accept [cold]
+  accept [ground]
   reject [memo]
   span                                    count    total(s)     mean(s)      p50(s)      p90(s)      p99(s)      max(s)
   asp.ground N
-  asp.solve N
   serve.decide N
   
   window                                last(s)    count   rate(/s)      p50(s)      p90(s)      p99(s)
@@ -227,6 +227,10 @@ else:
   serve.decision_cache.evictions N
   serve.decision_cache.hits N
   serve.decision_cache.misses N
+  serve.delta.facts N
+  serve.delta.fallbacks N
+  serve.delta.grounds N
+  serve.delta.rules N
   serve.ground_cache.evictions N
   serve.ground_cache.hits N
   serve.ground_cache.misses N
@@ -255,10 +259,10 @@ carries a distinct trace ID (the one on the request's spans and logs):
 
   $ agenp serve learned.asg requests.txt --stats-json stats.json --audit audit.jsonl 2>/dev/null
   reject [cold]
-  accept [cold]
+  accept [ground]
   reject [memo]
-  $ grep -o '"schema": "serve-stats/1"' stats.json
-  "schema": "serve-stats/1"
+  $ grep -o '"schema": "serve-stats/2"' stats.json
+  "schema": "serve-stats/2"
   $ grep -oE '"trace": "[^"]*"' audit.jsonl | sort -u | wc -l
   3
 
@@ -267,7 +271,7 @@ re-emission, tailed with --last (sequence numbers, trace IDs and
 latencies vary, so normalize them):
 
   $ agenp audit audit.jsonl --last 2 | sed -E 's/^ +[0-9]+ [^ ]+/N ID/; s/[0-9]+\.[0-9]+s/T/'
-  N ID accept [cold] T
+  N ID accept [ground] T
   N ID reject [memo] T
   % 2 record(s)
   $ agenp audit audit.jsonl --json | wc -l
@@ -289,7 +293,7 @@ serves over HTTP, counters and per-tier cache gauges included:
   # TYPE agenp_serve_requests counter
   agenp_serve_requests_total 3
   agenp_serve_cache_entries{tier="decision"} 2
-  agenp_serve_cache_entries{tier="ground"} 4
+  agenp_serve_cache_entries{tier="ground"} 2
   # EOF
 
 The pipeline routed through the serving engine (--serve) is

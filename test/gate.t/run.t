@@ -96,11 +96,28 @@ A committed snapshot whose caches never hit measured nothing:
   serve: committed snapshot has warm hit rate N — caches never engaged FAIL
   bench gate: FAIL (N regression(s) beyond N%; serve caches unsound)
 
-A sound snapshot passes the live cached-vs-uncached re-check. The gate
-prints per-tier hit rates; a tier that never hit is a warning, not a
-failure (the memo legitimately absorbs repeats before the ground tier
-sees them on the quick differential). A snapshot written before
-per-tier reporting (no "ground_cache" member) is still accepted:
+Since the incremental grounder landed, a zero-hit tier is fatal: the
+cores are context-free, so even the quick differential's distinct
+contexts must hit the ground tier, and the memo must absorb its
+repeats. A committed snapshot whose ground tier never hit fails before
+any measurement:
+
+  $ cat > serve-ground0.json <<'JSON'
+  > {"schema": "bench-serve/2", "decision_cache": {"hit_rate": 0.5}, "ground_cache": {"hit_rate": 0.0}, "identical_outcome": true}
+  > JSON
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --baseline-serve serve-ground0.json --quota 0.05 --runs 1 > out.txt
+  [1]
+  $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
+  bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
+  asp-parse N ns -> N ns (Nx) ok
+  par: skipped
+  serve: committed snapshot has ground tier rate N — the core cache never engaged FAIL
+  serve: cached vs uncached decisions: identical (decision tier N, ground tier N)
+  bench gate: FAIL (N regression(s) beyond N%; serve caches unsound)
+
+A sound snapshot passes the live cached-vs-uncached re-check, which now
+asserts both tiers hit. A snapshot written before per-tier reporting
+(no "ground_cache" member) is still accepted:
 
   $ cat > serve-ok.json <<'JSON'
   > {"schema": "bench-serve/1", "decision_cache": {"hit_rate": 0.5}, "identical_outcome": true}
@@ -111,7 +128,6 @@ per-tier reporting (no "ground_cache" member) is still accepted:
   par: skipped
   serve: committed snapshot predates per-tier rates (decision N only)
   serve: cached vs uncached decisions: identical (decision tier N, ground tier N)
-  serve: WARNING: ground tier never hit on the quick differential
   bench gate: PASS
 
 A current snapshot carries both tiers' rates:
@@ -125,5 +141,4 @@ A current snapshot carries both tiers' rates:
   par: skipped
   serve: committed snapshot tier rates: decision N, ground N
   serve: cached vs uncached decisions: identical (decision tier N, ground tier N)
-  serve: WARNING: ground tier never hit on the quick differential
   bench gate: PASS

@@ -248,6 +248,61 @@ let batch_requests () =
     request ~priority:2 snow [ "accept"; "reject" ];
   ]
 
+(* the dispatch order itself: priority first, then earliest deadline
+   (requests without one go last), then input position *)
+let test_batch_schedule_deadlines () =
+  let reqs =
+    [|
+      request ~priority:1 snow [ "accept" ];
+      (* 0 *)
+      request ~priority:5 ~deadline:0.9 sun [ "accept" ];
+      (* 1 *)
+      request ~priority:5 ~deadline:0.1 fog [ "accept" ];
+      (* 2 *)
+      request ~priority:5 snow [ "accept" ];
+      (* 3: no deadline, last in its class *)
+      request ~priority:5 ~deadline:0.1 sun [ "accept" ];
+      (* 4: ties with 2 on (priority, deadline); input order breaks it *)
+      request ~priority:1 ~deadline:0.5 fog [ "accept" ];
+      (* 5 *)
+    |]
+  in
+  Alcotest.(check (array int))
+    "priority desc, deadline asc, index asc" [| 2; 4; 1; 3; 5; 0 |]
+    (Serve.Batch.schedule reqs)
+
+let batch_deadline_requests () =
+  [
+    request ~priority:1 ~deadline:0.2 snow [ "accept"; "reject" ];
+    request ~priority:5 sun [ "accept"; "reject" ];
+    request ~priority:5 ~deadline:0.1 fog [ "accept"; "reject" ];
+    request ~priority:5 ~deadline:0.4 snow [ "reject"; "accept" ];
+    request ~priority:1 sun [ "reject" ];
+    request ~priority:1 ~deadline:0.2 snow [ "accept"; "reject" ];
+  ]
+
+(* deadline-aware scheduling must not disturb input-order responses or
+   decisions at any pool size *)
+let test_batch_deadline_determinism () =
+  let gpm = gpm_of sun_only_grammar in
+  let reqs = batch_deadline_requests () in
+  let reference = List.map (Serve.decide_uncached gpm) reqs in
+  List.iter
+    (fun domains ->
+      let pool = Par.create ~domains () in
+      let engine = Serve.create gpm in
+      let batched =
+        List.map
+          (fun (r : Serve.Response.t) -> r.Serve.Response.decision)
+          (Serve.Batch.run ~pool engine reqs)
+      in
+      Par.shutdown pool;
+      Alcotest.(check (list decision_t))
+        (Printf.sprintf "deadlines don't reorder responses at %d domain(s)"
+           domains)
+        reference batched)
+    [ 1; 2; 4 ]
+
 let test_batch_determinism () =
   let gpm = gpm_of sun_only_grammar in
   let reqs = batch_requests () in
@@ -299,7 +354,11 @@ let test_audit_records_decisions () =
     Alcotest.(check int) "context fingerprint recorded"
       (Asp.Program.fingerprint snow) r.Serve.Audit.context_fp;
     Alcotest.(check string) "provenance recorded" "cold"
-      r.Serve.Audit.provenance
+      r.Serve.Audit.provenance;
+    (* a cold decision missed the ground cache at least once; the
+       per-request counts land in the audit record *)
+    Alcotest.(check bool) "ground misses recorded" true
+      (r.Serve.Audit.ground_misses > 0)
 
 (* wraparound: a ring of capacity n keeps exactly the newest n records,
    oldest first, with seq/total still counting everything ever added *)
@@ -310,7 +369,7 @@ let test_audit_wraparound () =
       (Serve.Audit.add ring ~ts:(float_of_int i) ~trace_id:(string_of_int i)
          ~context_fp:i ~gpm_version:0 ~options:[ "a" ] ~chosen:"a"
          ~fallback_used:false ~compliant:None ~provenance:"cold"
-         ~latency:0.0)
+         ~ground_hits:0 ~ground_misses:0 ~latency:0.0)
   in
   for i = 0 to 9 do
     add i
@@ -343,6 +402,8 @@ let test_audit_jsonl_roundtrip () =
       fallback_used = seq = 1;
       compliant;
       provenance = "memo";
+      ground_hits = seq;
+      ground_misses = 2 - seq;
       latency = 0.25;
     }
   in
@@ -402,7 +463,7 @@ let test_stats_json () =
   ignore (Serve.decide engine req);
   ignore (Serve.decide engine req);
   let j = Obs.Json.parse (Serve.stats_to_json engine) in
-  Alcotest.(check string) "schema" "serve-stats/1"
+  Alcotest.(check string) "schema" "serve-stats/2"
     Obs.Json.(to_str (member "schema" j));
   Alcotest.(check (float 1e-9)) "requests" 2.0
     Obs.Json.(to_num (member "requests" j));
@@ -413,6 +474,15 @@ let test_stats_json () =
     Obs.Json.(to_num (member "hit_rate" d));
   Alcotest.(check (float 1e-9)) "ground capacity" 512.0
     Obs.Json.(to_num (member "capacity" (member "ground_cache" j)));
+  (* the snow context is fact-only, so the one cold decision ran as
+     delta grounds over frozen cores, never a fallback *)
+  let delta = Obs.Json.member "delta" j in
+  Alcotest.(check bool) "delta grounds counted" true
+    Obs.Json.(to_num (member "grounds" delta) > 0.0);
+  Alcotest.(check bool) "delta facts counted" true
+    Obs.Json.(to_num (member "facts" delta) > 0.0);
+  Alcotest.(check (float 1e-9)) "no fallbacks" 0.0
+    Obs.Json.(to_num (member "fallbacks" delta));
   Alcotest.(check (float 1e-9)) "audit retained" 2.0
     Obs.Json.(to_num (member "retained" (member "audit" j)))
 
@@ -547,7 +617,13 @@ let () =
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest differential_prop ]);
       ( "batch",
-        [ Alcotest.test_case "determinism" `Quick test_batch_determinism ] );
+        [
+          Alcotest.test_case "determinism" `Quick test_batch_determinism;
+          Alcotest.test_case "deadline schedule" `Quick
+            test_batch_schedule_deadlines;
+          Alcotest.test_case "deadline determinism" `Quick
+            test_batch_deadline_determinism;
+        ] );
       ( "ops",
         [
           Alcotest.test_case "audit records decisions" `Quick
