@@ -1128,3 +1128,167 @@ let serve ~quick () =
     delta.Serve.fallbacks ns_per_ground identical;
   close_out oc;
   Fmt.pr "snapshot written to BENCH_serve.json@."
+
+(* ---- DRIFT: policy-health drift replay ------------------------------- *)
+
+(* zero every health signal and the event ring so each replay phase
+   measures only its own stream *)
+let reset_health () =
+  List.iter Obs.Health.reset (Obs.Health.all ());
+  Obs.Health.clear_events ()
+
+(* the gate's live counterpart of the committed delta.ns_per_ground:
+   serve a small distinct-context cold workload (all delta grounds, no
+   memo hits) and report ns per delta ground, min of [runs] *)
+let serve_ground_ns ?(n = 30) ?(runs = 3) () : float =
+  let gpm = Workloads.Xacml_logs.gpm () in
+  let reqs =
+    serve_requests ~n ~seed:5 ()
+    |> List.mapi (fun i (r : Serve.Request.t) ->
+           Serve.Request.make
+             ~context:
+               (Asp.Program.with_facts r.Serve.Request.context
+                  [ Asp.Atom.make "req_seq" [ Asp.Term.int i ] ])
+             ~options:r.Serve.Request.options ())
+  in
+  let one () =
+    let engine = Serve.create gpm in
+    let t0 = Obs.now () in
+    List.iter (fun r -> ignore (Serve.decide engine r)) reqs;
+    let t = Obs.now () -. t0 in
+    let d = (Serve.stats engine).Serve.delta in
+    t *. 1e9 /. float_of_int (max 1 d.Serve.delta_grounds)
+  in
+  List.fold_left
+    (fun acc _ -> Float.min acc (one ()))
+    (one ())
+    (List.init (runs - 1) Fun.id)
+
+(* one closed-loop replay over the XACML log: [pretrain] requests to
+   settle the learner, a health reset, then [n1] stationary requests
+   and [n2] requests with the ground truth inverted ([n2 = 0] is the
+   stationary control). Returns the post-reset (chosen, compliant)
+   stream and the adaptation count. *)
+let drift_replay ~use_serve ~pretrain ~n1 ~n2 () :
+    (string * bool) list * int =
+  let spec : Agenp.Prep.pbms_spec =
+    {
+      Agenp.Prep.grammar_text =
+        Asg.Asg_parser.render (Workloads.Xacml_logs.gpm ());
+      global_constraints = [];
+    }
+  in
+  let space = Ilp.Hypothesis_space.generate (Workloads.Xacml_logs.modes ()) in
+  let truth = ref Policy.Decision.Permit in
+  let env : Agenp.Ams.environment =
+    {
+      Agenp.Ams.options = [ "permit"; "deny" ];
+      oracle =
+        (fun _context opt ->
+          match opt with
+          | "deny" -> true (* denying is always safe *)
+          | "permit" -> Policy.Decision.equal !truth Policy.Decision.Permit
+          | _ -> false);
+      audit_rate = 0.0;
+    }
+  in
+  let ams = Agenp.Ams.create ~name:"drift" ~seed:1 ~spec ~space env in
+  if use_serve then
+    Agenp.Ams.attach_engine ams (Serve.create (Agenp.Ams.gpm ams));
+  let log = Workloads.Xacml_logs.log ~seed:11 ~n:(pretrain + n1 + n2) () in
+  let flip = function
+    | Policy.Decision.Permit -> Policy.Decision.Deny
+    | Policy.Decision.Deny -> Policy.Decision.Permit
+    | d -> d
+  in
+  let outcomes = ref [] in
+  List.iteri
+    (fun i (r, d) ->
+      if i = pretrain then reset_health ();
+      truth := (if i >= pretrain + n1 then flip d else d);
+      let rc = Agenp.Ams.handle_request ams (Policy.Request.to_context r) in
+      if i >= pretrain then
+        outcomes :=
+          (rc.Agenp.Pep.decision.Agenp.Decision.chosen, Agenp.Pep.compliant rc)
+          :: !outcomes)
+    log;
+  (List.rev !outcomes, Agenp.Ams.relearn_count ams)
+
+let rate_shift_events () =
+  List.filter
+    (fun (e : Obs.Health.event) -> e.Obs.Health.ev_kind = "rate_shift")
+    (Obs.Health.events ())
+
+let drift ~quick () =
+  section "DRIFT  Policy-health drift replay: detection latency and recovery";
+  let pretrain = if quick then 30 else 40 in
+  let n1 = if quick then 20 else 25 in
+  let n2 = if quick then 35 else 45 in
+  let tail = 15 in
+  (* stationary control: same length, ground truth never mutates *)
+  reset_health ();
+  let _, _ = drift_replay ~use_serve:true ~pretrain ~n1:(n1 + n2) ~n2:0 () in
+  let false_alarms = List.length (rate_shift_events ()) in
+  (* drifted runs: uncached reference first, then the measured serve run *)
+  reset_health ();
+  let ref_outcomes, _ = drift_replay ~use_serve:false ~pretrain ~n1 ~n2 () in
+  reset_health ();
+  let outcomes, adaptations = drift_replay ~use_serve:true ~pretrain ~n1 ~n2 () in
+  let identical =
+    List.length ref_outcomes = List.length outcomes
+    && List.for_all2
+         (fun (a, _) (b, _) -> String.equal a b)
+         ref_outcomes outcomes
+  in
+  let alarms =
+    List.filter
+      (fun (e : Obs.Health.event) ->
+        e.Obs.Health.ev_signal = "pep.noncompliance"
+        && e.Obs.Health.ev_observations > n1)
+      (rate_shift_events ())
+  in
+  let detected = alarms <> [] in
+  let detection_latency =
+    match alarms with
+    | e :: _ -> e.Obs.Health.ev_observations - n1
+    | [] -> -1
+  in
+  let recovery_accuracy =
+    let rest = List.filteri (fun i _ -> i >= n1 + n2 - tail) outcomes in
+    match rest with
+    | [] -> 0.0
+    | _ ->
+      float_of_int (List.length (List.filter snd rest))
+      /. float_of_int (List.length rest)
+  in
+  Fmt.pr "stationary control: %d request(s), %d false alarm(s)@." (n1 + n2)
+    false_alarms;
+  Fmt.pr
+    "drifted stream: mutation at request %d, %s (latency %d request(s), %d \
+     alarm(s))@."
+    n1
+    (if detected then "detected" else "NOT DETECTED")
+    detection_latency (List.length alarms);
+  Fmt.pr "adaptations %d, recovery accuracy %.3f over last %d request(s)@."
+    adaptations recovery_accuracy tail;
+  Fmt.pr "decisions %s with and without the serving engine@."
+    (if identical then "identical" else "DIFFERENT");
+  let oc = open_out "BENCH_drift.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"bench-drift/1\",\n\
+    \  \"pretrain_requests\": %d,\n\
+    \  \"stationary_requests\": %d,\n\
+    \  \"post_mutation_requests\": %d,\n\
+    \  \"false_alarms_on_stationary\": %d,\n\
+    \  \"detected\": %b,\n\
+    \  \"detection_latency_requests\": %d,\n\
+    \  \"detector_alarms\": %d,\n\
+    \  \"adaptations\": %d,\n\
+    \  \"recovery_accuracy\": %.3f,\n\
+    \  \"identical_outcome\": %b\n\
+     }\n"
+    pretrain n1 n2 false_alarms detected detection_latency
+    (List.length alarms) adaptations recovery_accuracy identical;
+  close_out oc;
+  Fmt.pr "snapshot written to BENCH_drift.json@."

@@ -15,7 +15,8 @@
 let usage =
   "usage: bench gate [--tolerance F] [--quota SEC] [--runs N] \
    [--baseline-asp FILE] [--baseline-par FILE] [--baseline-serve FILE] \
-   [--skip-par] [--skip-serve] [--rebaseline]"
+   [--baseline-drift FILE] [--skip-par] [--skip-serve] [--skip-drift] \
+   [--rebaseline]"
 
 type opts = {
   tolerance : float;  (** allowed fractional slowdown, default 0.15 *)
@@ -24,8 +25,10 @@ type opts = {
   baseline_asp : string;
   baseline_par : string;
   baseline_serve : string;
+  baseline_drift : string;
   skip_par : bool;
   skip_serve : bool;
+  skip_drift : bool;
   rebaseline : bool;  (** re-capture BENCH_asp.json instead of checking *)
 }
 
@@ -37,8 +40,10 @@ let default_opts =
     baseline_asp = "BENCH_asp.json";
     baseline_par = "BENCH_par.json";
     baseline_serve = "BENCH_serve.json";
+    baseline_drift = "BENCH_drift.json";
     skip_par = false;
     skip_serve = false;
+    skip_drift = false;
     rebaseline = false;
   }
 
@@ -62,8 +67,10 @@ let parse_args args =
     | "--baseline-asp" :: v :: rest -> go { o with baseline_asp = v } rest
     | "--baseline-par" :: v :: rest -> go { o with baseline_par = v } rest
     | "--baseline-serve" :: v :: rest -> go { o with baseline_serve = v } rest
+    | "--baseline-drift" :: v :: rest -> go { o with baseline_drift = v } rest
     | "--skip-par" :: rest -> go { o with skip_par = true } rest
     | "--skip-serve" :: rest -> go { o with skip_serve = true } rest
+    | "--skip-drift" :: rest -> go { o with skip_drift = true } rest
     | "--rebaseline" :: rest -> go { o with rebaseline = true } rest
     | a :: _ -> raise (Bad_args ("unknown argument: " ^ a))
   in
@@ -99,9 +106,10 @@ let load_par_identical path : bool =
    the warm decision-cache hit rate (which must be strictly positive —
    a snapshot whose caches never hit measured nothing). Both snapshot
    generations load: bench-serve/2 adds the incremental-grounding delta
-   section, which the gate doesn't compare. The ground-tier rate is
-   optional only in bench-serve/1 files predating per-tier reporting. *)
-let load_serve_baseline path : bool * float * float option =
+   section, whose ns_per_ground the gate re-measures and compares under
+   the tolerance. The ground-tier rate and delta section are optional
+   only in bench-serve/1 files predating them. *)
+let load_serve_baseline path : bool * float * float option * float option =
   let j = read_json path in
   (match Obs.Json.(to_str (member "schema" j)) with
   | "bench-serve/1" | "bench-serve/2" -> ()
@@ -110,7 +118,24 @@ let load_serve_baseline path : bool * float * float option =
     Obs.Json.(to_num (member "hit_rate" (member "decision_cache" j))),
     Obs.Json.(
       Option.map (fun g -> to_num (member "hit_rate" g))
-        (member_opt "ground_cache" j)) )
+        (member_opt "ground_cache" j)),
+    Obs.Json.(
+      Option.map
+        (fun d -> to_num (member "ns_per_ground" d))
+        (member_opt "delta" j)) )
+
+(* the committed drift snapshot: the detector must have caught the
+   injected mutation, raised nothing on the stationary control, and the
+   serve path must have stayed outcome-identical *)
+let load_drift_baseline path : bool * int * int * bool =
+  let j = read_json path in
+  (match Obs.Json.(to_str (member "schema" j)) with
+  | "bench-drift/1" -> ()
+  | other -> failwith (Printf.sprintf "unexpected schema %S" other));
+  ( Obs.Json.(to_bool (member "detected" j)),
+    Obs.Json.(int_of_float (to_num (member "false_alarms_on_stationary" j))),
+    Obs.Json.(int_of_float (to_num (member "detection_latency_requests" j))),
+    Obs.Json.(to_bool (member "identical_outcome" j)) )
 
 let rebaseline o =
   Fmt.pr "bench gate: re-capturing BENCH_asp.json (quota %.2fs, min of %d \
@@ -136,7 +161,11 @@ let run args =
         if o.skip_serve then None
         else Some (load_serve_baseline o.baseline_serve)
       in
-      `Check (o, baseline, par_baseline_ok, serve_baseline)
+      let drift_baseline =
+        if o.skip_drift then None
+        else Some (load_drift_baseline o.baseline_drift)
+      in
+      `Check (o, baseline, par_baseline_ok, serve_baseline, drift_baseline)
   with
   | exception Bad_args msg ->
     Fmt.epr "bench gate: %s@.%s@." msg usage;
@@ -151,7 +180,7 @@ let run args =
     Fmt.epr "bench gate: bad baseline: %s@." msg;
     2
   | `Rebaseline o -> rebaseline o
-  | `Check (o, baseline, par_baseline_ok, serve_baseline) ->
+  | `Check (o, baseline, par_baseline_ok, serve_baseline, drift_baseline) ->
     Fmt.pr
       "bench gate: %d bench(es), tolerance %.0f%%, quota %.2fs, min of %d \
        run(s)@."
@@ -196,7 +225,11 @@ let run args =
       | None ->
         Fmt.pr "serve: skipped@.";
         true
-      | Some (committed_identical, committed_hit_rate, committed_ground_rate) ->
+      | Some
+          ( committed_identical,
+            committed_hit_rate,
+            committed_ground_rate,
+            committed_ns_per_ground ) ->
         if not committed_identical then begin
           Fmt.pr
             "serve: committed snapshot has identical_outcome=false  FAIL@.";
@@ -246,9 +279,59 @@ let run args =
                         differential  FAIL@."
                   tier)
             [ ("decision", decision_rate); ("ground", ground_rate) ];
+          (* the delta section's ns_per_ground gates like the asp
+             benches: re-measure and hold it to the same tolerance *)
+          let ground_ns_ok =
+            match committed_ns_per_ground with
+            | None ->
+              Fmt.pr "serve: committed snapshot predates the delta \
+                      section (ns_per_ground not gated)@.";
+              true
+            | Some base ->
+              let cur = Experiments.serve_ground_ns () in
+              let ratio = if base > 0.0 then cur /. base else infinity in
+              let regressed = cur > base *. (1.0 +. o.tolerance) in
+              Fmt.pr "serve: ns_per_ground %12.0f ns -> %10.0f ns (%.2fx)  \
+                      %s@."
+                base cur ratio
+                (if regressed then "REGRESSION" else "ok");
+              not regressed
+          in
           committed_ground_ok && identical && decision_rate > 0.0
-          && ground_rate > 0.0
+          && ground_rate > 0.0 && ground_ns_ok
         end
+    in
+    let drift_ok =
+      match drift_baseline with
+      | None ->
+        Fmt.pr "drift: skipped@.";
+        true
+      | Some (detected, false_alarms, latency, identical) ->
+        let problems =
+          List.filter_map Fun.id
+            [
+              (if detected then None
+               else Some "mutation not detected (detected=false)");
+              (if false_alarms = 0 then None
+               else
+                 Some
+                   (Printf.sprintf "%d false alarm(s) on the stationary \
+                                    control"
+                      false_alarms));
+              (if latency >= 1 then None
+               else Some "detection latency missing or non-positive");
+              (if identical then None
+               else Some "serve path not outcome-identical");
+            ]
+        in
+        (match problems with
+        | [] ->
+          Fmt.pr
+            "drift: committed snapshot: detected at latency %d, 0 false \
+             alarms, outcomes identical@."
+            latency
+        | ps -> List.iter (fun p -> Fmt.pr "drift: %s  FAIL@." p) ps);
+        problems = []
     in
     if !missing > 0 then begin
       Fmt.epr "bench gate: %d baseline bench(es) have no current \
@@ -256,11 +339,13 @@ let run args =
         !missing;
       2
     end
-    else if !regressions > 0 || not par_ok || not serve_ok then begin
-      Fmt.pr "bench gate: FAIL (%d regression(s) beyond %.0f%%%s%s)@."
+    else if !regressions > 0 || not par_ok || not serve_ok || not drift_ok
+    then begin
+      Fmt.pr "bench gate: FAIL (%d regression(s) beyond %.0f%%%s%s%s)@."
         !regressions (o.tolerance *. 100.0)
         (if par_ok then "" else "; par outcomes differ")
-        (if serve_ok then "" else "; serve caches unsound");
+        (if serve_ok then "" else "; serve caches unsound")
+        (if drift_ok then "" else "; drift detection unsound");
       1
     end
     else begin

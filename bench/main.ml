@@ -32,6 +32,7 @@ let registry =
     ("perf", Experiments.perf);
     ("par", Experiments.par);
     ("serve", Experiments.serve);
+    ("drift", Experiments.drift);
   ]
 
 (* Extract "FLAG FILE" from the raw argument list, returning the file

@@ -337,8 +337,16 @@ let parse_requests_file path : (string list * Asp.Program.t) list =
     engine statistics, [--audit] exports the decision audit trail as
     JSONL, and [--slo-target]/[--slo-objective]/[--slo-window]
     configure the latency SLO the engine tracks. *)
+(* export the global health-event ring as JSONL (mirrors --audit) *)
+let write_health_out = function
+  | Some path ->
+    let events = Obs.Health.events () in
+    Obs.Health.write_jsonl path events;
+    Fmt.epr "%% health: %d event(s) -> %s@." (List.length events) path
+  | None -> ()
+
 let serve_cmd obs grammar requests context repeat stats batch stats_json
-    audit_out metrics_port metrics_linger metrics_once slo_target
+    audit_out health_out metrics_port metrics_linger metrics_once slo_target
     slo_objective slo_window =
   run obs @@ fun () ->
   let gpm = Asg.Asg_parser.parse (read_file grammar) in
@@ -396,6 +404,7 @@ let serve_cmd obs grammar requests context repeat stats batch stats_json
     Fmt.epr "%% audit: %d record(s) -> %s@." (List.length records) path
   | Some path, None -> Serve.Audit.write_jsonl path []
   | None, _ -> ());
+  write_health_out health_out;
   if metrics_once then print_string (Serve.openmetrics engine);
   (match metrics_linger with
   | Some sec when server <> None ->
@@ -449,6 +458,50 @@ let audit_cmd obs file last trace_filter fallbacks json =
           r.latency)
       records;
     Fmt.pr "%% %d record(s)@." (List.length records)
+  end;
+  0
+
+(** Query a policy-health event trail exported with [--health] (from
+    [serve] or [pipeline]): detector rate-shift alarms and PAdaP
+    relearn lifecycle events. *)
+let health_cmd obs file last since_version json =
+  run obs @@ fun () ->
+  let events =
+    try Obs.Health.read_jsonl file
+    with Obs.Json.Parse_error msg ->
+      raise
+        (Cli_input_error (Printf.sprintf "%s: bad health JSONL: %s" file msg))
+  in
+  let events =
+    match since_version with
+    | Some v ->
+      List.filter
+        (fun (e : Obs.Health.event) -> e.Obs.Health.ev_gpm_version >= v)
+        events
+    | None -> events
+  in
+  let events =
+    match last with
+    | Some n ->
+      let len = List.length events in
+      List.filteri (fun i _ -> i >= len - n) events
+    | None -> events
+  in
+  if json then
+    Fmt.pr "{\"schema\": \"health/1\", \"events\": [%s]}@."
+      (String.concat ", " (List.map Obs.Health.event_to_json events))
+  else begin
+    List.iter
+      (fun (e : Obs.Health.event) ->
+        Fmt.pr "%6d %-18s %-10s v%-3d n=%-4d %.3f->%.3f (%+.3f)%s@."
+          e.Obs.Health.ev_seq e.Obs.Health.ev_signal e.Obs.Health.ev_kind
+          e.Obs.Health.ev_gpm_version e.Obs.Health.ev_observations
+          e.Obs.Health.ev_baseline e.Obs.Health.ev_current
+          e.Obs.Health.ev_deviation
+          (if e.Obs.Health.ev_detail = "" then ""
+           else " " ^ e.Obs.Health.ev_detail))
+      events;
+    Fmt.pr "%% %d event(s)@." (List.length events)
   end;
   0
 
@@ -509,7 +562,7 @@ let monitor_cmd obs grammar requests context repeat slo_target slo_objective
     workload behind the stock trace/report demonstration. [--serve]
     routes the PDP through the caching engine; the output is identical
     by construction (caches never change decisions). *)
-let pipeline_cmd obs requests seed serve =
+let pipeline_cmd obs requests seed serve health_out =
   run obs @@ fun () ->
   let spec : Agenp.Prep.pbms_spec =
     {
@@ -548,6 +601,7 @@ let pipeline_cmd obs requests seed serve =
     (Agenp.Ams.compliance_rate ams)
     (Agenp.Ams.relearn_count ams)
     (List.length (Agenp.Ams.hypothesis ams));
+  write_health_out health_out;
   0
 
 let repl_cmd () =
@@ -760,6 +814,12 @@ let learn_t =
           $ file_arg ~doc:"Hypothesis-space file (prods | rule)." 2 "SPACE"
           $ save $ max_witnesses)
 
+let health_out_opt =
+  Arg.(value & opt (some string) None & info [ "health" ] ~docv:"FILE"
+         ~doc:"Export the policy-health event ring (detector rate-shift \
+               alarms, PAdaP relearn lifecycle) to FILE as JSON Lines. \
+               Query it with 'agenp health'.")
+
 let pipeline_t =
   let requests =
     Arg.(value & opt int 40 & info [ "requests"; "n" ] ~docv:"N"
@@ -777,7 +837,8 @@ let pipeline_t =
     (Cmd.info "pipeline"
        ~doc:"Replay the XACML request log through the full AGENP closed \
              loop (PIP, PDP, PEP, PAdaP); the go-to workload for --trace.")
-    Term.(const pipeline_cmd $ obs_t $ requests $ seed $ serve)
+    Term.(const pipeline_cmd $ obs_t $ requests $ seed $ serve
+          $ health_out_opt)
 
 let serve_t =
   let repeat =
@@ -798,8 +859,9 @@ let serve_t =
   let stats_json =
     Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
            ~doc:"Write the engine statistics to FILE as one JSON object \
-                 (schema serve-stats/1: per-tier hits/misses/evictions/\
-                 entries/capacity/hit_rate, plus audit-ring occupancy).")
+                 (schema serve-stats/3: per-tier hits/misses/evictions/\
+                 entries/capacity/hit_rate, delta-grounding counts, \
+                 audit-ring occupancy, and the policy-health signals).")
   in
   let audit_out =
     Arg.(value & opt (some string) None & info [ "audit" ] ~docv:"FILE"
@@ -836,8 +898,8 @@ let serve_t =
     Term.(const serve_cmd $ obs_t $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
           $ file_arg ~doc:"Requests file (options | context per line)." 1 "REQUESTS"
           $ context_opt $ repeat $ stats $ batch $ stats_json $ audit_out
-          $ metrics_port $ metrics_linger $ metrics_once $ slo_target_opt
-          $ slo_objective_t $ slo_window_t)
+          $ health_out_opt $ metrics_port $ metrics_linger $ metrics_once
+          $ slo_target_opt $ slo_objective_t $ slo_window_t)
 
 let audit_t =
   let last =
@@ -866,6 +928,30 @@ let audit_t =
     Term.(const audit_cmd $ obs_t
           $ file_arg ~doc:"Audit JSONL file (from serve --audit)." 0 "FILE"
           $ last $ trace_filter $ fallbacks $ json)
+
+let health_t =
+  let last =
+    Arg.(value & opt (some int) None & info [ "last"; "n" ] ~docv:"N"
+           ~doc:"Show only the newest N matching events (a tail).")
+  in
+  let since_version =
+    Arg.(value & opt (some int) None & info [ "since-version" ] ~docv:"N"
+           ~doc:"Show only events attributed to GPM version N or later.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the matching events as one JSON object (schema \
+                 health/1) instead of the human-readable table.")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Query a policy-health event trail exported by 'agenp serve \
+             --health' or 'agenp pipeline --health': change-point alarms \
+             on violation/fallback/non-compliance rates and PAdaP \
+             relearn lifecycle events.")
+    Term.(const health_cmd $ obs_t
+          $ file_arg ~doc:"Health JSONL file (from --health)." 0 "FILE"
+          $ last $ since_version $ json)
 
 let monitor_t =
   let repeat =
@@ -908,4 +994,4 @@ let () =
   exit
     (Cmd.eval' (Cmd.group info
           [ solve_t; ground_t; check_t; generate_t; learn_t; explain_t;
-            serve_t; audit_t; monitor_t; pipeline_t; repl_t ]))
+            serve_t; audit_t; health_t; monitor_t; pipeline_t; repl_t ]))

@@ -89,7 +89,10 @@ let handle_request (t : t) (local_context : Asp.Program.t) : Pep.record =
   in
   (* PEP + monitoring: enforce, compare with ground truth *)
   let verdict = t.env.oracle context decision.Pdp.chosen in
-  let record = Pep.enforce t.pep ~request ~decision ~verdict in
+  let record =
+    Pep.enforce ~gpm_version:(Asg.Gpm.version (gpm t)) t.pep ~request
+      ~decision ~verdict
+  in
   (* monitoring feedback: the chosen option's validity is observed *)
   learn_from t ~context decision.Pdp.chosen ~valid:verdict;
   (* periodic audit: label every option *)

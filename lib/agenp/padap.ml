@@ -83,15 +83,47 @@ let violation_rate (t : t) =
     float_of_int (List.length (List.filter Fun.id vs))
     /. float_of_int (List.length vs)
 
+let c_relearns = Obs.Counter.make "agenp.padap.relearns"
+
+(* fraction of the retained evidence the model covers — the accuracy
+   the relearn lifecycle event reports before/after an adaptation *)
+let evidence_accuracy (gpm : Asg.Gpm.t) (examples : Ilp.Example.t list) :
+    float =
+  match examples with
+  | [] -> 1.0
+  | es ->
+    float_of_int (List.length (List.filter (Ilp.Task.covers gpm) es))
+    /. float_of_int (List.length es)
+
 (** Unconditional relearning from the accumulated evidence. Keeps the old
-    hypothesis when the task has become unsolvable. *)
-let relearn (t : t) : [ `Updated | `Unchanged | `Failed ] =
-  let task =
-    Ilp.Task.make ~gpm:t.gpm0 ~space:t.config.space
-      ~examples:(List.rev t.examples)
+    hypothesis when the task has become unsolvable. [reason] labels the
+    lifecycle event this emits into the policy-health plane ("manual"
+    when called directly; [maybe_adapt] passes its trigger). *)
+let relearn ?(reason = "manual") (t : t) : [ `Updated | `Unchanged | `Failed ]
+    =
+  Obs.span "agenp.padap.relearn" ~attrs:[ ("reason", reason) ] @@ fun () ->
+  Obs.Counter.incr c_relearns;
+  let examples = List.rev t.examples in
+  let old_size = List.length t.hypothesis in
+  let old_version = Asg.Gpm.version t.current in
+  let old_accuracy = evidence_accuracy t.current examples in
+  let task = Ilp.Task.make ~gpm:t.gpm0 ~space:t.config.space ~examples in
+  let emit status new_accuracy =
+    ignore
+      (Obs.Health.emit ~signal:"padap.relearn" ~kind:"relearn"
+         ~gpm_version:old_version
+         ~observations:(List.length examples)
+         ~baseline:old_accuracy ~current:new_accuracy
+         ~deviation:(new_accuracy -. old_accuracy)
+         ~old_size
+         ~new_size:(List.length t.hypothesis)
+         ~detail:(reason ^ ":" ^ status) ()
+        : Obs.Health.event)
   in
   match Ilp.Learner.learn ?pool:t.config.pool task with
-  | None -> `Failed
+  | None ->
+    emit "failed" old_accuracy;
+    `Failed
   | Some outcome ->
     t.relearn_count <- t.relearn_count + 1;
     let same =
@@ -106,6 +138,9 @@ let relearn (t : t) : [ `Updated | `Unchanged | `Failed ] =
     t.hypothesis <- outcome.Ilp.Learner.hypothesis;
     refresh t;
     t.recent_violations <- [];
+    emit
+      (if same then "unchanged" else "updated")
+      (evidence_accuracy t.current examples);
     if same then `Unchanged else `Updated
 
 (** Signal a context shift (from the PIP or an operator): the next
@@ -122,8 +157,11 @@ let maybe_adapt (t : t) : [ `Updated | `Unchanged | `Failed | `Not_triggered ] =
     && violation_rate t >= t.config.relearn_threshold
   in
   if (violation_trigger || t.context_changed) && t.examples <> [] then begin
+    let reason =
+      if violation_trigger then "violation_rate" else "context_change"
+    in
     t.context_changed <- false;
-    (relearn t :> [ `Updated | `Unchanged | `Failed | `Not_triggered ])
+    (relearn ~reason t :> [ `Updated | `Unchanged | `Failed | `Not_triggered ])
   end
   else `Not_triggered
 

@@ -41,8 +41,12 @@ val add_example : t -> Ilp.Example.t -> unit
 val record_violation : t -> bool -> unit
 val violation_rate : t -> float
 
-(** Unconditional relearning; keeps the old hypothesis on failure. *)
-val relearn : t -> [ `Updated | `Unchanged | `Failed ]
+(** Unconditional relearning; keeps the old hypothesis on failure.
+    Emits an {!Obs.Health} lifecycle event (signal ["padap.relearn"],
+    kind ["relearn"]) carrying the trigger [reason] (default
+    ["manual"]), examples consumed, old/new hypothesis size, and the
+    accuracy delta over the retained evidence. *)
+val relearn : ?reason:string -> t -> [ `Updated | `Unchanged | `Failed ]
 
 (** Signal a context shift: the next [maybe_adapt] relearns regardless of
     the violation rate. *)

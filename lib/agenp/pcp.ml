@@ -16,14 +16,26 @@ type quality = {
   consistent : bool;  (** no probe context where the language is empty *)
 }
 
+let c_checks = Obs.Counter.make "agenp.pcp.checks"
+let c_violations = Obs.Counter.make "agenp.pcp.violations"
+let h_violations = Obs.Health.make "pcp.violations"
+
 (** Violation detection: validation examples the GPM fails to cover
     (negative examples accepted = policies that should not be generated;
-    positive examples rejected = required policies missing). *)
+    positive examples rejected = required policies missing). Each check
+    feeds the [pcp.violations] health signal, keyed by the model
+    version, so a quality regression across adaptations shows up in the
+    policy-health plane. *)
 let detect_violations (gpm : Asg.Gpm.t) (validation : Ilp.Example.t list) :
     violation list =
+  let version = Asg.Gpm.version gpm in
   List.filter_map
     (fun e ->
-      if Ilp.Task.covers gpm e then None else Some { example = e })
+      let covered = Ilp.Task.covers gpm e in
+      Obs.Counter.incr c_checks;
+      if not covered then Obs.Counter.incr c_violations;
+      Obs.Health.observe ~version h_violations (not covered);
+      if covered then None else Some { example = e })
     validation
 
 let violation_rate gpm validation =

@@ -10,7 +10,10 @@ type quality = {
   consistent : bool;
 }
 
-(** Validation examples the GPM fails to cover. *)
+(** Validation examples the GPM fails to cover. Feeds each check into
+    the [pcp.violations] {!Obs.Health} signal (keyed by
+    {!Asg.Gpm.version}) and the [agenp.pcp.checks]/[agenp.pcp.violations]
+    counters. *)
 val detect_violations : Asg.Gpm.t -> Ilp.Example.t list -> violation list
 
 val violation_rate : Asg.Gpm.t -> Ilp.Example.t list -> float

@@ -17,6 +17,9 @@ type decision = Decision.t = {
   compliant : bool option;
 }
 
+let c_fallbacks = Obs.Counter.make "agenp.pdp.fallbacks"
+let h_fallbacks = Obs.Health.make "pdp.fallbacks"
+
 let decide ?(engine : Serve.t option) (gpm : Asg.Gpm.t)
     ~(context : Asp.Program.t) ~(options : string list) : decision =
   (* one trace scope per PDP decision: the pdp span, the serve engine
@@ -35,6 +38,9 @@ let decide ?(engine : Serve.t option) (gpm : Asg.Gpm.t)
     | None -> Serve.decide_uncached gpm request
   in
   Obs.set_attr "fallback_used" (string_of_bool d.fallback_used);
+  Obs.Health.observe ~version:(Asg.Gpm.version gpm) h_fallbacks
+    d.fallback_used;
+  if d.fallback_used then Obs.Counter.incr c_fallbacks;
   if d.fallback_used then
     Obs.Log.info "pdp fell back: model admits no requested option"
       ~attrs:

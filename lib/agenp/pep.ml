@@ -21,15 +21,23 @@ type t = {
 
 let create () = { log = []; tick = 0 }
 
+let c_noncompliant = Obs.Counter.make "agenp.pep.noncompliant"
+let h_noncompliance = Obs.Health.make "pep.noncompliance"
+
 (** Enforce a decision; [verdict] is the environment's compliance check
-    (ground truth oracle in simulations, human/monitoring in the field). *)
-let enforce (t : t) ~(request : Request.t) ~(decision : Decision.t)
-    ~(verdict : bool) : record =
+    (ground truth oracle in simulations, human/monitoring in the field).
+    [gpm_version] attributes the observation to the model that made the
+    decision, feeding the per-version [pep.noncompliance] health
+    signal. *)
+let enforce ?gpm_version (t : t) ~(request : Request.t)
+    ~(decision : Decision.t) ~(verdict : bool) : record =
   Obs.span "agenp.pep.enforce" @@ fun () ->
   t.tick <- t.tick + 1;
   let decision = { decision with Decision.compliant = Some verdict } in
   let r = { tick = t.tick; request; decision } in
   t.log <- r :: t.log;
+  Obs.Health.observe ?version:gpm_version h_noncompliance (not verdict);
+  if not verdict then Obs.Counter.incr c_noncompliant;
   if not verdict then
     Obs.Log.info "pep recorded a non-compliant enforcement"
       ~attrs:

@@ -13,9 +13,17 @@ type t
 val create : unit -> t
 
 (** Enforce [decision] for [request]; [verdict] is the monitoring
-    verdict, stored into the decision's [compliant] field. *)
+    verdict, stored into the decision's [compliant] field. Every
+    enforcement feeds the [pep.noncompliance] {!Obs.Health} signal —
+    pass [gpm_version] ({!Asg.Gpm.version} of the deciding model) to
+    attribute it per model version. *)
 val enforce :
-  t -> request:Request.t -> decision:Decision.t -> verdict:bool -> record
+  ?gpm_version:int ->
+  t ->
+  request:Request.t ->
+  decision:Decision.t ->
+  verdict:bool ->
+  record
 
 (** The stored monitoring verdict ([false] only for records enforced
     non-compliant). *)

@@ -14,6 +14,20 @@ type why_not =
   | No_model  (** the non-constraint part of the program is inconsistent *)
   | Blocked of blocker list  (** violated constraints, per candidate model *)
 
+let c_why = Obs.Counter.make "explain.why_calls"
+let c_why_not = Obs.Counter.make "explain.why_not_calls"
+let c_derivations = Obs.Counter.make "explain.derivation_calls"
+let h_derivation_size = Obs.Histogram.make "explain.derivation_size"
+let h_blockers = Obs.Histogram.make "explain.blockers"
+
+(* nodes in a justification tree — the derivation-size metric *)
+let rec justification_size (j : Asp.Justification.t) : int =
+  match j with
+  | Asp.Justification.Fact _ -> 1
+  | Asp.Justification.Derived { premises; _ }
+  | Asp.Justification.Chosen { premises; _ } ->
+    1 + List.fold_left (fun acc p -> acc + justification_size p) 0 premises
+
 let pp_blocker ppf b =
   Fmt.pf ppf "at node %s: %a fired with %a"
     (Grammar.Parse_tree.trace_to_string b.trace)
@@ -27,23 +41,35 @@ let pp_blocker ppf b =
     applied"). *)
 let why_derivation (gpm : Asg.Gpm.t) ~(context : Asp.Program.t)
     (sentence : string) (target : Asp.Atom.t) : Asp.Justification.t option =
+  Obs.span "explain.why_derivation" @@ fun () ->
+  Obs.Counter.incr c_derivations;
   let g = Asg.Gpm.with_context gpm context in
   let tokens = Asg.Membership.tokenize sentence in
-  List.fold_left
-    (fun acc tree ->
-      match acc with
-      | Some _ -> acc
-      | None -> (
-        let gp = Asp.Grounder.ground (Asg.Tree_program.program g tree) in
-        match Asp.Solver.solve_ground ~limit:1 gp with
-        | [] -> None
-        | m :: _ -> Asp.Justification.justify gp m target))
-    None
-    (Grammar.Earley.parses (Asg.Gpm.cfg g) tokens)
+  let j =
+    List.fold_left
+      (fun acc tree ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          let gp = Asp.Grounder.ground (Asg.Tree_program.program g tree) in
+          match Asp.Solver.solve_ground ~limit:1 gp with
+          | [] -> None
+          | m :: _ -> Asp.Justification.justify gp m target))
+      None
+      (Grammar.Earley.parses (Asg.Gpm.cfg g) tokens)
+  in
+  (match j with
+  | Some j ->
+    Obs.Histogram.observe h_derivation_size
+      (float_of_int (justification_size j))
+  | None -> ());
+  j
 
 (** Witnessing answer set for an accepted sentence. *)
 let why (gpm : Asg.Gpm.t) ~(context : Asp.Program.t) (sentence : string) :
     Asp.Solver.model option =
+  Obs.span "explain.why" @@ fun () ->
+  Obs.Counter.incr c_why;
   Asg.Membership.witness (Asg.Gpm.with_context gpm context) sentence
 
 (** Explain a rejection: for the first parse tree, compute the models of
@@ -51,6 +77,8 @@ let why (gpm : Asg.Gpm.t) ~(context : Asp.Program.t) (sentence : string) :
     model violates (with their ground firing instances). *)
 let why_not (gpm : Asg.Gpm.t) ~(context : Asp.Program.t) (sentence : string) :
     why_not =
+  Obs.span "explain.why_not" @@ fun () ->
+  Obs.Counter.incr c_why_not;
   let g = Asg.Gpm.with_context gpm context in
   let tokens = Asg.Membership.tokenize sentence in
   match Grammar.Earley.parses (Asg.Gpm.cfg g) tokens with
@@ -100,6 +128,7 @@ let why_not (gpm : Asg.Gpm.t) ~(context : Asp.Program.t) (sentence : string) :
               (Fmt.str "%a" pp_blocker b))
           blockers
       in
+      Obs.Histogram.observe h_blockers (float_of_int (List.length dedup));
       Blocked dedup)
 
 let why_not_to_string = function

@@ -1,6 +1,14 @@
 (** Rule-level explanations for policy decisions (Section V-B): witnessing
     answer sets (why), blocking constraints with fired ground bodies
-    (why-not), and full derivation trees for decision atoms. *)
+    (why-not), and full derivation trees for decision atoms.
+
+    Explanation traffic flows through the [lib/obs] registry: counters
+    [explain.why_calls] / [explain.why_not_calls] /
+    [explain.derivation_calls], histograms [explain.derivation_size]
+    (justification-tree node counts) and [explain.blockers] (deduped
+    blocking constraints per rejection), and spans [explain.why] /
+    [explain.why_not] / [explain.why_derivation] — so explanation load
+    appears in [--report], flamegraphs, and [/metrics]. *)
 
 type blocker = {
   trace : int list;  (** parse-tree node whose annotation blocks *)

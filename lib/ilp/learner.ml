@@ -24,12 +24,20 @@ let c_hypothesis_evals = Obs.Counter.make "ilp.hypothesis_evals"
 let c_candidate_evals = Obs.Counter.make "ilp.candidate_evals"
 let c_search_nodes = Obs.Counter.make "ilp.search_nodes"
 let c_witnesses_truncated = Obs.Counter.make "ilp.witnesses_truncated"
+let c_candidates = Obs.Counter.make "ilp.candidates"
+let c_nodes_pruned = Obs.Counter.make "ilp.nodes_pruned"
+let c_kill_cells = Obs.Counter.make "ilp.kill_cells"
+let h_kill_density = Obs.Histogram.make "ilp.kill_matrix.density"
 
 type stats = {
   witnesses : int;
   truncated : int;  (** examples whose witness enumeration hit the cap *)
   nodes : int;  (** branch-and-bound nodes explored *)
   duration : float;  (** seconds, wall-clock *)
+  candidates : int;  (** hypothesis-space candidates considered *)
+  pruned : int;  (** search nodes cut by the cost bound *)
+  kill_cells : int;  (** set (candidate, witness) kill-matrix cells *)
+  max_depth : int;  (** deepest refinement (chosen-set size) reached *)
 }
 
 type outcome = {
@@ -193,6 +201,14 @@ let learn_constraints ?pool ?(max_witnesses = 64) ?(max_nodes = 300_000)
           if kill.(ci).(wi) then killers_of.(wi) <- ci :: killers_of.(wi)
         done
       done);
+  let kill_cells =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 killed_by_cand
+  in
+  Obs.Counter.incr ~by:n_cand c_candidates;
+  Obs.Counter.incr ~by:kill_cells c_kill_cells;
+  if n_cand > 0 && n_wit > 0 then
+    Obs.Histogram.observe h_kill_density
+      (float_of_int kill_cells /. float_of_int (n_cand * n_wit));
   (* search state *)
   let kill_count = Array.make n_wit 0 in
   let chosen = Array.make n_cand false in
@@ -202,6 +218,9 @@ let learn_constraints ?pool ?(max_witnesses = 64) ?(max_nodes = 300_000)
     (fun i ids -> surviving.(i) <- List.length ids)
     wit_ids_of_ex;
   let nodes = ref 0 in
+  let pruned = ref 0 in
+  let search_depth = ref 0 in
+  let max_depth = ref 0 in
   let best : (int * int list * int list) option ref = ref None in
   let base_penalty = ref 0 in
   (* Greedy warm start: repeatedly kill the cheapest-per-kill candidate (or
@@ -361,6 +380,8 @@ let learn_constraints ?pool ?(max_witnesses = 64) ?(max_nodes = 300_000)
        chosen.(ci) <- true;
        current_cost := !current_cost + candidates.(ci).Hypothesis_space.cost;
        current_choice := ci :: !current_choice;
+       incr search_depth;
+       if !search_depth > !max_depth then max_depth := !search_depth;
        let hard_pos_dead = ref false in
        List.iter
          (fun wid ->
@@ -392,6 +413,7 @@ let learn_constraints ?pool ?(max_witnesses = 64) ?(max_nodes = 300_000)
              end
            end)
          killed_by_cand.(ci);
+       decr search_depth;
        current_choice := List.tl !current_choice;
        current_cost := !current_cost - candidates.(ci).Hypothesis_space.cost;
        chosen.(ci) <- false
@@ -400,7 +422,9 @@ let learn_constraints ?pool ?(max_witnesses = 64) ?(max_nodes = 300_000)
        Obs.Counter.incr c_search_nodes;
        (match !best with
        | _ when !nodes > max_nodes -> ()  (* anytime cutoff: keep best so far *)
-       | Some (bcost, _, _) when !current_cost + !dead_penalty >= bcost -> ()
+       | Some (bcost, _, _) when !current_cost + !dead_penalty >= bcost ->
+         incr pruned;
+         Obs.Counter.incr c_nodes_pruned
        | _ -> (
          match next_pending () with
          | None ->
@@ -457,6 +481,10 @@ let learn_constraints ?pool ?(max_witnesses = 64) ?(max_nodes = 300_000)
   Obs.set_attr "witnesses" (string_of_int n_wit);
   Obs.set_attr "truncated" (string_of_int n_truncated);
   Obs.set_attr "nodes" (string_of_int !nodes);
+  Obs.set_attr "candidates" (string_of_int n_cand);
+  Obs.set_attr "pruned" (string_of_int !pruned);
+  Obs.set_attr "kill_cells" (string_of_int kill_cells);
+  Obs.set_attr "max_depth" (string_of_int !max_depth);
   match !best with
   | None -> None
   | Some (total, choice, sac) ->
@@ -474,6 +502,10 @@ let learn_constraints ?pool ?(max_witnesses = 64) ?(max_nodes = 300_000)
             truncated = n_truncated;
             nodes = !nodes;
             duration = Obs.now () -. t0;
+            candidates = n_cand;
+            pruned = !pruned;
+            kill_cells;
+            max_depth = !max_depth;
           };
       }
 
@@ -511,7 +543,9 @@ let learn_general ?(max_subsets = 100_000) (t : Task.t) : outcome option =
   end in
   let q = Pq.create () in
   Pq.push q 0 (0, []);
+  Obs.Counter.incr ~by:n c_candidates;
   let explored = ref 0 in
+  let max_depth = ref 0 in
   let rec loop () =
     if !explored >= max_subsets then None
     else
@@ -520,6 +554,8 @@ let learn_general ?(max_subsets = 100_000) (t : Task.t) : outcome option =
       | Some (cost, (next, chosen_rev)) ->
         incr explored;
         Obs.Counter.incr c_candidate_evals;
+        let depth = List.length chosen_rev in
+        if depth > !max_depth then max_depth := depth;
         let hypothesis = List.rev_map (fun ci -> candidates.(ci)) chosen_rev in
         if
           Obs.fine_span "ilp.candidate_eval" (fun () ->
@@ -537,6 +573,10 @@ let learn_general ?(max_subsets = 100_000) (t : Task.t) : outcome option =
                   truncated = 0;
                   nodes = !explored;
                   duration = Obs.now () -. t0;
+                  candidates = n;
+                  pruned = 0;
+                  kill_cells = 0;
+                  max_depth = !max_depth;
                 };
             }
         else begin

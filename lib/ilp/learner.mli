@@ -17,6 +17,19 @@ type stats = {
           result may change under a larger cap *)
   nodes : int;
   duration : float;  (** seconds, wall-clock *)
+  candidates : int;
+      (** hypothesis-space candidates considered (also counted in the
+          [ilp.candidates] counter) *)
+  pruned : int;
+      (** branch-and-bound nodes cut by the cost bound (counter
+          [ilp.nodes_pruned]); 0 on the general path *)
+  kill_cells : int;
+      (** set cells of the candidate × witness kill matrix (counter
+          [ilp.kill_cells]; the fill ratio lands in the
+          [ilp.kill_matrix.density] histogram); 0 on the general path *)
+  max_depth : int;
+      (** deepest refinement reached: largest chosen-candidate set held
+          at once during the search *)
 }
 
 type outcome = {

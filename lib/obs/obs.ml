@@ -1015,6 +1015,324 @@ module Log = struct
   let error ?attrs msg = log Error ?attrs msg
 end
 
+(* -- Policy health -------------------------------------------------------- *)
+
+module Health = struct
+  (* Streaming policy-health estimation. One signal per monitored
+     boolean stream (a PCP violation, a PEP non-compliance, a PDP
+     fallback); each observation updates a cumulative tally, a
+     per-GPM-version tally, a count-based rolling window (the last
+     [window] observations — request-indexed, so rolling rates do not
+     depend on the clock at all), and a Page–Hinkley change-point test
+     over the stream mean. The PH statistic for an upward shift is
+     m_t − min m_i with m_t = Σ (x_i − mean_i − δ); crossing λ raises a
+     structured event into the bounded global ring and re-arms the
+     detector from scratch, so one sustained shift raises exactly one
+     event. Only event timestamps read the clock ([now ()]), so an
+     injected clock ({!set_clock}) makes the whole pipeline
+     deterministic. *)
+
+  type config = {
+    window : int;
+    min_observations : int;
+    ph_delta : float;
+    ph_lambda : float;
+  }
+
+  let default_config =
+    { window = 50; min_observations = 10; ph_delta = 0.05; ph_lambda = 2.0 }
+
+  type event = {
+    ev_seq : int;
+    ev_ts : float;
+    ev_signal : string;
+    ev_kind : string;  (** ["rate_shift"] (detector) or ["relearn"] (PAdaP) *)
+    ev_gpm_version : int;  (** -1 when no version was ever observed *)
+    ev_observations : int;
+    ev_baseline : float;
+    ev_current : float;
+    ev_deviation : float;
+    ev_old_size : int;
+    ev_new_size : int;
+    ev_detail : string;
+  }
+
+  (* The bounded event ring, global across signals (mirroring the serve
+     layer's audit ring): an array indexed by [seq mod capacity], so
+     wraparound keeps exactly the newest [capacity] events and
+     oldest-first order follows from the sequence numbers. *)
+  let ring_lock = Mutex.create ()
+  let ring_cap = ref 256
+  let ring : event option array ref = ref (Array.make !ring_cap None)
+  let ring_total = ref 0
+
+  let set_ring_capacity n =
+    locked ring_lock @@ fun () ->
+    let n = max 1 n in
+    ring_cap := n;
+    ring := Array.make n None;
+    ring_total := 0
+
+  let clear_events () =
+    locked ring_lock @@ fun () ->
+    Array.fill !ring 0 (Array.length !ring) None;
+    ring_total := 0
+
+  let events_total () = locked ring_lock @@ fun () -> !ring_total
+
+  let events ?last () =
+    locked ring_lock @@ fun () ->
+    let kept = min !ring_total !ring_cap in
+    let kept = match last with Some n -> min kept (max 0 n) | None -> kept in
+    let first_seq = !ring_total - kept in
+    List.init kept (fun i ->
+        match !ring.((first_seq + i) mod !ring_cap) with
+        | Some e -> e
+        | None -> assert false (* seqs below [ring_total] are always filled *))
+
+  let emit ?(gpm_version = -1) ?(observations = 0) ?(baseline = 0.0)
+      ?(current = 0.0) ?(deviation = 0.0) ?(old_size = 0) ?(new_size = 0)
+      ?(detail = "") ~signal ~kind () =
+    Counter.incr (Counter.make "health.events");
+    let ev =
+      locked ring_lock @@ fun () ->
+      let seq = !ring_total in
+      let ev =
+        {
+          ev_seq = seq;
+          ev_ts = now ();
+          ev_signal = signal;
+          ev_kind = kind;
+          ev_gpm_version = gpm_version;
+          ev_observations = observations;
+          ev_baseline = baseline;
+          ev_current = current;
+          ev_deviation = deviation;
+          ev_old_size = old_size;
+          ev_new_size = new_size;
+          ev_detail = detail;
+        }
+      in
+      !ring.(seq mod !ring_cap) <- Some ev;
+      ring_total := seq + 1;
+      ev
+    in
+    Log.info "health event"
+      ~attrs:
+        [
+          ("signal", signal);
+          ("kind", kind);
+          ("gpm_version", string_of_int gpm_version);
+          ("detail", detail);
+        ];
+    ev
+
+  type t = {
+    name : string;
+    lock : Mutex.t;
+    config : config;
+    mutable count : int;
+    mutable positives : int;
+    versions : (int, int * int) Hashtbl.t;  (** version -> (n, positives) *)
+    recent : bool array;  (** last [window] observations, ring *)
+    mutable recent_n : int;
+    mutable recent_sum : int;
+    mutable ph_n : int;
+    mutable ph_mean : float;
+    mutable ph_m : float;
+    mutable ph_min : float;
+    mutable last_version : int;
+    mutable alarms : int;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+  let make ?(config = default_config) name =
+    locked registry_lock @@ fun () ->
+    match Hashtbl.find_opt registry name with
+    | Some s -> s
+    | None ->
+      let s =
+        {
+          name;
+          lock = Mutex.create ();
+          config = { config with window = max 1 config.window };
+          count = 0;
+          positives = 0;
+          versions = Hashtbl.create 4;
+          recent = Array.make (max 1 config.window) false;
+          recent_n = 0;
+          recent_sum = 0;
+          ph_n = 0;
+          ph_mean = 0.0;
+          ph_m = 0.0;
+          ph_min = 0.0;
+          last_version = -1;
+          alarms = 0;
+        }
+      in
+      Hashtbl.add registry name s;
+      s
+
+  let name s = s.name
+  let observations s = locked s.lock @@ fun () -> s.count
+  let positives s = locked s.lock @@ fun () -> s.positives
+  let alarms s = locked s.lock @@ fun () -> s.alarms
+
+  (* rolling rate over the last [window] observations *)
+  let rate s =
+    locked s.lock @@ fun () ->
+    if s.recent_n = 0 then 0.0
+    else float_of_int s.recent_sum /. float_of_int s.recent_n
+
+  let overall_rate s =
+    locked s.lock @@ fun () ->
+    if s.count = 0 then 0.0
+    else float_of_int s.positives /. float_of_int s.count
+
+  let version_rates s =
+    locked s.lock @@ fun () ->
+    Hashtbl.fold
+      (fun v (n, p) acc ->
+        (v, n, if n = 0 then 0.0 else float_of_int p /. float_of_int n) :: acc)
+      s.versions []
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+
+  let observe ?version s positive =
+    let fire =
+      locked s.lock @@ fun () ->
+      let x = if positive then 1.0 else 0.0 in
+      s.count <- s.count + 1;
+      if positive then s.positives <- s.positives + 1;
+      (match version with
+      | Some v ->
+        s.last_version <- v;
+        let n, p = Option.value ~default:(0, 0) (Hashtbl.find_opt s.versions v) in
+        Hashtbl.replace s.versions v (n + 1, if positive then p + 1 else p)
+      | None -> ());
+      let w = Array.length s.recent in
+      let i = (s.count - 1) mod w in
+      if s.recent_n = w then begin
+        if s.recent.(i) then s.recent_sum <- s.recent_sum - 1
+      end
+      else s.recent_n <- s.recent_n + 1;
+      s.recent.(i) <- positive;
+      if positive then s.recent_sum <- s.recent_sum + 1;
+      (* Page–Hinkley: running mean first, then the cumulative deviation;
+         [ph_min] trails the minimum so the statistic measures the rise
+         since the stream last looked stationary *)
+      s.ph_n <- s.ph_n + 1;
+      s.ph_mean <- s.ph_mean +. ((x -. s.ph_mean) /. float_of_int s.ph_n);
+      s.ph_m <- s.ph_m +. (x -. s.ph_mean -. s.config.ph_delta);
+      if s.ph_m < s.ph_min then s.ph_min <- s.ph_m;
+      let stat = s.ph_m -. s.ph_min in
+      if s.ph_n >= s.config.min_observations && stat > s.config.ph_lambda
+      then begin
+        s.alarms <- s.alarms + 1;
+        let info =
+          ( s.count,
+            s.ph_mean,
+            (if s.recent_n = 0 then 0.0
+             else float_of_int s.recent_sum /. float_of_int s.recent_n),
+            stat,
+            s.last_version )
+        in
+        (* re-arm: a fresh baseline, so recovery is observable and each
+           further sustained shift raises its own event *)
+        s.ph_n <- 0;
+        s.ph_mean <- 0.0;
+        s.ph_m <- 0.0;
+        s.ph_min <- 0.0;
+        Some info
+      end
+      else None
+    in
+    match fire with
+    | Some (obs, baseline, current, stat, version) ->
+      ignore
+        (emit ~gpm_version:version ~observations:obs ~baseline ~current
+           ~deviation:stat ~detail:"page-hinkley" ~signal:s.name
+           ~kind:"rate_shift" ())
+    | None -> ()
+
+  let reset s =
+    locked s.lock @@ fun () ->
+    s.count <- 0;
+    s.positives <- 0;
+    Hashtbl.reset s.versions;
+    Array.fill s.recent 0 (Array.length s.recent) false;
+    s.recent_n <- 0;
+    s.recent_sum <- 0;
+    s.ph_n <- 0;
+    s.ph_mean <- 0.0;
+    s.ph_m <- 0.0;
+    s.ph_min <- 0.0;
+    s.last_version <- -1;
+    s.alarms <- 0
+
+  let find name =
+    locked registry_lock @@ fun () -> Hashtbl.find_opt registry name
+
+  let all () =
+    locked registry_lock (fun () ->
+        Hashtbl.fold (fun _ s acc -> s :: acc) registry [])
+    |> List.sort (by_name_compare name)
+
+  let event_to_json e =
+    Printf.sprintf
+      "{\"seq\": %d, \"ts\": %.6f, \"signal\": \"%s\", \"kind\": \"%s\", \
+       \"gpm_version\": %d, \"observations\": %d, \"baseline\": %.6f, \
+       \"current\": %.6f, \"deviation\": %.6f, \"old_size\": %d, \
+       \"new_size\": %d, \"detail\": \"%s\"}"
+      e.ev_seq e.ev_ts (Json.escape e.ev_signal) (Json.escape e.ev_kind)
+      e.ev_gpm_version e.ev_observations e.ev_baseline e.ev_current
+      e.ev_deviation e.ev_old_size e.ev_new_size (Json.escape e.ev_detail)
+
+  let event_of_json line =
+    let j = Json.parse line in
+    let num k = int_of_float (Json.to_num (Json.member k j)) in
+    let fnum k = Json.to_num (Json.member k j) in
+    let str k = Json.to_str (Json.member k j) in
+    {
+      ev_seq = num "seq";
+      ev_ts = fnum "ts";
+      ev_signal = str "signal";
+      ev_kind = str "kind";
+      ev_gpm_version = num "gpm_version";
+      ev_observations = num "observations";
+      ev_baseline = fnum "baseline";
+      ev_current = fnum "current";
+      ev_deviation = fnum "deviation";
+      ev_old_size = num "old_size";
+      ev_new_size = num "new_size";
+      ev_detail = str "detail";
+    }
+
+  let write_jsonl path events =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun e ->
+            output_string oc (event_to_json e);
+            output_char oc '\n')
+          events)
+
+  let read_jsonl path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | "" -> go acc
+          | line -> go (event_of_json line :: acc)
+        in
+        go [])
+end
+
 (* -- Trace collection + exporters ---------------------------------------- *)
 
 module Trace = struct
@@ -1407,6 +1725,26 @@ module Openmetrics = struct
         Printf.bprintf b "%s_breaches_total%s %d\n" base (labels_text labels)
           st.Slo.breaches)
       (Slo.all ());
+    List.iter
+      (fun s ->
+        if Health.observations s > 0 then begin
+          let base = metric ("health." ^ Health.name s) in
+          gauge (base ^ "_rate") (Health.rate s);
+          gauge (base ^ "_observations")
+            (float_of_int (Health.observations s));
+          List.iter
+            (fun (v, n, r) ->
+              gauge
+                ~labels:[ ("gpm_version", string_of_int v) ]
+                (base ^ "_version_rate") r;
+              gauge
+                ~labels:[ ("gpm_version", string_of_int v) ]
+                (base ^ "_version_observations") (float_of_int n))
+            (Health.version_rates s);
+          ty (base ^ "_alarms") "counter";
+          Printf.bprintf b "%s_alarms_total %d\n" base (Health.alarms s)
+        end)
+      (Health.all ());
     let g = Gc.quick_stat () in
     gauge "agenp_gc_minor_words" (Gc.minor_words ());
     gauge "agenp_gc_promoted_words" g.Gc.promoted_words;
@@ -1428,6 +1766,8 @@ let reset () =
   List.iter Alloc.reset (Alloc.all ());
   List.iter Window.reset (Window.all ());
   List.iter Slo.reset (Slo.all ());
+  List.iter Health.reset (Health.all ());
+  Health.clear_events ();
   Trace.clear ()
 
 (* -- Aggregate report ----------------------------------------------------- *)

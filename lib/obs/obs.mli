@@ -345,8 +345,136 @@ module Slo : sig
   val all : unit -> t list
 end
 
+(** {1 Policy health}
+
+    Streaming health estimation for the generative-policy loop: one
+    {!Health.t} per monitored boolean stream (a PCP violation, a PEP
+    non-compliance, a PDP fallback). Each {!Health.observe} updates a
+    cumulative tally, a per-GPM-version tally, a count-based rolling
+    window, and a Page–Hinkley change-point test over the stream mean;
+    when the PH statistic crosses the alarm threshold, a structured
+    {!Health.event} is appended to a bounded, mutex-guarded global
+    event ring (mirroring the serve layer's audit ring) and the
+    detector re-arms. Rolling rates are request-indexed (no clock), and
+    event timestamps come from {!now}, so the whole pipeline is
+    deterministic under an injected clock ({!set_clock}). *)
+module Health : sig
+  type config = {
+    window : int;  (** rolling-rate window, in observations *)
+    min_observations : int;
+        (** detector warm-up: no alarm before this many observations
+            since creation or the last alarm *)
+    ph_delta : float;
+        (** Page–Hinkley drift tolerance δ: sustained deviation below
+            [mean + δ] never accumulates toward an alarm *)
+    ph_lambda : float;  (** Page–Hinkley alarm threshold λ *)
+  }
+
+  (** window 50, min_observations 10, δ = 0.05, λ = 2.0 — tuned so a
+      periodic stationary stream never alarms while a 0→1 rate shift is
+      caught within a handful of observations. *)
+  val default_config : config
+
+  type t
+
+  (** Find-or-create, like {!Counter.make}. [config] is fixed at first
+      creation. *)
+  val make : ?config:config -> string -> t
+
+  (** [observe ?version s positive] feeds one boolean observation,
+      optionally tallied under GPM version [version]. May raise a
+      health event (kind ["rate_shift"]) as a side effect. *)
+  val observe : ?version:int -> t -> bool -> unit
+
+  val name : t -> string
+  val observations : t -> int
+  val positives : t -> int
+
+  (** Positive fraction of the last [window] observations; 0 when
+      empty. *)
+  val rate : t -> float
+
+  (** Positive fraction of every observation since creation/reset. *)
+  val overall_rate : t -> float
+
+  (** Per-GPM-version [(version, observations, rate)], sorted by
+      version. Only observations fed with [?version] are tallied. *)
+  val version_rates : t -> (int * int * float) list
+
+  (** Number of detector alarms raised by this signal. *)
+  val alarms : t -> int
+
+  val reset : t -> unit
+  val find : string -> t option
+  val all : unit -> t list
+
+  (** A structured health event: a detector alarm ([ev_kind =
+      "rate_shift"], [ev_baseline] the PH running mean at alarm,
+      [ev_current] the rolling rate, [ev_deviation] the PH statistic)
+      or a lifecycle event emitted by a layer (the PAdaP's
+      ["relearn"], where [ev_old_size]/[ev_new_size] are hypothesis
+      sizes, [ev_baseline]/[ev_current] accuracies over the retained
+      examples, and [ev_detail] the trigger reason). *)
+  type event = {
+    ev_seq : int;
+    ev_ts : float;
+    ev_signal : string;
+    ev_kind : string;
+    ev_gpm_version : int;  (** -1 when no version was ever observed *)
+    ev_observations : int;
+    ev_baseline : float;
+    ev_current : float;
+    ev_deviation : float;
+    ev_old_size : int;
+    ev_new_size : int;
+    ev_detail : string;
+  }
+
+  (** Append an event to the global ring (and bump the
+      [health.events] counter). Used by the detector internally and by
+      layers reporting lifecycle events (e.g. PAdaP re-learns). *)
+  val emit :
+    ?gpm_version:int ->
+    ?observations:int ->
+    ?baseline:float ->
+    ?current:float ->
+    ?deviation:float ->
+    ?old_size:int ->
+    ?new_size:int ->
+    ?detail:string ->
+    signal:string ->
+    kind:string ->
+    unit ->
+    event
+
+  (** Retained events, oldest first; [last] keeps only the newest [n]. *)
+  val events : ?last:int -> unit -> event list
+
+  (** Events ever emitted (retained or expired from the ring). *)
+  val events_total : unit -> int
+
+  (** Resize the ring (default 256 events). Clears retained events. *)
+  val set_ring_capacity : int -> unit
+
+  val clear_events : unit -> unit
+
+  (** One JSON object per event: [{"seq", "ts", "signal", "kind",
+      "gpm_version", "observations", "baseline", "current",
+      "deviation", "old_size", "new_size", "detail"}] — the line format
+      of {!write_jsonl} and the [health/1] export. *)
+  val event_to_json : event -> string
+
+  (** Parse one JSONL line; raises {!Json.Parse_error} on malformed
+      input. *)
+  val event_of_json : string -> event
+
+  val write_jsonl : string -> event list -> unit
+  val read_jsonl : string -> event list
+end
+
 (** Zero every registered counter, histogram, allocation aggregate,
-    window, and SLO (handles stay valid) and clear the trace buffer. *)
+    window, SLO, and health signal (handles stay valid), clear the
+    health event ring, and clear the trace buffer. *)
 val reset : unit -> unit
 
 (** {1 Sinks} *)
@@ -512,7 +640,10 @@ module Openmetrics : sig
       [_window_seconds]/[_window_count]/[_window_rate]), SLO
       ([_compliance]/[_burn_rate]/[_budget_remaining] gauges and a
       [_breaches_total] counter, labeled with target and objective),
-      and current GC figures ([agenp_gc_*] gauges); [extra] appends
+      non-empty health signal (gauges [agenp_health_<name>_rate] /
+      [_observations], per-version gauges labeled [gpm_version], and an
+      [_alarms_total] counter), and current GC figures ([agenp_gc_*]
+      gauges); [extra] appends
       caller gauges as [(name, labels, value)] triples. The document
       ends with ["# EOF"] as the spec requires. *)
   val render :

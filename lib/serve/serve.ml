@@ -341,13 +341,31 @@ let stats_to_json t =
       s.delta.delta_grounds s.delta.delta_facts s.delta.delta_rules
       s.delta.fallbacks
   in
+  let health_part =
+    let signal h =
+      Printf.sprintf
+        "{\"signal\": \"%s\", \"observations\": %d, \"positives\": %d, \
+         \"rate\": %.6f, \"overall_rate\": %.6f, \"alarms\": %d}"
+        (Obs.Health.name h)
+        (Obs.Health.observations h)
+        (Obs.Health.positives h) (Obs.Health.rate h)
+        (Obs.Health.overall_rate h)
+        (Obs.Health.alarms h)
+    in
+    let signals =
+      List.filter (fun h -> Obs.Health.observations h > 0) (Obs.Health.all ())
+    in
+    Printf.sprintf "{\"signals\": [%s], \"events\": %d}"
+      (String.concat ", " (List.map signal signals))
+      (Obs.Health.events_total ())
+  in
   Printf.sprintf
-    "{\"schema\": \"serve-stats/2\", \"gpm_version\": %d, \"requests\": %d, \
+    "{\"schema\": \"serve-stats/3\", \"gpm_version\": %d, \"requests\": %d, \
      \"decision_cache\": %s, \"ground_cache\": %s, \"delta\": %s, \"audit\": \
-     %s}"
+     %s, \"health\": %s}"
     (Asg.Gpm.version t.gpm)
     (s.decisions.hits + s.decisions.misses)
-    (tier s.decisions) (tier s.grounds) delta_part audit_part
+    (tier s.decisions) (tier s.grounds) delta_part audit_part health_part
 
 let openmetrics t =
   let s = stats t in

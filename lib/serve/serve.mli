@@ -217,12 +217,17 @@ val audit : t -> Audit.t option
     appears in [Obs.report]. *)
 val slo : t -> Obs.Slo.t option
 
-(** One JSON object (schema [serve-stats/2]):
+(** One JSON object (schema [serve-stats/3]):
     [{"schema", "gpm_version", "requests", "decision_cache": tier,
     "ground_cache": tier, "delta": {"grounds", "facts", "rules_added",
-    "fallbacks"}, "audit": {"capacity", "retained", "total"} or null}]
+    "fallbacks"}, "audit": {"capacity", "retained", "total"} or null,
+    "health": {"signals": [{"signal", "observations", "positives",
+    "rate", "overall_rate", "alarms"}], "events"}}]
     with [tier = {"hits", "misses", "evictions", "entries", "capacity",
-    "hit_rate"}]. The machine-readable face of {!pp_stats}. *)
+    "hit_rate"}]. The health section reports every {!Obs.Health} signal
+    with observations (process-wide — the policy-health plane is global,
+    not per-engine) plus the total health-event count. The
+    machine-readable face of {!pp_stats}. *)
 val stats_to_json : t -> string
 
 (** The OpenMetrics exposition for this engine:

@@ -104,6 +104,9 @@ Every command takes --report (aggregate span/counter table) and --trace
   asp.solve N
   
   counter                                   value
+  agenp.padap.relearns N
+  agenp.pdp.fallbacks N
+  agenp.pep.noncompliant N
   asg.hypothesis_evals N
   asp.ground.calls N
   asp.ground.delta_rounds N
@@ -116,8 +119,14 @@ Every command takes --report (aggregate span/counter table) and --trace
   asp.solve.gl_checks N
   asp.solve.models N
   asp.solve.propagations N
+  explain.derivation_calls N
+  explain.why_calls N
+  explain.why_not_calls N
   ilp.candidate_evals N
+  ilp.candidates N
   ilp.hypothesis_evals N
+  ilp.kill_cells N
+  ilp.nodes_pruned N
   ilp.search_nodes N
   ilp.witnesses_truncated N
 
@@ -142,19 +151,19 @@ enclosing span's context:
   20 request(s), compliance, N adaptation(s), N rule(s) learned
   span                                    count    total(s)     mean(s)      p50(s)      p90(s)      p99(s)      max(s)       minor(w)  promoted(w)  majgc
   agenp.ams.request N N N N
+  agenp.padap.relearn N N N N
   agenp.pdp.decide N N N N
   agenp.pep.enforce N N N N
   agenp.pip.poll N N N N
   agenp.prep.refine N N N N
-  asg.membership N N N N
 
   $ agenp pipeline --requests 20 --flamegraph profile.folded 2>/dev/null
   20 request(s), compliance 0.650, 1 adaptation(s), 1 rule(s) learned
   $ cut -d ' ' -f 1 profile.folded | sort -u | head -4
   agenp.ams.request
-  agenp.ams.request;agenp.pdp.decide
-  agenp.ams.request;agenp.pdp.decide;asg.membership
-  agenp.ams.request;agenp.pdp.decide;asg.membership;asg.tree_eval
+  agenp.ams.request;agenp.padap.relearn
+  agenp.ams.request;agenp.padap.relearn;asg.membership
+  agenp.ams.request;agenp.padap.relearn;asg.membership;asg.tree_eval
 
   $ agenp pipeline --requests 20 --flamegraph profile.json 2>/dev/null
   20 request(s), compliance 0.650, 1 adaptation(s), 1 rule(s) learned
@@ -208,6 +217,9 @@ else:
   serve.decide N N
   
   counter                                   value
+  agenp.padap.relearns N
+  agenp.pdp.fallbacks N
+  agenp.pep.noncompliant N
   asg.hypothesis_evals N
   asp.ground.calls N
   asp.ground.delta_rounds N
@@ -220,8 +232,14 @@ else:
   asp.solve.gl_checks N
   asp.solve.models N
   asp.solve.propagations N
+  explain.derivation_calls N
+  explain.why_calls N
+  explain.why_not_calls N
   ilp.candidate_evals N
+  ilp.candidates N
   ilp.hypothesis_evals N
+  ilp.kill_cells N
+  ilp.nodes_pruned N
   ilp.search_nodes N
   ilp.witnesses_truncated N
   serve.decision_cache.evictions N
@@ -261,8 +279,10 @@ carries a distinct trace ID (the one on the request's spans and logs):
   reject [cold]
   accept [ground]
   reject [memo]
-  $ grep -o '"schema": "serve-stats/2"' stats.json
-  "schema": "serve-stats/2"
+  $ grep -o '"schema": "serve-stats/3"' stats.json
+  "schema": "serve-stats/3"
+  $ grep -c '"health":' stats.json
+  1
   $ grep -oE '"trace": "[^"]*"' audit.jsonl | sort -u | wc -l
   3
 
@@ -302,3 +322,56 @@ decisions:
 
   $ agenp pipeline --requests 20 --serve
   20 request(s), compliance 0.650, 1 adaptation(s), 1 rule(s) learned
+
+The policy-health plane. --health exports the process-wide health-event
+ring (detector rate-shift alarms, PAdaP relearn lifecycle events) as
+JSONL; the pipeline's adaptation shows up as a relearn event carrying
+the trigger reason, the examples consumed, and the accuracy delta:
+
+  $ agenp pipeline --requests 20 --serve --health health.jsonl
+  20 request(s), compliance 0.650, 1 adaptation(s), 1 rule(s) learned
+  % health: 1 event(s) -> health.jsonl
+
+The health subcommand renders the trail as a table (seq, signal, kind,
+GPM version, observations, baseline->current with the delta, detail):
+
+  $ agenp health health.jsonl
+       0 padap.relearn      relearn    v3   n=20   0.650->0.800 (+0.150) violation_rate:updated
+  % 1 event(s)
+  $ agenp health health.jsonl --last 1
+       0 padap.relearn      relearn    v3   n=20   0.650->0.800 (+0.150) violation_rate:updated
+  % 1 event(s)
+
+--json re-emits the events under the health/1 schema (timestamps vary,
+so normalize them):
+
+  $ agenp health health.jsonl --json | sed -E 's/"ts": [0-9.]+/"ts": T/'
+  {"schema": "health/1", "events": [{"seq": 0, "ts": T, "signal": "padap.relearn", "kind": "relearn", "gpm_version": 3, "observations": 20, "baseline": 0.650000, "current": 0.800000, "deviation": 0.150000, "old_size": 0, "new_size": 1, "detail": "violation_rate:updated"}]}
+
+--since-version filters by the GPM version on the event; an empty
+selection still prints the trailer:
+
+  $ agenp health health.jsonl --since-version 3
+       0 padap.relearn      relearn    v3   n=20   0.650->0.800 (+0.150) violation_rate:updated
+  % 1 event(s)
+  $ agenp health health.jsonl --since-version 999
+  % 0 event(s)
+
+A healthy serve run exports an empty ring:
+
+  $ agenp serve learned.asg requests.txt --health quiet.jsonl >/dev/null
+  % health: 0 event(s) -> quiet.jsonl
+  $ agenp health quiet.jsonl
+  % 0 event(s)
+
+Bad flags and malformed trails are input errors, not crashes:
+
+  $ agenp health health.jsonl --bogus
+  agenp: unknown option '--bogus'.
+  Usage: agenp health [OPTION]… FILE
+  Try 'agenp health --help' or 'agenp --help' for more information.
+  [124]
+  $ echo 'not json' > bad.jsonl
+  $ agenp health bad.jsonl
+  agenp: bad.jsonl: bad health JSONL: expected 'u' at 1
+  [2]

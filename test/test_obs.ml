@@ -751,6 +751,233 @@ let test_openmetrics_render () =
     "agenp_serve_cache_hit_rate"
     (Obs.Openmetrics.metric "serve.cache-hit rate")
 
+(* ---- policy-health detectors -------------------------------------------- *)
+
+(* Rolling and overall rates, per-version tallies, and reset. *)
+let test_health_rates () =
+  with_fake_clock @@ fun () ->
+  let h = Obs.Health.make "health.rates" in
+  (* 20 observations: versions 1 and 2, half positive under v2 *)
+  for i = 1 to 10 do
+    Obs.Health.observe ~version:1 h false;
+    Obs.Health.observe ~version:2 h (i mod 2 = 0)
+  done;
+  Alcotest.(check int) "observations" 20 (Obs.Health.observations h);
+  Alcotest.(check int) "positives" 5 (Obs.Health.positives h);
+  Alcotest.(check (float 1e-9)) "overall rate" 0.25 (Obs.Health.overall_rate h);
+  Alcotest.(check (float 1e-9)) "rolling rate" 0.25 (Obs.Health.rate h);
+  (match Obs.Health.version_rates h with
+  | [ (1, n1, r1); (2, n2, r2) ] ->
+    Alcotest.(check int) "v1 observations" 10 n1;
+    Alcotest.(check (float 1e-9)) "v1 rate" 0.0 r1;
+    Alcotest.(check int) "v2 observations" 10 n2;
+    Alcotest.(check (float 1e-9)) "v2 rate" 0.5 r2
+  | other ->
+    Alcotest.failf "expected two version rows, got %d" (List.length other));
+  Alcotest.(check bool) "find" true (Obs.Health.find "health.rates" <> None);
+  Obs.Health.reset h;
+  Alcotest.(check int) "reset observations" 0 (Obs.Health.observations h);
+  Alcotest.(check (float 1e-9)) "reset rate" 0.0 (Obs.Health.rate h);
+  Alcotest.(check int) "reset versions" 0
+    (List.length (Obs.Health.version_rates h))
+
+(* The rolling window forgets old observations: 50 positives then 50
+   negatives leaves a window-rate of 0 while the overall rate is 0.5. *)
+let test_health_window_forgets () =
+  with_fake_clock @@ fun () ->
+  let h = Obs.Health.make "health.window" in
+  for _ = 1 to 50 do
+    Obs.Health.observe h true
+  done;
+  for _ = 1 to 50 do
+    Obs.Health.observe h false
+  done;
+  Alcotest.(check (float 1e-9)) "window rate" 0.0 (Obs.Health.rate h);
+  Alcotest.(check (float 1e-9)) "overall rate" 0.5 (Obs.Health.overall_rate h)
+
+(* The bounded event ring: capacity caps retention, [last] trims, the
+   total counts expired events, and sequence numbers stay global. *)
+let test_health_ring () =
+  with_fake_clock @@ fun () ->
+  Fun.protect ~finally:(fun () -> Obs.Health.set_ring_capacity 256)
+  @@ fun () ->
+  Obs.Health.set_ring_capacity 4;
+  let seqs evs = List.map (fun e -> e.Obs.Health.ev_seq) evs in
+  for i = 0 to 5 do
+    ignore
+      (Obs.Health.emit ~signal:"ring.sig" ~kind:"relearn"
+         ~detail:(string_of_int i) ()
+        : Obs.Health.event)
+  done;
+  Alcotest.(check int) "events_total" 6 (Obs.Health.events_total ());
+  Alcotest.(check (list int))
+    "ring keeps newest, oldest first" [ 2; 3; 4; 5 ]
+    (seqs (Obs.Health.events ()));
+  Alcotest.(check (list int))
+    "last trims" [ 4; 5 ]
+    (seqs (Obs.Health.events ~last:2 ()));
+  Obs.Health.clear_events ();
+  Alcotest.(check int) "cleared" 0 (List.length (Obs.Health.events ()))
+
+(* Events survive the JSON line format: to_json |> of_json is the
+   identity, and write_jsonl/read_jsonl round-trips a whole ring. *)
+let test_health_jsonl_roundtrip () =
+  with_fake_clock @@ fun () ->
+  tick 12.5;
+  ignore
+    (Obs.Health.emit ~gpm_version:3 ~observations:42 ~baseline:0.1
+       ~current:0.65 ~deviation:2.31 ~old_size:4 ~new_size:6
+       ~detail:"violation_rate:updated" ~signal:"padap.relearn"
+       ~kind:"relearn" ()
+      : Obs.Health.event);
+  ignore
+    (Obs.Health.emit ~signal:"pep.noncompliance" ~kind:"rate_shift" ()
+      : Obs.Health.event);
+  let evs = Obs.Health.events () in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "to_json |> of_json is the identity" true
+        (Obs.Health.event_of_json (Obs.Health.event_to_json e) = e))
+    evs;
+  let path = Filename.temp_file "obs_health" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Health.write_jsonl path evs;
+  Alcotest.(check bool) "file round-trip" true (Obs.Health.read_jsonl path = evs)
+
+(* A hard 0 -> 1 rate shift alarms within a handful of observations,
+   and the alarm carries a structured rate_shift event. *)
+let test_health_detects_shift () =
+  with_fake_clock @@ fun () ->
+  let h = Obs.Health.make "health.shift" in
+  for _ = 1 to 40 do
+    Obs.Health.observe ~version:7 h false
+  done;
+  Alcotest.(check int) "quiet before the shift" 0 (Obs.Health.alarms h);
+  let detected_after = ref 0 in
+  (try
+     for i = 1 to 10 do
+       Obs.Health.observe ~version:7 h true;
+       if Obs.Health.alarms h > 0 then begin
+         detected_after := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  Alcotest.(check bool)
+    (Printf.sprintf "alarm within 10 observations (fired after %d)"
+       !detected_after)
+    true
+    (!detected_after >= 1 && !detected_after <= 10);
+  match
+    List.find_opt
+      (fun e -> e.Obs.Health.ev_signal = "health.shift")
+      (Obs.Health.events ())
+  with
+  | None -> Alcotest.fail "no rate_shift event in the ring"
+  | Some e ->
+    Alcotest.(check string) "kind" "rate_shift" e.Obs.Health.ev_kind;
+    Alcotest.(check int) "gpm version" 7 e.Obs.Health.ev_gpm_version;
+    Alcotest.(check bool) "PH statistic above lambda" true
+      (e.Obs.Health.ev_deviation > Obs.Health.default_config.ph_lambda);
+    Alcotest.(check int) "observation count on the event"
+      (40 + !detected_after) e.Obs.Health.ev_observations
+
+(* qcheck: a periodic stationary stream (one positive every k) never
+   alarms, whatever the period or length. *)
+let health_stationary_prop =
+  QCheck.Test.make ~count:100 ~name:"health: no alarm on stationary stream"
+    QCheck.(pair (int_range 2 20) (int_range 50 300))
+    (fun (period, len) ->
+      with_fake_clock @@ fun () ->
+      let h = Obs.Health.make "prop.stationary" in
+      for i = 0 to len - 1 do
+        Obs.Health.observe h (i mod period = 0)
+      done;
+      Obs.Health.alarms h = 0)
+
+(* qcheck: after any quiet prefix, a sustained 0 -> 1 shift is caught
+   within 10 observations. *)
+let health_detection_delay_prop =
+  QCheck.Test.make ~count:100 ~name:"health: bounded detection delay"
+    QCheck.(int_range 10 100)
+    (fun quiet ->
+      with_fake_clock @@ fun () ->
+      let h = Obs.Health.make "prop.delay" in
+      for _ = 1 to quiet do
+        Obs.Health.observe h false
+      done;
+      let delay = ref 0 in
+      (try
+         for i = 1 to 10 do
+           Obs.Health.observe h true;
+           if Obs.Health.alarms h > 0 then begin
+             delay := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !delay >= 1 && !delay <= 10)
+
+(* qcheck: determinism under [set_clock] across pool sizes. Four
+   signals each consume the same observation stream; whether the
+   streams run on 1, 2, or 4 domains, every signal's final rates,
+   alarm count, and ring events are identical. *)
+let health_domain_determinism_prop =
+  let snapshot names =
+    let signal name =
+      match Obs.Health.find name with
+      | None -> Alcotest.failf "signal %s vanished" name
+      | Some h ->
+        ( name,
+          Obs.Health.observations h,
+          Obs.Health.positives h,
+          Obs.Health.alarms h,
+          Obs.Health.rate h )
+    in
+    let events =
+      Obs.Health.events ()
+      |> List.map (fun e ->
+             Obs.Health.
+               ( e.ev_signal,
+                 e.ev_kind,
+                 e.ev_observations,
+                 e.ev_ts,
+                 e.ev_current ))
+      |> List.sort compare
+    in
+    (List.map signal names, events)
+  in
+  QCheck.Test.make ~count:15
+    ~name:"health: deterministic across domains 1/2/4"
+    QCheck.(list_of_size (QCheck.Gen.int_range 20 120) bool)
+    (fun stream ->
+      let names = List.init 4 (fun i -> Printf.sprintf "det.s%d" i) in
+      let run degree =
+        with_fake_clock @@ fun () ->
+        let feed name =
+          let h = Obs.Health.make name in
+          List.iter (fun b -> Obs.Health.observe h b) stream
+        in
+        let chunks =
+          (* partition the 4 signals round-robin over [degree] domains *)
+          List.init degree (fun d ->
+              List.filteri (fun i _ -> i mod degree = d) names)
+        in
+        (match chunks with
+        | [] -> ()
+        | mine :: others ->
+          let spawned =
+            List.map
+              (fun chunk -> Domain.spawn (fun () -> List.iter feed chunk))
+              others
+          in
+          List.iter feed mine;
+          List.iter Domain.join spawned);
+        snapshot names
+      in
+      let s1 = run 1 in
+      run 2 = s1 && run 4 = s1)
+
 (* Parallel spans: counters from many domains aggregate exactly, and
    each span records the domain it ran on. *)
 let test_domain_safety () =
@@ -840,5 +1067,19 @@ let () =
         [
           Alcotest.test_case "exposition shapes" `Quick
             test_openmetrics_render;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "rates and versions" `Quick test_health_rates;
+          Alcotest.test_case "window forgets" `Quick
+            test_health_window_forgets;
+          Alcotest.test_case "event ring" `Quick test_health_ring;
+          Alcotest.test_case "jsonl round-trip" `Quick
+            test_health_jsonl_roundtrip;
+          Alcotest.test_case "detects rate shift" `Quick
+            test_health_detects_shift;
+          QCheck_alcotest.to_alcotest health_stationary_prop;
+          QCheck_alcotest.to_alcotest health_detection_delay_prop;
+          QCheck_alcotest.to_alcotest health_domain_determinism_prop;
         ] );
     ]

@@ -463,7 +463,7 @@ let test_stats_json () =
   ignore (Serve.decide engine req);
   ignore (Serve.decide engine req);
   let j = Obs.Json.parse (Serve.stats_to_json engine) in
-  Alcotest.(check string) "schema" "serve-stats/2"
+  Alcotest.(check string) "schema" "serve-stats/3"
     Obs.Json.(to_str (member "schema" j));
   Alcotest.(check (float 1e-9)) "requests" 2.0
     Obs.Json.(to_num (member "requests" j));
@@ -484,7 +484,16 @@ let test_stats_json () =
   Alcotest.(check (float 1e-9)) "no fallbacks" 0.0
     Obs.Json.(to_num (member "fallbacks" delta));
   Alcotest.(check (float 1e-9)) "audit retained" 2.0
-    Obs.Json.(to_num (member "retained" (member "audit" j)))
+    Obs.Json.(to_num (member "retained" (member "audit" j)));
+  (* the serve-stats/3 health section: the process-wide signal list and
+     the total event count are always present *)
+  let health = Obs.Json.member "health" j in
+  Alcotest.(check bool) "health signals is a list" true
+    (match Obs.Json.member "signals" health with
+    | Obs.Json.List _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "health events counted" true
+    Obs.Json.(to_num (member "events" health) >= 0.0)
 
 (* an engine with the trail disabled serves fine and reports it as null *)
 let test_audit_disabled () =
