@@ -15,8 +15,8 @@
 let usage =
   "usage: bench gate [--tolerance F] [--quota SEC] [--runs N] \
    [--baseline-asp FILE] [--baseline-par FILE] [--baseline-serve FILE] \
-   [--baseline-drift FILE] [--skip-par] [--skip-serve] [--skip-drift] \
-   [--rebaseline]"
+   [--baseline-serve2 FILE] [--baseline-drift FILE] [--skip-par] \
+   [--skip-serve] [--skip-serve2] [--skip-drift] [--rebaseline]"
 
 type opts = {
   tolerance : float;  (** allowed fractional slowdown, default 0.15 *)
@@ -25,9 +25,11 @@ type opts = {
   baseline_asp : string;
   baseline_par : string;
   baseline_serve : string;
+  baseline_serve2 : string;
   baseline_drift : string;
   skip_par : bool;
   skip_serve : bool;
+  skip_serve2 : bool;
   skip_drift : bool;
   rebaseline : bool;  (** re-capture BENCH_asp.json instead of checking *)
 }
@@ -40,9 +42,11 @@ let default_opts =
     baseline_asp = "BENCH_asp.json";
     baseline_par = "BENCH_par.json";
     baseline_serve = "BENCH_serve.json";
+    baseline_serve2 = "BENCH_serve2.json";
     baseline_drift = "BENCH_drift.json";
     skip_par = false;
     skip_serve = false;
+    skip_serve2 = false;
     skip_drift = false;
     rebaseline = false;
   }
@@ -67,9 +71,12 @@ let parse_args args =
     | "--baseline-asp" :: v :: rest -> go { o with baseline_asp = v } rest
     | "--baseline-par" :: v :: rest -> go { o with baseline_par = v } rest
     | "--baseline-serve" :: v :: rest -> go { o with baseline_serve = v } rest
+    | "--baseline-serve2" :: v :: rest ->
+      go { o with baseline_serve2 = v } rest
     | "--baseline-drift" :: v :: rest -> go { o with baseline_drift = v } rest
     | "--skip-par" :: rest -> go { o with skip_par = true } rest
     | "--skip-serve" :: rest -> go { o with skip_serve = true } rest
+    | "--skip-serve2" :: rest -> go { o with skip_serve2 = true } rest
     | "--skip-drift" :: rest -> go { o with skip_drift = true } rest
     | "--rebaseline" :: rest -> go { o with rebaseline = true } rest
     | a :: _ -> raise (Bad_args ("unknown argument: " ^ a))
@@ -124,6 +131,35 @@ let load_serve_baseline path : bool * float * float option * float option =
         (fun d -> to_num (member "ns_per_ground" d))
         (member_opt "delta" j)) )
 
+(* the committed multi-tenant serve snapshot: the cluster must have
+   matched the sequential single-shard path bit-for-bit, routed every
+   response to its tenant's shard, actually coalesced duplicate work,
+   rejected the backpressure overfill, and never invalidated across
+   tenants. Per-shard tier rates ride along for the zero-hit check. *)
+let load_serve2_baseline path :
+    bool * bool * int * int * int * (string * float * float) list =
+  let j = read_json path in
+  (match Obs.Json.(to_str (member "schema" j)) with
+  | "bench-serve2/1" -> ()
+  | other -> failwith (Printf.sprintf "unexpected schema %S" other));
+  let shards =
+    match Obs.Json.member "shards" j with
+    | Obs.Json.Obj kvs ->
+      List.map
+        (fun (tenant, v) ->
+          ( tenant,
+            Obs.Json.(to_num (member "decision_hit_rate" v)),
+            Obs.Json.(to_num (member "ground_hit_rate" v)) ))
+        kvs
+    | _ -> failwith "shards is not an object"
+  in
+  ( Obs.Json.(to_bool (member "identical_outcome" j)),
+    Obs.Json.(to_bool (member "shard_provenance" j)),
+    Obs.Json.(int_of_float (to_num (member "coalesced" j))),
+    Obs.Json.(int_of_float (to_num (member "rejected_on_overfill" j))),
+    Obs.Json.(int_of_float (to_num (member "cross_tenant_invalidations" j))),
+    shards )
+
 (* the committed drift snapshot: the detector must have caught the
    injected mutation, raised nothing on the stationary control, and the
    serve path must have stayed outcome-identical *)
@@ -161,11 +197,21 @@ let run args =
         if o.skip_serve then None
         else Some (load_serve_baseline o.baseline_serve)
       in
+      let serve2_baseline =
+        if o.skip_serve2 then None
+        else Some (load_serve2_baseline o.baseline_serve2)
+      in
       let drift_baseline =
         if o.skip_drift then None
         else Some (load_drift_baseline o.baseline_drift)
       in
-      `Check (o, baseline, par_baseline_ok, serve_baseline, drift_baseline)
+      `Check
+        ( o,
+          baseline,
+          par_baseline_ok,
+          serve_baseline,
+          serve2_baseline,
+          drift_baseline )
   with
   | exception Bad_args msg ->
     Fmt.epr "bench gate: %s@.%s@." msg usage;
@@ -180,7 +226,13 @@ let run args =
     Fmt.epr "bench gate: bad baseline: %s@." msg;
     2
   | `Rebaseline o -> rebaseline o
-  | `Check (o, baseline, par_baseline_ok, serve_baseline, drift_baseline) ->
+  | `Check
+      ( o,
+        baseline,
+        par_baseline_ok,
+        serve_baseline,
+        serve2_baseline,
+        drift_baseline ) ->
     Fmt.pr
       "bench gate: %d bench(es), tolerance %.0f%%, quota %.2fs, min of %d \
        run(s)@."
@@ -301,6 +353,53 @@ let run args =
           && ground_rate > 0.0 && ground_ns_ok
         end
     in
+    let serve2_ok =
+      match serve2_baseline with
+      | None ->
+        Fmt.pr "serve2: skipped@.";
+        true
+      | Some (identical, provenance, coalesced, rejected, invalidations, shards)
+        ->
+        let problems =
+          List.filter_map Fun.id
+            [
+              (if identical then None
+               else Some "cluster not outcome-identical to the single-shard \
+                          path");
+              (if provenance then None
+               else Some "responses misrouted (shard_provenance=false)");
+              (if coalesced > 0 then None
+               else Some "no duplicate work coalesced (coalesced=0)");
+              (if rejected > 0 then None
+               else
+                 Some "backpressure overfill produced no rejection \
+                       (rejected_on_overfill=0)");
+              (if invalidations = 0 then None
+               else
+                 Some
+                   (Printf.sprintf "%d cross-tenant invalidation(s)"
+                      invalidations));
+            ]
+          @ List.filter_map
+              (fun (tenant, d, g) ->
+                if d <= 0.0 || g <= 0.0 then
+                  Some
+                    (Printf.sprintf
+                       "shard %s has a zero-hit tier (decision %.2f, ground \
+                        %.2f)"
+                       tenant d g)
+                else None)
+              shards
+        in
+        (match problems with
+        | [] ->
+          Fmt.pr
+            "serve2: committed snapshot: %d shard(s) outcome-identical, %d \
+             coalesced, overfill rejected, 0 cross-tenant invalidations@."
+            (List.length shards) coalesced
+        | ps -> List.iter (fun p -> Fmt.pr "serve2: %s  FAIL@." p) ps);
+        problems = []
+    in
     let drift_ok =
       match drift_baseline with
       | None ->
@@ -339,12 +438,15 @@ let run args =
         !missing;
       2
     end
-    else if !regressions > 0 || not par_ok || not serve_ok || not drift_ok
+    else if
+      !regressions > 0 || not par_ok || not serve_ok || not serve2_ok
+      || not drift_ok
     then begin
-      Fmt.pr "bench gate: FAIL (%d regression(s) beyond %.0f%%%s%s%s)@."
+      Fmt.pr "bench gate: FAIL (%d regression(s) beyond %.0f%%%s%s%s%s)@."
         !regressions (o.tolerance *. 100.0)
         (if par_ok then "" else "; par outcomes differ")
         (if serve_ok then "" else "; serve caches unsound")
+        (if serve2_ok then "" else "; multi-tenant serving unsound")
         (if drift_ok then "" else "; drift detection unsound");
       1
     end

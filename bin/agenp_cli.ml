@@ -345,10 +345,14 @@ let write_health_out = function
     Fmt.epr "%% health: %d event(s) -> %s@." (List.length events) path
   | None -> ()
 
-let serve_cmd obs grammar requests context repeat stats batch stats_json
-    audit_out health_out metrics_port metrics_linger metrics_once slo_target
-    slo_objective slo_window =
+let serve_cmd obs grammar requests context repeat stats batch tenants
+    queue_depth stats_json audit_out health_out metrics_port metrics_linger
+    metrics_once slo_target slo_objective slo_window =
   run obs @@ fun () ->
+  if tenants < 1 then
+    raise (Cli_input_error "--tenants must be at least 1");
+  if queue_depth < 1 then
+    raise (Cli_input_error "--queue-depth must be at least 1");
   let gpm = Asg.Asg_parser.parse (read_file grammar) in
   let base = load_context context in
   let reqs =
@@ -357,8 +361,70 @@ let serve_cmd obs grammar requests context repeat stats batch stats_json
            Serve.Request.make ~context:(Asp.Program.append base ctx) ~options ())
   in
   let config =
-    { Serve.Config.default with slo_target; slo_objective; slo_window }
+    {
+      Serve.Config.default with
+      Serve.Config.slo =
+        {
+          Serve.Config.target = slo_target;
+          objective = slo_objective;
+          window = slo_window;
+        };
+    }
   in
+  if tenants > 1 then begin
+    (* multi-tenant path: one shard per simulated tenant, the request
+       stream round-robined across them, served through the cluster's
+       flow-controlled ingestion front *)
+    let unsupported flag =
+      raise
+        (Cli_input_error
+           (flag ^ " is not supported with --tenants (per-shard state has \
+                    no single-engine view)"))
+    in
+    if batch then unsupported "--batch";
+    if stats_json <> None then unsupported "--stats-json";
+    if audit_out <> None then unsupported "--audit";
+    if metrics_port <> None then unsupported "--metrics-port";
+    let names = List.init tenants (fun i -> "t" ^ string_of_int i) in
+    let cluster =
+      Serve.Cluster.create ~config ~queue_depth
+        ~tenants:(List.map (fun n -> (n, gpm)) names)
+        ()
+    in
+    let name_arr = Array.of_list names in
+    let tenanted =
+      List.mapi
+        (fun i (req : Serve.Request.t) ->
+          { req with Serve.Request.tenant = name_arr.(i mod tenants) })
+        reqs
+    in
+    for _pass = 1 to repeat do
+      List.iter
+        (function
+          | Serve.Cluster.Served (r : Serve.Response.t) ->
+            Fmt.pr "%s [%s %s]@." r.Serve.Response.decision.Serve.Decision.chosen
+              r.Serve.Response.shard
+              (Serve.provenance_to_string r.Serve.Response.provenance)
+          | Serve.Cluster.Rejected reason ->
+            Fmt.pr "rejected [%s]@."
+              (Serve.Cluster.reject_reason_to_string reason))
+        (Serve.Cluster.run cluster tenanted)
+    done;
+    if stats then begin
+      List.iter
+        (fun (tenant, s) ->
+          Fmt.pr "shard %s:@.%a@." tenant Serve.pp_stats s)
+        (Serve.Cluster.stats cluster);
+      Fmt.pr "cluster: %d submitted, %d coalesced, %d rejected@."
+        (Serve.Cluster.submitted cluster)
+        (Serve.Cluster.coalesced cluster)
+        (Serve.Cluster.rejected cluster)
+    end;
+    write_health_out health_out;
+    if metrics_once then print_string (Serve.Cluster.openmetrics cluster);
+    0
+  end
+  else begin
   let engine = Serve.create ~config gpm in
   let server =
     Option.map
@@ -412,6 +478,7 @@ let serve_cmd obs grammar requests context repeat stats batch stats_json
     Unix.sleepf sec
   | _ -> ());
   0
+  end
 
 (** Query/tail a decision audit trail exported with [serve --audit]. *)
 let audit_cmd obs file last trace_filter fallbacks json =
@@ -520,9 +587,12 @@ let monitor_cmd obs grammar requests context repeat slo_target slo_objective
   let config =
     {
       Serve.Config.default with
-      slo_target = Some slo_target;
-      slo_objective;
-      slo_window;
+      Serve.Config.slo =
+        {
+          Serve.Config.target = Some slo_target;
+          objective = slo_objective;
+          window = slo_window;
+        };
     }
   in
   let engine = Serve.create ~config gpm in
@@ -589,7 +659,8 @@ let pipeline_cmd obs requests seed serve health_out =
   in
   let ams = Agenp.Ams.create ~name:"xacml-ams" ~seed ~spec ~space env in
   if serve then
-    Agenp.Ams.attach_engine ams (Serve.create (Agenp.Ams.gpm ams));
+    Agenp.Ams.attach_engine ams
+      (Serve.Engine (Serve.create (Agenp.Ams.gpm ams)));
   let log = Workloads.Xacml_logs.log ~seed ~n:requests () in
   List.iter
     (fun (r, d) ->
@@ -856,12 +927,29 @@ let serve_t =
                  (--domains); decisions are printed in input order and \
                  are identical to sequential serving.")
   in
+  let tenants =
+    Arg.(value & opt int 1 & info [ "tenants" ] ~docv:"N"
+           ~doc:"Serve through a sharded multi-tenant cluster of N \
+                 simulated tenants (t0..tN-1), round-robining the request \
+                 stream across them. Each tenant owns an isolated shard \
+                 (its own memo, ground cache, and model stamp); decisions \
+                 print with shard provenance. N=1 keeps the single-engine \
+                 path.")
+  in
+  let queue_depth =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Bound of the cluster ingestion queue (with --tenants > 1): \
+                 the flow-controlled stream drains whenever N requests are \
+                 queued, coalescing identical (tenant, context, options) \
+                 submissions in each window.")
+  in
   let stats_json =
     Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
            ~doc:"Write the engine statistics to FILE as one JSON object \
-                 (schema serve-stats/3: per-tier hits/misses/evictions/\
-                 entries/capacity/hit_rate, delta-grounding counts, \
-                 audit-ring occupancy, and the policy-health signals).")
+                 (schema serve-stats/4: per-tier hits/misses/evictions/\
+                 collisions/entries/capacity/hit_rate, delta-grounding \
+                 counts, audit-ring occupancy, and the policy-health \
+                 signals).")
   in
   let audit_out =
     Arg.(value & opt (some string) None & info [ "audit" ] ~docv:"FILE"
@@ -897,7 +985,8 @@ let serve_t =
              'opt1 opt2 ... | context-program' (context optional).")
     Term.(const serve_cmd $ obs_t $ file_arg ~doc:"ASG grammar file." 0 "GRAMMAR"
           $ file_arg ~doc:"Requests file (options | context per line)." 1 "REQUESTS"
-          $ context_opt $ repeat $ stats $ batch $ stats_json $ audit_out
+          $ context_opt $ repeat $ stats $ batch $ tenants $ queue_depth
+          $ stats_json $ audit_out
           $ health_out_opt $ metrics_port $ metrics_linger $ metrics_once
           $ slo_target_opt $ slo_objective_t $ slo_window_t)
 

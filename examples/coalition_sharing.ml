@@ -59,7 +59,7 @@ let accuracy ams scenarios =
                ~context:(Workloads.Cav.to_context s)
                ~options:[ "accept"; "reject" ]
            in
-           (d.Agenp.Pdp.chosen = "accept") = Workloads.Cav.ground_truth s)
+           (d.Serve.Decision.chosen = "accept") = Workloads.Cav.ground_truth s)
          scenarios)
   in
   float_of_int correct /. float_of_int (List.length scenarios)

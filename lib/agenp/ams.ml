@@ -29,9 +29,10 @@ type t = {
   context_repo : Context_repo.t;
   repository : Repository.t;
   rng : Random.State.t;
-  mutable serve_engine : Serve.t option;
-      (** when attached, the PDP routes decisions through the caching
-          serving engine *)
+  mutable serve_engine : Serve.target option;
+      (** when attached, the PDP routes decisions through the serving
+          target — a private engine or this member's shard of a
+          cluster *)
 }
 
 let create ~name ~seed ~(spec : Prep.pbms_spec) ~(space : Ilp.Hypothesis_space.t)
@@ -88,18 +89,18 @@ let handle_request (t : t) (local_context : Asp.Program.t) : Pep.record =
       ~options:t.env.options
   in
   (* PEP + monitoring: enforce, compare with ground truth *)
-  let verdict = t.env.oracle context decision.Pdp.chosen in
+  let verdict = t.env.oracle context decision.Serve.Decision.chosen in
   let record =
     Pep.enforce ~gpm_version:(Asg.Gpm.version (gpm t)) t.pep ~request
       ~decision ~verdict
   in
   (* monitoring feedback: the chosen option's validity is observed *)
-  learn_from t ~context decision.Pdp.chosen ~valid:verdict;
+  learn_from t ~context decision.Serve.Decision.chosen ~valid:verdict;
   (* periodic audit: label every option *)
   if Random.State.float t.rng 1.0 < t.env.audit_rate then
     List.iter
       (fun opt ->
-        if opt <> decision.Pdp.chosen then
+        if opt <> decision.Serve.Decision.chosen then
           learn_from t ~context opt ~valid:(t.env.oracle context opt))
       t.env.options;
   Padap.record_violation t.padap (not verdict);
@@ -117,7 +118,7 @@ let handle_request (t : t) (local_context : Asp.Program.t) : Pep.record =
   if not verdict then
     Log.debug (fun m ->
         m "%s: non-compliant decision %s at tick %d" t.name
-          decision.Pdp.chosen record.Pep.tick);
+          decision.Serve.Decision.chosen record.Pep.tick);
   record
 
 (** PReP policy generation for the current context. *)

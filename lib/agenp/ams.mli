@@ -24,12 +24,15 @@ val create :
 
 val gpm : t -> Asg.Gpm.t
 
-(** Route this member's decisions through a caching serving engine. The
-    PDP keeps the engine's model in sync with the learned GPM, so
-    adaptations invalidate the engine's decision memo automatically. *)
-val attach_engine : t -> Serve.t -> unit
+(** Route this member's decisions through a serving target — a private
+    caching engine ([Serve.Engine e]) or this member's tenant shard of
+    a shared cluster ([Serve.Tenant (cluster, name)]). The PDP keeps
+    the target's model in sync with the learned GPM, so adaptations
+    invalidate the right shard's decision memo automatically (and only
+    that shard's). *)
+val attach_engine : t -> Serve.target -> unit
 
-val engine : t -> Serve.t option
+val engine : t -> Serve.target option
 
 (** The PReP-refined initial model (before any learned hypothesis). *)
 val base_gpm : t -> Asg.Gpm.t

@@ -1,16 +1,11 @@
-(** The single decision payload of the AGenP surface — the serving
-    layer's {!Serve.Decision} re-exported, so the PDP, PEP, simulation,
-    and CLI all speak one type. The record equation keeps existing field
-    accesses ([d.Agenp.Pdp.chosen] etc.) compiling. *)
+(** The single decision payload of the AGenP surface — an alias of the
+    serving layer's canonical {!Serve.Decision.t}, so the PDP, PEP,
+    simulation, and CLI all speak one type. The record equation that
+    used to re-export the fields here (keeping pre-serve paths like
+    [d.Agenp.Pdp.chosen] compiling) is gone: field accesses go through
+    the canonical record, [d.Serve.Decision.chosen]. *)
 
-type t = Serve.Decision.t = {
-  chosen : string;
-  valid_options : string list;
-  fallback_used : bool;
-  compliant : bool option;
-      (** monitoring verdict, filled in by {!Pep.enforce}; [None] until
-          the decision has been enforced *)
-}
+type t = Serve.Decision.t
 
 let equal = Serve.Decision.equal
 let pp = Serve.Decision.pp

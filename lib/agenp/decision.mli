@@ -1,17 +1,10 @@
-(** The single decision payload of the AGenP surface: {!Serve.Decision}
-    re-exported. Replaces the old [Pdp.decision] shape (which is now an
-    alias of this type) and the separate [compliant] field the PEP used
-    to keep on its records. *)
+(** The single decision payload of the AGenP surface: an alias of the
+    canonical {!Serve.Decision.t}. Field accesses use the canonical
+    record ([d.Serve.Decision.chosen] etc.) — the compatibility record
+    equation that re-exported the fields here was removed with the
+    multi-tenant serve plane. *)
 
-type t = Serve.Decision.t = {
-  chosen : string;
-  valid_options : string list;
-      (** every option the model admits, in preference order *)
-  fallback_used : bool;  (** the model admitted nothing *)
-  compliant : bool option;
-      (** monitoring verdict, filled in by {!Pep.enforce}; [None] until
-          the decision has been enforced *)
-}
+type t = Serve.Decision.t
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -21,13 +21,13 @@ let summarize ?(window = 20) (pep : Pep.t) : summary =
     if n = 0 then 0.0
     else
       float_of_int
-        (count (fun r -> r.Pep.decision.Decision.fallback_used))
+        (count (fun r -> r.Pep.decision.Serve.Decision.fallback_used))
       /. float_of_int n
   in
   let mix = Hashtbl.create 8 in
   List.iter
     (fun (r : Pep.record) ->
-      let k = r.Pep.decision.Decision.chosen in
+      let k = r.Pep.decision.Serve.Decision.chosen in
       Hashtbl.replace mix k (1 + Option.value ~default:0 (Hashtbl.find_opt mix k)))
     log;
   let decision_mix =

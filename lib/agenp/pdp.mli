@@ -5,23 +5,16 @@ exception No_options
 (** Raised on an empty options list (alias of {!Serve.No_options}) —
     there is nothing to decide and no fail-safe to fall back to. *)
 
-type decision = Decision.t = {
-  chosen : string;
-  valid_options : string list;
-  fallback_used : bool;
-  compliant : bool option;
-      (** [None] here; filled in by {!Pep.enforce} *)
-}
-(** Alias of {!Decision.t}. The bare three-field record of earlier
-    versions is gone; this equation keeps field accesses compiling. *)
-
-(** Decide; with [engine] the decision is served through the caching
-    engine (whose model is updated to [gpm] first), otherwise through
-    the cache-free reference path. Both paths return identical
-    decisions. @raise No_options when [options] is empty. *)
+(** Decide; with [engine] the decision is served through a serving
+    target (whose model is updated to [gpm] first): either a private
+    {!Serve.t} engine or one tenant's shard of a {!Serve.Cluster}.
+    Without a target the cache-free reference path decides. All paths
+    return identical decisions — a cluster rejection (backpressure)
+    falls back to the reference path rather than losing the decision.
+    @raise No_options when [options] is empty. *)
 val decide :
-  ?engine:Serve.t ->
+  ?engine:Serve.target ->
   Asg.Gpm.t ->
   context:Asp.Program.t ->
   options:string list ->
-  decision
+  Decision.t

@@ -33,7 +33,7 @@ let enforce ?gpm_version (t : t) ~(request : Request.t)
     ~(decision : Decision.t) ~(verdict : bool) : record =
   Obs.span "agenp.pep.enforce" @@ fun () ->
   t.tick <- t.tick + 1;
-  let decision = { decision with Decision.compliant = Some verdict } in
+  let decision = { decision with Serve.Decision.compliant = Some verdict } in
   let r = { tick = t.tick; request; decision } in
   t.log <- r :: t.log;
   Obs.Health.observe ?version:gpm_version h_noncompliance (not verdict);
@@ -43,14 +43,14 @@ let enforce ?gpm_version (t : t) ~(request : Request.t)
       ~attrs:
         [
           ("tick", string_of_int r.tick);
-          ("chosen", r.decision.Decision.chosen);
+          ("chosen", r.decision.Serve.Decision.chosen);
         ];
   r
 
 let compliant (r : record) =
-  match r.decision.Decision.compliant with Some c -> c | None -> false
+  match r.decision.Serve.Decision.compliant with Some c -> c | None -> false
 
-let context (r : record) = r.request.Request.context
+let context (r : record) = r.request.Serve.Request.context
 let log t = t.log
 let tick t = t.tick
 

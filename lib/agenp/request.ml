@@ -1,11 +1,7 @@
-(** A decision request — {!Serve.Request} re-exported so AGenP call
-    sites build the serving layer's canonical request shape. *)
+(** A decision request — an alias of the serving layer's canonical
+    {!Serve.Request.t}; AGenP call sites build requests with
+    {!Serve.Request.make} through this module. *)
 
-type t = Serve.Request.t = {
-  context : Asp.Program.t;
-  options : string list;
-  priority : int;
-  deadline : float option;
-}
+type t = Serve.Request.t
 
 let make = Serve.Request.make

@@ -1,16 +1,14 @@
-(** A decision request: {!Serve.Request} re-exported. *)
+(** A decision request: an alias of the canonical {!Serve.Request.t}.
+    Field accesses use the canonical record
+    ([r.Serve.Request.context] etc.); requests carry a tenant id for
+    routing through a {!Serve.Cluster}. *)
 
-type t = Serve.Request.t = {
-  context : Asp.Program.t;  (** the facts/rules the decision is made in *)
-  options : string list;
-      (** candidate decisions in preference order; last is the fail-safe *)
-  priority : int;  (** batch scheduling priority (higher first) *)
-  deadline : float option;  (** latency budget in seconds, reporting only *)
-}
+type t = Serve.Request.t
 
 val make :
   ?priority:int ->
   ?deadline:float ->
+  ?tenant:string ->
   context:Asp.Program.t ->
   options:string list ->
   unit ->

@@ -28,18 +28,25 @@ type result = {
 
 (** Run the simulation. [request_stream member_name tick index] supplies
     each request context — deterministic streams give reproducible runs.
-    With [serve_config], each member gets a caching serving engine of
-    that size; decisions are identical either way (the engine only
-    changes latency). *)
+    With [serve_config], the coalition shares one {!Serve.Cluster} of
+    that shard configuration, one tenant shard per member (keyed by
+    member name) — decisions are identical either way (the cluster only
+    changes latency), and one member's adaptation invalidates only its
+    own shard. *)
 let run ?(serve_config : Serve.Config.t option) (config : config)
     (members : Ams.t list)
     ~(request_stream : string -> int -> int -> Asp.Program.t) : result =
   (match serve_config with
-  | Some sc ->
+  | Some sc when members <> [] ->
+    let cluster =
+      Serve.Cluster.create ~config:sc
+        ~tenants:(List.map (fun m -> (Ams.name m, Ams.gpm m)) members)
+        ()
+    in
     List.iter
-      (fun m -> Ams.attach_engine m (Serve.create ~config:sc (Ams.gpm m)))
+      (fun m -> Ams.attach_engine m (Serve.Tenant (cluster, Ams.name m)))
       members
-  | None -> ());
+  | Some _ | None -> ());
   let coalition = Coalition.create () in
   List.iter (Coalition.add_member coalition) members;
   let timeline = ref [] in

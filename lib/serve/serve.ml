@@ -2,7 +2,9 @@
    invariant that matters throughout is that every cached artifact is a
    pure function of its key — ground programs of the induced program,
    decisions of (model version, context, options) — so caching can change
-   latency and provenance but never the decision. *)
+   latency and provenance but never the decision. The same invariant
+   carries to the multi-tenant cluster: shards share nothing mutable, so
+   sharding and coalescing change scheduling, never outcomes. *)
 
 module Lru = Lru
 module Audit = Audit
@@ -16,10 +18,12 @@ module Request = struct
     options : string list;
     priority : int;
     deadline : float option;
+    tenant : string;
   }
 
-  let make ?(priority = 0) ?deadline ~context ~options () =
-    { context; options; priority; deadline }
+  let make ?(priority = 0) ?deadline ?(tenant = "default") ~context ~options
+      () =
+    { context; options; priority; deadline; tenant }
 end
 
 module Decision = struct
@@ -60,27 +64,21 @@ module Response = struct
     latency : float;
     gpm_version : int;
     deadline_missed : bool;
+    shard : string;
   }
 end
 
 module Config = struct
-  type t = {
-    decision_cache : int;
-    ground_cache : int;
-    audit_capacity : int;
-    slo_target : float option;
-    slo_objective : float;
-    slo_window : float;
-  }
+  type caching = { decision_cache : int; ground_cache : int }
+  type audit = { capacity : int }
+  type slo = { target : float option; objective : float; window : float }
+  type t = { caching : caching; audit : audit; slo : slo }
 
   let default =
     {
-      decision_cache = 256;
-      ground_cache = 512;
-      audit_capacity = 1024;
-      slo_target = None;
-      slo_objective = 0.99;
-      slo_window = 60.0;
+      caching = { decision_cache = 256; ground_cache = 512 };
+      audit = { capacity = 1024 };
+      slo = { target = None; objective = 0.99; window = 60.0 };
     }
 end
 
@@ -88,6 +86,7 @@ type tier_stats = {
   hits : int;
   misses : int;
   evictions : int;
+  collisions : int;
   entries : int;
   cap : int;
 }
@@ -110,8 +109,10 @@ let hit_rate (s : tier_stats) =
   if n = 0 then 0.0 else float_of_int s.hits /. float_of_int n
 
 let pp_tier ppf (s : tier_stats) =
-  Fmt.pf ppf "%d/%d entries, %d hit(s), %d miss(es), %d eviction(s), rate %.2f"
-    s.entries s.cap s.hits s.misses s.evictions (hit_rate s)
+  Fmt.pf ppf
+    "%d/%d entries, %d hit(s), %d miss(es), %d eviction(s), %d collision(s), \
+     rate %.2f"
+    s.entries s.cap s.hits s.misses s.evictions s.collisions (hit_rate s)
 
 let pp_delta ppf (d : delta_stats) =
   Fmt.pf ppf "%d ground(s), %d fact(s), %d rule(s) added, %d fallback(s)"
@@ -129,13 +130,17 @@ type counters = {
   cd_hits : Obs.Counter.t;
   cd_misses : Obs.Counter.t;
   cd_evictions : Obs.Counter.t;
+  cd_collisions : Obs.Counter.t;
   cg_hits : Obs.Counter.t;
   cg_misses : Obs.Counter.t;
   cg_evictions : Obs.Counter.t;
+  cg_collisions : Obs.Counter.t;
   cs_delta_grounds : Obs.Counter.t;
   cs_delta_facts : Obs.Counter.t;
   cs_delta_rules : Obs.Counter.t;
   cs_delta_fallbacks : Obs.Counter.t;
+  cl_coalesced : Obs.Counter.t;
+  cl_rejected : Obs.Counter.t;
   w_decide : Obs.Window.t;
 }
 
@@ -146,13 +151,17 @@ let counters =
       cd_hits = Obs.Counter.make "serve.decision_cache.hits";
       cd_misses = Obs.Counter.make "serve.decision_cache.misses";
       cd_evictions = Obs.Counter.make "serve.decision_cache.evictions";
+      cd_collisions = Obs.Counter.make "serve.decision_cache.collisions";
       cg_hits = Obs.Counter.make "serve.ground_cache.hits";
       cg_misses = Obs.Counter.make "serve.ground_cache.misses";
       cg_evictions = Obs.Counter.make "serve.ground_cache.evictions";
+      cg_collisions = Obs.Counter.make "serve.ground_cache.collisions";
       cs_delta_grounds = Obs.Counter.make "serve.delta.grounds";
       cs_delta_facts = Obs.Counter.make "serve.delta.facts";
       cs_delta_rules = Obs.Counter.make "serve.delta.rules";
       cs_delta_fallbacks = Obs.Counter.make "serve.delta.fallbacks";
+      cl_coalesced = Obs.Counter.make "serve.cluster.coalesced";
+      cl_rejected = Obs.Counter.make "serve.cluster.rejected";
       w_decide = Obs.Window.make "serve.decide";
     }
 
@@ -203,6 +212,7 @@ type centry = {
 }
 
 type t = {
+  name : string;  (** shard provenance on responses *)
   mutable gpm : Asg.Gpm.t;
   cfg : Config.t;
   memo : (memo_key, Asp.Program.t * Decision.t) Lru.t;
@@ -222,11 +232,15 @@ type t = {
   mu : Mutex.t;  (** guards all tiers and the stat mirrors *)
   mutable d_hits : int;
   mutable d_misses : int;
+  mutable d_collisions : int;
+      (** memo entries displaced by fingerprint-collision replacement
+          (resident key, structurally different context) *)
   mutable g_hits : int;
   mutable g_misses : int;
-  mutable g_coll_evictions : int;
-      (** entries displaced by fingerprint-collision replacement (the
-          [Lru.add] value-replace path, invisible to [Lru.evictions]) *)
+  mutable g_collisions : int;
+      (** ground entries displaced by fingerprint-collision replacement
+          (the [Lru.add] value-replace path, invisible to
+          [Lru.evictions] — and not a capacity eviction) *)
   mutable n_delta_grounds : int;
   mutable n_delta_facts : int;
   mutable n_delta_rules : int;
@@ -235,36 +249,39 @@ type t = {
   slo : Obs.Slo.t option;
 }
 
-let create ?(config = Config.default) gpm =
+let create ?(name = "default") ?(config = Config.default) gpm =
   ignore (Lazy.force counters);
   {
+    name;
     gpm;
     cfg = config;
-    memo = Lru.create ~capacity:config.decision_cache ();
-    grounds = Lru.create ~capacity:config.ground_cache ();
+    memo = Lru.create ~capacity:config.Config.caching.Config.decision_cache ();
+    grounds = Lru.create ~capacity:config.Config.caching.Config.ground_cache ();
     trees = Hashtbl.create 16;
     mu = Mutex.create ();
     d_hits = 0;
     d_misses = 0;
+    d_collisions = 0;
     g_hits = 0;
     g_misses = 0;
-    g_coll_evictions = 0;
+    g_collisions = 0;
     n_delta_grounds = 0;
     n_delta_facts = 0;
     n_delta_rules = 0;
     n_fallbacks = 0;
     audit =
-      (if config.audit_capacity > 0 then
-         Some (Audit.create ~capacity:config.audit_capacity)
+      (if config.Config.audit.Config.capacity > 0 then
+         Some (Audit.create ~capacity:config.Config.audit.Config.capacity)
        else None);
     slo =
       Option.map
         (fun target ->
-          Obs.Slo.make ~objective:config.slo_objective
-            ~window:config.slo_window ~target "serve.decide")
-        config.slo_target;
+          Obs.Slo.make ~objective:config.Config.slo.Config.objective
+            ~window:config.Config.slo.Config.window ~target "serve.decide")
+        config.Config.slo.Config.target;
   }
 
+let name t = t.name
 let gpm t = t.gpm
 let config t = t.cfg
 let audit t = t.audit
@@ -299,6 +316,7 @@ let stats t =
             hits = t.d_hits;
             misses = t.d_misses;
             evictions = Lru.evictions t.memo;
+            collisions = t.d_collisions;
             entries = Lru.length t.memo;
             cap = Lru.capacity t.memo;
           };
@@ -306,7 +324,8 @@ let stats t =
           {
             hits = t.g_hits;
             misses = t.g_misses;
-            evictions = Lru.evictions t.grounds + t.g_coll_evictions;
+            evictions = Lru.evictions t.grounds;
+            collisions = t.g_collisions;
             entries = Lru.length t.grounds;
             cap = Lru.capacity t.grounds;
           };
@@ -323,9 +342,10 @@ let stats_to_json t =
   let s = stats t in
   let tier (ts : tier_stats) =
     Printf.sprintf
-      "{\"hits\": %d, \"misses\": %d, \"evictions\": %d, \"entries\": %d, \
-       \"capacity\": %d, \"hit_rate\": %.6f}"
-      ts.hits ts.misses ts.evictions ts.entries ts.cap (hit_rate ts)
+      "{\"hits\": %d, \"misses\": %d, \"evictions\": %d, \"collisions\": %d, \
+       \"entries\": %d, \"capacity\": %d, \"hit_rate\": %.6f}"
+      ts.hits ts.misses ts.evictions ts.collisions ts.entries ts.cap
+      (hit_rate ts)
   in
   let audit_part =
     match t.audit with
@@ -360,7 +380,7 @@ let stats_to_json t =
       (Obs.Health.events_total ())
   in
   Printf.sprintf
-    "{\"schema\": \"serve-stats/3\", \"gpm_version\": %d, \"requests\": %d, \
+    "{\"schema\": \"serve-stats/4\", \"gpm_version\": %d, \"requests\": %d, \
      \"decision_cache\": %s, \"ground_cache\": %s, \"delta\": %s, \"audit\": \
      %s, \"health\": %s}"
     (Asg.Gpm.version t.gpm)
@@ -374,6 +394,7 @@ let openmetrics t =
       ("serve.cache.entries", [ ("tier", name) ], float_of_int ts.entries);
       ("serve.cache.capacity", [ ("tier", name) ], float_of_int ts.cap);
       ("serve.cache.hit_rate", [ ("tier", name) ], hit_rate ts);
+      ("serve.cache.collisions", [ ("tier", name) ], float_of_int ts.collisions);
     ]
   in
   Obs.Openmetrics.render
@@ -384,9 +405,9 @@ let openmetrics t =
     fingerprint-keyed cache. A resident entry whose program is not
     structurally equal to [p] is a fingerprint collision: freezing [p]
     and [Lru.add]ing it displaces the resident through the value-replace
-    path, which [Lru.evictions] cannot see — so the displacement is
-    counted here as an eviction (it is one: a live entry left the
-    cache). *)
+    path, which [Lru.evictions] cannot see — the displacement gets its
+    own [collisions] count (it is not a capacity eviction: the cache
+    never ran out of room). *)
 let core_cached t (p : Asp.Program.t) ~(fp : int) ~(counts : req_counts) :
     centry =
   let c = Lazy.force counters in
@@ -412,10 +433,11 @@ let core_cached t (p : Asp.Program.t) ~(fp : int) ~(counts : req_counts) :
     in
     locked t (fun () ->
         t.g_misses <- t.g_misses + 1;
-        if collision then t.g_coll_evictions <- t.g_coll_evictions + 1;
+        if collision then t.g_collisions <- t.g_collisions + 1;
         match Lru.add t.grounds fp e with
         | Some _ -> Obs.Counter.incr c.cg_evictions
-        | None -> if collision then Obs.Counter.incr c.cg_evictions);
+        | None -> ());
+    if collision then Obs.Counter.incr c.cg_collisions;
     Obs.Counter.incr c.cg_misses;
     counts.rq_misses <- counts.rq_misses + 1;
     e
@@ -539,8 +561,14 @@ let decide t (req : Request.t) : Response.t =
       Obs.Counter.incr c.cd_hits;
       (d, Memo_hit)
     | _ ->
-      locked t (fun () -> t.d_misses <- t.d_misses + 1);
+      (* a resident entry that failed the equality confirm is a
+         fingerprint collision; the add below replaces it in place *)
+      let collision = Option.is_some memo in
+      locked t (fun () ->
+          t.d_misses <- t.d_misses + 1;
+          if collision then t.d_collisions <- t.d_collisions + 1);
       Obs.Counter.incr c.cd_misses;
+      if collision then Obs.Counter.incr c.cd_collisions;
       let d =
         match fact_only_context req.context with
         | Some ctx_facts ->
@@ -589,6 +617,7 @@ let decide t (req : Request.t) : Response.t =
     gpm_version = version;
     deadline_missed =
       (match req.deadline with Some d -> latency > d | None -> false);
+    shard = t.name;
   }
 
 module Batch = struct
@@ -640,3 +669,287 @@ module Batch = struct
       Array.iteri (fun k i -> out.(i) <- results.(k)) order;
       Array.to_list out
 end
+
+(* ---- sharded multi-tenant serving ------------------------------------- *)
+
+type engine = t
+
+let engine_stats = stats
+
+module Shard = struct
+  type t = {
+    sh_tenant : string;
+    sh_engine : engine;
+    sh_window : Obs.Window.t;  (** per-tenant rolling latency *)
+    sh_fallbacks : Obs.Health.t;  (** per-tenant fallback signal *)
+    sh_mu : Mutex.t;
+    mutable sh_served : int;
+  }
+
+  let make ?config tenant gpm =
+    {
+      sh_tenant = tenant;
+      sh_engine = create ~name:tenant ?config gpm;
+      sh_window = Obs.Window.make ("serve.shard." ^ tenant);
+      sh_fallbacks = Obs.Health.make ("serve.shard." ^ tenant ^ ".fallbacks");
+      sh_mu = Mutex.create ();
+      sh_served = 0;
+    }
+
+  let tenant sh = sh.sh_tenant
+  let engine sh = sh.sh_engine
+
+  let served sh =
+    Mutex.lock sh.sh_mu;
+    let n = sh.sh_served in
+    Mutex.unlock sh.sh_mu;
+    n
+
+  (* The shard-owned serve path: the engine decides, the shard's own
+     telemetry observes. Called from pool domains during a drain, so
+     the served count takes the shard mutex. *)
+  let serve sh (req : Request.t) : Response.t =
+    let r = decide sh.sh_engine req in
+    Obs.Window.observe sh.sh_window r.Response.latency;
+    Obs.Health.observe ~version:r.Response.gpm_version sh.sh_fallbacks
+      r.Response.decision.Decision.fallback_used;
+    Mutex.lock sh.sh_mu;
+    sh.sh_served <- sh.sh_served + 1;
+    Mutex.unlock sh.sh_mu;
+    r
+end
+
+module Cluster = struct
+  type reject_reason = Queue_full | Unknown_tenant
+
+  let reject_reason_to_string = function
+    | Queue_full -> "queue_full"
+    | Unknown_tenant -> "unknown_tenant"
+
+  type outcome = Served of Response.t | Rejected of reject_reason
+  type ticket = { mutable resolved : outcome option }
+
+  type entry = { e_req : Request.t; e_ticket : ticket; e_trace : string }
+
+  type t = {
+    cl_shards : (string * Shard.t) list;  (** tenant declaration order *)
+    cl_queue_depth : int;
+    cl_mu : Mutex.t;  (** guards the queue and the cluster counters *)
+    cl_queue : entry Queue.t;
+    mutable cl_submitted : int;
+    mutable cl_coalesced : int;
+    mutable cl_rejected : int;
+  }
+
+  let locked t f =
+    Mutex.lock t.cl_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.cl_mu) f
+
+  let create ?config ?(queue_depth = 64) ~tenants () =
+    if tenants = [] then
+      invalid_arg "Serve.Cluster.create: at least one tenant required";
+    if queue_depth < 1 then
+      invalid_arg "Serve.Cluster.create: queue_depth must be >= 1";
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (name, _) ->
+        if Hashtbl.mem seen name then
+          invalid_arg ("Serve.Cluster.create: duplicate tenant " ^ name);
+        Hashtbl.add seen name ())
+      tenants;
+    {
+      cl_shards =
+        List.map (fun (name, gpm) -> (name, Shard.make ?config name gpm)) tenants;
+      cl_queue_depth = queue_depth;
+      cl_mu = Mutex.create ();
+      cl_queue = Queue.create ();
+      cl_submitted = 0;
+      cl_coalesced = 0;
+      cl_rejected = 0;
+    }
+
+  let tenants t = List.map fst t.cl_shards
+  let shard t tenant = List.assoc_opt tenant t.cl_shards
+  let shards t = List.map snd t.cl_shards
+  let queue_depth t = t.cl_queue_depth
+  let queue_length t = locked t (fun () -> Queue.length t.cl_queue)
+  let coalesced t = locked t (fun () -> t.cl_coalesced)
+  let rejected t = locked t (fun () -> t.cl_rejected)
+  let submitted t = locked t (fun () -> t.cl_submitted)
+
+  let set_gpm t ~tenant gpm =
+    match shard t tenant with
+    | Some sh -> set_gpm (Shard.engine sh) gpm
+    | None -> invalid_arg ("Serve.Cluster.set_gpm: unknown tenant " ^ tenant)
+
+  let reject t tk reason =
+    let c = Lazy.force counters in
+    locked t (fun () -> t.cl_rejected <- t.cl_rejected + 1);
+    Obs.Counter.incr c.cl_rejected;
+    tk.resolved <- Some (Rejected reason);
+    tk
+
+  let submit t (req : Request.t) : ticket =
+    let tk = { resolved = None } in
+    match shard t req.Request.tenant with
+    | None -> reject t tk Unknown_tenant
+    | Some _ ->
+      let accepted =
+        locked t (fun () ->
+            if Queue.length t.cl_queue >= t.cl_queue_depth then false
+            else begin
+              t.cl_submitted <- t.cl_submitted + 1;
+              Queue.add
+                {
+                  e_req = req;
+                  e_ticket = tk;
+                  e_trace = Obs.Trace_context.child_id ();
+                }
+                t.cl_queue;
+              true
+            end)
+      in
+      if accepted then tk else reject t tk Queue_full
+
+  let poll tk = tk.resolved
+
+  (* Serve everything queued. Coalescing groups entries by (tenant,
+     context fingerprint, options) with the context confirmed by
+     structural equality — a fingerprint collision never merges two
+     distinct requests. Representatives are served in first-occurrence
+     order across the pool; every member of a group shares its
+     representative's response. *)
+  let drain ?pool t : int =
+    let entries =
+      locked t (fun () ->
+          let l = List.of_seq (Queue.to_seq t.cl_queue) in
+          Queue.clear t.cl_queue;
+          l)
+    in
+    match entries with
+    | [] -> 0
+    | _ ->
+      let c = Lazy.force counters in
+      let pool = match pool with Some p -> p | None -> Par.Config.pool () in
+      let groups :
+          ( string * int * string list,
+            (Asp.Program.t * entry list ref) list ref )
+          Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let order = ref [] in
+      List.iter
+        (fun (e : entry) ->
+          let req = e.e_req in
+          let key =
+            ( req.Request.tenant,
+              Asp.Program.fingerprint req.Request.context,
+              req.Request.options )
+          in
+          let bucket =
+            match Hashtbl.find_opt groups key with
+            | Some b -> b
+            | None ->
+              let b = ref [] in
+              Hashtbl.add groups key b;
+              b
+          in
+          match
+            List.find_opt
+              (fun (ctx, _) -> Asp.Program.equal ctx req.Request.context)
+              !bucket
+          with
+          | Some (_, members) -> members := e :: !members
+          | None ->
+            let members = ref [ e ] in
+            bucket := (req.Request.context, members) :: !bucket;
+            order := (e, members) :: !order)
+        entries;
+      let reps = Array.of_list (List.rev !order) in
+      let n_coalesced = List.length entries - Array.length reps in
+      if n_coalesced > 0 then begin
+        locked t (fun () -> t.cl_coalesced <- t.cl_coalesced + n_coalesced);
+        Obs.Counter.incr c.cl_coalesced ~by:n_coalesced
+      end;
+      let responses =
+        Par.parallel_map pool
+          (fun ((e : entry), _) ->
+            Obs.Trace_context.with_id e.e_trace (fun () ->
+                match shard t e.e_req.Request.tenant with
+                | Some sh -> Shard.serve sh e.e_req
+                | None -> assert false (* submit checked the tenant *)))
+          reps
+      in
+      Array.iteri
+        (fun i (_, members) ->
+          let outcome = Served responses.(i) in
+          List.iter (fun (m : entry) -> m.e_ticket.resolved <- Some outcome)
+            !members)
+        reps;
+      List.length entries
+
+  let await ?pool t tk =
+    match tk.resolved with
+    | Some o -> o
+    | None ->
+      ignore (drain ?pool t);
+      Option.get tk.resolved
+
+  let decide t (req : Request.t) : outcome =
+    match shard t req.Request.tenant with
+    | None -> (
+      match poll (reject t { resolved = None } Unknown_tenant) with
+      | Some o -> o
+      | None -> Rejected Unknown_tenant)
+    | Some sh -> Served (Shard.serve sh req)
+
+  let run ?pool t (reqs : Request.t list) : outcome list =
+    Obs.Trace_context.scope @@ fun _run_id ->
+    let tickets =
+      List.map
+        (fun req ->
+          let tk = submit t req in
+          match poll tk with
+          | Some (Rejected Queue_full) ->
+            (* flow control: make room, then resubmit (the queue is
+               empty now, so the retry cannot be rejected for space) *)
+            ignore (drain ?pool t);
+            submit t req
+          | _ -> tk)
+        reqs
+    in
+    ignore (drain ?pool t);
+    List.map (fun tk -> Option.get (poll tk)) tickets
+
+  let stats t =
+    List.map (fun (name, sh) -> (name, engine_stats (Shard.engine sh))) t.cl_shards
+
+  let openmetrics t =
+    let tier tenant tname (ts : tier_stats) =
+      let labels = [ ("tenant", tenant); ("tier", tname) ] in
+      [
+        ("serve.shard.cache.entries", labels, float_of_int ts.entries);
+        ("serve.shard.cache.hit_rate", labels, hit_rate ts);
+        ("serve.shard.cache.collisions", labels, float_of_int ts.collisions);
+      ]
+    in
+    let shard_extra =
+      List.concat_map
+        (fun (tenant, sh) ->
+          let s = engine_stats (Shard.engine sh) in
+          ( "serve.shard.requests",
+            [ ("tenant", tenant) ],
+            float_of_int (Shard.served sh) )
+          :: (tier tenant "decision" s.decisions @ tier tenant "ground" s.grounds))
+        t.cl_shards
+    in
+    let cluster_extra =
+      [
+        ("serve.cluster.queue.depth", [], float_of_int t.cl_queue_depth);
+        ("serve.cluster.queue.length", [], float_of_int (queue_length t));
+      ]
+    in
+    Obs.Openmetrics.render ~extra:(cluster_extra @ shard_extra) ()
+end
+
+type target = Engine of t | Tenant of Cluster.t * string

@@ -202,8 +202,8 @@ else:
   reject [memo]
   accept [memo]
   reject [memo]
-  decisions: 2/256 entries, 4 hit(s), 2 miss(es), 0 eviction(s), rate 0.67
-  grounds:   2/512 entries, 2 hit(s), 2 miss(es), 0 eviction(s), rate 0.50
+  decisions: 2/256 entries, 4 hit(s), 2 miss(es), 0 eviction(s), 0 collision(s), rate 0.67
+  grounds:   2/512 entries, 2 hit(s), 2 miss(es), 0 eviction(s), 0 collision(s), rate 0.50
   delta:     4 ground(s), 8 fact(s), 9 rule(s) added, 0 fallback(s)
   $ agenp serve learned.asg requests.txt --report | sed -E 's/ +[0-9]+\.[0-9]+//g; s/ +[0-9]+/ N/g'
   reject [cold]
@@ -242,6 +242,9 @@ else:
   ilp.nodes_pruned N
   ilp.search_nodes N
   ilp.witnesses_truncated N
+  serve.cluster.coalesced N
+  serve.cluster.rejected N
+  serve.decision_cache.collisions N
   serve.decision_cache.evictions N
   serve.decision_cache.hits N
   serve.decision_cache.misses N
@@ -249,6 +252,7 @@ else:
   serve.delta.fallbacks N
   serve.delta.grounds N
   serve.delta.rules N
+  serve.ground_cache.collisions N
   serve.ground_cache.evictions N
   serve.ground_cache.hits N
   serve.ground_cache.misses N
@@ -271,6 +275,57 @@ A request line without options is a positioned input error:
   agenp: bad-requests.txt:1: no options on line
   [2]
 
+Multi-tenant serving: --tenants N shards the engine per simulated
+tenant (t0..tN-1), round-robining the request stream through the
+cluster's bounded ingestion queue. Responses carry shard provenance;
+the two identical t0 requests in each pass coalesce into one
+computation; --stats shows each shard's isolated tiers plus the
+cluster counters:
+
+  $ agenp serve learned.asg requests.txt --tenants 2 --repeat 2 --stats
+  reject [t0 cold]
+  accept [t1 cold]
+  reject [t0 cold]
+  reject [t0 memo]
+  accept [t1 memo]
+  reject [t0 memo]
+  shard t0:
+  decisions: 1/256 entries, 1 hit(s), 1 miss(es), 0 eviction(s), 0 collision(s), rate 0.50
+  grounds:   2/512 entries, 0 hit(s), 2 miss(es), 0 eviction(s), 0 collision(s), rate 0.00
+  delta:     2 ground(s), 4 fact(s), 5 rule(s) added, 0 fallback(s)
+  shard t1:
+  decisions: 1/256 entries, 1 hit(s), 1 miss(es), 0 eviction(s), 0 collision(s), rate 0.50
+  grounds:   2/512 entries, 0 hit(s), 2 miss(es), 0 eviction(s), 0 collision(s), rate 0.00
+  delta:     2 ground(s), 4 fact(s), 4 rule(s) added, 0 fallback(s)
+  cluster: 6 submitted, 2 coalesced, 0 rejected
+
+--metrics-once with --tenants renders the cluster exposition with
+per-shard gauges labeled by tenant:
+
+  $ agenp serve learned.asg requests.txt --tenants 2 --metrics-once 2>/dev/null | grep -E '^agenp_serve_shard_requests|^agenp_serve_cluster_queue_depth'
+  agenp_serve_cluster_queue_depth 64
+  agenp_serve_shard_requests{tenant="t0"} 1
+  agenp_serve_shard_requests{tenant="t1"} 1
+
+Tenant-path input errors are reported, not crashed on; flags that need
+a single engine's view are rejected:
+
+  $ agenp serve learned.asg requests.txt --tenants 0
+  agenp: --tenants must be at least 1
+  [2]
+  $ agenp serve learned.asg requests.txt --tenants 2 --queue-depth 0
+  agenp: --queue-depth must be at least 1
+  [2]
+  $ agenp serve learned.asg requests.txt --tenants 2 --batch
+  agenp: --batch is not supported with --tenants (per-shard state has no single-engine view)
+  [2]
+  $ agenp serve learned.asg requests.txt --tenants 2 --stats-json s.json
+  agenp: --stats-json is not supported with --tenants (per-shard state has no single-engine view)
+  [2]
+  $ agenp serve learned.asg requests.txt --tenants 2 --audit a.jsonl
+  agenp: --audit is not supported with --tenants (per-shard state has no single-engine view)
+  [2]
+
 The ops plane. --stats-json writes the schema'd engine statistics and
 --audit exports the per-decision audit trail as JSONL; every record
 carries a distinct trace ID (the one on the request's spans and logs):
@@ -279,8 +334,8 @@ carries a distinct trace ID (the one on the request's spans and logs):
   reject [cold]
   accept [ground]
   reject [memo]
-  $ grep -o '"schema": "serve-stats/3"' stats.json
-  "schema": "serve-stats/3"
+  $ grep -o '"schema": "serve-stats/4"' stats.json
+  "schema": "serve-stats/4"
   $ grep -c '"health":' stats.json
   1
   $ grep -oE '"trace": "[^"]*"' audit.jsonl | sort -u | wc -l

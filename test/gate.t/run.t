@@ -3,11 +3,11 @@ spending any time measuring, so malformed input fails fast with exit 2.
 
   $ agenp-bench gate --frobnicate
   bench gate: unknown argument: --frobnicate
-  usage: bench gate [--tolerance F] [--quota SEC] [--runs N] [--baseline-asp FILE] [--baseline-par FILE] [--baseline-serve FILE] [--baseline-drift FILE] [--skip-par] [--skip-serve] [--skip-drift] [--rebaseline]
+  usage: bench gate [--tolerance F] [--quota SEC] [--runs N] [--baseline-asp FILE] [--baseline-par FILE] [--baseline-serve FILE] [--baseline-serve2 FILE] [--baseline-drift FILE] [--skip-par] [--skip-serve] [--skip-serve2] [--skip-drift] [--rebaseline]
   [2]
   $ agenp-bench gate --tolerance nope
   bench gate: bad --tolerance: nope
-  usage: bench gate [--tolerance F] [--quota SEC] [--runs N] [--baseline-asp FILE] [--baseline-par FILE] [--baseline-serve FILE] [--baseline-drift FILE] [--skip-par] [--skip-serve] [--skip-drift] [--rebaseline]
+  usage: bench gate [--tolerance F] [--quota SEC] [--runs N] [--baseline-asp FILE] [--baseline-par FILE] [--baseline-serve FILE] [--baseline-serve2 FILE] [--baseline-drift FILE] [--skip-par] [--skip-serve] [--skip-serve2] [--skip-drift] [--rebaseline]
   [2]
   $ agenp-bench gate --baseline-asp missing.json
   bench gate: missing.json: No such file or directory
@@ -28,11 +28,12 @@ normalize every number and collapse the column padding:
   $ cat > loose.json <<'JSON'
   > {"schema": "bench-asp/1", "current_ns_per_run": {"asp-parse": 1000000000000}}
   > JSON
-  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve --skip-drift --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve2 --skip-serve --skip-drift --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   asp-parse N ns -> N ns (Nx) ok
   par: skipped
   serve: skipped
+  serveN: skipped
   drift: skipped
   bench gate: PASS
 
@@ -41,13 +42,14 @@ An artificially tightened baseline demonstrably fails with exit 1:
   $ cat > tight.json <<'JSON'
   > {"schema": "bench-asp/1", "current_ns_per_run": {"asp-parse": 1}}
   > JSON
-  $ agenp-bench gate --baseline-asp tight.json --skip-par --skip-serve --skip-drift --quota 0.05 --runs 1 > out.txt
+  $ agenp-bench gate --baseline-asp tight.json --skip-par --skip-serve2 --skip-serve --skip-drift --quota 0.05 --runs 1 > out.txt
   [1]
   $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   asp-parse N ns -> N ns (Nx) REGRESSION
   par: skipped
   serve: skipped
+  serveN: skipped
   drift: skipped
   bench gate: FAIL (N regression(s) beyond N%)
 
@@ -57,32 +59,34 @@ stale, which is neither a pass nor a regression:
   $ cat > stale.json <<'JSON'
   > {"schema": "bench-asp/1", "current_ns_per_run": {"no-such-bench": 5}}
   > JSON
-  $ agenp-bench gate --baseline-asp stale.json --skip-par --skip-serve --skip-drift --quota 0.05 --runs 1 > out.txt 2>&1
+  $ agenp-bench gate --baseline-asp stale.json --skip-par --skip-serve2 --skip-serve --skip-drift --quota 0.05 --runs 1 > out.txt 2>&1
   [2]
   $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   no-such-bench N ns baseline, no current measurement MISSING
   par: skipped
   serve: skipped
+  serveN: skipped
   drift: skipped
   bench gate: N baseline bench(es) have no current counterpart — stale baseline?
 
 The serve baseline is validated the same way: a wrong schema or an
 unsound committed snapshot fails before any measurement.
 
-  $ agenp-bench gate --baseline-asp loose.json --skip-par --baseline-serve wrong-schema.json
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve2 --baseline-serve wrong-schema.json
   bench gate: bad baseline: unexpected schema "bench-par/1"
   [2]
   $ cat > serve-bad.json <<'JSON'
   > {"schema": "bench-serve/1", "decision_cache": {"hit_rate": 0.5}, "identical_outcome": false}
   > JSON
-  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-drift --baseline-serve serve-bad.json --quota 0.05 --runs 1 > out.txt
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve2 --skip-drift --baseline-serve serve-bad.json --quota 0.05 --runs 1 > out.txt
   [1]
   $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   asp-parse N ns -> N ns (Nx) ok
   par: skipped
   serve: committed snapshot has identical_outcome=false FAIL
+  serveN: skipped
   drift: skipped
   bench gate: FAIL (N regression(s) beyond N%; serve caches unsound)
 
@@ -91,13 +95,14 @@ A committed snapshot whose caches never hit measured nothing:
   $ cat > serve-nohit.json <<'JSON'
   > {"schema": "bench-serve/1", "decision_cache": {"hit_rate": 0.0}, "identical_outcome": true}
   > JSON
-  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-drift --baseline-serve serve-nohit.json --quota 0.05 --runs 1 > out.txt
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve2 --skip-drift --baseline-serve serve-nohit.json --quota 0.05 --runs 1 > out.txt
   [1]
   $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   asp-parse N ns -> N ns (Nx) ok
   par: skipped
   serve: committed snapshot has warm hit rate N — caches never engaged FAIL
+  serveN: skipped
   drift: skipped
   bench gate: FAIL (N regression(s) beyond N%; serve caches unsound)
 
@@ -110,7 +115,7 @@ any measurement:
   $ cat > serve-ground0.json <<'JSON'
   > {"schema": "bench-serve/2", "decision_cache": {"hit_rate": 0.5}, "ground_cache": {"hit_rate": 0.0}, "identical_outcome": true}
   > JSON
-  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-drift --baseline-serve serve-ground0.json --quota 0.05 --runs 1 > out.txt
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve2 --skip-drift --baseline-serve serve-ground0.json --quota 0.05 --runs 1 > out.txt
   [1]
   $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
@@ -119,6 +124,7 @@ any measurement:
   serve: committed snapshot has ground tier rate N — the core cache never engaged FAIL
   serve: cached vs uncached decisions: identical (decision tier N, ground tier N)
   serve: committed snapshot predates the delta section (ns_per_ground not gated)
+  serveN: skipped
   drift: skipped
   bench gate: FAIL (N regression(s) beyond N%; serve caches unsound)
 
@@ -129,13 +135,14 @@ asserts both tiers hit. A snapshot written before per-tier reporting
   $ cat > serve-ok.json <<'JSON'
   > {"schema": "bench-serve/1", "decision_cache": {"hit_rate": 0.5}, "identical_outcome": true}
   > JSON
-  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-drift --baseline-serve serve-ok.json --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve2 --skip-drift --baseline-serve serve-ok.json --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   asp-parse N ns -> N ns (Nx) ok
   par: skipped
   serve: committed snapshot predates per-tier rates (decision N only)
   serve: cached vs uncached decisions: identical (decision tier N, ground tier N)
   serve: committed snapshot predates the delta section (ns_per_ground not gated)
+  serveN: skipped
   drift: skipped
   bench gate: PASS
 
@@ -146,13 +153,60 @@ same tolerance as the asp benches:
   $ cat > serve-tiers.json <<'JSON'
   > {"schema": "bench-serve/2", "decision_cache": {"hit_rate": 0.5}, "ground_cache": {"hit_rate": 0.25}, "delta": {"ns_per_ground": 1000000000000}, "identical_outcome": true}
   > JSON
-  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-drift --baseline-serve serve-tiers.json --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve2 --skip-drift --baseline-serve serve-tiers.json --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   asp-parse N ns -> N ns (Nx) ok
   par: skipped
   serve: committed snapshot tier rates: decision N, ground N
   serve: cached vs uncached decisions: identical (decision tier N, ground tier N)
   serve: ns_per_ground N ns -> N ns (Nx) ok
+  serveN: skipped
+  drift: skipped
+  bench gate: PASS
+
+The multi-tenant baseline (BENCH_serve2.json, from the serve2
+experiment) is validated statically: the cluster must have been
+outcome-identical to the sequential single-shard path, routed every
+response to its tenant's shard, coalesced duplicate work, rejected the
+backpressure overfill, and never invalidated across tenants. A wrong
+schema fails fast:
+
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve --skip-drift --baseline-serve2 wrong-schema.json
+  bench gate: bad baseline: unexpected schema "bench-par/1"
+  [2]
+
+An unsound snapshot names each problem and fails:
+
+  $ cat > serve2-bad.json <<'JSON'
+  > {"schema": "bench-serve2/1", "shards": {"t0": {"decision_hit_rate": 0.5, "ground_hit_rate": 0.0}}, "coalesced": 0, "rejected_on_overfill": 0, "cross_tenant_invalidations": 3, "shard_provenance": false, "identical_outcome": false}
+  > JSON
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve --skip-drift --baseline-serve2 serve2-bad.json --quota 0.05 --runs 1 > out.txt
+  [1]
+  $ sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g' out.txt
+  bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
+  asp-parse N ns -> N ns (Nx) ok
+  par: skipped
+  serve: skipped
+  serveN: cluster not outcome-identical to the single-shard path FAIL
+  serveN: responses misrouted (shard_provenance=false) FAIL
+  serveN: no duplicate work coalesced (coalesced=N) FAIL
+  serveN: backpressure overfill produced no rejection (rejected_on_overfill=N) FAIL
+  serveN: N cross-tenant invalidation(s) FAIL
+  serveN: shard tN has a zero-hit tier (decision N, ground N) FAIL
+  drift: skipped
+  bench gate: FAIL (N regression(s) beyond N%; multi-tenant serving unsound)
+
+A sound snapshot passes:
+
+  $ cat > serve2-ok.json <<'JSON'
+  > {"schema": "bench-serve2/1", "shards": {"t0": {"decision_hit_rate": 0.5, "ground_hit_rate": 0.8}, "t1": {"decision_hit_rate": 0.4, "ground_hit_rate": 0.9}}, "coalesced": 12, "rejected_on_overfill": 2, "cross_tenant_invalidations": 0, "shard_provenance": true, "identical_outcome": true}
+  > JSON
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve --skip-drift --baseline-serve2 serve2-ok.json --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
+  bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
+  asp-parse N ns -> N ns (Nx) ok
+  par: skipped
+  serve: skipped
+  serveN: committed snapshot: N shard(s) outcome-identical, N coalesced, overfill rejected, N cross-tenant invalidations
   drift: skipped
   bench gate: PASS
 
@@ -161,7 +215,7 @@ is validated statically: the detector must have caught the injected
 mutation, raised nothing on the stationary control, and the serve path
 must have stayed outcome-identical. A wrong schema fails fast:
 
-  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve --baseline-drift wrong-schema.json
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve2 --skip-serve --baseline-drift wrong-schema.json
   bench gate: bad baseline: unexpected schema "bench-par/1"
   [2]
 
@@ -170,13 +224,14 @@ An unsound drift snapshot names each problem and fails:
   $ cat > drift-bad.json <<'JSON'
   > {"schema": "bench-drift/1", "detected": false, "false_alarms_on_stationary": 2, "detection_latency_requests": -1, "identical_outcome": true}
   > JSON
-  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve --baseline-drift drift-bad.json --quota 0.05 --runs 1 > out.txt
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve2 --skip-serve --baseline-drift drift-bad.json --quota 0.05 --runs 1 > out.txt
   [1]
   $ sed -E 's/-?[0-9]+\.[0-9]+/N/g; s/-?[0-9]+/N/g; s/ +/ /g' out.txt
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   asp-parse N ns -> N ns (Nx) ok
   par: skipped
   serve: skipped
+  serveN: skipped
   drift: mutation not detected (detected=false) FAIL
   drift: N false alarm(s) on the stationary control FAIL
   drift: detection latency missing or non-positive FAIL
@@ -187,10 +242,11 @@ A sound drift snapshot passes:
   $ cat > drift-ok.json <<'JSON'
   > {"schema": "bench-drift/1", "detected": true, "false_alarms_on_stationary": 0, "detection_latency_requests": 3, "identical_outcome": true}
   > JSON
-  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve --baseline-drift drift-ok.json --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
+  $ agenp-bench gate --baseline-asp loose.json --skip-par --skip-serve2 --skip-serve --baseline-drift drift-ok.json --quota 0.05 --runs 1 | sed -E 's/[0-9]+\.[0-9]+/N/g; s/[0-9]+/N/g; s/ +/ /g'
   bench gate: N bench(es), tolerance N%, quota Ns, min of N run(s)
   asp-parse N ns -> N ns (Nx) ok
   par: skipped
   serve: skipped
+  serveN: skipped
   drift: committed snapshot: detected at latency N, N false alarms, outcomes identical
   bench gate: PASS

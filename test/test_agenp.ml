@@ -86,9 +86,9 @@ let test_pdp_fallback () =
     Agenp.Pdp.decide gpm ~context:Asp.Program.empty
       ~options:[ "accept"; "reject" ]
   in
-  Alcotest.(check string) "falls to reject" "reject" d.Agenp.Pdp.chosen;
+  Alcotest.(check string) "falls to reject" "reject" d.Serve.Decision.chosen;
   Alcotest.(check bool) "not a fallback (reject was valid)" false
-    d.Agenp.Pdp.fallback_used
+    d.Serve.Decision.fallback_used
 
 let test_pdp_fallback_used () =
   let gpm =
@@ -100,7 +100,7 @@ let test_pdp_fallback_used () =
     Agenp.Pdp.decide gpm ~context:Asp.Program.empty
       ~options:[ "accept"; "reject" ]
   in
-  Alcotest.(check bool) "fallback flagged" true d.Agenp.Pdp.fallback_used
+  Alcotest.(check bool) "fallback flagged" true d.Serve.Decision.fallback_used
 
 let test_context_repo () =
   let repo = Agenp.Context_repo.create () in
@@ -173,7 +173,7 @@ let test_ams_closed_loop_improves () =
                ~context:(Workloads.Cav.to_context s)
                ~options:[ "accept"; "reject" ]
            in
-           (d.Agenp.Pdp.chosen = "accept") = Workloads.Cav.ground_truth s)
+           (d.Serve.Decision.chosen = "accept") = Workloads.Cav.ground_truth s)
          fresh)
   in
   let acc = float_of_int correct /. 60.0 in
@@ -224,7 +224,7 @@ let test_coalition_sharing_transfers_knowledge () =
                   ~context:(Workloads.Cav.to_context s)
                   ~options:[ "accept"; "reject" ]
               in
-              (d.Agenp.Pdp.chosen = "accept") = Workloads.Cav.ground_truth s)
+              (d.Serve.Decision.chosen = "accept") = Workloads.Cav.ground_truth s)
             fresh))
     /. 50.0
   in
